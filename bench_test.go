@@ -1,0 +1,262 @@
+package rcuarray_test
+
+// One benchmark family per figure of the paper's evaluation (Section V),
+// plus the ablation benches DESIGN.md calls out. Each b.N iteration runs one
+// complete scaled experiment through the harness and reports throughput as
+// ops/s (figures 2 and 4) or resizes/s (figure 3), so `go test -bench=.`
+// regenerates every series. cmd/rcubench runs the same experiments at larger
+// scale with configurable parameters.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rcuarray"
+	"rcuarray/internal/harness"
+	"rcuarray/internal/workload"
+)
+
+// benchLocales is the locale sweep used by the figure benches. The paper
+// sweeps 2..32 nodes; scale with -bench flags via cmd/rcubench for more.
+var benchLocales = []int{1, 2, 4}
+
+const (
+	benchTasksPerLocale = 4
+	benchBlockSize      = 1024
+	benchCapacity       = 32 * benchBlockSize
+	benchLatency        = 500 * time.Nanosecond
+)
+
+func benchIndexing(b *testing.B, kinds []harness.Kind, pattern workload.Pattern, opsPerTask int) {
+	for _, k := range kinds {
+		for _, nl := range benchLocales {
+			k, nl := k, nl
+			b.Run(fmt.Sprintf("%s/locales=%d", k, nl), func(b *testing.B) {
+				cfg := harness.IndexingConfig{
+					Kinds:          []harness.Kind{k},
+					Locales:        []int{nl},
+					TasksPerLocale: benchTasksPerLocale,
+					OpsPerTask:     opsPerTask,
+					Capacity:       benchCapacity,
+					BlockSize:      benchBlockSize,
+					Pattern:        pattern,
+					RemoteLatency:  benchLatency,
+					Seed:           1,
+				}
+				var sum float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := harness.RunIndexing(cfg)
+					sum += res.Series[0].Points[0].OpsPerSec
+				}
+				b.ReportMetric(sum/float64(b.N), "ops/s")
+				b.ReportMetric(0, "ns/op") // experiment-scale bench; ops/s is the figure's metric
+			})
+		}
+	}
+}
+
+// BenchmarkFig2a: random indexing, 1024 update ops per task, all four
+// arrays (EBRArray, QSBRArray, ChapelArray, SyncArray).
+func BenchmarkFig2a(b *testing.B) {
+	benchIndexing(b,
+		[]harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel, harness.KindSync},
+		workload.Random, 1024)
+}
+
+// BenchmarkFig2b: sequential indexing, 1024 update ops per task, all four
+// arrays.
+func BenchmarkFig2b(b *testing.B) {
+	benchIndexing(b,
+		[]harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel, harness.KindSync},
+		workload.Sequential, 1024)
+}
+
+// BenchmarkFig2c: random indexing with a large per-task op count (paper: 1M,
+// scaled here), SyncArray excluded as in the paper.
+func BenchmarkFig2c(b *testing.B) {
+	benchIndexing(b,
+		[]harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel},
+		workload.Random, 1<<14)
+}
+
+// BenchmarkFig2d: sequential indexing with a large per-task op count,
+// SyncArray excluded.
+func BenchmarkFig2d(b *testing.B) {
+	benchIndexing(b,
+		[]harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel},
+		workload.Sequential, 1<<14)
+}
+
+// BenchmarkFig3: repeated resizes from zero capacity (paper: 1024 resizes of
+// 1024 elements; scaled), RCUArray variants vs the deep-copying ChapelArray.
+func BenchmarkFig3(b *testing.B) {
+	for _, k := range []harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel} {
+		for _, nl := range benchLocales {
+			k, nl := k, nl
+			b.Run(fmt.Sprintf("%s/locales=%d", k, nl), func(b *testing.B) {
+				cfg := harness.ResizeConfig{
+					Kinds:         []harness.Kind{k},
+					Locales:       []int{nl},
+					Increment:     1024,
+					Resizes:       64,
+					BlockSize:     1024,
+					RemoteLatency: benchLatency,
+				}
+				var sum float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := harness.RunResize(cfg)
+					sum += res.Series[0].Points[0].OpsPerSec
+				}
+				b.ReportMetric(sum/float64(b.N), "resizes/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4: QSBR checkpoint frequency sweep at one locale with the EBR
+// series as baseline.
+func BenchmarkFig4(b *testing.B) {
+	freqs := []int{1, 16, 256, 0}
+	for _, f := range freqs {
+		f := f
+		label := fmt.Sprintf("QSBR/opsPerCheckpoint=%d", f)
+		if f == 0 {
+			label = "QSBR/opsPerCheckpoint=never"
+		}
+		b.Run(label, func(b *testing.B) {
+			cfg := harness.CheckpointConfig{
+				TasksPerLocale: benchTasksPerLocale,
+				OpsPerTask:     1 << 14,
+				Capacity:       benchCapacity,
+				BlockSize:      benchBlockSize,
+				Frequencies:    []int{f},
+				RemoteLatency:  benchLatency,
+				Seed:           1,
+			}
+			var sum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := harness.RunCheckpoint(cfg)
+				sum += res.Series[0].Points[0].OpsPerSec
+			}
+			b.ReportMetric(sum/float64(b.N), "ops/s")
+		})
+	}
+	b.Run("EBR/baseline", func(b *testing.B) {
+		cfg := harness.IndexingConfig{
+			Kinds:          []harness.Kind{harness.KindEBR},
+			Locales:        []int{1},
+			TasksPerLocale: benchTasksPerLocale,
+			OpsPerTask:     1 << 14,
+			Capacity:       benchCapacity,
+			BlockSize:      benchBlockSize,
+			Pattern:        workload.Sequential,
+			RemoteLatency:  benchLatency,
+			Seed:           1,
+		}
+		var sum float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := harness.RunIndexing(cfg)
+			sum += res.Series[0].Points[0].OpsPerSec
+		}
+		b.ReportMetric(sum/float64(b.N), "ops/s")
+	})
+}
+
+// BenchmarkAblationRecycleVsCopy isolates the design choice behind Figure
+// 3's 4x: RCUArray's clone recycles block pointers (O(blocks) per resize)
+// while the baseline deep-copies elements (O(n) per resize). Measured as a
+// single resize at a given pre-existing size.
+func BenchmarkAblationRecycleVsCopy(b *testing.B) {
+	for _, preBlocks := range []int{8, 64, 256} {
+		preBlocks := preBlocks
+		b.Run(fmt.Sprintf("recycle/preBlocks=%d", preBlocks), func(b *testing.B) {
+			benchSingleGrow(b, true, preBlocks)
+		})
+		b.Run(fmt.Sprintf("copy/preBlocks=%d", preBlocks), func(b *testing.B) {
+			benchSingleGrow(b, false, preBlocks)
+		})
+	}
+}
+
+// benchSingleGrow measures ONE grow at a fixed pre-existing size. Each
+// measured grow would otherwise enlarge the array and skew later
+// iterations (quadratically for the deep-copying baseline), so the array
+// is shrunk back (recycle side) or rebuilt (copy side, which cannot
+// shrink) outside the timer.
+func benchSingleGrow(b *testing.B, recycle bool, preBlocks int) {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2, TasksPerLocale: 2})
+	defer c.Shutdown()
+	const bs = 1024
+	c.Run(func(t *rcuarray.Task) {
+		if recycle {
+			a := rcuarray.New[int64](t, rcuarray.Options{
+				BlockSize: bs, Reclaim: rcuarray.EBR, InitialCapacity: preBlocks * bs,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Grow(t, bs)
+				b.StopTimer()
+				a.Shrink(t, bs) // restore size; the freed block recycles
+				b.StartTimer()
+			}
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tgt := harness.BuildTarget(t, harness.KindChapel, bs, preBlocks*bs)
+			b.StartTimer()
+			tgt.Grow(t, bs)
+		}
+	})
+}
+
+// BenchmarkAblationReadSide compares the per-operation read cost of the two
+// reclamation strategies and the unsynchronized baseline on a single locale
+// with a single task — the primitive costs beneath Figures 2c/2d.
+func BenchmarkAblationReadSide(b *testing.B) {
+	for _, k := range []harness.Kind{harness.KindEBR, harness.KindQSBR, harness.KindChapel} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 1, TasksPerLocale: 1})
+			defer c.Shutdown()
+			c.Run(func(t *rcuarray.Task) {
+				tgt := harness.BuildTarget(t, k, 1024, 4096)
+				b.ResetTimer()
+				var sink int64
+				for i := 0; i < b.N; i++ {
+					sink += tgt.Load(t, i&4095)
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkAblationUpdateByRef measures the Section III-C claim that updates
+// through references "share the same performance as reads": Ref.Store vs
+// Array.Load on the same element.
+func BenchmarkAblationUpdateByRef(b *testing.B) {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 1, TasksPerLocale: 1})
+	defer c.Shutdown()
+	c.Run(func(t *rcuarray.Task) {
+		a := rcuarray.New[int64](t, rcuarray.Options{BlockSize: 1024, InitialCapacity: 4096})
+		b.Run("load", func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += a.Load(t, i&4095)
+			}
+			_ = sink
+		})
+		b.Run("update-through-ref", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Index(t, i&4095).Store(t, int64(i))
+			}
+		})
+	})
+}

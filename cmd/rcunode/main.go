@@ -1,0 +1,43 @@
+// Command rcunode serves one node of a distributed RCUArray over TCP.
+//
+// Start one per machine (or per shard), then point cmd/rcudist at the set:
+//
+//	host-a$ rcunode -listen 0.0.0.0:7001
+//	host-b$ rcunode -listen 0.0.0.0:7001
+//	host-c$ rcudist -nodes host-a:7001,host-b:7001 -grow 1048576 -bench
+//
+// The node is passive until a driver configures it: it then owns a shard of
+// blocks, serves GET/PUT from peers, applies snapshot installs with its
+// local TLS-free EBR domain (waiting out its own readers before reclaiming),
+// and executes read/update workloads on request.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rcuarray/internal/dist"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	flag.Parse()
+
+	node, err := dist.NewArrayNode(*listen)
+	if err != nil {
+		log.Fatalf("rcunode: %v", err)
+	}
+	fmt.Printf("rcunode listening on %s\n", node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rcunode: shutting down")
+	if err := node.Close(); err != nil {
+		log.Fatalf("rcunode: close: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+// Command rcutorture stress-tests RCUArray in the style of the Linux
+// kernel's rcutorture: a configurable storm of readers, updaters, growers,
+// and shrinkers runs for a fixed duration while invariants are checked
+// continuously:
+//
+//   - every read through the array returns the last value the owning task
+//     wrote to that slot (tasks write tagged values into disjoint stripes);
+//   - no task ever observes reclaimed memory (the allocator's
+//     poison-on-free turns any such access into a panic);
+//   - after the run and a reclamation drain, no snapshots or blocks leak.
+//
+// Exit status is nonzero if any invariant fails.
+//
+// Example:
+//
+//	rcutorture -duration 2s -locales 4 -tasks 4 -variant both -shrink
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"rcuarray"
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+	"rcuarray/internal/workload"
+)
+
+type counters struct {
+	reads, writes, grows, shrinks, mismatches, panics atomic.Int64
+}
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 2*time.Second, "stress duration per variant")
+		locales    = flag.Int("locales", 4, "simulated locales")
+		tasks      = flag.Int("tasks", 4, "tasks per locale")
+		blockSize  = flag.Int("block", 64, "block size in elements")
+		variant    = flag.String("variant", "both", "ebr|qsbr|both")
+		target     = flag.String("target", "array", "array|vector|table|all")
+		shrink     = flag.Bool("shrink", true, "include shrink operations (array target)")
+		checkpoint = flag.Int("checkpoint", 64, "QSBR ops per checkpoint")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	variants := map[string][]core.Variant{
+		"ebr":  {core.VariantEBR},
+		"qsbr": {core.VariantQSBR},
+		"both": {core.VariantEBR, core.VariantQSBR},
+	}[*variant]
+	if variants == nil {
+		fmt.Fprintf(os.Stderr, "rcutorture: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	targets := map[string][]string{
+		"array": {"array"}, "vector": {"vector"}, "table": {"table"},
+		"all": {"array", "vector", "table"},
+	}[*target]
+	if targets == nil {
+		fmt.Fprintf(os.Stderr, "rcutorture: unknown target %q\n", *target)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, tgt := range targets {
+		for _, v := range variants {
+			fmt.Printf("=== torture %s/%s: %d locales x %d tasks, %v ===\n",
+				tgt, v, *locales, *tasks, *duration)
+			ok := true
+			switch tgt {
+			case "array":
+				ok = torture(v, *locales, *tasks, *blockSize, *duration, *shrink, *checkpoint, *seed)
+			case "vector":
+				ok = tortureVector(publicReclaim(v), *locales, *tasks, *duration, *checkpoint, *seed)
+			case "table":
+				ok = tortureTable(publicReclaim(v), *locales, *tasks, *duration, *checkpoint, *seed)
+			}
+			if !ok {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Println("FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func publicReclaim(v core.Variant) rcuarray.Reclaim {
+	if v == core.VariantQSBR {
+		return rcuarray.QSBR
+	}
+	return rcuarray.EBR
+}
+
+func torture(v core.Variant, locales, tasks, blockSize int, dur time.Duration, shrink bool, ckpt int, seed uint64) bool {
+	c := locale.NewCluster(locale.Config{Locales: locales, WorkersPerLocale: tasks})
+	defer c.Shutdown()
+
+	var ctr counters
+	ok := true
+
+	c.Run(func(t *locale.Task) {
+		stripe := 2 * blockSize // per-task stripe, two blocks wide
+		capacity := locales * tasks * stripe
+		a := core.New[int64](t, core.Options{
+			BlockSize:       blockSize,
+			Variant:         v,
+			InitialCapacity: capacity,
+		})
+
+		var stop atomic.Bool
+		start := time.Now()
+		t.Coforall(func(sub *locale.Task) {
+			sub.ForAllTasks(tasks, func(tt *locale.Task, id int) {
+				defer func() {
+					if r := recover(); r != nil {
+						ctr.panics.Add(1)
+						fmt.Printf("  PANIC locale %d task %d: %v\n", tt.Here().ID(), id, r)
+					}
+				}()
+				slot := tt.Here().ID()*tasks + id
+				base := slot * stripe
+				// The structural writer role rotates to task (0,0):
+				// it grows (and optionally shrinks) continuously.
+				if slot == 0 {
+					rng := workload.NewRNG(seed)
+					for !stop.Load() {
+						if shrink && rng.Intn(3) == 0 && a.Len(tt) > capacity+blockSize {
+							a.Shrink(tt, blockSize)
+							ctr.shrinks.Add(1)
+						} else {
+							a.Grow(tt, blockSize)
+							ctr.grows.Add(1)
+						}
+						if v == core.VariantQSBR {
+							tt.Checkpoint()
+						}
+						if time.Since(start) > dur {
+							stop.Store(true)
+						}
+					}
+					return
+				}
+				// Reader/updater: tagged writes into the private
+				// stripe, read-back verification against a local model.
+				model := make([]int64, stripe)
+				rng := workload.NewRNG(seed ^ uint64(slot)<<20)
+				for i := int64(1); !stop.Load(); i++ {
+					off := rng.Intn(stripe)
+					idx := base + off
+					if i%3 == 0 {
+						tag := int64(slot)<<32 | i
+						a.Store(tt, idx, tag)
+						model[off] = tag
+						ctr.writes.Add(1)
+					} else {
+						got := a.Load(tt, idx)
+						if got != model[off] {
+							ctr.mismatches.Add(1)
+						}
+						ctr.reads.Add(1)
+					}
+					if v == core.VariantQSBR && i%int64(ckpt) == 0 {
+						tt.Checkpoint()
+					}
+					if i%256 == 0 && time.Since(start) > dur {
+						stop.Store(true)
+					}
+				}
+			})
+		})
+
+		// Reclamation drain + leak audit.
+		a.Destroy(t)
+		if v == core.VariantQSBR {
+			for i := 0; i < 10000; i++ {
+				t.Checkpoint()
+				if liveBlocks(c) == 0 {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		if live := liveBlocks(c); live != 0 {
+			fmt.Printf("  LEAK: %d blocks still live after Destroy+drain\n", live)
+			ok = false
+		}
+		retries, syncs := a.EBRStats(c)
+		fmt.Printf("  reads=%d writes=%d grows=%d shrinks=%d ebrRetries=%d ebrSyncs=%d qsbrReclaimed=%d\n",
+			ctr.reads.Load(), ctr.writes.Load(), ctr.grows.Load(), ctr.shrinks.Load(),
+			retries, syncs, c.QSBR().Reclaimed())
+	})
+
+	if m := ctr.mismatches.Load(); m != 0 {
+		fmt.Printf("  FAIL: %d read-back mismatches\n", m)
+		ok = false
+	}
+	if p := ctr.panics.Load(); p != 0 {
+		fmt.Printf("  FAIL: %d panics (use-after-free or bounds)\n", p)
+		ok = false
+	}
+	if ctr.reads.Load() == 0 || ctr.grows.Load() == 0 {
+		fmt.Println("  FAIL: no progress")
+		ok = false
+	}
+	return ok
+}
+
+func liveBlocks(c *locale.Cluster) int64 {
+	var live int64
+	for i := 0; i < c.NumLocales(); i++ {
+		live += c.Locale(i).MemStats().Live()
+	}
+	return live
+}

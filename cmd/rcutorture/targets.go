@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rcuarray"
+	"rcuarray/dtable"
+	"rcuarray/dvector"
+	"rcuarray/internal/workload"
+)
+
+// tortureVector stresses dvector: every task pushes tagged values and
+// interleaves reads of committed slots; one task pops. Invariants: no
+// panics, pushes-pops == final length, every surviving element is a valid
+// tag, and no element is observed twice.
+func tortureVector(reclaim rcuarray.Reclaim, locales, tasks int, dur time.Duration, ckpt int, seed uint64) bool {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: locales, TasksPerLocale: tasks})
+	defer c.Shutdown()
+
+	var pushes, pops, badReads, panics atomic.Int64
+	ok := true
+	c.Run(func(t *rcuarray.Task) {
+		v := dvector.New[int64](t, dvector.Options{BlockSize: 64, Reclaim: reclaim})
+		var stop atomic.Bool
+		start := time.Now()
+		t.Coforall(func(sub *rcuarray.Task) {
+			sub.ForAllTasks(tasks, func(tt *rcuarray.Task, id int) {
+				defer func() {
+					if r := recover(); r != nil {
+						panics.Add(1)
+						fmt.Printf("  PANIC vector locale %d task %d: %v\n", tt.Here().ID(), id, r)
+					}
+				}()
+				slot := tt.Here().ID()*tasks + id
+				rng := workload.NewRNG(seed ^ uint64(slot))
+				for i := int64(1); !stop.Load(); i++ {
+					switch {
+					case slot == 0 && i%4 == 0:
+						if _, popped := v.Pop(tt); popped {
+							pops.Add(1)
+						}
+					case i%3 == 0 && v.Len() > 0:
+						n := v.Len()
+						x := v.At(tt, rng.Intn(n))
+						// Tags encode (slot, seq); slot must be in range.
+						if s := x >> 40; s < 0 || s >= int64(locales*tasks) {
+							badReads.Add(1)
+						}
+					default:
+						v.Push(tt, int64(slot)<<40|i)
+						pushes.Add(1)
+					}
+					if reclaim == rcuarray.QSBR && i%int64(ckpt) == 0 {
+						tt.Checkpoint()
+					}
+					if i%128 == 0 && time.Since(start) > dur {
+						stop.Store(true)
+					}
+				}
+			})
+		})
+
+		if got, want := int64(v.Len()), pushes.Load()-pops.Load(); got != want {
+			fmt.Printf("  FAIL: vector length %d, want pushes-pops=%d\n", got, want)
+			ok = false
+		}
+		seen := make(map[int64]bool)
+		v.Range(t, func(i int, x int64) bool {
+			if seen[x] {
+				fmt.Printf("  FAIL: duplicate element %d\n", x)
+				ok = false
+				return false
+			}
+			seen[x] = true
+			return true
+		})
+	})
+	fmt.Printf("  vector: pushes=%d pops=%d badReads=%d panics=%d\n",
+		pushes.Load(), pops.Load(), badReads.Load(), panics.Load())
+	return ok && badReads.Load() == 0 && panics.Load() == 0 && pushes.Load() > 0
+}
+
+// tortureTable stresses dtable: each task owns a private key range and
+// checks every operation against a local model — sharding makes the model
+// exact even under full concurrency (including the resize storms inserts
+// trigger).
+func tortureTable(reclaim rcuarray.Reclaim, locales, tasks int, dur time.Duration, ckpt int, seed uint64) bool {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: locales, TasksPerLocale: tasks})
+	defer c.Shutdown()
+
+	var ops, mismatches, panics atomic.Int64
+	var finalLen int
+	var wantLen atomic.Int64
+	c.Run(func(t *rcuarray.Task) {
+		m := dtable.New[int64](t, dtable.Options{
+			Reclaim: reclaim, InitialBuckets: 4, MaxLoadFactor: 2,
+		})
+		var stop atomic.Bool
+		start := time.Now()
+		t.Coforall(func(sub *rcuarray.Task) {
+			sub.ForAllTasks(tasks, func(tt *rcuarray.Task, id int) {
+				defer func() {
+					if r := recover(); r != nil {
+						panics.Add(1)
+						fmt.Printf("  PANIC table locale %d task %d: %v\n", tt.Here().ID(), id, r)
+					}
+				}()
+				slot := uint64(tt.Here().ID()*tasks + id)
+				keyBase := slot << 32 // private key space per task
+				model := make(map[uint64]int64)
+				rng := workload.NewRNG(seed ^ slot)
+				for i := int64(1); !stop.Load(); i++ {
+					key := keyBase | uint64(rng.Intn(512))
+					switch i % 4 {
+					case 0, 1:
+						inserted := m.Put(tt, key, i)
+						if _, existed := model[key]; inserted == existed {
+							mismatches.Add(1)
+						}
+						model[key] = i
+					case 2:
+						got, okGet := m.Get(tt, key)
+						want, existed := model[key]
+						if okGet != existed || (okGet && got != want) {
+							mismatches.Add(1)
+						}
+					case 3:
+						removed := m.Delete(tt, key)
+						if _, existed := model[key]; removed != existed {
+							mismatches.Add(1)
+						}
+						delete(model, key)
+					}
+					ops.Add(1)
+					if reclaim == rcuarray.QSBR && i%int64(ckpt) == 0 {
+						tt.Checkpoint()
+					}
+					if i%128 == 0 && time.Since(start) > dur {
+						stop.Store(true)
+					}
+				}
+				wantLen.Add(int64(len(model)))
+			})
+		})
+		finalLen = m.Len(t)
+	})
+	fmt.Printf("  table: ops=%d mismatches=%d panics=%d len=%d\n",
+		ops.Load(), mismatches.Load(), panics.Load(), finalLen)
+	if int64(finalLen) != wantLen.Load() {
+		fmt.Printf("  FAIL: table length %d, models say %d\n", finalLen, wantLen.Load())
+		return false
+	}
+	return mismatches.Load() == 0 && panics.Load() == 0 && ops.Load() > 0
+}

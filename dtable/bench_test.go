@@ -1,0 +1,63 @@
+package dtable_test
+
+import (
+	"testing"
+
+	"rcuarray"
+	"rcuarray/dtable"
+)
+
+func benchCluster(b *testing.B) *rcuarray.Cluster {
+	b.Helper()
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2, TasksPerLocale: 2})
+	b.Cleanup(c.Shutdown)
+	return c
+}
+
+// BenchmarkGet measures lookup cost under each reclamation flavor,
+// including the shard routing hop.
+func BenchmarkGet(b *testing.B) {
+	for _, r := range []rcuarray.Reclaim{rcuarray.EBR, rcuarray.QSBR} {
+		r := r
+		b.Run(r.String(), func(b *testing.B) {
+			c := benchCluster(b)
+			c.Run(func(t *rcuarray.Task) {
+				m := dtable.New[int64](t, dtable.Options{Reclaim: r})
+				for k := uint64(0); k < 4096; k++ {
+					m.Put(t, k, int64(k))
+				}
+				var sink int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, _ := m.Get(t, uint64(i&4095))
+					sink += v
+					if r == rcuarray.QSBR && i&1023 == 1023 {
+						t.Checkpoint()
+					}
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkPut measures insert/overwrite cost including chain copy-on-write
+// and the resizes growth triggers.
+func BenchmarkPut(b *testing.B) {
+	for _, r := range []rcuarray.Reclaim{rcuarray.EBR, rcuarray.QSBR} {
+		r := r
+		b.Run(r.String(), func(b *testing.B) {
+			c := benchCluster(b)
+			c.Run(func(t *rcuarray.Task) {
+				m := dtable.New[int64](t, dtable.Options{Reclaim: r})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Put(t, uint64(i), int64(i))
+					if r == rcuarray.QSBR && i&255 == 255 {
+						t.Checkpoint()
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package dtable_test
+
+import (
+	"fmt"
+
+	"rcuarray"
+	"rcuarray/dtable"
+)
+
+func Example() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 3})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		m := dtable.New[string](t, dtable.Options{Reclaim: rcuarray.QSBR})
+		m.Put(t, 7, "seven")
+		m.Put(t, 11, "eleven")
+		v, ok := m.Get(t, 7)
+		fmt.Println(v, ok, m.Len(t))
+
+		m.Delete(t, 7)
+		_, ok = m.Get(t, 7)
+		fmt.Println(ok)
+		t.Checkpoint()
+	})
+	// Output:
+	// seven true 2
+	// false
+}

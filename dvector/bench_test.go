@@ -1,0 +1,66 @@
+package dvector_test
+
+import (
+	"testing"
+
+	"rcuarray"
+	"rcuarray/dvector"
+)
+
+func benchCluster(b *testing.B) *rcuarray.Cluster {
+	b.Helper()
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2, TasksPerLocale: 2})
+	b.Cleanup(c.Shutdown)
+	return c
+}
+
+// BenchmarkPush measures amortized append cost including the doubling
+// resizes (safe ones, unlike append on a shared Go slice).
+func BenchmarkPush(b *testing.B) {
+	for _, r := range []rcuarray.Reclaim{rcuarray.EBR, rcuarray.QSBR} {
+		r := r
+		b.Run(r.String(), func(b *testing.B) {
+			c := benchCluster(b)
+			c.Run(func(t *rcuarray.Task) {
+				v := dvector.New[int64](t, dvector.Options{BlockSize: 1024, Reclaim: r})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v.Push(t, int64(i))
+					if r == rcuarray.QSBR && i&1023 == 1023 {
+						t.Checkpoint()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAt measures committed-element read cost.
+func BenchmarkAt(b *testing.B) {
+	c := benchCluster(b)
+	c.Run(func(t *rcuarray.Task) {
+		v := dvector.New[int64](t, dvector.Options{BlockSize: 1024, Reclaim: rcuarray.QSBR})
+		for i := 0; i < 4096; i++ {
+			v.Push(t, int64(i))
+		}
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += v.At(t, i&4095)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkPushAll measures bulk append (one growth decision per call).
+func BenchmarkPushAll(b *testing.B) {
+	c := benchCluster(b)
+	c.Run(func(t *rcuarray.Task) {
+		v := dvector.New[int64](t, dvector.Options{BlockSize: 1024})
+		batch := make([]int64, 128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.PushAll(t, batch)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package dvector provides a parallel-safe distributed vector built on
+// RCUArray — the data structure the paper's conclusion proposes as future
+// work: "RCUArray can serve as the ideal backbone for a random-access data
+// structure such as a distributed vector or table which both benefit from
+// the ability to be resized and indexed with parallel-safety."
+//
+// The vector stores elements in a rcuarray.Array and adds length tracking
+// and amortized growth. Reads (At, Range) and updates (Set) are safe from
+// any task at any time, including while an append is resizing the backing
+// array. Appends (Push, PushAll) are serialized among themselves; Pop
+// releases whole blocks back to the allocator with hysteresis.
+//
+// Index validity contract: indices in [0, Len()) are always safe. After a
+// Pop, references and indices at or beyond the new length are invalid —
+// under EBR their blocks may be reclaimed immediately (accesses trip the
+// allocator's use-after-free detector); under QSBR reclamation is deferred
+// to quiescence.
+package dvector
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rcuarray"
+)
+
+// Options configures a Vector.
+type Options struct {
+	// BlockSize is the backing array's block size (elements). Default 1024.
+	BlockSize int
+	// Reclaim selects the reclamation strategy. Default EBR.
+	Reclaim rcuarray.Reclaim
+	// InitialCapacity pre-sizes the backing array. Defaults to one block.
+	InitialCapacity int
+	// ShrinkFactor controls Pop's hysteresis: storage shrinks when
+	// capacity exceeds ShrinkFactor * length (rounded to blocks).
+	// Default 4; set negative to disable shrinking.
+	ShrinkFactor int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 1024
+	}
+	if o.InitialCapacity <= 0 {
+		o.InitialCapacity = o.BlockSize
+	}
+	if o.ShrinkFactor == 0 {
+		o.ShrinkFactor = 4
+	}
+	return o
+}
+
+// Vector is a parallel-safe distributed vector of T.
+type Vector[T any] struct {
+	arr  *rcuarray.Array[T]
+	opts Options
+	// length is the committed element count. Readers rely on it being
+	// published only after the element (and any growth) is in place.
+	length atomic.Int64
+	// writeMu serializes the structural writers (Push/PushAll/Pop).
+	writeMu sync.Mutex
+}
+
+// New creates an empty vector on the task's cluster.
+func New[T any](t *rcuarray.Task, opts Options) *Vector[T] {
+	opts = opts.withDefaults()
+	return &Vector[T]{
+		arr: rcuarray.New[T](t, rcuarray.Options{
+			BlockSize:       opts.BlockSize,
+			Reclaim:         opts.Reclaim,
+			InitialCapacity: opts.InitialCapacity,
+		}),
+		opts: opts,
+	}
+}
+
+// Len returns the number of committed elements. It is safe from any task.
+func (v *Vector[T]) Len() int { return int(v.length.Load()) }
+
+// Cap returns the current backing capacity in elements.
+func (v *Vector[T]) Cap(t *rcuarray.Task) int { return v.arr.Len(t) }
+
+// At returns element i. It panics if i is outside [0, Len()).
+func (v *Vector[T]) At(t *rcuarray.Task, i int) T {
+	v.check(i)
+	return v.arr.Load(t, i)
+}
+
+// Set overwrites element i. It panics if i is outside [0, Len()).
+// Concurrent Sets to distinct indices are independent; Sets race with At
+// like ordinary memory (per-element last-writer-wins).
+func (v *Vector[T]) Set(t *rcuarray.Task, i int, x T) {
+	v.check(i)
+	v.arr.Store(t, i, x)
+}
+
+// Ref returns a stable reference to element i (the paper's
+// update-by-reference). The reference survives Pushes; it is invalidated if
+// a Pop shrinks past i.
+func (v *Vector[T]) Ref(t *rcuarray.Task, i int) rcuarray.Ref[T] {
+	v.check(i)
+	return v.arr.Index(t, i)
+}
+
+func (v *Vector[T]) check(i int) {
+	if n := v.Len(); i < 0 || i >= n {
+		panic(fmt.Sprintf("dvector: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// Push appends x and returns its index. Appends are serialized; readers
+// proceed concurrently, including through the doubling resize.
+func (v *Vector[T]) Push(t *rcuarray.Task, x T) int {
+	v.writeMu.Lock()
+	defer v.writeMu.Unlock()
+	idx := int(v.length.Load())
+	v.ensure(t, idx+1)
+	v.arr.Store(t, idx, x)
+	v.length.Store(int64(idx + 1))
+	return idx
+}
+
+// PushAll appends xs in order and returns the index of the first element.
+// It grows at most once, so bulk loading costs one resize per doubling
+// rather than one per element.
+func (v *Vector[T]) PushAll(t *rcuarray.Task, xs []T) int {
+	if len(xs) == 0 {
+		return v.Len()
+	}
+	v.writeMu.Lock()
+	defer v.writeMu.Unlock()
+	idx := int(v.length.Load())
+	v.ensure(t, idx+len(xs))
+	for i, x := range xs {
+		v.arr.Store(t, idx+i, x)
+	}
+	v.length.Store(int64(idx + len(xs)))
+	return idx
+}
+
+// ensure grows the backing array to hold at least want elements. Growth at
+// least doubles, keeping appends amortized O(1). Caller holds writeMu.
+func (v *Vector[T]) ensure(t *rcuarray.Task, want int) {
+	cap := v.arr.Len(t)
+	if want <= cap {
+		return
+	}
+	grow := cap
+	if grow < want-cap {
+		grow = want - cap
+	}
+	if grow == 0 {
+		grow = v.opts.BlockSize
+	}
+	v.arr.Grow(t, grow)
+}
+
+// Pop removes and returns the last element. The second result is false if
+// the vector is empty. When capacity exceeds ShrinkFactor*length by at
+// least a block, the excess blocks are released (safely, via the backing
+// array's reclamation).
+func (v *Vector[T]) Pop(t *rcuarray.Task) (T, bool) {
+	v.writeMu.Lock()
+	defer v.writeMu.Unlock()
+	var zero T
+	n := int(v.length.Load())
+	if n == 0 {
+		return zero, false
+	}
+	x := v.arr.Load(t, n-1)
+	v.arr.Store(t, n-1, zero) // clear the slot for the allocator's poison tests
+	v.length.Store(int64(n - 1))
+	v.maybeShrink(t, n-1)
+	return x, true
+}
+
+// Truncate shortens the vector to n elements (n must be in [0, Len()]).
+func (v *Vector[T]) Truncate(t *rcuarray.Task, n int) {
+	v.writeMu.Lock()
+	defer v.writeMu.Unlock()
+	cur := int(v.length.Load())
+	if n < 0 || n > cur {
+		panic(fmt.Sprintf("dvector: Truncate(%d) with length %d", n, cur))
+	}
+	v.length.Store(int64(n))
+	v.maybeShrink(t, n)
+}
+
+// maybeShrink releases tail blocks when the hysteresis allows. Caller holds
+// writeMu.
+func (v *Vector[T]) maybeShrink(t *rcuarray.Task, n int) {
+	if v.opts.ShrinkFactor < 0 {
+		return
+	}
+	cap := v.arr.Len(t)
+	// Keep at least one block and never shrink below the live length.
+	target := n * v.opts.ShrinkFactor
+	if target < v.opts.BlockSize {
+		target = v.opts.BlockSize
+	}
+	if cap-target >= v.opts.BlockSize {
+		excess := cap - target
+		excess -= excess % v.opts.BlockSize
+		if excess > 0 {
+			v.arr.Shrink(t, excess)
+		}
+	}
+}
+
+// Range calls fn for each committed element in order until fn returns
+// false. It snapshots the length once; elements appended during iteration
+// are not visited.
+func (v *Vector[T]) Range(t *rcuarray.Task, fn func(i int, x T) bool) {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		if !fn(i, v.arr.Load(t, i)) {
+			return
+		}
+	}
+}
+
+// Destroy releases all storage. The vector must not be used afterwards.
+func (v *Vector[T]) Destroy(t *rcuarray.Task) {
+	v.writeMu.Lock()
+	defer v.writeMu.Unlock()
+	v.length.Store(0)
+	v.arr.Destroy(t)
+}

@@ -1,0 +1,27 @@
+package dvector_test
+
+import (
+	"fmt"
+
+	"rcuarray"
+	"rcuarray/dvector"
+)
+
+func Example() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		v := dvector.New[string](t, dvector.Options{BlockSize: 4})
+		v.Push(t, "hello")
+		v.Push(t, "world")
+		v.Set(t, 1, "rcu")
+		fmt.Println(v.Len(), v.At(t, 0), v.At(t, 1))
+
+		x, _ := v.Pop(t)
+		fmt.Println(x, v.Len())
+	})
+	// Output:
+	// 2 hello rcu
+	// rcu 1
+}

@@ -1,0 +1,89 @@
+package rcuarray_test
+
+// Runnable godoc examples for the public API. Each doubles as a test.
+
+import (
+	"fmt"
+
+	"rcuarray"
+)
+
+func Example() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 4})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		a := rcuarray.New[int64](t, rcuarray.Options{
+			BlockSize:       256,
+			Reclaim:         rcuarray.QSBR,
+			InitialCapacity: 1024,
+		})
+		a.Store(t, 17, 42)
+		a.Grow(t, 1024) // concurrent with readers and updaters
+		fmt.Println(a.Load(t, 17), a.Len(t))
+		t.Checkpoint()
+	})
+	// Output: 42 2048
+}
+
+func ExampleArray_Index() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		a := rcuarray.New[int](t, rcuarray.Options{BlockSize: 4, InitialCapacity: 8})
+		ref := a.Index(t, 5)
+		a.Grow(t, 8)    // blocks are recycled: the reference stays valid
+		ref.Store(t, 9) // never lost to the resize (paper Lemma 6)
+		fmt.Println(a.Load(t, 5), ref.Owner())
+	})
+	// Output: 9 1
+}
+
+func ExampleArray_LocalBlocks() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		a := rcuarray.New[int](t, rcuarray.Options{BlockSize: 4, InitialCapacity: 16})
+		// Chapel-style forall: each locale initializes its own blocks
+		// with zero communication.
+		t.Coforall(func(sub *rcuarray.Task) {
+			a.LocalBlocks(sub, func(start int, data []int) {
+				for i := range data {
+					data[i] = start + i
+				}
+			})
+		})
+		fmt.Println(a.Load(t, 0), a.Load(t, 15))
+	})
+	// Output: 0 15
+}
+
+func ExampleTask_Coforall() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 3})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		total := make([]int, 3)
+		t.Coforall(func(sub *rcuarray.Task) {
+			total[sub.Here().ID()] = sub.Here().ID() * 10
+		})
+		fmt.Println(total)
+	})
+	// Output: [0 10 20]
+}
+
+func ExampleArray_Shrink() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2})
+	defer cluster.Shutdown()
+
+	cluster.Run(func(t *rcuarray.Task) {
+		a := rcuarray.New[int](t, rcuarray.Options{
+			BlockSize: 4, Reclaim: rcuarray.EBR, InitialCapacity: 16,
+		})
+		a.Shrink(t, 8) // tail blocks return to their owners' pools
+		fmt.Println(a.Len(t))
+	})
+	// Output: 8
+}

@@ -1,0 +1,139 @@
+// netarray: a genuinely distributed block array over real TCP sockets.
+//
+// The other examples run on the in-process PGAS simulation. This one
+// demonstrates the wire-level substrate (internal/comm's Node/Client): it
+// starts one comm.Node per "locale" on loopback TCP ports, shards an int64
+// array across them as memory segments, and performs the same operations the
+// paper's arrays need — remote GET/PUT of elements, and an active-message
+// "grow" broadcast that makes every node extend its shard, mirroring the
+// coforall replication of Algorithm 3.
+//
+// Each node is a separate listener with its own address space for segments;
+// the driver reaches every element only through the protocol, so this is the
+// shape a multi-process deployment would take.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"rcuarray/internal/comm"
+)
+
+const (
+	numNodes     = 4
+	blockSize    = 8 // elements per block
+	elemBytes    = 8
+	amGrowBlock  = 1 // active message: append one block to your shard
+	amBlockCount = 2 // active message: how many blocks do you hold?
+)
+
+// node bundles a server with the driver's client to it.
+type node struct {
+	srv  *comm.Node
+	cli  *comm.Client
+	segs []uint64 // segment id per local block, in global round-robin order
+}
+
+func main() {
+	// Boot the "cluster": one TCP listener per node.
+	nodes := make([]*node, numNodes)
+	for i := range nodes {
+		srv, err := comm.NewNode("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("node %d: %v", i, err)
+		}
+		defer srv.Close()
+		n := &node{srv: srv}
+		// The grow handler allocates one block segment and returns its id —
+		// the remote side of the resize fan-out.
+		srv.Handle(amGrowBlock, func(payload []byte) ([]byte, error) {
+			seg := srv.AllocSegment(blockSize * elemBytes)
+			var out [8]byte
+			binary.BigEndian.PutUint64(out[:], seg)
+			return out[:], nil
+		})
+		srv.Handle(amBlockCount, func(payload []byte) ([]byte, error) {
+			var out [8]byte
+			binary.BigEndian.PutUint64(out[:], uint64(len(n.segs)))
+			return out[:], nil
+		})
+		cli, err := comm.Dial(srv.Addr())
+		if err != nil {
+			log.Fatalf("dial node %d: %v", i, err)
+		}
+		defer cli.Close()
+		n.cli = cli
+		nodes[i] = n
+		fmt.Printf("node %d listening on %s\n", i, srv.Addr())
+	}
+
+	// globalBlocks[b] = (node, segment) for block b, round-robin placed.
+	type placement struct {
+		node int
+		seg  uint64
+	}
+	var blocks []placement
+
+	grow := func(nBlocks int) {
+		for i := 0; i < nBlocks; i++ {
+			target := len(blocks) % numNodes
+			reply, err := nodes[target].cli.AM(amGrowBlock, nil)
+			if err != nil {
+				log.Fatalf("grow on node %d: %v", target, err)
+			}
+			seg := binary.BigEndian.Uint64(reply)
+			nodes[target].segs = append(nodes[target].segs, seg)
+			blocks = append(blocks, placement{node: target, seg: seg})
+		}
+	}
+
+	store := func(idx int, v int64) {
+		p := blocks[idx/blockSize]
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		if err := nodes[p.node].cli.Put(p.seg, (idx%blockSize)*elemBytes, buf[:]); err != nil {
+			log.Fatalf("PUT idx %d: %v", idx, err)
+		}
+	}
+
+	load := func(idx int) int64 {
+		p := blocks[idx/blockSize]
+		data, err := nodes[p.node].cli.Get(p.seg, (idx%blockSize)*elemBytes, elemBytes)
+		if err != nil {
+			log.Fatalf("GET idx %d: %v", idx, err)
+		}
+		return int64(binary.BigEndian.Uint64(data))
+	}
+
+	// Grow to 8 blocks (2 per node), write every element over the wire,
+	// then grow again and confirm old data survives — blocks never move,
+	// the network-level analogue of snapshot block recycling.
+	grow(8)
+	n := len(blocks) * blockSize
+	fmt.Printf("\ngrew to %d blocks (%d elements) across %d nodes\n", len(blocks), n, numNodes)
+	for i := 0; i < n; i++ {
+		store(i, int64(i*3))
+	}
+	grow(4)
+	fmt.Printf("grew to %d blocks while data stayed in place\n", len(blocks))
+	for i := 0; i < n; i++ {
+		if got := load(i); got != int64(i*3) {
+			log.Fatalf("a[%d] = %d over the wire, want %d", i, got, i*3)
+		}
+	}
+
+	// Ask each node, via AM, how many blocks it holds (round-robin check).
+	fmt.Println("\nper-node block counts (round-robin placement):")
+	var served uint64
+	for i, nd := range nodes {
+		reply, err := nd.cli.AM(amBlockCount, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  node %d: %d blocks\n", i, binary.BigEndian.Uint64(reply))
+		served += nd.srv.Served()
+	}
+	fmt.Printf("\nverified %d elements over TCP; nodes served %d requests total\n", n, served)
+}

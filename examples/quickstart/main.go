@@ -1,0 +1,73 @@
+// Quickstart: the basic RCUArray lifecycle on a simulated 4-locale cluster —
+// create, store/load, grow concurrently with readers, shrink, destroy —
+// under both reclamation strategies.
+package main
+
+import (
+	"fmt"
+
+	"rcuarray"
+)
+
+func main() {
+	cluster := rcuarray.NewCluster(rcuarray.ClusterConfig{
+		Locales:        4,
+		TasksPerLocale: 4,
+	})
+	defer cluster.Shutdown()
+
+	for _, reclaim := range []rcuarray.Reclaim{rcuarray.EBR, rcuarray.QSBR} {
+		reclaim := reclaim
+		cluster.Run(func(t *rcuarray.Task) {
+			fmt.Printf("=== %s ===\n", reclaim)
+
+			a := rcuarray.New[int64](t, rcuarray.Options{
+				BlockSize:       256,
+				Reclaim:         reclaim,
+				InitialCapacity: 1024,
+			})
+			fmt.Printf("created: len=%d, blockSize=%d\n", a.Len(t), a.BlockSize())
+
+			// Parallel initialization: one task per locale fills a stripe.
+			t.Coforall(func(sub *rcuarray.Task) {
+				stripe := a.Len(sub) / sub.Cluster().NumLocales()
+				base := sub.Here().ID() * stripe
+				for i := 0; i < stripe; i++ {
+					a.Store(sub, base+i, int64(base+i))
+				}
+			})
+
+			// Grow while other tasks keep reading: the headline feature.
+			t.Coforall(func(sub *rcuarray.Task) {
+				if sub.Here().ID() == 0 {
+					a.Grow(sub, 1024) // resizer
+					return
+				}
+				sum := int64(0) // concurrent readers
+				for i := 0; i < 1024; i++ {
+					sum += a.Load(sub, i)
+				}
+				fmt.Printf("locale %d read during grow, sum=%d\n", sub.Here().ID(), sum)
+			})
+			fmt.Printf("after grow: len=%d\n", a.Len(t))
+
+			// References stay valid across grows (block recycling).
+			ref := a.Index(t, 100)
+			a.Grow(t, 256)
+			ref.Store(t, -1)
+			fmt.Printf("ref write after grow: a[100]=%d (owner locale %d)\n",
+				a.Load(t, 100), ref.Owner())
+
+			// QSBR needs periodic checkpoints to reclaim old snapshots.
+			if reclaim == rcuarray.QSBR {
+				reclaimed := t.Checkpoint()
+				fmt.Printf("checkpoint reclaimed %d deferred object(s)\n", reclaimed)
+			}
+
+			a.Shrink(t, 256)
+			fmt.Printf("after shrink: len=%d\n", a.Len(t))
+			a.Destroy(t)
+			fmt.Println()
+		})
+	}
+}

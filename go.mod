@@ -1,0 +1,3 @@
+module rcuarray
+
+go 1.22

@@ -1,0 +1,185 @@
+package rcuarray_test
+
+// Cross-module integration tests: the public API, dvector, and dtable
+// running together on one cluster, with end-of-run audits of the
+// communication fabric, the QSBR domain, and the allocators.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rcuarray"
+	"rcuarray/dtable"
+	"rcuarray/dvector"
+	"rcuarray/internal/comm"
+)
+
+// A full application-shaped scenario: an ingest pipeline appends records to
+// a vector, indexes them in a table, and keeps a growing column readable —
+// all concurrently across locales, under QSBR with periodic checkpoints —
+// then verifies global consistency and that reclamation fully drained.
+func TestIntegrationPipeline(t *testing.T) {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 4, TasksPerLocale: 3})
+	defer c.Shutdown()
+
+	const perLocale = 500
+	c.Run(func(task *rcuarray.Task) {
+		records := dvector.New[int64](task, dvector.Options{
+			BlockSize: 128, Reclaim: rcuarray.QSBR,
+		})
+		index := dtable.New[int](task, dtable.Options{
+			Reclaim: rcuarray.QSBR, InitialBuckets: 8, MaxLoadFactor: 2,
+		})
+		column := rcuarray.New[int64](task, rcuarray.Options{
+			BlockSize: 64, Reclaim: rcuarray.QSBR, InitialCapacity: 64,
+		})
+
+		var columnGrows atomic.Int64
+		task.Coforall(func(sub *rcuarray.Task) {
+			id := sub.Here().ID()
+			for i := 0; i < perLocale; i++ {
+				val := int64(id*perLocale + i)
+				slot := records.Push(sub, val)
+				index.Put(sub, uint64(val), slot)
+				// Keep the side column sized to the vector, growing it
+				// under everyone's feet.
+				for slot >= column.Len(sub) {
+					column.Grow(sub, 64)
+					columnGrows.Add(1)
+				}
+				column.Store(sub, slot, -val)
+				if i%64 == 0 {
+					sub.Checkpoint()
+				}
+			}
+		})
+
+		total := c.NumLocales() * perLocale
+		if records.Len() != total {
+			t.Fatalf("vector length = %d, want %d", records.Len(), total)
+		}
+		if got := index.Len(task); got != total {
+			t.Fatalf("table length = %d, want %d", got, total)
+		}
+		if columnGrows.Load() == 0 {
+			t.Fatal("column never grew: scenario did not exercise resizing")
+		}
+
+		// Every record is findable through the table, and the column row
+		// mirrors it.
+		for v := int64(0); v < int64(total); v++ {
+			slot, ok := index.Get(task, uint64(v))
+			if !ok {
+				t.Fatalf("record %d missing from index", v)
+			}
+			if got := records.At(task, slot); got != v {
+				t.Fatalf("records[%d] = %d, want %d", slot, got, v)
+			}
+			if got := column.Load(task, slot); got != -v {
+				t.Fatalf("column[%d] = %d, want %d", slot, got, -v)
+			}
+		}
+
+		// QSBR must drain completely once this task checkpoints and the
+		// pool workers park.
+		if !c.Internal().QSBR().Drain(task.QSBR(), 10000) {
+			t.Fatalf("QSBR did not drain: defers=%d reclaimed=%d",
+				c.Internal().QSBR().Defers(), c.Internal().QSBR().Reclaimed())
+		}
+	})
+}
+
+// The same deterministic operation sequence must produce identical array
+// contents under both reclamation variants — reclamation strategy is a
+// performance choice, never a semantic one.
+func TestIntegrationVariantEquivalence(t *testing.T) {
+	run := func(r rcuarray.Reclaim) []int64 {
+		c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 3, TasksPerLocale: 2})
+		defer c.Shutdown()
+		var out []int64
+		c.Run(func(task *rcuarray.Task) {
+			a := rcuarray.New[int64](task, rcuarray.Options{
+				BlockSize: 16, Reclaim: r, InitialCapacity: 32,
+			})
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					a.Grow(task, 16)
+				case 4:
+					if a.Len(task) > 64 {
+						a.Shrink(task, 16)
+					}
+				}
+				n := a.Len(task)
+				a.Store(task, (i*7)%n, int64(i))
+				if r == rcuarray.QSBR && i%16 == 0 {
+					task.Checkpoint()
+				}
+			}
+			n := a.Len(task)
+			out = make([]int64, n)
+			for i := 0; i < n; i++ {
+				out[i] = a.Load(task, i)
+			}
+		})
+		return out
+	}
+
+	ebr := run(rcuarray.EBR)
+	qsbr := run(rcuarray.QSBR)
+	if len(ebr) != len(qsbr) {
+		t.Fatalf("lengths differ: EBR %d, QSBR %d", len(ebr), len(qsbr))
+	}
+	for i := range ebr {
+		if ebr[i] != qsbr[i] {
+			t.Fatalf("contents diverge at %d: EBR %d, QSBR %d", i, ebr[i], qsbr[i])
+		}
+	}
+}
+
+// Communication discipline end to end: metadata operations must stay
+// node-local; only block element access and resize control traffic may hit
+// the fabric.
+func TestIntegrationCommDiscipline(t *testing.T) {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2, TasksPerLocale: 1})
+	defer c.Shutdown()
+	c.Run(func(task *rcuarray.Task) {
+		a := rcuarray.New[int64](task, rcuarray.Options{
+			BlockSize: 8, Reclaim: rcuarray.QSBR, InitialCapacity: 16,
+		})
+		fabric := c.Internal().Fabric()
+		fabric.Reset()
+
+		// Purely local activity: reads and writes to locale-0-owned
+		// block 0, plus Len calls (privatized metadata).
+		for i := 0; i < 100; i++ {
+			a.Store(task, i%8, int64(i))
+			_ = a.Load(task, i%8)
+			_ = a.Len(task)
+		}
+		if got := fabric.TotalMsgs(comm.OpGet) + fabric.TotalMsgs(comm.OpPut) +
+			fabric.TotalMsgs(comm.OpAM); got != 0 {
+			t.Fatalf("local-only workload generated %d messages", got)
+		}
+
+		// Remote block access costs exactly one message per op.
+		a.Store(task, 8, 1) // block 1 lives on locale 1
+		_ = a.Load(task, 8)
+		if fabric.TotalMsgs(comm.OpPut) != 1 || fabric.TotalMsgs(comm.OpGet) != 1 {
+			t.Fatalf("remote element ops miscounted: PUT=%d GET=%d",
+				fabric.TotalMsgs(comm.OpPut), fabric.TotalMsgs(comm.OpGet))
+		}
+
+		// A resize is control traffic only: AMs for the lock and the
+		// replication fan-out, no element GET/PUT.
+		fabric.Reset()
+		a.Grow(task, 16)
+		if fabric.TotalMsgs(comm.OpGet) != 0 || fabric.TotalMsgs(comm.OpPut) != 0 {
+			t.Fatalf("resize moved element data: GET=%d PUT=%d",
+				fabric.TotalMsgs(comm.OpGet), fabric.TotalMsgs(comm.OpPut))
+		}
+		if fabric.TotalMsgs(comm.OpAM) == 0 {
+			t.Fatal("resize generated no control traffic")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/locale"
+)
+
+func newTestCluster(t *testing.T, locales, workers int) *locale.Cluster {
+	t.Helper()
+	c := locale.NewCluster(locale.Config{Locales: locales, WorkersPerLocale: workers})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+// arrayAPI is the operation set shared by all baselines (and core.Array).
+type arrayAPI interface {
+	Name() string
+	Len(t *locale.Task) int
+	Load(t *locale.Task, idx int) int
+	Store(t *locale.Task, idx int, v int)
+	Grow(t *locale.Task, additional int)
+}
+
+func eachBaseline(t *testing.T, c *locale.Cluster, initial int, fn func(t *testing.T, task *locale.Task, a arrayAPI)) {
+	t.Helper()
+	builders := []struct {
+		name  string
+		build func(task *locale.Task) arrayAPI
+	}{
+		{"ChapelArray", func(task *locale.Task) arrayAPI { return NewUnsafe[int](task, initial) }},
+		{"SyncArray", func(task *locale.Task) arrayAPI { return NewSync[int](task, initial) }},
+		{"RWLockArray", func(task *locale.Task) arrayAPI { return NewRWLock[int](task, initial) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			c.Run(func(task *locale.Task) {
+				a := b.build(task)
+				if a.Name() != b.name {
+					t.Fatalf("Name = %q, want %q", a.Name(), b.name)
+				}
+				fn(t, task, a)
+			})
+		})
+	}
+}
+
+func TestBaselineStoreLoad(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	eachBaseline(t, c, 30, func(t *testing.T, task *locale.Task, a arrayAPI) {
+		if got := a.Len(task); got != 30 {
+			t.Fatalf("Len = %d, want 30", got)
+		}
+		for i := 0; i < 30; i++ {
+			a.Store(task, i, i*3)
+		}
+		for i := 0; i < 30; i++ {
+			if got := a.Load(task, i); got != i*3 {
+				t.Fatalf("a[%d] = %d, want %d", i, got, i*3)
+			}
+		}
+	})
+}
+
+func TestBaselineGrowPreservesData(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	eachBaseline(t, c, 10, func(t *testing.T, task *locale.Task, a arrayAPI) {
+		for i := 0; i < 10; i++ {
+			a.Store(task, i, i+1)
+		}
+		a.Grow(task, 17)
+		if got := a.Len(task); got != 27 {
+			t.Fatalf("Len after Grow = %d, want 27", got)
+		}
+		for i := 0; i < 10; i++ {
+			if got := a.Load(task, i); got != i+1 {
+				t.Fatalf("a[%d] = %d after Grow, want %d", i, got, i+1)
+			}
+		}
+		for i := 10; i < 27; i++ {
+			if got := a.Load(task, i); got != 0 {
+				t.Fatalf("new a[%d] = %d, want 0", i, got)
+			}
+		}
+	})
+}
+
+func TestBaselineOutOfRange(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	eachBaseline(t, c, 4, func(t *testing.T, task *locale.Task, a arrayAPI) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range access did not panic")
+			}
+		}()
+		a.Load(task, 4)
+	})
+}
+
+func TestUnsafeDistributionIsBlockContiguous(t *testing.T) {
+	c := newTestCluster(t, 4, 1)
+	c.Run(func(task *locale.Task) {
+		a := NewUnsafe[int](task, 16)
+		st := a.inst(task).state.Load()
+		if st.chunk != 4 {
+			t.Fatalf("chunk = %d, want 4", st.chunk)
+		}
+		for i, sl := range st.slabs {
+			if sl.owner != i || len(sl.data) != 4 {
+				t.Fatalf("slab %d: owner=%d len=%d", i, sl.owner, len(sl.data))
+			}
+		}
+	})
+}
+
+func TestUnsafeRemoteAccessCharged(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := NewUnsafe[int64](task, 8)
+		c.Fabric().Reset()
+		a.Load(task, 0) // local
+		a.Load(task, 7) // remote
+		a.Store(task, 6, 1)
+		f := c.Fabric()
+		if f.TotalMsgs(comm.OpGet) != 1 || f.TotalMsgs(comm.OpPut) != 1 {
+			t.Fatalf("GET=%d PUT=%d, want 1 each", f.TotalMsgs(comm.OpGet), f.TotalMsgs(comm.OpPut))
+		}
+	})
+}
+
+// Grow must charge bulk GETs for cross-locale redistribution (chunk
+// boundaries move when the array grows).
+func TestUnsafeGrowChargesRedistribution(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := NewUnsafe[int64](task, 8) // chunks: [0,4) on L0, [4,8) on L1
+		for i := 0; i < 8; i++ {
+			a.Store(task, i, int64(i))
+		}
+		c.Fabric().Reset()
+		a.Grow(task, 8) // new chunks: [0,8) on L0, [8,16) on L1
+		// Locale 0's new chunk includes [4,8), previously on locale 1.
+		if got := c.Fabric().TotalBytes(comm.OpGet); got == 0 {
+			t.Fatal("no redistribution GET traffic charged")
+		}
+		for i := 0; i < 8; i++ {
+			if got := a.Load(task, i); got != int64(i) {
+				t.Fatalf("a[%d] = %d after redistribution", i, got)
+			}
+		}
+	})
+}
+
+func TestSyncArrayMutualExclusion(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	c.Run(func(task *locale.Task) {
+		a := NewSync[int](task, 64)
+		var sum atomic.Int64
+		task.Coforall(func(sub *locale.Task) {
+			sub.ForAllTasks(2, func(tt *locale.Task, id int) {
+				for i := 0; i < 100; i++ {
+					idx := (id*37 + i) % 64
+					a.Store(tt, idx, i)
+					_ = a.Load(tt, idx)
+					sum.Add(1)
+				}
+			})
+		})
+		if sum.Load() != 400 {
+			t.Fatalf("completed %d loops", sum.Load())
+		}
+	})
+}
+
+// SyncArray (unlike UnsafeArray) tolerates Grow running concurrently with
+// reads and updates.
+func TestSyncArrayConcurrentGrow(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	c.Run(func(task *locale.Task) {
+		a := NewSync[int](task, 16)
+		task.ForAllTasks(3, func(tt *locale.Task, id int) {
+			for i := 0; i < 60; i++ {
+				if id == 0 && i%10 == 0 {
+					a.Grow(tt, 16)
+					continue
+				}
+				n := a.Len(tt)
+				a.Store(tt, (id*13+i)%n, i)
+			}
+		})
+		if got := a.Len(task); got != 16+6*16 {
+			t.Fatalf("final Len = %d", got)
+		}
+	})
+}
+
+func TestRWLockArrayConcurrentReaders(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	c.Run(func(task *locale.Task) {
+		a := NewRWLock[int](task, 32)
+		a.Store(task, 5, 55)
+		var reads atomic.Int64
+		task.Coforall(func(sub *locale.Task) {
+			sub.ForAllTasks(2, func(tt *locale.Task, id int) {
+				for i := 0; i < 200; i++ {
+					if got := a.Load(tt, 5); got != 55 {
+						t.Errorf("read %d, want 55", got)
+						return
+					}
+					reads.Add(1)
+				}
+			})
+		})
+		if reads.Load() != 800 {
+			t.Fatalf("completed %d reads", reads.Load())
+		}
+	})
+}
+
+func TestGrowValidationBaselines(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	eachBaseline(t, c, 4, func(t *testing.T, task *locale.Task, a arrayAPI) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Grow(0) did not panic")
+			}
+		}()
+		a.Grow(task, 0)
+	})
+}

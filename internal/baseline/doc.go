@@ -1,0 +1,21 @@
+// Package baseline implements the comparison arrays of the paper's
+// evaluation (Section V) plus one ablation from its introduction:
+//
+//   - UnsafeArray — the paper's "ChapelArray": an unsynchronized array over
+//     Chapel's standard Block distribution. Reads and updates are raw; a
+//     resize allocates fresh distributed storage of the new size and
+//     deep-copies every element, exactly the cost the paper's Figure 3
+//     attributes to resizing a Chapel block-distributed domain. It is not
+//     parallel-safe to resize concurrently with any other operation.
+//   - SyncArray — the "safer variant ... that uses mutual exclusion via
+//     sync variables": every operation takes a cluster-wide lock homed on
+//     locale 0, so it is parallel-safe but serializes completely and pays a
+//     remote round trip from (L-1)/L of the cluster.
+//   - RWLockArray — the introduction's reader-writer-lock strawman
+//     ("a step in the right direction"): concurrent readers, exclusive
+//     writers, still a single lock home. Kept as an ablation point between
+//     SyncArray and RCUArray.
+//
+// All three expose the same operations as core.Array so the benchmark
+// harness can sweep them interchangeably.
+package baseline

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"sync"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/locale"
+)
+
+// RWLockArray guards an UnsafeArray with a cluster-wide reader-writer lock:
+// the introduction's intermediate design ("Reader-writer locks take a step
+// in the right direction by allowing concurrent readers, but have the
+// drawback of enforcing mutual exclusion with a single writer"). Readers
+// still pay the remote round trip to the lock home, which is why RCU's
+// locality wins even against concurrent-reader locking.
+type RWLockArray[T any] struct {
+	inner   *UnsafeArray[T]
+	cluster *locale.Cluster
+	home    int
+	mu      sync.RWMutex
+}
+
+// NewRWLock creates an RWLockArray with the given initial length.
+func NewRWLock[T any](t *locale.Task, initial int) *RWLockArray[T] {
+	return &RWLockArray[T]{
+		inner:   NewUnsafe[T](t, initial),
+		cluster: t.Cluster(),
+		home:    0,
+	}
+}
+
+// Name returns the evaluation label.
+func (a *RWLockArray[T]) Name() string { return "RWLockArray" }
+
+func (a *RWLockArray[T]) rlock(t *locale.Task) {
+	a.cluster.Fabric().ChargeRoundTrip(t.Here().ID(), a.home, comm.OpAM, 8)
+	a.mu.RLock()
+}
+
+func (a *RWLockArray[T]) runlock(t *locale.Task) {
+	a.mu.RUnlock()
+	a.cluster.Fabric().Charge(t.Here().ID(), a.home, comm.OpAM, 8)
+}
+
+func (a *RWLockArray[T]) lock(t *locale.Task) {
+	a.cluster.Fabric().ChargeRoundTrip(t.Here().ID(), a.home, comm.OpAM, 8)
+	a.mu.Lock()
+}
+
+func (a *RWLockArray[T]) unlock(t *locale.Task) {
+	a.mu.Unlock()
+	a.cluster.Fabric().Charge(t.Here().ID(), a.home, comm.OpAM, 8)
+}
+
+// Len returns the current length under a read lock.
+func (a *RWLockArray[T]) Len(t *locale.Task) int {
+	a.rlock(t)
+	defer a.runlock(t)
+	return a.inner.Len(t)
+}
+
+// Load reads element idx under a read lock (readers may run concurrently).
+func (a *RWLockArray[T]) Load(t *locale.Task, idx int) T {
+	a.rlock(t)
+	defer a.runlock(t)
+	return a.inner.Load(t, idx)
+}
+
+// Store writes element idx. Updates mutate only element storage, never the
+// array's shape, so like RCUArray's updaters they take the *read* side of
+// the lock; only Grow excludes them.
+func (a *RWLockArray[T]) Store(t *locale.Task, idx int, v T) {
+	a.rlock(t)
+	defer a.runlock(t)
+	a.inner.Store(t, idx, v)
+}
+
+// Grow resizes under the write lock, excluding all readers and updaters.
+func (a *RWLockArray[T]) Grow(t *locale.Task, additional int) {
+	a.lock(t)
+	defer a.unlock(t)
+	a.inner.Grow(t, additional)
+}

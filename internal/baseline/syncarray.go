@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"rcuarray/internal/locale"
+)
+
+// SyncArray is the paper's mutual-exclusion baseline: an UnsafeArray whose
+// every operation — read, update, and resize — acquires a cluster-wide lock.
+// It is parallel-safe (including resize) but does not scale, and *degrades*
+// as locales are added because a growing fraction of acquisitions pay the
+// remote round trip to the lock's home (Section V-A: "degrades in
+// performance due to the increasing number of remote tasks that must
+// contest for the same lock").
+type SyncArray[T any] struct {
+	inner *UnsafeArray[T]
+	lock  *locale.GlobalLock
+}
+
+// NewSync creates a SyncArray with the given initial length. The lock is
+// homed on locale 0, like the paper's sync-variable wrapper class.
+func NewSync[T any](t *locale.Task, initial int) *SyncArray[T] {
+	return &SyncArray[T]{
+		inner: NewUnsafe[T](t, initial),
+		lock:  t.Cluster().NewGlobalLock(0),
+	}
+}
+
+// Name returns the evaluation label.
+func (a *SyncArray[T]) Name() string { return "SyncArray" }
+
+// Len returns the current length under the lock.
+func (a *SyncArray[T]) Len(t *locale.Task) int {
+	a.lock.Acquire(t)
+	defer a.lock.Release(t)
+	return a.inner.Len(t)
+}
+
+// Load reads element idx under the lock.
+func (a *SyncArray[T]) Load(t *locale.Task, idx int) T {
+	a.lock.Acquire(t)
+	defer a.lock.Release(t)
+	return a.inner.Load(t, idx)
+}
+
+// Store writes element idx under the lock.
+func (a *SyncArray[T]) Store(t *locale.Task, idx int, v T) {
+	a.lock.Acquire(t)
+	defer a.lock.Release(t)
+	a.inner.Store(t, idx, v)
+}
+
+// Grow resizes under the lock (safe, unlike UnsafeArray.Grow).
+func (a *SyncArray[T]) Grow(t *locale.Task, additional int) {
+	a.lock.Acquire(t)
+	defer a.lock.Release(t)
+	a.inner.Grow(t, additional)
+}

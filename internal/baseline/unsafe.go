@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"rcuarray/internal/locale"
+)
+
+// slab is one locale's contiguous chunk of a block-distributed array.
+type slab[T any] struct {
+	owner int
+	data  []T
+}
+
+// ustate is one sizing of an UnsafeArray: the slabs plus the chunking
+// geometry. Resize swaps the whole state on every locale's replica.
+type ustate[T any] struct {
+	slabs []*slab[T]
+	chunk int // elements per slab (last slab may be short)
+	n     int
+}
+
+func (s *ustate[T]) locate(idx int) (*slab[T], int) {
+	owner := idx / s.chunk
+	return s.slabs[owner], idx - owner*s.chunk
+}
+
+// uinst is the per-locale privatized descriptor. Chapel privatizes array
+// descriptors exactly like RCUArray's metadata (paper Listing 1 notes both
+// data types are privatized), so the baseline pays the same
+// chpl_getPrivatizedCopy lookup on every access — anything else would make
+// the comparison unfair in the baseline's favour.
+type uinst[T any] struct {
+	state atomic.Pointer[ustate[T]]
+}
+
+// UnsafeArray models Chapel's BlockDist array: elements are distributed in
+// contiguous per-locale chunks, reads and updates are unsynchronized, and
+// resizing deep-copies into freshly allocated storage. Resizing is NOT safe
+// to run concurrently with reads or updates — that is the deficiency
+// RCUArray exists to fix. (State pointers are swapped atomically only so
+// that a misuse stays memory-safe in Go instead of corrupting the test
+// process; there is still no synchronization protecting readers, so a
+// concurrent resize can make reads observe stale storage or out-of-range
+// panics, mirroring the unsafety of the original.)
+type UnsafeArray[T any] struct {
+	pid      locale.PID
+	cluster  *locale.Cluster
+	elemSize int
+}
+
+// NewUnsafe creates an UnsafeArray with the given initial length.
+func NewUnsafe[T any](t *locale.Task, initial int) *UnsafeArray[T] {
+	var zero T
+	a := &UnsafeArray[T]{
+		cluster:  t.Cluster(),
+		elemSize: int(unsafe.Sizeof(zero)),
+	}
+	a.pid = locale.Privatize(t, func(loc *locale.Locale) any { return &uinst[T]{} })
+	a.replicate(t, a.allocState(t, initial))
+	return a
+}
+
+// inst returns the calling locale's privatized descriptor.
+func (a *UnsafeArray[T]) inst(t *locale.Task) *uinst[T] {
+	return locale.GetPrivatized[*uinst[T]](t, a.pid)
+}
+
+// replicate installs st in every locale's descriptor (what Chapel's array
+// reallocation does to its privatized copies).
+func (a *UnsafeArray[T]) replicate(t *locale.Task, st *ustate[T]) {
+	t.Coforall(func(sub *locale.Task) {
+		a.inst(sub).state.Store(st)
+	})
+}
+
+// allocState allocates block-distributed storage of length n; each locale
+// allocates its own chunk (charged as the coforall's remote task spawns).
+func (a *UnsafeArray[T]) allocState(t *locale.Task, n int) *ustate[T] {
+	nl := a.cluster.NumLocales()
+	chunk := (n + nl - 1) / nl
+	if chunk == 0 {
+		chunk = 1
+	}
+	st := &ustate[T]{chunk: chunk, n: n}
+	st.slabs = make([]*slab[T], nl)
+	t.Coforall(func(sub *locale.Task) {
+		id := sub.Here().ID()
+		size := 0
+		if lo := id * chunk; lo < n {
+			size = min(chunk, n-lo)
+		}
+		st.slabs[id] = &slab[T]{owner: id, data: make([]T, size)}
+	})
+	return st
+}
+
+// Name returns the evaluation label (the paper calls this ChapelArray).
+func (a *UnsafeArray[T]) Name() string { return "ChapelArray" }
+
+// Len returns the current length as seen from the calling locale.
+func (a *UnsafeArray[T]) Len(t *locale.Task) int { return a.inst(t).state.Load().n }
+
+// Load reads element idx with no synchronization.
+func (a *UnsafeArray[T]) Load(t *locale.Task, idx int) T {
+	st := a.inst(t).state.Load()
+	a.check(idx, st)
+	sl, off := st.locate(idx)
+	if sl.owner != t.Here().ID() {
+		t.ChargeGet(sl.owner, a.elemSize)
+	}
+	return sl.data[off]
+}
+
+// Store writes element idx with no synchronization.
+func (a *UnsafeArray[T]) Store(t *locale.Task, idx int, v T) {
+	st := a.inst(t).state.Load()
+	a.check(idx, st)
+	sl, off := st.locate(idx)
+	if sl.owner != t.Here().ID() {
+		t.ChargePut(sl.owner, a.elemSize)
+	}
+	sl.data[off] = v
+}
+
+func (a *UnsafeArray[T]) check(idx int, st *ustate[T]) {
+	if idx < 0 || idx >= st.n {
+		panic(fmt.Sprintf("baseline: index %d out of range [0,%d)", idx, st.n))
+	}
+}
+
+// Grow extends the array to n+additional elements the way resizing a Chapel
+// block-distributed domain does: allocate a full new distribution, copy
+// every existing element into it (possibly across locales, since the chunk
+// boundaries move), and update every locale's descriptor. This O(n) deep
+// copy is the cost RCUArray's block recycling avoids (Figure 3).
+func (a *UnsafeArray[T]) Grow(t *locale.Task, additional int) {
+	if additional <= 0 {
+		panic(fmt.Sprintf("baseline: Grow by %d", additional))
+	}
+	old := a.inst(t).state.Load()
+	next := a.allocState(t, old.n+additional)
+	// Parallel redistribution copy: each locale pulls its new chunk from
+	// wherever the elements used to live.
+	t.Coforall(func(sub *locale.Task) {
+		id := sub.Here().ID()
+		dst := next.slabs[id]
+		base := id * next.chunk
+		for off := 0; off < len(dst.data); {
+			gi := base + off
+			if gi >= old.n {
+				break
+			}
+			src, soff := old.locate(gi)
+			run := min(len(src.data)-soff, len(dst.data)-off)
+			if run > old.n-gi {
+				run = old.n - gi
+			}
+			if src.owner != id {
+				// One bulk GET for the contiguous run.
+				sub.ChargeGet(src.owner, run*a.elemSize)
+			}
+			copy(dst.data[off:off+run], src.data[soff:soff+run])
+			off += run
+		}
+	})
+	a.replicate(t, next)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

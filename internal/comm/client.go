@@ -1,0 +1,137 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is one endpoint's view of a remote Node. Requests may be issued
+// from any number of goroutines; they are pipelined on a single connection
+// and matched to responses by sequence number.
+type Client struct {
+	conn net.Conn
+
+	sendMu  sync.Mutex
+	sendBuf []byte
+
+	nextSeq atomic.Uint64
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan result
+	closed    bool
+	closeErr  error
+
+	readerDone chan struct{}
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects to a node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]chan result),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		typ, seq, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(fmt.Errorf("comm: connection lost: %w", err))
+			return
+		}
+		c.pendingMu.Lock()
+		ch, ok := c.pending[seq]
+		delete(c.pending, seq)
+		c.pendingMu.Unlock()
+		if !ok {
+			continue // response to a request we gave up on
+		}
+		switch typ {
+		case msgOK:
+			ch <- result{payload: payload}
+		case msgError:
+			ch <- result{err: errors.New(string(payload))}
+		default:
+			ch <- result{err: fmt.Errorf("comm: unexpected response type %#x", typ)}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.pendingMu.Lock()
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		ch <- result{err: err}
+	}
+	c.closed = true
+	c.closeErr = err
+	c.pendingMu.Unlock()
+}
+
+// call issues one request and waits for its response.
+func (c *Client) call(typ byte, payload []byte) ([]byte, error) {
+	seq := c.nextSeq.Add(1)
+	ch := make(chan result, 1)
+
+	c.pendingMu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.pendingMu.Unlock()
+		return nil, err
+	}
+	c.pending[seq] = ch
+	c.pendingMu.Unlock()
+
+	c.sendMu.Lock()
+	c.sendBuf = frame(c.sendBuf, typ, seq, payload)
+	_, err := c.conn.Write(c.sendBuf)
+	c.sendMu.Unlock()
+	if err != nil {
+		c.pendingMu.Lock()
+		delete(c.pending, seq)
+		c.pendingMu.Unlock()
+		return nil, fmt.Errorf("comm: send: %w", err)
+	}
+
+	r := <-ch
+	return r.payload, r.err
+}
+
+// Get reads length bytes at offset from the remote segment.
+func (c *Client) Get(segment uint64, offset, length int) ([]byte, error) {
+	return c.call(msgGet, encodeGet(segment, uint64(offset), uint32(length)))
+}
+
+// Put writes data at offset into the remote segment.
+func (c *Client) Put(segment uint64, offset int, data []byte) error {
+	_, err := c.call(msgPut, encodePut(segment, uint64(offset), data))
+	return err
+}
+
+// AM invokes the remote active-message handler and returns its reply.
+func (c *Client) AM(handler uint16, payload []byte) ([]byte, error) {
+	return c.call(msgAM, encodeAM(handler, payload))
+}

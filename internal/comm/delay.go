@@ -1,0 +1,27 @@
+package comm
+
+import (
+	"runtime"
+	"time"
+)
+
+// delay injects d of latency. Durations below sleepThreshold are realized by
+// a yielding busy-wait because time.Sleep has multi-microsecond granularity;
+// longer delays sleep. On a single-core host the Gosched in the wait loop is
+// what lets other goroutines run "during the network round trip", which is
+// exactly the overlap a real network would allow.
+const sleepThreshold = 100 * time.Microsecond
+
+func delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= sleepThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"rcuarray/internal/xsync"
+)
+
+// Op classifies a network operation.
+type Op int
+
+const (
+	// OpGet is a remote read (Chapel GET).
+	OpGet Op = iota
+	// OpPut is a remote write (Chapel PUT).
+	OpPut
+	// OpAM is an active message: remote task spawn (`on` statement) or a
+	// control operation such as a remote lock acquisition.
+	OpAM
+	numOps
+)
+
+// String returns the conventional name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpAM:
+		return "AM"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Config tunes the in-process fabric.
+type Config struct {
+	// RemoteLatency is the one-way latency charged for each remote
+	// operation. Zero means count-only (unit tests); benchmarks use a
+	// value in the microsecond range to model an Aries-class network.
+	RemoteLatency time.Duration
+	// AMLatency is the latency of an active message (defaults to
+	// RemoteLatency when zero and RemoteLatency is set). Remote task
+	// spawns and lock acquisitions pay a round trip of this.
+	AMLatency time.Duration
+}
+
+func (c Config) amLatency() time.Duration {
+	if c.AMLatency != 0 {
+		return c.AMLatency
+	}
+	return c.RemoteLatency
+}
+
+// Fabric is the in-process communication model: it routes nothing (memory is
+// shared) but accounts for everything, charging latency and counting
+// messages and bytes per source locale and operation.
+type Fabric struct {
+	cfg        Config
+	numLocales int
+	// counters[src*numOps+op] — message counts; bytes likewise. Padded
+	// per entry: every array operation with a remote block touches these.
+	msgs  []xsync.PaddedUint64
+	bytes []xsync.PaddedUint64
+}
+
+// NewFabric returns a fabric for n locales.
+func NewFabric(n int, cfg Config) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: invalid locale count %d", n))
+	}
+	return &Fabric{
+		cfg:        cfg,
+		numLocales: n,
+		msgs:       make([]xsync.PaddedUint64, n*int(numOps)),
+		bytes:      make([]xsync.PaddedUint64, n*int(numOps)),
+	}
+}
+
+// NumLocales returns the number of locales the fabric connects.
+func (f *Fabric) NumLocales() int { return f.numLocales }
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Charge records one operation of kind op for size bytes from locale src to
+// locale dst, and injects the configured latency if the operation is remote.
+// Local (src == dst) operations are free and uncounted, matching the paper's
+// observation that privatization makes most metadata access node-local.
+func (f *Fabric) Charge(src, dst int, op Op, size int) {
+	if src == dst {
+		return
+	}
+	i := src*int(numOps) + int(op)
+	f.msgs[i].Inc()
+	f.bytes[i].Add(uint64(size))
+	switch op {
+	case OpAM:
+		delay(f.cfg.amLatency())
+	default:
+		delay(f.cfg.RemoteLatency)
+	}
+}
+
+// ChargeRoundTrip records a request/response pair (for example a remote lock
+// acquisition): two messages, double latency.
+func (f *Fabric) ChargeRoundTrip(src, dst int, op Op, size int) {
+	f.Charge(src, dst, op, size)
+	f.Charge(dst, src, op, 0)
+}
+
+// Msgs returns the message count issued by locale src for operation op.
+func (f *Fabric) Msgs(src int, op Op) uint64 {
+	return f.msgs[src*int(numOps)+int(op)].Load()
+}
+
+// Bytes returns the byte count issued by locale src for operation op.
+func (f *Fabric) Bytes(src int, op Op) uint64 {
+	return f.bytes[src*int(numOps)+int(op)].Load()
+}
+
+// TotalMsgs returns the total message count for operation op across all
+// locales.
+func (f *Fabric) TotalMsgs(op Op) uint64 {
+	var total uint64
+	for src := 0; src < f.numLocales; src++ {
+		total += f.Msgs(src, op)
+	}
+	return total
+}
+
+// TotalBytes returns the total byte count for op across all locales.
+func (f *Fabric) TotalBytes(op Op) uint64 {
+	var total uint64
+	for src := 0; src < f.numLocales; src++ {
+		total += f.Bytes(src, op)
+	}
+	return total
+}
+
+// Reset zeroes all counters. It must not race with Charge.
+func (f *Fabric) Reset() {
+	for i := range f.msgs {
+		f.msgs[i].Store(0)
+		f.bytes[i].Store(0)
+	}
+}

@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChargeCountsRemoteOnly(t *testing.T) {
+	f := NewFabric(4, Config{})
+	f.Charge(0, 0, OpGet, 8) // local: free
+	f.Charge(0, 1, OpGet, 8)
+	f.Charge(0, 2, OpPut, 16)
+	f.Charge(3, 0, OpAM, 4)
+
+	if got := f.Msgs(0, OpGet); got != 1 {
+		t.Fatalf("Msgs(0,GET) = %d, want 1", got)
+	}
+	if got := f.Bytes(0, OpPut); got != 16 {
+		t.Fatalf("Bytes(0,PUT) = %d, want 16", got)
+	}
+	if got := f.Msgs(3, OpAM); got != 1 {
+		t.Fatalf("Msgs(3,AM) = %d, want 1", got)
+	}
+	if got := f.TotalMsgs(OpGet); got != 1 {
+		t.Fatalf("TotalMsgs(GET) = %d, want 1", got)
+	}
+	if got := f.TotalBytes(OpGet) + f.TotalBytes(OpPut) + f.TotalBytes(OpAM); got != 28 {
+		t.Fatalf("total bytes = %d, want 28", got)
+	}
+}
+
+func TestChargeRoundTrip(t *testing.T) {
+	f := NewFabric(2, Config{})
+	f.ChargeRoundTrip(0, 1, OpAM, 10)
+	if got := f.Msgs(0, OpAM); got != 1 {
+		t.Fatalf("forward msgs = %d, want 1", got)
+	}
+	if got := f.Msgs(1, OpAM); got != 1 {
+		t.Fatalf("reply msgs = %d, want 1", got)
+	}
+}
+
+func TestFabricReset(t *testing.T) {
+	f := NewFabric(2, Config{})
+	f.Charge(0, 1, OpGet, 8)
+	f.Reset()
+	if f.TotalMsgs(OpGet) != 0 || f.TotalBytes(OpGet) != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestNewFabricValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFabric(0) did not panic")
+		}
+	}()
+	NewFabric(0, Config{})
+}
+
+func TestChargeInjectsLatency(t *testing.T) {
+	const lat = 200 * time.Microsecond
+	f := NewFabric(2, Config{RemoteLatency: lat})
+	start := time.Now()
+	f.Charge(0, 1, OpGet, 8)
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("remote charge took %v, want >= %v", elapsed, lat)
+	}
+	start = time.Now()
+	f.Charge(0, 0, OpGet, 8)
+	if elapsed := time.Since(start); elapsed > lat/2 {
+		t.Fatalf("local charge took %v, want ~0", elapsed)
+	}
+}
+
+func TestAMLatencyOverride(t *testing.T) {
+	cfg := Config{RemoteLatency: time.Microsecond, AMLatency: 300 * time.Microsecond}
+	f := NewFabric(2, cfg)
+	start := time.Now()
+	f.Charge(0, 1, OpAM, 0)
+	if elapsed := time.Since(start); elapsed < 300*time.Microsecond {
+		t.Fatalf("AM charge took %v, want >= 300µs", elapsed)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpGet: "GET", OpPut: "PUT", OpAM: "AM", Op(99): "Op(99)"} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestDelayZeroIsImmediate(t *testing.T) {
+	start := time.Now()
+	delay(0)
+	delay(-time.Second)
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("zero delay took %v", elapsed)
+	}
+}
+
+func TestDelaySleepPath(t *testing.T) {
+	start := time.Now()
+	delay(2 * sleepThreshold)
+	if elapsed := time.Since(start); elapsed < 2*sleepThreshold {
+		t.Fatalf("sleep-path delay took %v, want >= %v", elapsed, 2*sleepThreshold)
+	}
+}
+
+func TestFabricAccessors(t *testing.T) {
+	cfg := Config{RemoteLatency: time.Microsecond}
+	f := NewFabric(3, cfg)
+	if f.NumLocales() != 3 {
+		t.Fatalf("NumLocales = %d", f.NumLocales())
+	}
+	if f.Config() != cfg {
+		t.Fatalf("Config = %+v", f.Config())
+	}
+}

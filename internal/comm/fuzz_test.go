@@ -1,0 +1,65 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: any (type, seq, payload) survives encode/decode.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(0), []byte{})
+	f.Add(msgGet, uint64(42), []byte("hello"))
+	f.Add(msgError, ^uint64(0), bytes.Repeat([]byte{0xAA}, 1024))
+	f.Fuzz(func(t *testing.T, typ byte, seq uint64, payload []byte) {
+		if len(payload) > maxFrame-headerLen {
+			t.Skip()
+		}
+		buf := frame(nil, typ, seq, payload)
+		gotTyp, gotSeq, gotPayload, err := readFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("readFrame of own frame: %v", err)
+		}
+		if gotTyp != typ || gotSeq != seq || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip mismatch: (%#x,%d,%d bytes) -> (%#x,%d,%d bytes)",
+				typ, seq, len(payload), gotTyp, gotSeq, len(gotPayload))
+		}
+	})
+}
+
+// FuzzReadFrameNoPanic: arbitrary bytes never panic the frame reader; they
+// either parse as a frame or return an error.
+func FuzzReadFrameNoPanic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 9, 1, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _, _ = readFrame(bytes.NewReader(data))
+	})
+}
+
+// FuzzPayloadDecoders: the GET/PUT/AM payload decoders reject malformed
+// input with errors, never panics, and round-trip well-formed input.
+func FuzzPayloadDecoders(f *testing.F) {
+	f.Add(uint64(1), uint64(2), []byte("x"))
+	f.Fuzz(func(t *testing.T, a, b uint64, data []byte) {
+		if len(data) >= 4 {
+			length := uint32(len(data))
+			seg, off, n, err := decodeGet(encodeGet(a, b, length))
+			if err != nil || seg != a || off != b || n != length {
+				t.Fatalf("GET round trip: %d %d %d %v", seg, off, n, err)
+			}
+		}
+		seg, off, d, err := decodePut(encodePut(a, b, data))
+		if err != nil || seg != a || off != b || !bytes.Equal(d, data) {
+			t.Fatalf("PUT round trip: %d %d %v", seg, off, err)
+		}
+		h, d2, err := decodeAM(encodeAM(uint16(a), data))
+		if err != nil || h != uint16(a) || !bytes.Equal(d2, data) {
+			t.Fatalf("AM round trip: %d %v", h, err)
+		}
+		// Arbitrary bytes into the decoders must not panic.
+		_, _, _, _ = decodeGet(data)
+		_, _, _, _ = decodePut(data)
+		_, _, _ = decodeAM(data)
+	})
+}

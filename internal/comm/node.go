@@ -1,0 +1,248 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// AMHandler processes an active message and returns a reply (or an error,
+// which is delivered to the caller as an error frame).
+type AMHandler func(payload []byte) ([]byte, error)
+
+// Node is one endpoint of the TCP transport: it owns addressable memory
+// segments (the remote side of GET/PUT) and a table of active-message
+// handlers (the remote side of `on`-style execution). It serves any number
+// of concurrent client connections, one goroutine per connection.
+type Node struct {
+	ln net.Listener
+
+	segMu    sync.RWMutex
+	segments map[uint64][]byte
+	nextSeg  atomic.Uint64
+
+	handlerMu sync.RWMutex
+	handlers  map[uint16]AMHandler
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Served counts successfully handled requests, for tests.
+	served atomic.Uint64
+}
+
+// NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
+// test port).
+func NewNode(addr string) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen: %w", err)
+	}
+	n := &Node{
+		ln:       ln,
+		segments: make(map[uint64][]byte),
+		handlers: make(map[uint16]AMHandler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Served returns the number of requests handled successfully.
+func (n *Node) Served() uint64 { return n.served.Load() }
+
+// Close stops the listener, severs every open connection, and waits for
+// connection goroutines to drain.
+func (n *Node) Close() error {
+	n.closed.Store(true)
+	err := n.ln.Close()
+	n.connMu.Lock()
+	for conn := range n.conns {
+		conn.Close()
+	}
+	n.connMu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+// AllocSegment creates a memory segment of size bytes and returns its id.
+func (n *Node) AllocSegment(size int) uint64 {
+	id := n.nextSeg.Add(1)
+	n.segMu.Lock()
+	n.segments[id] = make([]byte, size)
+	n.segMu.Unlock()
+	return id
+}
+
+// FreeSegment releases a segment. Subsequent remote access fails, which is
+// the distributed analogue of the poison-on-free discipline in
+// internal/memory.
+func (n *Node) FreeSegment(id uint64) error {
+	n.segMu.Lock()
+	defer n.segMu.Unlock()
+	if _, ok := n.segments[id]; !ok {
+		return fmt.Errorf("comm: free of unknown segment %d", id)
+	}
+	delete(n.segments, id)
+	return nil
+}
+
+// LocalRead copies from a segment without going over the wire (the owner's
+// fast path).
+func (n *Node) LocalRead(id uint64, off, length int) ([]byte, error) {
+	n.segMu.RLock()
+	defer n.segMu.RUnlock()
+	seg, ok := n.segments[id]
+	if !ok {
+		return nil, fmt.Errorf("comm: read of unknown segment %d", id)
+	}
+	if off < 0 || length < 0 || off+length > len(seg) {
+		return nil, fmt.Errorf("comm: read [%d,%d) out of segment bounds %d", off, off+length, len(seg))
+	}
+	out := make([]byte, length)
+	copy(out, seg[off:])
+	return out, nil
+}
+
+// Segment returns the live backing slice of a segment for the owner's fast
+// path (no copy). The caller must not retain the slice past FreeSegment and
+// must coordinate concurrent byte-level access itself, exactly as with any
+// shared memory.
+func (n *Node) Segment(id uint64) ([]byte, error) {
+	n.segMu.RLock()
+	defer n.segMu.RUnlock()
+	seg, ok := n.segments[id]
+	if !ok {
+		return nil, fmt.Errorf("comm: unknown segment %d", id)
+	}
+	return seg, nil
+}
+
+// LocalWrite copies into a segment without going over the wire.
+func (n *Node) LocalWrite(id uint64, off int, data []byte) error {
+	n.segMu.RLock()
+	defer n.segMu.RUnlock()
+	seg, ok := n.segments[id]
+	if !ok {
+		return fmt.Errorf("comm: write of unknown segment %d", id)
+	}
+	if off < 0 || off+len(data) > len(seg) {
+		return fmt.Errorf("comm: write [%d,%d) out of segment bounds %d", off, off+len(data), len(seg))
+	}
+	copy(seg[off:], data)
+	return nil
+}
+
+// Handle registers fn for active messages with the given handler id.
+func (n *Node) Handle(id uint16, fn AMHandler) {
+	n.handlerMu.Lock()
+	n.handlers[id] = fn
+	n.handlerMu.Unlock()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			if n.closed.Load() {
+				return
+			}
+			log.Printf("comm: accept: %v", err)
+			return
+		}
+		n.connMu.Lock()
+		if n.closed.Load() {
+			n.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+	}()
+	var sendMu sync.Mutex
+	var buf []byte
+	reply := func(typ byte, seq uint64, payload []byte) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		buf = frame(buf, typ, seq, payload)
+		_, err := conn.Write(buf)
+		return err
+	}
+	// Each request runs in its own goroutine so that long-running or
+	// blocking handlers (remote lock acquisition, workload execution)
+	// neither stall pipelined requests on this connection nor deadlock
+	// against each other. Replies are serialized by sendMu.
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
+	for {
+		typ, seq, payload, err := readFrame(conn)
+		if err != nil {
+			return // peer hung up or protocol error; drop the connection
+		}
+		reqs.Add(1)
+		go func(typ byte, seq uint64, payload []byte) {
+			defer reqs.Done()
+			resp, herr := n.dispatch(typ, payload)
+			if herr != nil {
+				_ = reply(msgError, seq, []byte(herr.Error()))
+				return
+			}
+			n.served.Add(1)
+			_ = reply(msgOK, seq, resp)
+		}(typ, seq, payload)
+	}
+}
+
+func (n *Node) dispatch(typ byte, payload []byte) ([]byte, error) {
+	switch typ {
+	case msgGet:
+		seg, off, length, err := decodeGet(payload)
+		if err != nil {
+			return nil, err
+		}
+		return n.LocalRead(seg, int(off), int(length))
+	case msgPut:
+		seg, off, data, err := decodePut(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.LocalWrite(seg, int(off), data)
+	case msgAM:
+		handler, data, err := decodeAM(payload)
+		if err != nil {
+			return nil, err
+		}
+		n.handlerMu.RLock()
+		fn, ok := n.handlers[handler]
+		n.handlerMu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("comm: no handler %d", handler)
+		}
+		return fn(data)
+	default:
+		return nil, errors.New("comm: unknown message type")
+	}
+}

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol for the TCP transport. Every message is a length-prefixed
+// frame:
+//
+//	[4B big-endian frame length (excluding these 4 bytes)]
+//	[1B message type][8B sequence number][payload...]
+//
+// Requests carry a client-chosen sequence number; the matching response
+// echoes it, so a client may pipeline requests on one connection.
+const (
+	msgGet   byte = 0x01 // payload: [8B segment][8B offset][4B length]
+	msgPut   byte = 0x02 // payload: [8B segment][8B offset][data]
+	msgAM    byte = 0x03 // payload: [2B handler][data]
+	msgOK    byte = 0x80 // payload: response data
+	msgError byte = 0x81 // payload: UTF-8 error text
+)
+
+// maxFrame bounds a frame so a corrupt or malicious peer cannot trigger an
+// unbounded allocation.
+const maxFrame = 16 << 20
+
+const headerLen = 1 + 8 // type + seq
+
+// frame assembles a wire frame into buf (reused across calls) and returns it.
+func frame(buf []byte, typ byte, seq uint64, payload []byte) []byte {
+	total := headerLen + len(payload)
+	buf = append(buf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame, returning its type, sequence, and payload.
+func readFrame(r io.Reader) (typ byte, seq uint64, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < headerLen || total > maxFrame {
+		return 0, 0, nil, fmt.Errorf("comm: invalid frame length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, fmt.Errorf("comm: short frame: %w", err)
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+}
+
+// encodeGet builds a GET request payload.
+func encodeGet(segment, offset uint64, length uint32) []byte {
+	p := make([]byte, 0, 20)
+	p = binary.BigEndian.AppendUint64(p, segment)
+	p = binary.BigEndian.AppendUint64(p, offset)
+	return binary.BigEndian.AppendUint32(p, length)
+}
+
+func decodeGet(p []byte) (segment, offset uint64, length uint32, err error) {
+	if len(p) != 20 {
+		return 0, 0, 0, fmt.Errorf("comm: GET payload length %d, want 20", len(p))
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]),
+		binary.BigEndian.Uint32(p[16:]), nil
+}
+
+// encodePut builds a PUT request payload.
+func encodePut(segment, offset uint64, data []byte) []byte {
+	p := make([]byte, 0, 16+len(data))
+	p = binary.BigEndian.AppendUint64(p, segment)
+	p = binary.BigEndian.AppendUint64(p, offset)
+	return append(p, data...)
+}
+
+func decodePut(p []byte) (segment, offset uint64, data []byte, err error) {
+	if len(p) < 16 {
+		return 0, 0, nil, fmt.Errorf("comm: PUT payload length %d, want >= 16", len(p))
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]), p[16:], nil
+}
+
+// encodeAM builds an active-message request payload.
+func encodeAM(handler uint16, data []byte) []byte {
+	p := make([]byte, 0, 2+len(data))
+	p = binary.BigEndian.AppendUint16(p, handler)
+	return append(p, data...)
+}
+
+func decodeAM(p []byte) (handler uint16, data []byte, err error) {
+	if len(p) < 2 {
+		return 0, nil, fmt.Errorf("comm: AM payload length %d, want >= 2", len(p))
+	}
+	return binary.BigEndian.Uint16(p), p[2:], nil
+}

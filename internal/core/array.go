@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+
+	"rcuarray/internal/locale"
+	"rcuarray/internal/memory"
+)
+
+// Variant selects the reclamation algorithm, mirroring the paper's
+// compile-time isQSBR parameter.
+type Variant int
+
+const (
+	// VariantEBR uses the TLS-free epoch-based reclamation of Section
+	// III-A: reads pay two atomic RMWs plus a verification load.
+	VariantEBR Variant = iota
+	// VariantQSBR uses the runtime checkpoint-based reclamation of
+	// Section III-B: reads are unsynchronized; tasks must checkpoint.
+	VariantQSBR
+)
+
+// String names the variant as in the paper's evaluation.
+func (v Variant) String() string {
+	switch v {
+	case VariantEBR:
+		return "EBRArray"
+	case VariantQSBR:
+		return "QSBRArray"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures an Array.
+type Options struct {
+	// BlockSize is the element capacity of each distributed block
+	// (Listing 1's compile-time BlockSize). Defaults to 1024.
+	BlockSize int
+	// Variant picks EBR or QSBR reclamation.
+	Variant Variant
+	// InitialCapacity, if positive, grows the array at construction.
+	InitialCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 1024
+	}
+	return o
+}
+
+// Array is a parallel-safe distributed resizable array of T. The zero value
+// is not usable; construct with New. The descriptor itself is immutable and
+// safely shared by any number of tasks.
+type Array[T any] struct {
+	pid       locale.PID
+	cluster   *locale.Cluster
+	opts      Options
+	writeLock *locale.GlobalLock
+	elemSize  int
+}
+
+// New creates an array distributed over the task's cluster. Construction
+// privatizes one metadata instance per locale and allocates nothing until
+// the first Grow (the paper's evaluation starts from zero capacity).
+func New[T any](t *locale.Task, opts Options) *Array[T] {
+	opts = opts.withDefaults()
+	c := t.Cluster()
+	pid := locale.Privatize(t, func(loc *locale.Locale) any {
+		return newInstance[T](loc, opts.BlockSize)
+	})
+	var zero T
+	a := &Array[T]{
+		pid:       pid,
+		cluster:   c,
+		opts:      opts,
+		writeLock: c.NewGlobalLock(0),
+		elemSize:  int(unsafe.Sizeof(zero)),
+	}
+	if opts.InitialCapacity > 0 {
+		a.Grow(t, opts.InitialCapacity)
+	}
+	return a
+}
+
+// Options returns the array's configuration.
+func (a *Array[T]) Options() Options { return a.opts }
+
+// BlockSize returns the block capacity in elements.
+func (a *Array[T]) BlockSize() int { return a.opts.BlockSize }
+
+// inst returns the calling locale's privatized metadata — Algorithm 3 line 4.
+func (a *Array[T]) inst(t *locale.Task) *instance[T] {
+	return locale.GetPrivatized[*instance[T]](t, a.pid)
+}
+
+// Ref is a reference to one element, the return-by-reference relaxation of
+// Section III-C that lets update operations share the read path's
+// performance. A Ref stays valid across resizes that *grow* the array
+// (blocks are recycled, never moved); it is invalidated by Shrink of its
+// region, which the block poison detects.
+//
+// Under VariantQSBR a Ref must not be used after the owning task's next
+// checkpoint... strictly: the Ref itself (block pointer) stays valid, but the
+// snapshot it was found through may be reclaimed; only element access through
+// the Ref is permitted, which is exactly what Ref allows.
+type Ref[T any] struct {
+	block *memory.Block[T]
+	off   int
+}
+
+// Load reads the referenced element, charging a GET if the block is remote.
+func (r Ref[T]) Load(t *locale.Task) T {
+	r.block.CheckLive()
+	if owner := r.block.Owner; owner != t.Here().ID() {
+		t.ChargeGet(owner, int(unsafe.Sizeof(r.block.Data[0])))
+	}
+	return r.block.Data[r.off]
+}
+
+// Store writes the referenced element, charging a PUT if the block is
+// remote. This is the "non-zero amount of assignment through r" of Lemma 6:
+// concurrent resizes recycle the block, so the store is never lost.
+func (r Ref[T]) Store(t *locale.Task, v T) {
+	r.block.CheckLive()
+	if owner := r.block.Owner; owner != t.Here().ID() {
+		t.ChargePut(owner, int(unsafe.Sizeof(v)))
+	}
+	r.block.Data[r.off] = v
+}
+
+// Owner returns the id of the locale holding the referenced element.
+func (r Ref[T]) Owner() int { return r.block.Owner }
+
+// Index resolves a global index to an element reference — Algorithm 3's
+// Index. Under EBR the snapshot traversal runs inside a read-side critical
+// section; under QSBR it is a bare load (safe until the task's next
+// checkpoint). Out-of-range indices panic, like Go slice indexing.
+func (a *Array[T]) Index(t *locale.Task, idx int) Ref[T] {
+	inst := a.inst(t)
+	if a.opts.Variant == VariantQSBR {
+		s := inst.snap.Load()
+		s.CheckLive()
+		return a.refAt(s, idx)
+	}
+	g := inst.dom.Enter()
+	s := inst.snap.Load()
+	s.CheckLive()
+	r := a.refAt(s, idx)
+	g.Exit()
+	return r
+}
+
+func (a *Array[T]) refAt(s *snapshot[T], idx int) Ref[T] {
+	if idx < 0 || idx >= s.capacity(a.opts.BlockSize) {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d)", idx, s.capacity(a.opts.BlockSize)))
+	}
+	b, off := s.locate(idx, a.opts.BlockSize)
+	return Ref[T]{block: b, off: off}
+}
+
+// Load reads element idx (Index + Ref.Load).
+func (a *Array[T]) Load(t *locale.Task, idx int) T {
+	return a.Index(t, idx).Load(t)
+}
+
+// Store writes element idx (Index + Ref.Store) — the paper's "update".
+func (a *Array[T]) Store(t *locale.Task, idx int, v T) {
+	a.Index(t, idx).Store(t, v)
+}
+
+// Len returns the current capacity in elements, read from the calling
+// locale's snapshot (node-local; instantaneously consistent only outside a
+// resize, like the paper's design).
+func (a *Array[T]) Len(t *locale.Task) int {
+	inst := a.inst(t)
+	if a.opts.Variant == VariantQSBR {
+		return inst.snap.Load().capacity(a.opts.BlockSize)
+	}
+	g := inst.dom.Enter()
+	n := inst.snap.Load().capacity(a.opts.BlockSize)
+	g.Exit()
+	return n
+}

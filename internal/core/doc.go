@@ -1,0 +1,32 @@
+// Package core implements RCUArray, the paper's contribution: a
+// parallel-safe distributed resizable array whose read and update operations
+// run concurrently with resizes (Sections III–IV).
+//
+// Structure (paper Listing 1):
+//
+//   - Array[T] is the user-facing descriptor. Like the paper's record it is
+//     cheap to copy; the real state is privatized.
+//   - One instance[T] per locale (RCUArrayMetaData): the node-local
+//     GlobalSnapshot, the EBR domain (GlobalEpoch + EpochReaders), the
+//     NextLocaleId round-robin cursor, and the locale's block pool.
+//   - snapshot[T] (RCUArraySnapshot): an immutable array of *Block[T].
+//     Cloning a snapshot recycles the block pointers (Section III-C), which
+//     is what (a) makes updates through outstanding references visible to
+//     newer snapshots (Lemma 6) and (b) makes resize O(blocks) instead of
+//     O(elements) — the 4x of Figure 3.
+//
+// The reclamation variant is chosen per array, mirroring the paper's
+// compile-time isQSBR parameter:
+//
+//   - VariantEBR: every Index enters a read-side critical section on the
+//     local instance's collective epoch counters. Resize uses RCU_Write
+//     (clone → apply → publish → advance epoch → wait → delete).
+//   - VariantQSBR: Index reads the local snapshot directly with zero
+//     synchronization; Resize defers snapshot reclamation to the runtime's
+//     QSBR domain, and safety requires tasks to checkpoint between holding
+//     references (Section V-B's placement trade-off).
+//
+// Both variants serialize resizes with a cluster-wide WriteLock homed on
+// locale 0, distribute new blocks round-robin (block-cyclic), and replicate
+// the snapshot transition on every locale via coforall+on (Algorithm 3).
+package core

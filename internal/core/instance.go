@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/locale"
+	"rcuarray/internal/memory"
+)
+
+// instance is the privatized per-locale copy of the array's metadata — the
+// paper's RCUArrayMetaData (Listing 1). All fields are node-local; resizes
+// mutate them on every locale under the cluster-wide WriteLock, and
+// readers/updaters touch only their own locale's instance plus the blocks
+// they index into.
+type instance[T any] struct {
+	// dom carries GlobalEpoch and EpochReaders for the EBR variant.
+	dom ebr.Domain
+	// snap is the GlobalSnapshot pointer.
+	snap atomic.Pointer[snapshot[T]]
+	// nextLocaleID is the round-robin cursor for block placement. It is
+	// only read and written while the WriteLock is held.
+	nextLocaleID int
+	// pool allocates this locale's blocks.
+	pool *memory.Pool[T]
+	// snapStats tracks snapshot lifecycle on this locale; the Lemma 1
+	// test asserts LiveMax <= 2.
+	snapStats memory.Stats
+}
+
+func newInstance[T any](loc *locale.Locale, blockSize int) *instance[T] {
+	inst := &instance[T]{
+		pool: memory.NewPool[T](loc.ID(), blockSize, loc.MemStats()),
+	}
+	first := &snapshot[T]{}
+	inst.snapStats.NoteAlloc(false)
+	inst.snap.Store(first)
+	return inst
+}
+
+// rcuWrite is the paper's RCU_Write (Algorithm 1): clone the current
+// snapshot, apply the side-effecting update to the clone, publish it,
+// advance the epoch, wait for the prior epoch's readers, and reclaim the
+// old snapshot. The caller must hold the WriteLock.
+func (inst *instance[T]) rcuWrite(extra int, update func(*snapshot[T])) {
+	old := inst.snap.Load()
+	next := old.clone(extra)
+	inst.snapStats.NoteAlloc(false)
+	update(next)
+	inst.snap.Store(next)
+	inst.dom.Synchronize()
+	inst.retireSnapshot(old)
+}
+
+// qsbrWrite is the QSBR path of Algorithm 3 (lines 21–25): clone, apply,
+// publish, and defer reclamation of the old snapshot to the runtime.
+func (inst *instance[T]) qsbrWrite(t *locale.Task, extra int, update func(*snapshot[T])) {
+	old := inst.snap.Load()
+	next := old.clone(extra)
+	inst.snapStats.NoteAlloc(false)
+	update(next)
+	inst.snap.Store(next)
+	t.QSBR().Defer(func() { inst.retireSnapshot(old) })
+}
+
+// retireSnapshot poisons a reclaimed snapshot so any straggling reader trips
+// the use-after-free detector, and releases its metadata.
+func (inst *instance[T]) retireSnapshot(s *snapshot[T]) {
+	s.Retire()
+	s.blocks = nil // metadata poison: stale indexing fails loudly
+	inst.snapStats.NoteFree()
+}

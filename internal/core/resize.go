@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"rcuarray/internal/locale"
+	"rcuarray/internal/memory"
+)
+
+// Grow expands the array by at least additional elements (rounded up to a
+// whole number of blocks, as in the paper, which covers only expansion by
+// multiples of BlockSize). It implements Algorithm 3's Resize:
+//
+//  1. acquire the cluster-wide WriteLock,
+//  2. allocate the new blocks round-robin across locales ("on Locales[locId]
+//     do newBlocks.push_back(new Block())"),
+//  3. coforall over locales: clone the local snapshot (recycling its
+//     blocks), append the new blocks, publish, reclaim the old snapshot via
+//     the configured variant, and advance NextLocaleId,
+//  4. release the WriteLock.
+//
+// Grow runs concurrently with any number of reads and updates.
+func (a *Array[T]) Grow(t *locale.Task, additional int) {
+	if additional <= 0 {
+		panic(fmt.Sprintf("core: Grow by %d", additional))
+	}
+	bs := a.opts.BlockSize
+	nBlocks := (additional + bs - 1) / bs
+
+	a.writeLock.Acquire(t)
+	defer a.writeLock.Release(t)
+
+	// Round-robin allocation, starting from the replicated cursor
+	// (Algorithm 3 lines 11–16). Allocation happens on the owning locale.
+	locID := a.inst(t).nextLocaleID
+	newBlocks := make([]*memory.Block[T], 0, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		t.On(locID, func(sub *locale.Task) {
+			newBlocks = append(newBlocks, a.inst(sub).pool.Alloc())
+		})
+		locID = (locID + 1) % a.cluster.NumLocales()
+	}
+
+	// Replicate the snapshot transition on every locale (lines 18–28).
+	t.Coforall(func(sub *locale.Task) {
+		inst := a.inst(sub)
+		update := func(s *snapshot[T]) { s.blocks = append(s.blocks, newBlocks...) }
+		if a.opts.Variant == VariantQSBR {
+			inst.qsbrWrite(sub, nBlocks, update)
+		} else {
+			inst.rcuWrite(nBlocks, update)
+		}
+		inst.nextLocaleID = locID
+	})
+}
+
+// Shrink removes capacity from the tail of the array, by whole blocks (an
+// extension beyond the paper, which notes that only expansion is covered).
+// References into the removed region become invalid; the removed blocks
+// return to their owners' pools, where poison-on-free turns any stale access
+// into a detected use-after-free.
+func (a *Array[T]) Shrink(t *locale.Task, removed int) {
+	if removed <= 0 {
+		panic(fmt.Sprintf("core: Shrink by %d", removed))
+	}
+	bs := a.opts.BlockSize
+	nBlocks := (removed + bs - 1) / bs
+
+	a.writeLock.Acquire(t)
+	defer a.writeLock.Release(t)
+
+	cur := a.inst(t).snap.Load()
+	if nBlocks > len(cur.blocks) {
+		panic(fmt.Sprintf("core: Shrink of %d blocks exceeds %d present", nBlocks, len(cur.blocks)))
+	}
+	keep := len(cur.blocks) - nBlocks
+	victims := append([]*memory.Block[T](nil), cur.blocks[keep:]...)
+
+	// Phase 1: every locale publishes the truncated snapshot and reclaims
+	// its old metadata. After the coforall, no new reader can reach the
+	// victim blocks, and under EBR no old reader remains either.
+	t.Coforall(func(sub *locale.Task) {
+		inst := a.inst(sub)
+		update := func(s *snapshot[T]) { s.blocks = s.blocks[:keep] }
+		if a.opts.Variant == VariantQSBR {
+			inst.qsbrWrite(sub, 0, update)
+		} else {
+			inst.rcuWrite(0, update)
+		}
+	})
+
+	// Phase 2: free the victim blocks on their owning locales. Under EBR
+	// this is immediately safe (every locale synchronized in phase 1);
+	// under QSBR it is deferred with a safe epoch newer than every phase-1
+	// transition, so Lemma 5 extends to the blocks.
+	a.freeBlocksByOwner(t, victims)
+}
+
+// freeBlocksByOwner returns blocks to their owners' pools, immediately for
+// EBR and via a deferral for QSBR.
+func (a *Array[T]) freeBlocksByOwner(t *locale.Task, victims []*memory.Block[T]) {
+	byOwner := make(map[int][]*memory.Block[T])
+	for _, b := range victims {
+		byOwner[b.Owner] = append(byOwner[b.Owner], b)
+	}
+	for owner, blocks := range byOwner {
+		owner, blocks := owner, blocks
+		t.On(owner, func(sub *locale.Task) {
+			pool := a.inst(sub).pool
+			free := func() {
+				for _, b := range blocks {
+					pool.Free(b)
+				}
+			}
+			if a.opts.Variant == VariantQSBR {
+				sub.QSBR().Defer(free)
+			} else {
+				free()
+			}
+		})
+	}
+}
+
+// Destroy tears the array down: every locale transitions to an empty
+// snapshot and all blocks return to their pools. The array must not be used
+// afterwards. Tests use Destroy to assert leak-freedom.
+func (a *Array[T]) Destroy(t *locale.Task) {
+	a.writeLock.Acquire(t)
+	defer a.writeLock.Release(t)
+
+	victims := append([]*memory.Block[T](nil), a.inst(t).snap.Load().blocks...)
+	t.Coforall(func(sub *locale.Task) {
+		inst := a.inst(sub)
+		update := func(s *snapshot[T]) { s.blocks = s.blocks[:0] }
+		if a.opts.Variant == VariantQSBR {
+			inst.qsbrWrite(sub, 0, update)
+		} else {
+			inst.rcuWrite(0, update)
+		}
+	})
+	a.freeBlocksByOwner(t, victims)
+}
+
+// SnapshotLiveMax returns the high-water mark of simultaneously live
+// snapshots on the given locale — Lemma 1's bound (at most two).
+func (a *Array[T]) SnapshotLiveMax(c *locale.Cluster, loc int) int64 {
+	var max int64
+	locale.EachPrivatized[*instance[T]](c, a.pid, func(l *locale.Locale, inst *instance[T]) {
+		if l.ID() == loc {
+			max = inst.snapStats.LiveMax()
+		}
+	})
+	return max
+}
+
+// BlockDistribution returns how many blocks each locale owns in the current
+// snapshot, as seen from the calling task's locale. Tests assert the
+// round-robin (block-cyclic) placement.
+func (a *Array[T]) BlockDistribution(t *locale.Task) []int {
+	counts := make([]int, a.cluster.NumLocales())
+	inst := a.inst(t)
+	tally := func() {
+		for _, b := range inst.snap.Load().blocks {
+			counts[b.Owner]++
+		}
+	}
+	if a.opts.Variant == VariantQSBR {
+		tally()
+	} else {
+		inst.dom.Read(tally)
+	}
+	return counts
+}
+
+// EBRStats returns (retries, synchronizes) summed over all locales' domains,
+// for the ablation benchmarks. Zero for QSBR arrays.
+func (a *Array[T]) EBRStats(c *locale.Cluster) (retries, synchronizes uint64) {
+	locale.EachPrivatized[*instance[T]](c, a.pid, func(_ *locale.Locale, inst *instance[T]) {
+		retries += inst.dom.Retries()
+		synchronizes += inst.dom.Synchronizes()
+	})
+	return retries, synchronizes
+}

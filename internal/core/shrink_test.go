@@ -1,0 +1,125 @@
+package core
+
+// Tests for the Shrink/Destroy extension (beyond the paper, which covers
+// expansion only) and for leak-freedom of the full lifecycle.
+
+import (
+	"testing"
+
+	"rcuarray/internal/locale"
+)
+
+func TestShrinkReducesLen(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 16})
+			for i := 0; i < 16; i++ {
+				a.Store(task, i, i)
+			}
+			a.Shrink(task, 8)
+			if got := a.Len(task); got != 8 {
+				t.Fatalf("Len after Shrink = %d, want 8", got)
+			}
+			for i := 0; i < 8; i++ {
+				if got := a.Load(task, i); got != i {
+					t.Fatalf("a[%d] = %d after Shrink", i, got)
+				}
+			}
+			assertPanics(t, "read past shrink", func() { a.Load(task, 8) })
+		})
+	})
+}
+
+func TestShrinkValidation(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, InitialCapacity: 8})
+		assertPanics(t, "Shrink(0)", func() { a.Shrink(task, 0) })
+		assertPanics(t, "Shrink beyond capacity", func() { a.Shrink(task, 100) })
+	})
+}
+
+// Stale references into a shrunk region are a use-after-free; EBR frees the
+// blocks eagerly, so the poison detector must fire on access.
+func TestShrinkInvalidatesStaleRefsEBR(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 8})
+		r := a.Index(task, 7)
+		a.Shrink(task, 4)
+		assertPanics(t, "stale ref after Shrink", func() { r.Load(task) })
+	})
+}
+
+// Under QSBR the block free is deferred: the stale ref stays technically
+// loadable until quiescence, then the poison fires.
+func TestShrinkDefersBlockFreeQSBR(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantQSBR, InitialCapacity: 8})
+		a.Store(task, 7, 99)
+		r := a.Index(task, 7)
+		a.Shrink(task, 4)
+		// Not yet quiescent: the deferred free has not run.
+		if got := r.Load(task); got != 99 {
+			t.Fatalf("pre-quiescence read through stale ref = %d, want 99", got)
+		}
+		// Drain: our own checkpoint plus idle (parked) workers suffice.
+		for i := 0; i < 1000; i++ {
+			if task.Checkpoint() > 0 {
+				break
+			}
+		}
+		assertPanics(t, "stale ref after quiescence", func() { r.Load(task) })
+	})
+}
+
+func TestShrinkRecyclesIntoNextGrow(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 16})
+		a.Shrink(task, 8)
+		// The freed blocks are on their owners' free lists; growing again
+		// must recycle them rather than allocate fresh storage.
+		before := c.Locale(0).MemStats().Recycled() + c.Locale(1).MemStats().Recycled()
+		a.Grow(task, 8)
+		after := c.Locale(0).MemStats().Recycled() + c.Locale(1).MemStats().Recycled()
+		if after-before != 2 {
+			t.Fatalf("recycled %d blocks on regrow, want 2", after-before)
+		}
+	})
+}
+
+func TestDestroyFreesEverything(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 3, 1)
+		c.Run(func(task *locale.Task) {
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: 48})
+			a.Grow(task, 24)
+			a.Destroy(task)
+			if got := a.Len(task); got != 0 {
+				t.Fatalf("Len after Destroy = %d", got)
+			}
+			if v == VariantQSBR {
+				for i := 0; i < 1000; i++ {
+					task.Checkpoint()
+					live := int64(0)
+					for l := 0; l < c.NumLocales(); l++ {
+						live += c.Locale(l).MemStats().Live()
+					}
+					if live == 0 {
+						break
+					}
+				}
+			}
+			var live int64
+			for l := 0; l < c.NumLocales(); l++ {
+				live += c.Locale(l).MemStats().Live()
+			}
+			if live != 0 {
+				t.Fatalf("%d blocks still live after Destroy", live)
+			}
+		})
+	})
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"rcuarray/internal/memory"
+)
+
+// snapshot is the paper's RCUArraySnapshot: an immutable version of the
+// array's metadata — the ordered list of blocks. Element data lives in the
+// blocks, which are shared (recycled) between successive snapshots; only the
+// metadata is versioned and reclaimed.
+type snapshot[T any] struct {
+	memory.Object
+	blocks []*memory.Block[T]
+}
+
+// clone produces the next snapshot from s, recycling every block pointer
+// (Section III-C): s becomes a prefix of the clone, so assignments through
+// references into s's blocks are immediately visible through the clone
+// (Lemma 6). extra reserves capacity for the blocks about to be appended.
+func (s *snapshot[T]) clone(extra int) *snapshot[T] {
+	out := &snapshot[T]{blocks: make([]*memory.Block[T], len(s.blocks), len(s.blocks)+extra)}
+	copy(out.blocks, s.blocks)
+	return out
+}
+
+// capacity returns the number of elements addressable through the snapshot.
+func (s *snapshot[T]) capacity(blockSize int) int {
+	return len(s.blocks) * blockSize
+}
+
+// locate maps a global index to (block, offset) — Algorithm 3's Helper.
+func (s *snapshot[T]) locate(idx, blockSize int) (*memory.Block[T], int) {
+	return s.blocks[idx/blockSize], idx % blockSize
+}
+
+// isPrefixOf reports whether s's blocks form a prefix of t's blocks — the
+// subsequence property in Lemma 6's proof sketch. Tests assert it across
+// every resize.
+func (s *snapshot[T]) isPrefixOf(t *snapshot[T]) bool {
+	if len(s.blocks) > len(t.blocks) {
+		return false
+	}
+	for i := range s.blocks {
+		if s.blocks[i] != t.blocks[i] {
+			return false
+		}
+	}
+	return true
+}

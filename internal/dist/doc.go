@@ -1,0 +1,29 @@
+// Package dist runs RCUArray across genuinely separate address spaces: each
+// node is a comm.Node (TCP listener) owning a shard of blocks as byte
+// segments, plus its own privatized snapshot of the block table protected by
+// the paper's TLS-free EBR. A Driver orchestrates the cluster the way
+// Algorithm 3's resize does:
+//
+//	driver                         nodes
+//	------                         -----
+//	LockAcquire (AM to node 0)     node 0 grants the cluster WriteLock
+//	AllocBlock (AM, round-robin)   owner allocates a segment, returns its id
+//	Install (AM to every node)     each node clones its local snapshot,
+//	                               swaps in the new block table, advances its
+//	                               epoch, waits for its local readers, and
+//	                               reclaims the old snapshot  (RCU_Write)
+//	LockRelease (AM to node 0)
+//
+// Reads and updates execute *on the nodes* (RunWorkload active messages),
+// exactly as Chapel tasks run on their locales: each node task enters its
+// local EBR read-side section, resolves the index through its own snapshot,
+// and touches the element directly when local or via a GET/PUT to the
+// owning peer when remote. The driver only coordinates; element data never
+// flows through it.
+//
+// This package demonstrates the paper's EBR variant specifically: it is the
+// reclamation scheme that needs no runtime TLS support, which is what makes
+// it deployable inside a bare TCP server process. In-process tests and the
+// cmd/rcudist tool spawn nodes on loopback; cmd/rcunode serves a node for
+// real multi-process deployment.
+package dist

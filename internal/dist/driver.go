@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"rcuarray/internal/comm"
+)
+
+// Driver orchestrates a distributed RCUArray: it holds the authoritative
+// block table, performs resizes with the cluster WriteLock protocol, and
+// fans workloads out to the nodes. Element data never passes through the
+// driver except via the explicit Read/Write convenience accessors.
+//
+// A Driver is safe for concurrent use; resizes serialize on the remote
+// WriteLock exactly like concurrent resizers in the in-process array.
+type Driver struct {
+	clients   []*comm.Client
+	blockSize int
+
+	mu    sync.Mutex // guards table against concurrent local mutation
+	table []BlockRef
+	next  int // round-robin cursor (the paper's NextLocaleId)
+}
+
+// Connect dials the nodes, assigns ids in address order, and configures
+// each node with its identity and peer list.
+func Connect(addrs []string, blockSize int) (*Driver, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: no node addresses")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dist: invalid block size %d", blockSize)
+	}
+	d := &Driver{blockSize: blockSize}
+	for i, a := range addrs {
+		c, err := comm.Dial(a)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("dist: dialing node %d (%s): %w", i, a, err)
+		}
+		d.clients = append(d.clients, c)
+	}
+	for i, c := range d.clients {
+		req := configureReq{NodeID: uint32(i), BlockSize: uint32(blockSize), Addrs: addrs}
+		if _, err := c.AM(amConfigure, req.encode()); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("dist: configuring node %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+// Close drops the driver's connections (nodes keep running).
+func (d *Driver) Close() {
+	for _, c := range d.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Nodes returns the cluster size.
+func (d *Driver) Nodes() int { return len(d.clients) }
+
+// BlockSize returns the element capacity per block.
+func (d *Driver) BlockSize() int { return d.blockSize }
+
+// Len returns the array capacity in elements (driver view).
+func (d *Driver) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.table) * d.blockSize
+}
+
+// Grow expands the array by at least additional elements: acquire the
+// cluster WriteLock on node 0, allocate blocks round-robin, install the new
+// table on every node in parallel, release. Concurrent node-side workloads
+// keep running throughout (their EBR sections protect each access).
+func (d *Driver) Grow(additional int) error {
+	if additional <= 0 {
+		return fmt.Errorf("dist: Grow by %d", additional)
+	}
+	nBlocks := (additional + d.blockSize - 1) / d.blockSize
+
+	if _, err := d.clients[0].AM(amLockAcquire, nil); err != nil {
+		return fmt.Errorf("dist: acquiring WriteLock: %w", err)
+	}
+	defer d.clients[0].AM(amLockRelease, nil)
+
+	d.mu.Lock()
+	table := append([]BlockRef(nil), d.table...)
+	cursor := d.next
+	d.mu.Unlock()
+
+	for i := 0; i < nBlocks; i++ {
+		owner := cursor % len(d.clients)
+		reply, err := d.clients[owner].AM(amAllocBlock, nil)
+		if err != nil {
+			return fmt.Errorf("dist: allocating block on node %d: %w", owner, err)
+		}
+		if len(reply) != 8 {
+			return fmt.Errorf("dist: malformed alloc reply (%d bytes)", len(reply))
+		}
+		table = append(table, BlockRef{Node: uint32(owner), Seg: binary.BigEndian.Uint64(reply)})
+		cursor++
+	}
+
+	if err := d.installAll(table); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.table = table
+	d.next = cursor
+	d.mu.Unlock()
+	return nil
+}
+
+// installAll replicates the table to every node in parallel — the coforall
+// of Algorithm 3 over TCP.
+func (d *Driver) installAll(table []BlockRef) error {
+	payload := encodeTable(table)
+	errs := make(chan error, len(d.clients))
+	for _, c := range d.clients {
+		c := c
+		go func() {
+			_, err := c.AM(amInstall, payload)
+			errs <- err
+		}()
+	}
+	for range d.clients {
+		if err := <-errs; err != nil {
+			return fmt.Errorf("dist: installing snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// locate maps a global element index to its block and byte offset.
+func (d *Driver) locate(idx int) (BlockRef, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if idx < 0 || idx >= len(d.table)*d.blockSize {
+		return BlockRef{}, 0, fmt.Errorf("dist: index %d out of range [0,%d)", idx, len(d.table)*d.blockSize)
+	}
+	return d.table[idx/d.blockSize], (idx % d.blockSize) * elemBytes, nil
+}
+
+// Read fetches element idx through the owning node.
+func (d *Driver) Read(idx int) (int64, error) {
+	ref, off, err := d.locate(idx)
+	if err != nil {
+		return 0, err
+	}
+	b, err := d.clients[ref.Node].Get(ref.Seg, off, elemBytes)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+// Write stores v at element idx through the owning node.
+func (d *Driver) Write(idx int, v int64) error {
+	ref, off, err := d.locate(idx)
+	if err != nil {
+		return err
+	}
+	var buf [elemBytes]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	return d.clients[ref.Node].Put(ref.Seg, off, buf[:])
+}
+
+// NodeLen asks one node for its local view of the block count (replication
+// consistency checks).
+func (d *Driver) NodeLen(node int) (int, error) {
+	reply, err := d.clients[node].AM(amLen, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(reply) != 4 {
+		return 0, fmt.Errorf("dist: malformed len reply")
+	}
+	return int(binary.BigEndian.Uint32(reply)) * d.blockSize, nil
+}
+
+// RunWorkload executes the request on every node in parallel and returns
+// the per-node results in node order.
+func (d *Driver) RunWorkload(q WorkloadReq) ([]WorkloadResp, error) {
+	payload := q.encode()
+	out := make([]WorkloadResp, len(d.clients))
+	errs := make(chan error, len(d.clients))
+	for i, c := range d.clients {
+		i, c := i, c
+		go func() {
+			reply, err := c.AM(amRunWorkload, payload)
+			if err == nil {
+				out[i], err = decodeWorkloadResp(reply)
+			}
+			errs <- err
+		}()
+	}
+	for range d.clients {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stats collects every node's counters.
+func (d *Driver) Stats() ([]NodeStats, error) {
+	out := make([]NodeStats, len(d.clients))
+	for i, c := range d.clients {
+		reply, err := c.AM(amStats, nil)
+		if err != nil {
+			return nil, err
+		}
+		if out[i], err = decodeStats(reply); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/memory"
+	"rcuarray/internal/workload"
+)
+
+// tableSnapshot is a node's privatized, immutable view of the global block
+// table — the distributed rendition of RCUArraySnapshot. It embeds
+// memory.Object so premature reclamation trips the poison detector even
+// across the wire path.
+type tableSnapshot struct {
+	memory.Object
+	table []BlockRef
+}
+
+// ArrayNode is one node of a distributed RCUArray: a TCP endpoint owning a
+// shard of blocks, a privatized snapshot under local TLS-free EBR, and the
+// workload executor. Node 0 additionally homes the cluster WriteLock.
+type ArrayNode struct {
+	srv *comm.Node
+
+	mu         sync.Mutex // guards configuration and installs
+	id         uint32
+	blockSize  int
+	peers      []*comm.Client // by node id; nil at own index
+	configured atomic.Bool
+
+	dom  ebr.Domain
+	snap atomic.Pointer[tableSnapshot]
+
+	// writeLock is the cluster lock, meaningful on node 0 only. A
+	// buffered channel holds the single token so a blocked Acquire can
+	// also observe shutdown.
+	writeLock chan struct{}
+	closing   chan struct{}
+
+	installs    atomic.Uint64
+	localBlocks atomic.Uint32
+}
+
+// NewArrayNode starts an array node listening on addr.
+func NewArrayNode(addr string) (*ArrayNode, error) {
+	srv, err := comm.NewNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &ArrayNode{
+		srv:       srv,
+		writeLock: make(chan struct{}, 1),
+		closing:   make(chan struct{}),
+	}
+	n.writeLock <- struct{}{} // lock token available
+	n.snap.Store(&tableSnapshot{})
+	n.registerHandlers()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *ArrayNode) Addr() string { return n.srv.Addr() }
+
+// Close shuts the node down, waking any blocked lock waiters with an error.
+func (n *ArrayNode) Close() error {
+	close(n.closing)
+	n.mu.Lock()
+	peers := n.peers
+	n.peers = nil
+	n.mu.Unlock()
+	for _, p := range peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	return n.srv.Close()
+}
+
+func (n *ArrayNode) registerHandlers() {
+	n.srv.Handle(amConfigure, n.handleConfigure)
+	n.srv.Handle(amAllocBlock, n.handleAllocBlock)
+	n.srv.Handle(amInstall, n.handleInstall)
+	n.srv.Handle(amLen, n.handleLen)
+	n.srv.Handle(amLockAcquire, n.handleLockAcquire)
+	n.srv.Handle(amLockRelease, n.handleLockRelease)
+	n.srv.Handle(amRunWorkload, n.handleRunWorkload)
+	n.srv.Handle(amStats, n.handleStats)
+}
+
+func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
+	cfg, err := decodeConfigure(payload)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize == 0 {
+		return nil, fmt.Errorf("dist: zero block size")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.configured.Load() {
+		return nil, fmt.Errorf("dist: node already configured")
+	}
+	peers := make([]*comm.Client, len(cfg.Addrs))
+	for i, a := range cfg.Addrs {
+		if uint32(i) == cfg.NodeID {
+			continue
+		}
+		c, err := comm.Dial(a)
+		if err != nil {
+			for _, p := range peers {
+				if p != nil {
+					p.Close()
+				}
+			}
+			return nil, fmt.Errorf("dist: node %d dialing peer %d (%s): %w", cfg.NodeID, i, a, err)
+		}
+		peers[i] = c
+	}
+	n.id = cfg.NodeID
+	n.blockSize = int(cfg.BlockSize)
+	n.peers = peers
+	n.configured.Store(true)
+	return nil, nil
+}
+
+func (n *ArrayNode) handleAllocBlock(payload []byte) ([]byte, error) {
+	if !n.configured.Load() {
+		return nil, fmt.Errorf("dist: node not configured")
+	}
+	seg := n.srv.AllocSegment(n.blockSize * elemBytes)
+	n.localBlocks.Add(1)
+	var w wbuf
+	w.u64(seg)
+	return w.b, nil
+}
+
+// handleInstall is the node-local half of Algorithm 3's coforall body under
+// EBR: clone (here: adopt the authoritative table), publish, advance the
+// epoch, wait for this node's readers, reclaim the old snapshot.
+func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
+	if !n.configured.Load() {
+		return nil, fmt.Errorf("dist: node not configured")
+	}
+	table, err := decodeTable(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
+	defer n.mu.Unlock()
+	old := n.snap.Load()
+	n.snap.Store(&tableSnapshot{table: table})
+	n.dom.Synchronize()
+	old.Retire()
+	old.table = nil // metadata poison
+	n.installs.Add(1)
+	return nil, nil
+}
+
+func (n *ArrayNode) handleLen(payload []byte) ([]byte, error) {
+	g := n.dom.Enter()
+	blocks := len(n.snap.Load().table)
+	g.Exit()
+	var w wbuf
+	w.u32(uint32(blocks))
+	return w.b, nil
+}
+
+func (n *ArrayNode) handleLockAcquire(payload []byte) ([]byte, error) {
+	select {
+	case <-n.writeLock:
+		return nil, nil
+	case <-n.closing:
+		return nil, fmt.Errorf("dist: node closing")
+	}
+}
+
+func (n *ArrayNode) handleLockRelease(payload []byte) ([]byte, error) {
+	select {
+	case n.writeLock <- struct{}{}:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("dist: release of unheld lock")
+	}
+}
+
+func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
+	s := NodeStats{
+		Installs:    n.installs.Load(),
+		Synchronize: n.dom.Synchronizes(),
+		Retries:     n.dom.Retries(),
+		LocalBlocks: n.localBlocks.Load(),
+	}
+	return s.encode(), nil
+}
+
+// handleRunWorkload executes reads or updates locally, the way Chapel tasks
+// run on their locale. Every operation runs inside a read-side critical
+// section of this node's EBR domain, so concurrent Installs (resizes) are
+// safe throughout.
+func (n *ArrayNode) handleRunWorkload(payload []byte) ([]byte, error) {
+	if !n.configured.Load() {
+		return nil, fmt.Errorf("dist: node not configured")
+	}
+	q, err := decodeWorkload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if q.Tasks == 0 || q.Tasks > 1024 {
+		return nil, fmt.Errorf("dist: invalid task count %d", q.Tasks)
+	}
+	if q.Disjoint && q.RangeHi <= q.RangeLo {
+		return nil, fmt.Errorf("dist: disjoint workload needs a range, got [%d,%d)", q.RangeLo, q.RangeHi)
+	}
+
+	var remote atomic.Uint64
+	errs := make(chan error, q.Tasks)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for task := uint32(0); task < q.Tasks; task++ {
+		wg.Add(1)
+		go func(task uint32) {
+			defer wg.Done()
+			errs <- n.runTask(q, task, &remote)
+		}(task)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp := WorkloadResp{
+		Ops:       uint64(q.Tasks) * q.OpsPerTask,
+		Nanos:     uint64(time.Since(start).Nanoseconds()),
+		RemoteOps: remote.Load(),
+	}
+	return resp.encode(), nil
+}
+
+func (n *ArrayNode) runTask(q WorkloadReq, task uint32, remote *atomic.Uint64) error {
+	seed := q.Seed ^ uint64(n.id)<<40 ^ uint64(task)<<8
+	n.mu.Lock()
+	peers := n.peers // immutable after configure
+	n.mu.Unlock()
+	// Disjoint mode: one global stripe per (node, task) pair over the
+	// requested range, fixed for the whole run.
+	var fixedLo, fixedHi int
+	if q.Disjoint {
+		nodes := len(peers)
+		slot := int(n.id)*int(q.Tasks) + int(task)
+		slots := nodes * int(q.Tasks)
+		span := int(q.RangeHi-q.RangeLo) / slots
+		if span == 0 {
+			return fmt.Errorf("dist: range [%d,%d) too small for %d slots",
+				q.RangeLo, q.RangeHi, slots)
+		}
+		fixedLo = int(q.RangeLo) + slot*span
+		fixedHi = fixedLo + span
+	}
+
+	var stream *workload.IndexStream
+	lastCap := 0
+	for op := uint64(0); op < q.OpsPerTask; op++ {
+		g := n.dom.Enter()
+		snap := n.snap.Load()
+		snap.CheckLive()
+		capacity := len(snap.table) * n.blockSize
+		if capacity == 0 {
+			g.Exit()
+			return fmt.Errorf("dist: workload on empty array")
+		}
+		switch {
+		case q.Disjoint:
+			if fixedHi > capacity {
+				g.Exit()
+				return fmt.Errorf("dist: disjoint range [%d,%d) exceeds capacity %d",
+					fixedLo, fixedHi, capacity)
+			}
+			if stream == nil {
+				stream = workload.NewIndexStreamRange(workload.Pattern(q.Pattern), seed, fixedLo, fixedHi)
+			}
+		case stream == nil:
+			stream = workload.NewIndexStream(workload.Pattern(q.Pattern), seed, capacity)
+		case capacity != lastCap:
+			stream.SetN(capacity)
+		}
+		lastCap = capacity
+		idx := stream.Next()
+		ref := snap.table[idx/n.blockSize]
+		off := (idx % n.blockSize) * elemBytes
+		g.Exit()
+		// The block reference outlives the section: blocks are stable
+		// across grows, exactly as in the in-process array.
+		var err error
+		if ref.Node == n.id {
+			err = n.localOp(ref.Seg, off, q.Update, int64(op))
+		} else {
+			remote.Add(1)
+			err = n.remoteOpOn(peers, ref, off, q.Update, int64(op))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *ArrayNode) localOp(seg uint64, off int, update bool, v int64) error {
+	b, err := n.srv.Segment(seg)
+	if err != nil {
+		return err
+	}
+	if update {
+		binary.BigEndian.PutUint64(b[off:], uint64(v))
+		return nil
+	}
+	_ = binary.BigEndian.Uint64(b[off:])
+	return nil
+}
+
+func (n *ArrayNode) remoteOpOn(peers []*comm.Client, ref BlockRef, off int, update bool, v int64) error {
+	var peer *comm.Client
+	if int(ref.Node) < len(peers) {
+		peer = peers[ref.Node]
+	}
+	if peer == nil {
+		return fmt.Errorf("dist: no peer connection to node %d", ref.Node)
+	}
+	if update {
+		var buf [elemBytes]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		return peer.Put(ref.Seg, off, buf[:])
+	}
+	_, err := peer.Get(ref.Seg, off, elemBytes)
+	return err
+}

@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Active-message handler ids served by every array node.
+const (
+	amConfigure   uint16 = 10 // node id, block size, peer addresses
+	amAllocBlock  uint16 = 11 // -> segment id
+	amInstall     uint16 = 12 // new block table (RCU_Write on the node)
+	amLen         uint16 = 13 // -> local view: #blocks
+	amLockAcquire uint16 = 14 // cluster WriteLock (node 0 only)
+	amLockRelease uint16 = 15
+	amRunWorkload uint16 = 16 // execute reads/updates locally
+	amStats       uint16 = 17 // -> node counters
+)
+
+// BlockRef identifies one block: the node that owns it and the segment id
+// within that node.
+type BlockRef struct {
+	Node uint32
+	Seg  uint64
+}
+
+// elemBytes is the wire size of one element (int64).
+const elemBytes = 8
+
+// wbuf is a tiny append-only encoder over big-endian primitives.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// rbuf is the matching decoder; the first malformed field poisons it and
+// every later read reports the error.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated payload at %s (offset %d of %d)", what, r.off, len(r.b))
+	}
+}
+
+func (r *rbuf) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+// configureReq tells a node its identity and peers.
+type configureReq struct {
+	NodeID    uint32
+	BlockSize uint32
+	Addrs     []string // index = node id; Addrs[NodeID] is the node itself
+}
+
+func (c configureReq) encode() []byte {
+	var w wbuf
+	w.u32(c.NodeID)
+	w.u32(c.BlockSize)
+	w.u32(uint32(len(c.Addrs)))
+	for _, a := range c.Addrs {
+		w.str(a)
+	}
+	return w.b
+}
+
+func decodeConfigure(p []byte) (configureReq, error) {
+	r := rbuf{b: p}
+	c := configureReq{NodeID: r.u32(), BlockSize: r.u32()}
+	n := int(r.u32())
+	if n > 1<<16 {
+		return c, fmt.Errorf("dist: absurd peer count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		c.Addrs = append(c.Addrs, r.str())
+	}
+	return c, r.err
+}
+
+// encodeTable serializes a block table for Install.
+func encodeTable(table []BlockRef) []byte {
+	var w wbuf
+	w.u32(uint32(len(table)))
+	for _, b := range table {
+		w.u32(b.Node)
+		w.u64(b.Seg)
+	}
+	return w.b
+}
+
+func decodeTable(p []byte) ([]BlockRef, error) {
+	r := rbuf{b: p}
+	n := int(r.u32())
+	if n > 1<<24 {
+		return nil, fmt.Errorf("dist: absurd table size %d", n)
+	}
+	table := make([]BlockRef, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		table = append(table, BlockRef{Node: r.u32(), Seg: r.u64()})
+	}
+	return table, r.err
+}
+
+// WorkloadReq asks a node to run a read or update workload locally.
+//
+// Elements are plain memory (the paper's semantics), so two modes exist:
+// the default overlapping mode indexes the whole array like the paper's
+// benchmarks (concurrent same-slot stores race by design), and Disjoint
+// mode stripes [RangeLo, RangeHi) across every (node, task) pair so no two
+// tasks anywhere in the cluster touch the same element — the mode the
+// race-detector tests use.
+type WorkloadReq struct {
+	Update     bool
+	Disjoint   bool
+	Pattern    uint8 // workload.Pattern
+	Tasks      uint32
+	OpsPerTask uint64
+	Seed       uint64
+	RangeLo    uint64 // Disjoint only: partitioned element range
+	RangeHi    uint64
+}
+
+func (q WorkloadReq) encode() []byte {
+	var w wbuf
+	var flags uint8
+	if q.Update {
+		flags |= 1
+	}
+	if q.Disjoint {
+		flags |= 2
+	}
+	w.u8(flags)
+	w.u8(q.Pattern)
+	w.u32(q.Tasks)
+	w.u64(q.OpsPerTask)
+	w.u64(q.Seed)
+	w.u64(q.RangeLo)
+	w.u64(q.RangeHi)
+	return w.b
+}
+
+func decodeWorkload(p []byte) (WorkloadReq, error) {
+	r := rbuf{b: p}
+	flags := r.u8()
+	q := WorkloadReq{
+		Update:     flags&1 != 0,
+		Disjoint:   flags&2 != 0,
+		Pattern:    r.u8(),
+		Tasks:      r.u32(),
+		OpsPerTask: r.u64(),
+		Seed:       r.u64(),
+		RangeLo:    r.u64(),
+		RangeHi:    r.u64(),
+	}
+	return q, r.err
+}
+
+// WorkloadResp reports one node's workload execution.
+type WorkloadResp struct {
+	Ops       uint64
+	Nanos     uint64
+	RemoteOps uint64
+}
+
+func (p WorkloadResp) encode() []byte {
+	var w wbuf
+	w.u64(p.Ops)
+	w.u64(p.Nanos)
+	w.u64(p.RemoteOps)
+	return w.b
+}
+
+func decodeWorkloadResp(b []byte) (WorkloadResp, error) {
+	r := rbuf{b: b}
+	p := WorkloadResp{Ops: r.u64(), Nanos: r.u64(), RemoteOps: r.u64()}
+	return p, r.err
+}
+
+// NodeStats reports a node's counters.
+type NodeStats struct {
+	Installs    uint64 // snapshot installs applied
+	Synchronize uint64 // EBR synchronize calls
+	Retries     uint64 // EBR read-side verification retries
+	LocalBlocks uint32 // blocks owned by this node
+}
+
+func (s NodeStats) encode() []byte {
+	var w wbuf
+	w.u64(s.Installs)
+	w.u64(s.Synchronize)
+	w.u64(s.Retries)
+	w.u32(s.LocalBlocks)
+	return w.b
+}
+
+func decodeStats(b []byte) (NodeStats, error) {
+	r := rbuf{b: b}
+	s := NodeStats{Installs: r.u64(), Synchronize: r.u64(), Retries: r.u64(), LocalBlocks: r.u32()}
+	return s, r.err
+}

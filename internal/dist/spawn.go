@@ -1,0 +1,26 @@
+package dist
+
+// In-process cluster bootstrap, used by tests and by cmd/rcudist's -spawn
+// mode: the nodes are real TCP listeners on loopback, so every byte crosses
+// the kernel's network stack even though they share a process.
+
+// SpawnLocal starts n array nodes on ephemeral loopback ports and returns
+// their addresses plus a stop function.
+func SpawnLocal(n int) (addrs []string, stop func(), err error) {
+	nodes := make([]*ArrayNode, 0, n)
+	stop = func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		node, err := NewArrayNode("127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		nodes = append(nodes, node)
+		addrs = append(addrs, node.Addr())
+	}
+	return addrs, stop, nil
+}

@@ -1,0 +1,88 @@
+package ebr
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkEnterExit measures the read-side primitive: two collective
+// counter RMWs plus the verification load (Algorithm 1 lines 9–17).
+func BenchmarkEnterExit(b *testing.B) {
+	d := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := d.Enter()
+		g.Exit()
+	}
+}
+
+// BenchmarkAblationVerifyCheck isolates the verification re-check: the
+// unverified variant below increments and trusts the epoch (which would be
+// unsafe — Algorithm 1's retry exists precisely because the epoch can move
+// between load and increment). The delta is the cost of the safety check.
+func BenchmarkAblationVerifyCheck(b *testing.B) {
+	b.Run("verified", func(b *testing.B) {
+		d := New()
+		for i := 0; i < b.N; i++ {
+			g := d.Enter()
+			g.Exit()
+		}
+	})
+	b.Run("unverified-unsafe", func(b *testing.B) {
+		d := New()
+		for i := 0; i < b.N; i++ {
+			epoch := d.globalEpoch.Load()
+			idx := epoch & 1
+			d.readers[idx].Inc()
+			// no verification load, no retry loop
+			d.readers[idx].Dec()
+		}
+	})
+}
+
+// BenchmarkEnterExitContended measures the collective-counter contention
+// that dominates the paper's EBR numbers at 44 tasks per locale.
+func BenchmarkEnterExitContended(b *testing.B) {
+	for _, readers := range []int{2, 8} {
+		readers := readers
+		b.Run(map[int]string{2: "2readers", 8: "8readers"}[readers], func(b *testing.B) {
+			d := New()
+			var wg sync.WaitGroup
+			per := b.N / readers
+			b.ResetTimer()
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						g := d.Enter()
+						g.Exit()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkSynchronize measures the writer-side epoch advance with no
+// readers present (the wait is the uncontended fast path).
+func BenchmarkSynchronize(b *testing.B) {
+	d := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Synchronize()
+	}
+}
+
+// BenchmarkReadSection measures the closure-based Read wrapper against the
+// guard pair, to justify the guard API on the array's hot path.
+func BenchmarkReadSection(b *testing.B) {
+	d := New()
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(func() { sink++ })
+	}
+	_ = sink
+}

@@ -1,0 +1,135 @@
+package ebr
+
+import (
+	"sync/atomic"
+
+	"rcuarray/internal/xsync"
+)
+
+// Domain is one reclamation domain: a GlobalEpoch plus the two collective
+// EpochReaders counters of Algorithm 1. RCUArray instantiates one Domain per
+// locale (inside each privatized copy); the domain is equally usable on its
+// own.
+//
+// A Domain must not be copied after first use.
+type Domain struct {
+	// globalEpoch is the monotonically increasing epoch. Writers advance
+	// it with fetch-add after publishing a new snapshot.
+	globalEpoch xsync.PaddedUint64
+	// readers are the two collective in-progress counters, selected by
+	// epoch parity. Padded: they are the single hottest pair of words in
+	// the whole system under the EBR configuration.
+	readers [2]xsync.PaddedUint64
+	// writerActive detects violations of the precondition that
+	// Synchronize callers hold mutual exclusion (the paper's WriteLock).
+	writerActive atomic.Int32
+	// retries counts read-side verification failures (the loop at
+	// Algorithm 1 lines 9–17). Exposed for the ablation benchmarks.
+	retries xsync.PaddedUint64
+	// synchronizes counts writer-side Synchronize calls.
+	synchronizes xsync.PaddedUint64
+}
+
+// New returns a domain with the epoch starting at zero.
+func New() *Domain { return &Domain{} }
+
+// NewAtEpoch returns a domain whose epoch starts at e. Tests use it to start
+// just below the uint64 overflow boundary and exercise Lemma 2.
+func NewAtEpoch(e uint64) *Domain {
+	d := &Domain{}
+	d.globalEpoch.Store(e)
+	return d
+}
+
+// Guard is the evidence of a successfully linearized read-side critical
+// section. It records which parity counter the reader incremented so that
+// Exit decrements the same one even if the epoch has advanced meanwhile.
+type Guard struct {
+	d     *Domain
+	epoch uint64
+	idx   uint64
+}
+
+// Enter begins a read-side critical section (Algorithm 1, RCU_Read lines
+// 9–13): record the operation on the parity counter of the observed epoch,
+// then verify the epoch did not change between the load and the increment.
+// On verification failure the increment is undone and the reader retries.
+//
+// After Enter returns, the snapshot that was current at the returned guard's
+// epoch — or any newer snapshot — may be accessed safely until Exit.
+func (d *Domain) Enter() Guard {
+	for {
+		epoch := d.globalEpoch.Load()
+		idx := epoch & 1
+		d.readers[idx].Inc()
+		if d.globalEpoch.Load() == epoch {
+			// Linearized: any writer advancing the epoch from this
+			// point on waits for our counter before reclaiming.
+			return Guard{d: d, epoch: epoch, idx: idx}
+		}
+		// A writer moved the epoch between our load and increment; a
+		// future writer waiting on the *new* parity would not see us.
+		// Undo and retry (lines 17, 9).
+		d.readers[idx].Dec()
+		d.retries.Inc()
+	}
+}
+
+// Exit ends the read-side critical section begun by Enter.
+func (g Guard) Exit() {
+	if g.d == nil {
+		panic("ebr: Exit of zero Guard")
+	}
+	g.d.readers[g.idx].Dec()
+}
+
+// Epoch returns the guard's linearized epoch. Torture tests correlate it
+// with snapshot identity.
+func (g Guard) Epoch() uint64 { return g.epoch }
+
+// Read runs fn inside a read-side critical section. It is the λ-application
+// convenience corresponding to RCU_Read lines 14–16.
+func (d *Domain) Read(fn func()) {
+	g := d.Enter()
+	fn()
+	g.Exit()
+}
+
+// Synchronize advances the epoch and waits until every reader that recorded
+// itself against the *previous* epoch's parity has exited (Algorithm 1,
+// RCU_Write lines 5–7). On return, no read-side critical section that began
+// before the call can still observe data unlinked before the call, so the
+// caller may reclaim it (line 8).
+//
+// Callers must hold the same mutual exclusion that serializes writers (the
+// paper's cluster-wide WriteLock): concurrent Synchronize calls would race
+// on parity and are detected and rejected.
+func (d *Domain) Synchronize() {
+	if !d.writerActive.CompareAndSwap(0, 1) {
+		panic("ebr: concurrent Synchronize (WriteLock not held?)")
+	}
+	defer d.writerActive.Store(0)
+
+	d.synchronizes.Inc()
+	// fetch-add: the returned previous value is the epoch e whose readers
+	// may still be using the snapshot being retired.
+	prev := d.globalEpoch.Add(1) - 1
+	idx := prev & 1
+	var b xsync.Backoff
+	for d.readers[idx].Load() != 0 {
+		b.Wait()
+	}
+}
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.globalEpoch.Load() }
+
+// ActiveReaders returns the current value of the parity-idx reader counter.
+// It is a diagnostic: the value is immediately stale.
+func (d *Domain) ActiveReaders(idx uint64) uint64 { return d.readers[idx&1].Load() }
+
+// Retries returns the total number of read-side verification failures.
+func (d *Domain) Retries() uint64 { return d.retries.Load() }
+
+// Synchronizes returns the total number of Synchronize calls.
+func (d *Domain) Synchronizes() uint64 { return d.synchronizes.Load() }

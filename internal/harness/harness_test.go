@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"rcuarray/internal/locale"
+	"rcuarray/internal/workload"
+)
+
+func TestKindStringsAndParse(t *testing.T) {
+	for _, k := range []Kind{KindEBR, KindQSBR, KindChapel, KindSync, KindRW} {
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), parsed, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted bogus label")
+	}
+	if !KindQSBR.IsQSBR() || KindEBR.IsQSBR() {
+		t.Fatal("IsQSBR misclassifies")
+	}
+}
+
+func TestBuildTargetAllKinds(t *testing.T) {
+	c := locale.NewCluster(locale.Config{Locales: 2, WorkersPerLocale: 2})
+	defer c.Shutdown()
+	c.Run(func(task *locale.Task) {
+		for _, k := range []Kind{KindEBR, KindQSBR, KindChapel, KindSync, KindRW} {
+			tgt := BuildTarget(task, k, 8, 16)
+			if tgt.Name() != k.String() {
+				t.Errorf("Name = %q, want %q", tgt.Name(), k.String())
+			}
+			if got := tgt.Len(task); got != 16 {
+				t.Errorf("%v Len = %d, want 16", k, got)
+			}
+			tgt.Store(task, 3, 99)
+			if got := tgt.Load(task, 3); got != 99 {
+				t.Errorf("%v round trip = %d", k, got)
+			}
+			tgt.Grow(task, 8)
+			if got := tgt.Len(task); got != 24 {
+				t.Errorf("%v Len after Grow = %d, want 24", k, got)
+			}
+		}
+	})
+}
+
+func tinyIndexing(pattern workload.Pattern) IndexingConfig {
+	return IndexingConfig{
+		Kinds:          []Kind{KindQSBR, KindChapel},
+		Locales:        []int{1, 2},
+		TasksPerLocale: 2,
+		OpsPerTask:     256,
+		Capacity:       256,
+		BlockSize:      32,
+		Pattern:        pattern,
+		Seed:           7,
+		Disjoint:       true, // race-detector-clean: one subrange per task
+	}
+}
+
+func TestRunIndexingProducesAllPoints(t *testing.T) {
+	res := RunIndexing(tinyIndexing(workload.Random))
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points = %d, want 2", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.OpsPerSec <= 0 {
+				t.Fatalf("%s at %d locales: %.1f ops/s", s.Label, p.X, p.OpsPerSec)
+			}
+		}
+	}
+}
+
+func TestRunIndexingSequential(t *testing.T) {
+	res := RunIndexing(tinyIndexing(workload.Sequential))
+	if got := res.SeriesByLabel("QSBRArray"); got == nil || got.At(1) <= 0 {
+		t.Fatal("sequential indexing produced no QSBR throughput")
+	}
+}
+
+func TestRunIndexingWithCheckpoints(t *testing.T) {
+	cfg := tinyIndexing(workload.Sequential)
+	cfg.Kinds = []Kind{KindQSBR}
+	cfg.CheckpointEvery = 16
+	res := RunIndexing(cfg)
+	if res.Series[0].At(1) <= 0 {
+		t.Fatal("checkpointing run produced no throughput")
+	}
+}
+
+func TestRunResize(t *testing.T) {
+	res := RunResize(ResizeConfig{
+		Kinds:     []Kind{KindEBR, KindQSBR, KindChapel},
+		Locales:   []int{1, 2},
+		Increment: 64,
+		Resizes:   16,
+		BlockSize: 64,
+	})
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.OpsPerSec <= 0 {
+				t.Fatalf("%s at %d locales: %.1f resizes/s", s.Label, p.X, p.OpsPerSec)
+			}
+		}
+	}
+}
+
+func TestRunCheckpoint(t *testing.T) {
+	res := RunCheckpoint(CheckpointConfig{
+		TasksPerLocale:     2,
+		OpsPerTask:         512,
+		Capacity:           256,
+		BlockSize:          32,
+		Frequencies:        []int{1, 16, 0},
+		IncludeEBRBaseline: true,
+		Seed:               3,
+		Disjoint:           true,
+	})
+	qs := res.SeriesByLabel("QSBR")
+	es := res.SeriesByLabel("EBR")
+	if qs == nil || es == nil {
+		t.Fatal("missing series")
+	}
+	if len(qs.Points) != 3 {
+		t.Fatalf("QSBR points = %d, want 3", len(qs.Points))
+	}
+	// Frequency 0 is plotted at x = OpsPerTask.
+	if qs.At(512) <= 0 {
+		t.Fatal("no-checkpoint point missing")
+	}
+	// The EBR baseline is a horizontal line.
+	if es.At(1) != es.At(16) {
+		t.Fatal("EBR baseline not constant")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	res := Result{
+		Title:  "T",
+		XLabel: "locales",
+		YLabel: "ops/s",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 1500}, {2, 3e6}}},
+			{Label: "B", Points: []Point{{1, 2.5e9}}},
+		},
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"# T", "locales", "A", "B", "1.50k", "3.00M", "2.50G", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	res.FormatCSV(&sb)
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "locales,A,B\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "1,1500.0,2500000000.0") {
+		t.Errorf("CSV row wrong:\n%s", csv)
+	}
+}
+
+func TestResultRatio(t *testing.T) {
+	res := Result{Series: []Series{
+		{Label: "A", Points: []Point{{1, 400}}},
+		{Label: "B", Points: []Point{{1, 100}}},
+	}}
+	if got := res.Ratio("A", "B", 1); got != 4 {
+		t.Fatalf("Ratio = %v, want 4", got)
+	}
+	if got := res.Ratio("A", "C", 1); got != 0 {
+		t.Fatalf("Ratio with missing series = %v, want 0", got)
+	}
+	if got := res.Ratio("B", "A", 2); got != 0 {
+		t.Fatalf("Ratio at missing x = %v, want 0", got)
+	}
+}

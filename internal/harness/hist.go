@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log-scale latency histogram: bucket i counts samples with
+// ceil(log2(ns)) == i. It is single-writer during collection (one per task)
+// and merged afterwards, so no synchronization is needed.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	max     time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func bucketOf(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		return 0
+	}
+	return bits.Len64(ns) - 1
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1), resolved
+// to the histogram's power-of-two bucket granularity.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			// Upper edge of bucket i: 2^(i+1)-1 ns.
+			if i >= 62 {
+				return h.max
+			}
+			upper := time.Duration((uint64(1) << (i + 1)) - 1)
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50<=%v p99<=%v max=%v",
+		h.count, h.Quantile(0.50), h.Quantile(0.99), h.max)
+}

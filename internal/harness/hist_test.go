@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rcuarray/internal/workload"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(10 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	// p50 falls in the 128–255ns bucket.
+	if q := h.Quantile(0.5); q < 100*time.Nanosecond || q > 300*time.Nanosecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	// p100 == max.
+	if q := h.Quantile(1.0); q != h.Max() {
+		t.Fatalf("p100 = %v, want %v", q, h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample mishandled: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 2*time.Millisecond {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+	if !strings.Contains(a.String(), "n=3") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+// Property: the histogram quantile is always an upper bound on the exact
+// sample quantile, and within one power of two of it.
+func TestHistogramQuantileBoundProperty(t *testing.T) {
+	f := func(raw []uint32, qSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		samples := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			d := time.Duration(r % 10_000_000) // up to 10ms
+			samples[i] = d
+			h.Record(d)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := 0.01 + float64(qSeed%99)/100.0
+		exactIdx := int(q*float64(len(samples))) - 1
+		if exactIdx < 0 {
+			exactIdx = 0
+		}
+		exact := samples[exactIdx]
+		got := h.Quantile(q)
+		if got < exact {
+			return false // must be an upper bound
+		}
+		if got > h.Max() {
+			return false // never beyond the observed maximum
+		}
+		// Within one power-of-two bucket of the exact value, unless
+		// clamped to the maximum.
+		return got <= 2*exact+1 || got == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLatencyUnderResize(t *testing.T) {
+	res := RunLatencyUnderResize(LatencyConfig{
+		Kinds:          []Kind{KindQSBR, KindSync},
+		Locales:        2,
+		TasksPerLocale: 2,
+		OpsPerTask:     2048,
+		Capacity:       1024,
+		BlockSize:      128,
+		SampleEvery:    8,
+		GrowEvery:      time.Millisecond,
+		Seed:           5,
+	})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Hist.Count() == 0 {
+			t.Fatalf("%v: no latency samples", row.Kind)
+		}
+		if row.Resizes == 0 {
+			t.Fatalf("%v: grower made no progress", row.Kind)
+		}
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%v: no throughput", row.Kind)
+		}
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "p99") || !strings.Contains(sb.String(), "QSBRArray") {
+		t.Fatalf("Format output missing columns:\n%s", sb.String())
+	}
+}
+
+func TestLatencyExcludesChapel(t *testing.T) {
+	res := RunLatencyUnderResize(LatencyConfig{
+		Kinds:          []Kind{KindChapel, KindEBR},
+		Locales:        1,
+		TasksPerLocale: 1,
+		OpsPerTask:     256,
+		Capacity:       256,
+		BlockSize:      64,
+		GrowEvery:      time.Millisecond,
+	})
+	if len(res.Rows) != 1 || res.Rows[0].Kind != KindEBR {
+		t.Fatalf("ChapelArray not excluded: %+v", res.Rows)
+	}
+}
+
+// Keep the workload import anchored (patterns used by latency config).
+var _ = workload.Random

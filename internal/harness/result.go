@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement: throughput at an x-axis position (locale count
+// for Figures 2–3, operations-per-checkpoint for Figure 4).
+type Point struct {
+	X         int
+	OpsPerSec float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the series value at x, or 0 if absent.
+func (s Series) At(x int) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.OpsPerSec
+		}
+	}
+	return 0
+}
+
+// Result is one reproduced figure.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// SeriesByLabel returns the named series, or nil.
+func (r Result) SeriesByLabel(label string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// xs returns the sorted union of x positions across all series.
+func (r Result) xs() []int {
+	set := map[int]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Format writes the result as an aligned text table, one row per x position
+// and one column per series — the textual equivalent of the paper's plots.
+func (r Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Title)
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for _, x := range r.xs() {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range r.Series {
+			v := s.At(x)
+			if v == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, formatOps(v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, b.String())
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(b.String())))
+		}
+	}
+	fmt.Fprintf(w, "(%s)\n", r.YLabel)
+}
+
+// FormatCSV writes the result as CSV for plotting.
+func (r Result) FormatCSV(w io.Writer) {
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, x := range r.xs() {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.1f", s.At(x)))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Ratio returns series a's value divided by series b's at x (0 if either is
+// missing). EXPERIMENTS.md uses it for the paper-vs-measured comparisons
+// ("QSBRArray offers ~1.5x ChapelArray", "4x resize", ...).
+func (r Result) Ratio(a, b string, x int) float64 {
+	sa, sb := r.SeriesByLabel(a), r.SeriesByLabel(b)
+	if sa == nil || sb == nil {
+		return 0
+	}
+	va, vb := sa.At(x), sb.At(x)
+	if vb == 0 {
+		return 0
+	}
+	return va / vb
+}
+
+func formatOps(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}

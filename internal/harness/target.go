@@ -1,0 +1,105 @@
+// Package harness runs the paper's evaluation: it builds any of the five
+// arrays, drives them with workload streams across locale sweeps, and
+// formats the resulting series the way the paper's figures report them
+// (throughput in operations per second versus locale count or checkpoint
+// frequency).
+package harness
+
+import (
+	"fmt"
+
+	"rcuarray/internal/baseline"
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+)
+
+// Kind selects one of the evaluated arrays.
+type Kind int
+
+const (
+	// KindEBR is RCUArray under epoch-based reclamation ("EBRArray").
+	KindEBR Kind = iota
+	// KindQSBR is RCUArray under quiescent-state reclamation ("QSBRArray").
+	KindQSBR
+	// KindChapel is the unsynchronized block-distributed baseline
+	// ("ChapelArray" / UnsafeArray).
+	KindChapel
+	// KindSync is the cluster-wide-lock baseline ("SyncArray").
+	KindSync
+	// KindRW is the reader-writer-lock ablation ("RWLockArray").
+	KindRW
+)
+
+// String returns the paper's label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEBR:
+		return "EBRArray"
+	case KindQSBR:
+		return "QSBRArray"
+	case KindChapel:
+		return "ChapelArray"
+	case KindSync:
+		return "SyncArray"
+	case KindRW:
+		return "RWLockArray"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a label (as printed by String) back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindEBR, KindQSBR, KindChapel, KindSync, KindRW} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown array kind %q", s)
+}
+
+// IsQSBR reports whether the kind needs checkpoints for reclamation.
+func (k Kind) IsQSBR() bool { return k == KindQSBR }
+
+// Target is the operation set common to all five arrays, over int64
+// elements (the element type of every measured workload).
+type Target interface {
+	Name() string
+	Len(t *locale.Task) int
+	Load(t *locale.Task, idx int) int64
+	Store(t *locale.Task, idx int, v int64)
+	Grow(t *locale.Task, additional int)
+}
+
+type coreTarget struct{ a *core.Array[int64] }
+
+func (c coreTarget) Name() string                           { return c.a.Options().Variant.String() }
+func (c coreTarget) Len(t *locale.Task) int                 { return c.a.Len(t) }
+func (c coreTarget) Load(t *locale.Task, idx int) int64     { return c.a.Load(t, idx) }
+func (c coreTarget) Store(t *locale.Task, idx int, v int64) { c.a.Store(t, idx, v) }
+func (c coreTarget) Grow(t *locale.Task, additional int)    { c.a.Grow(t, additional) }
+
+// BuildTarget constructs the array of the given kind with blockSize and
+// initial capacity (both in elements).
+func BuildTarget(task *locale.Task, k Kind, blockSize, initial int) Target {
+	switch k {
+	case KindEBR, KindQSBR:
+		v := core.VariantEBR
+		if k == KindQSBR {
+			v = core.VariantQSBR
+		}
+		return coreTarget{a: core.New[int64](task, core.Options{
+			BlockSize:       blockSize,
+			Variant:         v,
+			InitialCapacity: initial,
+		})}
+	case KindChapel:
+		return baseline.NewUnsafe[int64](task, initial)
+	case KindSync:
+		return baseline.NewSync[int64](task, initial)
+	case KindRW:
+		return baseline.NewRWLock[int64](task, initial)
+	default:
+		panic(fmt.Sprintf("harness: unknown kind %d", int(k)))
+	}
+}

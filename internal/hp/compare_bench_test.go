@@ -1,0 +1,105 @@
+package hp
+
+// The three-way reclamation-scheme comparison the paper's introduction
+// argues from: per-read cost of Hazard Pointers (publish + validate) vs the
+// paper's TLS-free EBR (two collective RMWs + verify) vs QSBR (nothing,
+// amortized checkpoints). Run with:
+//
+//	go test -bench BenchmarkReadSideSchemes ./internal/hp/
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/qsbr"
+)
+
+type payload struct{ v int64 }
+
+func BenchmarkReadSideSchemes(b *testing.B) {
+	var src atomic.Pointer[payload]
+	src.Store(&payload{v: 7})
+	var sink int64
+
+	b.Run("hazard-pointers", func(b *testing.B) {
+		d := New[payload](0)
+		r := d.Acquire()
+		defer r.Release()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := r.Protect(&src)
+			sink += p.v
+			r.Clear()
+		}
+	})
+	b.Run("ebr-collective", func(b *testing.B) {
+		d := ebr.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := d.Enter()
+			sink += src.Load().v
+			g.Exit()
+		}
+	})
+	b.Run("qsbr-checkpoint-every-64", func(b *testing.B) {
+		d := qsbr.New()
+		p := d.Register()
+		defer d.Unregister(p)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += src.Load().v
+			if i&63 == 63 {
+				p.Checkpoint()
+			}
+		}
+	})
+	b.Run("unsafe-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += src.Load().v
+		}
+	})
+	_ = sink
+}
+
+// Writer-side comparison: retire+scan (HP) vs synchronize (EBR) vs defer
+// (QSBR), each replacing the protected object with no concurrent readers.
+func BenchmarkWriteSideSchemes(b *testing.B) {
+	b.Run("hazard-pointers", func(b *testing.B) {
+		d := New[payload](64)
+		var src atomic.Pointer[payload]
+		src.Store(&payload{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			old := src.Load()
+			src.Store(&payload{v: int64(i)})
+			d.Retire(old, func() {})
+		}
+	})
+	b.Run("ebr-synchronize", func(b *testing.B) {
+		d := ebr.New()
+		var src atomic.Pointer[payload]
+		src.Store(&payload{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Store(&payload{v: int64(i)})
+			d.Synchronize()
+		}
+	})
+	b.Run("qsbr-defer", func(b *testing.B) {
+		d := qsbr.New()
+		p := d.Register()
+		defer d.Unregister(p)
+		var src atomic.Pointer[payload]
+		src.Store(&payload{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			old := src.Load()
+			src.Store(&payload{v: int64(i)})
+			p.Defer(func() { _ = old })
+			if i&63 == 63 {
+				p.Checkpoint()
+			}
+		}
+	})
+}

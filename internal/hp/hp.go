@@ -1,0 +1,173 @@
+// Package hp implements Hazard Pointers (Michael, 2004), the paper's
+// explicitly named alternative to RCU (Section I): "Mechanisms such as
+// Hazard Pointers can provide a safe non-blocking approach for memory
+// reclamation with a balanced but noticeable overhead to both read and
+// write operations ... unsuitable when the performance of reads is far more
+// important than the performance of writes."
+//
+// It exists in this repository to make that comparison concrete: the
+// three-way read-side benchmark in this package (hazard publish+validate vs
+// EBR's collective counters vs QSBR's nothing) reproduces the cost ordering
+// the paper's introduction argues from, and the torture tests show the
+// scheme is safe — just not free.
+//
+// Like the paper's EBR variant, this implementation avoids thread-local
+// storage: readers explicitly Acquire a Record (one hazard slot) and hold
+// it for a batch of operations, which is the same discipline the paper's
+// collective counters replace. Retired objects go to a domain-level list
+// and are freed by Scan when no record's hazard points at them.
+package hp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rcuarray/internal/xsync"
+)
+
+// Domain manages hazard records and retired objects of type T.
+type Domain[T any] struct {
+	// records is a copy-on-write snapshot of every record ever created;
+	// records are recycled through the free list rather than removed, as
+	// in Michael's original (the list only grows to the high-water mark
+	// of concurrent readers).
+	records atomic.Pointer[[]*Record[T]]
+	mu      sync.Mutex // guards record allocation and the retired list
+
+	retired []retiredObj[T]
+	// scanThreshold triggers a scan when the retired list reaches it.
+	scanThreshold int
+
+	scans xsync.PaddedUint64
+	freed xsync.PaddedUint64
+}
+
+type retiredObj[T any] struct {
+	ptr  *T
+	free func()
+}
+
+// Record is one hazard slot. It is owned by at most one task between
+// Acquire and Release; only the owner calls Protect/Clear.
+type Record[T any] struct {
+	hazard atomic.Pointer[T]
+	active atomic.Bool
+}
+
+// New returns a domain. scanThreshold <= 0 selects a default of 64 retired
+// objects per scan, amortizing the O(records) scan cost.
+func New[T any](scanThreshold int) *Domain[T] {
+	if scanThreshold <= 0 {
+		scanThreshold = 64
+	}
+	d := &Domain[T]{scanThreshold: scanThreshold}
+	empty := make([]*Record[T], 0)
+	d.records.Store(&empty)
+	return d
+}
+
+// Acquire claims a hazard record, recycling an inactive one if possible.
+func (d *Domain[T]) Acquire() *Record[T] {
+	for _, r := range *d.records.Load() {
+		if !r.active.Load() && r.active.CompareAndSwap(false, true) {
+			return r
+		}
+	}
+	r := &Record[T]{}
+	r.active.Store(true)
+	d.mu.Lock()
+	old := *d.records.Load()
+	next := make([]*Record[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	d.records.Store(&next)
+	d.mu.Unlock()
+	return r
+}
+
+// Release clears and returns the record for reuse.
+func (r *Record[T]) Release() {
+	r.hazard.Store(nil)
+	r.active.Store(false)
+}
+
+// Protect reads src, publishes the value as this record's hazard, and
+// re-validates that src still holds it (the classic publish+fence+validate
+// loop). On return the object cannot be freed until Clear or the next
+// Protect. This per-read overhead — a store and a second load of src, both
+// sequentially consistent — is exactly the "balanced but noticeable
+// overhead" the paper contrasts RCU against.
+func (r *Record[T]) Protect(src *atomic.Pointer[T]) *T {
+	for {
+		p := src.Load()
+		r.hazard.Store(p)
+		if src.Load() == p {
+			return p
+		}
+	}
+}
+
+// Clear drops the record's hazard.
+func (r *Record[T]) Clear() { r.hazard.Store(nil) }
+
+// Retire schedules free to run once no hazard protects ptr. When the
+// retired list reaches the scan threshold, a scan runs inline (writer-side
+// cost, like RCU's synchronize — but O(records + retired), not a wait).
+func (d *Domain[T]) Retire(ptr *T, free func()) {
+	d.mu.Lock()
+	d.retired = append(d.retired, retiredObj[T]{ptr: ptr, free: free})
+	shouldScan := len(d.retired) >= d.scanThreshold
+	d.mu.Unlock()
+	if shouldScan {
+		d.Scan()
+	}
+}
+
+// Scan frees every retired object no hazard currently protects and returns
+// how many were freed.
+func (d *Domain[T]) Scan() int {
+	// Snapshot the hazards first: an object retired before a hazard could
+	// be published to it can never gain a new hazard (it is unreachable),
+	// so the snapshot is conservative and safe.
+	hazards := make(map[*T]struct{})
+	for _, r := range *d.records.Load() {
+		if p := r.hazard.Load(); p != nil {
+			hazards[p] = struct{}{}
+		}
+	}
+	d.mu.Lock()
+	var safe []retiredObj[T]
+	keep := d.retired[:0]
+	for _, ro := range d.retired {
+		if _, protected := hazards[ro.ptr]; protected {
+			keep = append(keep, ro)
+		} else {
+			safe = append(safe, ro)
+		}
+	}
+	d.retired = keep
+	d.mu.Unlock()
+
+	for _, ro := range safe {
+		ro.free()
+	}
+	d.scans.Inc()
+	d.freed.Add(uint64(len(safe)))
+	return len(safe)
+}
+
+// Records returns the number of hazard records ever created.
+func (d *Domain[T]) Records() int { return len(*d.records.Load()) }
+
+// Pending returns the current retired-list length.
+func (d *Domain[T]) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.retired)
+}
+
+// Freed returns the total number of objects reclaimed.
+func (d *Domain[T]) Freed() uint64 { return d.freed.Load() }
+
+// Scans returns the total number of scans performed.
+func (d *Domain[T]) Scans() uint64 { return d.scans.Load() }

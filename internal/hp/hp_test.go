@@ -1,0 +1,181 @@
+package hp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rcuarray/internal/memory"
+)
+
+type obj struct {
+	memory.Object
+	v int
+}
+
+func TestAcquireReleaseRecycles(t *testing.T) {
+	d := New[obj](0)
+	r1 := d.Acquire()
+	r2 := d.Acquire()
+	if d.Records() != 2 {
+		t.Fatalf("Records = %d, want 2", d.Records())
+	}
+	r1.Release()
+	r3 := d.Acquire()
+	if r3 != r1 {
+		t.Fatal("released record not recycled")
+	}
+	r2.Release()
+	r3.Release()
+	if d.Records() != 2 {
+		t.Fatalf("Records grew to %d", d.Records())
+	}
+}
+
+func TestProtectPublishesHazard(t *testing.T) {
+	d := New[obj](1000)
+	var src atomic.Pointer[obj]
+	o := &obj{v: 1}
+	src.Store(o)
+
+	r := d.Acquire()
+	defer r.Release()
+	got := r.Protect(&src)
+	if got != o {
+		t.Fatal("Protect returned wrong pointer")
+	}
+	// A retire now must not free the protected object.
+	freed := false
+	src.Store(&obj{v: 2})
+	d.Retire(o, func() { freed = true })
+	if n := d.Scan(); n != 0 || freed {
+		t.Fatalf("scan freed a protected object (n=%d freed=%v)", n, freed)
+	}
+	r.Clear()
+	if n := d.Scan(); n != 1 || !freed {
+		t.Fatalf("scan after Clear freed %d, freed=%v", n, freed)
+	}
+}
+
+func TestProtectRevalidates(t *testing.T) {
+	// If src changes mid-protect the loop retries; simulate by racing a
+	// swapper against protectors and requiring the returned pointer to
+	// always equal a value src held *after* the hazard was published —
+	// guaranteed by construction if no protected object is ever freed.
+	d := New[obj](4)
+	var src atomic.Pointer[obj]
+	src.Store(&obj{})
+	var stop atomic.Bool
+	var violations atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Acquire()
+			defer r.Release()
+			for !stop.Load() {
+				p := r.Protect(&src)
+				p.CheckLive()
+				for k := 0; k < 8; k++ {
+					_ = p.v
+				}
+				p.CheckLive()
+				r.Clear()
+			}
+		}()
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	writes := 0
+	for time.Now().Before(deadline) {
+		old := src.Load()
+		src.Store(&obj{v: old.v + 1})
+		d.Retire(old, func() { old.Retire() })
+		writes++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d protected objects were freed", violations.Load())
+	}
+	if writes == 0 {
+		t.Fatal("no writes")
+	}
+	// Final drain: all hazards cleared, everything reclaimable.
+	d.Scan()
+	if got := d.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after final scan", got)
+	}
+	t.Logf("writes=%d scans=%d freed=%d records=%d", writes, d.Scans(), d.Freed(), d.Records())
+}
+
+func TestScanThresholdTriggers(t *testing.T) {
+	d := New[obj](4)
+	for i := 0; i < 4; i++ {
+		d.Retire(&obj{}, func() {})
+	}
+	if d.Scans() == 0 {
+		t.Fatal("threshold scan never ran")
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d", d.Pending())
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	d := New[obj](0)
+	if d.scanThreshold != 64 {
+		t.Fatalf("default threshold = %d", d.scanThreshold)
+	}
+}
+
+func TestMultipleHazardsIndependent(t *testing.T) {
+	d := New[obj](1000)
+	var a, b atomic.Pointer[obj]
+	oa, ob := &obj{v: 1}, &obj{v: 2}
+	a.Store(oa)
+	b.Store(ob)
+	ra, rb := d.Acquire(), d.Acquire()
+	defer ra.Release()
+	defer rb.Release()
+	ra.Protect(&a)
+	rb.Protect(&b)
+
+	freedA, freedB := false, false
+	d.Retire(oa, func() { freedA = true })
+	d.Retire(ob, func() { freedB = true })
+	d.Scan()
+	if freedA || freedB {
+		t.Fatal("protected object freed")
+	}
+	ra.Clear()
+	d.Scan()
+	if !freedA || freedB {
+		t.Fatalf("scan after one clear: freedA=%v freedB=%v", freedA, freedB)
+	}
+	rb.Clear()
+	d.Scan()
+	if !freedB {
+		t.Fatal("second object never freed")
+	}
+}
+
+// Release must drop the hazard: a record abandoned while protecting an
+// object must not leak protection.
+func TestReleaseClearsHazard(t *testing.T) {
+	d := New[obj](1000)
+	var src atomic.Pointer[obj]
+	o := &obj{}
+	src.Store(o)
+	r := d.Acquire()
+	r.Protect(&src)
+	r.Release()
+	freed := false
+	d.Retire(o, func() { freed = true })
+	d.Scan()
+	if !freed {
+		t.Fatal("released record still protected its object")
+	}
+}

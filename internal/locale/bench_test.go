@@ -1,0 +1,111 @@
+package locale
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkAblationPrivatization compares the privatized node-local lookup
+// (chpl_getPrivatizedCopy) against a plain shared pointer dereference. The
+// privatization layer is what keeps metadata access communication-free; this
+// bench verifies its per-access cost is a few nanoseconds, not a reason to
+// special-case the hot path.
+func BenchmarkAblationPrivatization(b *testing.B) {
+	type meta struct{ value int64 }
+	c := NewCluster(Config{Locales: 2, WorkersPerLocale: 1})
+	defer c.Shutdown()
+
+	b.Run("privatized-lookup", func(b *testing.B) {
+		c.Run(func(task *Task) {
+			pid := Privatize(task, func(loc *Locale) any { return &meta{value: int64(loc.ID())} })
+			var sink int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += GetPrivatized[*meta](task, pid).value
+			}
+			_ = sink
+		})
+	})
+	b.Run("direct-pointer", func(b *testing.B) {
+		m := &meta{value: 1}
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += m.value
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkOnLocal measures an `on` targeting the current locale (free).
+func BenchmarkOnLocal(b *testing.B) {
+	c := NewCluster(Config{Locales: 2, WorkersPerLocale: 1})
+	defer c.Shutdown()
+	c.Run(func(task *Task) {
+		var sink atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.On(0, func(sub *Task) { sink.Add(1) })
+		}
+	})
+}
+
+// BenchmarkOnRemote measures an `on` targeting another locale (an active
+// message round trip, uncharged latency in this configuration).
+func BenchmarkOnRemote(b *testing.B) {
+	c := NewCluster(Config{Locales: 2, WorkersPerLocale: 1})
+	defer c.Shutdown()
+	c.Run(func(task *Task) {
+		var sink atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.On(1, func(sub *Task) { sink.Add(1) })
+		}
+	})
+}
+
+// BenchmarkCoforall measures the per-resize replication fan-out cost.
+func BenchmarkCoforall(b *testing.B) {
+	for _, nl := range []int{2, 8} {
+		nl := nl
+		b.Run(map[int]string{2: "2locales", 8: "8locales"}[nl], func(b *testing.B) {
+			c := NewCluster(Config{Locales: nl, WorkersPerLocale: 1})
+			defer c.Shutdown()
+			c.Run(func(task *Task) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					task.Coforall(func(sub *Task) {})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkGlobalLockHome measures lock ops from the home locale.
+func BenchmarkGlobalLockHome(b *testing.B) {
+	c := NewCluster(Config{Locales: 2, WorkersPerLocale: 1})
+	defer c.Shutdown()
+	lock := c.NewGlobalLock(0)
+	c.Run(func(task *Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lock.Acquire(task)
+			lock.Release(task)
+		}
+	})
+}
+
+// BenchmarkGlobalLockRemote measures lock ops from a non-home locale (the
+// SyncArray degradation mechanism once latency is charged).
+func BenchmarkGlobalLockRemote(b *testing.B) {
+	c := NewCluster(Config{Locales: 2, WorkersPerLocale: 1})
+	defer c.Shutdown()
+	lock := c.NewGlobalLock(1)
+	c.Run(func(task *Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lock.Acquire(task)
+			lock.Release(task)
+		}
+	})
+}

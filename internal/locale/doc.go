@@ -1,0 +1,28 @@
+// Package locale is the PGAS (partitioned global address space) model the
+// paper's RCUArray lives in: a Cluster of Locales, Chapel-style task
+// parallelism (`on`, `coforall`), privatization of distributed objects, and
+// a cluster-wide lock.
+//
+// The mapping from Chapel constructs to this package:
+//
+//	Chapel                          here
+//	------------------------------  ------------------------------------
+//	Locales / numLocales            Cluster.Locale(i) / Cluster.NumLocales
+//	here                            Task.Here()
+//	on Locales[i] do ...            Task.On(i, fn)
+//	coforall loc in Locales do on   Task.Coforall(fn)
+//	coforall t in 1..n (tasks)      Task.ForAllTasks(n, fn)
+//	privatization / PID             Privatize / GetPrivatized
+//	chpl_getPrivatizedCopy(PID)     GetPrivatized(task, pid)
+//	sync var / cluster-wide lock    Cluster.NewGlobalLock(home)
+//	implicit PUT/GET                Task.ChargeGet / Task.ChargePut
+//
+// The cluster is simulated in one address space (see DESIGN.md for why that
+// substitution preserves the paper's behaviour): every locale's memory is
+// directly reachable, but the fabric charges latency for, and counts, every
+// remote operation, so locality mistakes are visible in both time and
+// counters. Each locale runs a tasking.Pool whose workers own QSBR
+// participants — the package wires the paper's "runtime support for QSBR"
+// (Section III-B) into the task layer so that array code never manages
+// participants explicitly.
+package locale

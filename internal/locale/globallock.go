@@ -1,0 +1,48 @@
+package locale
+
+import (
+	"sync"
+
+	"rcuarray/internal/comm"
+)
+
+// GlobalLock is the paper's cluster-wide WriteLock: "a lock that is wrapped
+// in some class allocated on a single node, used to provide mutual exclusion
+// with respect to all [locales]". Acquiring it from any locale other than
+// its home costs an active-message round trip, which is why SyncArray both
+// fails to scale and *degrades* as locales are added (Section V-A): every
+// operation from (L-1)/L of the cluster pays the network to reach the lock.
+type GlobalLock struct {
+	cluster *Cluster
+	home    int
+	mu      sync.Mutex
+}
+
+// NewGlobalLock allocates a lock homed on the given locale.
+func (c *Cluster) NewGlobalLock(home int) *GlobalLock {
+	if home < 0 || home >= c.cfg.Locales {
+		panic("locale: GlobalLock home out of range")
+	}
+	return &GlobalLock{cluster: c, home: home}
+}
+
+// Home returns the locale the lock lives on.
+func (l *GlobalLock) Home() int { return l.home }
+
+// Acquire takes the lock, charging the remote round trip when the caller is
+// not on the home locale. While blocked the task's participant is parked so
+// a convoying lock cannot stall QSBR reclamation.
+func (l *GlobalLock) Acquire(t *Task) {
+	l.cluster.fabric.ChargeRoundTrip(t.loc.id, l.home, comm.OpAM, 8)
+	if l.mu.TryLock() {
+		return
+	}
+	t.parked(l.mu.Lock)
+}
+
+// Release drops the lock, charging the release notification to the home
+// locale when remote.
+func (l *GlobalLock) Release(t *Task) {
+	l.mu.Unlock()
+	l.cluster.fabric.Charge(t.loc.id, l.home, comm.OpAM, 8)
+}

@@ -1,0 +1,291 @@
+package locale
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rcuarray/internal/comm"
+)
+
+func newTestCluster(t *testing.T, locales, workers int) *Cluster {
+	t.Helper()
+	c := NewCluster(Config{Locales: locales, WorkersPerLocale: workers})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestClusterDefaults(t *testing.T) {
+	c := NewCluster(Config{})
+	defer c.Shutdown()
+	if c.NumLocales() != 1 || c.WorkersPerLocale() != 4 {
+		t.Fatalf("defaults: locales=%d workers=%d", c.NumLocales(), c.WorkersPerLocale())
+	}
+}
+
+func TestRunExecutesOnLocaleZero(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	ran := false
+	c.Run(func(task *Task) {
+		ran = true
+		if task.Here().ID() != 0 {
+			t.Errorf("driver on locale %d, want 0", task.Here().ID())
+		}
+		if task.QSBR() == nil {
+			t.Error("driver has no QSBR participant")
+		}
+	})
+	if !ran {
+		t.Fatal("Run did not execute fn")
+	}
+}
+
+func TestOnSwitchesHereAndCharges(t *testing.T) {
+	c := newTestCluster(t, 4, 1)
+	c.Run(func(task *Task) {
+		task.On(2, func(sub *Task) {
+			if sub.Here().ID() != 2 {
+				t.Errorf("On(2) body here = %d", sub.Here().ID())
+			}
+			// The participant travels with the thread.
+			if sub.QSBR() != task.QSBR() {
+				t.Error("On body lost the caller's participant")
+			}
+		})
+		// Local On is free.
+		task.On(0, func(sub *Task) {
+			if sub != task {
+				t.Error("local On should reuse the same task")
+			}
+		})
+	})
+	if got := c.Fabric().TotalMsgs(comm.OpAM); got != 2 { // round trip to 2
+		t.Fatalf("AM messages = %d, want 2", got)
+	}
+}
+
+func TestCoforallVisitsEveryLocaleOnce(t *testing.T) {
+	c := newTestCluster(t, 5, 1)
+	var visited [5]atomic.Int64
+	c.Run(func(task *Task) {
+		task.Coforall(func(sub *Task) {
+			visited[sub.Here().ID()].Add(1)
+		})
+	})
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Errorf("locale %d visited %d times", i, got)
+		}
+	}
+	// 4 remote spawns + 4 completions.
+	if got := c.Fabric().TotalMsgs(comm.OpAM); got != 8 {
+		t.Fatalf("AM messages = %d, want 8", got)
+	}
+}
+
+func TestCoforallBodiesHaveDistinctParticipants(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	var mu sync.Mutex
+	parts := make(map[any]bool)
+	c.Run(func(task *Task) {
+		task.Coforall(func(sub *Task) {
+			mu.Lock()
+			parts[sub.QSBR()] = true
+			mu.Unlock()
+		})
+	})
+	if len(parts) != 3 {
+		t.Fatalf("distinct participants = %d, want 3", len(parts))
+	}
+}
+
+func TestForAllTasksRunsOnPoolWorkers(t *testing.T) {
+	c := newTestCluster(t, 2, 3)
+	var onWorker atomic.Int64
+	c.Run(func(task *Task) {
+		task.On(1, func(sub *Task) {
+			sub.ForAllTasks(10, func(tt *Task, i int) {
+				if tt.worker != nil && tt.worker.Pool == c.Locale(1).Pool() {
+					onWorker.Add(1)
+				}
+				if tt.Here().ID() != 1 {
+					t.Errorf("task %d on locale %d, want 1", i, tt.Here().ID())
+				}
+			})
+		})
+	})
+	if got := onWorker.Load(); got != 10 {
+		t.Fatalf("%d/10 tasks ran on pool workers", got)
+	}
+}
+
+func TestForAllTasksFromOwnPoolPanics(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	panicked := make(chan bool, 1)
+	c.Run(func(task *Task) {
+		task.ForAllTasks(1, func(tt *Task, _ int) {
+			defer func() { panicked <- recover() != nil }()
+			tt.ForAllTasks(1, func(*Task, int) {})
+		})
+	})
+	if !<-panicked {
+		t.Fatal("nested ForAllTasks on the same pool did not panic")
+	}
+}
+
+func TestPrivatizationIsNodeLocal(t *testing.T) {
+	type meta struct{ home int }
+	c := newTestCluster(t, 4, 1)
+	c.Run(func(task *Task) {
+		pid := Privatize(task, func(loc *Locale) any { return &meta{home: loc.ID()} })
+		task.Coforall(func(sub *Task) {
+			m := GetPrivatized[*meta](sub, pid)
+			if m.home != sub.Here().ID() {
+				t.Errorf("locale %d got instance for %d", sub.Here().ID(), m.home)
+			}
+		})
+		// A second privatized object gets a distinct PID.
+		pid2 := Privatize(task, func(loc *Locale) any { return &meta{home: -1} })
+		if pid2 == pid {
+			t.Error("PIDs collided")
+		}
+		count := 0
+		EachPrivatized[*meta](c, pid2, func(loc *Locale, m *meta) {
+			if m.home != -1 {
+				t.Errorf("wrong instance via EachPrivatized")
+			}
+			count++
+		})
+		if count != 4 {
+			t.Errorf("EachPrivatized visited %d locales, want 4", count)
+		}
+	})
+	// GET/PUT free: privatized access is node-local.
+	if got := c.Fabric().TotalMsgs(comm.OpGet) + c.Fabric().TotalMsgs(comm.OpPut); got != 0 {
+		t.Fatalf("privatized lookups cost %d GET/PUT messages", got)
+	}
+}
+
+func TestGetPrivatizedWrongTypePanics(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *Task) {
+		pid := Privatize(task, func(loc *Locale) any { return "a string" })
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-type GetPrivatized did not panic")
+			}
+		}()
+		GetPrivatized[*int](task, pid)
+	})
+}
+
+func TestGlobalLockMutualExclusion(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	lock := c.NewGlobalLock(0)
+	if lock.Home() != 0 {
+		t.Fatalf("Home = %d", lock.Home())
+	}
+	var inside atomic.Int64
+	var maxInside atomic.Int64
+	c.Run(func(task *Task) {
+		task.Coforall(func(sub *Task) {
+			for i := 0; i < 20; i++ {
+				lock.Acquire(sub)
+				if n := inside.Add(1); n > maxInside.Load() {
+					maxInside.Store(n)
+				}
+				inside.Add(-1)
+				lock.Release(sub)
+			}
+		})
+	})
+	if got := maxInside.Load(); got != 1 {
+		t.Fatalf("lock admitted %d holders", got)
+	}
+	// Remote acquisitions were charged (2 of 3 locales are remote).
+	if got := c.Fabric().TotalMsgs(comm.OpAM); got == 0 {
+		t.Fatal("no AM traffic recorded for remote lock operations")
+	}
+}
+
+func TestGlobalLockHomeValidation(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range home did not panic")
+		}
+	}()
+	c.NewGlobalLock(2)
+}
+
+func TestChargeGetPutAccounting(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *Task) {
+		task.ChargeGet(1, 8)
+		task.ChargePut(1, 16)
+		task.ChargeGet(0, 8) // local: free
+	})
+	f := c.Fabric()
+	if f.TotalMsgs(comm.OpGet) != 1 || f.TotalBytes(comm.OpGet) != 8 {
+		t.Fatalf("GET accounting: %d msgs %d bytes", f.TotalMsgs(comm.OpGet), f.TotalBytes(comm.OpGet))
+	}
+	if f.TotalMsgs(comm.OpPut) != 1 || f.TotalBytes(comm.OpPut) != 16 {
+		t.Fatalf("PUT accounting: %d msgs %d bytes", f.TotalMsgs(comm.OpPut), f.TotalBytes(comm.OpPut))
+	}
+}
+
+func TestWorkerParticipantsParkWhenIdle(t *testing.T) {
+	c := newTestCluster(t, 1, 2)
+	// After the pool goes idle, its workers park; a driver deferral can
+	// then be reclaimed by the driver alone.
+	c.Run(func(task *Task) {
+		freed := false
+		task.QSBR().Defer(func() { freed = true })
+		// Workers may briefly be unparked; retry until they settle.
+		for i := 0; i < 1000 && !freed; i++ {
+			task.Checkpoint()
+		}
+		if !freed {
+			t.Error("idle workers stalled reclamation (never parked)")
+		}
+	})
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	c := NewCluster(Config{Locales: 2})
+	c.Shutdown()
+	c.Shutdown()
+}
+
+func TestQSBRDomainSharedAcrossLocales(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	// 3 locales x 2 workers register at pool start.
+	if got := c.QSBR().Participants(); got != 6 {
+		t.Fatalf("participants = %d, want 6", got)
+	}
+}
+
+// With AutoCheckpoint, pool tasks reclaim deferred memory at task boundaries
+// without any explicit checkpoint calls — the "runtime-injected checkpoints"
+// option from the paper's Section III-B discussion.
+func TestAutoCheckpointReclaimsAtTaskBoundary(t *testing.T) {
+	c := NewCluster(Config{Locales: 1, WorkersPerLocale: 2, AutoCheckpoint: true})
+	defer c.Shutdown()
+	var freed atomic.Bool
+	c.Run(func(task *Task) {
+		task.ForAllTasks(1, func(tt *Task, _ int) {
+			tt.QSBR().Defer(func() { freed.Store(true) })
+			// No explicit checkpoint here.
+		})
+		// The deferral becomes safe once the worker's post-task
+		// checkpoint runs and the driver (the only other active
+		// participant) checkpoints.
+		for i := 0; i < 1000 && !freed.Load(); i++ {
+			task.Checkpoint()
+			task.ForAllTasks(1, func(*Task, int) {})
+		}
+	})
+	if !freed.Load() {
+		t.Fatal("AutoCheckpoint never reclaimed the task's deferral")
+	}
+}

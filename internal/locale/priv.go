@@ -1,0 +1,55 @@
+package locale
+
+import "fmt"
+
+// Privatize allocates one instance of a distributed object per locale by
+// running factory on each locale and installing the results in every
+// locale's privatization table under a fresh PID. It models Chapel's
+// privatization: afterwards, GetPrivatized on any locale is a node-local
+// lookup with no communication (the paper relies on this for both data types
+// in Listing 1).
+//
+// factory runs once per locale, in locale order, on the caller's thread;
+// privatization happens at data-structure construction time, which the paper
+// excludes from all measurements.
+func Privatize(t *Task, factory func(loc *Locale) any) PID {
+	c := t.loc.cluster
+	c.privMu.Lock()
+	defer c.privMu.Unlock()
+	pid := PID(c.nextPID.Add(1) - 1)
+	for _, loc := range c.locales {
+		inst := factory(loc)
+		old := *loc.priv.Load()
+		next := make([]any, len(old)+1)
+		copy(next, old)
+		next[len(old)] = inst
+		if len(next) != int(pid)+1 {
+			panic(fmt.Sprintf("locale: privatization table skew on locale %d: len=%d pid=%d",
+				loc.id, len(next), pid))
+		}
+		loc.priv.Store(&next)
+	}
+	return pid
+}
+
+// GetPrivatized returns the calling locale's instance for pid — the
+// chpl_getPrivatizedCopy of Algorithm 3 line 4. It is communication-free:
+// one atomic load and an index into the local table.
+func GetPrivatized[T any](t *Task, pid PID) T {
+	table := *t.loc.priv.Load()
+	inst, ok := table[pid].(T)
+	if !ok {
+		panic(fmt.Sprintf("locale: privatized object %d has type %T, not the requested type", pid, table[pid]))
+	}
+	return inst
+}
+
+// EachPrivatized visits every locale's instance for pid (used by teardown
+// and by tests asserting replica consistency). It does not charge
+// communication: it is a meta-operation, not part of any measured path.
+func EachPrivatized[T any](c *Cluster, pid PID, visit func(loc *Locale, inst T)) {
+	for _, loc := range c.locales {
+		table := *loc.priv.Load()
+		visit(loc, table[pid].(T))
+	}
+}

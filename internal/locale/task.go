@@ -1,0 +1,139 @@
+package locale
+
+import (
+	"sync"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/qsbr"
+	"rcuarray/internal/tasking"
+)
+
+// Task is an execution context: which locale the code is (logically) running
+// on — Chapel's `here` — plus the QSBR participant of the underlying thread.
+// Tasks are passed explicitly because Go, like Chapel user code, has no TLS;
+// this explicitness is the Go rendering of what Chapel's compiler threads
+// through implicitly.
+type Task struct {
+	loc    *Locale
+	part   *qsbr.Participant
+	worker *tasking.Worker // nil for ephemeral (non-pool) tasks
+}
+
+// Here returns the locale the task is executing on.
+func (t *Task) Here() *Locale { return t.loc }
+
+// Cluster returns the owning cluster.
+func (t *Task) Cluster() *Cluster { return t.loc.cluster }
+
+// QSBR returns the task's QSBR participant (the worker's TLS, or the
+// ephemeral participant for driver/coforall tasks).
+func (t *Task) QSBR() *qsbr.Participant { return t.part }
+
+// Checkpoint invokes a QSBR checkpoint on the task's participant. This is
+// the user-facing "strategic checkpoint placement" knob of Section V-B.
+func (t *Task) Checkpoint() int { return t.part.Checkpoint() }
+
+// Run executes fn as the program's driver task. The driver is an ephemeral
+// task homed on locale 0 with its own registered participant (it models
+// Chapel's main task). Run blocks until fn returns.
+func (c *Cluster) Run(fn func(*Task)) {
+	t := c.newEphemeralTask(c.locales[0])
+	defer t.release()
+	fn(t)
+}
+
+// newEphemeralTask creates a task with a freshly registered participant.
+func (c *Cluster) newEphemeralTask(loc *Locale) *Task {
+	return &Task{loc: loc, part: c.qsbr.Register()}
+}
+
+// release retires an ephemeral task's participant. Pending deferrals are
+// orphaned to the domain (drained by any later checkpoint).
+func (t *Task) release() {
+	t.loc.cluster.qsbr.Unregister(t.part)
+}
+
+// parked runs fn with the task's participant parked, so that a task blocked
+// waiting on children never stalls reclamation — the tasking-layer park
+// assistance of Section III-B applied to fork/join waits.
+func (t *Task) parked(fn func()) {
+	t.part.Park()
+	defer t.part.Unpark()
+	fn()
+}
+
+// On runs fn on locale dst, blocking until it completes — Chapel's
+// `on Locales[dst] do ...`. The body runs on the caller's thread (so it
+// keeps the caller's participant) with `here` rebound; a remote target is
+// charged an active-message round trip.
+func (t *Task) On(dst int, fn func(*Task)) {
+	target := t.loc.cluster.locales[dst]
+	if target == t.loc {
+		fn(t)
+		return
+	}
+	t.loc.cluster.fabric.ChargeRoundTrip(t.loc.id, dst, comm.OpAM, 0)
+	sub := &Task{loc: target, part: t.part, worker: t.worker}
+	fn(sub)
+}
+
+// Coforall runs fn once per locale, in parallel, and waits for all bodies —
+// Chapel's `coforall loc in Locales do on loc`. Each body is an ephemeral
+// task with its own participant homed on its locale; remote spawns are
+// charged an active message each. The parent parks while waiting.
+func (t *Task) Coforall(fn func(*Task)) {
+	c := t.loc.cluster
+	var wg sync.WaitGroup
+	launch := func(loc *Locale) {
+		wg.Add(1)
+		if loc != t.loc {
+			c.fabric.Charge(t.loc.id, loc.id, comm.OpAM, 0)
+		}
+		go func() {
+			defer wg.Done()
+			sub := c.newEphemeralTask(loc)
+			defer sub.release()
+			fn(sub)
+			if loc != t.loc {
+				// Completion notification back to the parent.
+				c.fabric.Charge(loc.id, t.loc.id, comm.OpAM, 0)
+			}
+		}()
+	}
+	for _, loc := range c.locales {
+		launch(loc)
+	}
+	t.parked(wg.Wait)
+}
+
+// ForAllTasks runs n tasks on the current locale's worker pool and waits —
+// Chapel's `coforall i in 1..n`. Bodies execute on pool workers and use the
+// workers' persistent participants, which is what makes the Figure 4
+// checkpoint-frequency experiment meaningful (a worker that never
+// checkpoints stalls reclamation until it parks).
+//
+// ForAllTasks must not be called from a task already running on this
+// locale's pool (the wait could starve the pool); driver and coforall tasks
+// are ephemeral, so the intended call pattern is safe.
+func (t *Task) ForAllTasks(n int, fn func(*Task, int)) {
+	loc := t.loc
+	if t.worker != nil && t.worker.Pool == loc.pool {
+		panic("locale: ForAllTasks from a worker of the same pool")
+	}
+	t.parked(func() {
+		loc.pool.ForAll(n, func(w *tasking.Worker, i int) {
+			sub := &Task{loc: loc, part: w.TLS.(*qsbr.Participant), worker: w}
+			fn(sub, i)
+		})
+	})
+}
+
+// ChargeGet accounts for reading size bytes from the locale owning the data.
+func (t *Task) ChargeGet(owner, size int) {
+	t.loc.cluster.fabric.Charge(t.loc.id, owner, comm.OpGet, size)
+}
+
+// ChargePut accounts for writing size bytes to the locale owning the data.
+func (t *Task) ChargePut(owner, size int) {
+	t.loc.cluster.fabric.Charge(t.loc.id, owner, comm.OpPut, size)
+}

@@ -1,0 +1,40 @@
+package memory
+
+import "testing"
+
+// BenchmarkAllocFreeRecycled measures the steady-state block cycle: every
+// Alloc is served from the free list (how RCUArray's Shrink→Grow behaves).
+func BenchmarkAllocFreeRecycled(b *testing.B) {
+	var st Stats
+	p := NewPool[int64](0, 1024, &st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := p.Alloc()
+		p.Free(blk)
+	}
+}
+
+// BenchmarkAllocFresh measures cold allocation (free list empty).
+func BenchmarkAllocFresh(b *testing.B) {
+	var st Stats
+	p := NewPool[int64](0, 1024, &st)
+	blocks := make([]*Block[int64], 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocks = append(blocks, p.Alloc())
+	}
+	b.StopTimer()
+	for _, blk := range blocks {
+		p.Free(blk)
+	}
+}
+
+// BenchmarkCheckLive measures the use-after-free tripwire on the element
+// access path (two of these per RCUArray operation).
+func BenchmarkCheckLive(b *testing.B) {
+	var o Object
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.CheckLive()
+	}
+}

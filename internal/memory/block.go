@@ -1,0 +1,29 @@
+package memory
+
+// Block is a fixed-capacity chunk of elements, the unit of both allocation
+// and distribution in RCUArray (the paper's `Block` with capacity BlockSize).
+// A block is owned by exactly one locale; accesses from other locales are
+// remote PUT/GET operations, which the locale layer accounts for.
+//
+// Blocks embed Object so that the recycling scheme of Section III-C is
+// checkable: a block referenced by any snapshot must be live, and recycling
+// moves the *pointer* between snapshots without ever retiring the block.
+type Block[T any] struct {
+	Object
+	// Owner is the id of the locale whose memory holds Data.
+	Owner int
+	// Data holds the elements. Its length equals the pool's block size and
+	// never changes after allocation.
+	Data []T
+}
+
+// Cap returns the block's element capacity.
+func (b *Block[T]) Cap() int { return len(b.Data) }
+
+// poisonValue is stored into freed blocks' slots when the pool poisons
+// them, so a reader that holds a stale reference into a *freed* (not
+// recycled) block observes garbage deterministically in tests.
+func poison[T any]() T {
+	var zero T
+	return zero
+}

@@ -1,0 +1,18 @@
+// Package memory provides the manual memory-management substrate the paper
+// assumes: Chapel has no garbage collector, so reclaiming a snapshot while a
+// reader still holds it is a real use-after-free. Go's GC would silently mask
+// that failure mode ("GC dulls the reclamation point"), so this package
+// restores it:
+//
+//   - Block[T] values are allocated from per-locale Pool[T] free lists and
+//     explicitly freed back. A freed block is poisoned.
+//   - Object is an embeddable lifecycle tag (live → retired) with double-free
+//     and use-after-free detection; snapshots embed it so that an EBR/QSBR
+//     bug that reclaims a visible snapshot is *detected* by torture tests
+//     rather than absorbed by the GC.
+//   - Stats counts allocations, frees, free-list recycling, and live objects,
+//     which the Lemma-1 test ("at most two active snapshots") reads.
+//
+// All checks are always on; they are cheap (one atomic load) relative to the
+// operations they guard.
+package memory

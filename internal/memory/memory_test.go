@@ -1,0 +1,203 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectLifecycle(t *testing.T) {
+	var o Object
+	if !o.Live() {
+		t.Fatal("new object not live")
+	}
+	o.CheckLive() // must not panic
+	o.Retire()
+	if o.Live() {
+		t.Fatal("retired object reported live")
+	}
+	o.Resurrect()
+	if !o.Live() {
+		t.Fatal("resurrected object not live")
+	}
+	if got := o.Generation(); got != 1 {
+		t.Fatalf("Generation = %d, want 1", got)
+	}
+}
+
+func TestObjectDoubleRetirePanics(t *testing.T) {
+	var o Object
+	o.Retire()
+	assertPanics(t, "double retire", func() { o.Retire() })
+}
+
+func TestObjectResurrectLivePanics(t *testing.T) {
+	var o Object
+	assertPanics(t, "resurrect live", func() { o.Resurrect() })
+}
+
+func TestObjectCheckLivePanicsAfterRetire(t *testing.T) {
+	var o Object
+	o.Retire()
+	assertPanics(t, "use after free", func() { o.CheckLive() })
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	var st Stats
+	p := NewPool[int64](3, 8, &st)
+	if p.BlockSize() != 8 || p.Owner() != 3 {
+		t.Fatalf("pool metadata wrong: size=%d owner=%d", p.BlockSize(), p.Owner())
+	}
+	b := p.Alloc()
+	if b.Owner != 3 || b.Cap() != 8 {
+		t.Fatalf("block metadata wrong: owner=%d cap=%d", b.Owner, b.Cap())
+	}
+	if !b.Live() {
+		t.Fatal("allocated block not live")
+	}
+	b.Data[0] = 42
+	p.Free(b)
+	if b.Live() {
+		t.Fatal("freed block still live")
+	}
+	if b.Data[0] != 0 {
+		t.Fatalf("freed block not poisoned: Data[0]=%d", b.Data[0])
+	}
+	if st.Allocs() != 1 || st.Frees() != 1 || st.Live() != 0 {
+		t.Fatalf("stats wrong: allocs=%d frees=%d live=%d", st.Allocs(), st.Frees(), st.Live())
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var st Stats
+	p := NewPool[int](0, 4, &st)
+	b1 := p.Alloc()
+	p.Free(b1)
+	if got := p.FreeListLen(); got != 1 {
+		t.Fatalf("FreeListLen = %d, want 1", got)
+	}
+	b2 := p.Alloc()
+	if b2 != b1 {
+		t.Fatal("pool did not recycle the freed block")
+	}
+	if !b2.Live() {
+		t.Fatal("recycled block not live")
+	}
+	if got := b2.Generation(); got != 1 {
+		t.Fatalf("recycled block generation = %d, want 1", got)
+	}
+	if st.Recycled() != 1 {
+		t.Fatalf("Recycled = %d, want 1", st.Recycled())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	var st Stats
+	p := NewPool[int](0, 4, &st)
+	b := p.Alloc()
+	p.Free(b)
+	assertPanics(t, "double free", func() { p.Free(b) })
+}
+
+func TestPoolSizeMismatchPanics(t *testing.T) {
+	var st Stats
+	p4 := NewPool[int](0, 4, &st)
+	p8 := NewPool[int](0, 8, &st)
+	b := p4.Alloc()
+	assertPanics(t, "size mismatch", func() { p8.Free(b) })
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	var st Stats
+	assertPanics(t, "zero block size", func() { NewPool[int](0, 0, &st) })
+	assertPanics(t, "nil stats", func() { NewPool[int](0, 4, nil) })
+}
+
+func TestStatsLiveMax(t *testing.T) {
+	var st Stats
+	p := NewPool[byte](0, 16, &st)
+	blocks := make([]*Block[byte], 10)
+	for i := range blocks {
+		blocks[i] = p.Alloc()
+	}
+	for _, b := range blocks {
+		p.Free(b)
+	}
+	if got := st.LiveMax(); got != 10 {
+		t.Fatalf("LiveMax = %d, want 10", got)
+	}
+	if got := st.Live(); got != 0 {
+		t.Fatalf("Live = %d, want 0", got)
+	}
+}
+
+func TestPoolConcurrentAllocFree(t *testing.T) {
+	var st Stats
+	p := NewPool[int](0, 4, &st)
+	const workers = 8
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b := p.Alloc()
+				b.Data[0] = i
+				p.Free(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Allocs() != workers*rounds || st.Frees() != workers*rounds {
+		t.Fatalf("allocs=%d frees=%d, want %d each", st.Allocs(), st.Frees(), workers*rounds)
+	}
+	if st.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", st.Live())
+	}
+}
+
+// Property: after any interleaved sequence of allocs and frees, live count
+// equals allocs-frees and every outstanding block is live while every freed
+// block is retired.
+func TestPoolAccountingProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var st Stats
+		p := NewPool[int](1, 2, &st)
+		var outstanding []*Block[int]
+		allocs, frees := 0, 0
+		for _, alloc := range ops {
+			if alloc || len(outstanding) == 0 {
+				outstanding = append(outstanding, p.Alloc())
+				allocs++
+			} else {
+				b := outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				p.Free(b)
+				frees++
+			}
+		}
+		if st.Live() != int64(allocs-frees) {
+			return false
+		}
+		for _, b := range outstanding {
+			if !b.Live() {
+				return false
+			}
+		}
+		return st.Allocs() == uint64(allocs) && st.Frees() == uint64(frees)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,49 @@
+package memory
+
+import "rcuarray/internal/xsync"
+
+// Stats aggregates allocator activity. One Stats value is shared by all the
+// pools of a locale (or of a test), so the counters are padded to avoid
+// false sharing between the hot Alloc/Free paths and unrelated state.
+type Stats struct {
+	allocs   xsync.PaddedUint64 // total Alloc calls
+	frees    xsync.PaddedUint64 // total Free calls
+	recycled xsync.PaddedUint64 // Allocs served from a free list
+	live     xsync.PaddedInt64  // currently live objects
+	liveMax  xsync.PaddedInt64  // high-water mark of live (approximate under races)
+}
+
+// NoteAlloc records an allocation; fromFreeList marks a free-list hit.
+func (s *Stats) NoteAlloc(fromFreeList bool) {
+	s.allocs.Inc()
+	if fromFreeList {
+		s.recycled.Inc()
+	}
+	n := s.live.Add(1)
+	// High-water update is racy-by-design: a concurrent stale store can
+	// only under-report, never corrupt, and tests read it after quiescing.
+	if n > s.liveMax.Load() {
+		s.liveMax.Store(n)
+	}
+}
+
+// NoteFree records a deallocation.
+func (s *Stats) NoteFree() {
+	s.frees.Inc()
+	s.live.Add(-1)
+}
+
+// Allocs returns the total number of allocations.
+func (s *Stats) Allocs() uint64 { return s.allocs.Load() }
+
+// Frees returns the total number of frees.
+func (s *Stats) Frees() uint64 { return s.frees.Load() }
+
+// Recycled returns how many allocations were served from a free list.
+func (s *Stats) Recycled() uint64 { return s.recycled.Load() }
+
+// Live returns the number of currently live objects.
+func (s *Stats) Live() int64 { return s.live.Load() }
+
+// LiveMax returns the high-water mark of simultaneously live objects.
+func (s *Stats) LiveMax() int64 { return s.liveMax.Load() }

@@ -1,0 +1,116 @@
+// Package prcu implements Predicate RCU (Arbel & Morrison, PPoPP 2015), the
+// first of the two RCU extensions the paper's related-work section
+// describes: "Predicate RCU ... makes use of a user-supplied predicate to
+// determine whether a writer should wait for a concurrent reader."
+//
+// The implementation generalizes the paper's own TLS-free EBR construction:
+// instead of one pair of collective EpochReaders counters per domain, the
+// domain holds one pair per predicate stripe. A reader enters with the
+// predicate value describing what it will access (for RCUArray, for
+// example, the block index); a writer synchronizes against a single stripe
+// and waits only for readers whose predicate hashed to it. Readers of
+// unrelated data never delay the writer — the benchmark in this package
+// shows writer-side synchronize latency dropping proportionally to the
+// stripe count when readers and writers touch disjoint predicates.
+//
+// The memory-ordering argument is stripe-local and identical to Algorithm
+// 1's: each stripe has its own epoch whose parity selects the counter, the
+// record/verify/undo loop makes the increment the linearization point, and
+// overflow preserves parity (the paper's Lemmas 2 and 3 apply per stripe).
+// SynchronizeAll provides the classic full-domain grace period by walking
+// every stripe.
+package prcu
+
+import (
+	"fmt"
+
+	"rcuarray/internal/ebr"
+)
+
+// Domain is a predicate-striped reclamation domain.
+type Domain struct {
+	stripes []*ebr.Domain
+	mask    uint64
+}
+
+// New returns a domain with the given number of predicate stripes (rounded
+// up to a power of two, minimum 1). More stripes mean fewer false waits and
+// more writer-side work in SynchronizeAll.
+func New(stripes int) *Domain {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	d := &Domain{stripes: make([]*ebr.Domain, n), mask: uint64(n - 1)}
+	for i := range d.stripes {
+		d.stripes[i] = ebr.New()
+	}
+	return d
+}
+
+// Stripes returns the stripe count.
+func (d *Domain) Stripes() int { return len(d.stripes) }
+
+// stripe maps a predicate value to its stripe. The finalizer keeps
+// clustered predicates (sequential block indices) from sharing stripes.
+func (d *Domain) stripe(pred uint64) *ebr.Domain {
+	return d.stripes[mix(pred)&d.mask]
+}
+
+// Guard is the evidence of an entered predicate read-side section.
+type Guard struct {
+	inner ebr.Guard
+}
+
+// Enter begins a read-side critical section for data matching pred.
+// Accesses inside the section must be confined to data covered by pred —
+// that confinement is the contract that lets writers skip waiting for this
+// reader.
+func (d *Domain) Enter(pred uint64) Guard {
+	return Guard{inner: d.stripe(pred).Enter()}
+}
+
+// Exit ends the section.
+func (g Guard) Exit() { g.inner.Exit() }
+
+// Synchronize waits only for readers whose predicate collides with pred —
+// the whole point of PRCU. On return, data matching pred that was unlinked
+// before the call is safe to reclaim.
+func (d *Domain) Synchronize(pred uint64) {
+	d.stripe(pred).Synchronize()
+}
+
+// SynchronizeAll waits for every reader regardless of predicate (the
+// classic grace period; needed when a writer's change spans predicates,
+// e.g. RCUArray's whole-snapshot replacement).
+//
+// Callers must hold the same mutual exclusion for the full call that
+// Synchronize requires per stripe.
+func (d *Domain) SynchronizeAll() {
+	for _, s := range d.stripes {
+		s.Synchronize()
+	}
+}
+
+// ActiveReaders reports the in-flight reader count on pred's stripe for the
+// given epoch parity (diagnostics; immediately stale).
+func (d *Domain) ActiveReaders(pred uint64, parity uint64) uint64 {
+	return d.stripe(pred).ActiveReaders(parity)
+}
+
+// Validate panics unless the domain is well formed (used by tests).
+func (d *Domain) Validate() {
+	if len(d.stripes)&(len(d.stripes)-1) != 0 {
+		panic(fmt.Sprintf("prcu: stripe count %d not a power of two", len(d.stripes)))
+	}
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,181 @@
+package prcu
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// twoPreds returns two predicate values guaranteed to land on different
+// stripes of d.
+func twoPreds(t *testing.T, d *Domain) (uint64, uint64) {
+	t.Helper()
+	if d.Stripes() < 2 {
+		t.Fatal("need >= 2 stripes")
+	}
+	a := uint64(0)
+	sa := mix(a) & d.mask
+	for b := uint64(1); b < 10000; b++ {
+		if mix(b)&d.mask != sa {
+			return a, b
+		}
+	}
+	t.Fatal("no colliding-free predicate found")
+	return 0, 0
+}
+
+func TestStripesRoundUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		d := New(tc.in)
+		if d.Stripes() != tc.want {
+			t.Fatalf("New(%d).Stripes() = %d, want %d", tc.in, d.Stripes(), tc.want)
+		}
+		d.Validate()
+	}
+}
+
+func TestEnterExitSynchronizeSamePredicate(t *testing.T) {
+	d := New(4)
+	pred := uint64(7)
+	g := d.Enter(pred)
+
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize(pred)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while a same-predicate reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Exit()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize never returned")
+	}
+}
+
+// The defining property: a writer does NOT wait for readers of disjoint
+// predicates.
+func TestSynchronizeSkipsDisjointReaders(t *testing.T) {
+	d := New(8)
+	pa, pb := twoPreds(t, d)
+
+	g := d.Enter(pa) // long-running reader of predicate A
+	defer g.Exit()
+
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize(pb) // writer touching predicate B
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer waited for a disjoint-predicate reader")
+	}
+}
+
+func TestSynchronizeAllWaitsForEveryone(t *testing.T) {
+	d := New(8)
+	pa, pb := twoPreds(t, d)
+	ga := d.Enter(pa)
+	gb := d.Enter(pb)
+
+	done := make(chan struct{})
+	go func() {
+		d.SynchronizeAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("SynchronizeAll skipped an active reader")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ga.Exit()
+	select {
+	case <-done:
+		t.Fatal("SynchronizeAll returned with one reader still active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	gb.Exit()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SynchronizeAll never returned")
+	}
+}
+
+// Safety torture per stripe: writers on predicate A must never reclaim an
+// object a predicate-A reader still holds, while predicate-B readers churn.
+func TestTortureDisjointPredicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture skipped in -short mode")
+	}
+	d := New(8)
+	pa, pb := twoPreds(t, d)
+
+	type node struct {
+		retired atomic.Bool
+		v       int
+	}
+	var cur atomic.Pointer[node]
+	cur.Store(&node{})
+
+	var stop atomic.Bool
+	var violations atomic.Int64
+	doneReaders := make(chan struct{})
+	go func() { // predicate-A readers: protect cur
+		defer close(doneReaders)
+		for !stop.Load() {
+			g := d.Enter(pa)
+			n := cur.Load()
+			if n.retired.Load() {
+				violations.Add(1)
+			}
+			_ = n.v
+			if n.retired.Load() {
+				violations.Add(1)
+			}
+			g.Exit()
+		}
+	}()
+	noise := make(chan struct{})
+	go func() { // predicate-B readers: unrelated traffic
+		defer close(noise)
+		for !stop.Load() {
+			g := d.Enter(pb)
+			g.Exit()
+		}
+	}()
+
+	writes := 0
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		old := cur.Load()
+		cur.Store(&node{v: old.v + 1})
+		d.Synchronize(pa)
+		old.retired.Store(true)
+		writes++
+	}
+	stop.Store(true)
+	<-doneReaders
+	<-noise
+	if violations.Load() != 0 {
+		t.Fatalf("%d use-after-free violations", violations.Load())
+	}
+	if writes == 0 {
+		t.Fatal("no writes")
+	}
+}
+
+func TestActiveReadersDiagnostics(t *testing.T) {
+	d := New(2)
+	g := d.Enter(5)
+	if d.ActiveReaders(5, 0)+d.ActiveReaders(5, 1) == 0 {
+		t.Fatal("active reader invisible")
+	}
+	g.Exit()
+}

@@ -1,0 +1,67 @@
+package qsbr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCheckpointIdle measures the cost of a checkpoint with nothing to
+// reclaim — the per-operation overhead a task pays at Figure 4's leftmost
+// point. It must stay a handful of loads: one observed-epoch store, a scan
+// of the participant registry, and an empty defer-list split.
+func BenchmarkCheckpointIdle(b *testing.B) {
+	for _, parts := range []int{1, 4, 16, 64} {
+		parts := parts
+		b.Run(fmt.Sprintf("participants=%d", parts), func(b *testing.B) {
+			d := New()
+			ps := make([]*Participant, parts)
+			for i := range ps {
+				ps[i] = d.Register()
+			}
+			p := ps[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Checkpoint()
+			}
+		})
+	}
+}
+
+// BenchmarkDefer measures QSBR_Defer: one epoch fetch-add, one observed
+// store, one list push.
+func BenchmarkDefer(b *testing.B) {
+	d := New()
+	p := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Defer(func() {})
+		if i%1024 == 1023 {
+			b.StopTimer()
+			p.Checkpoint() // drain so the list doesn't grow unboundedly
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkDeferCheckpointCycle measures the full reclamation round trip:
+// defer one object, checkpoint, reclaim it.
+func BenchmarkDeferCheckpointCycle(b *testing.B) {
+	d := New()
+	p := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Defer(func() {})
+		p.Checkpoint()
+	}
+}
+
+// BenchmarkParkUnpark measures the idle transition the tasking layer drives.
+func BenchmarkParkUnpark(b *testing.B) {
+	d := New()
+	p := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Park()
+		p.Unpark()
+	}
+}

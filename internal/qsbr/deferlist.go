@@ -1,0 +1,86 @@
+package qsbr
+
+// deferNode is one entry of a participant's LIFO defer list: the reclamation
+// closure plus the safe epoch that must be globally observed before it may
+// run. The paper models entries as the triple (m, e, t); the insertion time t
+// exists only for its proofs and is omitted here, as footnote 6 permits.
+type deferNode struct {
+	next      *deferNode
+	safeEpoch uint64
+	free      func()
+}
+
+// deferList is a singly linked LIFO owned by exactly one participant; only
+// the owner pushes and splits, so no synchronization is needed (the paper's
+// "memory reclamation can be performed in a parallel-safe manner" per-thread
+// argument).
+type deferList struct {
+	head *deferNode
+	size int
+}
+
+// push prepends an entry. Lemma 4: because safe epochs derive from a
+// monotonically increasing StateEpoch and pushes are sequential on the owner,
+// the list stays sorted descending by safe epoch.
+func (l *deferList) push(safeEpoch uint64, free func()) {
+	l.head = &deferNode{next: l.head, safeEpoch: safeEpoch, free: free}
+	l.size++
+}
+
+// popLessEqual splits the list at the first entry with safeEpoch <= min and
+// returns that suffix (Algorithm 2 line 9). Thanks to the descending order,
+// everything after the split point is also reclaimable.
+func (l *deferList) popLessEqual(min uint64) *deferNode {
+	var prev *deferNode
+	cur := l.head
+	n := 0
+	for cur != nil && cur.safeEpoch > min {
+		prev = cur
+		cur = cur.next
+		n++
+	}
+	if cur == nil {
+		return nil
+	}
+	if prev == nil {
+		l.head = nil
+	} else {
+		prev.next = nil
+	}
+	l.size = n
+	return cur
+}
+
+// takeAll removes and returns the whole list (used when parking or
+// unregistering hands entries to the orphan list).
+func (l *deferList) takeAll() *deferNode {
+	h := l.head
+	l.head = nil
+	l.size = 0
+	return h
+}
+
+// sorted reports whether the list is sorted descending by safe epoch.
+// Tests assert it as the Lemma 4 invariant.
+func (l *deferList) sorted() bool {
+	for n := l.head; n != nil && n.next != nil; n = n.next {
+		if n.safeEpoch <= n.next.safeEpoch {
+			return false
+		}
+	}
+	return true
+}
+
+// reclaim runs every free closure on the chain and returns how many ran
+// (Algorithm 2 lines 10–13).
+func reclaim(head *deferNode) int {
+	n := 0
+	for head != nil {
+		next := head.next
+		head.free()
+		head.next = nil // help GC, and catch accidental reuse
+		head = next
+		n++
+	}
+	return n
+}

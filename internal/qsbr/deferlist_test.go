@@ -1,0 +1,151 @@
+package qsbr
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeferListPushOrder(t *testing.T) {
+	var l deferList
+	for e := uint64(1); e <= 5; e++ {
+		l.push(e, func() {})
+	}
+	if l.size != 5 {
+		t.Fatalf("size = %d, want 5", l.size)
+	}
+	if !l.sorted() {
+		t.Fatal("list not sorted descending after monotone pushes")
+	}
+	if l.head.safeEpoch != 5 {
+		t.Fatalf("head epoch = %d, want 5 (LIFO)", l.head.safeEpoch)
+	}
+}
+
+func TestPopLessEqualSplitsSuffix(t *testing.T) {
+	var l deferList
+	var freed []uint64
+	for e := uint64(1); e <= 6; e++ {
+		e := e
+		l.push(e, func() { freed = append(freed, e) })
+	}
+	// min=3 keeps {6,5,4}, frees {3,2,1}.
+	n := reclaim(l.popLessEqual(3))
+	if n != 3 {
+		t.Fatalf("reclaimed %d, want 3", n)
+	}
+	if l.size != 3 {
+		t.Fatalf("remaining size = %d, want 3", l.size)
+	}
+	if got := []uint64{freed[0], freed[1], freed[2]}; got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("freed order = %v, want [3 2 1]", got)
+	}
+	if l.head.safeEpoch != 6 || !l.sorted() {
+		t.Fatalf("retained prefix corrupted: head=%d sorted=%v", l.head.safeEpoch, l.sorted())
+	}
+}
+
+func TestPopLessEqualNoMatch(t *testing.T) {
+	var l deferList
+	l.push(10, func() {})
+	if got := l.popLessEqual(9); got != nil {
+		t.Fatal("popLessEqual returned entries above the bound")
+	}
+	if l.size != 1 {
+		t.Fatalf("size = %d, want 1", l.size)
+	}
+}
+
+func TestPopLessEqualAll(t *testing.T) {
+	var l deferList
+	count := 0
+	for e := uint64(1); e <= 4; e++ {
+		l.push(e, func() { count++ })
+	}
+	reclaim(l.popLessEqual(100))
+	if count != 4 || l.size != 0 || l.head != nil {
+		t.Fatalf("full pop failed: count=%d size=%d", count, l.size)
+	}
+}
+
+func TestTakeAll(t *testing.T) {
+	var l deferList
+	l.push(1, func() {})
+	l.push(2, func() {})
+	h := l.takeAll()
+	if h == nil || h.safeEpoch != 2 || h.next.safeEpoch != 1 {
+		t.Fatal("takeAll returned wrong chain")
+	}
+	if l.head != nil || l.size != 0 {
+		t.Fatal("takeAll left residue")
+	}
+}
+
+func TestReclaimEmpty(t *testing.T) {
+	if got := reclaim(nil); got != 0 {
+		t.Fatalf("reclaim(nil) = %d, want 0", got)
+	}
+}
+
+// Lemma 4 as a property: pushes with monotonically increasing epochs always
+// leave the list sorted descending, and popLessEqual(min) frees exactly the
+// entries with epoch <= min.
+func TestDeferListLemma4Property(t *testing.T) {
+	f := func(deltas []uint8, minSeed uint16) bool {
+		var l deferList
+		epoch := uint64(0)
+		var epochs []uint64
+		for _, d := range deltas {
+			epoch += uint64(d%4) + 1 // strictly increasing
+			epochs = append(epochs, epoch)
+			l.push(epoch, func() {})
+		}
+		if !l.sorted() {
+			return false
+		}
+		min := uint64(minSeed)
+		wantFreed := 0
+		for _, e := range epochs {
+			if e <= min {
+				wantFreed++
+			}
+		}
+		got := reclaim(l.popLessEqual(min))
+		if got != wantFreed {
+			return false
+		}
+		// Remaining entries must all be > min and still sorted.
+		if !l.sorted() {
+			return false
+		}
+		for n := l.head; n != nil; n = n.next {
+			if n.safeEpoch <= min {
+				return false
+			}
+		}
+		return l.size == len(epochs)-wantFreed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sanity: strictly descending sequences stay descending under the stdlib's
+// definition too (guards against a sign error in sorted()).
+func TestSortedAgreesWithStdlib(t *testing.T) {
+	var l deferList
+	es := []uint64{3, 8, 11, 20}
+	for _, e := range es {
+		l.push(e, func() {})
+	}
+	var got []uint64
+	for n := l.head; n != nil; n = n.next {
+		got = append(got, n.safeEpoch)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] > got[j] }) {
+		t.Fatalf("list order %v not descending", got)
+	}
+	if !l.sorted() {
+		t.Fatal("sorted() disagrees with stdlib check")
+	}
+}

@@ -1,0 +1,33 @@
+// Package qsbr implements the paper's Quiescent-State-Based Reclamation
+// extension (Section III-B, Algorithm 2): a general-purpose memory reclaimer
+// decoupled from RCU and driven by explicit checkpoints.
+//
+// The paper places this in Chapel's *runtime*, because QSBR needs per-thread
+// metadata and Chapel user code has no TLS. This repository mirrors that
+// split: package qsbr holds the algorithm, and the tasking layer
+// (internal/tasking) plays the role of the runtime — each worker thread owns
+// one Participant, accessible to the tasks multiplexed on it, and parks /
+// unparks it when idle.
+//
+// Protocol (Algorithm 2):
+//
+//   - Defer(free): atomically advance the global StateEpoch from e to e+1,
+//     observe e+1, and push (free, e+1) onto the calling participant's LIFO
+//     defer list. The old state described by e is now discarded; memory it
+//     reached is reclaimable once every participant has observed ≥ e+1.
+//   - Checkpoint(): observe the current StateEpoch (a promise of quiescence
+//     of all prior states), compute the minimum observed epoch across all
+//     participants, and free every defer-list entry whose safe epoch is ≤
+//     that minimum. Lemma 4 (the list is sorted descending by safe epoch)
+//     makes the split a single-pass prefix walk.
+//
+// Parked participants are excluded from the minimum (a parked thread is
+// quiescent by definition); their pending deferrals are handed to a shared
+// orphan list that any checkpointing participant drains — the "assistance
+// with bookkeeping" the paper sketches.
+//
+// The paper's caveats carry over verbatim and are enforced where possible:
+// references obtained before a checkpoint must not be dereferenced after it,
+// and a participant that never checkpoints stalls reclamation globally
+// (demonstrated in tests, measured in the Figure 4 benchmark).
+package qsbr

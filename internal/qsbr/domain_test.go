@@ -1,0 +1,315 @@
+package qsbr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDeferAdvancesEpochAndObserves(t *testing.T) {
+	d := New()
+	p := d.Register()
+	p.Defer(func() {})
+	if got := d.StateEpoch(); got != 1 {
+		t.Fatalf("StateEpoch = %d, want 1", got)
+	}
+	if got := p.Observed(); got != 1 {
+		t.Fatalf("Observed = %d, want 1", got)
+	}
+	if got := p.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestSoloParticipantReclaimsAtCheckpoint(t *testing.T) {
+	d := New()
+	p := d.Register()
+	freed := 0
+	p.Defer(func() { freed++ })
+	p.Defer(func() { freed++ })
+	if n := p.Checkpoint(); n != 2 {
+		t.Fatalf("Checkpoint reclaimed %d, want 2", n)
+	}
+	if freed != 2 || p.Pending() != 0 {
+		t.Fatalf("freed=%d pending=%d", freed, p.Pending())
+	}
+	if d.Reclaimed() != 2 || d.Defers() != 2 || d.Checkpoints() != 1 {
+		t.Fatalf("stats: reclaimed=%d defers=%d checkpoints=%d",
+			d.Reclaimed(), d.Defers(), d.Checkpoints())
+	}
+}
+
+// Lemma 5 in action: an entry is reclaimable only once every active
+// participant has observed an epoch >= its safe epoch.
+func TestLaggingParticipantStallsReclamation(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register() // never checkpoints: observed stays at 0
+	_ = p2
+
+	freed := false
+	p1.Defer(func() { freed = true }) // safe epoch 1
+	if n := p1.Checkpoint(); n != 0 {
+		t.Fatalf("reclaimed %d despite lagging participant", n)
+	}
+	if freed {
+		t.Fatal("entry freed while a participant could still hold it")
+	}
+
+	// Once p2 checkpoints, p1's next checkpoint reclaims.
+	p2.Checkpoint()
+	if n := p1.Checkpoint(); n != 1 {
+		t.Fatalf("reclaimed %d after lagging participant quiesced, want 1", n)
+	}
+	if !freed {
+		t.Fatal("entry not freed after global quiescence")
+	}
+}
+
+// The other participant's checkpoint can also be the one that reclaims —
+// but only entries on its *own* list; ours stay ours. Verify ownership.
+func TestCheckpointReclaimsOwnListOnly(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register()
+	freed := false
+	p1.Defer(func() { freed = true })
+	p2.Checkpoint()
+	if freed {
+		t.Fatal("p2's checkpoint freed p1's entry directly")
+	}
+	if p1.Pending() != 1 {
+		t.Fatalf("p1 pending = %d, want 1", p1.Pending())
+	}
+}
+
+func TestParkExcludesFromMinScan(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register()
+
+	freed := false
+	p2.Park() // p2 idle: must not stall p1's reclamation
+	p1.Defer(func() { freed = true })
+	if n := p1.Checkpoint(); n != 1 || !freed {
+		t.Fatalf("parked participant stalled reclamation: n=%d freed=%v", n, freed)
+	}
+
+	p2.Unpark()
+	if got := p2.Observed(); got != d.StateEpoch() {
+		t.Fatalf("Unpark observed %d, want current epoch %d", got, d.StateEpoch())
+	}
+	// After unpark, p2 stalls reclamation again until it checkpoints.
+	freed2 := false
+	p1.Defer(func() { freed2 = true })
+	p1.Checkpoint()
+	if !freed2 {
+		// p2 observed the epoch at unpark time, which is older than the
+		// new deferral's safe epoch, so stalling is correct.
+		p2.Checkpoint()
+		p1.Checkpoint()
+	}
+	if !freed2 {
+		t.Fatal("entry never freed after unparked participant quiesced")
+	}
+}
+
+func TestParkHandsPendingToOrphans(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register()
+
+	freed := false
+	p1.Defer(func() { freed = true })
+	// p2 hasn't checkpointed, so p1's park-time cleanup cannot free the
+	// entry; it must become an orphan.
+	p1.Park()
+	if freed {
+		t.Fatal("park freed an unsafe entry")
+	}
+	if got := d.OrphanCount(); got != 1 {
+		t.Fatalf("OrphanCount = %d, want 1", got)
+	}
+	// p2's checkpoint drains the orphan once safe.
+	if n := p2.Checkpoint(); n != 1 || !freed {
+		t.Fatalf("orphan not drained: n=%d freed=%v", n, freed)
+	}
+	if got := d.OrphanCount(); got != 0 {
+		t.Fatalf("OrphanCount after drain = %d, want 0", got)
+	}
+}
+
+func TestUnregisterMovesPendingToOrphans(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register()
+	freed := false
+	p1.Defer(func() { freed = true })
+	d.Unregister(p1)
+	if d.Participants() != 1 {
+		t.Fatalf("Participants = %d, want 1", d.Participants())
+	}
+	if freed {
+		t.Fatal("unregister freed an entry that p2 could still hold")
+	}
+	p2.Checkpoint()
+	if !freed {
+		t.Fatal("orphan from unregistered participant never freed")
+	}
+}
+
+func TestUnregisterUnknownPanics(t *testing.T) {
+	d := New()
+	p := d.Register()
+	d.Unregister(p)
+	assertPanics(t, "double unregister", func() { d.Unregister(p) })
+
+	other := New()
+	q := other.Register()
+	assertPanics(t, "foreign participant", func() { d.Unregister(q) })
+}
+
+func TestParkedParticipantMisusePanics(t *testing.T) {
+	d := New()
+	p := d.Register()
+	p.Park()
+	assertPanics(t, "Defer while parked", func() { p.Defer(func() {}) })
+	assertPanics(t, "Checkpoint while parked", func() { p.Checkpoint() })
+	assertPanics(t, "double Park", func() { p.Park() })
+	p.Unpark()
+	assertPanics(t, "double Unpark", func() { p.Unpark() })
+}
+
+func TestAllParkedBoundIsCurrentEpoch(t *testing.T) {
+	d := New()
+	p := d.Register()
+	pending := 0
+	p.Defer(func() { pending++ })
+	p.Park() // cleanup runs; solo participant, so entry frees at park time
+	if pending != 1 {
+		t.Fatalf("solo park did not clean own list: freed=%d", pending)
+	}
+}
+
+func TestCheckpointFreesFIFOAcrossEpochBatches(t *testing.T) {
+	d := New()
+	p := d.Register()
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Defer(func() { order = append(order, i) })
+	}
+	p.Checkpoint()
+	// reclaim walks the LIFO suffix: newest-first within the split.
+	if len(order) != 4 || order[0] != 3 || order[3] != 0 {
+		t.Fatalf("reclaim order = %v, want [3 2 1 0]", order)
+	}
+}
+
+// Torture: writers defer retirement of poisoned objects, readers acquire the
+// current object between their own checkpoints and verify liveness. Models
+// the paper's intended usage discipline: acquire after a checkpoint, drop
+// before the next.
+func TestTortureDeferVsCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short mode")
+	}
+	type node struct {
+		retired atomic.Bool
+		v       uint64
+	}
+	var current atomic.Pointer[node]
+	current.Store(&node{})
+
+	d := New()
+	var stop atomic.Bool
+	var violations atomic.Int64
+	const readers = 4
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := d.Register()
+			defer d.Unregister(p)
+			for !stop.Load() {
+				// Quiescent point, then a bounded access window.
+				p.Checkpoint()
+				n := current.Load()
+				if n.retired.Load() {
+					violations.Add(1)
+				}
+				for i := 0; i < 16; i++ {
+					_ = n.v
+				}
+				if n.retired.Load() {
+					violations.Add(1)
+				}
+			}
+		}()
+	}
+
+	writer := d.Register()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	writes := 0
+	for time.Now().Before(deadline) {
+		old := current.Load()
+		current.Store(&node{v: old.v + 1})
+		writer.Defer(func() { old.retired.Store(true) })
+		writer.Checkpoint()
+		writes++
+	}
+	stop.Store(true)
+	wg.Wait()
+	d.Unregister(writer)
+
+	// Final full drain: register a fresh participant; with everyone else
+	// gone its checkpoint reclaims all orphans.
+	p := d.Register()
+	p.Checkpoint()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d use-after-free violations", v)
+	}
+	if writes == 0 {
+		t.Fatal("writer made no progress")
+	}
+	if live := d.Defers() - d.Reclaimed(); live != 0 {
+		t.Fatalf("leak: %d deferrals never reclaimed (defers=%d reclaimed=%d)",
+			live, d.Defers(), d.Reclaimed())
+	}
+	t.Logf("torture: %d writes, %d checkpoints, %d reclaimed", writes, d.Checkpoints(), d.Reclaimed())
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}
+
+func TestDrain(t *testing.T) {
+	d := New()
+	p1 := d.Register()
+	p2 := d.Register()
+	freed := 0
+	for i := 0; i < 5; i++ {
+		p1.Defer(func() { freed++ })
+	}
+	// p2 active and unquiesced: drain must time out.
+	if d.Drain(p1, 3) {
+		t.Fatal("Drain succeeded despite unquiesced participant")
+	}
+	p2.Park()
+	if !d.Drain(p1, 100) {
+		t.Fatal("Drain failed with all other participants parked")
+	}
+	if freed != 5 {
+		t.Fatalf("freed = %d, want 5", freed)
+	}
+}

@@ -1,0 +1,272 @@
+package qsbr
+
+// Exhaustive model checking of Algorithm 2 plus the usage discipline the
+// paper prescribes (acquire protected references only between checkpoints).
+// A DFS with state deduplication enumerates every interleaving of a bounded
+// configuration: one updater replacing a protected object mcWrites times
+// (unlink → Defer → Checkpoint) and mcParticipants readers looping
+// (Checkpoint → acquire → access → access). At each access the checker
+// asserts Lemma 5: no object is reclaimed while any thread that could still
+// hold it has not observed a newer state.
+//
+// A meta-test weakens the reclamation rule (free entries with
+// safeEpoch <= min+1, off by one) and requires the checker to find the
+// resulting use-after-free, demonstrating the check has teeth.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+const (
+	mcParticipants = 2 // readers; the updater is a third participant
+	mcOpsPerReader = 2
+	mcWrites       = 2
+	mcObjects      = mcWrites + 1
+)
+
+type qsState struct {
+	stateEpoch uint64
+	current    uint8
+	live       [mcObjects]bool
+	nextID     uint8
+
+	// Per-participant observed epochs: readers then updater.
+	observed [mcParticipants + 1]uint64
+
+	// The updater's defer list is at most one entry per write in this
+	// bounded model (it checkpoints after each defer).
+	deferObj   uint8
+	deferEpoch uint64
+	deferFull  bool
+
+	// updater pc: 0 unlink+publish, 1 defer, 2 checkpoint; writes done
+	upc     uint8
+	uWrites uint8
+	uOld    uint8
+
+	r [mcParticipants]qsReader
+}
+
+type qsReader struct {
+	pc  uint8 // 0 checkpoint, 1 acquire, 2 access, 3 access again -> op done
+	ops uint8
+	obj uint8
+}
+
+type qsChecker struct {
+	visited  map[qsState]bool
+	offByOne bool // weakened (buggy) reclamation rule for the meta-test
+	err      error
+}
+
+func TestModelCheckQSBR(t *testing.T) {
+	if err := runQSBRModel(0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's footnote 5 exempts overflow; we still verify the protocol at
+// a large (but non-wrapping within the run) starting epoch.
+func TestModelCheckQSBRLargeEpoch(t *testing.T) {
+	if err := runQSBRModel(math.MaxUint64/2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelCheckQSBRDetectsOffByOne(t *testing.T) {
+	err := runQSBRModel(0, true)
+	if err == nil {
+		t.Fatal("model checker missed the off-by-one reclamation bug")
+	}
+	t.Logf("checker correctly reported: %v", err)
+}
+
+func runQSBRModel(epoch0 uint64, offByOne bool) error {
+	init := qsState{stateEpoch: epoch0, nextID: 1}
+	init.live[0] = true
+	for i := range init.observed {
+		init.observed[i] = epoch0
+	}
+	mc := &qsChecker{visited: make(map[qsState]bool), offByOne: offByOne}
+	mc.explore(init)
+	return mc.err
+}
+
+func (mc *qsChecker) explore(s qsState) {
+	if mc.err != nil || mc.visited[s] {
+		return
+	}
+	mc.visited[s] = true
+
+	if err := qsInvariants(s); err != nil {
+		mc.err = err
+		return
+	}
+
+	progressed := false
+	if next, ok := stepUpdater(s, mc.offByOne); ok {
+		progressed = true
+		mc.explore(next)
+	}
+	for i := 0; i < mcParticipants; i++ {
+		if next, ok := stepQSReader(s, i, mc.offByOne); ok {
+			progressed = true
+			mc.explore(next)
+		}
+	}
+	if !progressed && !qsTerminal(s) {
+		mc.err = fmt.Errorf("deadlock at non-terminal state %+v", s)
+	}
+}
+
+func qsInvariants(s qsState) error {
+	if !s.live[s.current] {
+		return fmt.Errorf("published object %d not live: %+v", s.current, s)
+	}
+	// Lemma 5 via the usage discipline: a reader between acquire and its
+	// next checkpoint (pc 2 or 3) must find its object live.
+	for i := range s.r {
+		r := s.r[i]
+		if (r.pc == 2 || r.pc == 3) && !s.live[r.obj] {
+			return fmt.Errorf("use-after-free: reader %d holds freed object %d in %+v", i, r.obj, s)
+		}
+	}
+	return nil
+}
+
+func qsTerminal(s qsState) bool {
+	if !(s.upc == 0 && s.uWrites == mcWrites && !s.deferFull) {
+		return false
+	}
+	for _, r := range s.r {
+		if !(r.pc == 0 && r.ops == mcOpsPerReader) {
+			return false
+		}
+	}
+	return true
+}
+
+// minObserved computes the reclamation bound over all participants
+// (Algorithm 2 lines 6–8). A reader that has completed its ops is parked —
+// the runtime transition this repository drives from the tasking layer —
+// and parked participants are excluded from the bound, exactly as in the
+// implementation. (Without parking, the model correctly deadlocks: a thread
+// that stops checkpointing stalls reclamation forever, the hazard the paper
+// warns about.)
+func minObserved(s qsState) uint64 {
+	min := s.stateEpoch
+	if s.observed[mcParticipants] < min { // the updater
+		min = s.observed[mcParticipants]
+	}
+	for i := 0; i < mcParticipants; i++ {
+		if readerParked(s.r[i]) {
+			continue
+		}
+		if o := s.observed[i]; o < min {
+			min = o
+		}
+	}
+	return min
+}
+
+func readerParked(r qsReader) bool {
+	return r.pc == 0 && r.ops == mcOpsPerReader
+}
+
+// tryReclaim frees the pending deferral if its safe epoch permits
+// (Algorithm 2 lines 9–13). offByOne weakens the bound for the meta-test.
+func tryReclaim(s qsState, offByOne bool) qsState {
+	if !s.deferFull {
+		return s
+	}
+	bound := minObserved(s)
+	if offByOne {
+		bound++
+	}
+	if s.deferEpoch <= bound {
+		s.live[s.deferObj] = false
+		s.deferFull = false
+	}
+	return s
+}
+
+// stepUpdater: unlink+publish, then QSBR_Defer, then a checkpoint.
+func stepUpdater(s qsState, offByOne bool) (qsState, bool) {
+	const self = mcParticipants // updater's observed index
+	if s.uWrites == mcWrites && s.upc == 0 {
+		// All writes issued; drain the outstanding deferral with final
+		// checkpoints (the teardown path of the implementation).
+		if !s.deferFull {
+			return s, false
+		}
+		n := s
+		n.observed[self] = s.stateEpoch
+		n = tryReclaim(n, offByOne)
+		if n == s {
+			return s, false // nothing changed; avoid a self-loop
+		}
+		return n, true
+	}
+	n := s
+	switch s.upc {
+	case 0: // create and publish the replacement
+		if s.deferFull {
+			// Bounded model: one outstanding deferral. Attempt a
+			// reclaiming checkpoint instead of a new write.
+			n.observed[self] = s.stateEpoch
+			n = tryReclaim(n, offByOne)
+			if n == s {
+				return s, false
+			}
+			return n, true
+		}
+		n.uOld = s.current
+		n.current = s.nextID
+		n.live[s.nextID] = true
+		n.nextID++
+		n.upc = 1
+	case 1: // QSBR_Defer: epoch++, observe it, push (obj, epoch)
+		n.stateEpoch = s.stateEpoch + 1
+		n.observed[self] = n.stateEpoch
+		n.deferObj = s.uOld
+		n.deferEpoch = n.stateEpoch
+		n.deferFull = true
+		n.upc = 2
+	case 2: // QSBR_Checkpoint: observe, then reclaim if safe
+		n.observed[self] = s.stateEpoch
+		n = tryReclaim(n, offByOne)
+		n.uWrites++
+		n.upc = 0
+	}
+	return n, true
+}
+
+// stepQSReader: checkpoint (quiescent point), acquire the current object,
+// then access it twice (the hazard window the discipline protects).
+func stepQSReader(s qsState, i int, offByOne bool) (qsState, bool) {
+	r := s.r[i]
+	if r.pc == 0 && r.ops == mcOpsPerReader {
+		return s, false
+	}
+	n := s
+	nr := &n.r[i]
+	switch r.pc {
+	case 0: // checkpoint: observe the current state; reclamation by the
+		// updater may now consider us quiescent. (Readers own no defer
+		// list in this model, but their observation still gates the
+		// updater's reclamation — that is Lemma 5's quantifier.)
+		n.observed[i] = s.stateEpoch
+		nr.pc = 1
+	case 1: // acquire the protected pointer
+		nr.obj = s.current
+		nr.pc = 2
+	case 2: // first access (invariant-checked)
+		nr.pc = 3
+	case 3: // second access; op complete, back to the quiescent loop
+		nr.pc = 0
+		nr.ops++
+	}
+	return n, true
+}

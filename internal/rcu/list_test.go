@@ -1,0 +1,205 @@
+package rcu
+
+// This file demonstrates the Section II applications of RCU — a linked list
+// and a hash table — on top of the generic Cell, under both reclamation
+// flavors. They double as integration tests for the flavor abstraction.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/memory"
+	"rcuarray/internal/qsbr"
+)
+
+// intSet is an RCU-protected sorted-slice set: reads traverse the snapshot,
+// writers copy-on-write. Snapshots embed memory.Object for poison checks.
+type intSet struct {
+	cell *Cell[intSetSnap]
+	f    Flavor
+	mu   sync.Mutex // WriteLock
+}
+
+type intSetSnap struct {
+	memory.Object
+	elems []int
+}
+
+func newIntSet(f Flavor) *intSet {
+	return &intSet{cell: NewCell(&intSetSnap{}), f: f}
+}
+
+func (s *intSet) contains(x int) bool {
+	return Read(s.cell, s.f, func(sn *intSetSnap) bool {
+		sn.CheckLive()
+		for _, e := range sn.elems {
+			if e == x {
+				return true
+			}
+			if e > x {
+				return false
+			}
+		}
+		return false
+	})
+}
+
+func (s *intSet) insert(x int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	Write(s.cell, s.f, func(old *intSetSnap) *intSetSnap {
+		out := &intSetSnap{elems: make([]int, 0, len(old.elems)+1)}
+		inserted := false
+		for _, e := range old.elems {
+			if !inserted && x < e {
+				out.elems = append(out.elems, x)
+				inserted = true
+			}
+			if e == x {
+				inserted = true
+			}
+			out.elems = append(out.elems, e)
+		}
+		if !inserted {
+			out.elems = append(out.elems, x)
+		}
+		return out
+	})
+}
+
+func (s *intSet) len() int {
+	return Read(s.cell, s.f, func(sn *intSetSnap) int { return len(sn.elems) })
+}
+
+func TestIntSetSequential(t *testing.T) {
+	for name, mk := range flavors(t) {
+		t.Run(name, func(t *testing.T) {
+			f, cleanup := mk()
+			defer cleanup()
+			s := newIntSet(f)
+			for _, x := range []int{5, 1, 3, 1, 9} {
+				s.insert(x)
+			}
+			if got := s.len(); got != 4 {
+				t.Fatalf("len = %d, want 4", got)
+			}
+			for _, x := range []int{1, 3, 5, 9} {
+				if !s.contains(x) {
+					t.Errorf("missing %d", x)
+				}
+			}
+			if s.contains(2) || s.contains(100) {
+				t.Error("phantom element")
+			}
+		})
+	}
+}
+
+func TestIntSetConcurrentEBR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	f := EBRFlavor{Domain: ebr.New()}
+	s := newIntSet(f)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s.contains(17)
+				s.contains(400)
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		s.insert(i)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := s.len(); got != 300 {
+		t.Fatalf("len = %d, want 300", got)
+	}
+}
+
+// An RCU hash table in the style the paper cites (Triplett et al.): buckets
+// are RCU-protected; QSBR readers checkpoint between operations.
+func TestHashTableQSBR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	dom := qsbr.New()
+
+	const buckets = 8
+	type table struct {
+		cells [buckets]*Cell[intSetSnap]
+		mu    sync.Mutex
+	}
+	tb := &table{}
+	for i := range tb.cells {
+		tb.cells[i] = NewCell(&intSetSnap{})
+	}
+	insert := func(f Flavor, x int) {
+		tb.mu.Lock()
+		defer tb.mu.Unlock()
+		Write(tb.cells[x%buckets], f, func(old *intSetSnap) *intSetSnap {
+			return &intSetSnap{elems: append(append([]int{}, old.elems...), x)}
+		})
+	}
+	contains := func(f Flavor, x int) bool {
+		return Read(tb.cells[x%buckets], f, func(sn *intSetSnap) bool {
+			sn.CheckLive()
+			for _, e := range sn.elems {
+				if e == x {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := dom.Register()
+			defer dom.Unregister(p)
+			f := QSBRFlavor{Participant: p}
+			for i := 0; !stop.Load(); i++ {
+				contains(f, i%512)
+				if i%16 == 0 {
+					p.Checkpoint()
+				}
+			}
+		}()
+	}
+
+	wp := dom.Register()
+	wf := QSBRFlavor{Participant: wp}
+	for i := 0; i < 256; i++ {
+		insert(wf, i)
+		if i%8 == 0 {
+			wp.Checkpoint()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	dom.Unregister(wp)
+
+	// Fresh participant drains the orphans; everything must be reclaimed.
+	p := dom.Register()
+	p.Checkpoint()
+	for i := 0; i < 256; i++ {
+		if !contains(QSBRFlavor{Participant: p}, i) {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	if leak := dom.Defers() - dom.Reclaimed(); leak != 0 {
+		t.Fatalf("leaked %d deferrals", leak)
+	}
+}

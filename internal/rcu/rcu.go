@@ -1,0 +1,128 @@
+// Package rcu provides a small generic Read-Copy-Update cell on top of the
+// two reclamation flavors this repository implements (package ebr's TLS-free
+// epochs and package qsbr's runtime checkpoints).
+//
+// The paper frames RCU as "two flavors" of one synchronization strategy
+// (Section I); this package captures that framing as a Flavor interface so
+// that data structures other than RCUArray — the linked list and hash table
+// applications cited in Section II — can be protected by either flavor
+// without caring which. RCUArray itself (internal/core) specializes the two
+// flavors by hand, mirroring the paper's compile-time `isQSBR` parameter,
+// because its fast path cannot afford an interface call; this package is the
+// general-purpose face of the same machinery.
+package rcu
+
+import (
+	"sync/atomic"
+
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/qsbr"
+)
+
+// Flavor abstracts a reclamation strategy: how readers announce themselves
+// and how writers retire superseded data.
+type Flavor interface {
+	// ReadSection runs fn as a read-side critical section: any protected
+	// pointer loaded inside fn remains valid until fn returns.
+	ReadSection(fn func())
+	// Retire schedules free to run once no read-side critical section
+	// that could observe the retired data remains. Under EBR this blocks
+	// (synchronize-then-free); under QSBR it defers to a checkpoint.
+	Retire(free func())
+}
+
+// EBRFlavor adapts an ebr.Domain. Retire blocks in Synchronize, so callers
+// must serialize Retire calls exactly as the paper's WriteLock serializes
+// RCU_Write.
+type EBRFlavor struct {
+	Domain *ebr.Domain
+}
+
+// ReadSection enters/exits the collective epoch counters around fn.
+func (f EBRFlavor) ReadSection(fn func()) {
+	g := f.Domain.Enter()
+	fn()
+	g.Exit()
+}
+
+// Retire waits for all pre-existing readers, then frees.
+func (f EBRFlavor) Retire(free func()) {
+	f.Domain.Synchronize()
+	free()
+}
+
+// QSBRFlavor adapts a qsbr.Participant. It is bound to the participant's
+// owning thread: ReadSection is free of cost (validity extends to the next
+// checkpoint), and Retire defers.
+type QSBRFlavor struct {
+	Participant *qsbr.Participant
+}
+
+// ReadSection under QSBR is a no-op wrapper: quiescence is declared at
+// checkpoints, not at section boundaries. This is exactly the "readers may
+// proceed without overhead" property the paper attributes to QSBR.
+func (f QSBRFlavor) ReadSection(fn func()) { fn() }
+
+// Retire pushes free onto the participant's defer list.
+func (f QSBRFlavor) Retire(free func()) { f.Participant.Defer(free) }
+
+// Cell is an RCU-protected pointer to an immutable snapshot of type T.
+type Cell[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewCell returns a cell holding v.
+func NewCell[T any](v *T) *Cell[T] {
+	c := &Cell[T]{}
+	c.p.Store(v)
+	return c
+}
+
+// Load returns the current snapshot pointer. It must only be dereferenced
+// inside a read-side critical section of the cell's flavor (or between
+// checkpoints under QSBR).
+func (c *Cell[T]) Load() *T { return c.p.Load() }
+
+// Read applies fn to the current snapshot inside a read-side critical
+// section and returns fn's result (the paper's RCU_Read with a result λ).
+func Read[T, R any](c *Cell[T], f Flavor, fn func(*T) R) R {
+	var out R
+	f.ReadSection(func() {
+		out = fn(c.p.Load())
+	})
+	return out
+}
+
+// Write performs the paper's RCU_Write: it derives a new snapshot from the
+// current one via update (which must not mutate the old snapshot in place,
+// except to recycle its immutable components), publishes it, and retires the
+// old snapshot through the flavor.
+//
+// Writers must be serialized externally (the paper's WriteLock); EBRFlavor
+// additionally detects concurrent retires via the domain's writer check.
+func Write[T any](c *Cell[T], f Flavor, update func(old *T) *T) {
+	old := c.p.Load()
+	next := update(old)
+	c.p.Store(next)
+	f.Retire(func() { reclaimSnapshot(old) })
+}
+
+// WriteAndFree is Write with an explicit reclamation action for the old
+// snapshot (for example, returning its blocks to a memory pool).
+func WriteAndFree[T any](c *Cell[T], f Flavor, update func(old *T) *T, free func(old *T)) {
+	old := c.p.Load()
+	next := update(old)
+	c.p.Store(next)
+	f.Retire(func() { free(old) })
+}
+
+// retirable lets snapshot types opt in to poisoning on reclamation (see
+// internal/memory.Object); Write calls it if implemented so that torture
+// tests detect premature reclamation of cell snapshots too.
+type retirable interface{ Retire() }
+
+func reclaimSnapshot[T any](old *T) {
+	if r, ok := any(old).(retirable); ok {
+		r.Retire()
+	}
+}

@@ -1,0 +1,205 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rcuarray/internal/ebr"
+	"rcuarray/internal/memory"
+	"rcuarray/internal/qsbr"
+)
+
+type versioned struct {
+	memory.Object
+	v int
+}
+
+func flavors(t *testing.T) map[string]func() (Flavor, func()) {
+	t.Helper()
+	return map[string]func() (Flavor, func()){
+		"EBR": func() (Flavor, func()) {
+			return EBRFlavor{Domain: ebr.New()}, func() {}
+		},
+		"QSBR": func() (Flavor, func()) {
+			d := qsbr.New()
+			p := d.Register()
+			// QSBR needs checkpoints to make Retire take effect;
+			// the cleanup function forces a final drain.
+			return QSBRFlavor{Participant: p}, func() { p.Checkpoint() }
+		},
+	}
+}
+
+func TestCellLoadStore(t *testing.T) {
+	c := NewCell(&versioned{v: 1})
+	if got := c.Load().v; got != 1 {
+		t.Fatalf("Load().v = %d, want 1", got)
+	}
+}
+
+func TestReadAppliesLambda(t *testing.T) {
+	for name, mk := range flavors(t) {
+		t.Run(name, func(t *testing.T) {
+			f, cleanup := mk()
+			defer cleanup()
+			c := NewCell(&versioned{v: 7})
+			got := Read(c, f, func(s *versioned) int { return s.v * 2 })
+			if got != 14 {
+				t.Fatalf("Read = %d, want 14", got)
+			}
+		})
+	}
+}
+
+func TestWritePublishesAndRetires(t *testing.T) {
+	for name, mk := range flavors(t) {
+		t.Run(name, func(t *testing.T) {
+			f, cleanup := mk()
+			old := &versioned{v: 1}
+			c := NewCell(old)
+			Write(c, f, func(o *versioned) *versioned {
+				return &versioned{v: o.v + 1}
+			})
+			if got := c.Load().v; got != 2 {
+				t.Fatalf("after Write, v = %d, want 2", got)
+			}
+			cleanup()
+			if old.Live() {
+				t.Fatal("old snapshot never retired")
+			}
+		})
+	}
+}
+
+func TestWriteAndFreeCustomReclaim(t *testing.T) {
+	for name, mk := range flavors(t) {
+		t.Run(name, func(t *testing.T) {
+			f, cleanup := mk()
+			c := NewCell(&versioned{v: 1})
+			var freed *versioned
+			WriteAndFree(c, f,
+				func(o *versioned) *versioned { return &versioned{v: o.v + 10} },
+				func(o *versioned) { freed = o })
+			cleanup()
+			if freed == nil || freed.v != 1 {
+				t.Fatalf("custom free not invoked correctly: %+v", freed)
+			}
+		})
+	}
+}
+
+// Under EBR, Retire must block until concurrent readers exit.
+func TestEBRRetireWaitsForReaders(t *testing.T) {
+	dom := ebr.New()
+	f := EBRFlavor{Domain: dom}
+	old := &versioned{v: 1}
+	c := NewCell(old)
+
+	inSection := make(chan struct{})
+	release := make(chan struct{})
+	var sawRetiredInSection atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.ReadSection(func() {
+			s := c.Load()
+			close(inSection)
+			<-release
+			if !s.Live() {
+				sawRetiredInSection.Store(true)
+			}
+		})
+	}()
+
+	<-inSection
+	writeDone := make(chan struct{})
+	go func() {
+		Write(c, f, func(o *versioned) *versioned { return &versioned{v: 2} })
+		close(writeDone)
+	}()
+
+	select {
+	case <-writeDone:
+		t.Fatal("EBR Write completed while a reader held the old snapshot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+	<-writeDone
+
+	if sawRetiredInSection.Load() {
+		t.Fatal("reader observed a retired snapshot inside its section")
+	}
+	if old.Live() {
+		t.Fatal("old snapshot still live after Write returned")
+	}
+}
+
+// Under QSBR, Retire is deferred: the old snapshot stays live until the
+// participant checkpoints.
+func TestQSBRRetireDeferred(t *testing.T) {
+	d := qsbr.New()
+	p := d.Register()
+	f := QSBRFlavor{Participant: p}
+	old := &versioned{v: 1}
+	c := NewCell(old)
+
+	Write(c, f, func(o *versioned) *versioned { return &versioned{v: 2} })
+	if !old.Live() {
+		t.Fatal("QSBR retired the old snapshot before any checkpoint")
+	}
+	p.Checkpoint()
+	if old.Live() {
+		t.Fatal("old snapshot still live after checkpoint")
+	}
+}
+
+// Concurrent stress under EBR: many readers, serialized writers, liveness
+// checks on every access.
+func TestCellStressEBR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	dom := ebr.New()
+	f := EBRFlavor{Domain: dom}
+	c := NewCell(&versioned{v: 0})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				Read(c, f, func(s *versioned) int {
+					s.CheckLive()
+					return s.v
+				})
+			}
+		}()
+	}
+	var mu sync.Mutex
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				mu.Lock()
+				Write(c, f, func(o *versioned) *versioned {
+					return &versioned{v: o.v + 1}
+				})
+				mu.Unlock()
+			}
+		}()
+	}
+	writers.Wait()
+	stop.Store(true)
+	wg.Wait()
+	if got := c.Load().v; got != 400 {
+		t.Fatalf("final version = %d, want 400", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package rlu implements Read-Log-Update (Matveev, Shavit, Felber &
+// Marlier, SOSP 2015), the second RCU extension the paper's related-work
+// section describes: "Read-Log-Update provides an interesting solution by
+// borrowing concepts from software transactional memory to allow for
+// multiple concurrent writers via means of write logs to provide isolation,
+// conflict detection and resolution."
+//
+// Where the paper's RCUArray serializes all structural writers behind one
+// cluster-wide WriteLock, RLU lets writers that touch disjoint objects
+// commit concurrently:
+//
+//   - every protected object carries a header pointing at a writer's log
+//     copy while locked;
+//   - readers run between ReaderLock/ReaderUnlock with a local clock; a
+//     reader dereferencing a locked object "steals" the writer's copy iff
+//     the writer's commit clock is visible to it, giving each read-side
+//     section an atomic all-or-nothing view of every commit;
+//   - a writer locks objects into its log (conflict = another writer holds
+//     the object → abort and retry), then commits: advance the global
+//     clock, wait for the readers that might still need the old versions
+//     (the RCU-style quiescence embedded in RLU), write the log back, and
+//     unlock.
+//
+// Like every reclamation scheme in this repository, handles are explicit
+// (no TLS): a task acquires a Handle and threads it through its operations.
+// The benchmark compares disjoint-writer throughput against the WriteLock
+// discipline RCUArray uses, quantifying what the paper's design gives up by
+// staying single-writer (and what it saves in complexity).
+package rlu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rcuarray/internal/xsync"
+)
+
+// inactive marks a handle not currently inside a read-side section.
+const inactive = math.MaxUint64
+
+// noCommit marks a handle not currently committing.
+const noCommit = math.MaxUint64
+
+// Domain groups objects protected by one global clock.
+type Domain[T any] struct {
+	clock   xsync.PaddedUint64
+	mu      sync.Mutex
+	handles atomic.Pointer[[]*Handle[T]]
+
+	commits xsync.PaddedUint64
+	aborts  xsync.PaddedUint64
+	steals  xsync.PaddedUint64
+}
+
+// New returns an empty domain.
+func New[T any]() *Domain[T] {
+	d := &Domain[T]{}
+	empty := make([]*Handle[T], 0)
+	d.handles.Store(&empty)
+	return d
+}
+
+// Object is one RLU-protected value. Create with NewObject; access only
+// through a Handle.
+type Object[T any] struct {
+	// copy points at the locking writer's log entry while locked.
+	copy atomic.Pointer[logEntry[T]]
+	// master is the committed version. Readers access it directly when
+	// the object is unlocked (or locked by an invisible writer); writers
+	// mutate it only during write-back, after quiescence.
+	master T
+}
+
+// NewObject wraps v as a protected object.
+func NewObject[T any](v T) *Object[T] {
+	return &Object[T]{master: v}
+}
+
+type logEntry[T any] struct {
+	owner *Handle[T]
+	obj   *Object[T]
+	data  T
+}
+
+// Handle is one task's RLU context — the explicit stand-in for the
+// per-thread metadata the original keeps in TLS. A handle must not be used
+// concurrently.
+type Handle[T any] struct {
+	d      *Domain[T]
+	lclock atomic.Uint64 // reader clock; inactive when outside a section
+	wclock atomic.Uint64 // commit clock; noCommit when not committing
+	log    []*logEntry[T]
+}
+
+// Handle registers and returns a new handle.
+func (d *Domain[T]) Handle() *Handle[T] {
+	h := &Handle[T]{d: d}
+	h.lclock.Store(inactive)
+	h.wclock.Store(noCommit)
+	d.mu.Lock()
+	old := *d.handles.Load()
+	next := make([]*Handle[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = h
+	d.handles.Store(&next)
+	d.mu.Unlock()
+	return h
+}
+
+// Close unregisters the handle.
+func (h *Handle[T]) Close() {
+	if len(h.log) != 0 {
+		panic("rlu: Close with uncommitted writes")
+	}
+	d := h.d
+	d.mu.Lock()
+	old := *d.handles.Load()
+	next := make([]*Handle[T], 0, len(old))
+	for _, x := range old {
+		if x != h {
+			next = append(next, x)
+		}
+	}
+	d.handles.Store(&next)
+	d.mu.Unlock()
+}
+
+// ReaderLock begins a read-side section: the handle observes the current
+// clock, which fixes the set of commits visible to it.
+func (h *Handle[T]) ReaderLock() {
+	if h.lclock.Load() != inactive {
+		panic("rlu: nested ReaderLock")
+	}
+	h.lclock.Store(h.d.clock.Load())
+}
+
+// ReaderUnlock ends the section.
+func (h *Handle[T]) ReaderUnlock() {
+	if h.lclock.Load() == inactive {
+		panic("rlu: ReaderUnlock without ReaderLock")
+	}
+	h.lclock.Store(inactive)
+}
+
+// Deref returns the version of obj visible to this section: the master, or
+// a writer's log copy when that writer is this handle or has a commit clock
+// the section can see (the "steal" path).
+func (h *Handle[T]) Deref(obj *Object[T]) *T {
+	e := obj.copy.Load()
+	if e == nil {
+		return &obj.master
+	}
+	if e.owner == h {
+		return &e.data // self: read own pending write
+	}
+	if e.owner.wclock.Load() <= h.lclock.Load() {
+		h.d.steals.Inc()
+		return &e.data // committed and visible: steal the new version
+	}
+	return &obj.master
+}
+
+// TryLock acquires obj for writing within the current section and returns
+// a mutable copy. It fails (false) if another writer holds the object —
+// the caller should Abort and retry, RLU's conflict resolution.
+func (h *Handle[T]) TryLock(obj *Object[T]) (*T, bool) {
+	if h.lclock.Load() == inactive {
+		panic("rlu: TryLock outside a section")
+	}
+	if e := obj.copy.Load(); e != nil {
+		if e.owner == h {
+			return &e.data, true // already ours
+		}
+		return nil, false
+	}
+	e := &logEntry[T]{owner: h, obj: obj, data: obj.master}
+	if !obj.copy.CompareAndSwap(nil, e) {
+		return nil, false
+	}
+	h.log = append(h.log, e)
+	return &e.data, true
+}
+
+// Abort releases every lock taken in this section, discarding the log, and
+// ends the section. The caller typically retries.
+func (h *Handle[T]) Abort() {
+	for _, e := range h.log {
+		e.obj.copy.Store(nil)
+	}
+	h.log = h.log[:0]
+	h.d.aborts.Inc()
+	h.ReaderUnlock()
+}
+
+// Commit publishes this section's writes atomically with respect to
+// readers, then ends the section:
+//
+//  1. set the handle's commit clock to clock+1 and advance the global
+//     clock — from this instant, new sections steal the log copies;
+//  2. wait for every section that began before the advance (they read the
+//     old masters, which write-back is about to overwrite);
+//  3. write the log back into the masters and unlock.
+func (h *Handle[T]) Commit() {
+	if len(h.log) == 0 {
+		h.ReaderUnlock()
+		return
+	}
+	d := h.d
+	// Publish the commit clock BEFORE advancing the global clock, and
+	// never change it afterwards: every object this writer holds must
+	// become visible to a reader atomically (all derefs compare against
+	// the same wclock), and a reader whose lclock predates the advance
+	// must compare below it. When committers race, several may publish
+	// the same wclock — harmless: each writer's copies still steal as a
+	// unit, and the quiescence wait below is conservative.
+	wc := d.clock.Load() + 1
+	h.wclock.Store(wc)
+	d.clock.Inc()
+	// Our own reader presence must not deadlock the wait.
+	h.lclock.Store(inactive)
+	var b xsync.Backoff
+	for _, other := range *d.handles.Load() {
+		if other == h {
+			continue
+		}
+		for {
+			lc := other.lclock.Load()
+			if lc == inactive || lc >= wc {
+				break
+			}
+			b.Wait()
+		}
+		b.Reset()
+	}
+
+	for _, e := range h.log {
+		e.obj.master = e.data
+		e.obj.copy.Store(nil)
+	}
+	h.log = h.log[:0]
+	h.wclock.Store(noCommit)
+	d.commits.Inc()
+}
+
+// Commits returns the number of committed write sections.
+func (d *Domain[T]) Commits() uint64 { return d.commits.Load() }
+
+// Aborts returns the number of aborted write sections.
+func (d *Domain[T]) Aborts() uint64 { return d.aborts.Load() }
+
+// Steals returns how many dereferences returned a visible writer's copy.
+func (d *Domain[T]) Steals() uint64 { return d.steals.Load() }
+
+// Handles returns the registered handle count.
+func (d *Domain[T]) Handles() int { return len(*d.handles.Load()) }
+
+// Clock returns the global clock (diagnostics).
+func (d *Domain[T]) Clock() uint64 { return d.clock.Load() }
+
+var _ = fmt.Sprintf // reserved for future diagnostics

@@ -1,0 +1,369 @@
+package rlu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCommitPublishes(t *testing.T) {
+	d := New[int]()
+	h := d.Handle()
+	defer h.Close()
+	obj := NewObject(10)
+
+	h.ReaderLock()
+	p, ok := h.TryLock(obj)
+	if !ok {
+		t.Fatal("TryLock on unlocked object failed")
+	}
+	*p = 20
+	// Our own section sees the pending write...
+	if got := *h.Deref(obj); got != 20 {
+		t.Fatalf("self Deref = %d, want 20", got)
+	}
+	h.Commit()
+
+	// ...and after commit everyone sees it.
+	h.ReaderLock()
+	if got := *h.Deref(obj); got != 20 {
+		t.Fatalf("post-commit Deref = %d, want 20", got)
+	}
+	h.ReaderUnlock()
+	if d.Commits() != 1 {
+		t.Fatalf("Commits = %d", d.Commits())
+	}
+}
+
+func TestReaderIsolationBeforeCommit(t *testing.T) {
+	d := New[int]()
+	w := d.Handle()
+	r := d.Handle()
+	defer w.Close()
+	defer r.Close()
+	obj := NewObject(1)
+
+	r.ReaderLock()
+	w.ReaderLock()
+	p, _ := w.TryLock(obj)
+	*p = 2
+	// The reader's section predates the (future) commit: it must see 1.
+	if got := *r.Deref(obj); got != 1 {
+		t.Fatalf("pre-commit Deref = %d, want 1", got)
+	}
+	r.ReaderUnlock()
+
+	done := make(chan struct{})
+	go func() {
+		w.Commit()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit hung with no active readers")
+	}
+}
+
+func TestCommitWaitsForPriorReaders(t *testing.T) {
+	d := New[int]()
+	w := d.Handle()
+	r := d.Handle()
+	defer w.Close()
+	defer r.Close()
+	obj := NewObject(1)
+
+	r.ReaderLock() // enters before the commit's clock advance
+
+	w.ReaderLock()
+	p, _ := w.TryLock(obj)
+	*p = 2
+	done := make(chan struct{})
+	go func() {
+		w.Commit()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Commit returned while a prior reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.ReaderUnlock()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit never returned after reader exit")
+	}
+}
+
+func TestStealVisibleDuringCommitWindow(t *testing.T) {
+	d := New[int]()
+	w := d.Handle()
+	r := d.Handle()
+	blocker := d.Handle()
+	defer w.Close()
+	defer r.Close()
+	defer blocker.Close()
+	obj := NewObject(1)
+
+	blocker.ReaderLock() // keeps the commit in its wait loop
+
+	w.ReaderLock()
+	p, _ := w.TryLock(obj)
+	*p = 2
+	done := make(chan struct{})
+	go func() {
+		w.Commit()
+		close(done)
+	}()
+	// Wait for the clock to advance (commit published).
+	for d.Clock() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// A section starting now must steal the committed-but-unwritten copy.
+	r.ReaderLock()
+	if got := *r.Deref(obj); got != 2 {
+		t.Fatalf("steal Deref = %d, want 2", got)
+	}
+	r.ReaderUnlock()
+	if d.Steals() == 0 {
+		t.Fatal("steal path not taken")
+	}
+	blocker.ReaderUnlock()
+	<-done
+}
+
+func TestConflictDetection(t *testing.T) {
+	d := New[int]()
+	a := d.Handle()
+	b := d.Handle()
+	defer a.Close()
+	defer b.Close()
+	obj := NewObject(0)
+
+	a.ReaderLock()
+	b.ReaderLock()
+	if _, ok := a.TryLock(obj); !ok {
+		t.Fatal("first TryLock failed")
+	}
+	if _, ok := b.TryLock(obj); ok {
+		t.Fatal("conflicting TryLock succeeded")
+	}
+	b.Abort()
+	if d.Aborts() != 1 {
+		t.Fatalf("Aborts = %d", d.Aborts())
+	}
+	a.Commit()
+
+	// After the commit the object is lockable again.
+	b.ReaderLock()
+	if _, ok := b.TryLock(obj); !ok {
+		t.Fatal("TryLock after commit failed")
+	}
+	b.Abort()
+}
+
+func TestAbortRestores(t *testing.T) {
+	d := New[int]()
+	h := d.Handle()
+	defer h.Close()
+	obj := NewObject(5)
+	h.ReaderLock()
+	p, _ := h.TryLock(obj)
+	*p = 99
+	h.Abort()
+	h.ReaderLock()
+	if got := *h.Deref(obj); got != 5 {
+		t.Fatalf("post-abort Deref = %d, want 5", got)
+	}
+	h.ReaderUnlock()
+}
+
+func TestTryLockIdempotentForOwner(t *testing.T) {
+	d := New[int]()
+	h := d.Handle()
+	defer h.Close()
+	obj := NewObject(0)
+	h.ReaderLock()
+	p1, _ := h.TryLock(obj)
+	p2, ok := h.TryLock(obj)
+	if !ok || p1 != p2 {
+		t.Fatal("re-lock by owner did not return the same copy")
+	}
+	h.Abort()
+}
+
+func TestMisusePanics(t *testing.T) {
+	d := New[int]()
+	h := d.Handle()
+	obj := NewObject(0)
+	assertPanics(t, "ReaderUnlock without lock", h.ReaderUnlock)
+	assertPanics(t, "TryLock outside section", func() { h.TryLock(obj) })
+	h.ReaderLock()
+	assertPanics(t, "nested ReaderLock", h.ReaderLock)
+	p, _ := h.TryLock(obj)
+	*p = 1
+	assertPanics(t, "Close with pending log", h.Close)
+	h.Commit()
+	h.Close()
+	if d.Handles() != 0 {
+		t.Fatalf("Handles = %d after Close", d.Handles())
+	}
+}
+
+// Multiple writers on DISJOINT objects commit concurrently — the capability
+// the paper's single WriteLock design forgoes.
+func TestDisjointWritersCommitConcurrently(t *testing.T) {
+	d := New[int64]()
+	const writers = 4
+	const commitsPer = 200
+	objs := make([]*Object[int64], writers)
+	for i := range objs {
+		objs[i] = NewObject[int64](0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Handle()
+			defer h.Close()
+			for i := 0; i < commitsPer; i++ {
+				h.ReaderLock()
+				p, ok := h.TryLock(objs[w])
+				if !ok {
+					t.Errorf("writer %d: unexpected conflict on private object", w)
+					h.Abort()
+					return
+				}
+				*p++
+				h.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	check := d.Handle()
+	defer check.Close()
+	check.ReaderLock()
+	for i, obj := range objs {
+		if got := *check.Deref(obj); got != commitsPer {
+			t.Fatalf("obj %d = %d, want %d", i, got, commitsPer)
+		}
+	}
+	check.ReaderUnlock()
+	if d.Commits() != writers*commitsPer {
+		t.Fatalf("Commits = %d", d.Commits())
+	}
+}
+
+// Bank invariant: transfers move value between accounts inside one commit;
+// every read-side section must observe a constant total — RLU gives readers
+// an atomic view of each commit (the log is stolen or skipped as a unit).
+func TestTortureBankTransfers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture skipped in -short mode")
+	}
+	d := New[int64]()
+	const accounts = 8
+	const initial = 1000
+	objs := make([]*Object[int64], accounts)
+	for i := range objs {
+		objs[i] = NewObject[int64](initial)
+	}
+
+	var stop atomic.Bool
+	var badSums atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Handle()
+			defer h.Close()
+			for !stop.Load() {
+				h.ReaderLock()
+				var sum int64
+				for _, obj := range objs {
+					sum += *h.Deref(obj)
+				}
+				h.ReaderUnlock()
+				if sum != accounts*initial {
+					badSums.Add(1)
+				}
+			}
+		}()
+	}
+
+	var transfers atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Handle()
+			defer h.Close()
+			deadline := time.Now().Add(250 * time.Millisecond)
+			for i := 0; time.Now().Before(deadline); i++ {
+				from := (w*3 + i) % accounts
+				to := (from + 1 + w) % accounts
+				if from == to {
+					continue
+				}
+				h.ReaderLock()
+				pf, ok1 := h.TryLock(objs[from])
+				if !ok1 {
+					h.Abort()
+					continue
+				}
+				pt, ok2 := h.TryLock(objs[to])
+				if !ok2 {
+					h.Abort()
+					continue
+				}
+				*pf -= 5
+				*pt += 5
+				h.Commit()
+				transfers.Add(1)
+			}
+		}(w)
+	}
+	// Writer goroutines set the pace; readers stop afterwards.
+	wgWriters := make(chan struct{})
+	go func() {
+		time.Sleep(260 * time.Millisecond)
+		close(wgWriters)
+	}()
+	<-wgWriters
+	stop.Store(true)
+	wg.Wait()
+
+	if badSums.Load() != 0 {
+		t.Fatalf("%d read sections observed a torn total", badSums.Load())
+	}
+	if transfers.Load() == 0 {
+		t.Fatal("no transfers committed")
+	}
+	h := d.Handle()
+	defer h.Close()
+	h.ReaderLock()
+	var final int64
+	for _, obj := range objs {
+		final += *h.Deref(obj)
+	}
+	h.ReaderUnlock()
+	if final != accounts*initial {
+		t.Fatalf("final total = %d, want %d", final, accounts*initial)
+	}
+	t.Logf("transfers=%d commits=%d aborts=%d steals=%d",
+		transfers.Load(), d.Commits(), d.Aborts(), d.Steals())
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,196 @@
+// Package tasking is the runtime layer the paper's QSBR extension lives in:
+// a per-locale pool of worker threads onto which tasks are multiplexed, with
+// true worker-local storage, and park/unpark transitions when a worker runs
+// out of work.
+//
+// Chapel's qthreads layer gives the paper three things RCUArray relies on:
+//
+//  1. a bounded set of long-lived workers per locale ("44 tasks per locale"
+//     in the evaluation is really 44 workers saturated with tasks),
+//  2. thread-local storage for QSBR's per-thread metadata, and
+//  3. park/unpark notifications so idle threads don't stall reclamation.
+//
+// This package reproduces all three with goroutines pinned to a Pool. The
+// TLS caveat from the paper carries over exactly: tasks multiplexed on one
+// worker share its TLS, so a task must not yield between acquiring a
+// QSBR-protected reference and dropping it.
+package tasking
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Worker is one long-lived execution context. TLS is the worker-local slot
+// (the QSBR participant, when the pool's hooks install one).
+type Worker struct {
+	// ID is the worker's index within its pool, in [0, Workers).
+	ID int
+	// Pool is the owning pool.
+	Pool *Pool
+	// TLS is the worker-local storage slot, owned by the hooks.
+	TLS any
+}
+
+// Hooks customize worker lifecycle. Any field may be nil.
+type Hooks struct {
+	// OnStart runs in the worker goroutine before it accepts tasks
+	// (e.g. register a QSBR participant into w.TLS).
+	OnStart func(w *Worker)
+	// OnPark runs when the worker finds no pending work and is about to
+	// block (QSBR: park the participant so it cannot stall reclamation).
+	OnPark func(w *Worker)
+	// OnUnpark runs when a parked worker wakes up for new work.
+	OnUnpark func(w *Worker)
+	// AfterTask runs in the worker goroutine after each completed task —
+	// a "strategic point in the runtime" for injected QSBR checkpoints
+	// (task boundaries are natural quiescent states).
+	AfterTask func(w *Worker)
+	// OnStop runs when the pool shuts down (e.g. unregister).
+	OnStop func(w *Worker)
+}
+
+// Task is a unit of work executed on some worker.
+type Task func(w *Worker)
+
+// Pool runs tasks on a fixed set of workers.
+type Pool struct {
+	name    string
+	queue   chan Task
+	workers []*Worker
+	hooks   Hooks
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with n workers. The queue is buffered so bursts of
+// fan-out (a coforall over tasks) do not block the submitter.
+func NewPool(name string, n int, hooks Hooks) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("tasking: invalid worker count %d", n))
+	}
+	p := &Pool{
+		name:  name,
+		queue: make(chan Task, 16*n),
+		hooks: hooks,
+	}
+	p.workers = make([]*Worker, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		w := &Worker{ID: i, Pool: p}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go p.run(w, started)
+	}
+	// Wait for OnStart on every worker, so that (for example) all QSBR
+	// participants exist before the first task runs.
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	return p
+}
+
+// Name returns the pool's name (used in diagnostics).
+func (p *Pool) Name() string { return p.name }
+
+// Workers returns the number of workers.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+func (p *Pool) run(w *Worker, started chan<- struct{}) {
+	defer p.wg.Done()
+	if p.hooks.OnStart != nil {
+		p.hooks.OnStart(w)
+	}
+	started <- struct{}{}
+	defer func() {
+		if p.hooks.OnStop != nil {
+			p.hooks.OnStop(w)
+		}
+	}()
+	exec := func(t Task) {
+		t(w)
+		if p.hooks.AfterTask != nil {
+			p.hooks.AfterTask(w)
+		}
+	}
+	for {
+		// Fast path: pending work, no park transition.
+		select {
+		case t, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			exec(t)
+			continue
+		default:
+		}
+		// Idle: park, block, unpark (the QSBR-relevant transition).
+		if p.hooks.OnPark != nil {
+			p.hooks.OnPark(w)
+		}
+		t, ok := <-p.queue
+		if p.hooks.OnUnpark != nil {
+			p.hooks.OnUnpark(w)
+		}
+		if !ok {
+			return
+		}
+		exec(t)
+	}
+}
+
+// Submit enqueues a task. It blocks if the queue is full and panics if the
+// pool is shut down.
+func (p *Pool) Submit(t Task) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("tasking: Submit on closed pool " + p.name)
+	}
+	p.mu.Unlock()
+	p.queue <- t
+}
+
+// Go enqueues fn and returns a done channel that closes when it finishes.
+func (p *Pool) Go(fn Task) <-chan struct{} {
+	done := make(chan struct{})
+	p.Submit(func(w *Worker) {
+		defer close(done)
+		fn(w)
+	})
+	return done
+}
+
+// Run enqueues fn and waits for it.
+func (p *Pool) Run(fn Task) { <-p.Go(fn) }
+
+// ForAll runs n tasks fn(w, 0..n-1) on the pool and waits for all of them.
+// This is the `coforall i in 1..n` fan-out used by the benchmarks to model
+// "tasks per locale".
+func (p *Pool) ForAll(n int, fn func(w *Worker, i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func(w *Worker) {
+			defer wg.Done()
+			fn(w, i)
+		})
+	}
+	wg.Wait()
+}
+
+// Shutdown stops accepting tasks, drains the queue, and joins the workers.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}

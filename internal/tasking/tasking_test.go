@@ -1,0 +1,202 @@
+package tasking
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool("test", 2, Hooks{})
+	defer p.Shutdown()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		p.Submit(func(w *Worker) {
+			defer wg.Done()
+			n.Add(1)
+		})
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+}
+
+func TestWorkerIdentity(t *testing.T) {
+	p := NewPool("ids", 3, Hooks{})
+	defer p.Shutdown()
+	seen := make(chan int, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		p.Submit(func(w *Worker) {
+			defer wg.Done()
+			if w.Pool != p {
+				t.Errorf("worker pool mismatch")
+			}
+			seen <- w.ID
+		})
+	}
+	wg.Wait()
+	close(seen)
+	for id := range seen {
+		if id < 0 || id >= 3 {
+			t.Fatalf("worker id %d out of range", id)
+		}
+	}
+	if p.Workers() != 3 || p.Name() != "ids" {
+		t.Fatalf("pool metadata wrong: %d %q", p.Workers(), p.Name())
+	}
+}
+
+func TestOnStartRunsBeforeTasks(t *testing.T) {
+	var started atomic.Int64
+	p := NewPool("start", 4, Hooks{
+		OnStart: func(w *Worker) {
+			w.TLS = w.ID * 10
+			started.Add(1)
+		},
+	})
+	defer p.Shutdown()
+	if got := started.Load(); got != 4 {
+		t.Fatalf("OnStart ran %d times before NewPool returned, want 4", got)
+	}
+	p.Run(func(w *Worker) {
+		if w.TLS != w.ID*10 {
+			t.Errorf("TLS = %v, want %d", w.TLS, w.ID*10)
+		}
+	})
+}
+
+func TestParkUnparkCycle(t *testing.T) {
+	var parks, unparks atomic.Int64
+	p := NewPool("park", 1, Hooks{
+		OnPark:   func(w *Worker) { parks.Add(1) },
+		OnUnpark: func(w *Worker) { unparks.Add(1) },
+	})
+	defer p.Shutdown()
+
+	// Let the worker go idle, then wake it.
+	time.Sleep(20 * time.Millisecond)
+	if parks.Load() == 0 {
+		t.Fatal("idle worker never parked")
+	}
+	p.Run(func(w *Worker) {})
+	if unparks.Load() == 0 {
+		t.Fatal("worker ran a task without unparking")
+	}
+}
+
+func TestOnStopRunsAtShutdown(t *testing.T) {
+	var stops atomic.Int64
+	p := NewPool("stop", 3, Hooks{OnStop: func(w *Worker) { stops.Add(1) }})
+	p.Shutdown()
+	if got := stops.Load(); got != 3 {
+		t.Fatalf("OnStop ran %d times, want 3", got)
+	}
+}
+
+func TestShutdownDrainsQueue(t *testing.T) {
+	p := NewPool("drain", 1, Hooks{})
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		p.Submit(func(w *Worker) {
+			defer wg.Done()
+			n.Add(1)
+		})
+	}
+	p.Shutdown()
+	wg.Wait()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("drained %d tasks, want 50", got)
+	}
+}
+
+func TestSubmitAfterShutdownPanics(t *testing.T) {
+	p := NewPool("closed", 1, Hooks{})
+	p.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Shutdown did not panic")
+		}
+	}()
+	p.Submit(func(w *Worker) {})
+}
+
+func TestDoubleShutdownIsIdempotent(t *testing.T) {
+	p := NewPool("twice", 1, Hooks{})
+	p.Shutdown()
+	p.Shutdown() // must not panic or hang
+}
+
+func TestForAll(t *testing.T) {
+	p := NewPool("forall", 4, Hooks{})
+	defer p.Shutdown()
+	var sum atomic.Int64
+	p.ForAll(100, func(w *Worker, i int) {
+		sum.Add(int64(i))
+	})
+	if got := sum.Load(); got != 99*100/2 {
+		t.Fatalf("sum = %d, want %d", got, 99*100/2)
+	}
+}
+
+func TestForAllMoreTasksThanWorkers(t *testing.T) {
+	p := NewPool("over", 2, Hooks{})
+	defer p.Shutdown()
+	var max atomic.Int64
+	var cur atomic.Int64
+	p.ForAll(32, func(w *Worker, i int) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if got := max.Load(); got > 2 {
+		t.Fatalf("concurrency %d exceeded worker count 2", got)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool("bad", 0, Hooks{})
+}
+
+func TestGoReturnsDoneChannel(t *testing.T) {
+	p := NewPool("go", 1, Hooks{})
+	defer p.Shutdown()
+	var ran atomic.Bool
+	done := p.Go(func(w *Worker) { ran.Store(true) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Go task never completed")
+	}
+	if !ran.Load() {
+		t.Fatal("done closed before task ran")
+	}
+}
+
+func TestAfterTaskHook(t *testing.T) {
+	var after atomic.Int64
+	p := NewPool("after", 2, Hooks{AfterTask: func(w *Worker) { after.Add(1) }})
+	defer p.Shutdown()
+	p.ForAll(10, func(w *Worker, i int) {})
+	if got := after.Load(); got != 10 {
+		t.Fatalf("AfterTask ran %d times, want 10", got)
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import "testing"
+
+// FuzzIndexStreamBounds: every stream stays within its [lo, hi) domain for
+// any pattern, seed, and (re)binding sequence.
+func FuzzIndexStreamBounds(f *testing.F) {
+	f.Add(uint8(0), uint64(1), 10, 100, 50)
+	f.Add(uint8(1), uint64(7), 0, 3, 9)
+	f.Add(uint8(2), uint64(0), 5, 6, 1)
+	f.Fuzz(func(t *testing.T, patternRaw uint8, seed uint64, lo, hi, rebind int) {
+		pattern := Pattern(patternRaw % 3)
+		if lo < 0 || hi <= lo || hi-lo > 1<<16 {
+			t.Skip()
+		}
+		s := NewIndexStreamRange(pattern, seed, lo, hi)
+		for i := 0; i < 200; i++ {
+			if idx := s.Next(); idx < lo || idx >= hi {
+				t.Fatalf("%v: index %d outside [%d,%d)", pattern, idx, lo, hi)
+			}
+		}
+		if rebind > 0 && rebind <= 1<<16 {
+			s.SetN(rebind)
+			for i := 0; i < 200; i++ {
+				if idx := s.Next(); idx < lo || idx >= lo+rebind {
+					t.Fatalf("%v after SetN(%d): index %d outside [%d,%d)",
+						pattern, rebind, idx, lo, lo+rebind)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRNGIntn: Intn stays in range for any positive bound.
+func FuzzRNGIntn(f *testing.F) {
+	f.Add(uint64(0), 1)
+	f.Add(uint64(99), 1000)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n <= 0 || n > 1<<30 {
+			t.Skip()
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package workload provides the deterministic access-pattern generators the
+// evaluation drives the arrays with: the paper's random and sequential
+// per-task index streams (Figures 2a–2d), plus a Zipfian stream used by the
+// extended ablations. Generators are seeded per task so runs are exactly
+// reproducible and tasks do not share RNG state.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern selects an index access pattern.
+type Pattern int
+
+const (
+	// Random indexes uniformly at random (Figures 2a, 2c).
+	Random Pattern = iota
+	// Sequential walks the array in order from a per-task offset
+	// (Figures 2b, 2d).
+	Sequential
+	// Zipfian skews accesses toward low indices (extended ablation:
+	// contention concentrated on few blocks).
+	Zipfian
+)
+
+// String names the pattern as used in experiment output.
+func (p Pattern) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case Sequential:
+		return "sequential"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// RNG is a SplitMix64 generator: tiny, fast, and deterministic across
+// platforms. It is not safe for concurrent use; give each task its own.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (zero is allowed).
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Intn(%d)", n))
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// IndexStream produces a deterministic sequence of indices in
+// [base, base+n).
+type IndexStream struct {
+	pattern Pattern
+	rng     *RNG
+	base    int
+	n       int
+	pos     int
+	zipf    *zipfGen
+}
+
+// NewIndexStream creates a stream over [0, n) for the given pattern. seed
+// individualizes the stream; for Sequential it also selects the starting
+// offset so concurrent tasks do not all hit block 0 together (the paper's
+// tasks likewise walk disjoint ranges).
+func NewIndexStream(p Pattern, seed uint64, n int) *IndexStream {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: IndexStream over %d elements", n))
+	}
+	return NewIndexStreamRange(p, seed, 0, n)
+}
+
+// NewIndexStreamRange creates a stream over [lo, hi). Disjoint per-task
+// ranges give race-detector-clean workloads: no two tasks ever touch the
+// same element (the overlapping variant matches the paper's benchmarks but
+// relies on the array's plain-memory element semantics).
+func NewIndexStreamRange(p Pattern, seed uint64, lo, hi int) *IndexStream {
+	n := hi - lo
+	if n <= 0 || lo < 0 {
+		panic(fmt.Sprintf("workload: IndexStream over [%d,%d)", lo, hi))
+	}
+	s := &IndexStream{pattern: p, rng: NewRNG(seed), base: lo, n: n}
+	switch p {
+	case Sequential:
+		s.pos = s.rng.Intn(n)
+	case Zipfian:
+		s.zipf = newZipfGen(s.rng, 0.99, n)
+	}
+	return s
+}
+
+// Next returns the next index.
+func (s *IndexStream) Next() int {
+	switch s.pattern {
+	case Random:
+		return s.base + s.rng.Intn(s.n)
+	case Sequential:
+		idx := s.pos
+		s.pos++
+		if s.pos >= s.n {
+			s.pos = 0
+		}
+		return s.base + idx
+	case Zipfian:
+		return s.base + s.zipf.next()
+	default:
+		panic(fmt.Sprintf("workload: unknown pattern %d", int(s.pattern)))
+	}
+}
+
+// SetN rebinds the stream to a new array length; used by mixed workloads
+// that grow the array mid-run.
+func (s *IndexStream) SetN(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: SetN(%d)", n))
+	}
+	s.n = n
+	if s.pos >= n {
+		s.pos = 0
+	}
+	if s.pattern == Zipfian {
+		s.zipf = newZipfGen(s.rng, 0.99, n)
+	}
+}
+
+// zipfGen samples a bounded Zipfian distribution over [0, n) with skew
+// theta, using the Gray et al. method popularized by YCSB: one O(n) zeta
+// precomputation, then O(1) per sample.
+type zipfGen struct {
+	rng   *RNG
+	n     int
+	theta float64
+	zetan float64
+	alpha float64
+	eta   float64
+}
+
+func newZipfGen(rng *RNG, theta float64, n int) *zipfGen {
+	z := &zipfGen{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	switch {
+	case uz < 1:
+		return 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		return 1
+	default:
+		idx := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if idx >= z.n {
+			idx = z.n - 1
+		}
+		return idx
+	}
+}

@@ -1,0 +1,71 @@
+package xsync
+
+import (
+	"runtime"
+	"time"
+)
+
+// Backoff implements a bounded spin-then-yield waiting strategy. It is used
+// wherever the paper's pseudocode says "wait for readers": a writer spinning
+// on the EpochReaders counters, a task waiting on the cluster-wide WriteLock,
+// and the QSBR registry scan.
+//
+// The zero value is ready to use. Backoff is not safe for concurrent use; it
+// is a per-waiter scratch value.
+type Backoff struct {
+	spins int
+}
+
+// spinLimit is how many times Wait busy-loops before it starts yielding the
+// processor. On a single-core host (GOMAXPROCS=1) pure spinning would starve
+// the goroutine we are waiting on, so the limit is deliberately small and the
+// yield path is the common one.
+const spinLimit = 16
+
+// Wait performs one waiting step: a short busy spin at first, escalating to
+// runtime.Gosched, and finally to short sleeps so that a long wait does not
+// monopolize an oversubscribed scheduler.
+func (b *Backoff) Wait() {
+	b.spins++
+	switch {
+	case b.spins <= spinLimit:
+		spin(4 << uint(b.spins%6))
+	case b.spins <= spinLimit*8:
+		runtime.Gosched()
+	default:
+		time.Sleep(time.Microsecond)
+	}
+}
+
+// Reset restores the backoff to its initial (spinning) state.
+func (b *Backoff) Reset() { b.spins = 0 }
+
+//go:noinline
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		// The loop body is empty on purpose; go:noinline keeps the
+		// compiler from deleting the loop entirely.
+	}
+}
+
+// SpinUntil repeatedly evaluates cond with backoff until it returns true.
+func SpinUntil(cond func() bool) {
+	var b Backoff
+	for !cond() {
+		b.Wait()
+	}
+}
+
+// SpinUntilTimeout repeatedly evaluates cond with backoff until it returns
+// true or the deadline expires. It reports whether cond became true.
+func SpinUntilTimeout(cond func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	var b Backoff
+	for !cond() {
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		b.Wait()
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package xsync
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size, in bytes, of a CPU cache line. 64 bytes
+// is correct for every x86-64 and most arm64 parts; over-padding on machines
+// with smaller lines costs only memory.
+const CacheLineSize = 64
+
+// Pad occupies one cache line. Embed it between fields that must not share a
+// line (false sharing).
+type Pad [CacheLineSize]byte
+
+// PaddedUint64 is an atomic uint64 that owns its cache line. Use it for
+// counters that are written by many goroutines, such as the EpochReaders
+// pair in the EBR domain.
+type PaddedUint64 struct {
+	_ Pad
+	v atomic.Uint64
+	_ Pad
+}
+
+// Load atomically loads the counter.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores x.
+func (p *PaddedUint64) Store(x uint64) { p.v.Store(x) }
+
+// Add atomically adds delta (which may be produced from a negative value via
+// two's complement, e.g. ^uint64(0) for -1) and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Inc atomically increments the counter and returns the new value.
+func (p *PaddedUint64) Inc() uint64 { return p.v.Add(1) }
+
+// Dec atomically decrements the counter and returns the new value. It is the
+// caller's responsibility that the counter is positive; in race-detector and
+// testing builds callers assert non-underflow separately.
+func (p *PaddedUint64) Dec() uint64 { return p.v.Add(^uint64(0)) }
+
+// CompareAndSwap performs an atomic compare-and-swap.
+func (p *PaddedUint64) CompareAndSwap(old, new uint64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// PaddedInt64 is an atomic int64 that owns its cache line.
+type PaddedInt64 struct {
+	_ Pad
+	v atomic.Int64
+	_ Pad
+}
+
+// Load atomically loads the counter.
+func (p *PaddedInt64) Load() int64 { return p.v.Load() }
+
+// Store atomically stores x.
+func (p *PaddedInt64) Store(x int64) { p.v.Store(x) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedInt64) Add(delta int64) int64 { return p.v.Add(delta) }

@@ -1,0 +1,45 @@
+package xsync
+
+// StripedCounter is a statistic counter sharded over several cache lines to
+// keep hot-path increments from contending. Reads (Sum) are approximate under
+// concurrent increments, which is acceptable for the communication and
+// allocator statistics it backs.
+type StripedCounter struct {
+	stripes []PaddedUint64
+}
+
+// NewStripedCounter returns a counter with n stripes (rounded up to a power
+// of two, minimum 1).
+func NewStripedCounter(n int) *StripedCounter {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &StripedCounter{stripes: make([]PaddedUint64, size)}
+}
+
+// Add adds delta to the stripe selected by key. Callers pass a cheap
+// per-goroutine or per-locale key (for example, the locale id).
+func (c *StripedCounter) Add(key int, delta uint64) {
+	c.stripes[key&(len(c.stripes)-1)].Add(delta)
+}
+
+// Inc increments the stripe selected by key.
+func (c *StripedCounter) Inc(key int) { c.Add(key, 1) }
+
+// Sum returns the sum across stripes. The value is exact once writers have
+// quiesced and a lower bound while they run.
+func (c *StripedCounter) Sum() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].Load()
+	}
+	return total
+}
+
+// Reset zeroes all stripes. It must not race with Add.
+func (c *StripedCounter) Reset() {
+	for i := range c.stripes {
+		c.stripes[i].Store(0)
+	}
+}

@@ -1,0 +1,183 @@
+package xsync
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+	"unsafe"
+)
+
+func TestPaddedUint64Basics(t *testing.T) {
+	var c PaddedUint64
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero value Load = %d, want 0", got)
+	}
+	c.Store(41)
+	if got := c.Inc(); got != 42 {
+		t.Fatalf("Inc = %d, want 42", got)
+	}
+	if got := c.Dec(); got != 41 {
+		t.Fatalf("Dec = %d, want 41", got)
+	}
+	if got := c.Add(^uint64(0)); got != 40 {
+		t.Fatalf("Add(-1) = %d, want 40", got)
+	}
+	if !c.CompareAndSwap(40, 7) {
+		t.Fatal("CAS(40,7) failed")
+	}
+	if c.CompareAndSwap(40, 9) {
+		t.Fatal("CAS(40,9) succeeded unexpectedly")
+	}
+	if got := c.Load(); got != 7 {
+		t.Fatalf("final Load = %d, want 7", got)
+	}
+}
+
+func TestPaddedUint64Size(t *testing.T) {
+	// The counter must span at least two full cache lines of padding plus
+	// the value, so adjacent counters in an array never share a line.
+	if sz := unsafe.Sizeof(PaddedUint64{}); sz < 2*CacheLineSize+8 {
+		t.Fatalf("PaddedUint64 size = %d, want >= %d", sz, 2*CacheLineSize+8)
+	}
+	if sz := unsafe.Sizeof(PaddedInt64{}); sz < 2*CacheLineSize+8 {
+		t.Fatalf("PaddedInt64 size = %d, want >= %d", sz, 2*CacheLineSize+8)
+	}
+}
+
+func TestPaddedUint64Concurrent(t *testing.T) {
+	var c PaddedUint64
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("Load = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPaddedInt64(t *testing.T) {
+	var c PaddedInt64
+	c.Store(-5)
+	if got := c.Add(3); got != -2 {
+		t.Fatalf("Add = %d, want -2", got)
+	}
+	if got := c.Load(); got != -2 {
+		t.Fatalf("Load = %d, want -2", got)
+	}
+}
+
+func TestBackoffWaitProgresses(t *testing.T) {
+	// Wait must never block forever and must escalate through its phases.
+	var b Backoff
+	for i := 0; i < spinLimit*8+10; i++ {
+		b.Wait()
+	}
+	if b.spins != spinLimit*8+10 {
+		t.Fatalf("spins = %d, want %d", b.spins, spinLimit*8+10)
+	}
+	b.Reset()
+	if b.spins != 0 {
+		t.Fatalf("Reset did not clear spins: %d", b.spins)
+	}
+}
+
+func TestSpinUntil(t *testing.T) {
+	var c PaddedUint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		SpinUntil(func() bool { return c.Load() == 1 })
+	}()
+	time.Sleep(time.Millisecond)
+	c.Store(1)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SpinUntil did not return after condition became true")
+	}
+}
+
+func TestSpinUntilTimeout(t *testing.T) {
+	start := time.Now()
+	ok := SpinUntilTimeout(func() bool { return false }, 10*time.Millisecond)
+	if ok {
+		t.Fatal("SpinUntilTimeout reported success for an impossible condition")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("returned after %v, before the timeout", elapsed)
+	}
+	if !SpinUntilTimeout(func() bool { return true }, time.Second) {
+		t.Fatal("SpinUntilTimeout failed for an immediate condition")
+	}
+}
+
+func TestStripedCounterRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		c := NewStripedCounter(tc.in)
+		if got := len(c.stripes); got != tc.want {
+			t.Errorf("NewStripedCounter(%d) stripes = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStripedCounterSum(t *testing.T) {
+	c := NewStripedCounter(4)
+	for key := 0; key < 16; key++ {
+		c.Add(key, uint64(key))
+	}
+	want := uint64(16 * 15 / 2)
+	if got := c.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	c.Reset()
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after Reset = %d, want 0", got)
+	}
+}
+
+func TestStripedCounterConcurrent(t *testing.T) {
+	c := NewStripedCounter(8)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(key int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != workers*perWorker {
+		t.Fatalf("Sum = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Property: for any sequence of increments distributed over arbitrary keys,
+// Sum equals the number of increments (stripes only shard, never lose).
+func TestStripedCounterProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		c := NewStripedCounter(4)
+		for _, k := range keys {
+			c.Inc(int(k))
+		}
+		return c.Sum() == uint64(len(keys))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
