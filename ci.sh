@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# CI pipeline. Tiers are cumulative; run the highest tier you have time for.
+#
+#   ./ci.sh            tier-1   (build + full test suite, no race detector)
+#   ./ci.sh race       tier-1.5 (adds go test -race over the -short subset:
+#                                every package's tests with the long stress
+#                                loops trimmed, including the lincheck
+#                                suites, under the race detector)
+#   ./ci.sh full       tier-1 + tier-1.5
+set -eu
+
+tier1() {
+	echo '--- tier-1: go build ./...'
+	go build ./...
+	echo '--- tier-1: go vet ./...'
+	go vet ./...
+	echo '--- tier-1: go test ./...'
+	go test ./...
+}
+
+tier15() {
+	echo '--- tier-1.5: go test -race -short ./...'
+	go test -race -short ./...
+}
+
+case "${1:-tier1}" in
+tier1) tier1 ;;
+race) tier15 ;;
+full)
+	tier1
+	tier15
+	;;
+*)
+	echo "usage: $0 [tier1|race|full]" >&2
+	exit 2
+	;;
+esac
+echo OK

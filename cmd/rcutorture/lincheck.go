@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rcuarray/internal/check"
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+)
+
+// Lincheck mode uses the suite's fixed window shape (internal/core's
+// lincheck tests) rather than the -block/-shrink flags: a failing window's
+// seed then replays byte-for-byte under
+//
+//	go test -run Lincheck ./internal/core -seed N
+//
+// because the generator configuration is identical.
+const (
+	lincheckTasks     = 3
+	lincheckBlockSize = 8
+	lincheckSteps     = 40
+)
+
+// lincheckTorture runs deterministic linearizability windows against a real
+// array until dur elapses. Checking is online and bounded-window: each
+// seeded adversarial history is checked the moment it completes, so a
+// violation surfaces within one window instead of after the run, and the
+// history the checker saw is exactly the one whose seed gets printed.
+func lincheckTorture(v core.Variant, locales, tasks int, dur time.Duration, seed uint64) bool {
+	c := locale.NewCluster(locale.Config{Locales: locales, WorkersPerLocale: tasks})
+	defer c.Shutdown()
+
+	windows, ops := 0, 0
+	start := time.Now()
+	for time.Since(start) < dur {
+		wseed := taskSeed(seed, roleLincheck, uint64(v), uint64(windows))
+		h, leak := lincheckWindow(c, v, wseed)
+		if leak != 0 {
+			fmt.Printf("  FAIL: window seed %d leaked %d blocks after Destroy+drain\n", wseed, leak)
+			return false
+		}
+		rep := check.CheckArray(h, 0)
+		windows++
+		ops += len(h.Ops)
+		if !rep.Ok || rep.Inconclusive > 0 {
+			fmt.Printf("  FAIL: window seed %d not linearizable\n  %v\n  replay: go test -run Lincheck ./internal/core -seed %d\n%s",
+				wseed, rep, wseed, h.EncodeString())
+			return false
+		}
+	}
+	fmt.Printf("  lincheck: %d windows, %d ops, all linearizable\n", windows, ops)
+	return windows > 0
+}
+
+// lincheckWindow records one seeded history against a fresh array and
+// returns it together with the number of blocks still live after
+// Destroy+drain (which must be zero).
+func lincheckWindow(c *locale.Cluster, v core.Variant, wseed uint64) (*check.History, int64) {
+	lts := make([]*locale.Task, lincheckTasks)
+	release := make(chan struct{})
+	var ready, done sync.WaitGroup
+	ready.Add(lincheckTasks)
+	done.Add(lincheckTasks)
+	for i := 0; i < lincheckTasks; i++ {
+		go func(i int) {
+			defer done.Done()
+			c.Run(func(tt *locale.Task) {
+				lts[i] = tt
+				ready.Done()
+				<-release
+			})
+		}(i)
+	}
+	ready.Wait()
+	defer done.Wait()
+	defer close(release)
+
+	a := core.New[int64](lts[0], core.Options{BlockSize: lincheckBlockSize, Variant: v})
+	d := check.NewDriver("rcutorture/"+v.String(), wseed, lincheckTasks)
+	targets := make([]check.ArrayTarget, lincheckTasks)
+	for k := range targets {
+		targets[k] = lincheckTarget{a: a, t: lts[k]}
+	}
+	h := check.GenArrayHistory(d, targets, check.GenConfig{
+		BlockSize: lincheckBlockSize,
+		Steps:     lincheckSteps,
+		Shrink:    true,
+	})
+	d.Close()
+
+	a.Destroy(lts[0])
+	for i := 0; i < 1000 && liveBlocks(c) != 0; i++ {
+		for _, tt := range lts {
+			tt.Checkpoint()
+		}
+	}
+	return h, liveBlocks(c)
+}
+
+type lincheckTarget struct {
+	a *core.Array[int64]
+	t *locale.Task
+}
+
+func (x lincheckTarget) Load(idx int) int64     { return x.a.Load(x.t, idx) }
+func (x lincheckTarget) Store(idx int, v int64) { x.a.Store(x.t, idx, v) }
+func (x lincheckTarget) GrowBlocks(n int)       { x.a.Grow(x.t, n*x.a.BlockSize()) }
+func (x lincheckTarget) ShrinkBlocks(n int)     { x.a.Shrink(x.t, n*x.a.BlockSize()) }
+func (x lincheckTarget) Len() int               { return x.a.Len(x.t) }
+func (x lincheckTarget) Checkpoint()            { x.t.Checkpoint() }

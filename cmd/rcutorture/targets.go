@@ -34,7 +34,7 @@ func tortureVector(reclaim rcuarray.Reclaim, locales, tasks int, dur time.Durati
 					}
 				}()
 				slot := tt.Here().ID()*tasks + id
-				rng := workload.NewRNG(seed ^ uint64(slot))
+				rng := workload.NewRNG(taskSeed(seed, roleVector, uint64(reclaim), uint64(slot)))
 				for i := int64(1); !stop.Load(); i++ {
 					switch {
 					case slot == 0 && i%4 == 0:
@@ -110,7 +110,7 @@ func tortureTable(reclaim rcuarray.Reclaim, locales, tasks int, dur time.Duratio
 				slot := uint64(tt.Here().ID()*tasks + id)
 				keyBase := slot << 32 // private key space per task
 				model := make(map[uint64]int64)
-				rng := workload.NewRNG(seed ^ slot)
+				rng := workload.NewRNG(taskSeed(seed, roleTable, uint64(reclaim), slot))
 				for i := int64(1); !stop.Load(); i++ {
 					key := keyBase | uint64(rng.Intn(512))
 					switch i % 4 {

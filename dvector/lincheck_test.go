@@ -1,0 +1,164 @@
+package dvector_test
+
+import (
+	"sync"
+	"testing"
+
+	"rcuarray"
+	"rcuarray/dvector"
+	"rcuarray/internal/check"
+)
+
+func bindTasks(c *rcuarray.Cluster, n int, fn func(ts []*rcuarray.Task)) {
+	ts := make([]*rcuarray.Task, n)
+	release := make(chan struct{})
+	var ready, done sync.WaitGroup
+	ready.Add(n)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			c.Run(func(tt *rcuarray.Task) {
+				ts[i] = tt
+				ready.Done()
+				<-release
+			})
+		}(i)
+	}
+	ready.Wait()
+	defer done.Wait()
+	defer close(release)
+	fn(ts)
+}
+
+// vectorKinds filters a history down to the ops VectorModel understands
+// (checkpoints are recorded for replay fidelity but are not vector ops).
+func vectorKinds(ops []check.Op) []check.Op {
+	var out []check.Op
+	for _, o := range ops {
+		switch o.Kind {
+		case check.KindPush, check.KindPop, check.KindAt, check.KindSet, check.KindLen:
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// runVectorLincheck records one seeded schedule against a real Vector: tail
+// mutations serialized on task 0, reads on task 1, and windows where a Push
+// (possibly growing the backing RCUArray) genuinely overlaps an At of the
+// committed prefix — the index-validity contract the package documents.
+func runVectorLincheck(t *testing.T, mode rcuarray.Reclaim, seed uint64) {
+	c := rcuarray.NewCluster(rcuarray.ClusterConfig{Locales: 2, TasksPerLocale: 2})
+	defer c.Shutdown()
+	bindTasks(c, 2, func(ts []*rcuarray.Task) {
+		v := dvector.New[int64](ts[0], dvector.Options{BlockSize: 4, Reclaim: mode})
+		d := check.NewDriver("dvector/"+mode.String(), seed, 2)
+		rng := d.RNG()
+
+		length := 0 // mirror of the committed length, updated at serial points
+		var nextVal int64
+		push := func(sync bool) {
+			nextVal++
+			op := check.Op{Kind: check.KindPush, Arg: nextVal}
+			body := func(op *check.Op) { op.Out = int64(v.Push(ts[0], op.Arg)) }
+			if sync {
+				d.Do(0, op, body)
+			} else {
+				d.Begin(0, op, body)
+			}
+			length++
+		}
+
+		const steps = 40
+		for step := 0; step < steps; step++ {
+			switch r := rng.Intn(100); {
+			case r < 30:
+				push(true)
+			case r < 45 && length > 0:
+				d.Do(0, check.Op{Kind: check.KindPop}, func(op *check.Op) {
+					val, ok := v.Pop(ts[0])
+					op.Out = val
+					if ok {
+						op.Out2 = 1
+					}
+				})
+				length--
+			case r < 55 && length > 0:
+				d.Do(1, check.Op{Kind: check.KindSet, Idx: rng.Intn(length), Arg: -nextVal - 1}, func(op *check.Op) {
+					v.Set(ts[1], op.Idx, op.Arg)
+				})
+				nextVal++
+			case r < 65:
+				d.Do(1, check.Op{Kind: check.KindLen}, func(op *check.Op) {
+					op.Out = int64(v.Len())
+				})
+			case r < 80 && length > 0:
+				d.Do(1, check.Op{Kind: check.KindAt, Idx: rng.Intn(length)}, func(op *check.Op) {
+					op.Out = v.At(ts[1], op.Idx)
+				})
+			default:
+				// Window: a Push (which may resize the backing array)
+				// overlapping an At of the already-committed prefix.
+				if length == 0 {
+					push(true)
+					continue
+				}
+				idx := rng.Intn(length)
+				push(false)
+				d.Begin(1, check.Op{Kind: check.KindAt, Idx: idx}, func(op *check.Op) {
+					op.Out = v.At(ts[1], op.Idx)
+				})
+				if rng.Intn(2) == 0 {
+					d.Await(0)
+					d.Await(1)
+				} else {
+					d.Await(1)
+					d.Await(0)
+				}
+			}
+			if rng.Intn(100) < 20 {
+				task := rng.Intn(2)
+				d.Do(task, check.Op{Kind: check.KindCkpt}, func(*check.Op) { ts[task].Checkpoint() })
+			}
+		}
+		for k := 0; k < 2; k++ {
+			d.Do(k, check.Op{Kind: check.KindCkpt}, func(*check.Op) { ts[k].Checkpoint() })
+		}
+		d.Close()
+
+		h := d.History()
+		res := check.Check(check.VectorModel(), vectorKinds(h.Ops), 0)
+		if !res.Ok || res.Inconclusive {
+			t.Fatalf("dvector lincheck failed, seed %d: %+v\nhistory:\n%s", seed, res, h.EncodeString())
+		}
+
+		v.Destroy(ts[0])
+		inner := c.Internal()
+		live := func() int64 {
+			var n int64
+			for i := 0; i < inner.NumLocales(); i++ {
+				n += inner.Locale(i).MemStats().Live()
+			}
+			return n
+		}
+		for k := 0; k < 1000 && live() != 0; k++ {
+			for _, tt := range ts {
+				tt.Checkpoint()
+			}
+		}
+		if n := live(); n != 0 {
+			t.Fatalf("seed %d: %d blocks leaked", seed, n)
+		}
+	})
+}
+
+// TestLincheckVector is the dvector smoke lincheck: a handful of seeds per
+// reclamation mode through the shared checker.
+func TestLincheckVector(t *testing.T) {
+	for _, mode := range []rcuarray.Reclaim{rcuarray.EBR, rcuarray.QSBR} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			runVectorLincheck(t, mode, seed)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package check is the repository's correctness substrate: a
+// history-recording linearizability checker plus a seeded deterministic
+// interleaving driver, built to catch reclamation and resize bugs in
+// internal/core, internal/ebr and internal/qsbr deterministically rather
+// than probabilistically.
+//
+// It has three layers, each usable on its own:
+//
+//   - History ([Op], [History]): a timestamped record of concurrent
+//     operations (call/return intervals on a logical clock), with a stable
+//     text encoding so any failing run can be dumped, diffed and replayed
+//     byte-for-byte.
+//
+//   - Checker ([Check], [Model], [CheckArray]): a Wing–Gong/WGL-style
+//     linearizability checker in the spirit of porcupine-like tools. It
+//     searches for a linearization of a history against a sequential model,
+//     memoizing (linearized-set, state) pairs. [CheckArray] partitions an
+//     array history by element index (element ops commute across indices)
+//     plus a capacity partition for Grow/Shrink/Len, and checks each
+//     partition independently.
+//
+//   - Driver ([Driver]): a seeded deterministic scheduler that replaces
+//     wall-clock racing. Operations run as steps on per-task executors; the
+//     driver assigns every call and return a unique logical timestamp, so
+//     the same seed reproduces the identical history byte-for-byte. Ops may
+//     run synchronously ([Driver.Do]) or overlap ([Driver.Begin] /
+//     [Driver.Await]), and an armed op can be parked mid-flight at an
+//     instrumentation point ([Driver.Arm] / [Driver.WaitYield] /
+//     [Driver.Resume]) — the mechanism behind the resize-during-read,
+//     checkpoint-starvation and epoch-flip-window schedules.
+//
+// The generator ([GenArrayHistory]) drives any [ArrayTarget] through a
+// seeded adversarial schedule — serial segments interleaved with windows in
+// which a structural op (Grow/Shrink) overlaps element operations — while
+// keeping every recorded result deterministic: concurrent ops are chosen so
+// their outcomes do not depend on the race (per-task index stripes, no Len
+// during a structural window, structural ops serialized by the array's own
+// write lock).
+//
+// # Determinism contract
+//
+// A history generated through the Driver from a fixed seed is identical
+// across runs: the schedule, the arguments, the logical timestamps and —
+// because the generator only overlaps operations whose results are
+// race-free — the results. CI failures therefore print their seed; rerun
+// with `go test -run Lincheck -seed N` in the failing package to reproduce
+// and dump the exact history.
+//
+// # Scope of the partitioned array check
+//
+// Partitioning element ops by index is sound while an index's block is
+// never freed and re-added during the history (a Shrink past index i
+// followed by a Grow re-covering i resets the element to the zero value,
+// which a per-index register model does not track). Generators therefore
+// keep element traffic inside a base region that structural ops never
+// remove — resizes churn only extra tail blocks.
+package check

@@ -1,0 +1,197 @@
+package check
+
+import "fmt"
+
+// ArrayTarget is the minimal surface the generator drives. Each logical
+// task gets its own bound target (closing over its own execution context),
+// so implementations never see cross-task sharing beyond the array itself.
+type ArrayTarget interface {
+	Load(idx int) int64
+	Store(idx int, v int64)
+	GrowBlocks(n int)
+	ShrinkBlocks(n int)
+	Len() int
+	// Checkpoint announces QSBR quiescence; EBR targets make it a no-op.
+	Checkpoint()
+}
+
+// GenConfig tunes the adversarial schedule.
+type GenConfig struct {
+	// BlockSize is the target array's block size in elements (required).
+	BlockSize int
+	// StripeBlocks is each task's private stripe width in blocks.
+	// Default 1.
+	StripeBlocks int
+	// ExtraBlocks caps the churn region beyond the base stripes that
+	// Grow/Shrink cycle through. Default 3.
+	ExtraBlocks int
+	// Steps is the number of scheduling decisions. Default 60.
+	Steps int
+	// Shrink enables shrink ops in the schedule.
+	Shrink bool
+	// CkptPercent is the chance (0–100) a task checkpoints after an op.
+	// Default 25.
+	CkptPercent int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.BlockSize <= 0 {
+		panic("check: GenConfig requires BlockSize")
+	}
+	if c.StripeBlocks <= 0 {
+		c.StripeBlocks = 1
+	}
+	if c.ExtraBlocks <= 0 {
+		c.ExtraBlocks = 3
+	}
+	if c.Steps <= 0 {
+		c.Steps = 60
+	}
+	if c.CkptPercent <= 0 {
+		c.CkptPercent = 25
+	}
+	return c
+}
+
+// GenArrayHistory drives targets (one per driver task) through a seeded
+// adversarial schedule and returns the recorded history. The schedule mixes
+// serial operations with structural windows: a Grow or Shrink genuinely
+// overlapping element ops on the other tasks' private stripes — the paper's
+// resize-during-read/update scenario — while keeping every recorded result
+// independent of physical race outcomes, so the history replays
+// byte-for-byte from the seed.
+//
+// Layout: task k owns stripe k (StripeBlocks blocks); Grow/Shrink churn
+// only the extra tail region beyond the stripes, so element partitions are
+// never freed during the run (see the package comment on partition
+// soundness). The array must start empty; the generator issues the base
+// Grow itself.
+func GenArrayHistory(d *Driver, targets []ArrayTarget, cfg GenConfig) *History {
+	cfg = cfg.withDefaults()
+	if len(targets) != d.Tasks() {
+		panic(fmt.Sprintf("check: %d targets for %d driver tasks", len(targets), d.Tasks()))
+	}
+	rng := d.RNG()
+	ntasks := d.Tasks()
+	bs := cfg.BlockSize
+	h := d.History()
+	h.BlockSize = bs
+	h.Base = 0
+
+	baseBlocks := ntasks * cfg.StripeBlocks
+	baseElems := baseBlocks * bs
+	stripeElems := cfg.StripeBlocks * bs
+	extra := 0
+	seq := make([]int64, ntasks)
+
+	grow := func(task, blocks int) Op {
+		return d.Do(task, Op{Kind: KindGrow, Idx: blocks}, func(op *Op) {
+			targets[task].GrowBlocks(op.Idx)
+		})
+	}
+	tag := func(task int) int64 {
+		seq[task]++
+		return int64(task+1)<<32 | seq[task]
+	}
+	maybeCkpt := func(task int) {
+		if rng.Intn(100) < cfg.CkptPercent {
+			d.Do(task, Op{Kind: KindCkpt}, func(*Op) { targets[task].Checkpoint() })
+		}
+	}
+
+	// Establish the base region all element traffic lives in.
+	grow(0, baseBlocks)
+
+	elemOp := func(task int, ownOnly bool) (Op, func(*Op)) {
+		idx := task*stripeElems + rng.Intn(stripeElems)
+		if !ownOnly && rng.Intn(100) < 30 {
+			idx = rng.Intn(baseElems) // serial cross-stripe read
+			return Op{Kind: KindLoad, Idx: idx}, func(op *Op) {
+				op.Out = targets[task].Load(op.Idx)
+			}
+		}
+		if rng.Intn(100) < 50 {
+			return Op{Kind: KindStore, Idx: idx, Arg: tag(task)}, func(op *Op) {
+				targets[task].Store(op.Idx, op.Arg)
+			}
+		}
+		return Op{Kind: KindLoad, Idx: idx}, func(op *Op) {
+			op.Out = targets[task].Load(op.Idx)
+		}
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		if rng.Intn(100) < 55 {
+			// Serial segment: one op, fully ordered.
+			task := rng.Intn(ntasks)
+			switch r := rng.Intn(100); {
+			case r < 15:
+				d.Do(task, Op{Kind: KindLen}, func(op *Op) {
+					op.Out = int64(targets[task].Len())
+				})
+			case r < 25 && extra < cfg.ExtraBlocks:
+				grow(task, 1)
+				extra++
+			case r < 35 && cfg.Shrink && extra > 0:
+				d.Do(task, Op{Kind: KindShrink, Idx: 1}, func(op *Op) {
+					targets[task].ShrinkBlocks(op.Idx)
+				})
+				extra--
+			default:
+				op, body := elemOp(task, false)
+				d.Do(task, op, body)
+			}
+			maybeCkpt(task)
+			continue
+		}
+
+		// Structural window: one resize overlapping element ops on the
+		// other tasks' own stripes. Results stay deterministic: element
+		// ops never touch the churn region or another task's stripe, and
+		// Len never overlaps a resize.
+		structTask := rng.Intn(ntasks)
+		doShrink := cfg.Shrink && extra > 0 && rng.Intn(2) == 0
+		if !doShrink && extra >= cfg.ExtraBlocks {
+			if !cfg.Shrink || extra == 0 {
+				op, body := elemOp(structTask, false)
+				d.Do(structTask, op, body)
+				continue
+			}
+			doShrink = true
+		}
+		if doShrink {
+			d.Begin(structTask, Op{Kind: KindShrink, Idx: 1}, func(op *Op) {
+				targets[structTask].ShrinkBlocks(op.Idx)
+			})
+			extra--
+		} else {
+			d.Begin(structTask, Op{Kind: KindGrow, Idx: 1}, func(op *Op) {
+				targets[structTask].GrowBlocks(op.Idx)
+			})
+			extra++
+		}
+		inFlight := []int{structTask}
+		for k := 0; k < ntasks; k++ {
+			if k == structTask || rng.Intn(100) >= 60 {
+				continue
+			}
+			op, body := elemOp(k, true)
+			d.Begin(k, op, body)
+			inFlight = append(inFlight, k)
+		}
+		// Await in seeded order: return timestamps are scheduler-chosen.
+		for len(inFlight) > 0 {
+			i := rng.Intn(len(inFlight))
+			task := inFlight[i]
+			inFlight = append(inFlight[:i], inFlight[i+1:]...)
+			d.Await(task)
+			maybeCkpt(task)
+		}
+	}
+
+	// Final quiescence so QSBR targets can drain afterwards.
+	for k := 0; k < ntasks; k++ {
+		d.Do(k, Op{Kind: KindCkpt}, func(*Op) { targets[k].Checkpoint() })
+	}
+	return h
+}

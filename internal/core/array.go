@@ -42,6 +42,37 @@ type Options struct {
 	Variant Variant
 	// InitialCapacity, if positive, grows the array at construction.
 	InitialCapacity int
+	// Hooks, if non-nil, carries test instrumentation; production arrays
+	// leave it nil (the read path then pays one predictable nil check).
+	Hooks *Hooks
+}
+
+// Point identifies an instrumentation point inside array operations.
+type Point string
+
+// PointIndexSnapLoaded fires inside Index after the snapshot pointer has
+// been loaded and before it is dereferenced — the reclamation-hazard
+// window. Under EBR the caller's read-side guard is held here; under QSBR
+// the snapshot is only protected by the task not having checkpointed.
+// Parking an operation at this point while resizes and checkpoints run on
+// other tasks is how the deterministic lincheck schedules force
+// resize-during-read and checkpoint-starvation interleavings.
+const PointIndexSnapLoaded Point = "index-snap-loaded"
+
+// Hooks is optional test instrumentation threaded through Options. All
+// fields may be nil.
+type Hooks struct {
+	// Yield is invoked at each instrumentation point on the calling
+	// task's goroutine. A deterministic scheduler can park the operation
+	// here (see internal/check.Driver.YieldPoint).
+	Yield func(Point)
+}
+
+// yield fires the instrumentation point if hooks are installed.
+func (a *Array[T]) yield(p Point) {
+	if h := a.opts.Hooks; h != nil && h.Yield != nil {
+		h.Yield(p)
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -142,11 +173,13 @@ func (a *Array[T]) Index(t *locale.Task, idx int) Ref[T] {
 	inst := a.inst(t)
 	if a.opts.Variant == VariantQSBR {
 		s := inst.snap.Load()
+		a.yield(PointIndexSnapLoaded)
 		s.CheckLive()
 		return a.refAt(s, idx)
 	}
 	g := inst.dom.Enter()
 	s := inst.snap.Load()
+	a.yield(PointIndexSnapLoaded)
 	s.CheckLive()
 	r := a.refAt(s, idx)
 	g.Exit()

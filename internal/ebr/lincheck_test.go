@@ -1,0 +1,98 @@
+package ebr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rcuarray/internal/check"
+)
+
+// TestLincheckParityBlocksAcrossOverflow is the deterministic-schedule
+// version of the overflow coverage: where TestReclamationAcrossOverflow
+// races wall-clock goroutines and can only observe the *absence* of a
+// violation, this test parks a reader mid-critical-section at every epoch
+// across the uint64 wrap and positively asserts that Synchronize blocks on
+// it — including the two wrap-edge flips MaxUint64→0 and 0→1 where a
+// parity bug would let the writer skip the stalled reader's counter.
+//
+// Each round: reader enters and parks; writer begins Synchronize, which
+// must still be running after a grace period; a fresh reader on a third
+// task enters at the new parity, verifies nothing was reclaimed early, and
+// exits without unblocking the writer; the parked reader finally exits and
+// both ops complete. The whole schedule is driven by check.Driver, so a
+// failure reproduces exactly.
+func TestLincheckParityBlocksAcrossOverflow(t *testing.T) {
+	const rounds = 8
+	start := uint64(math.MaxUint64) - rounds/2 // wrap happens mid-sequence
+	dom := NewAtEpoch(start)
+	d := check.NewDriver("ebr/parity-overflow", 1, 3)
+	defer d.Close()
+
+	hold := make(chan struct{})
+	entered := make(chan uint64)
+	for r := 0; r < rounds; r++ {
+		before := dom.Epoch()
+		freed := false
+
+		d.Begin(0, check.Op{Kind: "read"}, func(op *check.Op) {
+			g := dom.Enter()
+			entered <- g.Epoch()
+			<-hold
+			if freed {
+				op.Out = 1 // reclaimed while we were mid-critical-section
+			}
+			g.Exit()
+		})
+		gotEpoch := <-entered
+		if gotEpoch != before {
+			t.Fatalf("round %d: guard epoch %d, want %d", r, gotEpoch, before)
+		}
+
+		d.Begin(1, check.Op{Kind: "sync"}, func(*check.Op) {
+			dom.Synchronize()
+			freed = true
+		})
+		if !d.StillRunning(1, 2*time.Millisecond) {
+			t.Fatalf("round %d (epoch %d): Synchronize completed past a reader mid-critical-section", r, before)
+		}
+
+		// A reader arriving at the flipped parity must neither observe a
+		// premature reclamation nor unblock the writer.
+		fresh := d.Do(2, check.Op{Kind: "read"}, func(op *check.Op) {
+			g := dom.Enter()
+			if freed {
+				op.Out = 1
+			}
+			op.Out2 = int64(g.Epoch() & 1)
+			g.Exit()
+		})
+		if fresh.Out != 0 {
+			t.Fatalf("round %d: fresh reader observed early reclamation", r)
+		}
+		if fresh.Out2 == int64(before&1) {
+			t.Fatalf("round %d: fresh reader entered at pre-flip parity %d", r, fresh.Out2)
+		}
+		if !d.StillRunning(1, time.Millisecond) {
+			t.Fatalf("round %d: new-parity reader unblocked Synchronize", r)
+		}
+
+		hold <- struct{}{}
+		if rd := d.Await(0); rd.Out != 0 || rd.Panic != "" {
+			t.Fatalf("round %d: parked reader saw reclamation (out=%d panic=%q)", r, rd.Out, rd.Panic)
+		}
+		if sy := d.Await(1); sy.Panic != "" {
+			t.Fatalf("round %d: Synchronize panicked: %s", r, sy.Panic)
+		}
+		if after := dom.Epoch(); after != before+1 { // wraps naturally
+			t.Fatalf("round %d: epoch %d after Synchronize, want %d", r, after, before+1)
+		}
+	}
+	// start + rounds wraps past zero: 2^64-4 + 8 ≡ 4 (mod 2^64).
+	if e := dom.Epoch(); e != start+rounds || e >= start {
+		t.Fatalf("epoch %d after wrap sequence, want %d (< start)", e, start+rounds)
+	}
+	if dom.Synchronizes() != rounds {
+		t.Fatalf("synchronizes = %d, want %d", dom.Synchronizes(), rounds)
+	}
+}

@@ -1,0 +1,111 @@
+package qsbr
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rcuarray/internal/check"
+)
+
+type lcNode struct {
+	retired atomic.Bool
+	val     int
+}
+
+// TestLincheckCheckpointStarvation drives the paper's QSBR hazard as a
+// deterministic schedule: task 0 acquires a protected reference and then
+// starves checkpoints while tasks 1–2 storm replacements, deferrals and
+// checkpoints. Not one deferral may be reclaimed — the laggard's observed
+// epoch pins the minimum — and the held reference must stay live. Once the
+// laggard finally checkpoints, the next checkpoint drains everything.
+func TestLincheckCheckpointStarvation(t *testing.T) {
+	dom := New()
+	p := []*Participant{dom.Register(), dom.Register(), dom.Register()}
+	d := check.NewDriver("qsbr/ckpt-starvation", 1, 3)
+	defer d.Close()
+
+	var current atomic.Pointer[lcNode]
+	current.Store(&lcNode{val: 0})
+
+	hold := make(chan struct{})
+	acquired := make(chan *lcNode)
+	d.Begin(0, check.Op{Kind: check.KindLoad}, func(op *check.Op) {
+		n := current.Load() // protected: we have not checkpointed since
+		acquired <- n
+		<-hold
+		if n.retired.Load() {
+			op.Out = 1 // reclaimed out from under a non-quiescent reader
+		}
+		op.Out2 = int64(n.val)
+	})
+	held := <-acquired
+
+	const storms = 6
+	for i := 1; i <= storms; i++ {
+		d.Do(1, check.Op{Kind: check.KindStore, Arg: int64(i)}, func(op *check.Op) {
+			old := current.Load()
+			current.Store(&lcNode{val: int(op.Arg)})
+			p[1].Defer(func() { old.retired.Store(true) })
+		})
+		d.Do(1, check.Op{Kind: check.KindCkpt}, func(*check.Op) { p[1].Checkpoint() })
+		d.Do(2, check.Op{Kind: check.KindCkpt}, func(*check.Op) { p[2].Checkpoint() })
+	}
+	if got := dom.Reclaimed(); got != 0 {
+		t.Fatalf("%d deferrals reclaimed while task 0 starved checkpoints", got)
+	}
+	if pend := p[1].Pending(); pend != storms {
+		t.Fatalf("pending = %d, want %d (nothing may drain past the laggard)", pend, storms)
+	}
+
+	hold <- struct{}{}
+	rd := d.Await(0)
+	if rd.Out != 0 || rd.Out2 != 0 {
+		t.Fatalf("starved reader observed (retired=%d, val=%d), want live original", rd.Out, rd.Out2)
+	}
+
+	d.Do(0, check.Op{Kind: check.KindCkpt}, func(*check.Op) { p[0].Checkpoint() })
+	d.Do(1, check.Op{Kind: check.KindCkpt}, func(*check.Op) { p[1].Checkpoint() })
+	if got := dom.Reclaimed(); got != storms {
+		t.Fatalf("reclaimed %d after laggard quiesced, want %d", got, storms)
+	}
+	if !held.retired.Load() {
+		t.Fatal("original node not retired after full drain")
+	}
+}
+
+// TestLincheckParkExcludesLaggard is the park-time complement: a parked
+// participant is quiescent by definition, so the same replacement storm
+// reclaims eagerly round by round even though the parked task never
+// checkpoints during it.
+func TestLincheckParkExcludesLaggard(t *testing.T) {
+	dom := New()
+	p := []*Participant{dom.Register(), dom.Register()}
+	d := check.NewDriver("qsbr/park", 1, 2)
+	defer d.Close()
+
+	var current atomic.Pointer[lcNode]
+	current.Store(&lcNode{val: 0})
+
+	d.Do(0, check.Op{Kind: "park"}, func(*check.Op) { p[0].Park() })
+
+	const storms = 5
+	for i := 1; i <= storms; i++ {
+		got := d.Do(1, check.Op{Kind: check.KindStore, Arg: int64(i)}, func(op *check.Op) {
+			old := current.Load()
+			current.Store(&lcNode{val: int(op.Arg)})
+			p[1].Defer(func() { old.retired.Store(true) })
+			op.Out = int64(p[1].Checkpoint())
+		})
+		if got.Out != 1 {
+			t.Fatalf("round %d: checkpoint reclaimed %d, want 1 (parked task must not stall)", i, got.Out)
+		}
+	}
+	if got := dom.Reclaimed(); got != storms {
+		t.Fatalf("reclaimed %d during parked storm, want %d", got, storms)
+	}
+
+	d.Do(0, check.Op{Kind: "unpark"}, func(*check.Op) { p[0].Unpark() })
+	if obs := p[0].Observed(); obs != dom.StateEpoch() {
+		t.Fatalf("unparked participant observed %d, want current epoch %d", obs, dom.StateEpoch())
+	}
+}
