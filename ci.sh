@@ -6,6 +6,10 @@
 #                                every package's tests with the long stress
 #                                loops trimmed, including the lincheck
 #                                suites, under the race detector)
+#   ./ci.sh bench      perf tier: the rcubench read-scaling sweep at short
+#                                settings, emitting BENCH_PR2.json (the
+#                                amortized-EBR-read-path A/B trajectory
+#                                baseline: flat vs striped vs pinned)
 #   ./ci.sh full       tier-1 + tier-1.5
 set -eu
 
@@ -23,15 +27,24 @@ tier15() {
 	go test -race -short ./...
 }
 
+bench() {
+	echo '--- bench: rcubench readscale -> BENCH_PR2.json'
+	go run ./cmd/rcubench -experiment readscale \
+		-locales 1 -read-tasks 1,2,4,8 -ops 65536 -reps 3 \
+		-capacity 16384 -block 1024 \
+		-out BENCH_PR2.json
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) tier15 ;;
+bench) bench ;;
 full)
 	tier1
 	tier15
 	;;
 *)
-	echo "usage: $0 [tier1|race|full]" >&2
+	echo "usage: $0 [tier1|race|bench|full]" >&2
 	exit 2
 	;;
 esac

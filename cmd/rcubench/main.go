@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|all")
 		localesArg = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
 		tasks      = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
 		ops        = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
@@ -46,6 +46,9 @@ func main() {
 		seed       = flag.Uint64("seed", 0xC0DE, "workload seed")
 		reps       = flag.Int("reps", 3, "repetitions per point (best kept)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+		readTasks  = flag.String("read-tasks", "1,2,4,8", "comma-separated tasks-per-locale sweep for readscale")
+		pinBudget  = flag.Int("pin-budget", 0, "pinned-session op budget for readscale (0 = default)")
+		out        = flag.String("out", "", "write readscale results as JSON to this file (in addition to the table)")
 	)
 	flag.Parse()
 
@@ -150,6 +153,38 @@ func main() {
 		fmt.Println()
 	}
 
+	// The readscale experiment (the amortized-read-path A/B of the EBR
+	// rebuild) has its own result shape and an optional JSON artifact.
+	runReadScale := func() {
+		res := harness.RunReadScaling(harness.ReadScalingConfig{
+			Locales:       locales[len(locales)-1],
+			TaskCounts:    mustParseLocales(*readTasks),
+			OpsPerTask:    *ops,
+			Capacity:      *capacity,
+			BlockSize:     *blockSize,
+			Pattern:       workload.Sequential,
+			PinBudget:     *pinBudget,
+			RemoteLatency: *latency,
+			Seed:          *seed,
+			Repetitions:   *reps,
+		})
+		res.Format(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := res.EncodeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+
 	order := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "rw", "zipf"}
 	var toRun []string
 	switch {
@@ -157,6 +192,9 @@ func main() {
 		toRun = order
 	case *experiment == "latency":
 		runLatency()
+		return
+	case *experiment == "readscale":
+		runReadScale()
 		return
 	default:
 		if _, ok := experiments[*experiment]; !ok {
@@ -181,6 +219,15 @@ func main() {
 	if *experiment == "all" {
 		runLatency()
 	}
+}
+
+func mustParseLocales(s string) []int {
+	out, err := parseLocales(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcubench:", err)
+		os.Exit(2)
+	}
+	return out
 }
 
 func parseLocales(s string) ([]int, error) {

@@ -150,9 +150,9 @@ func (m *Map[V]) Get(t *rcuarray.Task, key uint64) (V, bool) {
 		// Valid until the task's next checkpoint.
 		read()
 	} else {
-		g := s.dom.Enter()
-		read()
-		g.Exit()
+		// Enter on the task's slot stripe; the deferred exit keeps a
+		// poisoned-chain panic from leaking the reader counter.
+		s.dom.ReadSlot(t.Slot(), read)
 	}
 	return out, ok
 }
@@ -244,9 +244,7 @@ func (m *Map[V]) Range(t *rcuarray.Task, fn func(key uint64, v V) bool) {
 			if m.opts.Reclaim == rcuarray.QSBR {
 				visit()
 			} else {
-				g := s.dom.Enter()
-				visit()
-				g.Exit()
+				s.dom.ReadSlot(sub.Slot(), visit)
 			}
 		})
 		if !cont {

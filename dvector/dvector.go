@@ -133,8 +133,13 @@ func (v *Vector[T]) PushAll(t *rcuarray.Task, xs []T) int {
 	defer v.writeMu.Unlock()
 	idx := int(v.length.Load())
 	v.ensure(t, idx+len(xs))
+	// Updates share the read path (Section III-C): one pinned session
+	// serves the whole sequential store stream, hitting the location
+	// cache on every element that stays within a block.
+	rd := v.arr.Reader(t)
+	defer rd.Close()
 	for i, x := range xs {
-		v.arr.Store(t, idx+i, x)
+		rd.Store(idx+i, x)
 	}
 	v.length.Store(int64(idx + len(xs)))
 	return idx
@@ -211,11 +216,16 @@ func (v *Vector[T]) maybeShrink(t *rcuarray.Task, n int) {
 
 // Range calls fn for each committed element in order until fn returns
 // false. It snapshots the length once; elements appended during iteration
-// are not visited.
+// are not visited. The scan runs through a pinned read session, so the
+// per-element cost is one location-cache probe rather than a full
+// enter/traverse/exit; a concurrent Pop that shrinks past the iteration
+// point surfaces as the same use-after-shrink panic plain loads give.
 func (v *Vector[T]) Range(t *rcuarray.Task, fn func(i int, x T) bool) {
 	n := v.Len()
+	rd := v.arr.Reader(t)
+	defer rd.Close()
 	for i := 0; i < n; i++ {
-		if !fn(i, v.arr.Load(t, i)) {
+		if !fn(i, rd.Load(i)) {
 			return
 		}
 	}

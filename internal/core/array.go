@@ -42,6 +42,15 @@ type Options struct {
 	Variant Variant
 	// InitialCapacity, if positive, grows the array at construction.
 	InitialCapacity int
+	// FlatEBR pins each locale's EBR domain to the paper's exact
+	// two-counter layout instead of striping the reader counters over
+	// task slots. It exists for the A/B ablation benchmarks; production
+	// arrays leave it false.
+	FlatEBR bool
+	// PinBudget is the operation budget of a pinned read session (see
+	// Reader) before it repins, bounding writer wait. Defaults to
+	// ebr.DefaultPinBudget.
+	PinBudget int
 	// Hooks, if non-nil, carries test instrumentation; production arrays
 	// leave it nil (the read path then pays one predictable nil check).
 	Hooks *Hooks
@@ -100,7 +109,7 @@ func New[T any](t *locale.Task, opts Options) *Array[T] {
 	opts = opts.withDefaults()
 	c := t.Cluster()
 	pid := locale.Privatize(t, func(loc *locale.Locale) any {
-		return newInstance[T](loc, opts.BlockSize)
+		return newInstance[T](loc, opts)
 	})
 	var zero T
 	a := &Array[T]{
@@ -167,8 +176,11 @@ func (r Ref[T]) Owner() int { return r.block.Owner }
 
 // Index resolves a global index to an element reference — Algorithm 3's
 // Index. Under EBR the snapshot traversal runs inside a read-side critical
-// section; under QSBR it is a bare load (safe until the task's next
-// checkpoint). Out-of-range indices panic, like Go slice indexing.
+// section, entered on the task's slot stripe and exited via defer: an
+// out-of-range panic or a poisoned-snapshot trip must still release the
+// reader counter, or every subsequent Synchronize would wait on it forever.
+// Under QSBR it is a bare load (safe until the task's next checkpoint).
+// Out-of-range indices panic, like Go slice indexing.
 func (a *Array[T]) Index(t *locale.Task, idx int) Ref[T] {
 	inst := a.inst(t)
 	if a.opts.Variant == VariantQSBR {
@@ -177,13 +189,12 @@ func (a *Array[T]) Index(t *locale.Task, idx int) Ref[T] {
 		s.CheckLive()
 		return a.refAt(s, idx)
 	}
-	g := inst.dom.Enter()
+	g := inst.dom.EnterSlot(t.Slot())
+	defer g.Exit()
 	s := inst.snap.Load()
 	a.yield(PointIndexSnapLoaded)
 	s.CheckLive()
-	r := a.refAt(s, idx)
-	g.Exit()
-	return r
+	return a.refAt(s, idx)
 }
 
 func (a *Array[T]) refAt(s *snapshot[T], idx int) Ref[T] {
@@ -212,8 +223,7 @@ func (a *Array[T]) Len(t *locale.Task) int {
 	if a.opts.Variant == VariantQSBR {
 		return inst.snap.Load().capacity(a.opts.BlockSize)
 	}
-	g := inst.dom.Enter()
-	n := inst.snap.Load().capacity(a.opts.BlockSize)
-	g.Exit()
-	return n
+	g := inst.dom.EnterSlot(t.Slot())
+	defer g.Exit()
+	return inst.snap.Load().capacity(a.opts.BlockSize)
 }

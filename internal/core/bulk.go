@@ -17,6 +17,10 @@ import (
 
 // blocksFor captures the blocks spanning [lo, lo+n) from the current
 // snapshot, inside a read-side critical section when the variant needs one.
+// The exit is deferred so an out-of-range panic cannot leak the reader
+// counter. Zero-length ranges are valid for any 0 ≤ lo ≤ capacity — in
+// particular lo == capacity, the natural end position of a CopyOut of an
+// empty tail or a Fill(t, n, n, v) — and capture nothing.
 func (a *Array[T]) blocksFor(t *locale.Task, lo, n int) []*memory.Block[T] {
 	inst := a.inst(t)
 	capture := func() []*memory.Block[T] {
@@ -26,20 +30,19 @@ func (a *Array[T]) blocksFor(t *locale.Task, lo, n int) []*memory.Block[T] {
 			panic(fmt.Sprintf("core: bulk range [%d,%d) out of range [0,%d)",
 				lo, lo+n, s.capacity(a.opts.BlockSize)))
 		}
-		first := lo / a.opts.BlockSize
-		last := (lo + n - 1) / a.opts.BlockSize
 		if n == 0 {
 			return nil
 		}
+		first := lo / a.opts.BlockSize
+		last := (lo + n - 1) / a.opts.BlockSize
 		return s.blocks[first : last+1]
 	}
 	if a.opts.Variant == VariantQSBR {
 		return capture()
 	}
-	g := inst.dom.Enter()
-	blocks := capture()
-	g.Exit()
-	return blocks
+	g := inst.dom.EnterSlot(t.Slot())
+	defer g.Exit()
+	return capture()
 }
 
 // CopyOut copies len(dst) elements starting at global index lo into dst.
@@ -144,8 +147,9 @@ func (a *Array[T]) LocalBlocks(t *locale.Task, fn func(start int, data []T)) {
 	}
 	// Under EBR the whole visit stays inside the read-side section:
 	// unlike single-element refs, fn receives raw slices whose blocks a
-	// concurrent Shrink could free.
-	g := inst.dom.Enter()
+	// concurrent Shrink could free. The exit is deferred so a panicking
+	// fn (or a tripped poison check) cannot leak the reader counter.
+	g := inst.dom.EnterSlot(t.Slot())
+	defer g.Exit()
 	visit()
-	g.Exit()
 }

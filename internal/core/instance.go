@@ -14,8 +14,10 @@ import (
 // readers/updaters touch only their own locale's instance plus the blocks
 // they index into.
 type instance[T any] struct {
-	// dom carries GlobalEpoch and EpochReaders for the EBR variant.
-	dom ebr.Domain
+	// dom carries GlobalEpoch and EpochReaders for the EBR variant. The
+	// reader counters are striped over the locale's task slots unless
+	// Options.FlatEBR pins the paper's exact two-counter layout.
+	dom *ebr.Domain
 	// snap is the GlobalSnapshot pointer.
 	snap atomic.Pointer[snapshot[T]]
 	// nextLocaleID is the round-robin cursor for block placement. It is
@@ -28,9 +30,14 @@ type instance[T any] struct {
 	snapStats memory.Stats
 }
 
-func newInstance[T any](loc *locale.Locale, blockSize int) *instance[T] {
+func newInstance[T any](loc *locale.Locale, opts Options) *instance[T] {
+	dom := ebr.NewStriped(loc.Cluster().WorkersPerLocale())
+	if opts.FlatEBR {
+		dom = ebr.NewFlat()
+	}
 	inst := &instance[T]{
-		pool: memory.NewPool[T](loc.ID(), blockSize, loc.MemStats()),
+		dom:  dom,
+		pool: memory.NewPool[T](loc.ID(), opts.BlockSize, loc.MemStats()),
 	}
 	first := &snapshot[T]{}
 	inst.snapStats.NoteAlloc(false)

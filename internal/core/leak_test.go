@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"rcuarray/internal/locale"
+)
+
+// Regression: the read-side critical sections in Index, Len, LocalBlocks
+// and the bulk capture used to exit un-deferred, so any panic inside them —
+// an out-of-range index, a tripped poison check, a panicking visitor —
+// leaked the reader counter and wedged every later Synchronize (writers
+// would wait forever on a reader that no longer exists). Each case below
+// recovers the panic and then requires a Grow, whose Synchronize sums the
+// reader counters, to complete.
+
+func TestIndexPanicDoesNotLeakReader(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 8})
+		for _, idx := range []int{-1, 8, 1 << 30} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Index(%d) did not panic", idx)
+					}
+				}()
+				a.Index(task, idx)
+			}()
+		}
+		growCompletes(t, c, a)
+	})
+}
+
+func TestBulkRangePanicDoesNotLeakReader(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 8})
+		cases := []func(){
+			func() { a.CopyOut(task, 5, make([]int, 8)) }, // crosses capacity
+			func() { a.CopyIn(task, -1, make([]int, 2)) }, // negative lo
+			func() { a.Fill(task, 4, 100, 7) },            // hi past capacity
+			func() { a.CopyOut(task, 9, nil) },            // lo > capacity, even with n==0
+			func() { a.CopyOut(task, -1, nil) },           // negative lo with n==0
+		}
+		for i, fn := range cases {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("bulk case %d did not panic", i)
+					}
+				}()
+				fn()
+			}()
+		}
+		growCompletes(t, c, a)
+	})
+}
+
+func TestLocalBlocksVisitorPanicDoesNotLeakReader(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantEBR, InitialCapacity: 8})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("panicking visitor did not propagate")
+				}
+			}()
+			a.LocalBlocks(task, func(start int, data []int) { panic("poisoned visitor") })
+		}()
+		growCompletes(t, c, a)
+	})
+}
+
+// Zero-length bulk ranges are valid for any 0 <= lo <= capacity — including
+// lo == capacity, the natural end position of an empty-tail CopyOut or a
+// Fill(t, n, n, v) — and are no-ops.
+func TestZeroLengthBulkRanges(t *testing.T) {
+	bothVariants(t, func(t *testing.T, v Variant) {
+		c := newTestCluster(t, 2, 1)
+		c.Run(func(task *locale.Task) {
+			const capacity = 8
+			a := New[int](task, Options{BlockSize: 4, Variant: v, InitialCapacity: capacity})
+			for i := 0; i < capacity; i++ {
+				a.Store(task, i, i)
+			}
+			for _, lo := range []int{0, 3, 4, capacity - 1, capacity} {
+				a.CopyOut(task, lo, nil)
+				a.CopyOut(task, lo, []int{})
+				a.CopyIn(task, lo, nil)
+				a.Fill(task, lo, lo, 99)
+			}
+			// No-ops indeed: nothing was written.
+			for i := 0; i < capacity; i++ {
+				if got := a.Load(task, i); got != i {
+					t.Fatalf("element %d = %d after zero-length ops, want %d", i, got, i)
+				}
+			}
+			// A zero-capacity array accepts the (0,0) range too.
+			empty := New[int](task, Options{BlockSize: 4, Variant: v})
+			empty.CopyOut(task, 0, nil)
+			empty.Fill(task, 0, 0, 1)
+		})
+	})
+}
+
+// Out-of-range still panics when n == 0: zero length does not disable the
+// bounds check.
+func TestZeroLengthBulkStillBoundsChecked(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	c.Run(func(task *locale.Task) {
+		a := New[int](task, Options{BlockSize: 4, Variant: VariantQSBR, InitialCapacity: 8})
+		for _, lo := range []int{-1, 9, 1 << 20} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("CopyOut(%d, nil) did not panic", lo)
+					}
+				}()
+				a.CopyOut(task, lo, nil)
+			}()
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package ebr
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -33,36 +34,61 @@ func BenchmarkAblationVerifyCheck(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			epoch := d.globalEpoch.Load()
 			idx := epoch & 1
-			d.readers[idx].Inc()
+			d.readers[idx][0].Inc()
 			// no verification load, no retry loop
-			d.readers[idx].Dec()
+			d.readers[idx][0].Dec()
 		}
 	})
 }
 
 // BenchmarkEnterExitContended measures the collective-counter contention
-// that dominates the paper's EBR numbers at 44 tasks per locale.
+// that dominates the paper's EBR numbers at 44 tasks per locale, flat
+// (every reader on one stripe, the paper's layout) against striped (each
+// reader on its own slot).
 func BenchmarkEnterExitContended(b *testing.B) {
-	for _, readers := range []int{2, 8} {
-		readers := readers
-		b.Run(map[int]string{2: "2readers", 8: "8readers"}[readers], func(b *testing.B) {
-			d := New()
-			var wg sync.WaitGroup
-			per := b.N / readers
-			b.ResetTimer()
-			for r := 0; r < readers; r++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := 0; i < per; i++ {
-						g := d.Enter()
-						g.Exit()
-					}
-				}()
-			}
-			wg.Wait()
-		})
+	for _, layout := range []struct {
+		name string
+		mk   func() *Domain
+		slot func(r int) int
+	}{
+		{"flat", NewFlat, func(int) int { return 0 }},
+		{"striped", New, func(r int) int { return r }},
+	} {
+		for _, readers := range []int{2, 8} {
+			readers := readers
+			layout := layout
+			b.Run(fmt.Sprintf("%s/%dreaders", layout.name, readers), func(b *testing.B) {
+				d := layout.mk()
+				var wg sync.WaitGroup
+				per := b.N / readers
+				b.ResetTimer()
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(slot int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							g := d.EnterSlot(slot)
+							g.Exit()
+						}
+					}(layout.slot(r))
+				}
+				wg.Wait()
+			})
+		}
 	}
+}
+
+// BenchmarkPinnedTick measures the amortized read-side primitive: one
+// Enter/Exit pair per budget window instead of per operation.
+func BenchmarkPinnedTick(b *testing.B) {
+	d := New()
+	p := d.Pin(0, DefaultPinBudget)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tick()
+	}
+	b.StopTimer()
+	p.Unpin()
 }
 
 // BenchmarkSynchronize measures the writer-side epoch advance with no

@@ -1,0 +1,75 @@
+package ebr
+
+// DefaultPinBudget is the number of Tick calls a pinned session serves
+// before it voluntarily repins. It bounds how long one pin can hold an epoch
+// open — and therefore how long a concurrent Synchronize can be made to
+// wait — while still amortizing the two read-side RMWs over many operations.
+const DefaultPinBudget = 1024
+
+// Pinned is an amortized read-side session: one Enter serving many
+// operations. The paper's Algorithm 1 pays two atomic RMWs per read; a
+// Pinned session pays them once per budget-window instead, which is the
+// read-side amortization of Dewan & Jenkins' follow-up work transplanted
+// onto the two-counter protocol.
+//
+// A pinned reader holds its epoch open, so an unbounded pin would starve
+// writers in Synchronize. The budget caps that: every Tick counts one
+// operation, and when the budget is spent the session exits and re-enters
+// the critical section (a repin), giving any waiting writer its grace
+// period. Callers that cache epoch-protected state (snapshot pointers)
+// must refresh it whenever Tick or Repin report a repin.
+//
+// A Pinned must not be copied and is not safe for concurrent use; it is a
+// per-task object, like the task slot that names its stripe.
+type Pinned struct {
+	d      *Domain
+	g      Guard
+	slot   int
+	budget int
+	ops    int
+	repins uint64
+}
+
+// Pin opens a pinned read-side session on the stripe selected by slot.
+// budget <= 0 selects DefaultPinBudget.
+func (d *Domain) Pin(slot, budget int) Pinned {
+	if budget <= 0 {
+		budget = DefaultPinBudget
+	}
+	return Pinned{d: d, g: d.EnterSlot(slot), slot: slot, budget: budget}
+}
+
+// Epoch returns the epoch of the current pin window.
+func (p *Pinned) Epoch() uint64 { return p.g.Epoch() }
+
+// Tick accounts one operation against the pin budget and reports whether
+// the session repinned (in which case any state the caller resolved under
+// the previous pin window must be re-resolved).
+func (p *Pinned) Tick() bool {
+	p.ops++
+	if p.ops < p.budget {
+		return false
+	}
+	p.Repin()
+	return true
+}
+
+// Repin ends the current pin window and immediately starts a new one,
+// letting any writer blocked in Synchronize complete its grace period.
+func (p *Pinned) Repin() {
+	p.g.Exit()
+	p.g = p.d.EnterSlot(p.slot)
+	p.ops = 0
+	p.repins++
+}
+
+// Unpin ends the session. The session must not be used afterwards; a second
+// Unpin panics (via Guard.Exit's double-exit detection).
+func (p *Pinned) Unpin() { p.g.Exit() }
+
+// Repins returns how many budget-exhaustion repins the session performed
+// (ablation diagnostics).
+func (p *Pinned) Repins() uint64 { return p.repins }
+
+// Budget returns the session's per-window operation budget.
+func (p *Pinned) Budget() int { return p.budget }

@@ -8,6 +8,32 @@ import (
 	"rcuarray/internal/workload"
 )
 
+// AccessMode selects what each indexing operation does.
+type AccessMode int
+
+const (
+	// AccessStore performs per-op updates — the paper's Figure 2 workload.
+	AccessStore AccessMode = iota
+	// AccessLoad performs per-op reads through the plain read path.
+	AccessLoad
+	// AccessLoadPinned performs reads through one pinned read session per
+	// task (the amortized read path); kinds without session support fall
+	// back to per-op reads.
+	AccessLoadPinned
+)
+
+// String names the mode for figure labels.
+func (m AccessMode) String() string {
+	switch m {
+	case AccessLoad:
+		return "load"
+	case AccessLoadPinned:
+		return "load-pinned"
+	default:
+		return "store"
+	}
+}
+
 // IndexingConfig parameterizes the Figure 2 family: every task performs
 // OpsPerTask update operations against indices drawn from Pattern.
 type IndexingConfig struct {
@@ -26,6 +52,9 @@ type IndexingConfig struct {
 	BlockSize int
 	// Pattern selects random or sequential indexing.
 	Pattern workload.Pattern
+	// Access selects store (default, the paper's workload), load, or
+	// pinned-session load operations.
+	Access AccessMode
 	// RemoteLatency models the network (one-way per remote op).
 	RemoteLatency time.Duration
 	// CheckpointEvery inserts a QSBR checkpoint after every k operations
@@ -134,12 +163,39 @@ func runIndexingOnce(cfg IndexingConfig, k Kind, numLocales int) float64 {
 				stream := workload.NewIndexStreamRange(cfg.Pattern, seed, lo, hi)
 				ckpt := cfg.CheckpointEvery
 				useCkpt := ckpt > 0 && k.IsQSBR()
-				for op := 0; op < cfg.OpsPerTask; op++ {
-					tgt.Store(tt, stream.Next(), int64(op))
-					if useCkpt && (op+1)%ckpt == 0 {
-						tt.Checkpoint()
+				var sink int64
+				switch cfg.Access {
+				case AccessLoadPinned:
+					// One pinned session per task. A QSBR
+					// checkpoint invalidates session state
+					// like any cached reference, so the
+					// session is cycled around it.
+					sess := OpenReadSession(tgt, tt)
+					for op := 0; op < cfg.OpsPerTask; op++ {
+						sink += sess.Load(stream.Next())
+						if useCkpt && (op+1)%ckpt == 0 {
+							sess.Close()
+							tt.Checkpoint()
+							sess = OpenReadSession(tgt, tt)
+						}
+					}
+					sess.Close()
+				case AccessLoad:
+					for op := 0; op < cfg.OpsPerTask; op++ {
+						sink += tgt.Load(tt, stream.Next())
+						if useCkpt && (op+1)%ckpt == 0 {
+							tt.Checkpoint()
+						}
+					}
+				default:
+					for op := 0; op < cfg.OpsPerTask; op++ {
+						tgt.Store(tt, stream.Next(), int64(op))
+						if useCkpt && (op+1)%ckpt == 0 {
+							tt.Checkpoint()
+						}
 					}
 				}
+				_ = sink
 			})
 		})
 		elapsed = time.Since(start)

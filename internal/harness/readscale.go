@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+	"rcuarray/internal/workload"
+)
+
+// ReadScalingConfig parameterizes the amortized-read-path A/B experiment:
+// read throughput versus tasks per locale, for the flat (paper Algorithm 1)
+// EBR layout against the striped layout, each unpinned and pinned, with
+// QSBR as the known upper bound — while a concurrent writer continuously
+// resizes the array and its per-resize latency (which bounds Synchronize)
+// is recorded. The acceptance question is: does striping+pinning beat the
+// flat baseline at ≥4 tasks/locale without blowing up resize latency?
+type ReadScalingConfig struct {
+	// Locales is the cluster size (the sweep is over tasks, not locales).
+	Locales int
+	// TaskCounts are the tasks-per-locale values to sweep.
+	TaskCounts []int
+	// OpsPerTask is the read count per task.
+	OpsPerTask int
+	// Capacity is the readable region in elements; the writer resizes
+	// strictly above it so readers never race a shrink of their region.
+	Capacity int
+	// BlockSize is the array block size in elements.
+	BlockSize int
+	// Pattern selects the index stream (sequential exercises the
+	// location cache; random defeats it).
+	Pattern workload.Pattern
+	// PinBudget is the pinned sessions' per-window op budget (0 = default).
+	PinBudget int
+	// ResizeInterval paces the concurrent writer between resizes. The
+	// default (100µs) keeps the storm continuous without letting QSBR's
+	// deferred reclamation (readers only quiesce at task end) grow
+	// unboundedly on slow hosts; set negative to disable the writer.
+	ResizeInterval time.Duration
+	// RemoteLatency models the interconnect.
+	RemoteLatency time.Duration
+	// Seed makes index streams reproducible.
+	Seed uint64
+	// Repetitions keeps the best-throughput rep per point.
+	Repetitions int
+}
+
+func (c ReadScalingConfig) withDefaults() ReadScalingConfig {
+	if c.Locales <= 0 {
+		c.Locales = 1
+	}
+	if len(c.TaskCounts) == 0 {
+		c.TaskCounts = []int{1, 2, 4, 8}
+	}
+	if c.OpsPerTask <= 0 {
+		c.OpsPerTask = 1 << 15
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1024
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 64 * c.BlockSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0DE
+	}
+	if c.ResizeInterval == 0 {
+		c.ResizeInterval = 100 * time.Microsecond
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 1
+	}
+	return c
+}
+
+// readScalingVariant is one column of the A/B matrix.
+type readScalingVariant struct {
+	name   string
+	kind   core.Variant
+	flat   bool
+	pinned bool
+}
+
+func readScalingVariants() []readScalingVariant {
+	return []readScalingVariant{
+		{name: "ebr-flat", kind: core.VariantEBR, flat: true},
+		{name: "ebr-striped", kind: core.VariantEBR},
+		{name: "ebr-flat-pinned", kind: core.VariantEBR, flat: true, pinned: true},
+		{name: "ebr-striped-pinned", kind: core.VariantEBR, pinned: true},
+		{name: "qsbr", kind: core.VariantQSBR},
+	}
+}
+
+// ReadScalingPoint is one (variant, tasks-per-locale) measurement.
+type ReadScalingPoint struct {
+	Variant        string  `json:"variant"`
+	TasksPerLocale int     `json:"tasks_per_locale"`
+	ReadsPerSec    float64 `json:"reads_per_sec"`
+	// Resize latency of the concurrent writer (one Grow or Shrink of one
+	// block, which under EBR includes one Synchronize per locale).
+	ResizeMeanMicros float64 `json:"resize_mean_us"`
+	ResizeMaxMicros  float64 `json:"resize_max_us"`
+	Resizes          uint64  `json:"resizes"`
+	// Read-side diagnostics.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	EBRRetries  uint64 `json:"ebr_retries"`
+}
+
+// ReadScalingResult is the full A/B sweep, JSON-encodable for
+// BENCH_PR<n>.json trajectory files.
+type ReadScalingResult struct {
+	Title      string             `json:"title"`
+	Locales    int                `json:"locales"`
+	OpsPerTask int                `json:"ops_per_task"`
+	Capacity   int                `json:"capacity"`
+	BlockSize  int                `json:"block_size"`
+	Pattern    string             `json:"pattern"`
+	PinBudget  int                `json:"pin_budget"`
+	Points     []ReadScalingPoint `json:"points"`
+}
+
+// RunReadScaling runs the sweep.
+func RunReadScaling(cfg ReadScalingConfig) ReadScalingResult {
+	cfg = cfg.withDefaults()
+	res := ReadScalingResult{
+		Title:      "Amortized EBR read path: flat vs striped vs pinned",
+		Locales:    cfg.Locales,
+		OpsPerTask: cfg.OpsPerTask,
+		Capacity:   cfg.Capacity,
+		BlockSize:  cfg.BlockSize,
+		Pattern:    cfg.Pattern.String(),
+		PinBudget:  cfg.PinBudget,
+	}
+	for _, v := range readScalingVariants() {
+		for _, tasks := range cfg.TaskCounts {
+			best := runReadScalingOnce(cfg, v, tasks)
+			for rep := 1; rep < cfg.Repetitions; rep++ {
+				if p := runReadScalingOnce(cfg, v, tasks); p.ReadsPerSec > best.ReadsPerSec {
+					best = p
+				}
+			}
+			res.Points = append(res.Points, best)
+		}
+	}
+	return res
+}
+
+func runReadScalingOnce(cfg ReadScalingConfig, v readScalingVariant, tasks int) ReadScalingPoint {
+	c := locale.NewCluster(locale.Config{
+		Locales:          cfg.Locales,
+		WorkersPerLocale: tasks,
+		Comm:             comm.Config{RemoteLatency: cfg.RemoteLatency},
+	})
+	defer c.Shutdown()
+
+	point := ReadScalingPoint{Variant: v.name, TasksPerLocale: tasks}
+	var elapsed time.Duration
+	var hits, misses atomic.Uint64
+
+	c.Run(func(task *locale.Task) {
+		a := core.New[int64](task, core.Options{
+			BlockSize:       cfg.BlockSize,
+			Variant:         v.kind,
+			InitialCapacity: cfg.Capacity,
+			FlatEBR:         v.flat,
+			PinBudget:       cfg.PinBudget,
+		})
+
+		// Concurrent writer: grow one block above Capacity, shrink it
+		// back, repeat until the readers finish. Readers stay strictly
+		// below Capacity, so the shrinks never reclaim their region.
+		// Each op's wall time bounds its Synchronize (per locale).
+		stop := make(chan struct{})
+		var writerDone sync.WaitGroup
+		var resizeTotal, resizeMax time.Duration
+		var resizes uint64
+		if cfg.ResizeInterval >= 0 {
+			writerDone.Add(1)
+			go c.Run(func(wt *locale.Task) {
+				defer writerDone.Done()
+				grown := false
+				record := func(fn func()) {
+					t0 := time.Now()
+					fn()
+					d := time.Since(t0)
+					resizeTotal += d
+					if d > resizeMax {
+						resizeMax = d
+					}
+					resizes++
+				}
+				for {
+					select {
+					case <-stop:
+						if grown {
+							record(func() { a.Shrink(wt, cfg.BlockSize) })
+						}
+						return
+					default:
+					}
+					if grown {
+						record(func() { a.Shrink(wt, cfg.BlockSize) })
+					} else {
+						record(func() { a.Grow(wt, cfg.BlockSize) })
+					}
+					grown = !grown
+					time.Sleep(cfg.ResizeInterval)
+				}
+			})
+		}
+
+		start := time.Now()
+		task.Coforall(func(sub *locale.Task) {
+			sub.ForAllTasks(tasks, func(tt *locale.Task, id int) {
+				seed := cfg.Seed ^ uint64(tt.Here().ID())<<32 ^ uint64(id)
+				stream := workload.NewIndexStreamRange(cfg.Pattern, seed, 0, cfg.Capacity)
+				var sink int64
+				if v.pinned {
+					rd := a.Reader(tt)
+					for op := 0; op < cfg.OpsPerTask; op++ {
+						sink += rd.Load(stream.Next())
+					}
+					h, m := rd.CacheStats()
+					hits.Add(h)
+					misses.Add(m)
+					rd.Close()
+				} else {
+					for op := 0; op < cfg.OpsPerTask; op++ {
+						sink += a.Load(tt, stream.Next())
+					}
+				}
+				_ = sink
+			})
+		})
+		elapsed = time.Since(start)
+		close(stop)
+		writerDone.Wait()
+
+		retries, _ := a.EBRStats(c)
+		point.EBRRetries = retries
+		point.Resizes = resizes
+		if resizes > 0 {
+			point.ResizeMeanMicros = float64(resizeTotal.Microseconds()) / float64(resizes)
+			point.ResizeMaxMicros = float64(resizeMax.Microseconds())
+		}
+		a.Destroy(task)
+	})
+
+	totalOps := float64(cfg.Locales) * float64(tasks) * float64(cfg.OpsPerTask)
+	point.ReadsPerSec = totalOps / elapsed.Seconds()
+	point.CacheHits = hits.Load()
+	point.CacheMisses = misses.Load()
+	return point
+}
+
+// EncodeJSON writes the result as indented JSON (the BENCH_PR2.json shape).
+func (r ReadScalingResult) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders an aligned table like the figure results.
+func (r ReadScalingResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "locales=%d ops/task=%d capacity=%d pattern=%s\n",
+		r.Locales, r.OpsPerTask, r.Capacity, r.Pattern)
+	fmt.Fprintf(w, "%-20s %8s %14s %12s %12s %10s\n",
+		"variant", "tasks", "reads/s", "resize-mean", "resize-max", "hit-rate")
+	for _, p := range r.Points {
+		hitRate := 0.0
+		if tot := p.CacheHits + p.CacheMisses; tot > 0 {
+			hitRate = float64(p.CacheHits) / float64(tot)
+		}
+		fmt.Fprintf(w, "%-20s %8d %14.0f %11.0fus %11.0fus %9.1f%%\n",
+			p.Variant, p.TasksPerLocale, p.ReadsPerSec,
+			p.ResizeMeanMicros, p.ResizeMaxMicros, hitRate*100)
+	}
+}

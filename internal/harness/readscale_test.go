@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rcuarray/internal/locale"
+	"rcuarray/internal/workload"
+)
+
+func TestKindEBRFlat(t *testing.T) {
+	parsed, err := ParseKind("EBRArray-flat")
+	if err != nil || parsed != KindEBRFlat {
+		t.Fatalf("ParseKind(EBRArray-flat) = %v, %v", parsed, err)
+	}
+	if KindEBRFlat.IsQSBR() {
+		t.Fatal("EBRArray-flat misclassified as QSBR")
+	}
+	c := locale.NewCluster(locale.Config{Locales: 2, WorkersPerLocale: 2})
+	defer c.Shutdown()
+	c.Run(func(task *locale.Task) {
+		tgt := BuildTarget(task, KindEBRFlat, 8, 16)
+		if got := tgt.Name(); got != "EBRArray-flat" {
+			t.Errorf("Name = %q, want EBRArray-flat", got)
+		}
+		tgt.Store(task, 5, 42)
+		if got := tgt.Load(task, 5); got != 42 {
+			t.Errorf("round trip = %d", got)
+		}
+		tgt.Grow(task, 8)
+		if got := tgt.Len(task); got != 24 {
+			t.Errorf("Len after Grow = %d, want 24", got)
+		}
+	})
+}
+
+// Every kind serves a read session: core kinds a pinned one with a live
+// cache, baselines the per-op fallback with zero cache stats.
+func TestOpenReadSessionAllKinds(t *testing.T) {
+	c := locale.NewCluster(locale.Config{Locales: 1, WorkersPerLocale: 2})
+	defer c.Shutdown()
+	c.Run(func(task *locale.Task) {
+		for _, k := range []Kind{KindEBR, KindQSBR, KindEBRFlat, KindChapel, KindSync, KindRW} {
+			tgt := BuildTarget(task, k, 8, 32)
+			tgt.Store(task, 9, 77)
+			sess := OpenReadSession(tgt, task)
+			for i := 0; i < 4; i++ {
+				if got := sess.Load(9); got != 77 {
+					t.Errorf("%v session Load = %d, want 77", k, got)
+				}
+			}
+			hits, misses := sess.CacheStats()
+			switch k {
+			case KindEBR, KindQSBR, KindEBRFlat:
+				if hits != 3 || misses != 1 {
+					t.Errorf("%v cache stats = %d/%d, want 3 hits / 1 miss", k, hits, misses)
+				}
+			default:
+				if hits != 0 || misses != 0 {
+					t.Errorf("%v fallback session reported cache stats %d/%d", k, hits, misses)
+				}
+			}
+			sess.Close()
+			// Core sessions released their pin: a resize must proceed.
+			tgt.Grow(task, 8)
+		}
+	})
+}
+
+func TestRunIndexingPinnedAccess(t *testing.T) {
+	cfg := tinyIndexing(workload.Sequential)
+	cfg.Kinds = []Kind{KindEBR, KindEBRFlat, KindQSBR}
+	cfg.Access = AccessLoadPinned
+	res := RunIndexing(cfg)
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.OpsPerSec <= 0 {
+				t.Fatalf("%s at %d locales: %.1f ops/s", s.Label, p.X, p.OpsPerSec)
+			}
+		}
+	}
+}
+
+func TestRunReadScalingSmoke(t *testing.T) {
+	cfg := ReadScalingConfig{
+		Locales:    1,
+		TaskCounts: []int{1, 2},
+		OpsPerTask: 512,
+		Capacity:   512,
+		BlockSize:  64,
+		Pattern:    workload.Sequential,
+		Seed:       11,
+	}
+	res := RunReadScaling(cfg)
+	wantPoints := len(readScalingVariants()) * len(cfg.TaskCounts)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("points = %d, want %d", len(res.Points), wantPoints)
+	}
+	byVariant := map[string]int{}
+	var totalResizes uint64
+	for _, p := range res.Points {
+		byVariant[p.Variant]++
+		totalResizes += p.Resizes
+		if p.ReadsPerSec <= 0 {
+			t.Errorf("%s @%d tasks: %.1f reads/s", p.Variant, p.TasksPerLocale, p.ReadsPerSec)
+		}
+		if strings.HasSuffix(p.Variant, "-pinned") {
+			if p.CacheHits+p.CacheMisses == 0 {
+				t.Errorf("%s @%d tasks: pinned variant recorded no cache traffic", p.Variant, p.TasksPerLocale)
+			}
+		} else if p.CacheHits+p.CacheMisses != 0 {
+			t.Errorf("%s @%d tasks: unpinned variant recorded cache traffic", p.Variant, p.TasksPerLocale)
+		}
+	}
+	// Per-point resize counts can be zero at smoke scale (the reader loop
+	// may outrun the writer goroutine's first Grow), but across the whole
+	// sweep the concurrent writer must have run.
+	if totalResizes == 0 {
+		t.Error("concurrent writer performed no resizes across the entire sweep")
+	}
+	for _, v := range readScalingVariants() {
+		if byVariant[v.name] != len(cfg.TaskCounts) {
+			t.Errorf("variant %s has %d points, want %d", v.name, byVariant[v.name], len(cfg.TaskCounts))
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.EncodeJSON(&buf); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	var back ReadScalingResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back.Points) != wantPoints || back.Pattern != "sequential" {
+		t.Fatalf("round-tripped result: %d points, pattern %q", len(back.Points), back.Pattern)
+	}
+
+	buf.Reset()
+	res.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"ebr-flat", "ebr-striped-pinned", "qsbr", "hit-rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Disabling the concurrent writer (negative interval) yields zero resizes.
+func TestRunReadScalingNoWriter(t *testing.T) {
+	res := RunReadScaling(ReadScalingConfig{
+		Locales:        1,
+		TaskCounts:     []int{1},
+		OpsPerTask:     128,
+		Capacity:       128,
+		BlockSize:      64,
+		Pattern:        workload.Random,
+		ResizeInterval: -1,
+	})
+	for _, p := range res.Points {
+		if p.Resizes != 0 {
+			t.Errorf("%s: %d resizes with the writer disabled", p.Variant, p.Resizes)
+		}
+		if p.ReadsPerSec <= 0 {
+			t.Errorf("%s: %.1f reads/s", p.Variant, p.ReadsPerSec)
+		}
+	}
+}

@@ -50,6 +50,10 @@ type Cluster struct {
 	privMu  sync.Mutex
 	nextPID atomic.Int64
 
+	// nextSlot hands out execution slots to ephemeral tasks (pool tasks
+	// use their worker index instead); see Task.Slot.
+	nextSlot atomic.Int64
+
 	shutdown atomic.Bool
 }
 

@@ -1,0 +1,92 @@
+package locale
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Pool tasks get their worker's slot in [0, WorkersPerLocale), and no two
+// *concurrently running* tasks on one locale share a slot — the property
+// that makes slots usable as reader-counter stripe names. (The mapping
+// from logical task id to worker — and hence slot — is scheduling-order
+// dependent.)
+func TestForAllTasksSlotsDisjointWhileRunning(t *testing.T) {
+	const workers = 4
+	c := newTestCluster(t, 2, workers)
+	c.Run(func(task *Task) {
+		task.Coforall(func(sub *Task) {
+			inUse := make([]atomic.Int32, workers)
+			ran := 0
+			var mu sync.Mutex
+			sub.ForAllTasks(2*workers, func(tt *Task, id int) {
+				slot := tt.Slot()
+				if slot < 0 || slot >= workers {
+					t.Errorf("locale %d task %d: slot %d outside [0,%d)", sub.Here().ID(), id, slot, workers)
+					return
+				}
+				if !inUse[slot].CompareAndSwap(0, 1) {
+					t.Errorf("locale %d task %d: slot %d already held by a running task", sub.Here().ID(), id, slot)
+				}
+				defer inUse[slot].Store(0)
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			})
+			if ran != 2*workers {
+				t.Errorf("locale %d: %d tasks ran, want %d", sub.Here().ID(), ran, 2*workers)
+			}
+		})
+	})
+}
+
+// Ephemeral tasks (Run drivers and the like) get cluster-assigned slots at
+// or above WorkersPerLocale — they never collide with a pool worker's
+// stripe — and distinct concurrent drivers get distinct slots.
+func TestEphemeralTaskSlotsAboveWorkers(t *testing.T) {
+	const workers = 3
+	c := newTestCluster(t, 1, workers)
+	var mu sync.Mutex
+	var slots []int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Run(func(task *Task) {
+				mu.Lock()
+				slots = append(slots, task.Slot())
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, s := range slots {
+		if s < workers {
+			t.Errorf("ephemeral task slot %d collides with pool worker range [0,%d)", s, workers)
+		}
+		if seen[s] {
+			t.Errorf("duplicate ephemeral slot %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+// On keeps the caller's slot: a task hopping locales stays on its stripe.
+func TestOnPreservesSlot(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	c.Run(func(task *Task) {
+		want := task.Slot()
+		task.On(2, func(sub *Task) {
+			if got := sub.Slot(); got != want {
+				t.Errorf("slot after On = %d, want %d", got, want)
+			}
+			sub.On(1, func(inner *Task) {
+				if got := inner.Slot(); got != want {
+					t.Errorf("slot after nested On = %d, want %d", got, want)
+				}
+			})
+		})
+	})
+}

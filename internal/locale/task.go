@@ -17,10 +17,18 @@ type Task struct {
 	loc    *Locale
 	part   *qsbr.Participant
 	worker *tasking.Worker // nil for ephemeral (non-pool) tasks
+	slot   int
 }
 
 // Here returns the locale the task is executing on.
 func (t *Task) Here() *Locale { return t.loc }
+
+// Slot returns the task's execution slot: the worker index for pool tasks,
+// or a cluster-assigned id for ephemeral (driver/coforall) tasks. Slots name
+// reader-counter stripes in the EBR domains — two tasks with distinct slots
+// never contend on a stripe as long as the stripe count covers the slot
+// range — and are stable for the task's lifetime.
+func (t *Task) Slot() int { return t.slot }
 
 // Cluster returns the owning cluster.
 func (t *Task) Cluster() *Cluster { return t.loc.cluster }
@@ -43,8 +51,11 @@ func (c *Cluster) Run(fn func(*Task)) {
 }
 
 // newEphemeralTask creates a task with a freshly registered participant.
+// Ephemeral tasks draw slots from a cluster-wide counter, offset past the
+// worker indices so they do not pile onto the pool workers' stripes.
 func (c *Cluster) newEphemeralTask(loc *Locale) *Task {
-	return &Task{loc: loc, part: c.qsbr.Register()}
+	slot := c.cfg.WorkersPerLocale + int(c.nextSlot.Add(1)-1)
+	return &Task{loc: loc, part: c.qsbr.Register(), slot: slot}
 }
 
 // release retires an ephemeral task's participant. Pending deferrals are
@@ -73,7 +84,7 @@ func (t *Task) On(dst int, fn func(*Task)) {
 		return
 	}
 	t.loc.cluster.fabric.ChargeRoundTrip(t.loc.id, dst, comm.OpAM, 0)
-	sub := &Task{loc: target, part: t.part, worker: t.worker}
+	sub := &Task{loc: target, part: t.part, worker: t.worker, slot: t.slot}
 	fn(sub)
 }
 
@@ -122,7 +133,7 @@ func (t *Task) ForAllTasks(n int, fn func(*Task, int)) {
 	}
 	t.parked(func() {
 		loc.pool.ForAll(n, func(w *tasking.Worker, i int) {
-			sub := &Task{loc: loc, part: w.TLS.(*qsbr.Participant), worker: w}
+			sub := &Task{loc: loc, part: w.TLS.(*qsbr.Participant), worker: w, slot: w.ID}
 			fn(sub, i)
 		})
 	})

@@ -11,11 +11,17 @@ type StripedCounter struct {
 // NewStripedCounter returns a counter with n stripes (rounded up to a power
 // of two, minimum 1).
 func NewStripedCounter(n int) *StripedCounter {
+	return &StripedCounter{stripes: make([]PaddedUint64, RoundPow2(n, 1<<30))}
+}
+
+// RoundPow2 rounds n up to a power of two, clamped to [1, max] (max must
+// itself be a power of two). Stripe sizing shares it.
+func RoundPow2(n, max int) int {
 	size := 1
-	for size < n {
+	for size < n && size < max {
 		size <<= 1
 	}
-	return &StripedCounter{stripes: make([]PaddedUint64, size)}
+	return size
 }
 
 // Add adds delta to the stripe selected by key. Callers pass a cheap

@@ -115,6 +115,10 @@ type Options struct {
 	Reclaim Reclaim
 	// InitialCapacity, if positive, grows the array at construction.
 	InitialCapacity int
+	// PinBudget bounds how many operations a Reader session serves per
+	// read-side pin before it voluntarily re-enters the critical section
+	// (letting resizes complete). Zero selects the default (1024).
+	PinBudget int
 }
 
 // Array is a parallel-safe distributed resizable array of T. All operations
@@ -141,6 +145,7 @@ func New[T any](t *Task, opts Options) *Array[T] {
 		BlockSize:       opts.BlockSize,
 		Variant:         v,
 		InitialCapacity: opts.InitialCapacity,
+		PinBudget:       opts.PinBudget,
 	})}
 }
 
@@ -195,6 +200,52 @@ func (a *Array[T]) Shrink(t *Task, removed int) { a.inner.Shrink(t, removed) }
 
 // Destroy releases all storage. The array must not be used afterwards.
 func (a *Array[T]) Destroy(t *Task) { a.inner.Destroy(t) }
+
+// Reader opens an amortized read session: one read-side critical-section
+// entry serving many operations, with a location cache that makes
+// sequential and strided index streams skip the block traversal. Close the
+// session when done:
+//
+//	rd := a.Reader(t)
+//	defer rd.Close()
+//	for i := 0; i < rd.Len(); i++ { sum += rd.Load(i) }
+//
+// Under EBR the session holds its epoch pinned for at most PinBudget
+// operations before transparently re-pinning; an idle open session delays
+// concurrent resizes, so sessions should be closed promptly. Under QSBR the
+// session must not span a Checkpoint (like a Ref). A Reader is per-task:
+// not safe for concurrent use.
+func (a *Array[T]) Reader(t *Task) Reader[T] {
+	return Reader[T]{inner: a.inner.Reader(t)}
+}
+
+// Reader is an open read session on an Array. See Array.Reader.
+type Reader[T any] struct {
+	inner core.Reader[T]
+}
+
+// Load reads element idx through the session.
+func (r *Reader[T]) Load(idx int) T { return r.inner.Load(idx) }
+
+// Store writes element idx through the session.
+func (r *Reader[T]) Store(idx int, v T) { r.inner.Store(idx, v) }
+
+// Index returns a reference to element idx through the session.
+func (r *Reader[T]) Index(idx int) Ref[T] { return Ref[T]{inner: r.inner.Index(idx)} }
+
+// Len returns the capacity of the session's pinned snapshot (resizes become
+// visible at the next repin).
+func (r *Reader[T]) Len() int { return r.inner.Len() }
+
+// Repin re-enters the critical section early, making concurrent resizes
+// visible to the session.
+func (r *Reader[T]) Repin() { r.inner.Repin() }
+
+// Close ends the session. Idempotent.
+func (r *Reader[T]) Close() { r.inner.Close() }
+
+// CacheStats returns the session's location-cache hits and misses.
+func (r *Reader[T]) CacheStats() (hits, misses uint64) { return r.inner.CacheStats() }
 
 // Ref is a stable reference to one element, the paper's return-by-reference
 // update mechanism: assignments through a Ref taken before a concurrent

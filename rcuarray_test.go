@@ -159,3 +159,67 @@ func TestPublicBulkOps(t *testing.T) {
 		}
 	})
 }
+
+func TestPublicReaderSession(t *testing.T) {
+	c := newCluster(t, 2)
+	c.Run(func(task *rcuarray.Task) {
+		a := rcuarray.New[int64](task, rcuarray.Options{
+			BlockSize:       8,
+			InitialCapacity: 64,
+			PinBudget:       16,
+		})
+		rd := a.Reader(task)
+		for i := 0; i < 64; i++ {
+			rd.Store(i, int64(i)*2)
+		}
+		sum := int64(0)
+		for i := 0; i < 64; i++ {
+			sum += rd.Load(i)
+		}
+		if sum != 64*63 {
+			t.Fatalf("session sum = %d, want %d", sum, 64*63)
+		}
+		if got := rd.Len(); got != 64 {
+			t.Fatalf("session Len = %d, want 64", got)
+		}
+		hits, misses := rd.CacheStats()
+		if hits == 0 || misses == 0 {
+			t.Fatalf("cache stats = %d/%d, want both nonzero", hits, misses)
+		}
+		ref := rd.Index(9)
+		if got := ref.Load(task); got != 18 {
+			t.Fatalf("ref load = %d, want 18", got)
+		}
+		rd.Repin()
+		rd.Close()
+		rd.Close() // idempotent
+		// Session released its pin: resizes proceed.
+		a.Grow(task, 8)
+		if got := a.Len(task); got != 72 {
+			t.Fatalf("Len after close+grow = %d", got)
+		}
+		a.Destroy(task)
+	})
+}
+
+func TestPublicReaderQSBR(t *testing.T) {
+	c := newCluster(t, 1)
+	c.Run(func(task *rcuarray.Task) {
+		a := rcuarray.New[int64](task, rcuarray.Options{
+			BlockSize:       8,
+			Reclaim:         rcuarray.QSBR,
+			InitialCapacity: 32,
+		})
+		a.Fill(task, 0, 32, 5)
+		rd := a.Reader(task)
+		sum := int64(0)
+		for i := 0; i < 32; i++ {
+			sum += rd.Load(i)
+		}
+		rd.Close()
+		if sum != 160 {
+			t.Fatalf("QSBR session sum = %d, want 160", sum)
+		}
+		task.Checkpoint() // sessions must not span this; closed above
+	})
+}
