@@ -10,7 +10,12 @@
 #                                settings, emitting BENCH_PR2.json (the
 #                                amortized-EBR-read-path A/B trajectory
 #                                baseline: flat vs striped vs pinned)
-#   ./ci.sh full       tier-1 + tier-1.5
+#   ./ci.sh chaos      fault tier: rcutorture -chaos over a fixed seed list
+#                                (seeded fault schedules against a loopback
+#                                cluster: connection-fault storms, node
+#                                kills mid-resize, partitions, stale lease
+#                                holders) plus go test -run Chaos -race
+#   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
 tier1() {
@@ -35,16 +40,32 @@ bench() {
 		-out BENCH_PR2.json
 }
 
+chaos() {
+	# Fixed seed list: every run is reproducible with
+	#   go run ./cmd/rcutorture -chaos -seed N
+	CHAOS_SEEDS="1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24"
+	echo "--- chaos: rcutorture -chaos, seeds: $CHAOS_SEEDS"
+	go build -o /tmp/rcutorture.ci ./cmd/rcutorture
+	for s in $CHAOS_SEEDS; do
+		echo "--- chaos: seed $s"
+		/tmp/rcutorture.ci -chaos -seed "$s" -chaos-rounds 4
+	done
+	echo '--- chaos: go test -run Chaos -race -short ./...'
+	go test -run Chaos -race -short ./...
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) tier15 ;;
 bench) bench ;;
+chaos) chaos ;;
 full)
 	tier1
 	tier15
+	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|full]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|full]" >&2
 	exit 2
 	;;
 esac

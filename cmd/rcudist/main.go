@@ -36,6 +36,9 @@ func main() {
 		resizes  = flag.Int("resizes", 8, "grows to run concurrently with the workloads")
 		pattern  = flag.String("pattern", "random", "random|sequential|zipfian")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		callTO   = flag.Duration("call-timeout", 0, "per-RPC timeout (0 = 2s default)")
+		retries  = flag.Int("retries", 0, "retry budget for transient RPC failures (0 = default)")
+		lockTTL  = flag.Duration("lock-ttl", 0, "write-lock lease duration (0 = 10s default)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,12 @@ func main() {
 		fmt.Printf("spawned %d loopback nodes\n", *spawn)
 	}
 
-	d, err := dist.Connect(addrs, *block)
+	d, err := dist.ConnectOpts(addrs, *block, dist.Options{
+		CallTimeout: *callTO,
+		Retries:     *retries,
+		LockTTL:     *lockTTL,
+		Seed:        *seed,
+	})
 	if err != nil {
 		log.Fatalf("rcudist: %v", err)
 	}

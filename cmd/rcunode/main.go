@@ -20,14 +20,20 @@ import (
 	"os/signal"
 	"syscall"
 
+	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	frameTO := flag.Duration("frame-timeout", 0, "max time a started frame may take to arrive (0 = 30s default, negative = disabled)")
+	idleTO := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = never)")
 	flag.Parse()
 
-	node, err := dist.NewArrayNode(*listen)
+	node, err := dist.NewArrayNodeConfig(*listen, comm.NodeConfig{
+		FrameTimeout: *frameTO,
+		IdleTimeout:  *idleTO,
+	})
 	if err != nil {
 		log.Fatalf("rcunode: %v", err)
 	}

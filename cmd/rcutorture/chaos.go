@@ -1,0 +1,253 @@
+// Chaos mode: seeded fault schedules over distributed RCUArray workloads.
+//
+// Each round spins up a fresh in-process cluster (real TCP over loopback),
+// picks a failure scenario from the round's RNG — connection-fault storm,
+// node kill mid-resize, network partition, or a crashed lease holder — runs
+// a grow/write/read workload through it, and then audits the protocol
+// invariants:
+//
+//   - no lost acknowledged writes: every write the driver acked reads back
+//     with the same value on reachable nodes;
+//   - no divergent block tables: every live node agrees with the driver on
+//     the array length;
+//   - the write lock is always released or expired: a fresh acquire/release
+//     cycle succeeds at the end of the round;
+//   - a resize that hits a dead node aborts cleanly and reads keep serving
+//     the old snapshot.
+//
+// Every decision descends from the printed seed, so a failing run is
+// reproduced with -seed.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/dist"
+	"rcuarray/internal/workload"
+)
+
+const chaosBlock = 8
+
+type chaosScenario int
+
+const (
+	chaosFaults chaosScenario = iota
+	chaosKill
+	chaosPartition
+	chaosStaleLease
+	numChaosScenarios
+)
+
+func (s chaosScenario) String() string {
+	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease"}[s]
+}
+
+func chaosTorture(seed uint64, rounds int) bool {
+	ok := true
+	for round := 0; round < rounds; round++ {
+		rseed := taskSeed(seed, roleChaos, uint64(round))
+		scenario := chaosScenario(rseed % uint64(numChaosScenarios))
+		fmt.Printf("=== chaos round %d/%d: scenario %s (round seed %d) ===\n",
+			round+1, rounds, scenario, rseed)
+		if err := chaosRound(scenario, rseed); err != nil {
+			fmt.Printf("  FAIL: %v\n", err)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func chaosRound(scenario chaosScenario, seed uint64) error {
+	opts := dist.Options{
+		CallTimeout:    300 * time.Millisecond,
+		Retries:        4,
+		RetryBase:      2 * time.Millisecond,
+		RetryMax:       50 * time.Millisecond,
+		LockTTL:        2 * time.Second,
+		AcquireTimeout: 10 * time.Second,
+		Seed:           seed,
+	}
+	var inj *comm.Injector
+	var part *comm.Partition
+	switch scenario {
+	case chaosFaults:
+		inj = comm.NewInjector(comm.FaultPlan{
+			Seed:  seed,
+			Reset: 500, Partial: 500, Stall: 1000, // ~0.8%, ~0.8%, ~1.5%
+			StallFor: 15 * time.Millisecond,
+		})
+		opts.Faults = inj
+		opts.Retries = 6
+	case chaosPartition:
+		part = &comm.Partition{}
+		opts.Part = part
+	case chaosStaleLease:
+		opts.LockTTL = 300 * time.Millisecond
+	}
+
+	nodes, stop, err := dist.SpawnLocalNodes(3, comm.NodeConfig{FrameTimeout: 2 * time.Second})
+	if err != nil {
+		return fmt.Errorf("spawn: %w", err)
+	}
+	defer stop()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+	d, err := dist.ConnectOpts(addrs, chaosBlock, opts)
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	defer d.Close()
+
+	rng := workload.NewRNG(taskSeed(seed, roleChaos, 1))
+	acked := map[int]int64{}
+	mixedOps := func(n int) error {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				if err := d.Grow(chaosBlock); err != nil {
+					return fmt.Errorf("grow: %w", err)
+				}
+			case 1:
+				if d.Len() == 0 {
+					continue
+				}
+				idx := rng.Intn(d.Len())
+				v := int64(taskSeed(seed, uint64(idx), uint64(i)))
+				if err := d.Write(idx, v); err != nil {
+					return fmt.Errorf("write(%d): %w", idx, err)
+				}
+				acked[idx] = v
+			default:
+				if d.Len() == 0 {
+					continue
+				}
+				idx := rng.Intn(d.Len())
+				got, err := d.Read(idx)
+				if err != nil {
+					return fmt.Errorf("read(%d): %w", idx, err)
+				}
+				if want, wrote := acked[idx]; wrote && got != want {
+					return fmt.Errorf("read(%d) = %d, want acked %d", idx, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: healthy warm-up so every scenario starts from a populated,
+	// multi-block array.
+	if err := d.Grow(chaosBlock * 6); err != nil {
+		return fmt.Errorf("warm-up grow: %w", err)
+	}
+	if err := mixedOps(60); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+
+	// Phase 2: the scenario's fault window.
+	dead := -1
+	switch scenario {
+	case chaosFaults:
+		// Faults are live from the start; just keep the pressure on. All
+		// operations must still succeed — retries absorb the schedule.
+		if err := mixedOps(120); err != nil {
+			return fmt.Errorf("under fault storm: %w", err)
+		}
+		if inj.Total() == 0 {
+			return fmt.Errorf("fault plan injected nothing")
+		}
+		fmt.Printf("  injected faults: %d (plan seed %d)\n", inj.Total(), seed)
+	case chaosKill:
+		// Kill a block owner (never node 0 — it hosts the lock service),
+		// then resize into the hole: the grow must abort cleanly and the
+		// old snapshot must keep serving.
+		dead = 1 + int(taskSeed(seed, 2)%2)
+		oldLen := d.Len()
+		nodes[dead].Close()
+		if err := d.Grow(chaosBlock); err == nil {
+			return fmt.Errorf("grow succeeded with node %d dead", dead)
+		}
+		if d.Len() != oldLen {
+			return fmt.Errorf("aborted grow changed Len: %d -> %d", oldLen, d.Len())
+		}
+	case chaosPartition:
+		oldLen := d.Len()
+		part.Sever()
+		if err := d.Grow(chaosBlock); err == nil {
+			return fmt.Errorf("grow crossed an open partition")
+		}
+		if d.Len() != oldLen {
+			return fmt.Errorf("partitioned grow changed Len: %d -> %d", oldLen, d.Len())
+		}
+		part.Heal()
+		if err := mixedOps(40); err != nil {
+			return fmt.Errorf("after heal: %w", err)
+		}
+	case chaosStaleLease:
+		// A driver "crashes" holding the lease; once the TTL lapses the
+		// next resize supersedes it and the stale token is fenced out.
+		staleToken, err := d.AcquireLock()
+		if err != nil {
+			return fmt.Errorf("acquire: %w", err)
+		}
+		time.Sleep(opts.LockTTL + 100*time.Millisecond)
+		if err := mixedOps(40); err != nil {
+			return fmt.Errorf("after lease expiry: %w", err)
+		}
+		if err := d.ReleaseLock(staleToken); err == nil {
+			return fmt.Errorf("superseded token still released the lock")
+		}
+	}
+
+	// Phase 3: invariant audit.
+	return chaosAudit(d, dead, acked)
+}
+
+// chaosAudit checks the cross-node invariants on whatever cluster state the
+// scenario left behind. dead is the index of a killed node, or -1.
+func chaosAudit(d *dist.Driver, dead int, acked map[int]int64) error {
+	// No divergent block tables across live nodes.
+	for node := 0; node < d.Nodes(); node++ {
+		if node == dead {
+			continue
+		}
+		got, err := d.NodeLen(node)
+		if err != nil {
+			return fmt.Errorf("NodeLen(%d): %w", node, err)
+		}
+		if got != d.Len() {
+			return fmt.Errorf("node %d table diverged: %d elements, driver sees %d", node, got, d.Len())
+		}
+	}
+	// No lost acknowledged writes. Elements owned by a killed node are
+	// unreachable (reads fail) — that is unavailability, not loss — but any
+	// read that *succeeds* must return the acked value.
+	unreachable := 0
+	for idx, want := range acked {
+		got, err := d.Read(idx)
+		if err != nil {
+			if dead >= 0 && comm.IsTransient(err) {
+				unreachable++
+				continue
+			}
+			return fmt.Errorf("read(%d) during audit: %w", idx, err)
+		}
+		if got != want {
+			return fmt.Errorf("lost acked write: read(%d) = %d, want %d", idx, got, want)
+		}
+	}
+	// The write lock is released or expired: a fresh cycle succeeds.
+	token, err := d.AcquireLock()
+	if err != nil {
+		return fmt.Errorf("lock not acquirable after round: %w", err)
+	}
+	if err := d.ReleaseLock(token); err != nil {
+		return fmt.Errorf("lock not releasable after round: %w", err)
+	}
+	fmt.Printf("  audit: len=%d acked=%d unreachable=%d — invariants hold\n",
+		d.Len(), len(acked), unreachable)
+	return nil
+}

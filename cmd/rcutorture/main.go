@@ -45,6 +45,8 @@ func main() {
 		checkpoint = flag.Int("checkpoint", 64, "QSBR ops per checkpoint")
 		seed       = flag.Uint64("seed", 0, "workload seed (0 = derive from time)")
 		lincheck   = flag.Bool("lincheck", false, "run deterministic linearizability windows instead of the wall-clock storm")
+		chaos      = flag.Bool("chaos", false, "run seeded fault-injection rounds against a distributed cluster")
+		chaosRnds  = flag.Int("chaos-rounds", 4, "fault scenarios per chaos run")
 	)
 	flag.Parse()
 
@@ -76,7 +78,11 @@ func main() {
 	}
 
 	failed := false
-	if *lincheck {
+	if *chaos {
+		if !chaosTorture(effSeed, *chaosRnds) {
+			failed = true
+		}
+	} else if *lincheck {
 		for _, v := range variants {
 			fmt.Printf("=== lincheck %s: %d locales x %d tasks, %v ===\n",
 				v, *locales, *tasks, *duration)
@@ -118,6 +124,7 @@ const (
 	roleVector
 	roleTable
 	roleLincheck
+	roleChaos
 )
 
 // taskSeed derives a task-local seed from the run seed and any number of

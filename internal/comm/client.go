@@ -1,18 +1,36 @@
 package comm
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ClientConfig tunes one client connection. The zero value preserves the
+// original behaviour: blocking dial, no call deadline, no faults.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (0 = OS default).
+	DialTimeout time.Duration
+	// CallTimeout is the default per-call deadline for Get/Put/AM
+	// (0 = wait forever). CallAM overrides it per call.
+	CallTimeout time.Duration
+	// Faults, when set, injects seeded write faults into this connection;
+	// FaultKey names the decision stream (the dist driver uses the node
+	// index, so a redialed connection resumes the same stream).
+	Faults   *Injector
+	FaultKey uint64
+	// Part, when set, is the partition switch this connection obeys.
+	Part *Partition
+}
 
 // Client is one endpoint's view of a remote Node. Requests may be issued
 // from any number of goroutines; they are pipelined on a single connection
 // and matched to responses by sequence number.
 type Client struct {
 	conn net.Conn
+	cfg  ClientConfig
 
 	sendMu  sync.Mutex
 	sendBuf []byte
@@ -24,6 +42,9 @@ type Client struct {
 	closed    bool
 	closeErr  error
 
+	closeOnce sync.Once
+	closeRes  error
+
 	readerDone chan struct{}
 }
 
@@ -32,14 +53,23 @@ type result struct {
 	err     error
 }
 
-// Dial connects to a node.
+// Dial connects to a node with default configuration.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a node.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+		return nil, &netError{msg: fmt.Sprintf("comm: dial %s: %v", addr, err), wrapped: err}
+	}
+	if cfg.Faults != nil || cfg.Part != nil {
+		conn = &faultConn{Conn: conn, inj: cfg.Faults, key: cfg.FaultKey, part: cfg.Part}
 	}
 	c := &Client{
 		conn:       conn,
+		cfg:        cfg,
 		pending:    make(map[uint64]chan result),
 		readerDone: make(chan struct{}),
 	}
@@ -47,11 +77,23 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-// Close tears the connection down; in-flight requests fail.
+// Close tears the connection down; in-flight requests fail. Close is
+// idempotent: every call returns the first call's result.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	<-c.readerDone
-	return err
+	c.closeOnce.Do(func() {
+		c.closeRes = c.conn.Close()
+		<-c.readerDone
+	})
+	return c.closeRes
+}
+
+// Broken reports whether the connection has failed (the read loop exited);
+// every future call on a broken client fails fast, so the owner should
+// redial.
+func (c *Client) Broken() bool {
+	c.pendingMu.Lock()
+	defer c.pendingMu.Unlock()
+	return c.closed
 }
 
 func (c *Client) readLoop() {
@@ -59,7 +101,7 @@ func (c *Client) readLoop() {
 	for {
 		typ, seq, payload, err := readFrame(c.conn)
 		if err != nil {
-			c.failAll(fmt.Errorf("comm: connection lost: %w", err))
+			c.failAll(&netError{msg: fmt.Sprintf("comm: connection lost: %v", err), wrapped: err})
 			return
 		}
 		c.pendingMu.Lock()
@@ -73,7 +115,7 @@ func (c *Client) readLoop() {
 		case msgOK:
 			ch <- result{payload: payload}
 		case msgError:
-			ch <- result{err: errors.New(string(payload))}
+			ch <- result{err: &RemoteError{Msg: string(payload)}}
 		default:
 			ch <- result{err: fmt.Errorf("comm: unexpected response type %#x", typ)}
 		}
@@ -91,8 +133,9 @@ func (c *Client) failAll(err error) {
 	c.pendingMu.Unlock()
 }
 
-// call issues one request and waits for its response.
-func (c *Client) call(typ byte, payload []byte) ([]byte, error) {
+// call issues one request and waits for its response until timeout elapses
+// (0 = wait forever).
+func (c *Client) call(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
 	seq := c.nextSeq.Add(1)
 	ch := make(chan result, 1)
 
@@ -105,6 +148,13 @@ func (c *Client) call(typ byte, payload []byte) ([]byte, error) {
 	c.pending[seq] = ch
 	c.pendingMu.Unlock()
 
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+
 	c.sendMu.Lock()
 	c.sendBuf = frame(c.sendBuf, typ, seq, payload)
 	_, err := c.conn.Write(c.sendBuf)
@@ -113,25 +163,41 @@ func (c *Client) call(typ byte, payload []byte) ([]byte, error) {
 		c.pendingMu.Lock()
 		delete(c.pending, seq)
 		c.pendingMu.Unlock()
-		return nil, fmt.Errorf("comm: send: %w", err)
+		return nil, &netError{msg: fmt.Sprintf("comm: send: %v", err), wrapped: err}
 	}
 
-	r := <-ch
-	return r.payload, r.err
+	select {
+	case r := <-ch:
+		return r.payload, r.err
+	case <-deadline:
+		// Abandon the request: if the response arrives later, the read
+		// loop finds no pending entry and drops it.
+		c.pendingMu.Lock()
+		delete(c.pending, seq)
+		c.pendingMu.Unlock()
+		return nil, ErrTimeout
+	}
 }
 
 // Get reads length bytes at offset from the remote segment.
 func (c *Client) Get(segment uint64, offset, length int) ([]byte, error) {
-	return c.call(msgGet, encodeGet(segment, uint64(offset), uint32(length)))
+	return c.call(msgGet, encodeGet(segment, uint64(offset), uint32(length)), c.cfg.CallTimeout)
 }
 
 // Put writes data at offset into the remote segment.
 func (c *Client) Put(segment uint64, offset int, data []byte) error {
-	_, err := c.call(msgPut, encodePut(segment, uint64(offset), data))
+	_, err := c.call(msgPut, encodePut(segment, uint64(offset), data), c.cfg.CallTimeout)
 	return err
 }
 
 // AM invokes the remote active-message handler and returns its reply.
 func (c *Client) AM(handler uint16, payload []byte) ([]byte, error) {
-	return c.call(msgAM, encodeAM(handler, payload))
+	return c.call(msgAM, encodeAM(handler, payload), c.cfg.CallTimeout)
+}
+
+// CallAM invokes an active message with an explicit deadline, overriding the
+// configured CallTimeout (0 = wait forever — used for long-running
+// workloads that must outlive the control-plane deadline).
+func (c *Client) CallAM(handler uint16, payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.call(msgAM, encodeAM(handler, payload), timeout)
 }

@@ -45,6 +45,11 @@ type Config struct {
 	// RemoteLatency when zero and RemoteLatency is set). Remote task
 	// spawns and lock acquisitions pay a round trip of this.
 	AMLatency time.Duration
+	// Faults, when set, injects seeded per-op faults (drop-with-
+	// retransmit, extra delay, duplicate) into every remote operation,
+	// keyed by (source locale, op). Decisions are deterministic per key
+	// for a given plan seed.
+	Faults *Injector
 }
 
 func (c Config) amLatency() time.Duration {
@@ -96,12 +101,26 @@ func (f *Fabric) Charge(src, dst int, op Op, size int) {
 	i := src*int(numOps) + int(op)
 	f.msgs[i].Inc()
 	f.bytes[i].Add(uint64(size))
-	switch op {
-	case OpAM:
-		delay(f.cfg.amLatency())
-	default:
-		delay(f.cfg.RemoteLatency)
+	lat := f.cfg.RemoteLatency
+	if op == OpAM {
+		lat = f.cfg.amLatency()
 	}
+	switch f.cfg.Faults.FabricFault(src, op) {
+	case FaultDrop:
+		// The message was lost and retransmitted after a timeout: one
+		// extra message on the wire, the retransmission delay on top.
+		f.msgs[i].Inc()
+		f.bytes[i].Add(uint64(size))
+		delay(f.cfg.Faults.Plan().ExtraDelay)
+	case FaultDelay:
+		delay(f.cfg.Faults.Plan().ExtraDelay)
+	case FaultDup:
+		// Duplicate delivery: the extra copy is counted but the receiver
+		// discards it, so no extra latency is charged to the caller.
+		f.msgs[i].Inc()
+		f.bytes[i].Add(uint64(size))
+	}
+	delay(lat)
 }
 
 // ChargeRoundTrip records a request/response pair (for example a remote lock

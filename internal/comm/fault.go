@@ -1,0 +1,218 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Seeded fault injection. Faults are a first-class, replayable input: every
+// decision the Injector makes is a pure function of (plan seed, stream key,
+// per-key sequence number), so the n-th decision for a given key is identical
+// across runs regardless of goroutine interleaving. That is the same
+// determinism contract the lincheck driver gives histories: print the seed,
+// replay the faults.
+//
+// Two families of streams share one Injector:
+//
+//   - fabric streams, keyed by (src locale, op) — per-op drop, extra delay,
+//     and duplicate on the in-process Fabric;
+//   - connection streams, keyed by an arbitrary uint64 (the dist driver uses
+//     the node index) — per-write reset, partial write, and stall on the TCP
+//     path, plus a partition switch shared by every faulted connection.
+
+// FaultKind identifies one injected fault.
+type FaultKind uint8
+
+const (
+	// FaultNone means the operation proceeds untouched.
+	FaultNone FaultKind = iota
+	// FaultDrop models a lost message that the transport retransmits: the
+	// fabric counts one extra message and charges the retransmission delay.
+	FaultDrop
+	// FaultDelay charges the plan's ExtraDelay on top of normal latency.
+	FaultDelay
+	// FaultDup models a duplicated message: one extra message counted.
+	FaultDup
+	// FaultReset severs the connection mid-operation (TCP path).
+	FaultReset
+	// FaultPartial writes a prefix of the frame and then severs the
+	// connection (TCP path).
+	FaultPartial
+	// FaultStall delays the write by the plan's StallFor (TCP path).
+	FaultStall
+	numFaultKinds
+)
+
+// String returns a one-letter mnemonic used in traces ("." for none).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "."
+	case FaultDrop:
+		return "X"
+	case FaultDelay:
+		return "D"
+	case FaultDup:
+		return "2"
+	case FaultReset:
+		return "R"
+	case FaultPartial:
+		return "P"
+	case FaultStall:
+		return "S"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultPlan configures an Injector. Probabilities are expressed in parts per
+// 65536 and evaluated in the order drop, delay, dup (fabric) and reset,
+// partial, stall (connections); the first hit wins, so the per-op fault rate
+// is at most the sum.
+type FaultPlan struct {
+	Seed uint64
+
+	// Fabric op faults (in-process transport).
+	Drop, Delay, Dup uint32
+	// ExtraDelay is charged by FaultDrop (retransmission) and FaultDelay.
+	ExtraDelay time.Duration
+
+	// Connection write faults (TCP transport).
+	Reset, Partial, Stall uint32
+	// StallFor is how long FaultStall blocks a write. It is bounded: a
+	// stalled write resumes, it is the caller's deadline that turns a long
+	// stall into a timeout.
+	StallFor time.Duration
+}
+
+// Injector hands out deterministic fault decisions and counts what it
+// injected. It is safe for concurrent use; decisions within one key stream
+// are strictly ordered by the stream's own counter.
+type Injector struct {
+	plan FaultPlan
+
+	mu      sync.Mutex
+	streams map[uint64]*faultStream
+
+	counts [numFaultKinds]atomic.Uint64
+}
+
+type faultStream struct {
+	n atomic.Uint64
+}
+
+// NewInjector returns an injector for the plan. A zero plan injects nothing.
+func NewInjector(plan FaultPlan) *Injector {
+	return &Injector{plan: plan, streams: make(map[uint64]*faultStream)}
+}
+
+// Plan returns the injector's configuration.
+func (j *Injector) Plan() FaultPlan { return j.plan }
+
+// Count reports how many faults of the given kind have been injected.
+func (j *Injector) Count(k FaultKind) uint64 { return j.counts[k].Load() }
+
+// Total reports the total number of injected faults of every kind.
+func (j *Injector) Total() uint64 {
+	var t uint64
+	for k := FaultKind(1); k < numFaultKinds; k++ {
+		t += j.counts[k].Load()
+	}
+	return t
+}
+
+func (j *Injector) stream(key uint64) *faultStream {
+	j.mu.Lock()
+	s, ok := j.streams[key]
+	if !ok {
+		s = &faultStream{}
+		j.streams[key] = s
+	}
+	j.mu.Unlock()
+	return s
+}
+
+// decide is the pure decision function: splitmix64 over (seed, key, n)
+// against the cumulative thresholds. Changing this function changes every
+// recorded seed, so it is pinned by the golden-replay test.
+func decide(seed, key, n uint64, thresholds [3]uint32, kinds [3]FaultKind) FaultKind {
+	h := seed ^ key*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	v := uint32(h & 0xffff)
+	var cum uint32
+	for i, p := range thresholds {
+		cum += p
+		if p != 0 && v < cum {
+			return kinds[i]
+		}
+	}
+	return FaultNone
+}
+
+// Key spaces: fabric streams and connection streams must never collide.
+const (
+	fabricKeySpace = 1 << 48
+	connKeySpace   = 2 << 48
+)
+
+// FabricFault returns the next fault decision for (src locale, op) and
+// advances that stream.
+func (j *Injector) FabricFault(src int, op Op) FaultKind {
+	if j == nil || j.plan.Drop|j.plan.Delay|j.plan.Dup == 0 {
+		return FaultNone
+	}
+	key := fabricKeySpace | uint64(src)*uint64(numOps) + uint64(op)
+	n := j.stream(key).n.Add(1) - 1
+	k := decide(j.plan.Seed, key, n,
+		[3]uint32{j.plan.Drop, j.plan.Delay, j.plan.Dup},
+		[3]FaultKind{FaultDrop, FaultDelay, FaultDup})
+	if k != FaultNone {
+		j.counts[k].Add(1)
+	}
+	return k
+}
+
+// ConnFault returns the next write fault decision for a connection stream
+// and advances it. The dist driver keys streams by node index, so a redialed
+// connection continues where the severed one left off.
+func (j *Injector) ConnFault(key uint64) FaultKind {
+	if j == nil || j.plan.Reset|j.plan.Partial|j.plan.Stall == 0 {
+		return FaultNone
+	}
+	key |= connKeySpace
+	n := j.stream(key).n.Add(1) - 1
+	k := decide(j.plan.Seed, key, n,
+		[3]uint32{j.plan.Reset, j.plan.Partial, j.plan.Stall},
+		[3]FaultKind{FaultReset, FaultPartial, FaultStall})
+	if k != FaultNone {
+		j.counts[k].Add(1)
+	}
+	return k
+}
+
+// Partition is a fabric-wide kill switch for the TCP path: while severed,
+// every faulted connection's reads and writes fail immediately, as if the
+// network between the endpoints vanished. Heal restores traffic; already
+// severed connections stay dead (TCP has no resurrection), so recovery goes
+// through a redial, exactly like a real partition healing.
+type Partition struct {
+	severed atomic.Bool
+}
+
+// Sever opens the partition: faulted connections start failing.
+func (p *Partition) Sever() { p.severed.Store(true) }
+
+// Heal closes the partition: new traffic flows again.
+func (p *Partition) Heal() { p.severed.Store(false) }
+
+// Severed reports whether the partition is open.
+func (p *Partition) Severed() bool { return p != nil && p.severed.Load() }
+
+// ErrPartitioned is returned for traffic attempted across an open partition.
+var ErrPartitioned = &netError{msg: "comm: network partitioned"}

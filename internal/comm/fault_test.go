@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// drive records the first n decisions of a handful of fabric and connection
+// streams, in a fixed per-key order.
+func driveInjector(j *Injector, perKey int) map[string]string {
+	out := make(map[string]string)
+	for src := 0; src < 3; src++ {
+		for op := OpGet; op < numOps; op++ {
+			var b strings.Builder
+			for i := 0; i < perKey; i++ {
+				b.WriteString(j.FabricFault(src, op).String())
+			}
+			out["fabric/"+op.String()+string(rune('0'+src))] = b.String()
+		}
+	}
+	for conn := uint64(0); conn < 3; conn++ {
+		var b strings.Builder
+		for i := 0; i < perKey; i++ {
+			b.WriteString(j.ConnFault(conn).String())
+		}
+		out["conn/"+string(rune('0'+conn))] = b.String()
+	}
+	return out
+}
+
+var replayPlan = FaultPlan{
+	Seed:  42,
+	Drop:  3277, // ~5%
+	Delay: 3277,
+	Dup:   3277,
+	Reset: 3277, Partial: 3277, Stall: 3277,
+}
+
+// The golden seed-replay guarantee (the chaos mirror of PR 1's lincheck
+// replay): a fault schedule replayed from a printed seed reproduces the
+// identical injected-fault sequence, independent of interleaving with other
+// streams.
+func TestChaosGoldenSeedReplay(t *testing.T) {
+	first := driveInjector(NewInjector(replayPlan), 64)
+	second := driveInjector(NewInjector(replayPlan), 64)
+	for key, trace := range first {
+		if second[key] != trace {
+			t.Fatalf("stream %s diverged on replay:\n  first:  %s\n  second: %s", key, trace, second[key])
+		}
+	}
+	// Interleaving with other streams must not perturb a key's sequence:
+	// drain unrelated streams between every decision of the probed one.
+	j := NewInjector(replayPlan)
+	var b strings.Builder
+	for i := 0; i < 64; i++ {
+		b.WriteString(j.FabricFault(1, OpPut).String())
+		j.FabricFault(0, OpGet)
+		j.ConnFault(7)
+		j.FabricFault(2, OpAM)
+	}
+	if got, want := b.String(), first["fabric/PUT1"]; got != want {
+		t.Fatalf("interleaving changed the PUT/src1 stream:\n  got:  %s\n  want: %s", got, want)
+	}
+}
+
+// The decision function is pinned: if it changes, every recorded chaos seed
+// in CI and in bug reports silently means something else. Update this golden
+// string only together with a deliberate, documented seed-format break.
+func TestChaosGoldenDecisionFunctionPinned(t *testing.T) {
+	j := NewInjector(replayPlan)
+	var b strings.Builder
+	for i := 0; i < 48; i++ {
+		b.WriteString(j.FabricFault(0, OpGet).String())
+	}
+	const want = "................2..........................X...."
+	if got := b.String(); got != want {
+		t.Fatalf("decision function changed for seed 42:\n  got:  %s\n  want: %s", got, want)
+	}
+}
+
+func TestChaosInjectorDeterministicUnderConcurrency(t *testing.T) {
+	// Concurrent callers on *different* keys must not perturb each other.
+	collect := func() map[string]string {
+		j := NewInjector(replayPlan)
+		var wg sync.WaitGroup
+		traces := make([]string, 3)
+		for src := 0; src < 3; src++ {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				var b strings.Builder
+				for i := 0; i < 200; i++ {
+					b.WriteString(j.FabricFault(src, OpGet).String())
+				}
+				traces[src] = b.String()
+			}(src)
+		}
+		wg.Wait()
+		return map[string]string{"0": traces[0], "1": traces[1], "2": traces[2]}
+	}
+	a, b := collect(), collect()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("concurrent stream %s not deterministic", k)
+		}
+	}
+}
+
+func TestChaosInjectorRates(t *testing.T) {
+	j := NewInjector(FaultPlan{Seed: 9, Drop: 6554}) // ~10%
+	const n = 20000
+	for i := 0; i < n; i++ {
+		j.FabricFault(0, OpGet)
+	}
+	drops := j.Count(FaultDrop)
+	if drops < n/20 || drops > n/5 {
+		t.Fatalf("drop rate off: %d/%d", drops, n)
+	}
+	if j.Count(FaultDelay) != 0 || j.Count(FaultDup) != 0 {
+		t.Fatalf("unconfigured kinds injected: delay=%d dup=%d", j.Count(FaultDelay), j.Count(FaultDup))
+	}
+	if j.Total() != drops {
+		t.Fatalf("Total = %d, want %d", j.Total(), drops)
+	}
+}
+
+func TestChaosNilInjectorIsInert(t *testing.T) {
+	var j *Injector
+	if k := j.FabricFault(0, OpGet); k != FaultNone {
+		t.Fatalf("nil injector injected %v", k)
+	}
+	if k := j.ConnFault(0); k != FaultNone {
+		t.Fatalf("nil injector injected %v", k)
+	}
+}
+
+// Fabric integration: drops and dups are visible as extra message counts,
+// deterministically for a given seed.
+func TestChaosFabricFaultAccounting(t *testing.T) {
+	run := func() (uint64, uint64) {
+		j := NewInjector(FaultPlan{Seed: 5, Drop: 6554, Dup: 6554, ExtraDelay: 0})
+		f := NewFabric(2, Config{Faults: j})
+		for i := 0; i < 5000; i++ {
+			f.Charge(0, 1, OpPut, 8)
+		}
+		return f.Msgs(0, OpPut), j.Total()
+	}
+	msgs, injected := run()
+	if injected == 0 {
+		t.Fatal("no faults injected")
+	}
+	if msgs != 5000+injected {
+		t.Fatalf("msgs = %d, want 5000 ops + %d injected extras", msgs, injected)
+	}
+	msgs2, injected2 := run()
+	if msgs2 != msgs || injected2 != injected {
+		t.Fatalf("fabric fault accounting not replayable: (%d,%d) vs (%d,%d)", msgs, injected, msgs2, injected2)
+	}
+	// Local operations are never faulted (they don't touch the wire).
+	j := NewInjector(FaultPlan{Seed: 5, Drop: 65535})
+	f := NewFabric(2, Config{Faults: j})
+	f.Charge(1, 1, OpGet, 8)
+	if j.Total() != 0 {
+		t.Fatalf("local op was faulted %d times", j.Total())
+	}
+}
+
+func TestChaosPartitionSwitch(t *testing.T) {
+	var p Partition
+	if p.Severed() {
+		t.Fatal("fresh partition severed")
+	}
+	p.Sever()
+	if !p.Severed() {
+		t.Fatal("Sever did not take")
+	}
+	p.Heal()
+	if p.Severed() {
+		t.Fatal("Heal did not take")
+	}
+	var nilp *Partition
+	if nilp.Severed() {
+		t.Fatal("nil partition severed")
+	}
+}
+
+func TestChaosFaultKindStrings(t *testing.T) {
+	kinds := []FaultKind{FaultNone, FaultDrop, FaultDelay, FaultDup, FaultReset, FaultPartial, FaultStall}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+}

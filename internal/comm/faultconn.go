@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"errors"
+	"net"
+	"os"
+)
+
+// netError is a transport-level error: timeouts, severed connections,
+// partitions. Transport errors are transient (a retry on a fresh connection
+// may succeed); errors returned by the remote handler are not.
+type netError struct {
+	msg     string
+	timeout bool
+	wrapped error
+}
+
+func (e *netError) Error() string { return e.msg }
+func (e *netError) Timeout() bool { return e.timeout }
+func (e *netError) Unwrap() error { return e.wrapped }
+
+// RemoteError is an error the remote handler returned (an msgError frame).
+// The request reached the node and was processed; retrying it verbatim will
+// deterministically fail again.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// ErrTimeout is returned when a call exceeds its deadline.
+var ErrTimeout = &netError{msg: "comm: call timeout", timeout: true}
+
+// IsTransient reports whether err is a transport-level failure worth
+// retrying (timeout, lost/severed connection, partition) as opposed to a
+// definitive answer from the remote handler.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var rerr *RemoteError
+	return !errors.As(err, &rerr)
+}
+
+// faultConn wraps a net.Conn with seeded write faults and a partition
+// switch. Faults fire on Write because that is where the injector can sever
+// deterministically mid-frame; reads observe the consequences (peer reset,
+// partition) like a real network.
+type faultConn struct {
+	net.Conn
+	inj  *Injector
+	key  uint64
+	part *Partition
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	if f.part.Severed() {
+		f.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	return f.Conn.Read(p)
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	if f.part.Severed() {
+		f.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	switch f.inj.ConnFault(f.key) {
+	case FaultReset:
+		f.Conn.Close()
+		return 0, &netError{msg: "comm: injected connection reset", wrapped: os.ErrClosed}
+	case FaultPartial:
+		if n := len(p) / 2; n > 0 {
+			f.Conn.Write(p[:n])
+		}
+		f.Conn.Close()
+		return 0, &netError{msg: "comm: injected partial write", wrapped: os.ErrClosed}
+	case FaultStall:
+		delay(f.inj.plan.StallFor)
+	}
+	return f.Conn.Write(p)
+}

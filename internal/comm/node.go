@@ -3,22 +3,54 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // AMHandler processes an active message and returns a reply (or an error,
 // which is delivered to the caller as an error frame).
 type AMHandler func(payload []byte) ([]byte, error)
 
+// NodeConfig tunes a node's connection handling.
+type NodeConfig struct {
+	// FrameTimeout bounds how long a started frame may take to finish
+	// arriving: once the 4-byte length prefix has been read, the rest of
+	// the frame must land within this window or the connection is dropped.
+	// This is what keeps a half-open or stalled client from pinning a
+	// handler goroutine forever. 0 means the 30s default; negative
+	// disables the deadline.
+	FrameTimeout time.Duration
+	// IdleTimeout, when positive, also bounds the wait for the *next*
+	// frame, dropping connections that go silent between requests. Off by
+	// default: drivers legitimately idle between phases.
+	IdleTimeout time.Duration
+}
+
+// defaultFrameTimeout is generous: a legitimate peer streams a frame in
+// microseconds; only a stalled or half-open connection takes longer.
+const defaultFrameTimeout = 30 * time.Second
+
+func (c NodeConfig) frameTimeout() time.Duration {
+	if c.FrameTimeout == 0 {
+		return defaultFrameTimeout
+	}
+	if c.FrameTimeout < 0 {
+		return 0
+	}
+	return c.FrameTimeout
+}
+
 // Node is one endpoint of the TCP transport: it owns addressable memory
 // segments (the remote side of GET/PUT) and a table of active-message
 // handlers (the remote side of `on`-style execution). It serves any number
 // of concurrent client connections, one goroutine per connection.
 type Node struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg NodeConfig
 
 	segMu    sync.RWMutex
 	segments map[uint64][]byte
@@ -38,14 +70,20 @@ type Node struct {
 }
 
 // NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
-// test port).
+// test port) with default configuration.
 func NewNode(addr string) (*Node, error) {
+	return NewNodeConfig(addr, NodeConfig{})
+}
+
+// NewNodeConfig starts a node with explicit connection handling.
+func NewNodeConfig(addr string, cfg NodeConfig) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen: %w", err)
 	}
 	n := &Node{
 		ln:       ln,
+		cfg:      cfg,
 		segments: make(map[uint64][]byte),
 		handlers: make(map[uint16]AMHandler),
 		conns:    make(map[net.Conn]struct{}),
@@ -60,6 +98,14 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // Served returns the number of requests handled successfully.
 func (n *Node) Served() uint64 { return n.served.Load() }
+
+// OpenConns returns the number of currently served connections (tests use
+// this to assert that stalled clients are reaped).
+func (n *Node) OpenConns() int {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	return len(n.conns)
+}
 
 // Close stops the listener, severs every open connection, and waits for
 // connection goroutines to drain.
@@ -198,9 +244,9 @@ func (n *Node) serveConn(conn net.Conn) {
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 	for {
-		typ, seq, payload, err := readFrame(conn)
+		typ, seq, payload, err := n.readFrameDeadline(conn)
 		if err != nil {
-			return // peer hung up or protocol error; drop the connection
+			return // peer hung up, stalled past a deadline, or broke protocol
 		}
 		reqs.Add(1)
 		go func(typ byte, seq uint64, payload []byte) {
@@ -214,6 +260,28 @@ func (n *Node) serveConn(conn net.Conn) {
 			_ = reply(msgOK, seq, resp)
 		}(typ, seq, payload)
 	}
+}
+
+// readFrameDeadline reads one frame with the node's per-connection read
+// deadlines: the wait for a frame to *start* is bounded only by IdleTimeout
+// (usually unbounded — idle drivers are fine), but once the length prefix
+// arrives the remainder must land within FrameTimeout. A half-open peer that
+// sends a partial frame and goes silent is therefore reaped instead of
+// pinning this goroutine until process exit.
+func (n *Node) readFrameDeadline(conn net.Conn) (typ byte, seq uint64, payload []byte, err error) {
+	if n.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
+	} else {
+		conn.SetReadDeadline(time.Time{})
+	}
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(conn, lenBuf[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if ft := n.cfg.frameTimeout(); ft > 0 {
+		conn.SetReadDeadline(time.Now().Add(ft))
+	}
+	return readFrameBody(conn, lenBuf)
 }
 
 func (n *Node) dispatch(typ byte, payload []byte) ([]byte, error) {

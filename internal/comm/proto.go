@@ -44,6 +44,13 @@ func readFrame(r io.Reader) (typ byte, seq uint64, payload []byte, err error) {
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
 		return 0, 0, nil, err
 	}
+	return readFrameBody(r, lenBuf)
+}
+
+// readFrameBody reads the remainder of a frame whose length prefix has
+// already arrived (the node reads the prefix separately so it can arm a
+// fresh read deadline for the body).
+func readFrameBody(r io.Reader, lenBuf [4]byte) (typ byte, seq uint64, payload []byte, err error) {
 	total := binary.BigEndian.Uint32(lenBuf[:])
 	if total < headerLen || total > maxFrame {
 		return 0, 0, nil, fmt.Errorf("comm: invalid frame length %d", total)

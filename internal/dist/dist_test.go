@@ -232,8 +232,9 @@ func TestWriteLockSerializesDrivers(t *testing.T) {
 	defer d1.Close()
 
 	// A second "driver" shares the cluster but only manipulates the lock,
-	// holding it while d1 tries to grow.
-	if _, err := d1.clients[0].AM(amLockAcquire, nil); err != nil {
+	// holding a long lease while d1 tries to grow.
+	token, err := d1.AcquireLock()
+	if err != nil {
 		t.Fatalf("lock acquire: %v", err)
 	}
 	growDone := make(chan error, 1)
@@ -243,7 +244,7 @@ func TestWriteLockSerializesDrivers(t *testing.T) {
 		t.Fatalf("Grow completed while the WriteLock was held: %v", err)
 	case <-time.After(30 * time.Millisecond):
 	}
-	if _, err := d1.clients[0].AM(amLockRelease, nil); err != nil {
+	if err := d1.ReleaseLock(token); err != nil {
 		t.Fatalf("lock release: %v", err)
 	}
 	select {
@@ -258,8 +259,19 @@ func TestWriteLockSerializesDrivers(t *testing.T) {
 
 func TestLockReleaseWithoutAcquireFails(t *testing.T) {
 	d := newTestCluster(t, 1, 8)
-	if _, err := d.clients[0].AM(amLockRelease, nil); err == nil {
-		t.Fatal("release of unheld lock succeeded")
+	if err := d.ReleaseLock(42); err == nil {
+		t.Fatal("release of unheld token succeeded")
+	}
+	// A real acquire/release pair works, and double release fails.
+	token, err := d.AcquireLock()
+	if err != nil {
+		t.Fatalf("AcquireLock: %v", err)
+	}
+	if err := d.ReleaseLock(token); err != nil {
+		t.Fatalf("ReleaseLock: %v", err)
+	}
+	if err := d.ReleaseLock(token); err == nil {
+		t.Fatal("double release succeeded")
 	}
 }
 

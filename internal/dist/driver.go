@@ -4,47 +4,127 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"rcuarray/internal/comm"
+	"rcuarray/internal/xsync"
 )
 
+// Options tunes the driver's resilience envelope. The zero value of any
+// field selects the default in parentheses.
+type Options struct {
+	// DialTimeout bounds each connection attempt (5s).
+	DialTimeout time.Duration
+	// CallTimeout is the deadline for one control-plane RPC attempt —
+	// alloc, install, lock, stats, element read/write (2s).
+	CallTimeout time.Duration
+	// WorkloadTimeout bounds RunWorkload, which may legitimately run for
+	// a long time (0 = no deadline). Workloads are not retried: they are
+	// not idempotent.
+	WorkloadTimeout time.Duration
+	// Retries is how many times a transient RPC failure is retried after
+	// the first attempt, with jittered exponential backoff (4).
+	Retries int
+	// RetryBase/RetryMax bound the backoff between retries (5ms / 250ms).
+	RetryBase, RetryMax time.Duration
+	// LockTTL is the WriteLock lease duration. A driver that dies mid-
+	// resize stops blocking the cluster after this long (10s).
+	LockTTL time.Duration
+	// AcquireTimeout is the total budget for winning the lease, covering
+	// both contention and a predecessor's lease expiry (30s).
+	AcquireTimeout time.Duration
+	// Seed decorrelates retry jitter and, with Faults, replays a fault
+	// schedule (1).
+	Seed uint64
+	// Faults injects seeded connection faults into every driver
+	// connection, keyed by node index; Part is the partition switch.
+	// Both nil outside chaos runs.
+	Faults *comm.Injector
+	Part   *comm.Partition
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.LockTTL == 0 {
+		o.LockTTL = 10 * time.Second
+	}
+	if o.AcquireTimeout == 0 {
+		o.AcquireTimeout = 30 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
 // Driver orchestrates a distributed RCUArray: it holds the authoritative
-// block table, performs resizes with the cluster WriteLock protocol, and
-// fans workloads out to the nodes. Element data never passes through the
+// block table, performs resizes with the cluster WriteLock lease protocol,
+// and fans workloads out to the nodes. Element data never passes through the
 // driver except via the explicit Read/Write convenience accessors.
 //
 // A Driver is safe for concurrent use; resizes serialize on the remote
-// WriteLock exactly like concurrent resizers in the in-process array.
+// WriteLock exactly like concurrent resizers in the in-process array. Every
+// control-plane RPC has a deadline and bounded, idempotency-safe retries; a
+// resize that cannot reach the whole cluster aborts cleanly (tables rolled
+// back by fencing epoch, blocks freed, lease released) while reads keep
+// serving the old snapshot.
 type Driver struct {
-	clients   []*comm.Client
+	addrs     []string
 	blockSize int
+	opts      Options
 
-	mu    sync.Mutex // guards table against concurrent local mutation
+	connMu  sync.Mutex // guards clients for redial-on-failure
+	clients []*comm.Client
+
+	closeOnce sync.Once
+
+	mu    sync.Mutex // guards table/epoch against concurrent local mutation
 	table []BlockRef
-	next  int // round-robin cursor (the paper's NextLocaleId)
+	epoch uint64 // committed table version; install fan-outs carry epoch+1
+	next  int    // round-robin cursor (the paper's NextLocaleId)
 }
 
-// Connect dials the nodes, assigns ids in address order, and configures
-// each node with its identity and peer list.
+// Connect dials the nodes with default options. See ConnectOpts.
 func Connect(addrs []string, blockSize int) (*Driver, error) {
+	return ConnectOpts(addrs, blockSize, Options{})
+}
+
+// ConnectOpts dials the nodes, assigns ids in address order, and configures
+// each node with its identity and peer list.
+func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: no node addresses")
 	}
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("dist: invalid block size %d", blockSize)
 	}
-	d := &Driver{blockSize: blockSize}
+	d := &Driver{addrs: addrs, blockSize: blockSize, opts: opts.withDefaults()}
+	d.clients = make([]*comm.Client, len(addrs))
 	for i, a := range addrs {
-		c, err := comm.Dial(a)
+		c, err := comm.DialConfig(a, d.clientConfig(i))
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("dist: dialing node %d (%s): %w", i, a, err)
 		}
-		d.clients = append(d.clients, c)
+		d.clients[i] = c
 	}
-	for i, c := range d.clients {
+	for i := range d.clients {
 		req := configureReq{NodeID: uint32(i), BlockSize: uint32(blockSize), Addrs: addrs}
-		if _, err := c.AM(amConfigure, req.encode()); err != nil {
+		if _, err := d.am(i, amConfigure, req.encode()); err != nil {
 			d.Close()
 			return nil, fmt.Errorf("dist: configuring node %d: %w", i, err)
 		}
@@ -52,17 +132,103 @@ func Connect(addrs []string, blockSize int) (*Driver, error) {
 	return d, nil
 }
 
-// Close drops the driver's connections (nodes keep running).
-func (d *Driver) Close() {
-	for _, c := range d.clients {
-		if c != nil {
-			c.Close()
-		}
+func (d *Driver) clientConfig(node int) comm.ClientConfig {
+	return comm.ClientConfig{
+		DialTimeout: d.opts.DialTimeout,
+		CallTimeout: d.opts.CallTimeout,
+		Faults:      d.opts.Faults,
+		FaultKey:    uint64(node),
+		Part:        d.opts.Part,
 	}
 }
 
+// Close drops the driver's connections (nodes keep running). It is
+// idempotent and tolerates partially-completed dials.
+func (d *Driver) Close() {
+	d.closeOnce.Do(func() {
+		d.connMu.Lock()
+		clients := d.clients
+		d.clients = nil
+		d.connMu.Unlock()
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+}
+
+// client returns the current connection to a node, or nil after Close.
+func (d *Driver) client(node int) *comm.Client {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	if d.clients == nil {
+		return nil
+	}
+	return d.clients[node]
+}
+
+// redial replaces a broken connection. Concurrent redials of the same node
+// coalesce: whoever holds the lock first dials, later callers see the fresh
+// client.
+func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	if d.clients == nil {
+		return nil, fmt.Errorf("dist: driver closed")
+	}
+	if cur := d.clients[node]; cur != broken && cur != nil && !cur.Broken() {
+		return cur, nil
+	}
+	c, err := comm.DialConfig(d.addrs[node], d.clientConfig(node))
+	if err != nil {
+		return nil, err
+	}
+	if old := d.clients[node]; old != nil {
+		old.Close()
+	}
+	d.clients[node] = c
+	return c, nil
+}
+
+// am issues one control-plane RPC with deadline, bounded retries, jittered
+// exponential backoff, and redial of broken connections. Only transient
+// (transport-level) failures are retried; a remote handler's answer — even
+// an error — is definitive. Every retried RPC in the protocol is idempotent
+// by construction (request ids, fencing epochs), so "response lost after the
+// node acted" cannot double-apply.
+func (d *Driver) am(node int, handler uint16, payload []byte) ([]byte, error) {
+	backoff := xsync.Expo{
+		Base: d.opts.RetryBase,
+		Max:  d.opts.RetryMax,
+		Seed: d.opts.Seed ^ uint64(node)<<32 ^ uint64(handler),
+	}
+	var err error
+	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
+		if attempt > 0 {
+			backoff.Sleep()
+		}
+		c := d.client(node)
+		if c == nil {
+			return nil, fmt.Errorf("dist: driver closed")
+		}
+		if c.Broken() {
+			if c, err = d.redial(node, c); err != nil {
+				continue
+			}
+		}
+		var reply []byte
+		reply, err = c.CallAM(handler, payload, d.opts.CallTimeout)
+		if err == nil || !comm.IsTransient(err) {
+			return reply, err
+		}
+	}
+	return nil, fmt.Errorf("dist: node %d RPC %d failed after %d attempts: %w",
+		node, handler, d.opts.Retries+1, err)
+}
+
 // Nodes returns the cluster size.
-func (d *Driver) Nodes() int { return len(d.clients) }
+func (d *Driver) Nodes() int { return len(d.addrs) }
 
 // BlockSize returns the element capacity per block.
 func (d *Driver) BlockSize() int { return d.blockSize }
@@ -74,67 +240,167 @@ func (d *Driver) Len() int {
 	return len(d.table) * d.blockSize
 }
 
+// AcquireLock takes the cluster WriteLock lease on node 0 and returns the
+// fencing token. It retries while the lock is held, up to the configured
+// AcquireTimeout; a holder whose lease lapsed is superseded transparently.
+func (d *Driver) AcquireLock() (uint64, error) {
+	deadline := time.Now().Add(d.opts.AcquireTimeout)
+	backoff := xsync.Expo{Base: d.opts.RetryBase, Max: d.opts.RetryMax, Seed: d.opts.Seed ^ 0x10cc}
+	for {
+		reply, err := d.am(0, amLockAcquire, encodeU64(uint64(d.opts.LockTTL)))
+		if err != nil {
+			return 0, fmt.Errorf("dist: acquiring WriteLock: %w", err)
+		}
+		status, v, err := decodeLockReply(reply)
+		if err != nil {
+			return 0, fmt.Errorf("dist: malformed lock reply: %w", err)
+		}
+		if status == lockGranted {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("dist: WriteLock still held after %v (remaining lease %v)",
+				d.opts.AcquireTimeout, time.Duration(v))
+		}
+		backoff.Sleep()
+	}
+}
+
+// ReleaseLock releases the lease identified by token. Releasing a lapsed or
+// superseded token fails (the lock is no longer ours to release).
+func (d *Driver) ReleaseLock(token uint64) error {
+	_, err := d.am(0, amLockRelease, encodeU64(token))
+	return err
+}
+
+// allocated tracks one block allocation of an in-flight resize so that an
+// abort can free it.
+type allocated struct {
+	owner int
+	reqID uint64
+	ref   BlockRef
+}
+
 // Grow expands the array by at least additional elements: acquire the
-// cluster WriteLock on node 0, allocate blocks round-robin, install the new
-// table on every node in parallel, release. Concurrent node-side workloads
-// keep running throughout (their EBR sections protect each access).
+// cluster WriteLock lease on node 0, allocate blocks round-robin
+// (idempotently, keyed by request id), install the fenced new table on every
+// node in parallel, release. Concurrent node-side workloads keep running
+// throughout (their EBR sections protect each access).
+//
+// If any step cannot reach its node within the retry budget, the resize
+// aborts cleanly: installed tables are rolled back by fencing epoch,
+// allocated blocks are freed, the lease is released, and the pre-resize
+// snapshot keeps serving reads everywhere.
 func (d *Driver) Grow(additional int) error {
 	if additional <= 0 {
 		return fmt.Errorf("dist: Grow by %d", additional)
 	}
 	nBlocks := (additional + d.blockSize - 1) / d.blockSize
-
-	if _, err := d.clients[0].AM(amLockAcquire, nil); err != nil {
-		return fmt.Errorf("dist: acquiring WriteLock: %w", err)
+	if nBlocks >= 1<<20 {
+		return fmt.Errorf("dist: Grow of %d blocks exceeds the per-resize limit", nBlocks)
 	}
-	defer d.clients[0].AM(amLockRelease, nil)
+
+	token, err := d.AcquireLock()
+	if err != nil {
+		return err
+	}
 
 	d.mu.Lock()
+	oldTable := append([]BlockRef(nil), d.table...)
 	table := append([]BlockRef(nil), d.table...)
 	cursor := d.next
+	epoch := d.epoch + 1
 	d.mu.Unlock()
 
+	var allocs []allocated
+	fail := func(stage string, cause error) error {
+		d.abortResize(token, epoch, oldTable, allocs)
+		if rerr := d.ReleaseLock(token); rerr != nil {
+			// Best effort: a lapsed lease has already released itself.
+			_ = rerr
+		}
+		return fmt.Errorf("dist: resize aborted at %s: %w", stage, cause)
+	}
+
 	for i := 0; i < nBlocks; i++ {
-		owner := cursor % len(d.clients)
-		reply, err := d.clients[owner].AM(amAllocBlock, nil)
+		owner := cursor % len(d.addrs)
+		// The request id is unique per (lease token, block): a retry of
+		// this RPC reuses it, so the node cannot leak a second segment.
+		reqID := token<<20 | uint64(i)
+		reply, err := d.am(owner, amAllocBlock, encodeU64(reqID))
 		if err != nil {
-			return fmt.Errorf("dist: allocating block on node %d: %w", owner, err)
+			return fail(fmt.Sprintf("allocating block on node %d", owner), err)
 		}
 		if len(reply) != 8 {
-			return fmt.Errorf("dist: malformed alloc reply (%d bytes)", len(reply))
+			return fail("allocation", fmt.Errorf("malformed alloc reply (%d bytes)", len(reply)))
 		}
-		table = append(table, BlockRef{Node: uint32(owner), Seg: binary.BigEndian.Uint64(reply)})
+		ref := BlockRef{Node: uint32(owner), Seg: binary.BigEndian.Uint64(reply)}
+		allocs = append(allocs, allocated{owner: owner, reqID: reqID, ref: ref})
+		table = append(table, ref)
 		cursor++
 	}
 
-	if err := d.installAll(table); err != nil {
-		return err
+	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table}); err != nil {
+		return fail("install", err)
 	}
+
 	d.mu.Lock()
 	d.table = table
 	d.next = cursor
+	d.epoch = epoch
 	d.mu.Unlock()
+	if err := d.ReleaseLock(token); err != nil {
+		// The resize committed; a failed release only means the lease
+		// must lapse before the next resize. Surface nothing.
+		_ = err
+	}
 	return nil
 }
 
-// installAll replicates the table to every node in parallel — the coforall
-// of Algorithm 3 over TCP.
-func (d *Driver) installAll(table []BlockRef) error {
-	payload := encodeTable(table)
-	errs := make(chan error, len(d.clients))
-	for _, c := range d.clients {
-		c := c
+// installAll replicates the fenced table to every node in parallel — the
+// coforall of Algorithm 3 over TCP, with per-node retries.
+func (d *Driver) installAll(q installReq) error {
+	payload := q.encode()
+	errs := make(chan error, len(d.addrs))
+	for i := range d.addrs {
+		i := i
 		go func() {
-			_, err := c.AM(amInstall, payload)
+			_, err := d.am(i, amInstall, payload)
+			if err != nil {
+				err = fmt.Errorf("installing snapshot on node %d: %w", i, err)
+			}
 			errs <- err
 		}()
 	}
-	for range d.clients {
-		if err := <-errs; err != nil {
-			return fmt.Errorf("dist: installing snapshot: %w", err)
+	var firstErr error
+	for range d.addrs {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
+}
+
+// abortResize is the cleanup half of graceful degradation: roll back any
+// node that already applied the new table (same fencing token and epoch),
+// then free the blocks allocated for the failed resize. Both halves are
+// idempotent on the node side, so this is safe to run against nodes in any
+// state; nodes that are unreachable stay on whatever snapshot they hold and
+// cannot diverge the survivors.
+func (d *Driver) abortResize(token, epoch uint64, oldTable []BlockRef, allocs []allocated) {
+	payload := installReq{Fence: token, Epoch: epoch, Table: oldTable}.encode()
+	var wg sync.WaitGroup
+	for i := range d.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.am(i, amAbort, payload)
+		}(i)
+	}
+	wg.Wait()
+	for _, a := range allocs {
+		d.am(a.owner, amFreeBlock, encodeU64Pair(a.reqID, a.ref.Seg))
+	}
 }
 
 // locate maps a global element index to its block and byte offset.
@@ -147,20 +413,50 @@ func (d *Driver) locate(idx int) (BlockRef, int, error) {
 	return d.table[idx/d.blockSize], (idx % d.blockSize) * elemBytes, nil
 }
 
+// elemOp runs one element Get/Put with the same retry envelope as control-
+// plane RPCs (element reads and same-value rewrites are idempotent).
+func (d *Driver) elemOp(node int, op func(c *comm.Client) error) error {
+	backoff := xsync.Expo{Base: d.opts.RetryBase, Max: d.opts.RetryMax, Seed: d.opts.Seed ^ uint64(node)}
+	var err error
+	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
+		if attempt > 0 {
+			backoff.Sleep()
+		}
+		c := d.client(node)
+		if c == nil {
+			return fmt.Errorf("dist: driver closed")
+		}
+		if c.Broken() {
+			if c, err = d.redial(node, c); err != nil {
+				continue
+			}
+		}
+		if err = op(c); err == nil || !comm.IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
 // Read fetches element idx through the owning node.
 func (d *Driver) Read(idx int) (int64, error) {
 	ref, off, err := d.locate(idx)
 	if err != nil {
 		return 0, err
 	}
-	b, err := d.clients[ref.Node].Get(ref.Seg, off, elemBytes)
-	if err != nil {
-		return 0, err
-	}
-	return int64(binary.BigEndian.Uint64(b)), nil
+	var v int64
+	err = d.elemOp(int(ref.Node), func(c *comm.Client) error {
+		b, err := c.Get(ref.Seg, off, elemBytes)
+		if err == nil {
+			v = int64(binary.BigEndian.Uint64(b))
+		}
+		return err
+	})
+	return v, err
 }
 
-// Write stores v at element idx through the owning node.
+// Write stores v at element idx through the owning node. A nil return is an
+// acknowledgement: the write is durable on the owning node.
 func (d *Driver) Write(idx int, v int64) error {
 	ref, off, err := d.locate(idx)
 	if err != nil {
@@ -168,13 +464,15 @@ func (d *Driver) Write(idx int, v int64) error {
 	}
 	var buf [elemBytes]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
-	return d.clients[ref.Node].Put(ref.Seg, off, buf[:])
+	return d.elemOp(int(ref.Node), func(c *comm.Client) error {
+		return c.Put(ref.Seg, off, buf[:])
+	})
 }
 
 // NodeLen asks one node for its local view of the block count (replication
 // consistency checks).
 func (d *Driver) NodeLen(node int) (int, error) {
-	reply, err := d.clients[node].AM(amLen, nil)
+	reply, err := d.am(node, amLen, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -185,34 +483,51 @@ func (d *Driver) NodeLen(node int) (int, error) {
 }
 
 // RunWorkload executes the request on every node in parallel and returns
-// the per-node results in node order.
+// the per-node results in node order. Workloads are not retried (they are
+// not idempotent) and run under WorkloadTimeout, not CallTimeout.
 func (d *Driver) RunWorkload(q WorkloadReq) ([]WorkloadResp, error) {
 	payload := q.encode()
-	out := make([]WorkloadResp, len(d.clients))
-	errs := make(chan error, len(d.clients))
-	for i, c := range d.clients {
-		i, c := i, c
+	out := make([]WorkloadResp, len(d.addrs))
+	errs := make(chan error, len(d.addrs))
+	for i := range d.addrs {
+		i := i
 		go func() {
-			reply, err := c.AM(amRunWorkload, payload)
+			c := d.client(i)
+			if c == nil {
+				errs <- fmt.Errorf("dist: driver closed")
+				return
+			}
+			if c.Broken() {
+				var err error
+				if c, err = d.redial(i, c); err != nil {
+					errs <- err
+					return
+				}
+			}
+			reply, err := c.CallAM(amRunWorkload, payload, d.opts.WorkloadTimeout)
 			if err == nil {
 				out[i], err = decodeWorkloadResp(reply)
 			}
 			errs <- err
 		}()
 	}
-	for range d.clients {
-		if err := <-errs; err != nil {
-			return nil, err
+	var firstErr error
+	for range d.addrs {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
 
 // Stats collects every node's counters.
 func (d *Driver) Stats() ([]NodeStats, error) {
-	out := make([]NodeStats, len(d.clients))
-	for i, c := range d.clients {
-		reply, err := c.AM(amStats, nil)
+	out := make([]NodeStats, len(d.addrs))
+	for i := range d.addrs {
+		reply, err := d.am(i, amStats, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -37,28 +37,50 @@ type ArrayNode struct {
 	dom  ebr.Domain
 	snap atomic.Pointer[tableSnapshot]
 
-	// writeLock is the cluster lock, meaningful on node 0 only. A
-	// buffered channel holds the single token so a blocked Acquire can
-	// also observe shutdown.
-	writeLock chan struct{}
-	closing   chan struct{}
+	// Cluster WriteLock lease, meaningful on node 0 only. The lock is a
+	// lease with fencing tokens: Acquire grants a fresh monotonically
+	// increasing token valid for a TTL; when the TTL passes without a
+	// release (a crashed or partitioned driver), the next Acquire simply
+	// supersedes it. Install/Abort carry the holder's token, and every
+	// node rejects tokens below the highest it has seen, so a superseded
+	// holder cannot clobber its successor's table.
+	lockMu     sync.Mutex
+	lockFence  uint64    // monotonic token source
+	lockHolder uint64    // current token, 0 = free
+	lockExpiry time.Time // lease end for lockHolder
+
+	// Install/abort fencing and idempotency state (guarded by mu).
+	maxFence     uint64 // highest fencing token seen
+	appliedFence uint64 // (fence, epoch) of the applied table
+	appliedEpoch uint64
+
+	// allocs maps alloc request ids to segments so a retried AllocBlock
+	// returns the original segment instead of leaking a new one
+	// (guarded by mu).
+	allocs map[uint64]uint64
 
 	installs    atomic.Uint64
+	aborts      atomic.Uint64
+	fenced      atomic.Uint64
 	localBlocks atomic.Uint32
 }
 
 // NewArrayNode starts an array node listening on addr.
 func NewArrayNode(addr string) (*ArrayNode, error) {
-	srv, err := comm.NewNode(addr)
+	return NewArrayNodeConfig(addr, comm.NodeConfig{})
+}
+
+// NewArrayNodeConfig starts an array node with explicit transport tuning
+// (frame/idle read deadlines — the chaos harness shortens them).
+func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
+	srv, err := comm.NewNodeConfig(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
 	n := &ArrayNode{
-		srv:       srv,
-		writeLock: make(chan struct{}, 1),
-		closing:   make(chan struct{}),
+		srv:    srv,
+		allocs: make(map[uint64]uint64),
 	}
-	n.writeLock <- struct{}{} // lock token available
 	n.snap.Store(&tableSnapshot{})
 	n.registerHandlers()
 	return n, nil
@@ -67,9 +89,8 @@ func NewArrayNode(addr string) (*ArrayNode, error) {
 // Addr returns the node's listen address.
 func (n *ArrayNode) Addr() string { return n.srv.Addr() }
 
-// Close shuts the node down, waking any blocked lock waiters with an error.
+// Close shuts the node down; in-flight requests fail at their callers.
 func (n *ArrayNode) Close() error {
-	close(n.closing)
 	n.mu.Lock()
 	peers := n.peers
 	n.peers = nil
@@ -91,6 +112,8 @@ func (n *ArrayNode) registerHandlers() {
 	n.srv.Handle(amLockRelease, n.handleLockRelease)
 	n.srv.Handle(amRunWorkload, n.handleRunWorkload)
 	n.srv.Handle(amStats, n.handleStats)
+	n.srv.Handle(amAbort, n.handleAbort)
+	n.srv.Handle(amFreeBlock, n.handleFreeBlock)
 }
 
 func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
@@ -129,37 +152,116 @@ func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// handleAllocBlock allocates one block segment. The request id makes it
+// idempotent: a retried RPC (response lost, connection reset) returns the
+// segment the first attempt created instead of leaking a second one.
 func (n *ArrayNode) handleAllocBlock(payload []byte) ([]byte, error) {
 	if !n.configured.Load() {
 		return nil, fmt.Errorf("dist: node not configured")
 	}
-	seg := n.srv.AllocSegment(n.blockSize * elemBytes)
-	n.localBlocks.Add(1)
+	reqID, err := decodeU64(payload, "alloc request id")
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seg, ok := n.allocs[reqID]
+	if !ok {
+		seg = n.srv.AllocSegment(n.blockSize * elemBytes)
+		n.allocs[reqID] = seg
+		n.localBlocks.Add(1)
+	}
 	var w wbuf
 	w.u64(seg)
 	return w.b, nil
 }
 
+// handleFreeBlock releases a segment allocated for an aborted resize. It is
+// idempotent: freeing a segment that is already gone succeeds, so the
+// driver's best-effort cleanup can be retried safely.
+func (n *ArrayNode) handleFreeBlock(payload []byte) ([]byte, error) {
+	reqID, seg, err := decodeU64Pair(payload, "free block")
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if got, ok := n.allocs[reqID]; ok && got == seg {
+		delete(n.allocs, reqID)
+	}
+	if n.srv.FreeSegment(seg) == nil {
+		n.localBlocks.Add(^uint32(0))
+	}
+	return nil, nil
+}
+
 // handleInstall is the node-local half of Algorithm 3's coforall body under
 // EBR: clone (here: adopt the authoritative table), publish, advance the
-// epoch, wait for this node's readers, reclaim the old snapshot.
+// epoch, wait for this node's readers, reclaim the old snapshot. Fencing and
+// idempotency wrap the paper's protocol for an unreliable fabric: a stale
+// lease holder is rejected, a retried install is a no-op.
 func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 	if !n.configured.Load() {
 		return nil, fmt.Errorf("dist: node not configured")
 	}
-	table, err := decodeTable(payload)
+	q, err := decodeInstall(payload)
 	if err != nil {
 		return nil, err
 	}
 	n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
 	defer n.mu.Unlock()
+	if q.Fence < n.maxFence {
+		n.fenced.Add(1)
+		return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
+	}
+	n.maxFence = q.Fence
+	if q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch {
+		return nil, nil // retried install, already applied
+	}
+	n.replaceTableLocked(q.Table)
+	n.appliedFence = q.Fence
+	n.appliedEpoch = q.Epoch
+	n.installs.Add(1)
+	return nil, nil
+}
+
+// handleAbort rolls the table back to the pre-resize snapshot carried in the
+// request — but only if this node actually applied the aborted install;
+// nodes the install never reached (the usual reason for the abort) treat it
+// as a no-op. Stale fencing tokens are ignored rather than rolled back: the
+// superseding holder owns the table now.
+func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
+	if !n.configured.Load() {
+		return nil, fmt.Errorf("dist: node not configured")
+	}
+	q, err := decodeInstall(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q.Fence < n.maxFence {
+		n.fenced.Add(1)
+		return nil, nil
+	}
+	n.maxFence = q.Fence
+	if q.Fence != n.appliedFence || q.Epoch != n.appliedEpoch {
+		return nil, nil // the aborted install never landed here
+	}
+	n.replaceTableLocked(q.Table)
+	n.appliedEpoch = q.Epoch - 1
+	n.aborts.Add(1)
+	return nil, nil
+}
+
+// replaceTableLocked publishes a new table under EBR and reclaims the old
+// snapshot after this node's readers drain. Callers hold n.mu.
+func (n *ArrayNode) replaceTableLocked(table []BlockRef) {
 	old := n.snap.Load()
 	n.snap.Store(&tableSnapshot{table: table})
 	n.dom.Synchronize()
 	old.Retire()
 	old.table = nil // metadata poison
-	n.installs.Add(1)
-	return nil, nil
 }
 
 func (n *ArrayNode) handleLen(payload []byte) ([]byte, error) {
@@ -171,22 +273,45 @@ func (n *ArrayNode) handleLen(payload []byte) ([]byte, error) {
 	return w.b, nil
 }
 
+// handleLockAcquire grants the cluster WriteLock lease. The reply is never
+// an error frame for a held lock — "held" is a definitive answer the driver
+// backs off on, not a fault — so transports can reserve errors for actual
+// failures.
 func (n *ArrayNode) handleLockAcquire(payload []byte) ([]byte, error) {
-	select {
-	case <-n.writeLock:
-		return nil, nil
-	case <-n.closing:
-		return nil, fmt.Errorf("dist: node closing")
+	ttlNanos, err := decodeU64(payload, "lease ttl")
+	if err != nil {
+		return nil, err
 	}
+	if ttlNanos == 0 {
+		return nil, fmt.Errorf("dist: zero lease ttl")
+	}
+	now := time.Now()
+	n.lockMu.Lock()
+	defer n.lockMu.Unlock()
+	if n.lockHolder != 0 && now.Before(n.lockExpiry) {
+		return encodeLockReply(lockHeld, uint64(n.lockExpiry.Sub(now))), nil
+	}
+	// Free, or the holder's lease lapsed (crashed/partitioned driver):
+	// supersede it. The old token stays fenced out forever because tokens
+	// only grow.
+	n.lockFence++
+	n.lockHolder = n.lockFence
+	n.lockExpiry = now.Add(time.Duration(ttlNanos))
+	return encodeLockReply(lockGranted, n.lockHolder), nil
 }
 
 func (n *ArrayNode) handleLockRelease(payload []byte) ([]byte, error) {
-	select {
-	case n.writeLock <- struct{}{}:
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("dist: release of unheld lock")
+	token, err := decodeU64(payload, "release token")
+	if err != nil {
+		return nil, err
 	}
+	n.lockMu.Lock()
+	defer n.lockMu.Unlock()
+	if n.lockHolder != token || token == 0 {
+		return nil, fmt.Errorf("dist: release of unheld or superseded token %d (holder %d)", token, n.lockHolder)
+	}
+	n.lockHolder = 0
+	return nil, nil
 }
 
 func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
@@ -195,6 +320,8 @@ func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
 		Synchronize: n.dom.Synchronizes(),
 		Retries:     n.dom.Retries(),
 		LocalBlocks: n.localBlocks.Load(),
+		Aborts:      n.aborts.Load(),
+		Fenced:      n.fenced.Load(),
 	}
 	return s.encode(), nil
 }

@@ -8,13 +8,21 @@ import (
 // Active-message handler ids served by every array node.
 const (
 	amConfigure   uint16 = 10 // node id, block size, peer addresses
-	amAllocBlock  uint16 = 11 // -> segment id
-	amInstall     uint16 = 12 // new block table (RCU_Write on the node)
+	amAllocBlock  uint16 = 11 // request id -> segment id (idempotent)
+	amInstall     uint16 = 12 // fencing token, epoch, new block table (RCU_Write on the node)
 	amLen         uint16 = 13 // -> local view: #blocks
-	amLockAcquire uint16 = 14 // cluster WriteLock (node 0 only)
-	amLockRelease uint16 = 15
+	amLockAcquire uint16 = 14 // cluster WriteLock lease (node 0 only): ttl -> granted(token) | held
+	amLockRelease uint16 = 15 // token
 	amRunWorkload uint16 = 16 // execute reads/updates locally
 	amStats       uint16 = 17 // -> node counters
+	amAbort       uint16 = 18 // fencing token, epoch, rollback table (resize abort)
+	amFreeBlock   uint16 = 19 // request id, segment id (idempotent free)
+)
+
+// Lock lease acquire statuses.
+const (
+	lockGranted uint8 = 0
+	lockHeld    uint8 = 1
 )
 
 // BlockRef identifies one block: the node that owns it and the segment id
@@ -137,6 +145,14 @@ func encodeTable(table []BlockRef) []byte {
 
 func decodeTable(p []byte) ([]BlockRef, error) {
 	r := rbuf{b: p}
+	table, err := readTable(&r)
+	if err != nil {
+		return nil, err
+	}
+	return table, r.err
+}
+
+func readTable(r *rbuf) ([]BlockRef, error) {
 	n := int(r.u32())
 	if n > 1<<24 {
 		return nil, fmt.Errorf("dist: absurd table size %d", n)
@@ -145,7 +161,89 @@ func decodeTable(p []byte) ([]BlockRef, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		table = append(table, BlockRef{Node: r.u32(), Seg: r.u64()})
 	}
-	return table, r.err
+	return table, nil
+}
+
+// installReq carries a fenced, versioned table replacement. Fence is the
+// holder's lease token: a node rejects installs whose fence is below the
+// highest it has seen, so a holder whose lease expired (and was superseded)
+// cannot clobber its successor's table. Epoch is the driver's table version;
+// a retried install with the same (fence, epoch) is a no-op, making the RPC
+// idempotent under retries. amAbort uses the same shape, with Table holding
+// the rollback table.
+type installReq struct {
+	Fence uint64
+	Epoch uint64
+	Table []BlockRef
+}
+
+func (q installReq) encode() []byte {
+	var w wbuf
+	w.u64(q.Fence)
+	w.u64(q.Epoch)
+	w.b = append(w.b, encodeTable(q.Table)...)
+	return w.b
+}
+
+func decodeInstall(p []byte) (installReq, error) {
+	r := rbuf{b: p}
+	q := installReq{Fence: r.u64(), Epoch: r.u64()}
+	table, err := readTable(&r)
+	if err != nil {
+		return q, err
+	}
+	q.Table = table
+	return q, r.err
+}
+
+// encodeU64 / decodeU64 cover the single-field payloads (lease ttl,
+// release token, alloc request id).
+func encodeU64(v uint64) []byte {
+	var w wbuf
+	w.u64(v)
+	return w.b
+}
+
+func decodeU64(p []byte, what string) (uint64, error) {
+	r := rbuf{b: p}
+	v := r.u64()
+	if r.err != nil {
+		return 0, fmt.Errorf("dist: %s: %w", what, r.err)
+	}
+	return v, nil
+}
+
+// encodeU64Pair covers (request id, segment) for amFreeBlock.
+func encodeU64Pair(a, b uint64) []byte {
+	var w wbuf
+	w.u64(a)
+	w.u64(b)
+	return w.b
+}
+
+func decodeU64Pair(p []byte, what string) (uint64, uint64, error) {
+	r := rbuf{b: p}
+	a, b := r.u64(), r.u64()
+	if r.err != nil {
+		return 0, 0, fmt.Errorf("dist: %s: %w", what, r.err)
+	}
+	return a, b, nil
+}
+
+// lockReply encodes a lease-acquire response: granted carries the fencing
+// token, held carries the remaining lease in nanoseconds (a hint for the
+// retry pause).
+func encodeLockReply(status uint8, v uint64) []byte {
+	var w wbuf
+	w.u8(status)
+	w.u64(v)
+	return w.b
+}
+
+func decodeLockReply(p []byte) (status uint8, v uint64, err error) {
+	r := rbuf{b: p}
+	status, v = r.u8(), r.u64()
+	return status, v, r.err
 }
 
 // WorkloadReq asks a node to run a read or update workload locally.
@@ -229,6 +327,8 @@ type NodeStats struct {
 	Synchronize uint64 // EBR synchronize calls
 	Retries     uint64 // EBR read-side verification retries
 	LocalBlocks uint32 // blocks owned by this node
+	Aborts      uint64 // resize rollbacks applied
+	Fenced      uint64 // installs/aborts rejected for a stale fencing token
 }
 
 func (s NodeStats) encode() []byte {
@@ -237,11 +337,14 @@ func (s NodeStats) encode() []byte {
 	w.u64(s.Synchronize)
 	w.u64(s.Retries)
 	w.u32(s.LocalBlocks)
+	w.u64(s.Aborts)
+	w.u64(s.Fenced)
 	return w.b
 }
 
 func decodeStats(b []byte) (NodeStats, error) {
 	r := rbuf{b: b}
-	s := NodeStats{Installs: r.u64(), Synchronize: r.u64(), Retries: r.u64(), LocalBlocks: r.u32()}
+	s := NodeStats{Installs: r.u64(), Synchronize: r.u64(), Retries: r.u64(), LocalBlocks: r.u32(),
+		Aborts: r.u64(), Fenced: r.u64()}
 	return s, r.err
 }

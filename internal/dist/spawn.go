@@ -1,5 +1,7 @@
 package dist
 
+import "rcuarray/internal/comm"
+
 // In-process cluster bootstrap, used by tests and by cmd/rcudist's -spawn
 // mode: the nodes are real TCP listeners on loopback, so every byte crosses
 // the kernel's network stack even though they share a process.
@@ -7,20 +9,32 @@ package dist
 // SpawnLocal starts n array nodes on ephemeral loopback ports and returns
 // their addresses plus a stop function.
 func SpawnLocal(n int) (addrs []string, stop func(), err error) {
-	nodes := make([]*ArrayNode, 0, n)
+	nodes, stop, err := SpawnLocalNodes(n, comm.NodeConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, node := range nodes {
+		addrs = append(addrs, node.Addr())
+	}
+	return addrs, stop, nil
+}
+
+// SpawnLocalNodes starts n array nodes and returns their handles, so tests
+// and the chaos harness can kill individual nodes mid-protocol. stop is
+// idempotent and tolerates nodes already closed by the caller.
+func SpawnLocalNodes(n int, cfg comm.NodeConfig) (nodes []*ArrayNode, stop func(), err error) {
 	stop = func() {
 		for _, node := range nodes {
 			node.Close()
 		}
 	}
 	for i := 0; i < n; i++ {
-		node, err := NewArrayNode("127.0.0.1:0")
+		node, err := NewArrayNodeConfig("127.0.0.1:0", cfg)
 		if err != nil {
 			stop()
 			return nil, nil, err
 		}
 		nodes = append(nodes, node)
-		addrs = append(addrs, node.Addr())
 	}
-	return addrs, stop, nil
+	return nodes, stop, nil
 }

@@ -181,3 +181,47 @@ func TestStripedCounterProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExpoDeterministicAndBounded(t *testing.T) {
+	a := Expo{Base: time.Millisecond, Max: 16 * time.Millisecond, Seed: 7}
+	b := Expo{Base: time.Millisecond, Max: 16 * time.Millisecond, Seed: 7}
+	ceiling := time.Millisecond
+	for i := 0; i < 32; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < ceiling/2 || da >= ceiling {
+			t.Fatalf("step %d: %v outside [%v, %v)", i, da, ceiling/2, ceiling)
+		}
+		if ceiling < 16*time.Millisecond {
+			ceiling *= 2
+		}
+	}
+	// A different seed gives a different jitter stream.
+	c := Expo{Base: time.Millisecond, Max: 16 * time.Millisecond, Seed: 8}
+	same := true
+	a = Expo{Base: time.Millisecond, Max: 16 * time.Millisecond, Seed: 7}
+	for i := 0; i < 8; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestExpoZeroValue(t *testing.T) {
+	var e Expo
+	for i := 0; i < 20; i++ {
+		d := e.Next()
+		if d <= 0 || d > 100*time.Millisecond {
+			t.Fatalf("zero-value Next = %v", d)
+		}
+	}
+	e.Reset()
+	if d := e.Next(); d >= time.Millisecond {
+		t.Fatalf("after Reset, Next = %v, want < base", d)
+	}
+}
