@@ -231,6 +231,115 @@ func TestChaosClientCloseIdempotent(t *testing.T) {
 	}
 }
 
+// Write fencing: a Put arriving on a connection whose identity has since
+// registered a higher generation (the owner redialed past it) is rejected,
+// so a write stranded on a dead connection cannot clobber a write
+// acknowledged on its replacement. Reads stay unfenced — they are
+// idempotent — and a hello with a superseded generation fails the dial.
+func TestChaosStaleGenerationWriteFenced(t *testing.T) {
+	n, err := NewNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+	seg := n.AllocSegment(8)
+	dial := func(gen uint64) *Client {
+		c, err := DialConfig(n.Addr(), ClientConfig{Identity: 7, Generation: gen})
+		if err != nil {
+			t.Fatalf("DialConfig(gen %d): %v", gen, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	put := func(c *Client, v uint64) error {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		return c.Put(seg, 0, b[:])
+	}
+
+	c1 := dial(1)
+	if err := put(c1, 1); err != nil {
+		t.Fatalf("Put on gen 1: %v", err)
+	}
+	c2 := dial(2) // the redial that superseded c1
+	if err := put(c2, 2); err != nil {
+		t.Fatalf("Put on gen 2: %v", err)
+	}
+	err = put(c1, 3)
+	if err == nil {
+		t.Fatal("Put from a superseded generation landed")
+	}
+	var rerr *RemoteError
+	if !errors.As(err, &rerr) || IsTransient(err) {
+		t.Fatalf("fenced Put should be a definitive remote rejection, got %v", err)
+	}
+	got, err := n.LocalRead(seg, 0, 8)
+	if err != nil || binary.BigEndian.Uint64(got) != 2 {
+		t.Fatalf("acked write clobbered: segment = %v, %v", got, err)
+	}
+	// The stale connection can still read.
+	if _, err := c1.Get(seg, 0, 8); err != nil {
+		t.Fatalf("Get on superseded generation: %v", err)
+	}
+	// A fresh dial announcing a superseded generation is rejected outright.
+	if _, err := DialConfig(n.Addr(), ClientConfig{Identity: 7, Generation: 1}); err == nil {
+		t.Fatal("dial with a superseded generation succeeded")
+	}
+}
+
+// A peer that stops reading (half-open, socket buffers full) must not pin
+// sendMu — and with it every other call on the client — past the call
+// deadline: the write deadline fires, the call errors, and the poisoned
+// connection is severed so the owner redials.
+func TestChaosWriteDeadlineUnpinsSender(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.(*net.TCPConn).SetReadBuffer(8 << 10)
+			accepted <- conn // held open, never read
+		}
+	}()
+	c, err := DialConfig(ln.Addr().String(), ClientConfig{CallTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	defer c.Close()
+	c.conn.(*net.TCPConn).SetWriteBuffer(8 << 10)
+	defer func() {
+		if conn := <-accepted; conn != nil {
+			conn.Close()
+		}
+	}()
+
+	start := time.Now()
+	err = c.Put(1, 0, make([]byte, 1<<20)) // overflows the tiny buffers, blocks
+	if err == nil {
+		t.Fatal("Put into a non-reading peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("write deadline did not fire: Put returned after %v", elapsed)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("write-deadline failure not transient: %v", err)
+	}
+	// The connection was severed (a partial frame poisons the stream):
+	// later calls fail fast instead of queueing behind a pinned sendMu.
+	xsync.SpinUntil(c.Broken)
+	start = time.Now()
+	if err := c.Put(1, 0, []byte{1}); err == nil {
+		t.Fatal("Put on a severed client succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("call on severed client took %v", elapsed)
+	}
+}
+
 // Stall faults delay but do not corrupt: the call completes once the stall
 // elapses (or times out at the caller if its deadline is shorter).
 func TestChaosStallFaultDelaysWrite(t *testing.T) {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -23,6 +24,14 @@ type ClientConfig struct {
 	FaultKey uint64
 	// Part, when set, is the partition switch this connection obeys.
 	Part *Partition
+	// Identity and Generation, when Identity is nonzero, register this
+	// connection for write fencing: Dial sends a hello frame and the node
+	// thereafter rejects Puts from any connection whose generation is below
+	// the highest it has seen for the identity. Owners bump Generation on
+	// every redial, so a Put abandoned on a superseded connection cannot
+	// land after writes acknowledged on its replacement.
+	Identity   uint64
+	Generation uint64
 }
 
 // Client is one endpoint's view of a remote Node. Requests may be issued
@@ -74,6 +83,22 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
+	if cfg.Identity != 0 {
+		// Register for write fencing before the caller can issue any
+		// operation: the node must know this generation before it sees the
+		// first Put, or fencing could not order the two connections.
+		var p [16]byte
+		binary.BigEndian.PutUint64(p[:8], cfg.Identity)
+		binary.BigEndian.PutUint64(p[8:], cfg.Generation)
+		timeout := cfg.CallTimeout
+		if timeout == 0 {
+			timeout = cfg.DialTimeout
+		}
+		if _, err := c.call(msgHello, p[:], timeout); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("comm: hello %s: %w", addr, err)
+		}
+	}
 	return c, nil
 }
 
@@ -156,10 +181,22 @@ func (c *Client) call(typ byte, payload []byte, timeout time.Duration) ([]byte, 
 	}
 
 	c.sendMu.Lock()
+	// A write deadline derived from the call deadline keeps a peer that
+	// stopped reading (half-open, full socket buffers) from pinning sendMu —
+	// and with it every other call on this client — past the timeout.
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	} else {
+		c.conn.SetWriteDeadline(time.Time{})
+	}
 	c.sendBuf = frame(c.sendBuf, typ, seq, payload)
 	_, err := c.conn.Write(c.sendBuf)
 	c.sendMu.Unlock()
 	if err != nil {
+		// A failed write may have left a partial frame on the wire, which
+		// would poison the stream for every later call: sever the connection
+		// so the owner redials instead.
+		c.conn.Close()
 		c.pendingMu.Lock()
 		delete(c.pending, seq)
 		c.pendingMu.Unlock()

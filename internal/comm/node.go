@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -59,6 +60,18 @@ type Node struct {
 	handlerMu sync.RWMutex
 	handlers  map[uint16]AMHandler
 
+	// Write fencing: gens maps a client identity (from its hello frame) to
+	// the highest connection generation seen. Puts from a lower generation —
+	// a connection the client has since redialed past — are rejected, so a
+	// write abandoned on a dead connection cannot clobber a write
+	// acknowledged on its replacement. genMu is held across the generation
+	// check *and* the segment write, making the pair atomic against a newer
+	// generation registering. The map grows by one uint64 per client
+	// identity over the node's lifetime (identities are per driver
+	// connection slot, not per dial: redials reuse them).
+	genMu sync.Mutex
+	gens  map[uint64]uint64
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -86,6 +99,7 @@ func NewNodeConfig(addr string, cfg NodeConfig) (*Node, error) {
 		cfg:      cfg,
 		segments: make(map[uint64][]byte),
 		handlers: make(map[uint16]AMHandler),
+		gens:     make(map[uint64]uint64),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	n.wg.Add(1)
@@ -237,10 +251,23 @@ func (n *Node) serveConn(conn net.Conn) {
 		_, err := conn.Write(buf)
 		return err
 	}
-	// Each request runs in its own goroutine so that long-running or
-	// blocking handlers (remote lock acquisition, workload execution)
+	answer := func(seq uint64, resp []byte, herr error) {
+		if herr != nil {
+			_ = reply(msgError, seq, []byte(herr.Error()))
+			return
+		}
+		n.served.Add(1)
+		_ = reply(msgOK, seq, resp)
+	}
+	// Active messages each run in their own goroutine so that long-running
+	// or blocking handlers (remote lock acquisition, workload execution)
 	// neither stall pipelined requests on this connection nor deadlock
-	// against each other. Replies are serialized by sendMu.
+	// against each other. Data-plane frames (GET/PUT) are instead handled
+	// inline, in wire order: they are short and never block on other
+	// requests, and in-order application is what keeps a stalled-then-
+	// abandoned Put from clobbering a later acknowledged write issued on the
+	// same connection. Replies are serialized by sendMu.
+	var ident, gen uint64 // write-fencing identity, set by the hello frame
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 	for {
@@ -248,18 +275,75 @@ func (n *Node) serveConn(conn net.Conn) {
 		if err != nil {
 			return // peer hung up, stalled past a deadline, or broke protocol
 		}
-		reqs.Add(1)
-		go func(typ byte, seq uint64, payload []byte) {
-			defer reqs.Done()
-			resp, herr := n.dispatch(typ, payload)
-			if herr != nil {
-				_ = reply(msgError, seq, []byte(herr.Error()))
-				return
+		switch typ {
+		case msgHello:
+			i, g, herr := n.registerHello(payload)
+			if herr == nil {
+				ident, gen = i, g
 			}
-			n.served.Add(1)
-			_ = reply(msgOK, seq, resp)
-		}(typ, seq, payload)
+			answer(seq, nil, herr)
+		case msgGet, msgPut:
+			resp, herr := n.dispatchData(typ, payload, ident, gen)
+			answer(seq, resp, herr)
+		default:
+			reqs.Add(1)
+			go func(typ byte, seq uint64, payload []byte) {
+				defer reqs.Done()
+				resp, herr := n.dispatch(typ, payload)
+				answer(seq, resp, herr)
+			}(typ, seq, payload)
+		}
 	}
+}
+
+// registerHello records a client's write-fencing identity for this
+// connection. A hello whose generation is below the identity's current one
+// names a connection that has already been superseded; rejecting it makes
+// the dial fail fast instead of producing a client whose every Put would be
+// fenced.
+func (n *Node) registerHello(payload []byte) (ident, gen uint64, err error) {
+	if len(payload) != 16 {
+		return 0, 0, fmt.Errorf("comm: hello payload length %d, want 16", len(payload))
+	}
+	ident = binary.BigEndian.Uint64(payload)
+	gen = binary.BigEndian.Uint64(payload[8:])
+	if ident == 0 {
+		return 0, 0, errors.New("comm: hello with zero identity")
+	}
+	n.genMu.Lock()
+	defer n.genMu.Unlock()
+	if cur := n.gens[ident]; gen < cur {
+		return 0, 0, fmt.Errorf("comm: hello with superseded generation %d (current %d)", gen, cur)
+	}
+	n.gens[ident] = gen
+	return ident, gen, nil
+}
+
+// dispatchData serves one GET/PUT. Puts from a fenced connection — one whose
+// identity has registered a higher generation since — are rejected; the check
+// and the write happen under one lock so a Put can never land after a write
+// acknowledged on the successor connection. Gets are idempotent and are not
+// fenced: a stale read returns to a caller that already gave up on it.
+func (n *Node) dispatchData(typ byte, payload []byte, ident, gen uint64) ([]byte, error) {
+	if typ == msgGet {
+		seg, off, length, err := decodeGet(payload)
+		if err != nil {
+			return nil, err
+		}
+		return n.LocalRead(seg, int(off), int(length))
+	}
+	seg, off, data, err := decodePut(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ident != 0 {
+		n.genMu.Lock()
+		defer n.genMu.Unlock()
+		if cur := n.gens[ident]; gen < cur {
+			return nil, fmt.Errorf("comm: put from superseded connection generation %d (current %d)", gen, cur)
+		}
+	}
+	return nil, n.LocalWrite(seg, int(off), data)
 }
 
 // readFrameDeadline reads one frame with the node's per-connection read
@@ -284,20 +368,10 @@ func (n *Node) readFrameDeadline(conn net.Conn) (typ byte, seq uint64, payload [
 	return readFrameBody(conn, lenBuf)
 }
 
+// dispatch serves the message types that run concurrently (active messages);
+// GET/PUT/hello are handled inline by serveConn.
 func (n *Node) dispatch(typ byte, payload []byte) ([]byte, error) {
 	switch typ {
-	case msgGet:
-		seg, off, length, err := decodeGet(payload)
-		if err != nil {
-			return nil, err
-		}
-		return n.LocalRead(seg, int(off), int(length))
-	case msgPut:
-		seg, off, data, err := decodePut(payload)
-		if err != nil {
-			return nil, err
-		}
-		return nil, n.LocalWrite(seg, int(off), data)
 	case msgAM:
 		handler, data, err := decodeAM(payload)
 		if err != nil {

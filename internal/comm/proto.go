@@ -18,6 +18,7 @@ const (
 	msgGet   byte = 0x01 // payload: [8B segment][8B offset][4B length]
 	msgPut   byte = 0x02 // payload: [8B segment][8B offset][data]
 	msgAM    byte = 0x03 // payload: [2B handler][data]
+	msgHello byte = 0x04 // payload: [8B identity][8B generation] (write fencing)
 	msgOK    byte = 0x80 // payload: response data
 	msgError byte = 0x81 // payload: UTF-8 error text
 )

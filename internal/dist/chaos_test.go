@@ -338,13 +338,21 @@ func TestChaosRetriedRPCsIdempotent(t *testing.T) {
 	}
 	stats0, _ := d.Stats()
 
+	// One lease token covers the replayed alloc and install below: allocs
+	// carry their resize's fence token, and the node rejects any at or below
+	// its last install/abort milestone.
+	token, err := d.AcquireLock()
+	if err != nil {
+		t.Fatalf("AcquireLock: %v", err)
+	}
+
 	// Replay an alloc with a fixed request id twice: same segment, one
 	// allocation.
-	r1, err := d.am(0, amAllocBlock, encodeU64(0xABCD))
+	r1, err := d.am(0, amAllocBlock, encodeU64Pair(0xABCD, token))
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	r2, err := d.am(0, amAllocBlock, encodeU64(0xABCD))
+	r2, err := d.am(0, amAllocBlock, encodeU64Pair(0xABCD, token))
 	if err != nil {
 		t.Fatalf("replayed alloc: %v", err)
 	}
@@ -367,26 +375,17 @@ func TestChaosRetriedRPCsIdempotent(t *testing.T) {
 		t.Fatalf("double free skewed block count: %d, want %d", stats2[0].LocalBlocks, stats0[0].LocalBlocks)
 	}
 
-	// Replay the last install verbatim: applied exactly once.
+	// Replay the last install verbatim: applied exactly once. Idempotency
+	// keys on (fence, epoch), so install a fresh fenced pair first and then
+	// replay exactly that pair.
 	d.mu.Lock()
 	table := append([]BlockRef(nil), d.table...)
-	fence, epoch := uint64(0), d.epoch
+	epoch := d.epoch
 	d.mu.Unlock()
-	// Recover the fence the last Grow used from the node's view.
 	reply, _ := d.am(0, amStats, nil)
 	s, _ := decodeStats(reply)
 	installsBefore := s.Installs
-	// The node's appliedFence is not exposed; reuse the driver's protocol:
-	// an install with the same epoch and the same fence is a no-op. Acquire
-	// a fresh token to learn the current fence ordering, then replay with
-	// the *applied* epoch — idempotency keys on (fence, epoch), so replay
-	// the exact pair via a fresh fenced install first.
-	token, err := d.AcquireLock()
-	if err != nil {
-		t.Fatalf("AcquireLock: %v", err)
-	}
-	fence = token
-	q := installReq{Fence: fence, Epoch: epoch + 1, Table: table}
+	q := installReq{Fence: token, Epoch: epoch + 1, Table: table}
 	if _, err := d.am(0, amInstall, q.encode()); err != nil {
 		t.Fatalf("install: %v", err)
 	}
@@ -399,6 +398,121 @@ func TestChaosRetriedRPCsIdempotent(t *testing.T) {
 		t.Fatalf("replayed install applied twice: %d installs, want %d", s.Installs, installsBefore+1)
 	}
 	d.ReleaseLock(token)
+}
+
+// Regression for the straggler-install race: a timed-out install frame can
+// be delivered after the resize it belongs to was aborted. The aborted
+// (fence, epoch) pair must be tombstoned — on nodes that applied the install
+// and rolled back, and on nodes where the abort was a no-op — so the
+// straggler cannot re-install a table whose blocks the abort already freed.
+func TestChaosStragglerInstallAfterAbortRejected(t *testing.T) {
+	d, nodes := spawnChaosCluster(t, 2, 8, chaosOpts(14))
+	if err := d.Grow(16); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	oldLen := d.Len()
+
+	token, err := d.AcquireLock()
+	if err != nil {
+		t.Fatalf("AcquireLock: %v", err)
+	}
+	defer d.ReleaseLock(token)
+	d.mu.Lock()
+	oldTable := append([]BlockRef(nil), d.table...)
+	epoch := d.epoch + 1
+	d.mu.Unlock()
+
+	// Allocate one block on node 0 and build the would-be new table.
+	reply, err := d.am(0, amAllocBlock, encodeU64Pair(token<<20, token))
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	seg := binary.BigEndian.Uint64(reply)
+	newTable := append(append([]BlockRef(nil), oldTable...), BlockRef{Node: 0, Seg: seg})
+	install := installReq{Fence: token, Epoch: epoch, Table: newTable}.encode()
+
+	// The install lands on node 0 only (node 1's copy "timed out in flight").
+	if _, err := d.am(0, amInstall, install); err != nil {
+		t.Fatalf("install on node 0: %v", err)
+	}
+	// The resize aborts: rollback on node 0, no-op on node 1.
+	abort := installReq{Fence: token, Epoch: epoch, Table: oldTable}.encode()
+	for node := 0; node < 2; node++ {
+		if _, err := d.am(node, amAbort, abort); err != nil {
+			t.Fatalf("abort on node %d: %v", node, err)
+		}
+	}
+
+	// The straggler install is finally delivered — to the node that rolled
+	// back AND to the node the abort was a no-op on. Both must reject it.
+	for node := 0; node < 2; node++ {
+		_, err := d.am(node, amInstall, install)
+		if err == nil {
+			t.Fatalf("node %d applied a straggler install of an aborted resize", node)
+		}
+		if !strings.Contains(err.Error(), "aborted") {
+			t.Fatalf("node %d rejection is not the abort tombstone: %v", node, err)
+		}
+		got, err := d.NodeLen(node)
+		if err != nil {
+			t.Fatalf("NodeLen(%d): %v", node, err)
+		}
+		if got != oldLen {
+			t.Fatalf("straggler install mutated node %d: %d elements, want %d", node, got, oldLen)
+		}
+	}
+
+	// The aborted resize's block was freed by the abort (the ledger knows
+	// its fence), and the straggler's table referencing it is dead.
+	nodes[0].mu.Lock()
+	ledger := len(nodes[0].allocs)
+	nodes[0].mu.Unlock()
+	if ledger != 0 {
+		t.Fatalf("alloc ledger still holds %d entries after abort", ledger)
+	}
+	if _, err := nodes[0].srv.LocalRead(seg, 0, 1); err == nil {
+		t.Fatal("aborted resize's segment still allocated")
+	}
+}
+
+// The alloc-dedup ledger must not grow forever: entries are pruned when
+// their resize commits (install) or dies (abort), and a straggler alloc at
+// or below the node's fence milestone is rejected instead of leaking a
+// segment nobody will free.
+func TestChaosAllocLedgerPrunedAndFenced(t *testing.T) {
+	d, nodes := spawnChaosCluster(t, 2, 8, chaosOpts(15))
+	for i := 0; i < 3; i++ {
+		if err := d.Grow(8 * 2); err != nil {
+			t.Fatalf("Grow %d: %v", i, err)
+		}
+	}
+	for i, node := range nodes {
+		node.mu.Lock()
+		ledger := len(node.allocs)
+		node.mu.Unlock()
+		if ledger != 0 {
+			t.Fatalf("node %d alloc ledger holds %d entries after committed resizes", i, ledger)
+		}
+	}
+	// A straggler alloc from a long-finished resize (fence 1 is well below
+	// the last install's token) is fenced, not allocated.
+	stats0, err := d.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if _, err := d.am(0, amAllocBlock, encodeU64Pair(1<<20, 1)); err == nil {
+		t.Fatal("straggler alloc with a stale fence succeeded")
+	} else if !strings.Contains(err.Error(), "fenced") {
+		t.Fatalf("straggler alloc rejection: %v", err)
+	}
+	stats1, err := d.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats1[0].LocalBlocks != stats0[0].LocalBlocks {
+		t.Fatalf("fenced alloc still allocated: %d blocks, was %d",
+			stats1[0].LocalBlocks, stats0[0].LocalBlocks)
+	}
 }
 
 // Seeded connection faults (stalls, resets, partial writes) are absorbed by

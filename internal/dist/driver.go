@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcuarray/internal/comm"
@@ -87,8 +88,10 @@ type Driver struct {
 	blockSize int
 	opts      Options
 
-	connMu  sync.Mutex // guards clients for redial-on-failure
-	clients []*comm.Client
+	connMu    sync.Mutex // guards clients/connGen for redial-on-failure
+	clients   []*comm.Client
+	connIdent []uint64 // per-slot write-fencing identity, fixed at Connect
+	connGen   []uint64 // per-slot connection generation, bumped on redial
 
 	closeOnce sync.Once
 
@@ -103,6 +106,14 @@ func Connect(addrs []string, blockSize int) (*Driver, error) {
 	return ConnectOpts(addrs, blockSize, Options{})
 }
 
+// identSeq feeds newIdentity; the time component keeps identities from two
+// driver processes that share long-lived nodes from colliding.
+var identSeq atomic.Uint64
+
+func newIdentity() uint64 {
+	return uint64(time.Now().UnixNano())<<16 | (identSeq.Add(1) & 0xFFFF)
+}
+
 // ConnectOpts dials the nodes, assigns ids in address order, and configures
 // each node with its identity and peer list.
 func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
@@ -114,8 +125,12 @@ func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
 	}
 	d := &Driver{addrs: addrs, blockSize: blockSize, opts: opts.withDefaults()}
 	d.clients = make([]*comm.Client, len(addrs))
+	d.connIdent = make([]uint64, len(addrs))
+	d.connGen = make([]uint64, len(addrs))
 	for i, a := range addrs {
-		c, err := comm.DialConfig(a, d.clientConfig(i))
+		d.connIdent[i] = newIdentity()
+		d.connGen[i] = 1
+		c, err := d.dialNode(i)
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("dist: dialing node %d (%s): %w", i, a, err)
@@ -132,6 +147,9 @@ func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
 	return d, nil
 }
 
+// clientConfig builds the dial configuration for a node slot, carrying the
+// slot's write-fencing identity and current generation. Callers either hold
+// connMu or have exclusive access to the driver (Connect).
 func (d *Driver) clientConfig(node int) comm.ClientConfig {
 	return comm.ClientConfig{
 		DialTimeout: d.opts.DialTimeout,
@@ -139,7 +157,35 @@ func (d *Driver) clientConfig(node int) comm.ClientConfig {
 		Faults:      d.opts.Faults,
 		FaultKey:    uint64(node),
 		Part:        d.opts.Part,
+		Identity:    d.connIdent[node],
+		Generation:  d.connGen[node],
 	}
+}
+
+// dialNode performs the initial dial of one node with the same bounded-retry
+// envelope as an RPC: the dial's hello exchange crosses the faulted
+// connection too, and a single injected reset must not doom Connect.
+func (d *Driver) dialNode(node int) (*comm.Client, error) {
+	backoff := xsync.Expo{
+		Base: d.opts.RetryBase,
+		Max:  d.opts.RetryMax,
+		Seed: d.opts.Seed ^ uint64(node)<<16 ^ 0xd1a1,
+	}
+	var err error
+	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
+		if attempt > 0 {
+			backoff.Sleep()
+			d.connGen[node]++ // the failed dial may have registered its generation
+		}
+		var c *comm.Client
+		if c, err = comm.DialConfig(d.addrs[node], d.clientConfig(node)); err == nil {
+			return c, nil
+		}
+		if !comm.IsTransient(err) {
+			return nil, err
+		}
+	}
+	return nil, err
 }
 
 // Close drops the driver's connections (nodes keep running). It is
@@ -180,6 +226,11 @@ func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
 	if cur := d.clients[node]; cur != broken && cur != nil && !cur.Broken() {
 		return cur, nil
 	}
+	// Bump the write-fencing generation before dialing: once the node
+	// processes the new hello, any Put still in flight on the broken
+	// connection is rejected instead of landing after writes acknowledged
+	// on this replacement.
+	d.connGen[node]++
 	c, err := comm.DialConfig(d.addrs[node], d.clientConfig(node))
 	if err != nil {
 		return nil, err
@@ -325,9 +376,11 @@ func (d *Driver) Grow(additional int) error {
 	for i := 0; i < nBlocks; i++ {
 		owner := cursor % len(d.addrs)
 		// The request id is unique per (lease token, block): a retry of
-		// this RPC reuses it, so the node cannot leak a second segment.
+		// this RPC reuses it, so the node cannot leak a second segment. The
+		// token rides along so the node can fence straggler allocs and
+		// prune its dedup ledger once this resize commits or aborts.
 		reqID := token<<20 | uint64(i)
-		reply, err := d.am(owner, amAllocBlock, encodeU64(reqID))
+		reply, err := d.am(owner, amAllocBlock, encodeU64Pair(reqID, token))
 		if err != nil {
 			return fail(fmt.Sprintf("allocating block on node %d", owner), err)
 		}
@@ -414,7 +467,12 @@ func (d *Driver) locate(idx int) (BlockRef, int, error) {
 }
 
 // elemOp runs one element Get/Put with the same retry envelope as control-
-// plane RPCs (element reads and same-value rewrites are idempotent).
+// plane RPCs. Retrying is safe: reads are idempotent, and a write retried
+// within one logical operation rewrites the same value. Across operations,
+// the node orders writes for us — frames on one connection apply in wire
+// order, and a write stranded on a connection this driver has redialed past
+// is rejected by its superseded fencing generation — so a stalled, abandoned
+// Put can never overwrite a later acknowledged write.
 func (d *Driver) elemOp(node int, op func(c *comm.Client) error) error {
 	backoff := xsync.Expo{Base: d.opts.RetryBase, Max: d.opts.RetryMax, Seed: d.opts.Seed ^ uint64(node)}
 	var err error

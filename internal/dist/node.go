@@ -54,10 +54,22 @@ type ArrayNode struct {
 	appliedFence uint64 // (fence, epoch) of the applied table
 	appliedEpoch uint64
 
-	// allocs maps alloc request ids to segments so a retried AllocBlock
-	// returns the original segment instead of leaking a new one
+	// abortedFence/abortedEpoch tombstone the highest (fence, epoch) pair an
+	// abort has been processed for — including aborts that were no-ops here
+	// because the install never landed. A straggler or duplicate install
+	// carrying an aborted pair would otherwise pass the fence check (same
+	// token) and miss the idempotency check (the rollback moved appliedEpoch
+	// back), re-installing a table whose blocks the abort already freed
 	// (guarded by mu).
-	allocs map[uint64]uint64
+	abortedFence uint64
+	abortedEpoch uint64
+
+	// allocs maps alloc request ids to segments so a retried AllocBlock
+	// returns the original segment instead of leaking a new one. Each entry
+	// remembers the fencing token of the resize that allocated it; entries
+	// are pruned when a later install or abort proves the resize committed
+	// or died (guarded by mu).
+	allocs map[uint64]allocEntry
 
 	installs    atomic.Uint64
 	aborts      atomic.Uint64
@@ -79,7 +91,7 @@ func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
 	}
 	n := &ArrayNode{
 		srv:    srv,
-		allocs: make(map[uint64]uint64),
+		allocs: make(map[uint64]allocEntry),
 	}
 	n.snap.Store(&tableSnapshot{})
 	n.registerHandlers()
@@ -152,27 +164,42 @@ func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// allocEntry is one row of the alloc-dedup ledger: the segment a request id
+// produced and the fencing token of the resize that asked for it.
+type allocEntry struct {
+	seg   uint64
+	fence uint64
+}
+
 // handleAllocBlock allocates one block segment. The request id makes it
 // idempotent: a retried RPC (response lost, connection reset) returns the
-// segment the first attempt created instead of leaking a second one.
+// segment the first attempt created instead of leaking a second one. The
+// fence token orders the request against install/abort milestones: an alloc
+// at or below the highest fence seen is a straggler from a resize that has
+// already committed, aborted, or been superseded, and allocating for it
+// would leak a segment nobody will ever free.
 func (n *ArrayNode) handleAllocBlock(payload []byte) ([]byte, error) {
 	if !n.configured.Load() {
 		return nil, fmt.Errorf("dist: node not configured")
 	}
-	reqID, err := decodeU64(payload, "alloc request id")
+	reqID, fence, err := decodeU64Pair(payload, "alloc request")
 	if err != nil {
 		return nil, err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	seg, ok := n.allocs[reqID]
+	if fence <= n.maxFence {
+		n.fenced.Add(1)
+		return nil, fmt.Errorf("dist: alloc fenced: token %d at or below milestone %d", fence, n.maxFence)
+	}
+	e, ok := n.allocs[reqID]
 	if !ok {
-		seg = n.srv.AllocSegment(n.blockSize * elemBytes)
-		n.allocs[reqID] = seg
+		e = allocEntry{seg: n.srv.AllocSegment(n.blockSize * elemBytes), fence: fence}
+		n.allocs[reqID] = e
 		n.localBlocks.Add(1)
 	}
 	var w wbuf
-	w.u64(seg)
+	w.u64(e.seg)
 	return w.b, nil
 }
 
@@ -186,13 +213,50 @@ func (n *ArrayNode) handleFreeBlock(payload []byte) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if got, ok := n.allocs[reqID]; ok && got == seg {
+	if e, ok := n.allocs[reqID]; ok && e.seg == seg {
 		delete(n.allocs, reqID)
 	}
 	if n.srv.FreeSegment(seg) == nil {
 		n.localBlocks.Add(^uint32(0))
 	}
 	return nil, nil
+}
+
+// pruneAllocsLocked reconciles the alloc ledger with an install or abort
+// milestone at the given fence, so the ledger cannot grow for the node's
+// lifetime. Entries above the fence (a newer in-flight resize) are kept
+// untouched. For the rest, the milestone's authoritative table is ground
+// truth: a segment the table references is (or just became) a live block —
+// drop the ledger row, keep the segment — while a segment it does not
+// reference belongs to a resize that can no longer commit (a commit would
+// have installed a table containing it here), so the segment is freed. This
+// also covers blocks the driver never learned about (alloc applied, every
+// response lost): the abort's rollback table does not reference them, so
+// they are freed here instead of leaking. The driver's explicit FreeBlock
+// is idempotent against this. Callers hold n.mu, and any freed segment was
+// never part of a table published on this node, so no reader can hold a
+// reference to it.
+func (n *ArrayNode) pruneAllocsLocked(fence uint64, table []BlockRef) {
+	var live map[uint64]bool
+	for id, e := range n.allocs {
+		if e.fence > fence {
+			continue
+		}
+		if live == nil {
+			live = make(map[uint64]bool, len(table))
+			for _, ref := range table {
+				if ref.Node == n.id {
+					live[ref.Seg] = true
+				}
+			}
+		}
+		if !live[e.seg] {
+			if n.srv.FreeSegment(e.seg) == nil {
+				n.localBlocks.Add(^uint32(0))
+			}
+		}
+		delete(n.allocs, id)
+	}
 }
 
 // handleInstall is the node-local half of Algorithm 3's coforall body under
@@ -215,6 +279,14 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
 	}
 	n.maxFence = q.Fence
+	if q.Fence == n.abortedFence && q.Epoch <= n.abortedEpoch {
+		// A straggler (the client abandoned this frame on a timeout, then
+		// the resize aborted) or a duplicate: the table it carries references
+		// blocks the abort already freed, and other nodes rolled back.
+		n.fenced.Add(1)
+		return nil, fmt.Errorf("dist: install of aborted resize (token %d, epoch %d)", q.Fence, q.Epoch)
+	}
+	n.pruneAllocsLocked(q.Fence, q.Table)
 	if q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch {
 		return nil, nil // retried install, already applied
 	}
@@ -245,11 +317,38 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 		return nil, nil
 	}
 	n.maxFence = q.Fence
+	// Tombstone the aborted pair — even when the install never landed here —
+	// so a straggler install for this resize is rejected instead of applied
+	// against the freed blocks.
+	if q.Fence > n.abortedFence || (q.Fence == n.abortedFence && q.Epoch > n.abortedEpoch) {
+		n.abortedFence, n.abortedEpoch = q.Fence, q.Epoch
+	}
 	if q.Fence != n.appliedFence || q.Epoch != n.appliedEpoch {
+		n.pruneAllocsLocked(q.Fence, q.Table)
 		return nil, nil // the aborted install never landed here
 	}
+	abortedTable := n.snap.Load().table
 	n.replaceTableLocked(q.Table)
 	n.appliedEpoch = q.Epoch - 1
+	// Free the local blocks the aborted install had added — present in the
+	// table being rolled back but not in the rollback table. This runs after
+	// the rollback's Synchronize, so no local reader is still inside a
+	// section that saw the aborted table; the driver's own FreeBlock
+	// cleanup, if it arrives too, is idempotent against it.
+	live := make(map[uint64]bool, len(q.Table))
+	for _, ref := range q.Table {
+		if ref.Node == n.id {
+			live[ref.Seg] = true
+		}
+	}
+	for _, ref := range abortedTable {
+		if ref.Node == n.id && !live[ref.Seg] {
+			if n.srv.FreeSegment(ref.Seg) == nil {
+				n.localBlocks.Add(^uint32(0))
+			}
+		}
+	}
+	n.pruneAllocsLocked(q.Fence, q.Table)
 	n.aborts.Add(1)
 	return nil, nil
 }

@@ -8,7 +8,7 @@ import (
 // Active-message handler ids served by every array node.
 const (
 	amConfigure   uint16 = 10 // node id, block size, peer addresses
-	amAllocBlock  uint16 = 11 // request id -> segment id (idempotent)
+	amAllocBlock  uint16 = 11 // (request id, fence token) -> segment id (idempotent, fenced)
 	amInstall     uint16 = 12 // fencing token, epoch, new block table (RCU_Write on the node)
 	amLen         uint16 = 13 // -> local view: #blocks
 	amLockAcquire uint16 = 14 // cluster WriteLock lease (node 0 only): ttl -> granted(token) | held
@@ -197,7 +197,7 @@ func decodeInstall(p []byte) (installReq, error) {
 }
 
 // encodeU64 / decodeU64 cover the single-field payloads (lease ttl,
-// release token, alloc request id).
+// release token).
 func encodeU64(v uint64) []byte {
 	var w wbuf
 	w.u64(v)
@@ -213,7 +213,8 @@ func decodeU64(p []byte, what string) (uint64, error) {
 	return v, nil
 }
 
-// encodeU64Pair covers (request id, segment) for amFreeBlock.
+// encodeU64Pair covers the two-field payloads: (request id, fence token)
+// for amAllocBlock and (request id, segment) for amFreeBlock.
 func encodeU64Pair(a, b uint64) []byte {
 	var w wbuf
 	w.u64(a)
