@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
 # CI pipeline. Tiers are cumulative; run the highest tier you have time for.
 #
-#   ./ci.sh            tier-1   (build + full test suite, no race detector)
+#   ./ci.sh            tier-1   (build + vet + rcuvet + full test suite, no
+#                                race detector; rcuvet is the in-repo static
+#                                analysis suite — see DESIGN.md "Static
+#                                analysis")
 #   ./ci.sh race       tier-1.5 (adds go test -race over the -short subset:
 #                                every package's tests with the long stress
 #                                loops trimmed, including the lincheck
 #                                suites, under the race detector)
+#   ./ci.sh lint       lint tier: staticcheck + govulncheck at pinned
+#                                versions, installed once into .cache/toolbin
+#                                (requires network on first run; fails fast
+#                                with instructions when offline)
 #   ./ci.sh bench      perf tier: the rcubench read-scaling sweep at short
 #                                settings, emitting BENCH_PR2.json (the
 #                                amortized-EBR-read-path A/B trajectory
@@ -18,21 +25,63 @@
 #   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
+# Pinned lint-tier tool versions: bump deliberately, in their own commit.
+STATICCHECK_VERSION=2025.1
+GOVULNCHECK_VERSION=v1.1.4
+TOOLBIN="$(cd "$(dirname "$0")" && pwd)/.cache/toolbin"
+
+versions() {
+	echo "--- $1: tool versions"
+	go version
+}
+
 tier1() {
+	versions tier-1
 	echo '--- tier-1: go build ./...'
 	go build ./...
 	echo '--- tier-1: go vet ./...'
 	go vet ./...
+	echo '--- tier-1: rcuvet ./... (RCU/EBR invariant analyzers)'
+	if ! go build -o /tmp/rcuvet.ci ./cmd/rcuvet; then
+		echo 'ci: cmd/rcuvet failed to build; the static-analysis gate cannot run.' >&2
+		echo 'ci: fix the build (go build ./cmd/rcuvet) before merging.' >&2
+		exit 1
+	fi
+	/tmp/rcuvet.ci ./...
 	echo '--- tier-1: go test ./...'
 	go test ./...
 }
 
 tier15() {
+	versions tier-1.5
 	echo '--- tier-1.5: go test -race -short ./...'
 	go test -race -short ./...
 }
 
+lint() {
+	versions lint
+	mkdir -p "$TOOLBIN"
+	for tool in "staticcheck honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" \
+		"govulncheck golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"; do
+		name=${tool%% *}
+		spec=${tool#* }
+		if [ ! -x "$TOOLBIN/$name" ]; then
+			echo "--- lint: installing $spec into $TOOLBIN (one-time, cached)"
+			if ! GOBIN="$TOOLBIN" go install "$spec"; then
+				echo "ci: $name is not installed and could not be fetched (offline?)." >&2
+				echo "ci: install it manually with: GOBIN=$TOOLBIN go install $spec" >&2
+				exit 1
+			fi
+		fi
+	done
+	echo "--- lint: staticcheck ./... ($("$TOOLBIN/staticcheck" -version))"
+	"$TOOLBIN/staticcheck" ./...
+	echo "--- lint: govulncheck ./... ($("$TOOLBIN/govulncheck" -version | head -n 2 | tail -n 1))"
+	"$TOOLBIN/govulncheck" ./...
+}
+
 bench() {
+	versions bench
 	echo '--- bench: rcubench readscale -> BENCH_PR2.json'
 	go run ./cmd/rcubench -experiment readscale \
 		-locales 1 -read-tasks 1,2,4,8 -ops 65536 -reps 3 \
@@ -41,6 +90,7 @@ bench() {
 }
 
 chaos() {
+	versions chaos
 	# Fixed seed list: every run is reproducible with
 	#   go run ./cmd/rcutorture -chaos -seed N
 	CHAOS_SEEDS="1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24"
@@ -57,6 +107,7 @@ chaos() {
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) tier15 ;;
+lint) lint ;;
 bench) bench ;;
 chaos) chaos ;;
 full)
@@ -65,7 +116,7 @@ full)
 	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|full]" >&2
+	echo "usage: $0 [tier1|race|lint|bench|chaos|full]" >&2
 	exit 2
 	;;
 esac

@@ -1,0 +1,93 @@
+// Command rcuvet machine-checks this repository's RCU/EBR concurrency
+// invariants: guard pairing, atomic-access uniformity, seed-purity of the
+// deterministic test fabrics, non-copyable type discipline, and
+// fencing-token monotonicity. See DESIGN.md's "Static analysis" section for
+// the invariants each analyzer encodes.
+//
+// Usage:
+//
+//	go run ./cmd/rcuvet ./...          # whole module (what ci.sh tier-1 runs)
+//	go run ./cmd/rcuvet ./internal/dist
+//	go run ./cmd/rcuvet -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Findings are suppressed per line with `//rcuvet:ignore <reason>`; the
+// reason is mandatory (enforced by the ignorecheck analyzer) and the
+// directive also covers the line directly below it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/load"
+	"rcuarray/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rcuvet [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered = analyzers[:0]
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "rcuvet: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcuvet: %v\n", err)
+		os.Exit(2)
+	}
+	mod, err := load.Module(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcuvet: %v\n", err)
+		os.Exit(2)
+	}
+	runner := &analysis.Runner{Module: mod, Analyzers: analyzers}
+	diags, err := runner.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcuvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", mod.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rcuvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

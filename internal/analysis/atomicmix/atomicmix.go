@@ -1,0 +1,295 @@
+// Package atomicmix checks that a memory location accessed through
+// sync/atomic anywhere in the module is accessed through sync/atomic
+// everywhere: a single plain load or store of such a field races with the
+// atomic users and (on weaker memory models) can observe torn or stale
+// values invisibly to the race detector's sampling.
+//
+// The check is module-wide: the atomic accesses and the plain accesses are
+// usually in different packages (the counter lives in one layer, the
+// diagnostic read in another), which is exactly why per-package vetting
+// misses it. Typed atomics (atomic.Uint64, xsync.PaddedUint64, ...) are
+// immune by construction — their payload is unexported — so the analyzer
+// concerns itself with raw integer/pointer fields passed to the sync/atomic
+// functions.
+//
+// It also enforces the 32-bit alignment rule: a field used with 64-bit
+// sync/atomic functions must sit at an 8-byte-aligned offset under 32-bit
+// layout (first in the struct or preceded only by 8-aligned fields), or the
+// access faults on 386/arm. The Go 1.19+ escape from this rule is the typed
+// atomic.Int64/Uint64, which the repo's xsync wrappers already use; raw
+// fields remain subject to it.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rcuarray/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "check that fields accessed via sync/atomic are never accessed with plain " +
+		"loads/stores elsewhere in the module, and that 64-bit atomics are alignment-safe",
+	Run:    run,
+	Finish: finish,
+}
+
+// atomicFuncs maps sync/atomic function names to whether they are 64-bit
+// accesses (alignment-sensitive on 32-bit platforms).
+var atomicFuncs = map[string]bool{
+	"LoadInt32": false, "LoadInt64": true, "LoadUint32": false, "LoadUint64": true,
+	"LoadUintptr": false, "LoadPointer": false,
+	"StoreInt32": false, "StoreInt64": true, "StoreUint32": false, "StoreUint64": true,
+	"StoreUintptr": false, "StorePointer": false,
+	"AddInt32": false, "AddInt64": true, "AddUint32": false, "AddUint64": true,
+	"AddUintptr": false,
+	"SwapInt32":  false, "SwapInt64": true, "SwapUint32": false, "SwapUint64": true,
+	"SwapUintptr": false, "SwapPointer": false,
+	"CompareAndSwapInt32": false, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": false, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": false, "CompareAndSwapPointer": false,
+}
+
+// access records one use of a field.
+type access struct {
+	pos   token.Pos
+	write bool
+}
+
+// fieldState accumulates a field's module-wide access profile.
+type fieldState struct {
+	obj    *types.Var
+	atomic []access
+	plain  []access
+	// sixtyFour is set when the field is used with a 64-bit atomic op.
+	sixtyFour bool
+	// owner is a struct type the field was observed in (for alignment).
+	owner *types.Struct
+}
+
+type stateKey struct{}
+
+func states(pass *analysis.Pass) map[*types.Var]*fieldState {
+	s, ok := pass.Shared()[stateKey{}].(map[*types.Var]*fieldState)
+	if !ok {
+		s = make(map[*types.Var]*fieldState)
+		pass.Shared()[stateKey{}] = s
+	}
+	return s
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	st := states(pass)
+
+	get := func(obj *types.Var) *fieldState {
+		fs := st[obj]
+		if fs == nil {
+			fs = &fieldState{obj: obj}
+			st[obj] = fs
+		}
+		return fs
+	}
+
+	// atomicArgs collects the &x.f nodes that appear as the address
+	// argument of a sync/atomic call, so the second walk can tell an
+	// atomic use from a plain one.
+	atomicArgs := make(map[ast.Expr]bool)
+
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			is64, known := atomicFuncs[sel.Sel.Name]
+			if !known || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			obj, owner := fieldOf(info, target)
+			if obj == nil {
+				return true
+			}
+			atomicArgs[target] = true
+			fs := get(obj)
+			fs.atomic = append(fs.atomic, access{pos: call.Pos(), write: sel.Sel.Name[0] != 'L'})
+			if is64 {
+				fs.sixtyFour = true
+			}
+			if owner != nil && fs.owner == nil {
+				fs.owner = owner
+			}
+			return true
+		})
+	}
+
+	// Second walk: every other read/write of eligible fields.
+	for _, file := range pass.Files() {
+		var assignLHS map[ast.Expr]bool
+		assignLHS = make(map[ast.Expr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					assignLHS[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				assignLHS[ast.Unparen(stmt.X)] = true
+			}
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch expr.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			if atomicArgs[expr] {
+				return true
+			}
+			obj, _ := fieldOf(info, expr)
+			if obj == nil || !eligible(obj.Type()) {
+				return true
+			}
+			get(obj).plain = append(get(obj).plain, access{pos: expr.Pos(), write: assignLHS[expr]})
+			// Don't descend into a matched selector: x.f's x would
+			// otherwise be revisited as an Ident.
+			_, isSel := expr.(*ast.SelectorExpr)
+			return !isSel
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves expr to a struct field (or package-level var) object,
+// returning the owning struct type when known.
+func fieldOf(info *types.Info, expr ast.Expr) (*types.Var, *types.Struct) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		selection, ok := info.Selections[e]
+		if !ok || selection.Kind() != types.FieldVal {
+			// Could be a qualified package-level var (pkg.V).
+			if obj, ok := info.Uses[e.Sel].(*types.Var); ok && !obj.IsField() {
+				return obj, nil
+			}
+			return nil, nil
+		}
+		obj, _ := selection.Obj().(*types.Var)
+		if obj == nil {
+			return nil, nil
+		}
+		recv := selection.Recv()
+		for {
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+				continue
+			}
+			break
+		}
+		if named, ok := recv.(*types.Named); ok {
+			recv = named.Underlying()
+		}
+		owner, _ := recv.(*types.Struct)
+		return obj, owner
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && packageLevel(obj) {
+			return obj, nil
+		}
+	}
+	return nil, nil
+}
+
+// packageLevel reports whether v is a package-scoped variable (atomic
+// discipline on locals is meaningless — they are unshared until they
+// escape, and escape analysis is out of scope here).
+func packageLevel(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// eligible reports whether t is a type raw sync/atomic functions operate on.
+func eligible(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr,
+			types.UnsafePointer:
+			return true
+		}
+	case *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func finish(f *analysis.Finish) error {
+	st, _ := f.Shared()[stateKey{}].(map[*types.Var]*fieldState)
+	// Deterministic order for output and tests.
+	var fields []*fieldState
+	for _, fs := range st {
+		fields = append(fields, fs)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].obj.Pos() < fields[j].obj.Pos() })
+	for _, fs := range fields {
+		if len(fs.atomic) == 0 {
+			continue
+		}
+		for _, p := range fs.plain {
+			kind := "read"
+			if p.write {
+				kind = "write"
+			}
+			f.Reportf(p.pos, "plain %s of %s, which is accessed atomically (e.g. %s): all accesses to an atomic location must go through sync/atomic",
+				kind, fs.obj.Name(), f.Module.Fset.Position(fs.atomic[0].pos))
+		}
+		if fs.sixtyFour && fs.obj.IsField() && fs.owner != nil {
+			if off, ok := offset32(fs.owner, fs.obj); ok && off%8 != 0 {
+				f.Reportf(fs.atomic[0].pos, "64-bit atomic access to field %s at 32-bit offset %d: not 8-byte aligned on 386/arm; move it to the front of the struct or use atomic.Uint64/Int64",
+					fs.obj.Name(), off)
+			}
+		}
+	}
+	return nil
+}
+
+// offset32 computes the field's byte offset in owner under 32-bit (gc/386)
+// struct layout.
+func offset32(owner *types.Struct, field *types.Var) (int64, bool) {
+	sizes := types.SizesFor("gc", "386")
+	n := owner.NumFields()
+	vars := make([]*types.Var, n)
+	idx := -1
+	for i := 0; i < n; i++ {
+		vars[i] = owner.Field(i)
+		if vars[i] == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	defer func() { recover() }() // Offsetsof panics on exotic types; skip then
+	offsets := sizes.Offsetsof(vars)
+	return offsets[idx], true
+}

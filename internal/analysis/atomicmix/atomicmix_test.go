@@ -1,0 +1,21 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, atomicmix.Analyzer, "atomicmix_flag", "atomicmix_clean")
+}
+
+// TestAtomicmixCrossPackage loads the publishing and the consuming package
+// into one module: the plain read lives in a different package from every
+// atomic access, which is the case per-package vetting cannot see.
+func TestAtomicmixCrossPackage(t *testing.T) {
+	analysistest.RunTogether(t, analysistest.TestData(t), atomicmix.Analyzer,
+		"atomicmix_state", "atomicmix_user")
+}

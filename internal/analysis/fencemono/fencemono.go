@@ -1,0 +1,263 @@
+// Package fencemono checks the fencing-token discipline of the distributed
+// protocol (internal/dist, internal/comm): fencing tokens, lock fences, and
+// connection generations are monotonic, and stale holders are rejected by
+// ORDER, never by identity. The concrete rules:
+//
+//  1. equality-reject: an `if` that rejects a request (returns a non-nil
+//     error) must not gate on `tok != milestone` / `tok == milestone` when
+//     both sides are fencing-token-ish values. Inequality accepts any stale
+//     token that merely differs from the current one; the documented
+//     discipline is "reject tok <= milestone" (or `<`, where equality is
+//     the idempotent-replay case). Identity fields — holders, request ids —
+//     are exempt: exact-match is their correct semantics.
+//
+//  2. milestone writes: an assignment to a monotonic milestone field
+//     (maxFence, lockFence, *Milestone*) must be an increment (the token
+//     source) or be preceded, in the same function, by an ordering
+//     comparison against that same field — the shape that guarantees the
+//     field never moves backwards. Explicit decrements are always flagged.
+//
+//  3. leased-state writes: fields that exist only under the WriteLock lease
+//     (lockHolder, lockExpiry) may be written only in functions that
+//     perform a lease check (an expiry comparison or a holder test);
+//     writing leased state unconditionally is how a stale holder's state
+//     survives its own eviction.
+//
+// The rules are name-driven (fence/token/generation; holder/expiry;
+// maxFence/lockFence/milestone) — the same vocabulary DESIGN.md's fault
+// model section uses — so the analyzer and the documentation stay one
+// glossary.
+package fencemono
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"rcuarray/internal/analysis"
+)
+
+// Analyzer is the fencemono analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "fencemono",
+	Doc: "check fencing-token monotonicity in internal/dist and internal/comm: ordered " +
+		"(not equality) rejection of stale tokens, guarded milestone writes, and " +
+		"lease-checked writes to leased state",
+	Run: run,
+}
+
+var (
+	tokenish       = regexp.MustCompile(`(?i)(fence|token|generation|^gen$|milestone)`)
+	identityish    = regexp.MustCompile(`(?i)(holder|id$|key$|applied|aborted)`)
+	milestoneField = regexp.MustCompile(`(?i)(^maxfence$|^lockfence$|milestone)`)
+	leasedField    = regexp.MustCompile(`(?i)(^lockholder$|^lockexpiry$)`)
+	leaseCheckName = regexp.MustCompile(`(?i)(holder|expir|lease)`)
+)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgIs(pass.Pkg.Types, "dist") && !analysis.PkgIs(pass.Pkg.Types, "comm") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Files() {
+		analysis.FuncScopes(file, func(node ast.Node, body *ast.BlockStmt) {
+			checkEqualityRejects(pass, info, body)
+			checkMilestoneWrites(pass, info, body)
+			checkLeasedWrites(pass, info, body)
+		})
+	}
+	return nil
+}
+
+// exprName returns the rightmost name of an identifier or selector.
+func exprName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+// isUnsigned reports whether e is an unsigned-integer-typed expression
+// (fencing tokens and generations are uint64s; excluding strings and
+// structs keeps the name heuristic from firing on unrelated code).
+func isUnsigned(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+// tokenOperand reports whether e names a fencing-token-ish value that is
+// subject to the ordering discipline (not an identity field).
+func tokenOperand(info *types.Info, e ast.Expr) bool {
+	name := exprName(e)
+	return name != "" && tokenish.MatchString(name) && !identityish.MatchString(name) && isUnsigned(info, e)
+}
+
+// rejectsWithError reports whether the if-body's dominant action is
+// returning a non-nil error (the reject shape).
+func rejectsWithError(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			continue
+		}
+		last := ret.Results[len(ret.Results)-1]
+		if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		tv, ok := info.Types[last]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+		if iface, ok := tv.Type.Underlying().(*types.Interface); ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEqualityRejects implements rule 1.
+func checkEqualityRejects(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || !rejectsWithError(info, ifStmt.Body) {
+			return true
+		}
+		ast.Inspect(ifStmt.Cond, func(m ast.Node) bool {
+			bin, ok := m.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if tokenOperand(info, bin.X) && tokenOperand(info, bin.Y) {
+				pass.Reportf(bin.Pos(), "fencing token rejected by %s: inequality admits stale tokens; the discipline is ordered rejection (reject tok <= milestone)", bin.Op)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkMilestoneWrites implements rule 2.
+func checkMilestoneWrites(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	// Collect the milestone field names that appear in ordering
+	// comparisons anywhere in this function.
+	ordered := make(map[string]bool)
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if name := exprName(side); milestoneField.MatchString(name) {
+					ordered[name] = true
+				}
+			}
+		}
+		return true
+	})
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.IncDecStmt:
+			if name := exprName(stmt.X); milestoneField.MatchString(name) && stmt.Tok == token.DEC {
+				pass.Reportf(stmt.Pos(), "monotonic field %s decremented: fencing milestones only move forward", name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				name := exprName(lhs)
+				if !milestoneField.MatchString(name) {
+					continue
+				}
+				switch stmt.Tok {
+				case token.ADD_ASSIGN:
+					continue // increment: the token source
+				case token.SUB_ASSIGN:
+					pass.Reportf(stmt.Pos(), "monotonic field %s decremented: fencing milestones only move forward", name)
+					continue
+				}
+				// Self-referential RHS (x = x + 1, x = max(x, v)) is a
+				// guarded shape on its own.
+				if i < len(stmt.Rhs) && mentionsName(stmt.Rhs[i], name) {
+					continue
+				}
+				if !ordered[name] {
+					pass.Reportf(stmt.Pos(), "write to monotonic field %s without an ordering check against its current value in this function: a stale token can move the milestone backwards", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mentionsName reports whether expr contains an identifier/selector with
+// the given rightmost name.
+func mentionsName(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && exprName(e) == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLeasedWrites implements rule 3.
+func checkLeasedWrites(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	hasLeaseCheck := false
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				for _, side := range []ast.Expr{v.X, v.Y} {
+					if leaseCheckName.MatchString(exprName(side)) {
+						hasLeaseCheck = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				// Method calls that encapsulate the check (expired(),
+				// holdsLease(), Before(expiry)...).
+				if leaseCheckName.MatchString(name) || strings.Contains(name, "Before") || strings.Contains(name, "After") {
+					for _, arg := range append([]ast.Expr{sel.X}, v.Args...) {
+						if leaseCheckName.MatchString(exprName(arg)) {
+							hasLeaseCheck = true
+						}
+					}
+					if leaseCheckName.MatchString(name) {
+						hasLeaseCheck = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			name := exprName(lhs)
+			if leasedField.MatchString(name) && !hasLeaseCheck {
+				pass.Reportf(assign.Pos(), "write to leased state %s in a function with no lease check: a superseded holder could overwrite the live lease", name)
+			}
+		}
+		return true
+	})
+}

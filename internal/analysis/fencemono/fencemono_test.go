@@ -1,0 +1,13 @@
+package fencemono_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/fencemono"
+)
+
+func TestFencemono(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fencemono.Analyzer,
+		"dist", "fencemono_outside")
+}

@@ -1,0 +1,13 @@
+package guardpair_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/guardpair"
+)
+
+func TestGuardpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), guardpair.Analyzer,
+		"guardpair_flag", "guardpair_clean", "guardpair_ignore")
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		reason string
+	}{
+		{"//rcuvet:ignore wall-clock assert", true, "wall-clock assert"},
+		{"//rcuvet:ignore", true, ""},
+		{"//rcuvet:ignore\t tabbed reason", true, "tabbed reason"},
+		{"//rcuvet:ignoreX not a directive", false, ""},
+		{"// rcuvet:ignore spaced prefix is not a directive", false, ""},
+		{"// plain comment", false, ""},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(0, c.text)
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q): ok=%v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if ok && d.Reason != c.reason {
+			t.Errorf("ParseDirective(%q): reason=%q, want %q", c.text, d.Reason, c.reason)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package ignorecheck polices the escape hatch itself: every
+// //rcuvet:ignore directive must carry a reason. A bare ignore silences a
+// diagnostic without recording why, which is how suppressed findings decay
+// into latent bugs; the reason requirement turns each suppression into
+// reviewable documentation.
+//
+// The framework cooperates: ignore directives are incapable of suppressing
+// ignorecheck's own diagnostics, so `//rcuvet:ignore` followed by
+// `//rcuvet:ignore because I said so` cannot launder a bare ignore.
+package ignorecheck
+
+import (
+	"strings"
+
+	"rcuarray/internal/analysis"
+)
+
+// Analyzer is the ignorecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "ignorecheck",
+	Doc:          "reject //rcuvet:ignore directives that do not state a reason",
+	IncludeTests: true,
+	Run:          run,
+}
+
+// minReason is the shortest acceptable reason: long enough to force a
+// word, short enough not to bikeshed.
+const minReason = 8
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files() {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := analysis.ParseDirective(c.Pos(), c.Text)
+				if !ok {
+					continue
+				}
+				reason := strings.TrimSpace(d.Reason)
+				switch {
+				case reason == "":
+					pass.Reportf(c.Pos(), "bare //rcuvet:ignore: state the reason the finding is a false positive (e.g. //rcuvet:ignore wall-clock assert, not replayed)")
+				case len(reason) < minReason:
+					pass.Reportf(c.Pos(), "//rcuvet:ignore reason %q is too short to document anything: say why the finding does not apply", reason)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package ignorecheck_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/ignorecheck"
+)
+
+func TestIgnorecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ignorecheck.Analyzer,
+		"ignorecheck_flag")
+}

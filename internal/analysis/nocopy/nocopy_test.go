@@ -1,0 +1,13 @@
+package nocopy_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/nocopy"
+)
+
+func TestNocopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nocopy.Analyzer,
+		"nocopy_flag", "nocopy_clean")
+}

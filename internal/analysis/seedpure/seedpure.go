@@ -1,0 +1,190 @@
+// Package seedpure checks the determinism contract of the repo's seeded
+// test fabrics: inside the deterministic domains, every decision must be a
+// pure function of the seed, so that `-seed N` replays byte-for-byte. The
+// domains are:
+//
+//   - internal/check — the linearizability checker and schedule driver
+//     (test files included: the lincheck suites are the replayable part);
+//   - every lincheck_test.go file in any package;
+//   - internal/workload — the seeded index/value streams the drivers and
+//     the distributed workload both consume;
+//   - internal/comm's fault-decision files (fault.go, fabric.go) — the
+//     Injector's schedule must be a pure function of (seed, key, n); the
+//     files that *apply* the decided delays to wall clocks (delay.go,
+//     faultconn.go) are intentionally outside the domain.
+//
+// Inside a domain file the analyzer forbids:
+//
+//   - importing math/rand or math/rand/v2 (only the SplitMix64-style
+//     seeded generators owned by the domain are allowed);
+//   - calling time.Now, time.Since, or time.Until (wall-clock values must
+//     not feed decisions; time.Sleep merely yields and is allowed);
+//   - ranging over a map, whose iteration order is randomized per run —
+//     unless the loop is the benign collect-keys idiom (a body consisting
+//     solely of `s = append(s, k)`) or ignores the iteration variables
+//     entirely, both of which are order-insensitive.
+//
+// Wall-clock use that genuinely cannot influence replay (one-sided "did
+// this op block?" observations) is suppressed with an annotated
+// //rcuvet:ignore, which doubles as documentation of why it is safe.
+package seedpure
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"rcuarray/internal/analysis"
+)
+
+// Analyzer is the seedpure analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedpure",
+	Doc: "forbid wall-clock reads, math/rand, and map-iteration-order dependence " +
+		"inside the deterministic (seed-replayable) domains",
+	IncludeTests: true,
+	Run:          run,
+}
+
+// commDecisionFiles are the comm files whose logic must be seed-pure.
+var commDecisionFiles = map[string]bool{
+	"fault.go":  true,
+	"fabric.go": true,
+}
+
+// DeterministicPackages lists the package short names that are deterministic
+// domains in full (every non-generated file). Exported so the drift test in
+// this package's test suite can compare the list against the tree.
+var DeterministicPackages = []string{"check", "workload"}
+
+// DeterministicFile reports whether the file (identified by its package
+// import path and base filename) belongs to the deterministic domain. The
+// same function drives both the analyzer and the import-drift regression
+// test, so the two cannot disagree.
+func DeterministicFile(pkgPath, filename string) bool {
+	base := filepath.Base(filename)
+	for _, name := range DeterministicPackages {
+		if analysis.PathIs(pkgPath, name) {
+			return true
+		}
+	}
+	if analysis.PathIs(pkgPath, "comm") && commDecisionFiles[base] {
+		return true
+	}
+	return base == "lincheck_test.go"
+}
+
+// forbiddenImports maps import paths to the reason they are banned.
+var forbiddenImports = map[string]string{
+	"math/rand":    "unseeded (or globally seeded) randomness breaks -seed replay; use the domain's SplitMix64 streams",
+	"math/rand/v2": "unseeded (or globally seeded) randomness breaks -seed replay; use the domain's SplitMix64 streams",
+}
+
+// forbiddenTimeCalls are the time package functions that read wall clocks.
+var forbiddenTimeCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Files() {
+		filename := pass.Fset().Position(file.Package).Filename
+		if !DeterministicFile(pass.Pkg.Path, filename) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if reason, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic domain: %s", path, reason)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := timeCall(info, node); ok {
+					pass.Reportf(node.Pos(), "time.%s in deterministic domain: wall-clock values must not feed seed-replayable decisions", name)
+				}
+			case *ast.RangeStmt:
+				if isMapRange(info, node) && !orderInsensitive(info, node) {
+					pass.Reportf(node.Pos(), "map iteration in deterministic domain: iteration order is randomized per run; collect the keys and sort them")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeCall reports whether call is one of the forbidden time functions.
+func timeCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !forbiddenTimeCalls[sel.Sel.Name] {
+		return "", false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderInsensitive recognizes the two benign map-range shapes:
+//
+//	for k := range m { s = append(s, k) }   // collect then sort
+//	for range m { n++ }                     // iteration vars unused
+func orderInsensitive(info *types.Info, r *ast.RangeStmt) bool {
+	// Iteration variables ignored entirely: order cannot matter.
+	if r.Key == nil && r.Value == nil {
+		return true
+	}
+	keyBlank := r.Key == nil || isBlank(r.Key)
+	valBlank := r.Value == nil || isBlank(r.Value)
+	if keyBlank && valBlank {
+		return true
+	}
+	// Exactly `s = append(s, k)` with the key as the only appended value.
+	if !valBlank {
+		return false
+	}
+	if len(r.Body.List) != 1 {
+		return false
+	}
+	assign, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || info.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	lhs, ok2 := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	arg, ok3 := ast.Unparen(call.Args[1]).(*ast.Ident)
+	key, ok4 := ast.Unparen(r.Key).(*ast.Ident)
+	if !ok || !ok2 || !ok3 || !ok4 {
+		return false
+	}
+	return dst.Name == lhs.Name && arg.Name == key.Name
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

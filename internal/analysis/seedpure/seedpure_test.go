@@ -1,0 +1,89 @@
+package seedpure_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/seedpure"
+)
+
+func TestSeedpure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seedpure.Analyzer,
+		"check", "comm", "seedpure_lincheck", "seedpure_clean")
+}
+
+// TestDeterministicDomainDrift is the import-drift regression test: it walks
+// the REAL tree with the same seedpure.DeterministicFile predicate the
+// analyzer uses and fails if any in-domain file imports math/rand — even
+// when rcuvet itself was not run. It also fails if a deterministic package
+// disappears, which forces the domain list to track renames.
+func TestDeterministicDomainDrift(t *testing.T) {
+	root := moduleRoot(t)
+	for _, name := range seedpure.DeterministicPackages {
+		dir := filepath.Join(root, "internal", name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("deterministic package internal/%s not found at %s: update seedpure.DeterministicPackages", name, dir)
+		}
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkgPath := "rcuarray/" + filepath.ToSlash(filepath.Dir(rel))
+		if !seedpure.DeterministicFile(pkgPath, path) {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == "math/rand" || ip == "math/rand/v2" {
+				t.Errorf("%s imports %s inside the deterministic domain: -seed replay is broken", rel, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

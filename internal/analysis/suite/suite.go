@@ -1,0 +1,26 @@
+// Package suite assembles the full rcuvet analyzer set. It exists apart
+// from the framework so that individual analyzer tests do not build their
+// siblings, while cmd/rcuvet and the self-check test share one registry.
+package suite
+
+import (
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/atomicmix"
+	"rcuarray/internal/analysis/fencemono"
+	"rcuarray/internal/analysis/guardpair"
+	"rcuarray/internal/analysis/ignorecheck"
+	"rcuarray/internal/analysis/nocopy"
+	"rcuarray/internal/analysis/seedpure"
+)
+
+// All returns the rcuvet analyzers in their canonical order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		guardpair.Analyzer,
+		atomicmix.Analyzer,
+		seedpure.Analyzer,
+		nocopy.Analyzer,
+		fencemono.Analyzer,
+		ignorecheck.Analyzer,
+	}
+}

@@ -1,0 +1,24 @@
+package suite_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/suite"
+)
+
+func TestAllWellFormed(t *testing.T) {
+	all := suite.All()
+	if len(all) < 5 {
+		t.Fatalf("suite.All() returned %d analyzers; the tentpole promises at least five", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,32 @@
+// Package atomicmix_clean is the negative case: typed atomics and
+// consistently-atomic raw fields produce no diagnostics.
+package atomicmix_clean
+
+import (
+	"sync/atomic"
+
+	"xsync"
+)
+
+type stats struct {
+	hits atomic.Uint64
+	pad  xsync.PaddedUint64
+	raw  uint64
+}
+
+func bump(s *stats) {
+	s.hits.Add(1)
+	s.pad.Inc()
+	atomic.AddUint64(&s.raw, 1)
+}
+
+func read(s *stats) uint64 {
+	return s.hits.Load() + s.pad.Load() + atomic.LoadUint64(&s.raw)
+}
+
+// local atomics on unshared stack values are out of scope.
+func scratch() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	return n
+}

@@ -1,0 +1,16 @@
+package atomicmix_flag
+
+// snapshot reads hits without atomics: races with bump.
+func snapshot(c *counters) uint64 {
+	return c.hits // want "plain read of hits"
+}
+
+// reset writes hits without atomics: can tear under the atomic adders.
+func reset(c *counters) {
+	c.hits = 0 // want "plain write of hits"
+}
+
+// drain reads the package-level atomic location plainly.
+func drain() int64 {
+	return global // want "plain read of global"
+}

@@ -1,0 +1,21 @@
+// Package atomicmix_flag mixes atomic and plain access to the same fields
+// across two files; every plain touch must be flagged.
+package atomicmix_flag
+
+import "sync/atomic"
+
+// counters deliberately puts a uint32 before the 64-bit field so the 32-bit
+// layout misaligns it.
+type counters struct {
+	mode uint32
+	hits uint64
+}
+
+// global is a package-level location under atomic discipline.
+var global int64
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1) // want "64-bit atomic access to field hits at 32-bit offset 4"
+	atomic.StoreUint32(&c.mode, 2)
+	atomic.AddInt64(&global, 1)
+}

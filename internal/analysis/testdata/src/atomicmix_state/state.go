@@ -1,0 +1,12 @@
+// Package atomicmix_state publishes a location under atomic discipline; the
+// plain access lives in the importing package atomicmix_user — the
+// cross-package case per-package vetting cannot see.
+package atomicmix_state
+
+import "sync/atomic"
+
+// Seq is the published sequence number; all access must be atomic.
+var Seq uint64
+
+// Advance bumps the sequence.
+func Advance() uint64 { return atomic.AddUint64(&Seq, 1) }

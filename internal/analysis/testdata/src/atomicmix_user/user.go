@@ -1,0 +1,9 @@
+// Package atomicmix_user reads another package's atomic location plainly.
+package atomicmix_user
+
+import "atomicmix_state"
+
+// Peek races with atomicmix_state.Advance.
+func Peek() uint64 {
+	return atomicmix_state.Seq // want "plain read of Seq"
+}

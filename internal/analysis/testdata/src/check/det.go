@@ -1,0 +1,48 @@
+// Package check shadows the repo's deterministic checker package name so the
+// seedpure fixtures land inside the deterministic domain.
+package check
+
+import (
+	"math/rand" // want "import of math/rand in deterministic domain"
+	"time"
+)
+
+// Jitter mixes two determinism sins: global randomness and a wall clock.
+func Jitter() int64 {
+	return rand.Int63() + time.Now().UnixNano() // want "time.Now in deterministic domain"
+}
+
+// Sum depends on map iteration order through floating-point-free but
+// still order-visible accumulation of side effects below.
+func Sum(m map[int]int, visit func(int)) int {
+	total := 0
+	for k, v := range m { // want "map iteration in deterministic domain"
+		visit(k)
+		total += v
+	}
+	return total
+}
+
+// Keys is the benign collect-then-sort idiom and must not be flagged.
+func Keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Count ignores the iteration variables entirely; order cannot matter.
+func Count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Stamp documents a sanctioned wall-clock read with the escape hatch.
+func Stamp() int64 {
+	//rcuvet:ignore one-sided observation for logging; the value never feeds a replayable decision
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+package check
+
+import "time"
+
+// elapsed proves the analyzer sees _test.go files in the deterministic
+// domain: the lincheck suites are the replayable part.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in deterministic domain"
+}

@@ -1,0 +1,9 @@
+package comm
+
+import "time"
+
+// Apply lives outside the deterministic domain (delay.go applies decisions
+// to wall clocks), so its time.Now is allowed.
+func Apply(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}

@@ -1,0 +1,17 @@
+// Package comm shadows the repo's transport package name; only the
+// fault-decision files (fault.go, fabric.go) are in the deterministic
+// domain.
+package comm
+
+// Schedule decides per-key fault outcomes; its map walk is order-visible
+// because the budget mutates as it goes.
+func Schedule(keys map[string]int, budget int) map[string]bool {
+	out := make(map[string]bool)
+	for k, n := range keys { // want "map iteration in deterministic domain"
+		if budget > 0 && n > 0 {
+			out[k] = true
+			budget--
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package dist
+
+// installOrdered follows the discipline: ordered reject, then write.
+func (n *node) installOrdered(fence uint64) error {
+	if fence <= n.maxFence {
+		return errStale
+	}
+	n.maxFence = fence
+	return nil
+}
+
+// bump is the token source; increments are always monotone.
+func (n *node) bump() uint64 {
+	n.lockFence++
+	return n.lockFence
+}
+
+// bumpBy is the compound-assignment increment.
+func (n *node) bumpBy(d uint64) {
+	n.lockFence += d
+}
+
+// selfMax is the self-referential guarded shape.
+func (n *node) selfMax(f uint64) {
+	n.maxFence = max(n.maxFence, f)
+}
+
+// release clears leased state under a holder identity check — identity is
+// the correct semantics for holders, and it doubles as the lease check.
+func (n *node) release(token uint64) error {
+	if token != n.lockHolder {
+		return errStale
+	}
+	n.lockHolder = 0
+	n.lockExpiry = 0
+	return nil
+}
+
+// renew extends the lease after an expiry comparison.
+func (n *node) renew(now, dur uint64) {
+	if now < n.lockExpiry {
+		n.lockExpiry = now + dur
+	}
+}
+
+// replay is idempotent replay: equality on the applied marker is identity,
+// not ordering, and the real reject below it is ordered.
+func (n *node) replay(fence uint64) error {
+	if fence == n.appliedFence {
+		return nil
+	}
+	if fence <= n.maxFence {
+		return errStale
+	}
+	n.maxFence = fence
+	return nil
+}

@@ -1,0 +1,59 @@
+// Package dist shadows the repo's distributed-protocol package name so the
+// fencemono rules apply to these fixtures. This file breaks each rule; the
+// sibling clean.go holds the sanctioned shapes.
+package dist
+
+import "errors"
+
+var errStale = errors.New("stale token")
+
+type node struct {
+	maxFence     uint64
+	lockFence    uint64
+	lockHolder   uint64
+	lockExpiry   uint64
+	appliedFence uint64
+}
+
+// validate rejects by inequality: any stale token that merely differs from
+// the current fence gets through the `==`-shaped acceptance everywhere else.
+func (n *node) validate(fence uint64) error {
+	if fence != n.maxFence { // want "fencing token rejected by !="
+		return errStale
+	}
+	return nil
+}
+
+// validateEq is the mirrored mistake.
+func (n *node) validateEq(fence uint64) error {
+	if fence == n.maxFence { // want "fencing token rejected by =="
+		return errStale
+	}
+	return nil
+}
+
+// install overwrites the milestone with no ordering guard: a stale token
+// moves it backwards.
+func (n *node) install(fence uint64) {
+	n.maxFence = fence // want "write to monotonic field maxFence without an ordering check"
+}
+
+// rollback moves the fence backwards explicitly.
+func (n *node) rollback() {
+	n.lockFence-- // want "monotonic field lockFence decremented"
+}
+
+// rewind is the compound-assignment decrement.
+func (n *node) rewind(delta uint64) {
+	n.lockFence -= delta // want "monotonic field lockFence decremented"
+}
+
+// evict writes leased state with no lease check in sight.
+func (n *node) evict() {
+	n.lockHolder = 0 // want "write to leased state lockHolder"
+}
+
+// extend renews the lease expiry without checking the lease.
+func (n *node) extend(now uint64) {
+	n.lockExpiry = now + 100 // want "write to leased state lockExpiry"
+}

@@ -1,0 +1,20 @@
+// Package fencemono_outside uses the forbidden shapes OUTSIDE
+// internal/dist and internal/comm; fencemono is scoped to the protocol
+// packages and must stay silent here.
+package fencemono_outside
+
+import "errors"
+
+type cache struct {
+	genFence   uint64
+	lockHolder uint64
+}
+
+func (c *cache) check(token uint64) error {
+	if token != c.genFence {
+		return errors.New("mismatch")
+	}
+	c.genFence = token
+	c.lockHolder = 0
+	return nil
+}

@@ -1,0 +1,59 @@
+// Package guardpair_flag holds the positive cases for the guardpair
+// analyzer: every pattern here leaks, double-releases, or leaks-on-panic a
+// read-side guard.
+package guardpair_flag
+
+import (
+	"ebr"
+	"qsbr"
+)
+
+// discarded drops the guard on the floor: the reader never exits.
+func discarded(d *ebr.Domain) {
+	d.Enter() // want "guard discarded"
+}
+
+// discardedBlank is the same leak spelled with an underscore.
+func discardedBlank(d *ebr.Domain) {
+	_ = d.Enter() // want "guard discarded"
+}
+
+// noDefer releases the guard, but a panic in work() leaks it.
+func noDefer(d *ebr.Domain, work func()) {
+	g := d.EnterSlot(3) // want "guard released without defer"
+	work()
+	g.Exit()
+}
+
+// conditionalExit has exit calls on several paths, none deferred.
+func conditionalExit(d *ebr.Domain, ok bool) {
+	g := d.Enter() // want "guard released without defer"
+	if !ok {
+		g.Exit()
+		return
+	}
+	g.Exit()
+}
+
+// neverExits takes the guard and forgets it.
+func neverExits(d *ebr.Domain) uint64 {
+	g := d.Enter() // want "guard is never released"
+	return g.Epoch()
+}
+
+// doubleRelease defers the exit and then exits again on the early-return
+// path: the defer fires on top of the direct call.
+func doubleRelease(d *ebr.Domain, ok bool) {
+	g := d.Enter()
+	defer g.Exit()
+	if !ok {
+		g.Exit() // want "released both by defer and by a direct Exit"
+		return
+	}
+}
+
+// registerDiscarded throws away a QSBR participant, which stalls
+// reclamation for the whole domain.
+func registerDiscarded(d *qsbr.Domain) {
+	d.Register() // want "qsbr participant discarded"
+}

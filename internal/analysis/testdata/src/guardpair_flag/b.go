@@ -1,0 +1,59 @@
+package guardpair_flag
+
+import "ebr"
+
+// holder demonstrates the escape cases; guards must stay in the function
+// that entered the critical section.
+type holder struct {
+	g ebr.Guard
+}
+
+// returned hands the guard to the caller.
+func returned(d *ebr.Domain) ebr.Guard {
+	return d.Enter() // want "guard returned from acquiring function"
+}
+
+// returnedVar does the same through a variable.
+func returnedVar(d *ebr.Domain) ebr.Guard {
+	g := d.Enter()
+	return g // want "guard returned"
+}
+
+// stored parks the guard in a struct field.
+func stored(d *ebr.Domain, h *holder) {
+	g := d.Enter()
+	h.g = g // want "guard stored in a struct field"
+	_ = h
+}
+
+// storedLiteral parks the guard in a composite literal.
+func storedLiteral(d *ebr.Domain) {
+	g := d.Enter()
+	h := holder{g: g} // want "guard stored in a composite literal"
+	_ = h
+}
+
+// passed sends the guard to another function by value.
+func passed(d *ebr.Domain, sink func(ebr.Guard)) {
+	g := d.Enter()
+	sink(g) // want "guard passed to another function"
+}
+
+// passedDirect sends the fresh guard to another function.
+func passedDirect(d *ebr.Domain, sink func(ebr.Guard)) {
+	sink(d.Enter()) // want "guard passed to another function"
+}
+
+// captured lets a goroutine carry the guard away.
+func captured(d *ebr.Domain) {
+	g := d.Enter()
+	go func() { // want "guard captured by a function literal"
+		g.Exit()
+	}()
+}
+
+// varDecl acquires through a var declaration and never exits.
+func varDecl(d *ebr.Domain) {
+	var g = d.Enter() // want "guard is never released"
+	_ = g
+}

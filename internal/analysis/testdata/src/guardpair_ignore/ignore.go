@@ -1,0 +1,14 @@
+// Package guardpair_ignore exercises the //rcuvet:ignore escape hatch: the
+// violation below is real but annotated, so guardpair must stay silent.
+package guardpair_ignore
+
+import "ebr"
+
+// measured releases without defer on purpose: the enclosing benchmark
+// measures the exact exit cost and must not pay for a defer frame.
+func measured(d *ebr.Domain, work func()) {
+	//rcuvet:ignore benchmark measures bare Exit cost; work() is panic-free by construction
+	g := d.Enter()
+	work()
+	g.Exit()
+}

@@ -1,0 +1,20 @@
+// Package ignorecheck_flag carries malformed and well-formed ignore
+// directives; only the malformed ones are flagged, and no amount of
+// ignoring can silence ignorecheck itself.
+package ignorecheck_flag
+
+import "time"
+
+// A suppression with no reason decays into a latent bug:
+// want-next "bare"
+//rcuvet:ignore
+
+// A token reason documents nothing:
+// want-next "too short"
+//rcuvet:ignore meh
+
+// A documented suppression is the sanctioned form (and actually works —
+// the time.Now below is in no deterministic domain anyway).
+//
+//rcuvet:ignore wall-clock observation only, never fed into replayable decisions
+func now() int64 { return time.Now().UnixNano() }

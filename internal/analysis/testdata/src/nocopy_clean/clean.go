@@ -1,0 +1,43 @@
+// Package nocopy_clean moves non-copyable values only in the sanctioned
+// ways: fresh values, pointers, and index-based iteration.
+package nocopy_clean
+
+import "ebr"
+
+type session struct {
+	pin ebr.Pinned
+	id  int
+}
+
+// open hands out a fresh value: constructors may return by value before
+// first use, exactly like copylocks allows.
+func open(d *ebr.Domain, id int) session {
+	return session{pin: d.Pin(0, 16), id: id}
+}
+
+// assignFresh copies a call result, which is a brand-new value.
+func assignFresh(d *ebr.Domain) {
+	g := d.Enter()
+	g.Exit()
+}
+
+// use takes the pointer.
+func use(s *session) int { return s.id }
+
+// total iterates by index; no element copies.
+func total(ss []session) int {
+	sum := 0
+	for i := range ss {
+		sum += ss[i].id
+	}
+	return sum
+}
+
+// byPointer ranges over pointers; copying a *session is fine.
+func byPointer(ss []*session) int {
+	sum := 0
+	for _, s := range ss {
+		sum += s.id
+	}
+	return sum
+}

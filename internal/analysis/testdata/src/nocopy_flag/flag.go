@@ -1,0 +1,78 @@
+// Package nocopy_flag copies non-copyable values in every way the nocopy
+// analyzer knows about.
+package nocopy_flag
+
+import (
+	"sync"
+
+	"ebr"
+)
+
+// session embeds a pinned read session, so the containment closure makes it
+// non-copyable too.
+type session struct {
+	pin ebr.Pinned
+	id  int
+}
+
+// tracker records ids; a tracker must not be copied after first use.
+type tracker struct {
+	ids []int
+}
+
+// lockbox holds a mutex; copylocks-style containment applies.
+type lockbox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue should use a pointer receiver.
+func (s session) byValue() int { return s.id } // want "method byValue passes nocopy_flag.session by value"
+
+// size should use a pointer receiver: the doc contract on tracker is the
+// analyzer configuration.
+func (t tracker) size() int { return len(t.ids) } // want "method size passes nocopy_flag.tracker by value"
+
+// dup copies a live guard out of its double-exit latch.
+func dup(g *ebr.Guard) {
+	g2 := *g // want "assignment copies ebr.Guard by value"
+	_ = g2
+}
+
+// alias copies a session twice: dereference and var-to-var.
+func alias(s *session) {
+	t := *s // want "assignment copies nocopy_flag.session by value"
+	u := t  // want "assignment copies nocopy_flag.session by value"
+	_ = u
+}
+
+// unbox copies the mutex along with its container.
+func unbox(b *lockbox) {
+	c := *b // want "assignment copies nocopy_flag.lockbox by value"
+	_ = c
+}
+
+func sink(session) {}
+
+// feed passes a live session by value.
+func feed(s *session) {
+	sink(*s) // want "call argument copies nocopy_flag.session by value"
+}
+
+// drain copies each element into the range variable.
+func drain(ss []session) int {
+	total := 0
+	for _, s := range ss { // want "range clause copies nocopy_flag.session by value"
+		total += s.id
+	}
+	return total
+}
+
+type wrapper struct {
+	inner session
+}
+
+// wrap copies a live session into a composite literal.
+func wrap(s *session) *wrapper {
+	return &wrapper{inner: *s} // want "composite literal copies nocopy_flag.session by value"
+}

@@ -1,0 +1,24 @@
+// Package prcu is a typed stub of rcuarray/internal/prcu for analyzer
+// tests.
+package prcu
+
+import "ebr"
+
+// Domain is a stub predicate-striped domain.
+type Domain struct {
+	stripes []*ebr.Domain
+}
+
+// Guard is a stub predicate guard.
+type Guard struct {
+	inner ebr.Guard
+}
+
+// New returns a stub domain.
+func New(stripes int) *Domain { return &Domain{} }
+
+// Enter begins a stub predicate read-side section.
+func (d *Domain) Enter(pred uint64) Guard { return Guard{} }
+
+// Exit ends the stub section.
+func (g *Guard) Exit() {}

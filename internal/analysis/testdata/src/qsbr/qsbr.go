@@ -1,0 +1,21 @@
+// Package qsbr is a typed stub of rcuarray/internal/qsbr for analyzer
+// tests.
+package qsbr
+
+// Domain is a stub QSBR domain.
+type Domain struct{}
+
+// Participant is a stub participant.
+type Participant struct{ d *Domain }
+
+// New returns a stub domain.
+func New() *Domain { return &Domain{} }
+
+// Register adds a stub participant.
+func (d *Domain) Register() *Participant { return &Participant{d: d} }
+
+// Unregister removes a stub participant.
+func (d *Domain) Unregister(p *Participant) {}
+
+// Checkpoint announces stub quiescence.
+func (p *Participant) Checkpoint() int { return 0 }

@@ -1,0 +1,16 @@
+// Package seedpure_clean is outside every deterministic domain: wall clocks
+// and math/rand are fine here.
+package seedpure_clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Sample(m map[int]int) (int, int64) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total + rand.Intn(10), time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+// Package seedpure_lincheck shows that any file named lincheck_test.go is
+// in the deterministic domain regardless of its package.
+package seedpure_lincheck
+
+import "time"
+
+func replaySensitive() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic domain"
+}

@@ -1,0 +1,17 @@
+// Package xsync is a typed stub of rcuarray/internal/xsync for analyzer
+// tests.
+package xsync
+
+import "sync/atomic"
+
+// PaddedUint64 is a stub padded atomic counter (the real one owns its cache
+// line; containment is what matters to the analyzers).
+type PaddedUint64 struct {
+	v atomic.Uint64
+}
+
+// Load loads the counter.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Inc increments the counter.
+func (p *PaddedUint64) Inc() uint64 { return p.v.Add(1) }

@@ -156,7 +156,7 @@ func (d *Driver) StillRunning(task int, wait time.Duration) bool {
 	if !ts.running {
 		return false
 	}
-	deadline := time.Now().Add(wait)
+	deadline := time.Now().Add(wait) //rcuvet:ignore one-sided wall-clock wait: only asserts an op stayed blocked, never replayed
 	for time.Now().Before(deadline) {
 		if ts.completed.Load() {
 			return false

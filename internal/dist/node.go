@@ -365,8 +365,8 @@ func (n *ArrayNode) replaceTableLocked(table []BlockRef) {
 
 func (n *ArrayNode) handleLen(payload []byte) ([]byte, error) {
 	g := n.dom.Enter()
+	defer g.Exit()
 	blocks := len(n.snap.Load().table)
-	g.Exit()
 	var w wbuf
 	w.u32(uint32(blocks))
 	return w.b, nil
@@ -494,37 +494,41 @@ func (n *ArrayNode) runTask(q WorkloadReq, task uint32, remote *atomic.Uint64) e
 	var stream *workload.IndexStream
 	lastCap := 0
 	for op := uint64(0); op < q.OpsPerTask; op++ {
-		g := n.dom.Enter()
-		snap := n.snap.Load()
-		snap.CheckLive()
-		capacity := len(snap.table) * n.blockSize
-		if capacity == 0 {
-			g.Exit()
-			return fmt.Errorf("dist: workload on empty array")
-		}
-		switch {
-		case q.Disjoint:
-			if fixedHi > capacity {
-				g.Exit()
-				return fmt.Errorf("dist: disjoint range [%d,%d) exceeds capacity %d",
-					fixedLo, fixedHi, capacity)
+		// The read section lives in its own closure so the guard exit is
+		// deferred: CheckLive panics on a poisoned snapshot, and a bare
+		// Exit after it would leak the reader and wedge Synchronize.
+		ref, off, err := func() (BlockRef, int, error) {
+			g := n.dom.Enter()
+			defer g.Exit()
+			snap := n.snap.Load()
+			snap.CheckLive()
+			capacity := len(snap.table) * n.blockSize
+			if capacity == 0 {
+				return BlockRef{}, 0, fmt.Errorf("dist: workload on empty array")
 			}
-			if stream == nil {
-				stream = workload.NewIndexStreamRange(workload.Pattern(q.Pattern), seed, fixedLo, fixedHi)
+			switch {
+			case q.Disjoint:
+				if fixedHi > capacity {
+					return BlockRef{}, 0, fmt.Errorf("dist: disjoint range [%d,%d) exceeds capacity %d",
+						fixedLo, fixedHi, capacity)
+				}
+				if stream == nil {
+					stream = workload.NewIndexStreamRange(workload.Pattern(q.Pattern), seed, fixedLo, fixedHi)
+				}
+			case stream == nil:
+				stream = workload.NewIndexStream(workload.Pattern(q.Pattern), seed, capacity)
+			case capacity != lastCap:
+				stream.SetN(capacity)
 			}
-		case stream == nil:
-			stream = workload.NewIndexStream(workload.Pattern(q.Pattern), seed, capacity)
-		case capacity != lastCap:
-			stream.SetN(capacity)
+			lastCap = capacity
+			idx := stream.Next()
+			return snap.table[idx/n.blockSize], (idx % n.blockSize) * elemBytes, nil
+		}()
+		if err != nil {
+			return err
 		}
-		lastCap = capacity
-		idx := stream.Next()
-		ref := snap.table[idx/n.blockSize]
-		off := (idx % n.blockSize) * elemBytes
-		g.Exit()
 		// The block reference outlives the section: blocks are stable
 		// across grows, exactly as in the in-process array.
-		var err error
 		if ref.Node == n.id {
 			err = n.localOp(ref.Seg, off, q.Update, int64(op))
 		} else {

@@ -150,7 +150,7 @@ func (g *Guard) Exit() {
 
 // Epoch returns the guard's linearized epoch. Torture tests correlate it
 // with snapshot identity.
-func (g Guard) Epoch() uint64 { return g.epoch }
+func (g *Guard) Epoch() uint64 { return g.epoch }
 
 // Read runs fn inside a read-side critical section on stripe 0. It is the
 // λ-application convenience corresponding to RCU_Read lines 14–16. The exit

@@ -70,8 +70,9 @@ func (d *Domain) Enter(pred uint64) Guard {
 	return Guard{inner: d.stripe(pred).Enter()}
 }
 
-// Exit ends the section.
-func (g Guard) Exit() { g.inner.Exit() }
+// Exit ends the section. Pointer receiver: a value receiver would latch the
+// double-exit check on a copy and let an unbalanced Exit pair go unnoticed.
+func (g *Guard) Exit() { g.inner.Exit() }
 
 // Synchronize waits only for readers whose predicate collides with pred —
 // the whole point of PRCU. On return, data matching pred that was unlinked

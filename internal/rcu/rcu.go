@@ -38,11 +38,13 @@ type EBRFlavor struct {
 	Domain *ebr.Domain
 }
 
-// ReadSection enters/exits the collective epoch counters around fn.
+// ReadSection enters/exits the collective epoch counters around fn. The
+// exit is deferred so a panicking fn cannot leak the reader and wedge every
+// later Synchronize.
 func (f EBRFlavor) ReadSection(fn func()) {
 	g := f.Domain.Enter()
+	defer g.Exit()
 	fn()
-	g.Exit()
 }
 
 // Retire waits for all pre-existing readers, then frees.

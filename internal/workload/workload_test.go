@@ -62,6 +62,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestPatternString(t *testing.T) {
+	//rcuvet:ignore order-independent table test: each entry asserts in isolation, no cross-iteration state
 	for p, want := range map[Pattern]string{
 		Random: "random", Sequential: "sequential", Zipfian: "zipfian", Pattern(9): "Pattern(9)",
 	} {
