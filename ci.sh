@@ -22,6 +22,11 @@
 #                                cluster: connection-fault storms, node
 #                                kills mid-resize, partitions, stale lease
 #                                holders) plus go test -run Chaos -race
+#   ./ci.sh obs        observability tier: the rcubench enabled-vs-disabled
+#                                read-path A/B, emitting BENCH_PR5.json with
+#                                the full metrics snapshot embedded; fails if
+#                                enabling observability costs the read path
+#                                more than 10%
 #   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
@@ -89,6 +94,15 @@ bench() {
 		-out BENCH_PR2.json
 }
 
+obs() {
+	versions obs
+	echo '--- obs: rcubench observability overhead A/B -> BENCH_PR5.json'
+	go run ./cmd/rcubench -experiment obs \
+		-locales 2 -tasks 4 -ops 131072 -reps 3 \
+		-capacity 65536 -block 1024 \
+		-out BENCH_PR5.json -max-overhead 10
+}
+
 chaos() {
 	versions chaos
 	# Fixed seed list: every run is reproducible with
@@ -109,6 +123,7 @@ tier1) tier1 ;;
 race) tier15 ;;
 lint) lint ;;
 bench) bench ;;
+obs) obs ;;
 chaos) chaos ;;
 full)
 	tier1
@@ -116,7 +131,7 @@ full)
 	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|lint|bench|chaos|full]" >&2
+	echo "usage: $0 [tier1|race|lint|bench|obs|chaos|full]" >&2
 	exit 2
 	;;
 esac

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|all")
 		localesArg = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
 		tasks      = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
 		ops        = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
@@ -48,7 +48,8 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
 		readTasks  = flag.String("read-tasks", "1,2,4,8", "comma-separated tasks-per-locale sweep for readscale")
 		pinBudget  = flag.Int("pin-budget", 0, "pinned-session op budget for readscale (0 = default)")
-		out        = flag.String("out", "", "write readscale results as JSON to this file (in addition to the table)")
+		out        = flag.String("out", "", "write readscale/obs results as JSON to this file (in addition to the table)")
+		maxOverhead = flag.Float64("max-overhead", 0, "obs: exit nonzero if enabled overhead exceeds this percentage (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -185,6 +186,43 @@ func main() {
 		}
 	}
 
+	// The obs experiment is the observability A/B: identical read storms
+	// with the global enable switch off then on, the enabled run's metric
+	// snapshot embedded in the JSON artifact, and an optional CI gate on
+	// the measured overhead.
+	runObs := func() {
+		res := harness.RunObsOverhead(harness.ObsOverheadConfig{
+			Locales:        locales[len(locales)-1],
+			TasksPerLocale: *tasks,
+			OpsPerTask:     *ops,
+			Capacity:       *capacity,
+			BlockSize:      *blockSize,
+			Pattern:        workload.Sequential,
+			Seed:           *seed,
+			Repetitions:    *reps,
+		})
+		res.Format(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := res.EncodeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if *maxOverhead > 0 && res.OverheadPct > *maxOverhead {
+			fmt.Fprintf(os.Stderr, "rcubench: observability overhead %.2f%% exceeds budget %.2f%%\n",
+				res.OverheadPct, *maxOverhead)
+			os.Exit(1)
+		}
+	}
+
 	order := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "rw", "zipf"}
 	var toRun []string
 	switch {
@@ -196,9 +234,12 @@ func main() {
 	case *experiment == "readscale":
 		runReadScale()
 		return
+	case *experiment == "obs":
+		runObs()
+		return
 	default:
 		if _, ok := experiments[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, all)\n",
+			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}

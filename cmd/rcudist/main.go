@@ -21,7 +21,11 @@ import (
 	"strings"
 	"time"
 
+	"net"
+	"net/http"
+
 	"rcuarray/internal/dist"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
 
@@ -39,8 +43,31 @@ func main() {
 		callTO   = flag.Duration("call-timeout", 0, "per-RPC timeout (0 = 2s default)")
 		retries  = flag.Int("retries", 0, "retry budget for transient RPC failures (0 = default)")
 		lockTTL  = flag.Duration("lock-ttl", 0, "write-lock lease duration (0 = 10s default)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the driver's /metrics, /debug/vars and /debug/trace on this address")
+		traceOut    = flag.String("trace-out", "", "write the driver's Chrome trace-event JSON here on exit (open in Perfetto)")
 	)
 	flag.Parse()
+
+	// Observability: the driver reports into the process-default registry;
+	// either flag flips the global enable switch.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.SetEnabled(true)
+		reg = obs.Default
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("rcudist: metrics listener: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, reg.Handler()); err != nil {
+				log.Printf("rcudist: metrics server: %v", err)
+			}
+		}()
+	}
 
 	pat, ok := map[string]workload.Pattern{
 		"random": workload.Random, "sequential": workload.Sequential, "zipfian": workload.Zipfian,
@@ -69,6 +96,7 @@ func main() {
 		Retries:     *retries,
 		LockTTL:     *lockTTL,
 		Seed:        *seed,
+		Obs:         reg,
 	})
 	if err != nil {
 		log.Fatalf("rcudist: %v", err)
@@ -142,4 +170,18 @@ func main() {
 			i, s.LocalBlocks, s.Installs, s.Synchronize, s.Retries)
 	}
 	fmt.Printf("final capacity: %d elements\n", d.Len())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("rcudist: trace out: %v", err)
+		}
+		if err := reg.Tracer().WriteTrace(f); err != nil {
+			log.Fatalf("rcudist: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("rcudist: closing trace: %v", err)
+		}
+		fmt.Printf("wrote %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+	}
 }

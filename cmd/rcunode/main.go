@@ -16,18 +16,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
+	"rcuarray/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	frameTO := flag.Duration("frame-timeout", 0, "max time a started frame may take to arrive (0 = 30s default, negative = disabled)")
 	idleTO := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/trace on this address (enables observability)")
 	flag.Parse()
 
 	node, err := dist.NewArrayNodeConfig(*listen, comm.NodeConfig{
@@ -38,6 +42,20 @@ func main() {
 		log.Fatalf("rcunode: %v", err)
 	}
 	fmt.Printf("rcunode listening on %s\n", node.Addr())
+
+	if *metricsAddr != "" {
+		obs.SetEnabled(true)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("rcunode: metrics listener: %v", err)
+		}
+		fmt.Printf("rcunode metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, node.Obs().Handler()); err != nil {
+				log.Printf("rcunode: metrics server: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -21,10 +21,12 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
 
@@ -44,14 +46,20 @@ func (s chaosScenario) String() string {
 	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease"}[s]
 }
 
-func chaosTorture(seed uint64, rounds int) bool {
+func chaosTorture(seed uint64, rounds int, obsDump bool) bool {
 	ok := true
 	for round := 0; round < rounds; round++ {
 		rseed := taskSeed(seed, roleChaos, uint64(round))
 		scenario := chaosScenario(rseed % uint64(numChaosScenarios))
 		fmt.Printf("=== chaos round %d/%d: scenario %s (round seed %d) ===\n",
 			round+1, rounds, scenario, rseed)
-		if err := chaosRound(scenario, rseed); err != nil {
+		// Each round gets a fresh driver-side registry so a dump shows only
+		// the failing round's counters and trace rings.
+		var reg *obs.Registry
+		if obsDump {
+			reg = obs.NewRegistry()
+		}
+		if err := chaosRound(scenario, rseed, reg); err != nil {
 			fmt.Printf("  FAIL: %v\n", err)
 			ok = false
 		}
@@ -59,7 +67,7 @@ func chaosTorture(seed uint64, rounds int) bool {
 	return ok
 }
 
-func chaosRound(scenario chaosScenario, seed uint64) error {
+func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr error) {
 	opts := dist.Options{
 		CallTimeout:    300 * time.Millisecond,
 		Retries:        4,
@@ -68,6 +76,7 @@ func chaosRound(scenario chaosScenario, seed uint64) error {
 		LockTTL:        2 * time.Second,
 		AcquireTimeout: 10 * time.Second,
 		Seed:           seed,
+		Obs:            reg,
 	}
 	var inj *comm.Injector
 	var part *comm.Partition
@@ -92,6 +101,21 @@ func chaosRound(scenario chaosScenario, seed uint64) error {
 		return fmt.Errorf("spawn: %w", err)
 	}
 	defer stop()
+	if reg != nil {
+		// On failure, dump the flight recorder: the driver's counters and
+		// resize track plus each in-process node's registry (install/abort
+		// spans, fenced rejections, grace-period histogram).
+		defer func() {
+			if retErr == nil {
+				return
+			}
+			dumpRegistry(os.Stderr, fmt.Sprintf("driver, seed %d", seed), reg)
+			for i, n := range nodes {
+				dumpRegistry(os.Stderr, fmt.Sprintf("node %d", i), n.Obs())
+			}
+			writeTraceFile(fmt.Sprintf("rcutorture-chaos-%d.trace.json", seed), reg)
+		}()
+	}
 	addrs := make([]string, len(nodes))
 	for i, n := range nodes {
 		addrs[i] = n.Addr()

@@ -26,6 +26,7 @@ import (
 	"rcuarray"
 	"rcuarray/internal/core"
 	"rcuarray/internal/locale"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
 
@@ -47,8 +48,13 @@ func main() {
 		lincheck   = flag.Bool("lincheck", false, "run deterministic linearizability windows instead of the wall-clock storm")
 		chaos      = flag.Bool("chaos", false, "run seeded fault-injection rounds against a distributed cluster")
 		chaosRnds  = flag.Int("chaos-rounds", 4, "fault scenarios per chaos run")
+		obsDump    = flag.Bool("obs-dump", false, "record metrics and trace rings; on an invariant failure, dump them alongside the failing seed")
+		obsEvery   = flag.Duration("obs-interval", 0, "also dump non-zero metrics to stderr at this interval during the array storm (0 = off; implies recording)")
 	)
 	flag.Parse()
+	if *obsDump || *obsEvery > 0 {
+		obs.SetEnabled(true)
+	}
 
 	// Every task-local RNG descends from this one value via taskSeed, so
 	// printing it up front makes any failure reproducible with -seed.
@@ -79,7 +85,7 @@ func main() {
 
 	failed := false
 	if *chaos {
-		if !chaosTorture(effSeed, *chaosRnds) {
+		if !chaosTorture(effSeed, *chaosRnds, *obsDump) {
 			failed = true
 		}
 	} else if *lincheck {
@@ -98,7 +104,7 @@ func main() {
 				ok := true
 				switch tgt {
 				case "array":
-					ok = torture(v, *locales, *tasks, *blockSize, *duration, *shrink, *checkpoint, effSeed)
+					ok = torture(v, *locales, *tasks, *blockSize, *duration, *shrink, *checkpoint, effSeed, *obsDump, *obsEvery)
 				case "vector":
 					ok = tortureVector(publicReclaim(v), *locales, *tasks, *duration, *checkpoint, effSeed)
 				case "table":
@@ -150,9 +156,11 @@ func publicReclaim(v core.Variant) rcuarray.Reclaim {
 	return rcuarray.EBR
 }
 
-func torture(v core.Variant, locales, tasks, blockSize int, dur time.Duration, shrink bool, ckpt int, seed uint64) bool {
+func torture(v core.Variant, locales, tasks, blockSize int, dur time.Duration, shrink bool, ckpt int, seed uint64, obsDump bool, obsEvery time.Duration) bool {
 	c := locale.NewCluster(locale.Config{Locales: locales, WorkersPerLocale: tasks})
 	defer c.Shutdown()
+	stopDump := startPeriodicDump(c.Obs(), obsEvery)
+	defer stopDump()
 
 	var ctr counters
 	ok := true
@@ -260,6 +268,10 @@ func torture(v core.Variant, locales, tasks, blockSize int, dur time.Duration, s
 	if ctr.reads.Load() == 0 || ctr.grows.Load() == 0 {
 		fmt.Println("  FAIL: no progress")
 		ok = false
+	}
+	if !ok && obsDump {
+		dumpRegistry(os.Stderr, fmt.Sprintf("cluster, seed %d", seed), c.Obs())
+		writeTraceFile(fmt.Sprintf("rcutorture-%s-%d.trace.json", v, seed), c.Obs())
 	}
 	return ok
 }

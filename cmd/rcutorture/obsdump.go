@@ -1,0 +1,132 @@
+// Observability dumps for failing runs: -obs-dump arms the global enable
+// switch and, when an invariant audit fails, prints the non-zero metrics and
+// the tail of every trace-ring track (the flight recorder) alongside the
+// failing seed, plus a Chrome trace-event JSON file loadable in Perfetto.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rcuarray/internal/obs"
+)
+
+// obsDumpTail is how many trailing events per (pid, tid) track are printed.
+const obsDumpTail = 12
+
+// dumpRegistry prints a failing run's registry: every non-zero counter and
+// gauge, every populated histogram, and the last obsDumpTail events of each
+// trace track.
+func dumpRegistry(w io.Writer, label string, reg *obs.Registry) {
+	dumpMetrics(w, label, reg)
+	dumpRings(w, reg)
+}
+
+// dumpMetrics prints the metric side only — what the -obs-interval periodic
+// dump emits mid-run, where repeating every ring tail would drown the
+// torture output.
+func dumpMetrics(w io.Writer, label string, reg *obs.Registry) {
+	fmt.Fprintf(w, "  obs dump (%s):\n", label)
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	lines := map[string]string{}
+	for name, v := range snap.Counters {
+		if v != 0 {
+			names = append(names, name)
+			lines[name] = fmt.Sprintf("%d", v)
+		}
+	}
+	for name, v := range snap.Gauges {
+		if v != 0 {
+			names = append(names, name)
+			lines[name] = fmt.Sprintf("%d", v)
+		}
+	}
+	for name, h := range snap.Histograms {
+		if h.Count != 0 {
+			names = append(names, name)
+			lines[name] = fmt.Sprintf("count=%d p50=%dns p99=%dns max=%dns", h.Count, h.P50, h.P99, h.MaxNanos)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "    %-46s %s\n", name, lines[name])
+	}
+}
+
+// dumpRings prints the tail of every trace-ring track (the flight recorder).
+func dumpRings(w io.Writer, reg *obs.Registry) {
+	events := reg.Tracer().Events()
+	byTrack := map[[2]int][]obs.TraceEvent{}
+	var tracks [][2]int
+	for _, ev := range events {
+		k := [2]int{ev.Pid, ev.Tid}
+		if _, seen := byTrack[k]; !seen {
+			tracks = append(tracks, k)
+		}
+		byTrack[k] = append(byTrack[k], ev)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i][0] != tracks[j][0] {
+			return tracks[i][0] < tracks[j][0]
+		}
+		return tracks[i][1] < tracks[j][1]
+	})
+	for _, k := range tracks {
+		evs := byTrack[k]
+		if len(evs) > obsDumpTail {
+			evs = evs[len(evs)-obsDumpTail:]
+		}
+		fmt.Fprintf(w, "    track pid=%d tid=%d (last %d events):\n", k[0], k[1], len(evs))
+		for _, ev := range evs {
+			arg := ""
+			if ev.Arg != 0 {
+				arg = fmt.Sprintf(" arg=%d", ev.Arg)
+			}
+			fmt.Fprintf(w, "      +%-12dns %c %s%s\n", ev.TsNanos, ev.Phase, ev.Name, arg)
+		}
+	}
+}
+
+// startPeriodicDump emits dumpMetrics to stderr every interval until the
+// returned stop function is called (expvar-style live visibility into a
+// long storm). A non-positive interval is a no-op.
+func startPeriodicDump(reg *obs.Registry, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				dumpMetrics(os.Stderr, "periodic", reg)
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// writeTraceFile writes reg's trace rings as Chrome trace-event JSON.
+func writeTraceFile(path string, reg *obs.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "  obs dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := reg.Tracer().WriteTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "  obs dump: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("  obs dump: wrote %s (load in Perfetto)\n", path)
+}

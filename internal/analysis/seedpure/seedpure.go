@@ -19,10 +19,18 @@
 //     seeded generators owned by the domain are allowed);
 //   - calling time.Now, time.Since, or time.Until (wall-clock values must
 //     not feed decisions; time.Sleep merely yields and is allowed);
+//   - importing a wall-clock carve-out package (internal/obs): the
+//     observability layer reads clocks by design, so pulling it into a
+//     domain file would smuggle timestamps into seed-replayable logic;
 //   - ranging over a map, whose iteration order is randomized per run —
 //     unless the loop is the benign collect-keys idiom (a body consisting
 //     solely of `s = append(s, k)`) or ignores the iteration variables
 //     entirely, both of which are order-insensitive.
+//
+// The carve-out list (WallClockCarveOuts) is the inverse contract: those
+// packages may call time.Now freely because they are, by construction, never
+// part of a deterministic domain — the drift test asserts the two sets stay
+// disjoint.
 //
 // Wall-clock use that genuinely cannot influence replay (one-sided "did
 // this op block?" observations) is suppressed with an annotated
@@ -75,6 +83,25 @@ func DeterministicFile(pkgPath, filename string) bool {
 	return base == "lincheck_test.go"
 }
 
+// WallClockCarveOuts lists the package short names that are explicitly
+// licensed to read wall clocks: they sit outside every deterministic domain
+// and must stay there. Domain files may not import them (metrics handles and
+// trace timestamps must not feed seed-replayable decisions); instead, a
+// non-domain sibling file registers GaugeFunc views over the domain's
+// counters (see comm's obsfab.go/obsnet.go). Exported so the drift test can
+// assert carve-outs and domains never intersect.
+var WallClockCarveOuts = []string{"obs"}
+
+// carveOutImport reports whether path names a wall-clock carve-out package.
+func carveOutImport(path string) (string, bool) {
+	for _, name := range WallClockCarveOuts {
+		if analysis.PathIs(path, name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
 // forbiddenImports maps import paths to the reason they are banned.
 var forbiddenImports = map[string]string{
 	"math/rand":    "unseeded (or globally seeded) randomness breaks -seed replay; use the domain's SplitMix64 streams",
@@ -95,6 +122,9 @@ func run(pass *analysis.Pass) error {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if reason, bad := forbiddenImports[path]; bad {
 				pass.Reportf(imp.Pos(), "import of %s in deterministic domain: %s", path, reason)
+			}
+			if name, bad := carveOutImport(path); bad {
+				pass.Reportf(imp.Pos(), "import of observability package %s in deterministic domain: metrics and trace timestamps must not feed seed-replayable decisions; fold counters in from a non-domain file instead", name)
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

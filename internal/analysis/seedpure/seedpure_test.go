@@ -19,15 +19,28 @@ func TestSeedpure(t *testing.T) {
 
 // TestDeterministicDomainDrift is the import-drift regression test: it walks
 // the REAL tree with the same seedpure.DeterministicFile predicate the
-// analyzer uses and fails if any in-domain file imports math/rand — even
-// when rcuvet itself was not run. It also fails if a deterministic package
-// disappears, which forces the domain list to track renames.
+// analyzer uses and fails if any in-domain file imports math/rand or a
+// wall-clock carve-out package (internal/obs) — even when rcuvet itself was
+// not run. It also fails if a deterministic package or a carve-out package
+// disappears, which forces both lists to track renames, and asserts the two
+// sets stay disjoint: a carve-out that became part of a domain would license
+// wall-clock reads inside seed-replayable logic.
 func TestDeterministicDomainDrift(t *testing.T) {
 	root := moduleRoot(t)
 	for _, name := range seedpure.DeterministicPackages {
 		dir := filepath.Join(root, "internal", name)
 		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
 			t.Errorf("deterministic package internal/%s not found at %s: update seedpure.DeterministicPackages", name, dir)
+		}
+	}
+	for _, name := range seedpure.WallClockCarveOuts {
+		dir := filepath.Join(root, "internal", name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("carve-out package internal/%s not found at %s: update seedpure.WallClockCarveOuts", name, dir)
+		}
+		pkgPath := "rcuarray/internal/" + name
+		if seedpure.DeterministicFile(pkgPath, filepath.Join(dir, "any.go")) {
+			t.Errorf("carve-out package %s is also a deterministic domain: the sets must be disjoint", pkgPath)
 		}
 	}
 	fset := token.NewFileSet()
@@ -60,6 +73,11 @@ func TestDeterministicDomainDrift(t *testing.T) {
 			ip := strings.Trim(imp.Path.Value, `"`)
 			if ip == "math/rand" || ip == "math/rand/v2" {
 				t.Errorf("%s imports %s inside the deterministic domain: -seed replay is broken", rel, ip)
+			}
+			for _, name := range seedpure.WallClockCarveOuts {
+				if ip == "rcuarray/internal/"+name {
+					t.Errorf("%s imports %s inside the deterministic domain: fold counters in from a non-domain file instead", rel, ip)
+				}
 			}
 		}
 		return nil

@@ -1,0 +1,13 @@
+package check
+
+// The observability layer is a wall-clock carve-out: importing it from a
+// deterministic-domain file would smuggle timestamps and enable-state into
+// seed-replayable decisions.
+
+import "obs" // want "import of observability package obs in deterministic domain"
+
+// Gated is the tempting-but-forbidden shape: branching replayable logic on
+// the global observability switch.
+func Gated() bool {
+	return obs.On()
+}

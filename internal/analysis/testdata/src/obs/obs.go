@@ -1,0 +1,12 @@
+// Package obs stubs the repo's observability core for analyzer fixtures:
+// seedpure must flag any import of it from a deterministic-domain file.
+package obs
+
+// On reports whether observability is enabled.
+func On() bool { return false }
+
+// Counter is a stub metric handle.
+type Counter struct{}
+
+// Inc is a stub.
+func (c *Counter) Inc() {}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rcuarray/internal/obs"
 )
 
 // ClientConfig tunes one client connection. The zero value preserves the
@@ -32,6 +34,11 @@ type ClientConfig struct {
 	// land after writes acknowledged on its replacement.
 	Identity   uint64
 	Generation uint64
+	// Obs, when set, records per-(op,peer) call latency histograms and
+	// timeout/error counters into the registry, labeled with Peer. Calls
+	// pay one branch when observability is globally off.
+	Obs  *obs.Registry
+	Peer string
 }
 
 // Client is one endpoint's view of a remote Node. Requests may be issued
@@ -40,6 +47,7 @@ type ClientConfig struct {
 type Client struct {
 	conn net.Conn
 	cfg  ClientConfig
+	obs  *clientObs // nil without ClientConfig.Obs
 
 	sendMu  sync.Mutex
 	sendBuf []byte
@@ -81,6 +89,9 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		cfg:        cfg,
 		pending:    make(map[uint64]chan result),
 		readerDone: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		c.obs = newClientObs(cfg.Obs, cfg.Peer)
 	}
 	go c.readLoop()
 	if cfg.Identity != 0 {
@@ -159,8 +170,19 @@ func (c *Client) failAll(err error) {
 }
 
 // call issues one request and waits for its response until timeout elapses
-// (0 = wait forever).
+// (0 = wait forever), recording per-(op,peer) latency when observability is
+// wired and on.
 func (c *Client) call(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	if c.obs == nil || !obs.On() {
+		return c.callRaw(typ, payload, timeout)
+	}
+	start := time.Now()
+	resp, err := c.callRaw(typ, payload, timeout)
+	c.obs.record(typ, start, err)
+	return resp, err
+}
+
+func (c *Client) callRaw(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
 	seq := c.nextSeq.Add(1)
 	ch := make(chan result, 1)
 

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rcuarray/internal/obs"
 )
 
 // AMHandler processes an active message and returns a reply (or an error,
@@ -29,6 +31,9 @@ type NodeConfig struct {
 	// frame, dropping connections that go silent between requests. Off by
 	// default: drivers legitimately idle between phases.
 	IdleTimeout time.Duration
+	// Obs, when set, counts inbound requests per op and fenced Put
+	// rejections into the registry.
+	Obs *obs.Registry
 }
 
 // defaultFrameTimeout is generous: a legitimate peer streams a frame in
@@ -80,6 +85,8 @@ type Node struct {
 
 	// Served counts successfully handled requests, for tests.
 	served atomic.Uint64
+
+	obs *nodeObs // nil without NodeConfig.Obs
 }
 
 // NewNode starts a node listening on addr ("127.0.0.1:0" for an ephemeral
@@ -101,6 +108,9 @@ func NewNodeConfig(addr string, cfg NodeConfig) (*Node, error) {
 		handlers: make(map[uint16]AMHandler),
 		gens:     make(map[uint64]uint64),
 		conns:    make(map[net.Conn]struct{}),
+	}
+	if cfg.Obs != nil {
+		n.obs = newNodeObs(cfg.Obs)
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -275,6 +285,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		if err != nil {
 			return // peer hung up, stalled past a deadline, or broke protocol
 		}
+		n.obs.noteReq(typ)
 		switch typ {
 		case msgHello:
 			i, g, herr := n.registerHello(payload)
@@ -340,6 +351,9 @@ func (n *Node) dispatchData(typ byte, payload []byte, ident, gen uint64) ([]byte
 		n.genMu.Lock()
 		defer n.genMu.Unlock()
 		if cur := n.gens[ident]; gen < cur {
+			if n.obs != nil && obs.On() {
+				n.obs.fenced.Inc()
+			}
 			return nil, fmt.Errorf("comm: put from superseded connection generation %d (current %d)", gen, cur)
 		}
 	}

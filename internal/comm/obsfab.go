@@ -1,0 +1,33 @@
+package comm
+
+import (
+	"fmt"
+
+	"rcuarray/internal/obs"
+)
+
+// Observe folds the fabric's traffic counters into r as read-on-export
+// views. fabric.go is inside the seedpure deterministic domain (its fault
+// decisions must replay from a seed), so it cannot import obs itself; this
+// file registers registry views over the fabric's existing padded counters
+// instead, and the registry reads them only at snapshot/export time:
+//
+//	comm_msgs_total{op=...}    messages per operation kind, all locales
+//	comm_bytes_total{op=...}   bytes per operation kind, all locales
+//	comm_fabric_faults_total   seeded faults injected into fabric ops
+func (f *Fabric) Observe(r *obs.Registry) {
+	for _, op := range []Op{OpGet, OpPut, OpAM} {
+		op := op
+		r.GaugeFunc(fmt.Sprintf("comm_msgs_total{op=%q}", op.String()), func() int64 {
+			return int64(f.TotalMsgs(op))
+		})
+		r.GaugeFunc(fmt.Sprintf("comm_bytes_total{op=%q}", op.String()), func() int64 {
+			return int64(f.TotalBytes(op))
+		})
+	}
+	if inj := f.cfg.Faults; inj != nil {
+		r.GaugeFunc("comm_fabric_faults_total", func() int64 {
+			return int64(inj.Total())
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rcuarray/internal/obs"
+)
+
+// Observability for the TCP transport. Like obsfab.go, this lives outside
+// the seedpure deterministic domain: it takes wall-clock timestamps, which
+// fault.go/fabric.go must never do.
+
+// opName names a request message type for metric labels.
+func opName(typ byte) string {
+	switch typ {
+	case msgGet:
+		return "GET"
+	case msgPut:
+		return "PUT"
+	case msgAM:
+		return "AM"
+	case msgHello:
+		return "HELLO"
+	default:
+		return fmt.Sprintf("0x%02x", typ)
+	}
+}
+
+var reqTypes = []byte{msgGet, msgPut, msgAM, msgHello}
+
+// clientObs carries a client's pre-resolved per-(op,peer) handles. Built at
+// dial time; nil when the client was dialed without a registry.
+type clientObs struct {
+	lat      [256]*obs.Histogram // indexed by request message type
+	timeouts *obs.Counter
+	errors   *obs.Counter
+}
+
+func newClientObs(r *obs.Registry, peer string) *clientObs {
+	co := &clientObs{
+		timeouts: r.Counter(fmt.Sprintf("comm_rpc_timeouts_total{peer=%q}", peer)),
+		errors:   r.Counter(fmt.Sprintf("comm_rpc_errors_total{peer=%q}", peer)),
+	}
+	for _, typ := range reqTypes {
+		co.lat[typ] = r.Histogram(fmt.Sprintf("comm_rpc_ns{op=%q,peer=%q}", opName(typ), peer))
+	}
+	return co
+}
+
+// record feeds one completed call into the per-(op,peer) histogram and the
+// timeout/error counters. Called only when observability is on.
+func (co *clientObs) record(typ byte, start time.Time, err error) {
+	co.lat[typ].Observe(time.Since(start).Nanoseconds())
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrTimeout):
+		co.timeouts.Inc()
+	default:
+		co.errors.Inc()
+	}
+}
+
+// nodeObs carries a node's request counters, built when NodeConfig.Obs is
+// set.
+type nodeObs struct {
+	reqs   [256]*obs.Counter // indexed by request message type
+	fenced *obs.Counter
+}
+
+func newNodeObs(r *obs.Registry) *nodeObs {
+	no := &nodeObs{fenced: r.Counter("comm_fenced_puts_total")}
+	for _, typ := range reqTypes {
+		no.reqs[typ] = r.Counter(fmt.Sprintf("comm_served_total{op=%q}", opName(typ)))
+	}
+	return no
+}
+
+// noteReq counts one inbound request frame. Unknown types fall through to a
+// nil (no-op) counter.
+func (no *nodeObs) noteReq(typ byte) {
+	if no != nil && obs.On() {
+		no.reqs[typ].Inc()
+	}
+}
+
+// kindName names a fault kind for metric labels.
+func kindName(k FaultKind) string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDup:
+		return "dup"
+	case FaultReset:
+		return "reset"
+	case FaultPartial:
+		return "partial"
+	case FaultStall:
+		return "stall"
+	default:
+		return k.String()
+	}
+}
+
+// Observe folds the injector's per-kind fault counts into r as
+// read-on-export views (fault.go is deterministic-domain code and cannot
+// import obs itself). The chaos tests cross-check these against the
+// protocol-level retry/abort counters.
+func (j *Injector) Observe(r *obs.Registry) {
+	for k := FaultKind(1); k < numFaultKinds; k++ {
+		k := k
+		r.GaugeFunc(fmt.Sprintf("comm_faults_injected_total{kind=%q}", kindName(k)), func() int64 {
+			return int64(j.Count(k))
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"rcuarray/internal/locale"
 	"rcuarray/internal/memory"
+	"rcuarray/internal/obs"
 )
 
 // Variant selects the reclamation algorithm, mirroring the paper's
@@ -100,6 +101,7 @@ type Array[T any] struct {
 	opts      Options
 	writeLock *locale.GlobalLock
 	elemSize  int
+	o         *arrayObs
 }
 
 // New creates an array distributed over the task's cluster. Construction
@@ -118,6 +120,7 @@ func New[T any](t *locale.Task, opts Options) *Array[T] {
 		opts:      opts,
 		writeLock: c.NewGlobalLock(0),
 		elemSize:  int(unsafe.Sizeof(zero)),
+		o:         newArrayObs(c),
 	}
 	if opts.InitialCapacity > 0 {
 		a.Grow(t, opts.InitialCapacity)
@@ -156,6 +159,11 @@ func (r Ref[T]) Load(t *locale.Task) T {
 	r.block.CheckLive()
 	if owner := r.block.Owner; owner != t.Here().ID() {
 		t.ChargeGet(owner, int(unsafe.Sizeof(r.block.Data[0])))
+		if obs.On() {
+			t.NoteRemoteOp()
+		}
+	} else if obs.On() {
+		t.NoteLocalOp()
 	}
 	return r.block.Data[r.off]
 }
@@ -167,6 +175,11 @@ func (r Ref[T]) Store(t *locale.Task, v T) {
 	r.block.CheckLive()
 	if owner := r.block.Owner; owner != t.Here().ID() {
 		t.ChargePut(owner, int(unsafe.Sizeof(v)))
+		if obs.On() {
+			t.NoteRemoteOp()
+		}
+	} else if obs.On() {
+		t.NoteLocalOp()
 	}
 	r.block.Data[r.off] = v
 }

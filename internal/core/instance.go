@@ -35,6 +35,9 @@ func newInstance[T any](loc *locale.Locale, opts Options) *instance[T] {
 	if opts.FlatEBR {
 		dom = ebr.NewFlat()
 	}
+	// Grace-period metrics land in the owning cluster's registry, next to
+	// the resize-phase histograms, not in the process-global default.
+	dom.Observe(loc.Cluster().Obs())
 	inst := &instance[T]{
 		dom:  dom,
 		pool: memory.NewPool[T](loc.ID(), opts.BlockSize, loc.MemStats()),

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"rcuarray/internal/locale"
+	"rcuarray/internal/obs"
+)
+
+// arrayObs bundles the handles an array's resize slow path reports into.
+// Handles live in the owning cluster's registry, so co-located arrays in
+// one test process never cross their counters, and are resolved once in New
+// (registry lookups take a mutex). Resize is the writer slow path, so it
+// may take timestamps and ring lookups; the read path touches none of this
+// beyond the striped op counters charged in Ref.Load/Store.
+type arrayObs struct {
+	tracer *obs.Tracer
+
+	grows   *obs.Counter
+	shrinks *obs.Counter
+
+	lockNs    *obs.Histogram // WriteLock acquisition
+	allocNs   *obs.Histogram // round-robin block allocation
+	installNs *obs.Histogram // snapshot install + synchronize, all locales
+	freeNs    *obs.Histogram // victim-block free (Shrink/Destroy)
+
+	nGrow    obs.NameID // whole-resize spans on the initiator's track
+	nShrink  obs.NameID
+	nLock    obs.NameID
+	nAlloc   obs.NameID
+	nInstall obs.NameID // per-locale install spans on each locale's track
+	nFree    obs.NameID
+}
+
+func newArrayObs(c *locale.Cluster) *arrayObs {
+	r := c.Obs()
+	tr := r.Tracer()
+	return &arrayObs{
+		tracer:    tr,
+		grows:     r.Counter("core_grows_total"),
+		shrinks:   r.Counter("core_shrinks_total"),
+		lockNs:    r.Histogram("core_resize_lock_ns"),
+		allocNs:   r.Histogram("core_resize_alloc_ns"),
+		installNs: r.Histogram("core_resize_install_ns"),
+		freeNs:    r.Histogram("core_resize_free_ns"),
+		nGrow:     tr.Name("grow"),
+		nShrink:   tr.Name("shrink"),
+		nLock:     tr.Name("resize.lock"),
+		nAlloc:    tr.Name("resize.alloc"),
+		nInstall:  tr.Name("resize.install"),
+		nFree:     tr.Name("resize.free"),
+	}
+}
+
+// ring returns the trace track of the calling task: pid = locale, tid =
+// task slot.
+func (o *arrayObs) ring(t *locale.Task) *obs.Ring {
+	return o.tracer.Ring(t.Here().ID(), t.Slot())
+}
+
+// resizeSpans times the phases of one resize and emits trace spans on the
+// initiating task's track. The zero value is inert; start arms it only when
+// observability is enabled, so a disabled resize pays one branch per phase.
+type resizeSpans struct {
+	on   bool
+	ring *obs.Ring
+	t0   time.Time
+}
+
+// start opens the whole-resize span (name) on the initiator's track.
+func (rs *resizeSpans) start(o *arrayObs, t *locale.Task, name obs.NameID) {
+	if !obs.On() {
+		return
+	}
+	rs.on = true
+	rs.ring = o.ring(t)
+	rs.ring.Begin(name)
+}
+
+// begin opens a phase span and stamps the phase start.
+func (rs *resizeSpans) begin(name obs.NameID) {
+	if !rs.on {
+		return
+	}
+	rs.t0 = time.Now()
+	rs.ring.Begin(name)
+}
+
+// end closes a phase span and feeds its duration to hist.
+func (rs *resizeSpans) end(name obs.NameID, hist *obs.Histogram) {
+	if !rs.on {
+		return
+	}
+	rs.ring.End(name)
+	hist.Observe(time.Since(rs.t0).Nanoseconds())
+}
+
+// finish closes the whole-resize span.
+func (rs *resizeSpans) finish(name obs.NameID) {
+	if rs.on {
+		rs.ring.End(name)
+	}
+}
+
+// localeSpan opens a span on sub's own track (per-locale install work) and
+// returns its ring; a nil ring (observability off) no-ops on End.
+func (rs *resizeSpans) localeSpan(o *arrayObs, sub *locale.Task, name obs.NameID) *obs.Ring {
+	if !rs.on {
+		return nil
+	}
+	r := o.ring(sub)
+	r.Begin(name)
+	return r
+}

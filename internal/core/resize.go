@@ -27,11 +27,23 @@ func (a *Array[T]) Grow(t *locale.Task, additional int) {
 	bs := a.opts.BlockSize
 	nBlocks := (additional + bs - 1) / bs
 
+	// Resize is the writer slow path: when observability is on it takes
+	// timestamps per phase and emits spans onto the initiator's trace track
+	// (plus one install span per locale track inside the coforall).
+	var rs resizeSpans
+	rs.start(a.o, t, a.o.nGrow)
+	if rs.on {
+		a.o.grows.Inc()
+	}
+
+	rs.begin(a.o.nLock)
 	a.writeLock.Acquire(t)
+	rs.end(a.o.nLock, a.o.lockNs)
 	defer a.writeLock.Release(t)
 
 	// Round-robin allocation, starting from the replicated cursor
 	// (Algorithm 3 lines 11–16). Allocation happens on the owning locale.
+	rs.begin(a.o.nAlloc)
 	locID := a.inst(t).nextLocaleID
 	newBlocks := make([]*memory.Block[T], 0, nBlocks)
 	for i := 0; i < nBlocks; i++ {
@@ -40,9 +52,12 @@ func (a *Array[T]) Grow(t *locale.Task, additional int) {
 		})
 		locID = (locID + 1) % a.cluster.NumLocales()
 	}
+	rs.end(a.o.nAlloc, a.o.allocNs)
 
 	// Replicate the snapshot transition on every locale (lines 18–28).
+	rs.begin(a.o.nInstall)
 	t.Coforall(func(sub *locale.Task) {
+		ls := rs.localeSpan(a.o, sub, a.o.nInstall)
 		inst := a.inst(sub)
 		update := func(s *snapshot[T]) { s.blocks = append(s.blocks, newBlocks...) }
 		if a.opts.Variant == VariantQSBR {
@@ -51,7 +66,10 @@ func (a *Array[T]) Grow(t *locale.Task, additional int) {
 			inst.rcuWrite(nBlocks, update)
 		}
 		inst.nextLocaleID = locID
+		ls.End(a.o.nInstall)
 	})
+	rs.end(a.o.nInstall, a.o.installNs)
+	rs.finish(a.o.nGrow)
 }
 
 // Shrink removes capacity from the tail of the array, by whole blocks (an
@@ -66,7 +84,16 @@ func (a *Array[T]) Shrink(t *locale.Task, removed int) {
 	bs := a.opts.BlockSize
 	nBlocks := (removed + bs - 1) / bs
 
+	var rs resizeSpans
+	rs.start(a.o, t, a.o.nShrink)
+	if rs.on {
+		a.o.shrinks.Inc()
+	}
+	defer rs.finish(a.o.nShrink)
+
+	rs.begin(a.o.nLock)
 	a.writeLock.Acquire(t)
+	rs.end(a.o.nLock, a.o.lockNs)
 	defer a.writeLock.Release(t)
 
 	cur := a.inst(t).snap.Load()
@@ -79,7 +106,9 @@ func (a *Array[T]) Shrink(t *locale.Task, removed int) {
 	// Phase 1: every locale publishes the truncated snapshot and reclaims
 	// its old metadata. After the coforall, no new reader can reach the
 	// victim blocks, and under EBR no old reader remains either.
+	rs.begin(a.o.nInstall)
 	t.Coforall(func(sub *locale.Task) {
+		ls := rs.localeSpan(a.o, sub, a.o.nInstall)
 		inst := a.inst(sub)
 		update := func(s *snapshot[T]) { s.blocks = s.blocks[:keep] }
 		if a.opts.Variant == VariantQSBR {
@@ -87,13 +116,17 @@ func (a *Array[T]) Shrink(t *locale.Task, removed int) {
 		} else {
 			inst.rcuWrite(0, update)
 		}
+		ls.End(a.o.nInstall)
 	})
+	rs.end(a.o.nInstall, a.o.installNs)
 
 	// Phase 2: free the victim blocks on their owning locales. Under EBR
 	// this is immediately safe (every locale synchronized in phase 1);
 	// under QSBR it is deferred with a safe epoch newer than every phase-1
 	// transition, so Lemma 5 extends to the blocks.
+	rs.begin(a.o.nFree)
 	a.freeBlocksByOwner(t, victims)
+	rs.end(a.o.nFree, a.o.freeNs)
 }
 
 // freeBlocksByOwner returns blocks to their owners' pools, immediately for

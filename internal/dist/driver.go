@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rcuarray/internal/comm"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/xsync"
 )
 
@@ -42,6 +43,12 @@ type Options struct {
 	// Both nil outside chaos runs.
 	Faults *comm.Injector
 	Part   *comm.Partition
+	// Obs, when set, receives the driver's retry/redial/transient-error
+	// counters, per-(op,peer) RPC latency histograms for its node
+	// connections, resize-phase histograms and trace spans, and — with
+	// Faults — the injector's per-kind fault counts. Nil leaves the driver
+	// unobserved (nil).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +106,8 @@ type Driver struct {
 	table []BlockRef
 	epoch uint64 // committed table version; install fan-outs carry epoch+1
 	next  int    // round-robin cursor (the paper's NextLocaleId)
+
+	o *driverObs // nil without Options.Obs
 }
 
 // Connect dials the nodes with default options. See ConnectOpts.
@@ -124,6 +133,12 @@ func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
 		return nil, fmt.Errorf("dist: invalid block size %d", blockSize)
 	}
 	d := &Driver{addrs: addrs, blockSize: blockSize, opts: opts.withDefaults()}
+	if d.opts.Obs != nil {
+		d.o = newDriverObs(d.opts.Obs)
+		if d.opts.Faults != nil {
+			d.opts.Faults.Observe(d.opts.Obs)
+		}
+	}
 	d.clients = make([]*comm.Client, len(addrs))
 	d.connIdent = make([]uint64, len(addrs))
 	d.connGen = make([]uint64, len(addrs))
@@ -159,6 +174,8 @@ func (d *Driver) clientConfig(node int) comm.ClientConfig {
 		Part:        d.opts.Part,
 		Identity:    d.connIdent[node],
 		Generation:  d.connGen[node],
+		Obs:         d.opts.Obs,
+		Peer:        fmt.Sprintf("n%d", node),
 	}
 }
 
@@ -175,6 +192,7 @@ func (d *Driver) dialNode(node int) (*comm.Client, error) {
 	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
 		if attempt > 0 {
 			backoff.Sleep()
+			d.o.noteRetry()
 			d.connGen[node]++ // the failed dial may have registered its generation
 		}
 		var c *comm.Client
@@ -184,6 +202,7 @@ func (d *Driver) dialNode(node int) (*comm.Client, error) {
 		if !comm.IsTransient(err) {
 			return nil, err
 		}
+		d.o.noteTransient()
 	}
 	return nil, err
 }
@@ -231,8 +250,14 @@ func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
 	// connection is rejected instead of landing after writes acknowledged
 	// on this replacement.
 	d.connGen[node]++
+	if d.o != nil {
+		d.o.redials.Inc()
+	}
 	c, err := comm.DialConfig(d.addrs[node], d.clientConfig(node))
 	if err != nil {
+		if comm.IsTransient(err) {
+			d.o.noteTransient()
+		}
 		return nil, err
 	}
 	if old := d.clients[node]; old != nil {
@@ -258,6 +283,7 @@ func (d *Driver) am(node int, handler uint16, payload []byte) ([]byte, error) {
 	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
 		if attempt > 0 {
 			backoff.Sleep()
+			d.o.noteRetry()
 		}
 		c := d.client(node)
 		if c == nil {
@@ -273,6 +299,7 @@ func (d *Driver) am(node int, handler uint16, payload []byte) ([]byte, error) {
 		if err == nil || !comm.IsTransient(err) {
 			return reply, err
 		}
+		d.o.noteTransient()
 	}
 	return nil, fmt.Errorf("dist: node %d RPC %d failed after %d attempts: %w",
 		node, handler, d.opts.Retries+1, err)
@@ -351,10 +378,15 @@ func (d *Driver) Grow(additional int) error {
 		return fmt.Errorf("dist: Grow of %d blocks exceeds the per-resize limit", nBlocks)
 	}
 
+	// Resize instrumentation: the lock-wait is a histogram only; ring spans
+	// start after the lease is won (growSpans documents why).
+	var gs growSpans
+	gs.start(d.o)
 	token, err := d.AcquireLock()
 	if err != nil {
 		return err
 	}
+	gs.acquired()
 
 	d.mu.Lock()
 	oldTable := append([]BlockRef(nil), d.table...)
@@ -365,6 +397,7 @@ func (d *Driver) Grow(additional int) error {
 
 	var allocs []allocated
 	fail := func(stage string, cause error) error {
+		gs.abort(d.o)
 		d.abortResize(token, epoch, oldTable, allocs)
 		if rerr := d.ReleaseLock(token); rerr != nil {
 			// Best effort: a lapsed lease has already released itself.
@@ -373,6 +406,7 @@ func (d *Driver) Grow(additional int) error {
 		return fmt.Errorf("dist: resize aborted at %s: %w", stage, cause)
 	}
 
+	gs.beginAlloc()
 	for i := 0; i < nBlocks; i++ {
 		owner := cursor % len(d.addrs)
 		// The request id is unique per (lease token, block): a retry of
@@ -392,16 +426,20 @@ func (d *Driver) Grow(additional int) error {
 		table = append(table, ref)
 		cursor++
 	}
+	gs.endAlloc()
 
+	gs.beginInstall()
 	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table}); err != nil {
 		return fail("install", err)
 	}
+	gs.endInstall()
 
 	d.mu.Lock()
 	d.table = table
 	d.next = cursor
 	d.epoch = epoch
 	d.mu.Unlock()
+	gs.commit()
 	if err := d.ReleaseLock(token); err != nil {
 		// The resize committed; a failed release only means the lease
 		// must lapse before the next resize. Surface nothing.
@@ -479,6 +517,7 @@ func (d *Driver) elemOp(node int, op func(c *comm.Client) error) error {
 	for attempt := 0; attempt <= d.opts.Retries; attempt++ {
 		if attempt > 0 {
 			backoff.Sleep()
+			d.o.noteRetry()
 		}
 		c := d.client(node)
 		if c == nil {
@@ -492,6 +531,7 @@ func (d *Driver) elemOp(node int, op func(c *comm.Client) error) error {
 		if err = op(c); err == nil || !comm.IsTransient(err) {
 			return err
 		}
+		d.o.noteTransient()
 	}
 	return err
 }

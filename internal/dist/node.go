@@ -10,6 +10,7 @@ import (
 	"rcuarray/internal/comm"
 	"rcuarray/internal/ebr"
 	"rcuarray/internal/memory"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
 
@@ -71,10 +72,16 @@ type ArrayNode struct {
 	// or died (guarded by mu).
 	allocs map[uint64]allocEntry
 
-	installs    atomic.Uint64
-	aborts      atomic.Uint64
-	fenced      atomic.Uint64
-	localBlocks atomic.Uint32
+	// Protocol counters, folded into the node's observability registry so
+	// the NodeStats RPC and /metrics read the same source of truth. They
+	// count unconditionally (see obs.go); only trace writes are gated.
+	reg           *obs.Registry
+	installs      *obs.Counter
+	aborts        *obs.Counter
+	fenced        *obs.Counter
+	leaseExpiries *obs.Counter
+	localBlocks   *obs.Gauge
+	trace         nodeTrace
 }
 
 // NewArrayNode starts an array node listening on addr.
@@ -83,20 +90,40 @@ func NewArrayNode(addr string) (*ArrayNode, error) {
 }
 
 // NewArrayNodeConfig starts an array node with explicit transport tuning
-// (frame/idle read deadlines — the chaos harness shortens them).
+// (frame/idle read deadlines — the chaos harness shortens them). If
+// cfg.Obs is nil the node creates its own registry; either way the
+// transport's request counters land beside the protocol counters.
 func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
 	srv, err := comm.NewNodeConfig(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
 	n := &ArrayNode{
-		srv:    srv,
-		allocs: make(map[uint64]allocEntry),
+		srv:           srv,
+		allocs:        make(map[uint64]allocEntry),
+		reg:           reg,
+		installs:      reg.Counter("dist_installs_total"),
+		aborts:        reg.Counter("dist_aborts_total"),
+		fenced:        reg.Counter("dist_fenced_total"),
+		leaseExpiries: reg.Counter("dist_lease_expiries_total"),
+		localBlocks:   reg.Gauge("dist_local_blocks"),
 	}
+	n.dom.Observe(reg)
+	n.trace.init(reg.Tracer())
 	n.snap.Store(&tableSnapshot{})
 	n.registerHandlers()
 	return n, nil
 }
+
+// Obs returns the node's observability registry: protocol counters, EBR
+// grace-period metrics, and transport request counters. rcunode serves it
+// over /metrics.
+func (n *ArrayNode) Obs() *obs.Registry { return n.reg }
 
 // Addr returns the node's listen address.
 func (n *ArrayNode) Addr() string { return n.srv.Addr() }
@@ -160,6 +187,8 @@ func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
 	n.id = cfg.NodeID
 	n.blockSize = int(cfg.BlockSize)
 	n.peers = peers
+	n.trace.ring = n.trace.tr.Ring(int(cfg.NodeID), 0)
+	n.trace.lockRing = n.trace.tr.Ring(int(cfg.NodeID), 1)
 	n.configured.Store(true)
 	return nil, nil
 }
@@ -189,7 +218,8 @@ func (n *ArrayNode) handleAllocBlock(payload []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if fence <= n.maxFence {
-		n.fenced.Add(1)
+		n.fenced.Inc()
+		n.trace.ring.Instant(n.trace.nFenced, int64(fence))
 		return nil, fmt.Errorf("dist: alloc fenced: token %d at or below milestone %d", fence, n.maxFence)
 	}
 	e, ok := n.allocs[reqID]
@@ -217,7 +247,7 @@ func (n *ArrayNode) handleFreeBlock(payload []byte) ([]byte, error) {
 		delete(n.allocs, reqID)
 	}
 	if n.srv.FreeSegment(seg) == nil {
-		n.localBlocks.Add(^uint32(0))
+		n.localBlocks.Add(-1)
 	}
 	return nil, nil
 }
@@ -252,7 +282,7 @@ func (n *ArrayNode) pruneAllocsLocked(fence uint64, table []BlockRef) {
 		}
 		if !live[e.seg] {
 			if n.srv.FreeSegment(e.seg) == nil {
-				n.localBlocks.Add(^uint32(0))
+				n.localBlocks.Add(-1)
 			}
 		}
 		delete(n.allocs, id)
@@ -275,7 +305,8 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 	n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
 	defer n.mu.Unlock()
 	if q.Fence < n.maxFence {
-		n.fenced.Add(1)
+		n.fenced.Inc()
+		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
 		return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
 	}
 	n.maxFence = q.Fence
@@ -283,17 +314,20 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 		// A straggler (the client abandoned this frame on a timeout, then
 		// the resize aborted) or a duplicate: the table it carries references
 		// blocks the abort already freed, and other nodes rolled back.
-		n.fenced.Add(1)
+		n.fenced.Inc()
+		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
 		return nil, fmt.Errorf("dist: install of aborted resize (token %d, epoch %d)", q.Fence, q.Epoch)
 	}
 	n.pruneAllocsLocked(q.Fence, q.Table)
 	if q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch {
 		return nil, nil // retried install, already applied
 	}
+	n.trace.ring.Begin(n.trace.nInstall)
 	n.replaceTableLocked(q.Table)
+	n.trace.ring.End(n.trace.nInstall)
 	n.appliedFence = q.Fence
 	n.appliedEpoch = q.Epoch
-	n.installs.Add(1)
+	n.installs.Inc()
 	return nil, nil
 }
 
@@ -313,7 +347,8 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if q.Fence < n.maxFence {
-		n.fenced.Add(1)
+		n.fenced.Inc()
+		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
 		return nil, nil
 	}
 	n.maxFence = q.Fence
@@ -328,6 +363,7 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 		return nil, nil // the aborted install never landed here
 	}
 	abortedTable := n.snap.Load().table
+	n.trace.ring.Begin(n.trace.nAbort)
 	n.replaceTableLocked(q.Table)
 	n.appliedEpoch = q.Epoch - 1
 	// Free the local blocks the aborted install had added — present in the
@@ -344,12 +380,13 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 	for _, ref := range abortedTable {
 		if ref.Node == n.id && !live[ref.Seg] {
 			if n.srv.FreeSegment(ref.Seg) == nil {
-				n.localBlocks.Add(^uint32(0))
+				n.localBlocks.Add(-1)
 			}
 		}
 	}
 	n.pruneAllocsLocked(q.Fence, q.Table)
-	n.aborts.Add(1)
+	n.trace.ring.End(n.trace.nAbort)
+	n.aborts.Inc()
 	return nil, nil
 }
 
@@ -393,6 +430,10 @@ func (n *ArrayNode) handleLockAcquire(payload []byte) ([]byte, error) {
 	// Free, or the holder's lease lapsed (crashed/partitioned driver):
 	// supersede it. The old token stays fenced out forever because tokens
 	// only grow.
+	if n.lockHolder != 0 {
+		n.leaseExpiries.Inc()
+		n.trace.lockRing.Instant(n.trace.nLease, int64(n.lockHolder))
+	}
 	n.lockFence++
 	n.lockHolder = n.lockFence
 	n.lockExpiry = now.Add(time.Duration(ttlNanos))
@@ -418,7 +459,7 @@ func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
 		Installs:    n.installs.Load(),
 		Synchronize: n.dom.Synchronizes(),
 		Retries:     n.dom.Retries(),
-		LocalBlocks: n.localBlocks.Load(),
+		LocalBlocks: uint32(n.localBlocks.Load()),
 		Aborts:      n.aborts.Load(),
 		Fenced:      n.fenced.Load(),
 	}

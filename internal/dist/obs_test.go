@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/obs"
+)
+
+// TestObsChaosCounterConsistency cross-checks the observability fold against
+// the fault injector and the NodeStats RPC: under a reset/partial-only plan
+// (no stalls — a stall delays a write without failing it) driven by a single
+// goroutine, every injected fault fails exactly one in-flight call or dial,
+// so the driver's transient-error counter must equal the injector's count
+// exactly, and with a generous retry budget every transient is followed by
+// exactly one backoff retry. The equalities are deterministic: the fault
+// schedule is a pure function of (seed, conn, write index) and the op
+// sequence is single-threaded.
+func TestObsChaosCounterConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault storm skipped in -short mode")
+	}
+	// Enable globally so the gated side (RPC latency histograms, grace
+	// histograms, trace rings) populates too; the protocol counters under
+	// test count unconditionally either way.
+	was := obs.On()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(was)
+
+	const seed = 1337
+	inj := comm.NewInjector(comm.FaultPlan{
+		Seed:  seed,
+		Reset: 600, Partial: 600, // ~0.9% each; Stall deliberately 0
+	})
+	reg := obs.NewRegistry()
+	opts := chaosOpts(seed)
+	opts.Retries = 8 // generous: no op may exhaust its budget
+	opts.Faults = inj
+	opts.Obs = reg
+	d, nodes := spawnChaosCluster(t, 3, 8, opts)
+
+	const nGrows = 8
+	if err := d.Grow(8 * 6); err != nil {
+		t.Fatalf("initial Grow: %v", err)
+	}
+	for i := 1; i < nGrows; i++ {
+		if err := d.Grow(8); err != nil {
+			t.Fatalf("Grow %d: %v", i, err)
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		if err := d.Write(i, int64(i)^0x0b5); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		got, err := d.Read(i)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+		if got != int64(i)^0x0b5 {
+			t.Fatalf("Read(%d) = %d, want %d", i, got, int64(i)^0x0b5)
+		}
+	}
+	stats, err := d.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+
+	// All RPC traffic is done; read both sides of the ledger.
+	snap := reg.Snapshot()
+	resets, partials := inj.Count(comm.FaultReset), inj.Count(comm.FaultPartial)
+	injected := resets + partials
+	if injected == 0 {
+		t.Fatal("fault plan injected nothing — the test exercised no faults")
+	}
+	if stalls := inj.Count(comm.FaultStall); stalls != 0 {
+		t.Fatalf("plan with Stall=0 injected %d stalls", stalls)
+	}
+
+	transients := snap.Counters["dist_transient_errors_total"]
+	retries := snap.Counters["dist_rpc_retries_total"]
+	if transients != injected {
+		t.Errorf("dist_transient_errors_total = %d, want %d (= %d resets + %d partials injected)",
+			transients, injected, resets, partials)
+	}
+	if retries != transients {
+		t.Errorf("dist_rpc_retries_total = %d, want %d (one backoff per transient when no budget is exhausted)",
+			retries, transients)
+	}
+
+	// The injector's own counts surface in the same registry as export views.
+	if got := snap.Gauges[`comm_faults_injected_total{kind="reset"}`]; got != int64(resets) {
+		t.Errorf("reset gauge = %d, want %d", got, resets)
+	}
+	if got := snap.Gauges[`comm_faults_injected_total{kind="partial"}`]; got != int64(partials) {
+		t.Errorf("partial gauge = %d, want %d", got, partials)
+	}
+
+	// Driver-side protocol counters: every Grow committed, none aborted.
+	if got := snap.Counters["dist_grows_total"]; got != nGrows {
+		t.Errorf("dist_grows_total = %d, want %d", got, nGrows)
+	}
+	if got := snap.Counters["dist_grow_aborts_total"]; got != 0 {
+		t.Errorf("dist_grow_aborts_total = %d, want 0", got)
+	}
+
+	// The enabled gated side populated: per-(op,peer) RPC latency
+	// histograms on the driver, resize-phase timings, and each node's
+	// grace-period histogram (every install synchronizes its EBR domain).
+	rpcHists := 0
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "comm_rpc_ns{") && h.Count > 0 {
+			rpcHists++
+		}
+	}
+	if rpcHists == 0 {
+		t.Error("no populated comm_rpc_ns{op=...,peer=...} histogram in the driver registry")
+	}
+	if got := snap.Histograms["dist_grow_ns"].Count; got != nGrows {
+		t.Errorf("dist_grow_ns count = %d, want %d", got, nGrows)
+	}
+	if got := snap.Histograms["dist_lock_wait_ns"].Count; got != nGrows {
+		t.Errorf("dist_lock_wait_ns count = %d, want %d", got, nGrows)
+	}
+
+	// The Stats RPC and each node's registry read the same handles: the wire
+	// answer must agree with the node-local snapshot, field for field.
+	for i, st := range stats {
+		ns := nodes[i].Obs().Snapshot()
+		if got := ns.Counters["dist_installs_total"]; got != st.Installs {
+			t.Errorf("node %d: registry installs %d != NodeStats.Installs %d", i, got, st.Installs)
+		}
+		if got := ns.Counters["dist_aborts_total"]; got != st.Aborts {
+			t.Errorf("node %d: registry aborts %d != NodeStats.Aborts %d", i, got, st.Aborts)
+		}
+		if got := ns.Counters["dist_fenced_total"]; got != st.Fenced {
+			t.Errorf("node %d: registry fenced %d != NodeStats.Fenced %d", i, got, st.Fenced)
+		}
+		if got := ns.Gauges["dist_local_blocks"]; got != int64(st.LocalBlocks) {
+			t.Errorf("node %d: registry local blocks %d != NodeStats.LocalBlocks %d", i, got, st.LocalBlocks)
+		}
+		if st.Installs != nGrows {
+			t.Errorf("node %d: %d installs, want %d (every Grow installs on every node)", i, st.Installs, nGrows)
+		}
+		if got := ns.Histograms["ebr_grace_ns"].Count; got == 0 {
+			t.Errorf("node %d: ebr_grace_ns empty — installs did not time their grace periods", i)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
+	"rcuarray/internal/obs"
 	"rcuarray/internal/xsync"
 )
 
@@ -57,6 +59,9 @@ type Domain struct {
 	retries xsync.PaddedUint64
 	// synchronizes counts writer-side Synchronize calls.
 	synchronizes xsync.PaddedUint64
+	// o is the observability destination installed by Observe; nil means
+	// the process-global default (see obs.go).
+	o atomic.Pointer[domainObs]
 }
 
 // New returns a domain with DefaultStripes reader stripes and the epoch
@@ -127,6 +132,9 @@ func (d *Domain) EnterSlot(slot int) Guard {
 		// Undo and retry (lines 17, 9).
 		d.readers[idx][stripe].Dec()
 		d.retries.Inc()
+		if obs.On() {
+			d.obsHandles().retries.Inc()
+		}
 	}
 }
 
@@ -191,13 +199,29 @@ func (d *Domain) Synchronize() {
 	defer d.writerActive.Store(0)
 
 	d.synchronizes.Inc()
+	// Synchronize is the writer-side slow path, so it may take timestamps
+	// when observability is on: the grace period — epoch advance to last
+	// old-parity reader exit — is the quantity the reclamation literature
+	// says to watch (defer-backlog blowup starts here).
+	var o *domainObs
+	var t0 time.Time
+	if obs.On() {
+		o = d.obsHandles()
+		t0 = time.Now()
+	}
 	// fetch-add: the returned previous value is the epoch e whose readers
 	// may still be using the snapshot being retired.
 	prev := d.globalEpoch.Add(1) - 1
 	idx := prev & 1
 	var b xsync.Backoff
+	var stalls uint64
 	for d.sumStripes(idx) != 0 {
 		b.Wait()
+		stalls++
+	}
+	if o != nil {
+		o.grace.Observe(time.Since(t0).Nanoseconds())
+		o.stalls.Add(stalls)
 	}
 }
 

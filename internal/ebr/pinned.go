@@ -1,5 +1,7 @@
 package ebr
 
+import "rcuarray/internal/obs"
+
 // DefaultPinBudget is the number of Tick calls a pinned session serves
 // before it voluntarily repins. It bounds how long one pin can hold an epoch
 // open — and therefore how long a concurrent Synchronize can be made to
@@ -49,6 +51,9 @@ func (p *Pinned) Tick() bool {
 	p.ops++
 	if p.ops < p.budget {
 		return false
+	}
+	if obs.On() {
+		p.d.obsHandles().repins.Inc()
 	}
 	p.Repin()
 	return true

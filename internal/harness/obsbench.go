@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+	"rcuarray/internal/obs"
+	"rcuarray/internal/workload"
+)
+
+// ObsOverheadConfig parameterizes the observability A/B experiment: the same
+// read-heavy workload (with a concurrent resizer, so the grace-period and
+// resize-phase histograms populate) measured once with observability
+// disabled and once enabled. The acceptance question is: does the enabled
+// read path cost ≤5% throughput, and the disabled path ~0%?
+type ObsOverheadConfig struct {
+	// Locales is the cluster size.
+	Locales int
+	// TasksPerLocale is the reader count per locale.
+	TasksPerLocale int
+	// OpsPerTask is the read count per task.
+	OpsPerTask int
+	// Capacity is the readable region in elements.
+	Capacity int
+	// BlockSize is the array block size in elements.
+	BlockSize int
+	// Pattern selects the index stream.
+	Pattern workload.Pattern
+	// ResizeInterval paces the concurrent writer (negative disables it).
+	ResizeInterval time.Duration
+	// Seed makes index streams reproducible.
+	Seed uint64
+	// Repetitions is the rep count per arm. Arms are interleaved
+	// (disabled, enabled, disabled, enabled, ...) and the best rep of each
+	// is kept: machine noise on shared hardware drifts over seconds, so
+	// running one arm's reps back to back would measure the drift, not the
+	// instrumentation.
+	Repetitions int
+}
+
+func (c ObsOverheadConfig) withDefaults() ObsOverheadConfig {
+	if c.Locales <= 0 {
+		c.Locales = 2
+	}
+	if c.TasksPerLocale <= 0 {
+		c.TasksPerLocale = 4
+	}
+	if c.OpsPerTask <= 0 {
+		c.OpsPerTask = 1 << 17
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1024
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 64 * c.BlockSize
+	}
+	if c.ResizeInterval == 0 {
+		c.ResizeInterval = 200 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0DE
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// ObsOverheadResult is the A/B measurement, JSON-encodable for
+// BENCH_PR5.json. The enabled run's full metric snapshot is embedded so the
+// trajectory file carries the grace-period and resize-phase distributions
+// alongside the headline throughput numbers.
+type ObsOverheadResult struct {
+	Title          string  `json:"title"`
+	Locales        int     `json:"locales"`
+	TasksPerLocale int     `json:"tasks_per_locale"`
+	OpsPerTask     int     `json:"ops_per_task"`
+	Pattern        string  `json:"pattern"`
+	DisabledReads  float64 `json:"disabled_reads_per_sec"`
+	EnabledReads   float64 `json:"enabled_reads_per_sec"`
+	// OverheadPct is (disabled - enabled) / disabled * 100; negative means
+	// the enabled run was (noise) faster.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Grace-period distribution from the enabled run's embedded snapshot.
+	GraceP50Nanos uint64 `json:"grace_p50_ns"`
+	GraceP99Nanos uint64 `json:"grace_p99_ns"`
+	GraceCount    uint64 `json:"grace_count"`
+	// Snapshot is the enabled run's full registry snapshot.
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// RunObsOverhead measures the observability tax with an A/B run. The global
+// enable switch is restored to its prior state on return.
+func RunObsOverhead(cfg ObsOverheadConfig) ObsOverheadResult {
+	cfg = cfg.withDefaults()
+	was := obs.On()
+	defer obs.SetEnabled(was)
+
+	var disabled, enabled float64
+	var snap obs.Snapshot
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		if r, _ := runObsOnce(cfg, false); r > disabled {
+			disabled = r
+		}
+		if r, s := runObsOnce(cfg, true); r > enabled {
+			enabled, snap = r, s
+		}
+	}
+
+	res := ObsOverheadResult{
+		Title:          "Observability overhead: read throughput disabled vs enabled",
+		Locales:        cfg.Locales,
+		TasksPerLocale: cfg.TasksPerLocale,
+		OpsPerTask:     cfg.OpsPerTask,
+		Pattern:        cfg.Pattern.String(),
+		DisabledReads:  disabled,
+		EnabledReads:   enabled,
+		OverheadPct:    (disabled - enabled) / disabled * 100,
+		Snapshot:       snap,
+	}
+	if g, ok := snap.Histograms["ebr_grace_ns"]; ok {
+		res.GraceP50Nanos = g.P50
+		res.GraceP99Nanos = g.P99
+		res.GraceCount = g.Count
+	}
+	return res
+}
+
+// runObsOnce runs one arm: a fresh cluster (its registry starts empty), the
+// configured read storm against a striped-EBR array, and a concurrent
+// grow/shrink writer that keeps Synchronize — and therefore the grace
+// histogram — busy. Returns reads/s and, for the enabled arm, the cluster's
+// metric snapshot.
+func runObsOnce(cfg ObsOverheadConfig, enabled bool) (float64, obs.Snapshot) {
+	obs.SetEnabled(enabled)
+	c := locale.NewCluster(locale.Config{
+		Locales:          cfg.Locales,
+		WorkersPerLocale: cfg.TasksPerLocale,
+	})
+	defer c.Shutdown()
+
+	var elapsed time.Duration
+	c.Run(func(task *locale.Task) {
+		a := core.New[int64](task, core.Options{
+			BlockSize:       cfg.BlockSize,
+			Variant:         core.VariantEBR,
+			InitialCapacity: cfg.Capacity,
+		})
+
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		if cfg.ResizeInterval >= 0 {
+			go c.Run(func(wt *locale.Task) {
+				defer close(writerDone)
+				grown := false
+				for {
+					select {
+					case <-stop:
+						if grown {
+							a.Shrink(wt, cfg.BlockSize)
+						}
+						return
+					default:
+					}
+					if grown {
+						a.Shrink(wt, cfg.BlockSize)
+					} else {
+						a.Grow(wt, cfg.BlockSize)
+					}
+					grown = !grown
+					time.Sleep(cfg.ResizeInterval)
+				}
+			})
+		} else {
+			close(writerDone)
+		}
+
+		start := time.Now()
+		task.Coforall(func(sub *locale.Task) {
+			sub.ForAllTasks(cfg.TasksPerLocale, func(tt *locale.Task, id int) {
+				seed := cfg.Seed ^ uint64(tt.Here().ID())<<32 ^ uint64(id)
+				stream := workload.NewIndexStreamRange(cfg.Pattern, seed, 0, cfg.Capacity)
+				var sink int64
+				for op := 0; op < cfg.OpsPerTask; op++ {
+					sink += a.Load(tt, stream.Next())
+				}
+				_ = sink
+			})
+		})
+		elapsed = time.Since(start)
+		close(stop)
+		<-writerDone
+		a.Destroy(task)
+	})
+
+	var snap obs.Snapshot
+	if enabled {
+		snap = c.Obs().Snapshot()
+	}
+	totalOps := float64(cfg.Locales) * float64(cfg.TasksPerLocale) * float64(cfg.OpsPerTask)
+	return totalOps / elapsed.Seconds(), snap
+}
+
+// EncodeJSON writes the result as indented JSON (the BENCH_PR5.json shape).
+func (r ObsOverheadResult) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders a human-readable summary.
+func (r ObsOverheadResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "locales=%d tasks/locale=%d ops/task=%d pattern=%s\n",
+		r.Locales, r.TasksPerLocale, r.OpsPerTask, r.Pattern)
+	fmt.Fprintf(w, "  disabled: %12.0f reads/s\n", r.DisabledReads)
+	fmt.Fprintf(w, "  enabled:  %12.0f reads/s  (%+.2f%% overhead)\n", r.EnabledReads, r.OverheadPct)
+	fmt.Fprintf(w, "  grace period: p50=%dns p99=%dns over %d synchronizes\n",
+		r.GraceP50Nanos, r.GraceP99Nanos, r.GraceCount)
+}

@@ -7,6 +7,7 @@ import (
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/memory"
+	"rcuarray/internal/obs"
 	"rcuarray/internal/qsbr"
 	"rcuarray/internal/tasking"
 )
@@ -44,6 +45,13 @@ type Cluster struct {
 	cfg    Config
 	fabric *comm.Fabric
 	qsbr   *qsbr.Domain
+	obs    *obs.Registry
+	parked *obs.Gauge
+	// localOps/remoteOps back the remote-vs-local access ratio. They are
+	// striped by task slot because every element access increments one of
+	// them when observability is on; callers gate on obs.On() first.
+	localOps  *obs.Striped
+	remoteOps *obs.Striped
 
 	locales []*Locale
 
@@ -84,7 +92,23 @@ func NewCluster(cfg Config) *Cluster {
 		cfg:    cfg,
 		fabric: comm.NewFabric(cfg.Locales, cfg.Comm),
 		qsbr:   qsbr.New(),
+		obs:    obs.NewRegistry(),
 	}
+	// Fold the cluster's existing exact counters into its registry as
+	// read-on-export views, and track pool occupancy via the park hooks.
+	c.qsbr.Observe(c.obs)
+	c.fabric.Observe(c.obs)
+	c.obs.Gauge("tasking_workers").Set(int64(cfg.Locales * cfg.WorkersPerLocale))
+	c.parked = c.obs.Gauge("tasking_parked_workers")
+	c.localOps = c.obs.StripedCounter("core_local_ops_total", cfg.Locales*cfg.WorkersPerLocale)
+	c.remoteOps = c.obs.StripedCounter("core_remote_ops_total", cfg.Locales*cfg.WorkersPerLocale)
+	c.obs.GaugeFunc("mem_live_blocks", func() int64 {
+		var live int64
+		for _, loc := range c.locales {
+			live += loc.mem.Live()
+		}
+		return live
+	})
 	c.locales = make([]*Locale, cfg.Locales)
 	for i := range c.locales {
 		loc := &Locale{id: i, cluster: c}
@@ -98,9 +122,19 @@ func NewCluster(cfg Config) *Cluster {
 				// runtime TLS. Parking a worker parks its
 				// participant so an idle thread never stalls
 				// reclamation.
-				OnStart:  func(w *tasking.Worker) { w.TLS = c.qsbr.Register() },
-				OnPark:   func(w *tasking.Worker) { w.TLS.(*qsbr.Participant).Park() },
-				OnUnpark: func(w *tasking.Worker) { w.TLS.(*qsbr.Participant).Unpark() },
+				OnStart: func(w *tasking.Worker) { w.TLS = c.qsbr.Register() },
+				OnPark: func(w *tasking.Worker) {
+					w.TLS.(*qsbr.Participant).Park()
+					// Park transitions are already slow (the worker is
+					// about to block), so the occupancy gauge is kept
+					// unconditionally — flipping obs on mid-run then
+					// reads a correct value, not a skewed delta.
+					c.parked.Add(1)
+				},
+				OnUnpark: func(w *tasking.Worker) {
+					w.TLS.(*qsbr.Participant).Unpark()
+					c.parked.Add(-1)
+				},
 				AfterTask: func(w *tasking.Worker) {
 					if cfg.AutoCheckpoint {
 						w.TLS.(*qsbr.Participant).Checkpoint()
@@ -130,6 +164,12 @@ func (c *Cluster) Fabric() *comm.Fabric { return c.fabric }
 
 // QSBR returns the cluster-wide QSBR domain installed in the runtime.
 func (c *Cluster) QSBR() *qsbr.Domain { return c.qsbr }
+
+// Obs returns the cluster's observability registry. Arrays built on the
+// cluster and its fabric/QSBR views report here; the harness embeds its
+// snapshot into BENCH JSON.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
 
 // Shutdown stops all locale pools. The cluster is unusable afterwards.
 func (c *Cluster) Shutdown() {

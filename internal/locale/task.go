@@ -18,6 +18,58 @@ type Task struct {
 	part   *qsbr.Participant
 	worker *tasking.Worker // nil for ephemeral (non-pool) tasks
 	slot   int
+	ops    *taskOps
+}
+
+// taskOps batches a task's remote-vs-local access tallies. The fields are
+// plain integers because exactly one goroutine writes them: the struct is
+// owned by the task, and an On() sub-task shares its parent's pointer but
+// runs on the parent's thread. Batching keeps the enabled element hot path
+// at two plain increments; the shared striped counters absorb one atomic
+// add per opsFlushEvery accesses instead of one per access, which is the
+// difference between ~2% and ~10% read-path overhead.
+type taskOps struct {
+	local, remote uint32
+}
+
+// opsFlushEvery bounds how many accesses a task may tally before folding
+// them into the cluster counters (and thus how stale a live /metrics read
+// of the remote-vs-local ratio can be).
+const opsFlushEvery = 256
+
+// NoteLocalOp and NoteRemoteOp record one element access for the
+// remote-vs-local ratio. Hot path: callers gate on obs.On() so the disabled
+// cost is the caller's single branch.
+func (t *Task) NoteLocalOp() {
+	t.ops.local++
+	if t.ops.local+t.ops.remote >= opsFlushEvery {
+		t.flushOps()
+	}
+}
+
+// NoteRemoteOp records one remote element access; see NoteLocalOp.
+func (t *Task) NoteRemoteOp() {
+	t.ops.remote++
+	if t.ops.local+t.ops.remote >= opsFlushEvery {
+		t.flushOps()
+	}
+}
+
+// flushOps folds the batched tallies into the cluster's striped counters.
+// The stripe key is the globally unique (locale, slot) pair — striping by
+// slot alone would alias same-slot tasks on different locales onto one
+// cache line, and the resulting contention dominates the read path.
+func (t *Task) flushOps() {
+	c := t.loc.cluster
+	key := t.loc.id*c.cfg.WorkersPerLocale + t.slot
+	if t.ops.local > 0 {
+		c.localOps.Add(key, uint64(t.ops.local))
+		t.ops.local = 0
+	}
+	if t.ops.remote > 0 {
+		c.remoteOps.Add(key, uint64(t.ops.remote))
+		t.ops.remote = 0
+	}
 }
 
 // Here returns the locale the task is executing on.
@@ -55,12 +107,14 @@ func (c *Cluster) Run(fn func(*Task)) {
 // worker indices so they do not pile onto the pool workers' stripes.
 func (c *Cluster) newEphemeralTask(loc *Locale) *Task {
 	slot := c.cfg.WorkersPerLocale + int(c.nextSlot.Add(1)-1)
-	return &Task{loc: loc, part: c.qsbr.Register(), slot: slot}
+	return &Task{loc: loc, part: c.qsbr.Register(), slot: slot, ops: &taskOps{}}
 }
 
 // release retires an ephemeral task's participant. Pending deferrals are
-// orphaned to the domain (drained by any later checkpoint).
+// orphaned to the domain (drained by any later checkpoint); batched access
+// tallies are folded in so no counts die with the task.
 func (t *Task) release() {
+	t.flushOps()
 	t.loc.cluster.qsbr.Unregister(t.part)
 }
 
@@ -84,7 +138,7 @@ func (t *Task) On(dst int, fn func(*Task)) {
 		return
 	}
 	t.loc.cluster.fabric.ChargeRoundTrip(t.loc.id, dst, comm.OpAM, 0)
-	sub := &Task{loc: target, part: t.part, worker: t.worker, slot: t.slot}
+	sub := &Task{loc: target, part: t.part, worker: t.worker, slot: t.slot, ops: t.ops}
 	fn(sub)
 }
 
@@ -133,8 +187,9 @@ func (t *Task) ForAllTasks(n int, fn func(*Task, int)) {
 	}
 	t.parked(func() {
 		loc.pool.ForAll(n, func(w *tasking.Worker, i int) {
-			sub := &Task{loc: loc, part: w.TLS.(*qsbr.Participant), worker: w, slot: w.ID}
+			sub := &Task{loc: loc, part: w.TLS.(*qsbr.Participant), worker: w, slot: w.ID, ops: &taskOps{}}
 			fn(sub, i)
+			sub.flushOps()
 		})
 	})
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), loadable in chrome://tracing and Perfetto. Timestamps are
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes the tracer's stable events as Chrome trace-event JSON.
+//
+// Ring wraparound can leave a track with an E whose B was overwritten (or a
+// B whose E has not happened yet); an unbalanced pair renders as a slice
+// that swallows the rest of the track, so unmatched events are dropped
+// here: per track, an E with no open B of the same name is discarded, and
+// Bs still open at the end are discarded (innermost first, since slices on
+// one track nest).
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	events := t.Events()
+
+	keep := make([]bool, len(events))
+	stacks := make(map[[2]int][]int) // track -> indices of open B events
+	for i, e := range events {
+		k := [2]int{e.Pid, e.Tid}
+		switch e.Phase {
+		case PhaseBegin:
+			stacks[k] = append(stacks[k], i)
+		case PhaseEnd:
+			st := stacks[k]
+			// Pop to the innermost open B with this name; anything above
+			// it never got an E (its end slot was overwritten) and must
+			// also be dropped to keep nesting balanced.
+			matched := -1
+			for j := len(st) - 1; j >= 0; j-- {
+				if events[st[j]].Name == e.Name {
+					matched = j
+					break
+				}
+			}
+			if matched < 0 {
+				continue // orphan E: its B was overwritten
+			}
+			keep[st[matched]] = true
+			keep[i] = true
+			stacks[k] = st[:matched]
+		case PhaseInstant:
+			keep[i] = true
+		}
+	}
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, e := range events {
+		if !keep[i] {
+			continue
+		}
+		ce := chromeEvent{
+			Name:  e.Name,
+			Phase: string(rune(e.Phase)),
+			Ts:    float64(e.TsNanos) / 1e3,
+			Pid:   e.Pid,
+			Tid:   e.Tid,
+		}
+		if e.Phase == PhaseInstant {
+			ce.Scope = "t"
+			if e.Arg != 0 {
+				ce.Args = map[string]any{"v": e.Arg}
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

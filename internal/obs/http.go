@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Counter and striped-counter names should follow
+// the _total convention; histograms are exported as summaries (quantile
+// series plus _sum and _count). Labels embedded in registered names
+// ("x_total{op=\"GET\"}") pass through verbatim; the # TYPE line uses the
+// base name left of '{'.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	snap := r.Snapshot()
+
+	typed := make(map[string]bool)
+	emitType := func(name, typ string) {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, typ)
+		}
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		emitType(name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		emitType(name, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		base, labels := splitLabels(name)
+		emitType(base, "summary")
+		for _, q := range []struct {
+			q string
+			v uint64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			fmt.Fprintf(bw, "%s{%squantile=%q} %d\n", base, labels, q.q, q.v)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", base, bracedOrEmpty(labels), h.SumNanos)
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, bracedOrEmpty(labels), h.Count)
+	}
+	return bw.Flush()
+}
+
+// splitLabels splits a registered name into its base and an inner label
+// list ready to prepend more labels to: `x{a="b"}` -> ("x", `a="b",`).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// bracedOrEmpty re-wraps a non-empty inner label list in braces.
+func bracedOrEmpty(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+// Handler returns an http.Handler serving the standard observability
+// endpoints for this registry:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   expvar-style JSON snapshot
+//	/debug/trace  Chrome trace-event JSON (open in Perfetto)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Tracer().WriteTrace(w)
+	})
+	return mux
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"rcuarray/internal/xsync"
+)
+
+// Registry holds named metrics. Get-or-create accessors are mutex-guarded
+// and meant for construction time; the returned handles are lock-free and
+// are what instrumented hot paths hold on to.
+//
+// A Registry must not be copied after first use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	striped  map[string]*Striped
+	funcs    map[string]func() int64
+	tracer   *Tracer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		striped:  make(map[string]*Striped),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter is a monotonically increasing cache-line-padded atomic counter.
+// The zero value is ready to use; a nil *Counter is a no-op.
+type Counter struct{ v xsync.PaddedUint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Inc()
+	}
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value (backlog depth, occupancy). A nil
+// *Gauge is a no-op.
+type Gauge struct{ v xsync.PaddedInt64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) {
+	if g != nil {
+		g.v.Store(x)
+	}
+}
+
+// Add adds delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Striped is a counter sharded over cache lines for write-hot read paths
+// (per-op access counters incremented by every reader task). Callers pass a
+// cheap stable key — the task slot — to pick a stripe.
+type Striped struct{ c *xsync.StripedCounter }
+
+// Inc increments the stripe selected by key.
+func (s *Striped) Inc(key int) {
+	if s != nil {
+		s.c.Inc(key)
+	}
+}
+
+// Add adds delta to the stripe selected by key.
+func (s *Striped) Add(key int, delta uint64) {
+	if s != nil {
+		s.c.Add(key, delta)
+	}
+}
+
+// Sum returns the (quiescently exact) total across stripes.
+func (s *Striped) Sum() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.c.Sum()
+}
+
+// Counter returns the counter registered under name, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// StripedCounter returns the striped counter registered under name, creating
+// it with n stripes if absent (an existing counter keeps its stripe count).
+func (r *Registry) StripedCounter(name string, n int) *Striped {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.striped[name]
+	if !ok {
+		s = &Striped{c: xsync.NewStripedCounter(n)}
+		r.striped[name] = s
+	}
+	return s
+}
+
+// GaugeFunc registers fn as a read-on-export gauge view. It is how existing
+// padded counters (comm fabric traffic, memory stats) fold into the registry
+// without moving: the registry reads them only at snapshot/export time.
+// Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Tracer returns the registry's trace-event tracer, creating it on first
+// use.
+func (r *Registry) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tracer == nil {
+		r.tracer = newTracer()
+	}
+	return r.tracer
+}
+
+// Reset zeroes every counter, gauge, and histogram and discards all trace
+// rings. Handles stay valid (they are zeroed in place, except rings, which
+// are re-created on next use). It must not race with enabled writers; the
+// A/B benchmark calls it between quiesced runs.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, s := range r.striped {
+		s.c.Reset()
+	}
+	if r.tracer != nil {
+		r.tracer.reset()
+	}
+}
+
+// sortedKeys returns m's keys in sorted order, so exports are stable.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

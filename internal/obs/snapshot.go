@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a point-in-time JSON-able view of a registry: counters and
+// striped counters as totals, gauges and gauge funcs as instantaneous
+// values, histograms as HistSnap summaries. The harness embeds it in BENCH
+// JSON; the /debug/vars endpoint serves it directly.
+type Snapshot struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]HistSnap `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values. Safe under concurrent
+// writers (values are read atomically, one metric at a time).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	striped := make(map[string]*Striped, len(r.striped))
+	for k, v := range r.striped {
+		striped[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)+len(striped)),
+		Gauges:     make(map[string]int64, len(gauges)+len(funcs)),
+		Histograms: make(map[string]HistSnap, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Load()
+	}
+	for k, sc := range striped {
+		s.Counters[k] = sc.Sum()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Load()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snap()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (the /debug/vars
+// payload).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RingSize is the number of event slots per trace ring (power of two). At
+// ~48 bytes of payload per slot a ring is ~32 KiB; one ring per (locale,
+// task) track keeps the flight recorder bounded no matter how long a run is.
+const RingSize = 512
+
+const ringMask = RingSize - 1
+
+// Event phases, matching the Chrome trace-event format "ph" field.
+const (
+	PhaseBegin   = 'B' // duration-slice begin
+	PhaseEnd     = 'E' // duration-slice end
+	PhaseInstant = 'i' // instant event
+)
+
+// slot is one ring entry. Every word is atomic so snapshotting under the
+// race detector is clean; seq is the seqlock word: 2w+1 while the writer is
+// filling the slot on wrap w, 2w+2 once stable. A reader that sees an odd
+// seq, or different seqs before and after reading the payload, discards the
+// slot as torn. Because seq increases monotonically with each wrap, a slot
+// reused during a snapshot is always detected (no ABA).
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64  // ns since tracer start
+	name atomic.Uint32 // interned name id
+	ph   atomic.Uint32 // PhaseBegin/PhaseEnd/PhaseInstant
+	arg  atomic.Int64  // optional numeric payload (shown as args.v)
+}
+
+// Ring is a single-writer, many-reader ring of trace events for one
+// (pid, tid) track — by convention pid is the locale and tid the task slot.
+// The owning task calls Begin/End/Instant; any goroutine may snapshot
+// concurrently via the tracer. A nil *Ring is a no-op, so callers can hold
+// an unconditional handle and let the On() gate decide at runtime.
+type Ring struct {
+	pid, tid int
+	tr       *Tracer
+	head     atomic.Uint64 // next logical write index
+	slots    [RingSize]slot
+}
+
+// write appends one event. Single writer per ring: the owning task.
+func (r *Ring) write(ph uint32, name uint32, arg int64) {
+	if r == nil || !enabled.Load() {
+		return
+	}
+	i := r.head.Add(1) - 1
+	s := &r.slots[i&ringMask]
+	wrap := i / RingSize
+	s.seq.Store(2*wrap + 1)
+	s.ts.Store(int64(time.Since(r.tr.start)))
+	s.name.Store(name)
+	s.ph.Store(ph)
+	s.arg.Store(arg)
+	s.seq.Store(2*wrap + 2)
+}
+
+// Begin records the start of a named duration slice.
+func (r *Ring) Begin(name NameID) { r.write(PhaseBegin, uint32(name), 0) }
+
+// End records the end of the innermost open slice with the same name.
+func (r *Ring) End(name NameID) { r.write(PhaseEnd, uint32(name), 0) }
+
+// Instant records a point event with a numeric payload.
+func (r *Ring) Instant(name NameID, arg int64) { r.write(PhaseInstant, uint32(name), arg) }
+
+// TraceEvent is one stable event recovered from a ring snapshot.
+type TraceEvent struct {
+	Pid, Tid int
+	TsNanos  int64
+	Name     string
+	Phase    byte
+	Arg      int64
+	index    uint64 // logical write index, for stable sorting
+}
+
+// snapshot collects the stable events currently in the ring. Torn or
+// in-progress slots are skipped, not retried: the flight recorder favors
+// availability over completeness.
+func (r *Ring) snapshot(names []string, out []TraceEvent) []TraceEvent {
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq1 := s.seq.Load()
+		if seq1 == 0 || seq1&1 == 1 {
+			continue // empty or mid-write
+		}
+		ts := s.ts.Load()
+		name := s.name.Load()
+		ph := s.ph.Load()
+		arg := s.arg.Load()
+		if s.seq.Load() != seq1 {
+			continue // torn: writer lapped us
+		}
+		n := "?"
+		if int(name) < len(names) {
+			n = names[name]
+		}
+		wrap := seq1/2 - 1
+		out = append(out, TraceEvent{
+			Pid: r.pid, Tid: r.tid, TsNanos: ts,
+			Name: n, Phase: byte(ph), Arg: arg,
+			index: wrap*RingSize + uint64(i),
+		})
+	}
+	return out
+}
+
+// NameID is an interned event name. Interning keeps the ring write path
+// free of string headers (a uint32 store instead).
+type NameID uint32
+
+// Tracer owns the trace clock, the name table, and the set of rings. One
+// tracer per registry; tracks are keyed (pid, tid) = (locale, task slot).
+type Tracer struct {
+	start time.Time
+
+	mu    sync.Mutex
+	names []string
+	ids   map[string]NameID
+	rings map[[2]int]*Ring
+	order [][2]int // ring creation order, for stable export
+}
+
+func newTracer() *Tracer {
+	return &Tracer{
+		start: time.Now(),
+		ids:   make(map[string]NameID),
+		rings: make(map[[2]int]*Ring),
+	}
+}
+
+// Name interns s and returns its id. Call at construction time, not on the
+// hot path.
+func (t *Tracer) Name(s string) NameID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := NameID(len(t.names))
+	t.names = append(t.names, s)
+	t.ids[s] = id
+	return id
+}
+
+// Ring returns the ring for track (pid, tid), creating it if absent. The
+// caller must be (or hand the ring to) the single writer for that track.
+func (t *Tracer) Ring(pid, tid int) *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := [2]int{pid, tid}
+	r, ok := t.rings[k]
+	if !ok {
+		r = &Ring{pid: pid, tid: tid, tr: t}
+		t.rings[k] = r
+		t.order = append(t.order, k)
+	}
+	return r
+}
+
+// Events returns the stable events across all rings, ordered by timestamp
+// (ties broken by write order). It is safe to call while writers run.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	names := t.names
+	rings := make([]*Ring, 0, len(t.order))
+	for _, k := range t.order {
+		rings = append(rings, t.rings[k])
+	}
+	t.mu.Unlock()
+	var out []TraceEvent
+	for _, r := range rings {
+		out = r.snapshot(names, out)
+	}
+	sortEvents(out)
+	return out
+}
+
+// reset discards all rings and names (registry Reset).
+func (t *Tracer) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.names = nil
+	t.ids = make(map[string]NameID)
+	t.rings = make(map[[2]int]*Ring)
+	t.order = nil
+	t.start = time.Now()
+}
+
+// sortEvents orders by timestamp, then track, then per-ring write index so
+// a B sorts before its same-timestamp E.
+func sortEvents(ev []TraceEvent) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.TsNanos != b.TsNanos {
+			return a.TsNanos < b.TsNanos
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.index < b.index
+	})
+}

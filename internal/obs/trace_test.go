@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func enableForTest(t *testing.T) {
+	t.Helper()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+}
+
+func TestRingBasic(t *testing.T) {
+	enableForTest(t)
+	tr := NewRegistry().Tracer()
+	ring := tr.Ring(0, 1)
+	nGrow := tr.Name("grow")
+	nTick := tr.Name("tick")
+	ring.Begin(nGrow)
+	ring.Instant(nTick, 7)
+	ring.End(nGrow)
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Phase != PhaseBegin || ev[0].Name != "grow" {
+		t.Fatalf("first event = %+v", ev[0])
+	}
+	if ev[1].Phase != PhaseInstant || ev[1].Arg != 7 {
+		t.Fatalf("second event = %+v", ev[1])
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TsNanos < ev[i-1].TsNanos {
+			t.Fatal("events not sorted by timestamp")
+		}
+	}
+}
+
+// TestRingWraparound writes far more events than RingSize and checks the
+// snapshot holds exactly the last RingSize events, all stable.
+func TestRingWraparound(t *testing.T) {
+	enableForTest(t)
+	tr := NewRegistry().Tracer()
+	ring := tr.Ring(0, 0)
+	n := tr.Name("e")
+	const total = RingSize*3 + 17
+	for i := 0; i < total; i++ {
+		ring.Instant(n, int64(i))
+	}
+	ev := tr.Events()
+	if len(ev) != RingSize {
+		t.Fatalf("got %d events after wrap, want %d", len(ev), RingSize)
+	}
+	// The surviving args must be the last RingSize writes, in order.
+	want := int64(total - RingSize)
+	for _, e := range ev {
+		if e.Arg != want {
+			t.Fatalf("arg = %d, want %d (wraparound kept wrong events)", e.Arg, want)
+		}
+		want++
+	}
+}
+
+// TestRingTornReadDetection runs one writer per ring against concurrent
+// snapshot readers under -race: every recovered event must be internally
+// consistent (arg always equals the ts-derived marker the writer stored),
+// proving seqlock rejection of torn slots.
+func TestRingTornReadDetection(t *testing.T) {
+	enableForTest(t)
+	tr := NewRegistry().Tracer()
+	const writers = 4
+	const writes = 20000
+	name := tr.Name("w")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ring := tr.Ring(w, 0)
+			for i := 0; i < writes; i++ {
+				// Payload encodes the writer so a torn slot that mixed
+				// two writes would be detectable.
+				ring.Instant(name, int64(w*writes+i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range tr.Events() {
+				if e.Name != "w" {
+					t.Errorf("unstable event name %q leaked through seqlock", e.Name)
+					return
+				}
+				w := int(e.Arg) / writes
+				if w != e.Pid {
+					t.Errorf("torn read: ring pid %d holds arg %d (writer %d)", e.Pid, e.Arg, w)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}
+
+func TestWriteTraceMatchedPairs(t *testing.T) {
+	enableForTest(t)
+	r := NewRegistry()
+	tr := r.Tracer()
+	ring := tr.Ring(0, 0)
+	a, b := tr.Name("outer"), tr.Name("inner")
+	// Orphan E first (as if its B was overwritten by wraparound).
+	ring.End(b)
+	ring.Begin(a)
+	ring.Begin(b)
+	ring.End(b)
+	ring.End(a)
+	ring.Begin(a) // dangling B with no E
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4 (orphan E and dangling B dropped): %s", len(out.TraceEvents), buf.String())
+	}
+	// B/E must balance per name with sorted ts.
+	depth := 0
+	lastTs := -1.0
+	for _, e := range out.TraceEvents {
+		if e.Ts < lastTs {
+			t.Fatal("trace not sorted by ts")
+		}
+		lastTs = e.Ts
+		switch e.Ph {
+		case "B":
+			depth++
+		case "E":
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("E before matching B survived filtering")
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced trace: depth %d at end", depth)
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	tr := NewRegistry().Tracer()
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Fatal("empty trace missing traceEvents key")
+	}
+}

@@ -1,0 +1,26 @@
+package qsbr
+
+import "rcuarray/internal/obs"
+
+// Observe folds the domain's totals into r as read-on-export views. QSBR's
+// counters are owner-local non-RMW stores precisely so per-operation
+// checkpoints stay cheap (Figure 4's leftmost point); moving them into
+// registry counters would reintroduce shared RMWs on the checkpoint path.
+// Instead the registry reads the existing exact totals only when a snapshot
+// or /metrics scrape asks:
+//
+//	qsbr_defers_total        cumulative Defer calls
+//	qsbr_reclaimed_total     cumulative reclaimed deferrals
+//	qsbr_checkpoints_total   cumulative Checkpoint calls
+//	qsbr_defer_backlog       deferrals not yet reclaimed (the reclamation
+//	                         lag Brown's survey flags as THE failure mode)
+//	qsbr_orphans             deferrals parked/departed participants left
+func (d *Domain) Observe(r *obs.Registry) {
+	r.GaugeFunc("qsbr_defers_total", func() int64 { return int64(d.Defers()) })
+	r.GaugeFunc("qsbr_reclaimed_total", func() int64 { return int64(d.Reclaimed()) })
+	r.GaugeFunc("qsbr_checkpoints_total", func() int64 { return int64(d.Checkpoints()) })
+	r.GaugeFunc("qsbr_defer_backlog", func() int64 {
+		return int64(d.Defers()) - int64(d.Reclaimed())
+	})
+	r.GaugeFunc("qsbr_orphans", func() int64 { return int64(d.OrphanCount()) })
+}
