@@ -27,6 +27,13 @@
 #                                the full metrics snapshot embedded; fails if
 #                                enabling observability costs the read path
 #                                more than 10%
+#   ./ci.sh install    resize tier: the rcubench incremental-install
+#                                experiment, emitting BENCH_PR6.json; fails
+#                                if the install-phase p99 exceeds 1/5 of the
+#                                PR 5 monolithic-install baseline, or if the
+#                                combining-tree Synchronize is slower than
+#                                the flat layout at 1 locale or not faster
+#                                at 4 locales
 #   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
@@ -103,6 +110,18 @@ obs() {
 		-out BENCH_PR5.json -max-overhead 10
 }
 
+install() {
+	versions install
+	echo '--- install: rcubench incremental-install latency + tree-vs-flat sync -> BENCH_PR6.json'
+	# Gate: install p99 at most 1/5 of BENCH_PR5.json's monolithic
+	# core_resize_install_ns p99 (33554431 ns -> 6710886 ns), and the
+	# hierarchical domain no slower at 1 locale / faster at 4.
+	go run ./cmd/rcubench -experiment install \
+		-locales 1,2,4 -tasks 2 -reps 3 -block 1024 \
+		-install-p99-max 6710886 -install-baseline 33554431 \
+		-out BENCH_PR6.json
+}
+
 chaos() {
 	versions chaos
 	# Fixed seed list: every run is reproducible with
@@ -124,6 +143,7 @@ race) tier15 ;;
 lint) lint ;;
 bench) bench ;;
 obs) obs ;;
+install) install ;;
 chaos) chaos ;;
 full)
 	tier1
@@ -131,7 +151,7 @@ full)
 	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|lint|bench|obs|chaos|full]" >&2
+	echo "usage: $0 [tier1|race|lint|bench|obs|install|chaos|full]" >&2
 	exit 2
 	;;
 esac

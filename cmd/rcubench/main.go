@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|install|all")
 		localesArg = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
 		tasks      = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
 		ops        = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
@@ -50,6 +50,8 @@ func main() {
 		pinBudget  = flag.Int("pin-budget", 0, "pinned-session op budget for readscale (0 = default)")
 		out        = flag.String("out", "", "write readscale/obs results as JSON to this file (in addition to the table)")
 		maxOverhead = flag.Float64("max-overhead", 0, "obs: exit nonzero if enabled overhead exceeds this percentage (0 = no gate)")
+		installP99Max   = flag.Uint64("install-p99-max", 0, "install: exit nonzero if install p99 exceeds this many ns, and gate tree-vs-flat sync scaling (0 = no gate)")
+		installBaseline = flag.Uint64("install-baseline", 0, "install: prior monolithic-install p99 in ns, embedded in the artifact for comparison")
 	)
 	flag.Parse()
 
@@ -223,6 +225,62 @@ func main() {
 		}
 	}
 
+	// The install experiment is the PR 6 acceptance run: incremental
+	// per-region install latency (gated against the PR 5 monolithic-install
+	// p99) plus the tree-vs-flat Synchronize scaling sweep.
+	runInstall := func() {
+		res := harness.RunInstallBench(harness.InstallBenchConfig{
+			Locales:        locales[len(locales)-1],
+			TasksPerLocale: *tasks,
+			BlockSize:      *blockSize,
+			SyncLocales:    locales,
+			Seed:           *seed,
+			Repetitions:    *reps,
+		})
+		res.BaselineP99Nanos = *installBaseline
+		res.Format(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := res.EncodeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if *installP99Max > 0 {
+			failed := false
+			if res.InstallP99Nanos > *installP99Max {
+				fmt.Fprintf(os.Stderr, "rcubench: install p99 %dns exceeds gate %dns\n",
+					res.InstallP99Nanos, *installP99Max)
+				failed = true
+			}
+			for _, pt := range res.SyncScale {
+				switch {
+				case pt.Locales >= 4 && pt.TreeNsPerGrow >= pt.FlatNsPerGrow:
+					fmt.Fprintf(os.Stderr, "rcubench: tree sync not faster than flat at %d locales (%.0fns vs %.0fns per resize)\n",
+						pt.Locales, pt.TreeNsPerGrow, pt.FlatNsPerGrow)
+					failed = true
+				case pt.Locales == 1 && pt.TreeNsPerGrow > pt.FlatNsPerGrow*1.10+1000:
+					// "No slower" at one locale, with a 10% + 1µs allowance:
+					// a one-locale rendezvous is tens of nanoseconds, below
+					// the timer's own jitter.
+					fmt.Fprintf(os.Stderr, "rcubench: tree sync slower than flat at 1 locale (%.0fns vs %.0fns per resize)\n",
+						pt.TreeNsPerGrow, pt.FlatNsPerGrow)
+					failed = true
+				}
+			}
+			if failed {
+				os.Exit(1)
+			}
+		}
+	}
+
 	order := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "rw", "zipf"}
 	var toRun []string
 	switch {
@@ -237,9 +295,12 @@ func main() {
 	case *experiment == "obs":
 		runObs()
 		return
+	case *experiment == "install":
+		runInstall()
+		return
 	default:
 		if _, ok := experiments[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, all)\n",
+			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, install, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}

@@ -21,7 +21,9 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
+	"sync"
 	"time"
 
 	"rcuarray/internal/comm"
@@ -39,11 +41,12 @@ const (
 	chaosKill
 	chaosPartition
 	chaosStaleLease
+	chaosRegionKill
 	numChaosScenarios
 )
 
 func (s chaosScenario) String() string {
-	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease"}[s]
+	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease", "region-kill"}[s]
 }
 
 func chaosTorture(seed uint64, rounds int, obsDump bool) bool {
@@ -94,6 +97,10 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		opts.Part = part
 	case chaosStaleLease:
 		opts.LockTTL = 300 * time.Millisecond
+	case chaosRegionKill:
+		// Fine-grained incremental installs: a multi-block grow publishes
+		// several region flips per node, opening real between-flip windows.
+		opts.RegionBlocks = 2
 	}
 
 	nodes, stop, err := dist.SpawnLocalNodes(3, comm.NodeConfig{FrameTimeout: 2 * time.Second})
@@ -223,6 +230,61 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		}
 		if err := d.ReleaseLock(staleToken); err == nil {
 			return fmt.Errorf("superseded token still released the lock")
+		}
+	case chaosRegionKill:
+		// Kill a block owner between the region flips of a multi-region
+		// grow: the resize must abort, and every survivor must converge
+		// fully-old — never a torn mix of old and new regions.
+		dead = 1 + int(taskSeed(seed, 3)%2)
+		oldLen := d.Len()
+		oldTable, err := d.NodeTable(0)
+		if err != nil {
+			return fmt.Errorf("pre-kill table audit: %w", err)
+		}
+		deadAddr := nodes[dead].Addr()
+		var once sync.Once
+		nodes[dead].SetInstallHook(func(k, total int) {
+			if k != 0 {
+				return
+			}
+			once.Do(func() {
+				// Close joins handler goroutines, so it cannot run on this
+				// one; fire it async and wait for the listener to die (by
+				// then the live connections are severed too).
+				go nodes[dead].Close()
+				for i := 0; i < 1000; i++ {
+					c, err := net.Dial("tcp", deadAddr)
+					if err != nil {
+						break
+					}
+					c.Close()
+					time.Sleep(2 * time.Millisecond)
+				}
+				time.Sleep(10 * time.Millisecond)
+			})
+		})
+		if err := d.Grow(chaosBlock * 8); err == nil {
+			return fmt.Errorf("multi-region grow succeeded with node %d dying between flips", dead)
+		}
+		if d.Len() != oldLen {
+			return fmt.Errorf("aborted region grow changed Len: %d -> %d", oldLen, d.Len())
+		}
+		for node := 0; node < d.Nodes(); node++ {
+			if node == dead {
+				continue
+			}
+			got, err := d.NodeTable(node)
+			if err != nil {
+				return fmt.Errorf("NodeTable(%d): %w", node, err)
+			}
+			if len(got) != len(oldTable) {
+				return fmt.Errorf("survivor %d torn after region kill: %d blocks, want %d", node, len(got), len(oldTable))
+			}
+			for i := range got {
+				if got[i] != oldTable[i] {
+					return fmt.Errorf("survivor %d torn after region kill: block %d is %v, want %v", node, i, got[i], oldTable[i])
+				}
+			}
 		}
 	}
 

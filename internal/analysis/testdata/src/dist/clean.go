@@ -43,6 +43,25 @@ func (n *node) renew(now, dur uint64) {
 	}
 }
 
+// publishRegionOrdered is the sanctioned region-install shape: the
+// already-published skip is an ordering comparison on the milestone, so the
+// forward write below it cannot rewind a retried earlier step.
+func (n *node) publishRegionOrdered(step uint64) {
+	if n.regionMilestone >= step {
+		return
+	}
+	n.regionMilestone = step
+}
+
+// rollbackRegionPartial resets the milestone only after observing a partial
+// install in progress — the ordering comparison that distinguishes an abort's
+// rewind from a stale write.
+func (n *node) rollbackRegionPartial() {
+	if n.regionMilestone > 0 {
+		n.regionMilestone = 0
+	}
+}
+
 // replay is idempotent replay: equality on the applied marker is identity,
 // not ordering, and the real reject below it is ordered.
 func (n *node) replay(fence uint64) error {

@@ -8,11 +8,12 @@ import "errors"
 var errStale = errors.New("stale token")
 
 type node struct {
-	maxFence     uint64
-	lockFence    uint64
-	lockHolder   uint64
-	lockExpiry   uint64
-	appliedFence uint64
+	maxFence        uint64
+	lockFence       uint64
+	lockHolder      uint64
+	lockExpiry      uint64
+	appliedFence    uint64
+	regionMilestone uint64
 }
 
 // validate rejects by inequality: any stale token that merely differs from
@@ -46,6 +47,19 @@ func (n *node) rollback() {
 // rewind is the compound-assignment decrement.
 func (n *node) rewind(delta uint64) {
 	n.lockFence -= delta // want "monotonic field lockFence decremented"
+}
+
+// publishRegion records a region-install milestone with no ordering guard:
+// a duplicate delivery of an earlier step would move it backwards and let a
+// superseded partial install republish over a newer table.
+func (n *node) publishRegion(step uint64) {
+	n.regionMilestone = step // want "write to monotonic field regionMilestone without an ordering check"
+}
+
+// resetRegion clears the milestone unguarded — the rollback shape, but
+// without the partial-install check that licenses it.
+func (n *node) resetRegion() {
+	n.regionMilestone-- // want "monotonic field regionMilestone decremented"
 }
 
 // evict writes leased state with no lease check in sight.

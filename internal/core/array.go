@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"unsafe"
 
+	"rcuarray/internal/ebr"
 	"rcuarray/internal/locale"
 	"rcuarray/internal/memory"
 	"rcuarray/internal/obs"
@@ -48,6 +49,19 @@ type Options struct {
 	// task slots. It exists for the A/B ablation benchmarks; production
 	// arrays leave it false.
 	FlatEBR bool
+	// TreeEBR replaces the per-locale EBR domains with ONE cluster-shared
+	// hierarchical domain (ebr.NewTree): readers announce on their
+	// locale's subtree leaves, and a resize needs a single combining-tree
+	// Synchronize per publication step instead of one flat rendezvous per
+	// locale. Ignored under VariantQSBR; mutually exclusive with FlatEBR
+	// (FlatEBR wins, as the paper baseline).
+	TreeEBR bool
+	// RegionBlocks is the region width in blocks for the two-level
+	// directory + region-table metadata (see snapshot.go): resizes
+	// publish per-region tables, so install work and its grace periods
+	// scale with the touched regions, not the whole array. Defaults to
+	// DefaultRegionBlocks.
+	RegionBlocks int
 	// PinBudget is the operation budget of a pinned read session (see
 	// Reader) before it repins, bounding writer wait. Defaults to
 	// ebr.DefaultPinBudget.
@@ -69,6 +83,36 @@ type Point string
 // resize-during-read and checkpoint-starvation interleavings.
 const PointIndexSnapLoaded Point = "index-snap-loaded"
 
+// PointInstallRegionFlipped fires on the resize initiator after a boundary
+// region's extended table has been published on every locale, but before
+// the wider directory is — the window in which a reader can observe region
+// k's new table while every directory still bounds the old capacity. The
+// mid-install lincheck schedules park the writer here.
+const PointInstallRegionFlipped Point = "install-region-flipped"
+
+// PointInstallDirPublished fires on the resize initiator after the new
+// directory has been published on every locale (and, under EBR, its grace
+// period has completed), before the write lock is released.
+const PointInstallDirPublished Point = "install-dir-published"
+
+// RegionEvent describes one region-level publication step of a resize, in
+// the deterministic order the initiator performs them. The seed-replay
+// regression test formats the event stream and asserts byte-for-byte
+// stability across runs.
+type RegionEvent struct {
+	// Op is the resize operation: "grow", "shrink", or "destroy".
+	Op string
+	// Kind is the step: "flip" (boundary region republished through its
+	// shared cell), "dir" (directory published), or "retire-batch"
+	// (shrink/destroy batched region retirement).
+	Kind string
+	// Region is the flipped region's index for "flip", the region count
+	// for "dir", and the retired-table count for "retire-batch".
+	Region int
+	// NBlocks is the addressable block count after the step.
+	NBlocks int
+}
+
 // Hooks is optional test instrumentation threaded through Options. All
 // fields may be nil.
 type Hooks struct {
@@ -76,6 +120,10 @@ type Hooks struct {
 	// task's goroutine. A deterministic scheduler can park the operation
 	// here (see internal/check.Driver.YieldPoint).
 	Yield func(Point)
+	// Region is invoked on the resize initiator after each region-level
+	// publication step, in deterministic order (the seed-replay test
+	// records the stream).
+	Region func(RegionEvent)
 }
 
 // yield fires the instrumentation point if hooks are installed.
@@ -85,9 +133,23 @@ func (a *Array[T]) yield(p Point) {
 	}
 }
 
+// regionEvent reports a region-level publication step if hooks are installed.
+func (a *Array[T]) regionEvent(ev RegionEvent) {
+	if h := a.opts.Hooks; h != nil && h.Region != nil {
+		h.Region(ev)
+	}
+}
+
+// DefaultRegionBlocks is the region width, in blocks, used when Options does
+// not set one.
+const DefaultRegionBlocks = 8
+
 func (o Options) withDefaults() Options {
 	if o.BlockSize <= 0 {
 		o.BlockSize = 1024
+	}
+	if o.RegionBlocks <= 0 {
+		o.RegionBlocks = DefaultRegionBlocks
 	}
 	return o
 }
@@ -102,6 +164,9 @@ type Array[T any] struct {
 	writeLock *locale.GlobalLock
 	elemSize  int
 	o         *arrayObs
+	// sharedDom is the cluster-wide hierarchical EBR domain when
+	// Options.TreeEBR is set; nil means per-locale domains.
+	sharedDom *ebr.Domain
 }
 
 // New creates an array distributed over the task's cluster. Construction
@@ -110,8 +175,13 @@ type Array[T any] struct {
 func New[T any](t *locale.Task, opts Options) *Array[T] {
 	opts = opts.withDefaults()
 	c := t.Cluster()
+	var shared *ebr.Domain
+	if opts.TreeEBR && !opts.FlatEBR && opts.Variant != VariantQSBR {
+		shared = ebr.NewTree(c.NumLocales(), c.WorkersPerLocale())
+		shared.Observe(c.Obs())
+	}
 	pid := locale.Privatize(t, func(loc *locale.Locale) any {
-		return newInstance[T](loc, opts)
+		return newInstance[T](loc, opts, shared)
 	})
 	var zero T
 	a := &Array[T]{
@@ -121,6 +191,7 @@ func New[T any](t *locale.Task, opts Options) *Array[T] {
 		writeLock: c.NewGlobalLock(0),
 		elemSize:  int(unsafe.Sizeof(zero)),
 		o:         newArrayObs(c),
+		sharedDom: shared,
 	}
 	if opts.InitialCapacity > 0 {
 		a.Grow(t, opts.InitialCapacity)
@@ -202,7 +273,7 @@ func (a *Array[T]) Index(t *locale.Task, idx int) Ref[T] {
 		s.CheckLive()
 		return a.refAt(s, idx)
 	}
-	g := inst.dom.EnterSlot(t.Slot())
+	g := inst.dom.EnterSlot(inst.slotOf(t))
 	defer g.Exit()
 	s := inst.snap.Load()
 	a.yield(PointIndexSnapLoaded)
@@ -236,7 +307,22 @@ func (a *Array[T]) Len(t *locale.Task) int {
 	if a.opts.Variant == VariantQSBR {
 		return inst.snap.Load().capacity(a.opts.BlockSize)
 	}
-	g := inst.dom.EnterSlot(t.Slot())
+	g := inst.dom.EnterSlot(inst.slotOf(t))
 	defer g.Exit()
 	return inst.snap.Load().capacity(a.opts.BlockSize)
+}
+
+// RegionBlocks returns the region width in blocks.
+func (a *Array[T]) RegionBlocks() int { return a.opts.RegionBlocks }
+
+// Regions returns the current region count, from the calling locale's
+// directory.
+func (a *Array[T]) Regions(t *locale.Task) int {
+	inst := a.inst(t)
+	if a.opts.Variant == VariantQSBR {
+		return len(inst.snap.Load().regions)
+	}
+	g := inst.dom.EnterSlot(inst.slotOf(t))
+	defer g.Exit()
+	return len(inst.snap.Load().regions)
 }

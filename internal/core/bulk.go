@@ -35,12 +35,20 @@ func (a *Array[T]) blocksFor(t *locale.Task, lo, n int) []*memory.Block[T] {
 		}
 		first := lo / a.opts.BlockSize
 		last := (lo + n - 1) / a.opts.BlockSize
-		return s.blocks[first : last+1]
+		// Materialize through the region level while still inside the
+		// critical section: region tables reachable from a live directory
+		// are live here, so the captured block pointers are stable (blocks
+		// never move under Grow).
+		out := make([]*memory.Block[T], 0, last-first+1)
+		for bi := first; bi <= last; bi++ {
+			out = append(out, s.blockAt(bi))
+		}
+		return out
 	}
 	if a.opts.Variant == VariantQSBR {
 		return capture()
 	}
-	g := inst.dom.EnterSlot(t.Slot())
+	g := inst.dom.EnterSlot(inst.slotOf(t))
 	defer g.Exit()
 	return capture()
 }
@@ -135,9 +143,9 @@ func (a *Array[T]) LocalBlocks(t *locale.Task, fn func(start int, data []T)) {
 	visit := func() {
 		s := inst.snap.Load()
 		s.CheckLive()
-		for i, b := range s.blocks {
-			if b.Owner == here {
-				fn(i*a.opts.BlockSize, b.Data)
+		for bi := 0; bi < s.nBlocks; bi++ {
+			if b := s.blockAt(bi); b.Owner == here {
+				fn(bi*a.opts.BlockSize, b.Data)
 			}
 		}
 	}
@@ -149,7 +157,7 @@ func (a *Array[T]) LocalBlocks(t *locale.Task, fn func(start int, data []T)) {
 	// unlike single-element refs, fn receives raw slices whose blocks a
 	// concurrent Shrink could free. The exit is deferred so a panicking
 	// fn (or a tripped poison check) cannot leak the reader counter.
-	g := inst.dom.EnterSlot(t.Slot())
+	g := inst.dom.EnterSlot(inst.slotOf(t))
 	defer g.Exit()
 	visit()
 }

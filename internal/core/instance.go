@@ -9,74 +9,93 @@ import (
 )
 
 // instance is the privatized per-locale copy of the array's metadata — the
-// paper's RCUArrayMetaData (Listing 1). All fields are node-local; resizes
-// mutate them on every locale under the cluster-wide WriteLock, and
+// paper's RCUArrayMetaData (Listing 1), split into the two-level directory +
+// region tables of snapshot.go. All fields are node-local; resizes mutate
+// them on every locale under the cluster-wide WriteLock, and
 // readers/updaters touch only their own locale's instance plus the blocks
 // they index into.
 type instance[T any] struct {
-	// dom carries GlobalEpoch and EpochReaders for the EBR variant. The
-	// reader counters are striped over the locale's task slots unless
-	// Options.FlatEBR pins the paper's exact two-counter layout.
+	// dom carries GlobalEpoch and EpochReaders for the EBR variant. With
+	// Options.TreeEBR it is the *cluster-shared* hierarchical domain (one
+	// combining tree whose per-locale subtrees this locale's readers
+	// announce into); otherwise it is private to the locale, striped over
+	// the locale's task slots unless Options.FlatEBR pins the paper's
+	// exact two-counter layout.
 	dom *ebr.Domain
-	// snap is the GlobalSnapshot pointer.
+	// treeShared records that dom is the cluster-wide tree: reader slots
+	// must then be mapped through LeafFor so each locale stays inside its
+	// own subtree.
+	treeShared bool
+	// here is the owning locale's id (the LeafFor locale coordinate).
+	here int
+	// snap is the GlobalSnapshot pointer — now the region directory.
 	snap atomic.Pointer[snapshot[T]]
 	// nextLocaleID is the round-robin cursor for block placement. It is
 	// only read and written while the WriteLock is held.
 	nextLocaleID int
 	// pool allocates this locale's blocks.
 	pool *memory.Pool[T]
-	// snapStats tracks snapshot lifecycle on this locale; the Lemma 1
+	// snapStats tracks directory lifecycle on this locale; the Lemma 1
 	// test asserts LiveMax <= 2.
 	snapStats memory.Stats
+	// regionStats tracks region-table lifecycle on this locale (the
+	// region tests assert steady-state live counts and leak-freedom).
+	regionStats memory.Stats
 }
 
-func newInstance[T any](loc *locale.Locale, opts Options) *instance[T] {
-	dom := ebr.NewStriped(loc.Cluster().WorkersPerLocale())
-	if opts.FlatEBR {
-		dom = ebr.NewFlat()
+func newInstance[T any](loc *locale.Locale, opts Options, shared *ebr.Domain) *instance[T] {
+	dom := shared
+	if dom == nil {
+		dom = ebr.NewStriped(loc.Cluster().WorkersPerLocale())
+		if opts.FlatEBR {
+			dom = ebr.NewFlat()
+		}
+		// Grace-period metrics land in the owning cluster's registry, next
+		// to the resize-phase histograms, not in the process-global
+		// default. (The shared tree domain was Observed once by New.)
+		dom.Observe(loc.Cluster().Obs())
 	}
-	// Grace-period metrics land in the owning cluster's registry, next to
-	// the resize-phase histograms, not in the process-global default.
-	dom.Observe(loc.Cluster().Obs())
 	inst := &instance[T]{
-		dom:  dom,
-		pool: memory.NewPool[T](loc.ID(), opts.BlockSize, loc.MemStats()),
+		dom:        dom,
+		treeShared: shared != nil,
+		here:       loc.ID(),
+		pool:       memory.NewPool[T](loc.ID(), opts.BlockSize, loc.MemStats()),
 	}
-	first := &snapshot[T]{}
+	first := &snapshot[T]{regionBlocks: opts.RegionBlocks}
 	inst.snapStats.NoteAlloc(false)
 	inst.snap.Store(first)
 	return inst
 }
 
-// rcuWrite is the paper's RCU_Write (Algorithm 1): clone the current
-// snapshot, apply the side-effecting update to the clone, publish it,
-// advance the epoch, wait for the prior epoch's readers, and reclaim the
-// old snapshot. The caller must hold the WriteLock.
-func (inst *instance[T]) rcuWrite(extra int, update func(*snapshot[T])) {
-	old := inst.snap.Load()
-	next := old.clone(extra)
-	inst.snapStats.NoteAlloc(false)
-	update(next)
-	inst.snap.Store(next)
-	inst.dom.Synchronize()
-	inst.retireSnapshot(old)
+// slotOf maps the task to the reader-counter slot it announces on: the raw
+// task slot for a private domain, or this locale's tree leaf for the shared
+// hierarchical domain.
+func (inst *instance[T]) slotOf(t *locale.Task) int {
+	if inst.treeShared {
+		return inst.dom.LeafFor(inst.here, t.Slot())
+	}
+	return t.Slot()
 }
 
-// qsbrWrite is the QSBR path of Algorithm 3 (lines 21–25): clone, apply,
-// publish, and defer reclamation of the old snapshot to the runtime.
-func (inst *instance[T]) qsbrWrite(t *locale.Task, extra int, update func(*snapshot[T])) {
-	old := inst.snap.Load()
-	next := old.clone(extra)
-	inst.snapStats.NoteAlloc(false)
-	update(next)
-	inst.snap.Store(next)
-	t.QSBR().Defer(func() { inst.retireSnapshot(old) })
+// newRegion wraps blocks in a fresh region table (taking ownership of the
+// slice) and notes its lifecycle.
+func (inst *instance[T]) newRegion(blocks []*memory.Block[T]) *regionTable[T] {
+	inst.regionStats.NoteAlloc(false)
+	return &regionTable[T]{blocks: blocks}
 }
 
-// retireSnapshot poisons a reclaimed snapshot so any straggling reader trips
-// the use-after-free detector, and releases its metadata.
+// retireRegion poisons a reclaimed region table so any straggling reader
+// trips the use-after-free detector, and releases its metadata.
+func (inst *instance[T]) retireRegion(rt *regionTable[T]) {
+	rt.Retire()
+	rt.blocks = nil // metadata poison: stale indexing fails loudly
+	inst.regionStats.NoteFree()
+}
+
+// retireSnapshot poisons a reclaimed directory so any straggling reader
+// trips the use-after-free detector, and releases its metadata.
 func (inst *instance[T]) retireSnapshot(s *snapshot[T]) {
 	s.Retire()
-	s.blocks = nil // metadata poison: stale indexing fails loudly
+	s.regions = nil // metadata poison: stale indexing fails loudly
 	inst.snapStats.NoteFree()
 }

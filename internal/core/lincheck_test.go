@@ -2,6 +2,7 @@ package core
 
 import (
 	"flag"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -205,6 +206,133 @@ func TestLincheckRejectsDroppedWriteDuringGrow(t *testing.T) {
 	}
 	if enc1 != enc2 || rep2.Ok {
 		t.Fatal("negative history does not replay byte-for-byte")
+	}
+}
+
+// TestLincheckMidInstallRegionRead parks a boundary-straddling Grow at
+// PointInstallRegionFlipped — the extended region table is published on
+// every locale, the wider directory is not — and drives reads, stores, and
+// Len from the other tasks through the window. They must observe a fully
+// consistent pre-install view (old capacity, old values readable, new
+// stores durable), and the resumed install must expose the new capacity
+// with all window-time stores intact. The history is then checked.
+func TestLincheckMidInstallRegionRead(t *testing.T) {
+	for _, v := range []Variant{VariantEBR, VariantQSBR} {
+		t.Run(v.String(), func(t *testing.T) {
+			c := locale.NewCluster(locale.Config{Locales: 2, WorkersPerLocale: 2})
+			defer c.Shutdown()
+			withBoundTasks(c, 3, func(lts []*locale.Task) {
+				d := check.NewDriver("core/mid-install-"+v.String(), 21, 3)
+				defer d.Close()
+				hooks := &Hooks{Yield: func(p Point) { d.YieldPoint(string(p)) }}
+				a := New[int64](lts[0], Options{BlockSize: lincheckBlockSize, Variant: v, Hooks: hooks})
+				tg := []arrayTarget{{a, lts[0]}, {a, lts[1]}, {a, lts[2]}}
+
+				// One block committed and populated; the next grow straddles
+				// the region boundary (1 % DefaultRegionBlocks != 0).
+				d.Do(1, check.Op{Kind: check.KindGrow, Idx: 1}, func(op *check.Op) { tg[1].GrowBlocks(op.Idx) })
+				d.Do(1, check.Op{Kind: check.KindStore, Idx: 3, Arg: 7}, func(op *check.Op) { tg[1].Store(op.Idx, op.Arg) })
+
+				d.Arm()
+				d.Begin(0, check.Op{Kind: check.KindGrow, Idx: 1}, func(op *check.Op) { tg[0].GrowBlocks(op.Idx) })
+				if pt := d.WaitYield(0); pt != string(PointInstallRegionFlipped) {
+					t.Fatalf("grow parked at %q, want %q", pt, PointInstallRegionFlipped)
+				}
+
+				// Mid-install window: the view is the old one, consistently.
+				if n := tg[1].Len(); n != lincheckBlockSize {
+					t.Fatalf("Len mid-install = %d, want %d (old capacity)", n, lincheckBlockSize)
+				}
+				d.Do(1, check.Op{Kind: check.KindLoad, Idx: 3}, func(op *check.Op) { op.Out = tg[1].Load(op.Idx) })
+				d.Do(2, check.Op{Kind: check.KindStore, Idx: 5, Arg: 11}, func(op *check.Op) { tg[2].Store(op.Idx, op.Arg) })
+				d.Do(2, check.Op{Kind: check.KindLoad, Idx: 5}, func(op *check.Op) { op.Out = tg[2].Load(op.Idx) })
+
+				d.Resume()
+				grow := d.Await(0)
+				if grow.Panic != "" {
+					t.Fatalf("parked grow panicked: %s", grow.Panic)
+				}
+				if n := tg[1].Len(); n != 2*lincheckBlockSize {
+					t.Fatalf("Len after install = %d, want %d", n, 2*lincheckBlockSize)
+				}
+				// Window-time stores survived the install; the new block is
+				// addressable.
+				d.Do(1, check.Op{Kind: check.KindLoad, Idx: 5}, func(op *check.Op) { op.Out = tg[1].Load(op.Idx) })
+				d.Do(2, check.Op{Kind: check.KindStore, Idx: lincheckBlockSize + 1, Arg: 13},
+					func(op *check.Op) { tg[2].Store(op.Idx, op.Arg) })
+				d.Do(1, check.Op{Kind: check.KindLoad, Idx: lincheckBlockSize + 1},
+					func(op *check.Op) { op.Out = tg[1].Load(op.Idx) })
+
+				h := d.History()
+				h.BlockSize = lincheckBlockSize
+				if rep := check.CheckArray(h, 0); !rep.Ok {
+					t.Fatalf("mid-install history rejected: %v\n%s", rep, h.EncodeString())
+				}
+				a.Destroy(lts[0])
+			})
+		})
+	}
+}
+
+// TestLincheckRejectsTornRegionView is the negative control for the
+// per-region install: a buggy client layer that caches element values and
+// fails to refresh one region's cache across an install serves a torn
+// cross-region view — element in region 0 fresh, element in region 1 stale.
+// The checker must reject the history, attribute the failure to the stale
+// region's element, and the failing history must replay byte-for-byte.
+func TestLincheckRejectsTornRegionView(t *testing.T) {
+	const rb = 1 // one block per region: indexes 0..7 in region 0, 8..15 in region 1
+	run := func() (check.Report, string) {
+		c := locale.NewCluster(locale.Config{Locales: 2, WorkersPerLocale: 2})
+		defer c.Shutdown()
+		var rep check.Report
+		var enc string
+		withBoundTasks(c, 2, func(lts []*locale.Task) {
+			a := New[int64](lts[0], Options{BlockSize: lincheckBlockSize, Variant: VariantEBR, RegionBlocks: rb})
+			d := check.NewDriver("core/torn-region", 9, 2)
+			defer d.Close()
+			h := d.History()
+			h.BlockSize = lincheckBlockSize
+
+			tg := []arrayTarget{{a, lts[0]}, {a, lts[1]}}
+			const r0, r1 = 3, lincheckBlockSize + 3 // one index per region
+			cache := map[int]int64{}
+			tornRead := func(k, idx int) func(op *check.Op) {
+				return func(op *check.Op) {
+					if v, ok := cache[idx]; ok {
+						op.Out = v // the bug: region-1 reads served from the stale cache
+						return
+					}
+					op.Out = tg[k].Load(op.Idx)
+				}
+			}
+
+			d.Do(0, check.Op{Kind: check.KindGrow, Idx: 2}, func(op *check.Op) { tg[0].GrowBlocks(op.Idx) })
+			// Prime the buggy cache for region 1 only, pre-install values.
+			cache[r1] = tg[1].Load(r1)
+			// Both stores complete — a later read must see both.
+			d.Do(0, check.Op{Kind: check.KindStore, Idx: r0, Arg: 1}, func(op *check.Op) { tg[0].Store(op.Idx, op.Arg) })
+			d.Do(0, check.Op{Kind: check.KindStore, Idx: r1, Arg: 2}, func(op *check.Op) { tg[0].Store(op.Idx, op.Arg) })
+			// The torn view: same reader, region 0 fresh, region 1 stale.
+			d.Do(1, check.Op{Kind: check.KindLoad, Idx: r0}, tornRead(1, r0))
+			d.Do(1, check.Op{Kind: check.KindLoad, Idx: r1}, tornRead(1, r1))
+
+			rep = check.CheckArray(h, 0)
+			enc = h.EncodeString()
+			a.Destroy(lts[0])
+		})
+		return rep, enc
+	}
+	rep1, enc1 := run()
+	rep2, enc2 := run()
+	if rep1.Ok {
+		t.Fatalf("checker accepted a torn cross-region view:\n%s", enc1)
+	}
+	if len(rep1.Failures) == 0 || rep1.Failures[0].Partition != fmt.Sprintf("elem[%d]", lincheckBlockSize+3) {
+		t.Fatalf("failure not attributed to the stale region's element: %v", rep1)
+	}
+	if enc1 != enc2 || rep2.Ok {
+		t.Fatal("torn-view history does not replay byte-for-byte")
 	}
 }
 

@@ -19,36 +19,45 @@ type arrayObs struct {
 	grows   *obs.Counter
 	shrinks *obs.Counter
 
-	lockNs    *obs.Histogram // WriteLock acquisition
-	allocNs   *obs.Histogram // round-robin block allocation
-	installNs *obs.Histogram // snapshot install + synchronize, all locales
-	freeNs    *obs.Histogram // victim-block free (Shrink/Destroy)
+	lockNs       *obs.Histogram // WriteLock acquisition
+	allocNs      *obs.Histogram // round-robin block allocation
+	installNs    *obs.Histogram // snapshot install + synchronize, all locales
+	freeNs       *obs.Histogram // victim-block free (Shrink/Destroy)
+	regionFlipNs *obs.Histogram // one boundary-region flip + its grace period
 
-	nGrow    obs.NameID // whole-resize spans on the initiator's track
-	nShrink  obs.NameID
-	nLock    obs.NameID
-	nAlloc   obs.NameID
-	nInstall obs.NameID // per-locale install spans on each locale's track
-	nFree    obs.NameID
+	regionFlips *obs.Counter // boundary-region flips performed
+
+	nGrow       obs.NameID // whole-resize spans on the initiator's track
+	nShrink     obs.NameID
+	nLock       obs.NameID
+	nAlloc      obs.NameID
+	nInstall    obs.NameID // per-locale install spans on each locale's track
+	nFree       obs.NameID
+	nRegionFlip obs.NameID // boundary-region flip spans on the initiator's track
+	nRegionIdx  obs.NameID // instant carrying the flipped region's index
 }
 
 func newArrayObs(c *locale.Cluster) *arrayObs {
 	r := c.Obs()
 	tr := r.Tracer()
 	return &arrayObs{
-		tracer:    tr,
-		grows:     r.Counter("core_grows_total"),
-		shrinks:   r.Counter("core_shrinks_total"),
-		lockNs:    r.Histogram("core_resize_lock_ns"),
-		allocNs:   r.Histogram("core_resize_alloc_ns"),
-		installNs: r.Histogram("core_resize_install_ns"),
-		freeNs:    r.Histogram("core_resize_free_ns"),
-		nGrow:     tr.Name("grow"),
-		nShrink:   tr.Name("shrink"),
-		nLock:     tr.Name("resize.lock"),
-		nAlloc:    tr.Name("resize.alloc"),
-		nInstall:  tr.Name("resize.install"),
-		nFree:     tr.Name("resize.free"),
+		tracer:       tr,
+		grows:        r.Counter("core_grows_total"),
+		shrinks:      r.Counter("core_shrinks_total"),
+		lockNs:       r.Histogram("core_resize_lock_ns"),
+		allocNs:      r.Histogram("core_resize_alloc_ns"),
+		installNs:    r.Histogram("core_resize_install_ns"),
+		freeNs:       r.Histogram("core_resize_free_ns"),
+		regionFlipNs: r.Histogram("core_region_flip_ns"),
+		regionFlips:  r.Counter("core_region_flips_total"),
+		nGrow:        tr.Name("grow"),
+		nShrink:      tr.Name("shrink"),
+		nLock:        tr.Name("resize.lock"),
+		nAlloc:       tr.Name("resize.alloc"),
+		nInstall:     tr.Name("resize.install"),
+		nFree:        tr.Name("resize.free"),
+		nRegionFlip:  tr.Name("resize.region.flip"),
+		nRegionIdx:   tr.Name("resize.region"),
 	}
 }
 

@@ -66,7 +66,8 @@ type Reader[T any] struct {
 func (a *Array[T]) Reader(t *locale.Task) Reader[T] {
 	r := Reader[T]{a: a, t: t, ebr: a.opts.Variant != VariantQSBR, open: true, blockIdx: -1}
 	if r.ebr {
-		r.pin = a.inst(t).dom.Pin(t.Slot(), a.opts.PinBudget)
+		inst := a.inst(t)
+		r.pin = inst.dom.Pin(inst.slotOf(t), a.opts.PinBudget)
 	}
 	r.resolve()
 	return r

@@ -24,7 +24,10 @@ func TestCloneRecyclesBlocks(t *testing.T) {
 			inst := a.inst(task)
 			before := inst.snap.Load()
 			var beforeBlocks []any
-			for _, b := range before.blocks {
+			// Materialize the pre-grow block pointers through the region
+			// level now: after the Grow retires this directory its region
+			// slice is poisoned.
+			for _, b := range before.blockList() {
 				beforeBlocks = append(beforeBlocks, b)
 			}
 
@@ -42,7 +45,7 @@ func TestCloneRecyclesBlocks(t *testing.T) {
 			// Prefix property: every pre-grow block pointer is
 			// recycled at the same position.
 			for i, b := range beforeBlocks {
-				if after.blocks[i] != b {
+				if after.blockAt(i) != b {
 					t.Fatalf("block %d not recycled", i)
 				}
 			}

@@ -1,49 +1,118 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"rcuarray/internal/memory"
 )
 
-// snapshot is the paper's RCUArraySnapshot: an immutable version of the
-// array's metadata — the ordered list of blocks. Element data lives in the
-// blocks, which are shared (recycled) between successive snapshots; only the
-// metadata is versioned and reclaimed.
-type snapshot[T any] struct {
+// The paper's RCUArraySnapshot is a single immutable block list, swapped
+// wholesale on every resize — which makes the install phase one cluster-wide
+// publication whose grace period covers the entire table. PR 6 splits that
+// metadata into two levels, both RCU-managed:
+//
+//   - regionTable: an immutable list of up to Options.RegionBlocks blocks —
+//     one region's worth of the array.
+//   - snapshot (the directory): an immutable list of region cells plus the
+//     addressable block count. The *cells* are shared between successive
+//     directory versions, so one region's table can be republished — with
+//     its own short grace period — without touching the directory or any
+//     other region.
+//
+// Readers therefore always see a consistent view: the directory bounds what
+// is addressable (nBlocks), and every region table reachable from a live
+// directory is either the current one or a retired-but-not-yet-reclaimed
+// predecessor whose surviving prefix is identical (grows only ever extend a
+// region). The ordering discipline lives in resize.go: grows flip boundary
+// regions before publishing the wider directory; shrinks publish the
+// narrower directory first and batch-retire the orphaned region tables after
+// one grace period.
+
+// regionTable is one region's immutable block list. Element data lives in
+// the blocks, which are shared (recycled) between successive tables; only
+// this slice of metadata is versioned and reclaimed per region.
+type regionTable[T any] struct {
 	memory.Object
 	blocks []*memory.Block[T]
 }
 
-// clone produces the next snapshot from s, recycling every block pointer
-// (Section III-C): s becomes a prefix of the clone, so assignments through
-// references into s's blocks are immediately visible through the clone
-// (Lemma 6). extra reserves capacity for the blocks about to be appended.
-func (s *snapshot[T]) clone(extra int) *snapshot[T] {
-	out := &snapshot[T]{blocks: make([]*memory.Block[T], len(s.blocks), len(s.blocks)+extra)}
-	copy(out.blocks, s.blocks)
+// regionCell is the publication point for one region. Cells are allocated
+// when a region first comes into existence and shared by every subsequent
+// directory version that still addresses the region, which is what makes a
+// region flip invisible to the directory level.
+type regionCell[T any] struct {
+	p atomic.Pointer[regionTable[T]]
+}
+
+func (c *regionCell[T]) load() *regionTable[T] { return c.p.Load() }
+
+// snapshot is the directory: the immutable top level of the two-level
+// metadata. It plays the role of the paper's RCUArraySnapshot for the
+// reader protocol (loaded once inside the read-side critical section), but
+// resolves indices through the region cells.
+type snapshot[T any] struct {
+	memory.Object
+	// regions holds one shared cell per region; len(regions) covers
+	// nBlocks (the last region may be partial).
+	regions []*regionCell[T]
+	// nBlocks is the addressable block count. It is what bounds reader
+	// indexing: blocks beyond it — e.g. freshly flipped into a boundary
+	// region by an in-flight Grow — stay unreachable until a wider
+	// directory is published.
+	nBlocks int
+	// regionBlocks is the fixed region width in blocks (immutable per
+	// array, copied into each directory so locate needs no extra plumbing).
+	regionBlocks int
+}
+
+// capacity returns the number of elements addressable through the directory.
+func (s *snapshot[T]) capacity(blockSize int) int {
+	return s.nBlocks * blockSize
+}
+
+// blockAt resolves addressable block index bi through its region. The
+// region-table poison check makes a stale traversal — a reader still holding
+// a directory whose region was since retired out from under it, which the
+// grace-period discipline must prevent — fail loudly rather than return a
+// dangling block.
+func (s *snapshot[T]) blockAt(bi int) *memory.Block[T] {
+	rt := s.regions[bi/s.regionBlocks].load()
+	rt.CheckLive()
+	return rt.blocks[bi%s.regionBlocks]
+}
+
+// locate maps a global index to (block, offset) — Algorithm 3's Helper,
+// now via the region level.
+func (s *snapshot[T]) locate(idx, blockSize int) (*memory.Block[T], int) {
+	return s.blockAt(idx / blockSize), idx % blockSize
+}
+
+// blockList materializes the addressable block sequence (diagnostics, bulk
+// capture, and the prefix-property tests).
+func (s *snapshot[T]) blockList() []*memory.Block[T] {
+	out := make([]*memory.Block[T], s.nBlocks)
+	for bi := 0; bi < s.nBlocks; bi++ {
+		out[bi] = s.blockAt(bi)
+	}
 	return out
 }
 
-// capacity returns the number of elements addressable through the snapshot.
-func (s *snapshot[T]) capacity(blockSize int) int {
-	return len(s.blocks) * blockSize
-}
-
-// locate maps a global index to (block, offset) — Algorithm 3's Helper.
-func (s *snapshot[T]) locate(idx, blockSize int) (*memory.Block[T], int) {
-	return s.blocks[idx/blockSize], idx % blockSize
-}
-
-// isPrefixOf reports whether s's blocks form a prefix of t's blocks — the
-// subsequence property in Lemma 6's proof sketch. Tests assert it across
-// every resize.
+// isPrefixOf reports whether s's addressable blocks form a prefix of t's —
+// the subsequence property in Lemma 6's proof sketch, which survives the
+// two-level split because grows only append blocks (to a boundary region or
+// to new regions) and never reorder them. Tests assert it across every
+// resize.
 func (s *snapshot[T]) isPrefixOf(t *snapshot[T]) bool {
-	if len(s.blocks) > len(t.blocks) {
+	if s.nBlocks > t.nBlocks {
 		return false
 	}
-	for i := range s.blocks {
-		if s.blocks[i] != t.blocks[i] {
+	for bi := 0; bi < s.nBlocks; bi++ {
+		if s.blockAt(bi) != t.blockAt(bi) {
 			return false
 		}
 	}
 	return true
 }
+
+// nRegions returns how many regions cover n blocks at width rb.
+func nRegions(n, rb int) int { return (n + rb - 1) / rb }

@@ -67,6 +67,7 @@ func TestGoldenResizeTrace(t *testing.T) {
 	// Timestamps non-decreasing in file order (Events sorts globally) and
 	// strict B/E stack discipline per (pid, tid) track.
 	begins := map[string]int{}
+	instants := map[string]int{}
 	stacks := map[[2]int][]string{}
 	lastTs := -1.0
 	for i, e := range out.TraceEvents {
@@ -90,6 +91,7 @@ func TestGoldenResizeTrace(t *testing.T) {
 			stacks[k] = st[:len(st)-1]
 		case "i":
 			// Instants are legal anywhere.
+			instants[e.Name]++
 		default:
 			t.Fatalf("event %d: unknown phase %q", i, e.Phase)
 		}
@@ -102,14 +104,20 @@ func TestGoldenResizeTrace(t *testing.T) {
 
 	// Exact span population for the seeded sequence: every resize takes the
 	// lock and installs once per locale plus one outer install span on the
-	// initiator; only grows allocate, only shrinks free.
+	// initiator; only grows allocate, only shrinks free. One-block grows
+	// flip the boundary region whenever the pre-grow block count is off a
+	// region boundary (oldN % DefaultRegionBlocks != 0 for oldN = 0..11
+	// gives 10 flips), each with a region-index instant on the initiator's
+	// track; shrinks batch retirements and never flip.
+	const flips = 10
 	want := map[string]int{
-		"grow":           grows,
-		"shrink":         shrinks,
-		"resize.lock":    grows + shrinks,
-		"resize.alloc":   grows,
-		"resize.free":    shrinks,
-		"resize.install": (grows + shrinks) * (1 + locales),
+		"grow":               grows,
+		"shrink":             shrinks,
+		"resize.lock":        grows + shrinks,
+		"resize.alloc":       grows,
+		"resize.free":        shrinks,
+		"resize.install":     (grows + shrinks) * (1 + locales),
+		"resize.region.flip": flips,
 	}
 	for name, n := range want {
 		if begins[name] != n {
@@ -120,5 +128,8 @@ func TestGoldenResizeTrace(t *testing.T) {
 		if _, ok := want[name]; !ok {
 			t.Errorf("unexpected span name %q in trace", name)
 		}
+	}
+	if got := instants["resize.region"]; got != flips {
+		t.Errorf("instant \"resize.region\": %d, want %d", got, flips)
 	}
 }

@@ -38,6 +38,12 @@ type Options struct {
 	// Seed decorrelates retry jitter and, with Faults, replays a fault
 	// schedule (1).
 	Seed uint64
+	// RegionBlocks is the per-region granularity of incremental installs:
+	// a Grow publishes its new table one region of this many blocks at a
+	// time, each flip under its own grace period on every node (8).
+	// Negative disables region-splitting — installs publish in one step,
+	// the paper's flat baseline.
+	RegionBlocks int
 	// Faults injects seeded connection faults into every driver
 	// connection, keyed by node index; Part is the partition switch.
 	// Both nil outside chaos runs.
@@ -76,8 +82,15 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.RegionBlocks == 0 {
+		o.RegionBlocks = DefaultRegionBlocks
+	}
 	return o
 }
+
+// DefaultRegionBlocks is the install region granularity when
+// Options.RegionBlocks is zero, matching the in-process array's default.
+const DefaultRegionBlocks = 8
 
 // Driver orchestrates a distributed RCUArray: it holds the authoritative
 // block table, performs resizes with the cluster WriteLock lease protocol,
@@ -429,7 +442,8 @@ func (d *Driver) Grow(additional int) error {
 	gs.endAlloc()
 
 	gs.beginInstall()
-	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table}); err != nil {
+	regions := d.regionPlan(len(oldTable), len(table))
+	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table, Regions: regions}); err != nil {
 		return fail("install", err)
 	}
 	gs.endInstall()
@@ -446,6 +460,33 @@ func (d *Driver) Grow(additional int) error {
 		_ = err
 	}
 	return nil
+}
+
+// regionPlan splits a grow's new blocks [oldLen, newLen) into the region
+// steps an incremental install publishes one at a time: each step ends on a
+// RegionBlocks boundary (the first step tops the straddled region off), the
+// last lands on the full table. A plan of one step — including the flat
+// baseline selected by a negative RegionBlocks — is sent as nil: one region
+// is a single-step install, and the empty encoding keeps those frames
+// byte-identical to the pre-region protocol.
+func (d *Driver) regionPlan(oldLen, newLen int) []RegionRange {
+	rb := d.opts.RegionBlocks
+	if rb <= 0 || newLen-oldLen <= 1 {
+		return nil
+	}
+	var plan []RegionRange
+	for start := oldLen; start < newLen; {
+		hi := (start/rb + 1) * rb
+		if hi > newLen {
+			hi = newLen
+		}
+		plan = append(plan, RegionRange{Lo: uint32(start), Hi: uint32(hi)})
+		start = hi
+	}
+	if len(plan) == 1 {
+		return nil
+	}
+	return plan
 }
 
 // installAll replicates the fenced table to every node in parallel — the
@@ -578,6 +619,19 @@ func (d *Driver) NodeLen(node int) (int, error) {
 		return 0, fmt.Errorf("dist: malformed len reply")
 	}
 	return int(binary.BigEndian.Uint32(reply)) * d.blockSize, nil
+}
+
+// NodeTable asks one node for its current block table — the convergence
+// audit the chaos tests run after killing a node mid-install: every
+// surviving node must hold either the full old table or the full new one
+// (or, mid-recovery, a region-boundary prefix between them), never a torn
+// mix of blocks from both.
+func (d *Driver) NodeTable(node int) ([]BlockRef, error) {
+	reply, err := d.am(node, amReadTable, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTable(reply)
 }
 
 // RunWorkload executes the request on every node in parallel and returns

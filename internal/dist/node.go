@@ -55,6 +55,22 @@ type ArrayNode struct {
 	appliedFence uint64 // (fence, epoch) of the applied table
 	appliedEpoch uint64
 
+	// Incremental-install progress (guarded by mu). An install carrying
+	// region ranges publishes its table one region at a time; these fields
+	// record which install is mid-flight and how many of its region steps
+	// have been published, so a retried install resumes instead of
+	// re-flipping, and an abort of a partly-applied install knows to roll
+	// back. regionMilestone only moves forward within one (fence, epoch)
+	// and resets when a different install or an abort takes over.
+	installFence    uint64
+	installEpoch    uint64
+	regionMilestone uint64 // region steps of (installFence, installEpoch) published
+
+	// installHook, when set, runs after each region publication with the
+	// node's mutex released — the window the chaos and linearizability
+	// harnesses use to pause, kill, or read mid-install. Test-only.
+	installHook func(step, total int)
+
 	// abortedFence/abortedEpoch tombstone the highest (fence, epoch) pair an
 	// abort has been processed for — including aborts that were no-ops here
 	// because the install never landed. A straggler or duplicate install
@@ -80,6 +96,7 @@ type ArrayNode struct {
 	aborts        *obs.Counter
 	fenced        *obs.Counter
 	leaseExpiries *obs.Counter
+	regionFlips   *obs.Counter
 	localBlocks   *obs.Gauge
 	trace         nodeTrace
 }
@@ -111,6 +128,7 @@ func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
 		aborts:        reg.Counter("dist_aborts_total"),
 		fenced:        reg.Counter("dist_fenced_total"),
 		leaseExpiries: reg.Counter("dist_lease_expiries_total"),
+		regionFlips:   reg.Counter("dist_region_flips_total"),
 		localBlocks:   reg.Gauge("dist_local_blocks"),
 	}
 	n.dom.Observe(reg)
@@ -153,6 +171,17 @@ func (n *ArrayNode) registerHandlers() {
 	n.srv.Handle(amStats, n.handleStats)
 	n.srv.Handle(amAbort, n.handleAbort)
 	n.srv.Handle(amFreeBlock, n.handleFreeBlock)
+	n.srv.Handle(amReadTable, n.handleReadTable)
+}
+
+// SetInstallHook registers a callback run after every region publication of
+// an incremental install, with the node's mutex released. The chaos and
+// mid-install linearizability tests use it to pause or kill the node between
+// region flips; production nodes never set it.
+func (n *ArrayNode) SetInstallHook(hook func(step, total int)) {
+	n.mu.Lock()
+	n.installHook = hook
+	n.mu.Unlock()
 }
 
 func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
@@ -289,11 +318,38 @@ func (n *ArrayNode) pruneAllocsLocked(fence uint64, table []BlockRef) {
 	}
 }
 
+// validateRegions checks an install's region plan: non-empty contiguous
+// steps whose final publication lands exactly on the full table, so every
+// intermediate table is a region-boundary prefix of the authoritative one.
+func validateRegions(steps []RegionRange, tableLen int) error {
+	for i, rg := range steps {
+		if rg.Hi <= rg.Lo || int(rg.Hi) > tableLen {
+			return fmt.Errorf("dist: malformed region step %d: [%d,%d) against table of %d", i, rg.Lo, rg.Hi, tableLen)
+		}
+		if i > 0 && rg.Lo != steps[i-1].Hi {
+			return fmt.Errorf("dist: region step %d not contiguous: starts at %d, previous ends at %d", i, rg.Lo, steps[i-1].Hi)
+		}
+	}
+	if last := steps[len(steps)-1].Hi; int(last) != tableLen {
+		return fmt.Errorf("dist: region plan ends at %d, table has %d blocks", last, tableLen)
+	}
+	return nil
+}
+
 // handleInstall is the node-local half of Algorithm 3's coforall body under
 // EBR: clone (here: adopt the authoritative table), publish, advance the
 // epoch, wait for this node's readers, reclaim the old snapshot. Fencing and
 // idempotency wrap the paper's protocol for an unreliable fabric: a stale
 // lease holder is rejected, a retried install is a no-op.
+//
+// An install carrying region ranges is applied incrementally: one table
+// publication — each under its own grace period — per region step, with
+// fence and abort-tombstone checks re-run between steps (the mutex is
+// released after every flip, so an abort or a superseding holder can land
+// mid-install). A fenced or aborted partial install stops with the table at
+// a consistent region-boundary prefix, which the abort's rollback or the
+// successor's install then owns; regionMilestone makes retries resume after
+// the last published step instead of re-flipping.
 func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 	if !n.configured.Load() {
 		return nil, fmt.Errorf("dist: node not configured")
@@ -302,37 +358,78 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
-	defer n.mu.Unlock()
-	if q.Fence < n.maxFence {
-		n.fenced.Inc()
-		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
-		return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
+	steps := q.Regions
+	if len(steps) == 0 {
+		steps = []RegionRange{{Lo: 0, Hi: uint32(len(q.Table))}}
+	} else if err := validateRegions(steps, len(q.Table)); err != nil {
+		return nil, err
 	}
-	n.maxFence = q.Fence
-	if q.Fence == n.abortedFence && q.Epoch <= n.abortedEpoch {
-		// A straggler (the client abandoned this frame on a timeout, then
-		// the resize aborted) or a duplicate: the table it carries references
-		// blocks the abort already freed, and other nodes rolled back.
-		n.fenced.Inc()
-		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
-		return nil, fmt.Errorf("dist: install of aborted resize (token %d, epoch %d)", q.Fence, q.Epoch)
+	n.mu.Lock()
+	hook := n.installHook
+	n.mu.Unlock()
+	for k, rg := range steps {
+		n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
+		if q.Fence < n.maxFence {
+			n.fenced.Inc()
+			n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
+			n.mu.Unlock()
+			return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
+		}
+		n.maxFence = q.Fence
+		if q.Fence == n.abortedFence && q.Epoch <= n.abortedEpoch {
+			// A straggler (the client abandoned this frame on a timeout, then
+			// the resize aborted) or a duplicate: the table it carries references
+			// blocks the abort already freed, and other nodes rolled back. For a
+			// partly-published install this is also the resurrection stop: the
+			// abort rolled the table back between our flips, and continuing
+			// would re-publish blocks it already freed.
+			n.fenced.Inc()
+			n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
+			n.mu.Unlock()
+			return nil, fmt.Errorf("dist: install of aborted resize (token %d, epoch %d)", q.Fence, q.Epoch)
+		}
+		if k == 0 {
+			n.pruneAllocsLocked(q.Fence, q.Table)
+		}
+		if q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch {
+			n.mu.Unlock()
+			return nil, nil // retried install, already applied in full
+		}
+		if n.installFence != q.Fence || n.installEpoch != q.Epoch {
+			// A different install owned the progress counter (or none did);
+			// this one takes over from step zero.
+			n.installFence, n.installEpoch = q.Fence, q.Epoch
+			n.regionMilestone = 0
+		}
+		if n.regionMilestone >= uint64(k+1) {
+			n.mu.Unlock() // retried install resuming: this step is already published
+			continue
+		}
+		n.trace.ring.Begin(n.trace.nInstall)
+		n.replaceTableLocked(q.Table[:rg.Hi])
+		n.trace.ring.End(n.trace.nInstall)
+		n.regionMilestone = uint64(k + 1)
+		n.regionFlips.Inc()
+		n.trace.ring.Instant(n.trace.nRegion, int64(k))
+		if k == len(steps)-1 {
+			// Commit in the same critical section as the last flip: the mutex
+			// drops before the hook below, and a successor landing in that
+			// window must not see this install claim applied status afterwards.
+			n.appliedFence = q.Fence
+			n.appliedEpoch = q.Epoch
+			n.installs.Inc()
+		}
+		n.mu.Unlock()
+		if hook != nil {
+			hook(k, len(steps))
+		}
 	}
-	n.pruneAllocsLocked(q.Fence, q.Table)
-	if q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch {
-		return nil, nil // retried install, already applied
-	}
-	n.trace.ring.Begin(n.trace.nInstall)
-	n.replaceTableLocked(q.Table)
-	n.trace.ring.End(n.trace.nInstall)
-	n.appliedFence = q.Fence
-	n.appliedEpoch = q.Epoch
-	n.installs.Inc()
 	return nil, nil
 }
 
 // handleAbort rolls the table back to the pre-resize snapshot carried in the
-// request — but only if this node actually applied the aborted install;
+// request — but only if this node applied the aborted install in full, or
+// published a prefix of it (an incremental install caught mid-flight);
 // nodes the install never reached (the usual reason for the abort) treat it
 // as a no-op. Stale fencing tokens are ignored rather than rolled back: the
 // superseding holder owns the table now.
@@ -358,14 +455,26 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 	if q.Fence > n.abortedFence || (q.Fence == n.abortedFence && q.Epoch > n.abortedEpoch) {
 		n.abortedFence, n.abortedEpoch = q.Fence, q.Epoch
 	}
-	if q.Fence != n.appliedFence || q.Epoch != n.appliedEpoch {
+	applied := q.Fence == n.appliedFence && q.Epoch == n.appliedEpoch
+	partial := q.Fence == n.installFence && q.Epoch == n.installEpoch && n.regionMilestone > 0
+	if !applied && !partial {
 		n.pruneAllocsLocked(q.Fence, q.Table)
 		return nil, nil // the aborted install never landed here
 	}
 	abortedTable := n.snap.Load().table
 	n.trace.ring.Begin(n.trace.nAbort)
 	n.replaceTableLocked(q.Table)
-	n.appliedEpoch = q.Epoch - 1
+	if partial {
+		// The aborted install published some region steps; the rollback just
+		// superseded them, and the tombstone above stops the in-flight
+		// handler from publishing any more. Forgetting the progress (guarded
+		// by the > 0 check) keeps a later install at this fence from
+		// "resuming" a plan that no longer owns the table.
+		n.regionMilestone = 0
+	}
+	if applied {
+		n.appliedEpoch = q.Epoch - 1
+	}
 	// Free the local blocks the aborted install had added — present in the
 	// table being rolled back but not in the rollback table. This runs after
 	// the rollback's Synchronize, so no local reader is still inside a
@@ -462,8 +571,21 @@ func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
 		LocalBlocks: uint32(n.localBlocks.Load()),
 		Aborts:      n.aborts.Load(),
 		Fenced:      n.fenced.Load(),
+		RegionFlips: n.regionFlips.Load(),
 	}
 	return s.encode(), nil
+}
+
+// handleReadTable returns the node's current block table under a read-side
+// critical section — the convergence-audit RPC: after a chaos run kills a
+// node between region flips, every survivor must report a table that is
+// fully-old or fully-new, never a torn mix.
+func (n *ArrayNode) handleReadTable(payload []byte) ([]byte, error) {
+	g := n.dom.Enter()
+	defer g.Exit()
+	snap := n.snap.Load()
+	snap.CheckLive()
+	return encodeTable(snap.table), nil
 }
 
 // handleRunWorkload executes reads or updates locally, the way Chapel tasks

@@ -28,6 +28,7 @@ type nodeTrace struct {
 	nAbort   obs.NameID
 	nFenced  obs.NameID
 	nLease   obs.NameID
+	nRegion  obs.NameID
 }
 
 func (nt *nodeTrace) init(tr *obs.Tracer) {
@@ -36,6 +37,7 @@ func (nt *nodeTrace) init(tr *obs.Tracer) {
 	nt.nAbort = tr.Name("node.abort")
 	nt.nFenced = tr.Name("node.fenced")
 	nt.nLease = tr.Name("node.lease_superseded")
+	nt.nRegion = tr.Name("node.region_flip")
 }
 
 // driverTracePid is the trace track for the driver's resize spans. Node

@@ -17,6 +17,7 @@ const (
 	amStats       uint16 = 17 // -> node counters
 	amAbort       uint16 = 18 // fencing token, epoch, rollback table (resize abort)
 	amFreeBlock   uint16 = 19 // request id, segment id (idempotent free)
+	amReadTable   uint16 = 20 // -> the node's current block table (convergence audits)
 )
 
 // Lock lease acquire statuses.
@@ -164,6 +165,14 @@ func readTable(r *rbuf) ([]BlockRef, error) {
 	return table, nil
 }
 
+// RegionRange is one per-region publication step of an incremental install:
+// after applying the step, the node's table is Table[:Hi]. Lo is the step's
+// first block index (the previous step's Hi, or the pre-resize length for
+// the first step); it is carried for auditability and validated for shape.
+type RegionRange struct {
+	Lo, Hi uint32
+}
+
 // installReq carries a fenced, versioned table replacement. Fence is the
 // holder's lease token: a node rejects installs whose fence is below the
 // highest it has seen, so a holder whose lease expired (and was superseded)
@@ -171,10 +180,17 @@ func readTable(r *rbuf) ([]BlockRef, error) {
 // a retried install with the same (fence, epoch) is a no-op, making the RPC
 // idempotent under retries. amAbort uses the same shape, with Table holding
 // the rollback table.
+//
+// Regions, when non-empty, splits the install into per-region table
+// publications: the node applies Table[:Hi] for each range in order, each
+// under its own grace period, re-validating fence and abort tombstones
+// between flips. Empty Regions is the single-step install (aborts always
+// use it: a rollback must be atomic).
 type installReq struct {
-	Fence uint64
-	Epoch uint64
-	Table []BlockRef
+	Fence   uint64
+	Epoch   uint64
+	Table   []BlockRef
+	Regions []RegionRange
 }
 
 func (q installReq) encode() []byte {
@@ -182,6 +198,11 @@ func (q installReq) encode() []byte {
 	w.u64(q.Fence)
 	w.u64(q.Epoch)
 	w.b = append(w.b, encodeTable(q.Table)...)
+	w.u32(uint32(len(q.Regions)))
+	for _, rg := range q.Regions {
+		w.u32(rg.Lo)
+		w.u32(rg.Hi)
+	}
 	return w.b
 }
 
@@ -193,6 +214,16 @@ func decodeInstall(p []byte) (installReq, error) {
 		return q, err
 	}
 	q.Table = table
+	nr := int(r.u32())
+	if r.err != nil {
+		return q, r.err
+	}
+	if nr > 1<<24 {
+		return q, fmt.Errorf("dist: absurd region count %d", nr)
+	}
+	for i := 0; i < nr && r.err == nil; i++ {
+		q.Regions = append(q.Regions, RegionRange{Lo: r.u32(), Hi: r.u32()})
+	}
 	return q, r.err
 }
 
@@ -330,6 +361,7 @@ type NodeStats struct {
 	LocalBlocks uint32 // blocks owned by this node
 	Aborts      uint64 // resize rollbacks applied
 	Fenced      uint64 // installs/aborts rejected for a stale fencing token
+	RegionFlips uint64 // per-region table publications applied
 }
 
 func (s NodeStats) encode() []byte {
@@ -340,12 +372,13 @@ func (s NodeStats) encode() []byte {
 	w.u32(s.LocalBlocks)
 	w.u64(s.Aborts)
 	w.u64(s.Fenced)
+	w.u64(s.RegionFlips)
 	return w.b
 }
 
 func decodeStats(b []byte) (NodeStats, error) {
 	r := rbuf{b: b}
 	s := NodeStats{Installs: r.u64(), Synchronize: r.u64(), Retries: r.u64(), LocalBlocks: r.u32(),
-		Aborts: r.u64(), Fenced: r.u64()}
+		Aborts: r.u64(), Fenced: r.u64(), RegionFlips: r.u64()}
 	return s, r.err
 }

@@ -62,6 +62,11 @@ type Domain struct {
 	// o is the observability destination installed by Observe; nil means
 	// the process-global default (see obs.go).
 	o atomic.Pointer[domainObs]
+	// tree, when non-nil, replaces the flat readers array with the
+	// hierarchical (combining-tree) counter layout of tree.go. Set only at
+	// construction; nil — including in the zero value — keeps the paper's
+	// flat rendezvous as the baseline.
+	tree *tree
 }
 
 // New returns a domain with DefaultStripes reader stripes and the epoch
@@ -88,15 +93,22 @@ func NewAtEpoch(e uint64) *Domain {
 	return d
 }
 
-// Stripes returns the number of reader stripes per parity.
-func (d *Domain) Stripes() int { return int(d.stripeMask) + 1 }
+// Stripes returns the number of reader counter cells per parity: flat
+// stripes, or tree leaves for hierarchical domains.
+func (d *Domain) Stripes() int {
+	if t := d.tree; t != nil {
+		return t.leaves
+	}
+	return int(d.stripeMask) + 1
+}
 
 // Guard is the evidence of a successfully linearized read-side critical
-// section. It records which parity counter and stripe the reader
-// incremented so that Exit decrements the same one even if the epoch has
-// advanced meanwhile.
+// section. It records the exact counter cell the reader incremented — a flat
+// stripe or a tree leaf — so that Exit decrements the same one even if the
+// epoch has advanced meanwhile.
 type Guard struct {
 	d      *Domain
+	cell   *xsync.PaddedUint64
 	epoch  uint64
 	idx    uint64
 	stripe uint64
@@ -117,20 +129,24 @@ func (d *Domain) Enter() Guard { return d.EnterSlot(0) }
 // After EnterSlot returns, the snapshot that was current at the returned
 // guard's epoch — or any newer snapshot — may be accessed safely until Exit.
 func (d *Domain) EnterSlot(slot int) Guard {
+	if t := d.tree; t != nil {
+		return d.enterTree(t, slot)
+	}
 	stripe := uint64(slot) & d.stripeMask
 	for {
 		epoch := d.globalEpoch.Load()
 		idx := epoch & 1
-		d.readers[idx][stripe].Inc()
+		cell := &d.readers[idx][stripe]
+		cell.Inc()
 		if d.globalEpoch.Load() == epoch {
 			// Linearized: any writer advancing the epoch from this
 			// point on sums our stripe before reclaiming.
-			return Guard{d: d, epoch: epoch, idx: idx, stripe: stripe}
+			return Guard{d: d, cell: cell, epoch: epoch, idx: idx, stripe: stripe}
 		}
 		// A writer moved the epoch between our load and increment; a
 		// future writer waiting on the *new* parity would not see us.
 		// Undo and retry (lines 17, 9).
-		d.readers[idx][stripe].Dec()
+		cell.Dec()
 		d.retries.Inc()
 		if obs.On() {
 			d.obsHandles().retries.Inc()
@@ -151,7 +167,7 @@ func (g *Guard) Exit() {
 		panic("ebr: double Exit of Guard")
 	}
 	g.exited = true
-	if after := g.d.readers[g.idx][g.stripe].Dec(); after > math.MaxUint64/2 {
+	if after := g.cell.Dec(); after > math.MaxUint64/2 {
 		panic(fmt.Sprintf("ebr: unbalanced Exit underflowed reader counter (parity %d stripe %d)", g.idx, g.stripe))
 	}
 }
@@ -213,11 +229,17 @@ func (d *Domain) Synchronize() {
 	// may still be using the snapshot being retired.
 	prev := d.globalEpoch.Add(1) - 1
 	idx := prev & 1
-	var b xsync.Backoff
 	var stalls uint64
-	for d.sumStripes(idx) != 0 {
-		b.Wait()
-		stalls++
+	if t := d.tree; t != nil {
+		// Hierarchical rendezvous: fold the combining tree (tree.go)
+		// instead of re-summing every stripe on every pass.
+		stalls = t.foldTree(idx)
+	} else {
+		var b xsync.Backoff
+		for d.sumStripes(idx) != 0 {
+			b.Wait()
+			stalls++
+		}
 	}
 	if o != nil {
 		o.grace.Observe(time.Since(t0).Nanoseconds())
@@ -225,8 +247,12 @@ func (d *Domain) Synchronize() {
 	}
 }
 
-// sumStripes returns one pass over parity idx's stripes.
+// sumStripes returns one pass over parity idx's stripes (or, for tree
+// domains, leaves — diagnostics only; Synchronize uses foldTree).
 func (d *Domain) sumStripes(idx uint64) uint64 {
+	if t := d.tree; t != nil {
+		return t.sumTree(idx)
+	}
 	var total uint64
 	for s := uint64(0); s <= d.stripeMask; s++ {
 		total += d.readers[idx][s].Load()
@@ -241,9 +267,12 @@ func (d *Domain) Epoch() uint64 { return d.globalEpoch.Load() }
 // reader counter. It is a diagnostic: the value is immediately stale.
 func (d *Domain) ActiveReaders(idx uint64) uint64 { return d.sumStripes(idx & 1) }
 
-// StripeReaders returns the current value of one stripe of the parity-idx
-// counter (diagnostics and striping tests).
+// StripeReaders returns the current value of one stripe (or tree leaf) of
+// the parity-idx counter (diagnostics and striping tests).
 func (d *Domain) StripeReaders(idx uint64, stripe int) uint64 {
+	if t := d.tree; t != nil {
+		return t.cnt[idx&1][uint64(stripe)&t.leafMask].Load()
+	}
 	return d.readers[idx&1][uint64(stripe)&d.stripeMask].Load()
 }
 

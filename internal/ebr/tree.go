@@ -1,0 +1,205 @@
+package ebr
+
+// Hierarchical (combining-tree) grace periods.
+//
+// The flat Domain layout makes every Synchronize sum *all* reader stripes on
+// every backoff pass, so the writer-side rendezvous cost grows linearly with
+// the number of locales even after all but one subtree has drained. The
+// tree layout — modeled on the hierarchy verified in Liang/McKenney/Kroening/
+// Melham's Tree-RCU proof — stripes the leaf counters per (locale,
+// slot-group), folds each locale's leaves into a per-locale pending mask, and
+// folds the locale masks into a cluster root mask. A leaf (or whole locale
+// subtree) that has drained is cleared from its parent mask and never
+// rechecked, so a pass over the tree touches O(remaining subtrees) cache
+// lines and the steady-state pass cost is O(log locales), not O(locales ×
+// stripes).
+//
+// Readers never touch the interior of the tree: Enter/Exit cost is identical
+// to the flat layout (one increment and one decrement of a leaf counter plus
+// the epoch verification). Only the writer folds, and the writer already
+// holds the cluster WriteLock, so the pending masks live on the writer's
+// stack — no shared interior nodes, no extra reader-visible state, and the
+// parity/verification protocol (including Lemma 2's overflow argument) is
+// byte-for-byte the flat one. The equivalence property test in tree_test.go
+// drives identical traces through both layouts to pin that down.
+
+import (
+	"math/bits"
+
+	"rcuarray/internal/obs"
+	"rcuarray/internal/xsync"
+)
+
+// TreeFanout is the combining-tree fanout: leaves per per-locale node, and
+// per-locale nodes under the root. Eight is the Linux Tree-RCU default for
+// the bottom level and keeps each node's pending mask inside one byte.
+const TreeFanout = 8
+
+// MaxTreeLeaves caps the total leaf count: TreeFanout locales × TreeFanout
+// slot-groups. Beyond that, extra locales hash onto existing leaves — partial
+// sharing, never incorrectness (same argument as MaxStripes).
+const MaxTreeLeaves = TreeFanout * TreeFanout
+
+// tree is the hierarchical counter layout. It is immutable after
+// construction; only the leaf counters themselves are written at runtime.
+type tree struct {
+	// leaves is the total leaf count (power of two, ≤ MaxTreeLeaves).
+	leaves int
+	// groupsPerLocale is the number of leaves assigned to each locale
+	// (power of two, ≤ TreeFanout). LeafFor uses it to keep one locale's
+	// readers inside one subtree, which is what lets a drained locale be
+	// dropped from the fold in one mask clear.
+	groupsPerLocale int
+	// leafMask maps an arbitrary leaf index onto [0, leaves).
+	leafMask uint64
+	// cnt are the per-parity leaf counters: [parity][leaf]. Each leaf owns
+	// its cache line, exactly like the flat layout's stripes.
+	cnt [2][]xsync.PaddedUint64
+}
+
+// NewTree returns a domain whose reader counters form a combining tree with
+// one subtree per locale and groupsPerLocale leaf counters per subtree (each
+// rounded to a power of two; the total is clamped to MaxTreeLeaves).
+// Synchronize folds the tree hierarchically; readers use LeafFor to pick
+// their leaf and otherwise follow the flat protocol unchanged.
+func NewTree(locales, groupsPerLocale int) *Domain {
+	gpl := xsync.RoundPow2(groupsPerLocale, TreeFanout)
+	n := xsync.RoundPow2(locales, TreeFanout) * gpl
+	t := &tree{
+		leaves:          n,
+		groupsPerLocale: gpl,
+		leafMask:        uint64(n - 1),
+	}
+	t.cnt[0] = make([]xsync.PaddedUint64, n)
+	t.cnt[1] = make([]xsync.PaddedUint64, n)
+	return &Domain{tree: t}
+}
+
+// NewTreeAtEpoch returns a tree domain whose epoch starts at e (overflow and
+// parity tests start just below the uint64 boundary, mirroring NewAtEpoch).
+func NewTreeAtEpoch(locales, groupsPerLocale int, e uint64) *Domain {
+	d := NewTree(locales, groupsPerLocale)
+	d.globalEpoch.Store(e)
+	return d
+}
+
+// IsTree reports whether the domain uses the hierarchical layout.
+func (d *Domain) IsTree() bool { return d.tree != nil }
+
+// TreeLeaves returns the leaf-counter count (0 for flat domains).
+func (d *Domain) TreeLeaves() int {
+	if d.tree == nil {
+		return 0
+	}
+	return d.tree.leaves
+}
+
+// TreeDepth returns the number of levels a Synchronize fold traverses: root →
+// per-locale nodes → leaves. Flat domains report 1 (one level of stripes).
+func (d *Domain) TreeDepth() int {
+	if d.tree == nil {
+		return 1
+	}
+	return 3
+}
+
+// Fanout returns the combining-tree fanout (1 for flat domains, where the
+// writer has no interior nodes to fan into).
+func (d *Domain) Fanout() int {
+	if d.tree == nil {
+		return 1
+	}
+	return TreeFanout
+}
+
+// LeafFor maps (locale, task slot) to the leaf index readers on that locale
+// should pass to EnterSlot. Slots within one locale spread over that locale's
+// groupsPerLocale leaves; the whole locale stays inside one subtree.
+func (d *Domain) LeafFor(locale, slot int) int {
+	t := d.tree
+	if t == nil {
+		return slot
+	}
+	return int((uint64(locale)*uint64(t.groupsPerLocale) + uint64(slot)&uint64(t.groupsPerLocale-1)) & t.leafMask)
+}
+
+// enterTree is EnterSlot for the hierarchical layout: the identical
+// load/increment/verify protocol against a tree leaf.
+func (d *Domain) enterTree(t *tree, slot int) Guard {
+	leaf := uint64(slot) & t.leafMask
+	for {
+		epoch := d.globalEpoch.Load()
+		idx := epoch & 1
+		cell := &t.cnt[idx][leaf]
+		cell.Inc()
+		if d.globalEpoch.Load() == epoch {
+			return Guard{d: d, cell: cell, epoch: epoch, idx: idx, stripe: leaf}
+		}
+		cell.Dec()
+		d.retries.Inc()
+		if obs.On() {
+			d.obsHandles().retries.Inc()
+		}
+	}
+}
+
+// foldTree waits for parity idx's leaves to drain, hierarchically: a root
+// mask holds one bit per per-locale node, each node a mask with one bit per
+// leaf. A pass visits only subtrees still pending; a leaf observed at zero is
+// cleared and never rechecked, and a node whose leaves have all cleared is
+// dropped from the root mask.
+//
+// Never rechecking a drained leaf is safe for the same reason one flat pass
+// is: a linearized old-parity reader incremented its leaf *before* our epoch
+// advance, so the leaf cannot read zero while that reader is inside. Any
+// old-parity increment arriving after the leaf reads zero is a verification
+// failure — the epoch already advanced — which undoes itself and re-enters at
+// the new parity, never dereferencing the retired snapshot.
+//
+// The pending masks are writer-local (the caller holds writerActive), so the
+// interior of the tree costs no shared memory and no reader-visible protocol.
+func (t *tree) foldTree(idx uint64) (stalls uint64) {
+	nodes := (t.leaves + TreeFanout - 1) / TreeFanout
+	var leafPend [MaxTreeLeaves / TreeFanout]uint64
+	var root uint64
+	for n := 0; n < nodes; n++ {
+		lo := n * TreeFanout
+		hi := lo + TreeFanout
+		if hi > t.leaves {
+			hi = t.leaves
+		}
+		leafPend[n] = (uint64(1) << uint(hi-lo)) - 1
+		root |= uint64(1) << uint(n)
+	}
+	var b xsync.Backoff
+	for root != 0 {
+		for rm := root; rm != 0; rm &= rm - 1 {
+			n := bits.TrailingZeros64(rm)
+			pend := leafPend[n]
+			for lm := pend; lm != 0; lm &= lm - 1 {
+				l := bits.TrailingZeros64(lm)
+				if t.cnt[idx][n*TreeFanout+l].Load() == 0 {
+					pend &^= uint64(1) << uint(l)
+				}
+			}
+			leafPend[n] = pend
+			if pend == 0 {
+				root &^= uint64(1) << uint(n)
+			}
+		}
+		if root != 0 {
+			b.Wait()
+			stalls++
+		}
+	}
+	return stalls
+}
+
+// sumTree is the diagnostic sum over parity idx's leaves.
+func (t *tree) sumTree(idx uint64) uint64 {
+	var total uint64
+	for l := range t.cnt[idx] {
+		total += t.cnt[idx][l].Load()
+	}
+	return total
+}

@@ -1,0 +1,275 @@
+package ebr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTreeShape(t *testing.T) {
+	cases := []struct {
+		locales, groups         int
+		wantLeaves, wantStripes int
+		wantDepth, wantFanout   int
+	}{
+		{1, 1, 1, 1, 3, TreeFanout},
+		{1, 8, 8, 8, 3, TreeFanout},
+		{4, 4, 16, 16, 3, TreeFanout},
+		{8, 8, 64, 64, 3, TreeFanout},
+		{100, 100, MaxTreeLeaves, MaxTreeLeaves, 3, TreeFanout}, // clamped
+	}
+	for _, c := range cases {
+		d := NewTree(c.locales, c.groups)
+		if !d.IsTree() {
+			t.Fatalf("NewTree(%d,%d).IsTree() = false", c.locales, c.groups)
+		}
+		if got := d.TreeLeaves(); got != c.wantLeaves {
+			t.Fatalf("NewTree(%d,%d).TreeLeaves() = %d, want %d", c.locales, c.groups, got, c.wantLeaves)
+		}
+		if got := d.Stripes(); got != c.wantStripes {
+			t.Fatalf("NewTree(%d,%d).Stripes() = %d, want %d", c.locales, c.groups, got, c.wantStripes)
+		}
+		if got := d.TreeDepth(); got != c.wantDepth {
+			t.Fatalf("TreeDepth() = %d, want %d", got, c.wantDepth)
+		}
+		if got := d.Fanout(); got != c.wantFanout {
+			t.Fatalf("Fanout() = %d, want %d", got, c.wantFanout)
+		}
+	}
+	if d := NewFlat(); d.IsTree() || d.TreeDepth() != 1 || d.Fanout() != 1 || d.TreeLeaves() != 0 {
+		t.Fatalf("flat domain reports tree shape: depth=%d fanout=%d leaves=%d",
+			d.TreeDepth(), d.Fanout(), d.TreeLeaves())
+	}
+}
+
+// LeafFor keeps each locale's readers inside one contiguous leaf group — the
+// property that lets the fold drop a whole drained locale subtree in one
+// mask clear.
+func TestTreeLeafMapping(t *testing.T) {
+	d := NewTree(4, 4)
+	for locale := 0; locale < 4; locale++ {
+		lo, hi := locale*4, locale*4+4
+		for slot := 0; slot < 32; slot++ {
+			leaf := d.LeafFor(locale, slot)
+			if leaf < lo || leaf >= hi {
+				t.Fatalf("LeafFor(%d,%d) = %d, outside locale group [%d,%d)", locale, slot, leaf, lo, hi)
+			}
+		}
+	}
+	// Distinct slots within one locale spread over the whole group.
+	seen := map[int]bool{}
+	for slot := 0; slot < 4; slot++ {
+		seen[d.LeafFor(2, slot)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("LeafFor(2, 0..3) hit %d distinct leaves, want 4", len(seen))
+	}
+	// Readers land where they announce: the guarded leaf counter is visible
+	// through StripeReaders at the mapped index.
+	leaf := d.LeafFor(3, 1)
+	g := d.EnterSlot(leaf)
+	if got := d.StripeReaders(g.idx, leaf); got != 1 {
+		t.Fatalf("StripeReaders(leaf %d) = %d after EnterSlot, want 1", leaf, got)
+	}
+	g.Exit()
+}
+
+// xorshift64 is the deterministic op-stream generator for the equivalence
+// property test (seed-replayable, no global rand).
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 1
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// runEquivalenceTrace drives one seeded enter/exit/synchronize trace through
+// a flat and a tree domain in lockstep and returns a textual log of every
+// grace-period admission decision (epoch and parity admitted at each enter,
+// epoch at each synchronize). The two domains must agree at every step; any
+// divergence is a test failure, and the returned log is byte-for-byte
+// reproducible from the seed.
+func runEquivalenceTrace(t *testing.T, seed uint64, steps int) string {
+	t.Helper()
+	flat := NewStriped(8)
+	tree := NewTree(2, 4) // 8 leaves: same cell count, hierarchical fold
+	var log strings.Builder
+	fmt.Fprintf(&log, "seed=%#x\n", seed)
+
+	type pair struct{ f, tr Guard }
+	var held []pair
+	rng := xorshift64(seed)
+	for i := 0; i < steps; i++ {
+		op := rng.next() % 10
+		switch {
+		case op < 5 || len(held) == 0 && op < 8: // enter
+			slot := int(rng.next() % 16)
+			gf := flat.EnterSlot(slot)
+			gt := tree.EnterSlot(slot)
+			if gf.Epoch() != gt.Epoch() || gf.idx != gt.idx {
+				t.Fatalf("step %d: enter admission diverged: flat (epoch %d parity %d) vs tree (epoch %d parity %d)",
+					i, gf.Epoch(), gf.idx, gt.Epoch(), gt.idx)
+			}
+			held = append(held, pair{gf, gt})
+			fmt.Fprintf(&log, "enter slot=%d epoch=%d parity=%d\n", slot, gf.Epoch(), gf.idx)
+		case op < 8: // exit a random held guard
+			k := int(rng.next() % uint64(len(held)))
+			held[k].f.Exit()
+			held[k].tr.Exit()
+			fmt.Fprintf(&log, "exit k=%d\n", k)
+			held = append(held[:k], held[k+1:]...)
+		default: // synchronize — single-threaded, so only when no reader is held
+			if len(held) != 0 {
+				// An in-flight reader at the current parity would deadlock a
+				// same-goroutine Synchronize; both layouts share that rule.
+				fmt.Fprintf(&log, "sync skipped held=%d\n", len(held))
+				continue
+			}
+			flat.Synchronize()
+			tree.Synchronize()
+			if flat.Epoch() != tree.Epoch() {
+				t.Fatalf("step %d: post-sync epoch diverged: flat %d vs tree %d", i, flat.Epoch(), tree.Epoch())
+			}
+			fmt.Fprintf(&log, "sync epoch=%d\n", flat.Epoch())
+		}
+		for parity := uint64(0); parity < 2; parity++ {
+			if f, tr := flat.ActiveReaders(parity), tree.ActiveReaders(parity); f != tr {
+				t.Fatalf("step %d: parity-%d reader count diverged: flat %d vs tree %d", i, parity, f, tr)
+			}
+		}
+	}
+	for _, p := range held {
+		p.f.Exit()
+		p.tr.Exit()
+	}
+	if flat.Synchronizes() != tree.Synchronizes() {
+		t.Fatalf("synchronize count diverged: flat %d vs tree %d", flat.Synchronizes(), tree.Synchronizes())
+	}
+	return log.String()
+}
+
+// Satellite: tree/flat equivalence. Identical seeded traces through both
+// layouts must make identical admission decisions, and the pinned seed must
+// replay byte-for-byte.
+func TestTreeFlatEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xBADC0FFE} {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			first := runEquivalenceTrace(t, seed, 400)
+			replay := runEquivalenceTrace(t, seed, 400)
+			if first != replay {
+				t.Fatalf("seed %#x trace is not byte-for-byte reproducible:\n--- first ---\n%s--- replay ---\n%s", seed, first, replay)
+			}
+		})
+	}
+}
+
+// Tree counterpart of TestParityPreservedAcrossOverflow: Lemma 2's parity
+// alternation survives the uint64 wrap with the hierarchical counters too.
+func TestTreeParityPreservedAcrossOverflow(t *testing.T) {
+	d := NewTreeAtEpoch(4, 4, math.MaxUint64-1)
+	wantParity := []uint64{0, 1, 0, 1, 0}
+	for i, want := range wantParity {
+		g := d.EnterSlot(d.LeafFor(i%4, i))
+		if g.idx != want {
+			t.Fatalf("step %d: epoch %d parity = %d, want %d", i, g.Epoch(), g.idx, want)
+		}
+		g.Exit()
+		d.Synchronize()
+	}
+	if got := d.Epoch(); got != 3 {
+		t.Fatalf("epoch after wrap sequence = %d, want 3", got)
+	}
+}
+
+// Tree counterpart of TestReclamationAcrossOverflow: concurrent readers
+// spread over distinct locales' subtrees, writer folding the tree across the
+// epoch overflow boundary; no reader may observe a retired node.
+func TestTreeReclamationAcrossOverflow(t *testing.T) {
+	d := NewTreeAtEpoch(4, 2, math.MaxUint64-8)
+
+	type node struct {
+		retired atomic.Bool
+		value   int
+	}
+	var current atomic.Pointer[node]
+	current.Store(&node{value: 0})
+
+	var stop atomic.Bool
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			leaf := d.LeafFor(r%4, r)
+			for !stop.Load() {
+				g := d.EnterSlot(leaf)
+				n := current.Load()
+				if n.retired.Load() {
+					violations.Add(1)
+				}
+				_ = n.value
+				if n.retired.Load() {
+					violations.Add(1)
+				}
+				g.Exit()
+			}
+		}(r)
+	}
+
+	for i := 1; i <= 32; i++ {
+		old := current.Load()
+		current.Store(&node{value: i})
+		d.Synchronize()
+		old.retired.Store(true)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d reader(s) observed a retired node across epoch overflow (tree)", v)
+	}
+	if e := d.Epoch(); e != 23 {
+		t.Fatalf("epoch after overflow = %d, want 23", e)
+	}
+}
+
+// The fold must complete when subtrees drain in arbitrary staggered order —
+// including the adversarial one where the *first* locale's leaf drains last,
+// so the root mask shrinks from the far end.
+func TestTreeFoldStaggeredDrain(t *testing.T) {
+	d := NewTree(8, 2)
+	const readers = 8
+	var gs [readers]Guard
+	for r := 0; r < readers; r++ {
+		gs[r] = d.EnterSlot(d.LeafFor(r, 0))
+	}
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	// Release locale subtrees from the highest leaf down to leaf 0.
+	for r := readers - 1; r >= 0; r-- {
+		select {
+		case <-done:
+			t.Errorf("Synchronize returned with %d old-parity readers still inside", r+1)
+		default:
+		}
+		gs[r].Exit()
+	}
+	<-done
+	if got := d.Synchronizes(); got != 1 {
+		t.Fatalf("Synchronizes() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"rcuarray/internal/core"
+	"rcuarray/internal/locale"
+	"rcuarray/internal/obs"
+	"rcuarray/internal/workload"
+)
+
+// InstallBenchConfig parameterizes the PR 6 resize-install experiment. It
+// answers two acceptance questions:
+//
+//  1. With the incremental per-region install, what does a resize's install
+//     phase (publication + grace period) cost under a live read storm? The
+//     headline is the core_resize_install_ns p99, gated in CI against 1/5 of
+//     the PR 5 baseline's monolithic install.
+//  2. Does the hierarchical (combining-tree) grace-period domain beat the
+//     flat per-locale layout where the hierarchy predicts — no slower at one
+//     locale, faster once several locales must rendezvous per resize?
+type InstallBenchConfig struct {
+	// Locales is the cluster size for the install-latency measurement.
+	Locales int
+	// TasksPerLocale is the background reader count per locale.
+	TasksPerLocale int
+	// Grows is the number of measured resizes.
+	Grows int
+	// GrowBlocks is the width of each measured resize in blocks. Anything
+	// above one exercises the boundary-region flip and multi-region
+	// directory publication paths.
+	GrowBlocks int
+	// BlockSize is the array block size in elements.
+	BlockSize int
+	// RegionBlocks is the region width in blocks (0 = core default).
+	RegionBlocks int
+	// Capacity is the initial readable region in elements.
+	Capacity int
+	// SyncLocales is the locale sweep for the tree-vs-flat Synchronize
+	// comparison.
+	SyncLocales []int
+	// SyncGrows is the resize count per arm of that comparison.
+	SyncGrows int
+	// Seed makes reader index streams reproducible.
+	Seed uint64
+	// Repetitions is the rep count; the best rep (lowest install p99,
+	// lowest Synchronize cost) is kept, matching the harness convention for
+	// shared-hardware noise.
+	Repetitions int
+}
+
+func (c InstallBenchConfig) withDefaults() InstallBenchConfig {
+	if c.Locales <= 0 {
+		c.Locales = 2
+	}
+	if c.TasksPerLocale <= 0 {
+		c.TasksPerLocale = 2
+	}
+	if c.Grows <= 0 {
+		c.Grows = 32
+	}
+	if c.GrowBlocks <= 0 {
+		c.GrowBlocks = 12
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1024
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 16 * c.BlockSize
+	}
+	if len(c.SyncLocales) == 0 {
+		c.SyncLocales = []int{1, 4}
+	}
+	if c.SyncGrows <= 0 {
+		c.SyncGrows = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0DE
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// SyncScalePoint is one locale count of the tree-vs-flat comparison. The
+// metric is Synchronize nanoseconds per resize — the summed grace-period
+// durations (ebr_grace_ns) divided by the resize count — so the flat arm is
+// charged for every per-locale rendezvous a resize performs while the tree
+// arm is charged for its single hierarchical fold.
+type SyncScalePoint struct {
+	Locales        int     `json:"locales"`
+	FlatNsPerGrow  float64 `json:"flat_sync_ns_per_grow"`
+	TreeNsPerGrow  float64 `json:"tree_sync_ns_per_grow"`
+	FlatGraceCount uint64  `json:"flat_grace_count"`
+	TreeGraceCount uint64  `json:"tree_grace_count"`
+	// Speedup is flat/tree; >1 means the tree rendezvous is cheaper.
+	Speedup float64 `json:"speedup"`
+}
+
+// InstallBenchResult is the experiment's JSON artifact (BENCH_PR6.json).
+type InstallBenchResult struct {
+	Title          string `json:"title"`
+	Locales        int    `json:"locales"`
+	TasksPerLocale int    `json:"tasks_per_locale"`
+	Grows          int    `json:"grows"`
+	GrowBlocks     int    `json:"grow_blocks"`
+	RegionBlocks   int    `json:"region_blocks"`
+
+	// Install-phase distribution (core_resize_install_ns) of the kept rep.
+	InstallP50Nanos uint64 `json:"install_p50_ns"`
+	InstallP99Nanos uint64 `json:"install_p99_ns"`
+	InstallMaxNanos uint64 `json:"install_max_ns"`
+	InstallCount    uint64 `json:"install_count"`
+	// Boundary-region flip distribution (core_region_flip_ns) and count.
+	RegionFlipP99Nanos uint64 `json:"region_flip_p99_ns"`
+	RegionFlips        uint64 `json:"region_flips"`
+
+	// BaselineP99Nanos is the PR 5 monolithic-install p99 this run is gated
+	// against (copied in by the caller; zero when ungated).
+	BaselineP99Nanos uint64 `json:"baseline_p99_ns,omitempty"`
+
+	SyncScale []SyncScalePoint `json:"sync_scale"`
+
+	// Snapshot is the kept install rep's full registry snapshot.
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// RunInstallBench measures the incremental install latency and the
+// tree-vs-flat Synchronize scaling. Observability is forced on (the
+// histograms are the measurement) and restored on return.
+func RunInstallBench(cfg InstallBenchConfig) InstallBenchResult {
+	cfg = cfg.withDefaults()
+	was := obs.On()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(was)
+
+	res := InstallBenchResult{
+		Title:          "PR 6: incremental per-region install latency + tree-vs-flat Synchronize scaling",
+		Locales:        cfg.Locales,
+		TasksPerLocale: cfg.TasksPerLocale,
+		Grows:          cfg.Grows,
+		GrowBlocks:     cfg.GrowBlocks,
+		RegionBlocks:   cfg.RegionBlocks,
+	}
+	if res.RegionBlocks <= 0 {
+		res.RegionBlocks = core.DefaultRegionBlocks
+	}
+
+	// Part 1: install latency under a read storm; keep the rep with the
+	// lowest install p99 (ties: lower max).
+	var best obs.Snapshot
+	bestOK := false
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		snap := runInstallOnce(cfg)
+		h, ok := snap.Histograms["core_resize_install_ns"]
+		if !ok {
+			continue
+		}
+		b := best.Histograms["core_resize_install_ns"]
+		if !bestOK || h.P99 < b.P99 || (h.P99 == b.P99 && h.MaxNanos < b.MaxNanos) {
+			best, bestOK = snap, true
+		}
+	}
+	if h, ok := best.Histograms["core_resize_install_ns"]; ok {
+		res.InstallP50Nanos = h.P50
+		res.InstallP99Nanos = h.P99
+		res.InstallMaxNanos = h.MaxNanos
+		res.InstallCount = h.Count
+	}
+	if h, ok := best.Histograms["core_region_flip_ns"]; ok {
+		res.RegionFlipP99Nanos = h.P99
+	}
+	res.RegionFlips = best.Counters["core_region_flips_total"]
+	res.Snapshot = best
+
+	// Part 2: tree-vs-flat Synchronize cost per resize across the locale
+	// sweep, best (lowest) of reps per arm.
+	for _, l := range cfg.SyncLocales {
+		pt := SyncScalePoint{Locales: l}
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			fNs, fCnt := runSyncArm(cfg, l, false)
+			tNs, tCnt := runSyncArm(cfg, l, true)
+			if rep == 0 || fNs < pt.FlatNsPerGrow {
+				pt.FlatNsPerGrow, pt.FlatGraceCount = fNs, fCnt
+			}
+			if rep == 0 || tNs < pt.TreeNsPerGrow {
+				pt.TreeNsPerGrow, pt.TreeGraceCount = tNs, tCnt
+			}
+		}
+		if pt.TreeNsPerGrow > 0 {
+			pt.Speedup = pt.FlatNsPerGrow / pt.TreeNsPerGrow
+		}
+		res.SyncScale = append(res.SyncScale, pt)
+	}
+	return res
+}
+
+// runInstallOnce runs one install-latency rep: a fresh cluster, background
+// readers hammering the initial capacity, and the configured resize sequence
+// on the main task. Returns the cluster's metric snapshot.
+func runInstallOnce(cfg InstallBenchConfig) obs.Snapshot {
+	c := locale.NewCluster(locale.Config{
+		Locales:          cfg.Locales,
+		WorkersPerLocale: cfg.TasksPerLocale,
+	})
+	defer c.Shutdown()
+
+	c.Run(func(task *locale.Task) {
+		a := core.New[int64](task, core.Options{
+			BlockSize:       cfg.BlockSize,
+			Variant:         core.VariantEBR,
+			InitialCapacity: cfg.Capacity,
+			RegionBlocks:    cfg.RegionBlocks,
+		})
+
+		stop := make(chan struct{})
+		readersDone := make(chan struct{})
+		go c.Run(func(rt *locale.Task) {
+			defer close(readersDone)
+			rt.Coforall(func(sub *locale.Task) {
+				sub.ForAllTasks(cfg.TasksPerLocale, func(tt *locale.Task, id int) {
+					seed := cfg.Seed ^ uint64(tt.Here().ID())<<32 ^ uint64(id)
+					stream := workload.NewIndexStreamRange(workload.Random, seed, 0, cfg.Capacity)
+					var sink int64
+					for {
+						select {
+						case <-stop:
+							_ = sink
+							return
+						default:
+						}
+						sink += a.Load(tt, stream.Next())
+						// Yield every op: the readers are background
+						// pressure on the grace-period protocol, not the
+						// measurement, and a spinning loop on an
+						// oversubscribed (or single-core) host starves the
+						// resize's cross-locale tasks of workers — the
+						// measurement then reports scheduler preemption
+						// quanta, not install cost.
+						runtime.Gosched()
+					}
+				})
+			})
+		})
+
+		for i := 0; i < cfg.Grows; i++ {
+			a.Grow(task, cfg.GrowBlocks*cfg.BlockSize)
+		}
+		close(stop)
+		<-readersDone
+		a.Destroy(task)
+	})
+	return c.Obs().Snapshot()
+}
+
+// runSyncArm runs one arm of the Synchronize comparison at the given locale
+// count: readers pin the grace-period protocol while the main task resizes
+// SyncGrows times. Returns (grace ns per resize, grace count) from the
+// arm's ebr_grace_ns histogram.
+func runSyncArm(cfg InstallBenchConfig, locales int, tree bool) (float64, uint64) {
+	c := locale.NewCluster(locale.Config{
+		Locales:          locales,
+		WorkersPerLocale: cfg.TasksPerLocale,
+	})
+	defer c.Shutdown()
+
+	c.Run(func(task *locale.Task) {
+		a := core.New[int64](task, core.Options{
+			BlockSize:       cfg.BlockSize,
+			Variant:         core.VariantEBR,
+			InitialCapacity: cfg.Capacity,
+			RegionBlocks:    cfg.RegionBlocks,
+			TreeEBR:         tree,
+		})
+
+		stop := make(chan struct{})
+		readersDone := make(chan struct{})
+		go c.Run(func(rt *locale.Task) {
+			defer close(readersDone)
+			rt.Coforall(func(sub *locale.Task) {
+				sub.ForAllTasks(cfg.TasksPerLocale, func(tt *locale.Task, id int) {
+					seed := cfg.Seed ^ uint64(tt.Here().ID())<<32 ^ uint64(id)
+					stream := workload.NewIndexStreamRange(workload.Random, seed, 0, cfg.Capacity)
+					var sink int64
+					for {
+						select {
+						case <-stop:
+							_ = sink
+							return
+						default:
+						}
+						sink += a.Load(tt, stream.Next())
+						// Yield every op: the readers are background
+						// pressure on the grace-period protocol, not the
+						// measurement, and a spinning loop on an
+						// oversubscribed (or single-core) host starves the
+						// resize's cross-locale tasks of workers — the
+						// measurement then reports scheduler preemption
+						// quanta, not install cost.
+						runtime.Gosched()
+					}
+				})
+			})
+		})
+
+		// The graces charged to this arm start here: New's initial grows ran
+		// before any reader existed, and single-block grows keep the
+		// publication work identical between arms so ebr_grace_ns isolates
+		// the rendezvous itself.
+		for i := 0; i < cfg.SyncGrows; i++ {
+			a.Grow(task, cfg.BlockSize)
+		}
+		close(stop)
+		<-readersDone
+		a.Destroy(task)
+	})
+
+	snap := c.Obs().Snapshot()
+	h := snap.Histograms["ebr_grace_ns"]
+	if h.Count == 0 {
+		return 0, 0
+	}
+	return float64(h.SumNanos) / float64(cfg.SyncGrows), h.Count
+}
+
+// EncodeJSON writes the result as indented JSON (the BENCH_PR6.json shape).
+func (r InstallBenchResult) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders a human-readable summary.
+func (r InstallBenchResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "locales=%d readers/locale=%d grows=%d x %d blocks (regions of %d blocks)\n",
+		r.Locales, r.TasksPerLocale, r.Grows, r.GrowBlocks, r.RegionBlocks)
+	fmt.Fprintf(w, "  install phase: p50=%dns p99=%dns max=%dns over %d installs\n",
+		r.InstallP50Nanos, r.InstallP99Nanos, r.InstallMaxNanos, r.InstallCount)
+	fmt.Fprintf(w, "  region flips:  %d flips, flip p99=%dns\n", r.RegionFlips, r.RegionFlipP99Nanos)
+	if r.BaselineP99Nanos > 0 {
+		fmt.Fprintf(w, "  baseline (PR5 monolithic install) p99=%dns -> %.1fx tighter\n",
+			r.BaselineP99Nanos, float64(r.BaselineP99Nanos)/float64(r.InstallP99Nanos))
+	}
+	fmt.Fprintf(w, "  Synchronize, flat vs tree (grace ns per resize, best of reps):\n")
+	for _, pt := range r.SyncScale {
+		fmt.Fprintf(w, "    %2d locales: flat %10.0f  tree %10.0f  speedup %.2fx\n",
+			pt.Locales, pt.FlatNsPerGrow, pt.TreeNsPerGrow, pt.Speedup)
+	}
+}
