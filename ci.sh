@@ -34,6 +34,15 @@
 #                                combining-tree Synchronize is slower than
 #                                the flat layout at 1 locale or not faster
 #                                at 4 locales
+#   ./ci.sh serve      comm fast-path tier: allocation-regression benchmarks
+#                                (go test -bench -benchmem against pinned
+#                                allocs/op budgets for frame encode/decode and
+#                                GET/PUT round trips), then the rcubench serve
+#                                experiment, emitting BENCH_PR7.json; fails if
+#                                the batched comm path is under 2x the
+#                                unbatched baseline at 8 callers, if the
+#                                open-loop read p99 exceeds 20ms, or if
+#                                achieved QPS falls below 90% of target
 #   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
@@ -122,6 +131,54 @@ install() {
 		-out BENCH_PR6.json
 }
 
+serve() {
+	versions serve
+	echo '--- serve: comm allocation budgets (go test -bench -benchmem)'
+	# Budgets are pinned at the PR 7 values; a regression that adds even one
+	# allocation to the hot path (e.g. reintroducing per-call time.NewTimer,
+	# which alone costs 3) fails the tier. Fixed -benchtime keeps the run fast
+	# and the counts deterministic.
+	go test ./internal/comm/ -run nomatch \
+		-bench 'BenchmarkFrameEncode$|BenchmarkFrameEncodePut$|BenchmarkFrameDecodePooled$|BenchmarkGetRoundTrip$|BenchmarkPutRoundTrip$|BenchmarkGetPipelined32$' \
+		-benchmem -benchtime 10000x | tee /tmp/rcu_alloc_bench.txt
+	awk 'BEGIN {
+		budget["BenchmarkFrameEncode"] = 0
+		budget["BenchmarkFrameEncodePut"] = 0
+		budget["BenchmarkFrameDecodePooled"] = 1
+		budget["BenchmarkGetRoundTrip"] = 9
+		budget["BenchmarkPutRoundTrip"] = 9
+		budget["BenchmarkGetPipelined32"] = 8
+	}
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		if (name in budget) {
+			seen[name] = 1
+			if ($7 + 0 > budget[name]) {
+				printf "ci: %s at %s allocs/op exceeds budget %d\n", name, $7, budget[name]
+				bad = 1
+			}
+		}
+	}
+	END {
+		for (n in budget) if (!(n in seen)) {
+			printf "ci: benchmark %s missing from output\n", n
+			bad = 1
+		}
+		exit bad
+	}' /tmp/rcu_alloc_bench.txt
+	echo '--- serve: rcubench serve (batched A/B + open-loop SLO) -> BENCH_PR7.json'
+	# Best-of-5 on the interleaved A/B arms and best-of-3 on the open-loop
+	# window: on this shared 1-CPU host a single tens-of-ms hypervisor stall
+	# lands on every queued open-loop arrival at once and alone blows a 1%
+	# tail budget, so single-shot gates measure the noisiest coincidence,
+	# not the serving stack.
+	go run ./cmd/rcubench -experiment serve \
+		-serve-nodes 3 -serve-keys 65536 -serve-qps 20000 -serve-duration 3s \
+		-serve-callers 8 -ops 4096 -reps 5 -serve-reps 3 \
+		-serve-min-speedup 2 -serve-p99-max 20ms \
+		-out BENCH_PR7.json
+}
+
 chaos() {
 	versions chaos
 	# Fixed seed list: every run is reproducible with
@@ -144,6 +201,7 @@ lint) lint ;;
 bench) bench ;;
 obs) obs ;;
 install) install ;;
+serve) serve ;;
 chaos) chaos ;;
 full)
 	tier1
@@ -151,7 +209,7 @@ full)
 	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|lint|bench|obs|install|chaos|full]" >&2
+	echo "usage: $0 [tier1|race|lint|bench|obs|install|serve|chaos|full]" >&2
 	exit 2
 	;;
 esac

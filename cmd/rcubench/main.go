@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|install|all")
+		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|install|serve|all")
 		localesArg = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
 		tasks      = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
 		ops        = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
@@ -52,6 +52,16 @@ func main() {
 		maxOverhead = flag.Float64("max-overhead", 0, "obs: exit nonzero if enabled overhead exceeds this percentage (0 = no gate)")
 		installP99Max   = flag.Uint64("install-p99-max", 0, "install: exit nonzero if install p99 exceeds this many ns, and gate tree-vs-flat sync scaling (0 = no gate)")
 		installBaseline = flag.Uint64("install-baseline", 0, "install: prior monolithic-install p99 in ns, embedded in the artifact for comparison")
+		serveNodes      = flag.Int("serve-nodes", 3, "serve: dist cluster size")
+		serveKeys       = flag.Int("serve-keys", 1<<20, "serve: element count grown and preloaded")
+		serveQPS        = flag.Int("serve-qps", 20000, "serve: open-loop arrival rate")
+		serveDuration   = flag.Duration("serve-duration", 3*time.Second, "serve: arrival-generation window")
+		serveReadPct    = flag.Int("serve-read-pct", 90, "serve: read share of the mix, 0..100")
+		serveCallers    = flag.Int("serve-callers", 8, "serve: concurrent callers per connection in the comm A/B")
+		serveWorkers    = flag.Int("serve-workers", 64, "serve: open-loop dispatcher pool size")
+		serveReps       = flag.Int("serve-reps", 0, "serve: open-loop rep count, best read-tail rep kept (0 = same as -reps)")
+		serveMinSpeedup = flag.Float64("serve-min-speedup", 0, "serve: exit nonzero if the batched path's GET or PUT speedup over unbatched is below this (0 = no gate)")
+		serveP99Max     = flag.Duration("serve-p99-max", 0, "serve: exit nonzero if open-loop read p99 exceeds this, or achieved QPS falls below 90% of target (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -281,6 +291,77 @@ func main() {
 		}
 	}
 
+	// The serve experiment is the PR 7 acceptance run: the comm fast-path A/B
+	// (batched vs unbatched GET/PUT throughput at >= 8 callers) plus the
+	// open-loop serving harness with its achieved-QPS and read-p99 gates.
+	runServe := func() {
+		res, err := harness.RunServeBench(harness.ServeBenchConfig{
+			Callers:   *serveCallers,
+			Nodes:     *serveNodes,
+			Keys:      *serveKeys,
+			BlockSize: *blockSize,
+			TargetQPS: *serveQPS,
+			Duration:  *serveDuration,
+			ReadPct:   *serveReadPct,
+			Workers:   *serveWorkers,
+			Seed:      *seed,
+			Repetitions: *reps,
+			ServeReps:   *serveReps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcubench:", err)
+			os.Exit(1)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := res.EncodeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		failed := false
+		if res.ValueMismatches > 0 || res.OpErrors > 0 {
+			fmt.Fprintf(os.Stderr, "rcubench: serve correctness: %d errors, %d value mismatches\n",
+				res.OpErrors, res.ValueMismatches)
+			failed = true
+		}
+		if *serveMinSpeedup > 0 {
+			if res.GetSpeedup < *serveMinSpeedup {
+				fmt.Fprintf(os.Stderr, "rcubench: batched GET speedup %.2fx below gate %.2fx\n",
+					res.GetSpeedup, *serveMinSpeedup)
+				failed = true
+			}
+			if res.PutSpeedup < *serveMinSpeedup {
+				fmt.Fprintf(os.Stderr, "rcubench: batched PUT speedup %.2fx below gate %.2fx\n",
+					res.PutSpeedup, *serveMinSpeedup)
+				failed = true
+			}
+		}
+		if *serveP99Max > 0 {
+			if res.ReadP99Nanos > uint64(serveP99Max.Nanoseconds()) {
+				fmt.Fprintf(os.Stderr, "rcubench: open-loop read p99 %s exceeds SLO %s\n",
+					time.Duration(res.ReadP99Nanos), *serveP99Max)
+				failed = true
+			}
+			if res.AchievedFrac < 0.9 {
+				fmt.Fprintf(os.Stderr, "rcubench: achieved %.0f QPS is %.1f%% of the %d target\n",
+					res.AchievedQPS, res.AchievedFrac*100, res.TargetQPS)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+
 	order := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "rw", "zipf"}
 	var toRun []string
 	switch {
@@ -298,9 +379,12 @@ func main() {
 	case *experiment == "install":
 		runInstall()
 		return
+	case *experiment == "serve":
+		runServe()
+		return
 	default:
 		if _, ok := experiments[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, install, all)\n",
+			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, install, serve, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}

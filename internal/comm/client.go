@@ -1,8 +1,10 @@
 package comm
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,6 +36,11 @@ type ClientConfig struct {
 	// land after writes acknowledged on its replacement.
 	Identity   uint64
 	Generation uint64
+	// Unbatched selects the pre-coalescing send path: one locked
+	// conn.Write per call instead of the batched flusher. It exists as the
+	// A/B baseline for the serve benchmarks and as an escape hatch; the
+	// default (false) is the fast path.
+	Unbatched bool
 	// Obs, when set, records per-(op,peer) call latency histograms and
 	// timeout/error counters into the registry, labeled with Peer. Calls
 	// pay one branch when observability is globally off.
@@ -43,12 +50,19 @@ type ClientConfig struct {
 
 // Client is one endpoint's view of a remote Node. Requests may be issued
 // from any number of goroutines; they are pipelined on a single connection
-// and matched to responses by sequence number.
+// and matched to responses by sequence number. Concurrent requests coalesce:
+// frames are appended to a per-connection write queue whose combining
+// flusher puts N pending frames on the wire with one scatter/gather writev,
+// so callers never serialize behind each other's syscalls.
 type Client struct {
 	conn net.Conn
 	cfg  ClientConfig
 	obs  *clientObs // nil without ClientConfig.Obs
 
+	wq *writeQueue // nil in Unbatched mode
+
+	// Unbatched-mode send path (ClientConfig.Unbatched): the PR 3
+	// one-write-per-call behaviour, kept as the serve benchmark baseline.
 	sendMu  sync.Mutex
 	sendBuf []byte
 
@@ -68,6 +82,31 @@ type Client struct {
 type result struct {
 	payload []byte
 	err     error
+}
+
+// timerPool recycles deadline timers across calls: a per-call
+// time.NewTimer/Stop pair costs two allocations and a runtime timer
+// install on every request. Timers in the pool are stopped with their
+// channel drained, so Reset is always safe.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // Dial connects to a node with default configuration.
@@ -93,6 +132,13 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.Obs != nil {
 		c.obs = newClientObs(cfg.Obs, cfg.Peer)
 	}
+	if !cfg.Unbatched {
+		var frames, bytes *obs.Histogram
+		if c.obs != nil {
+			frames, bytes = c.obs.flushFrames, c.obs.flushBytes
+		}
+		c.wq = newWriteQueue(conn, frames, bytes)
+	}
 	go c.readLoop()
 	if cfg.Identity != 0 {
 		// Register for write fencing before the caller can issue any
@@ -105,7 +151,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		if timeout == 0 {
 			timeout = cfg.DialTimeout
 		}
-		if _, err := c.call(msgHello, p[:], timeout); err != nil {
+		if _, err := c.callRaw(msgHello, frameSpec{data: p[:]}, timeout); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("comm: hello %s: %w", addr, err)
 		}
@@ -134,16 +180,20 @@ func (c *Client) Broken() bool {
 
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
+	// On the batched path, pipelined responses arrive back-to-back: a
+	// buffered reader turns a burst of replies into one read syscall. The
+	// unbatched baseline keeps the raw conn (two reads per frame).
+	var r io.Reader = c.conn
+	if c.wq != nil {
+		r = bufio.NewReaderSize(c.conn, 64<<10)
+	}
 	for {
-		typ, seq, payload, err := readFrame(c.conn)
+		typ, seq, payload, err := readFrame(r)
 		if err != nil {
 			c.failAll(&netError{msg: fmt.Sprintf("comm: connection lost: %v", err), wrapped: err})
 			return
 		}
-		c.pendingMu.Lock()
-		ch, ok := c.pending[seq]
-		delete(c.pending, seq)
-		c.pendingMu.Unlock()
+		ch, ok := c.takePending(seq)
 		if !ok {
 			continue // response to a request we gave up on
 		}
@@ -158,6 +208,17 @@ func (c *Client) readLoop() {
 	}
 }
 
+// takePending removes and returns the response channel for seq. Exactly one
+// taker wins: whoever takes the entry owns delivering (or abandoning) the
+// result.
+func (c *Client) takePending(seq uint64) (chan result, bool) {
+	c.pendingMu.Lock()
+	ch, ok := c.pending[seq]
+	delete(c.pending, seq)
+	c.pendingMu.Unlock()
+	return ch, ok
+}
+
 func (c *Client) failAll(err error) {
 	c.pendingMu.Lock()
 	for seq, ch := range c.pending {
@@ -167,96 +228,183 @@ func (c *Client) failAll(err error) {
 	c.closed = true
 	c.closeErr = err
 	c.pendingMu.Unlock()
-}
-
-// call issues one request and waits for its response until timeout elapses
-// (0 = wait forever), recording per-(op,peer) latency when observability is
-// wired and on.
-func (c *Client) call(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
-	if c.obs == nil || !obs.On() {
-		return c.callRaw(typ, payload, timeout)
+	if c.wq != nil {
+		c.wq.sever(err)
 	}
-	start := time.Now()
-	resp, err := c.callRaw(typ, payload, timeout)
-	c.obs.record(typ, start, err)
-	return resp, err
 }
 
-func (c *Client) callRaw(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
+// Pending is one in-flight pipelined request issued by StartGet/StartPut/
+// StartAM. Wait must be called exactly once; Pendings are not reusable.
+type Pending struct {
+	c        *Client
+	seq      uint64
+	ch       chan result
+	deadline time.Time // zero = wait forever
+	typ      byte
+	started  time.Time // zero when the call is unobserved
+}
+
+// start registers a request, encodes its frame, and hands it to the send
+// path. The returned Pending's channel is guaranteed to eventually receive
+// exactly one result: from the read loop, from failAll when the connection
+// dies, or directly here when the request cannot be sent at all.
+func (c *Client) start(typ byte, s frameSpec, timeout time.Duration) *Pending {
 	seq := c.nextSeq.Add(1)
 	ch := make(chan result, 1)
+	p := &Pending{c: c, seq: seq, ch: ch, typ: typ}
+	if timeout > 0 {
+		p.deadline = time.Now().Add(timeout)
+	}
+	if c.obs != nil && obs.On() {
+		p.started = time.Now()
+	}
 
 	c.pendingMu.Lock()
 	if c.closed {
 		err := c.closeErr
 		c.pendingMu.Unlock()
-		return nil, err
+		ch <- result{err: err}
+		return p
 	}
 	c.pending[seq] = ch
 	c.pendingMu.Unlock()
 
-	var deadline <-chan time.Time
-	if timeout > 0 {
-		timer := time.NewTimer(timeout)
-		defer timer.Stop()
-		deadline = timer.C
+	if c.wq == nil {
+		c.sendUnbatched(p, typ, s, timeout)
+		return p
 	}
+	buf := getBuf()
+	*buf = appendRequestFrame((*buf)[:0], typ, seq, s)
+	if err := c.wq.enqueue(wqEntry{buf: buf, deadline: p.deadline}); err != nil {
+		// The queue was already severed; fail this request now (unless the
+		// read loop beat us to it).
+		if _, ok := c.takePending(seq); ok {
+			ch <- result{err: &netError{msg: fmt.Sprintf("comm: send: %v", err), wrapped: err}}
+		}
+	}
+	return p
+}
 
+// sendUnbatched is the pre-coalescing send path: serialize on sendMu, one
+// conn.Write per frame.
+func (c *Client) sendUnbatched(p *Pending, typ byte, s frameSpec, timeout time.Duration) {
 	c.sendMu.Lock()
 	// A write deadline derived from the call deadline keeps a peer that
 	// stopped reading (half-open, full socket buffers) from pinning sendMu —
-	// and with it every other call on this client — past the timeout.
+	// and with it every other call on this client — past the timeout. A
+	// failed deadline arm severs: silently disarming the timeout would
+	// reintroduce exactly that hang.
+	var deadline time.Time
 	if timeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(timeout))
-	} else {
-		c.conn.SetWriteDeadline(time.Time{})
+		deadline = time.Now().Add(timeout)
 	}
-	c.sendBuf = frame(c.sendBuf, typ, seq, payload)
-	_, err := c.conn.Write(c.sendBuf)
+	err := c.conn.SetWriteDeadline(deadline)
+	if err == nil {
+		c.sendBuf = appendRequestFrame(c.sendBuf[:0], typ, p.seq, s)
+		_, err = c.conn.Write(c.sendBuf)
+	}
 	c.sendMu.Unlock()
 	if err != nil {
 		// A failed write may have left a partial frame on the wire, which
 		// would poison the stream for every later call: sever the connection
 		// so the owner redials instead.
 		c.conn.Close()
-		c.pendingMu.Lock()
-		delete(c.pending, seq)
-		c.pendingMu.Unlock()
-		return nil, &netError{msg: fmt.Sprintf("comm: send: %v", err), wrapped: err}
+		if _, ok := c.takePending(p.seq); ok {
+			p.ch <- result{err: &netError{msg: fmt.Sprintf("comm: send: %v", err), wrapped: err}}
+		}
 	}
+}
 
+// wait blocks until the response arrives or the request's deadline passes.
+func (p *Pending) wait() ([]byte, error) {
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	if !p.deadline.IsZero() {
+		timer = getTimer(time.Until(p.deadline))
+		defer putTimer(timer)
+		deadline = timer.C
+	}
 	select {
-	case r := <-ch:
+	case r := <-p.ch:
 		return r.payload, r.err
 	case <-deadline:
-		// Abandon the request: if the response arrives later, the read
-		// loop finds no pending entry and drops it.
-		c.pendingMu.Lock()
-		delete(c.pending, seq)
-		c.pendingMu.Unlock()
-		return nil, ErrTimeout
+		// Abandon the request: if we win the race for the pending entry, the
+		// read loop will find nothing and drop the late response. If the
+		// read loop won, the result is already in (or moments from) the
+		// channel.
+		if _, ok := p.c.takePending(p.seq); ok {
+			return nil, ErrTimeout
+		}
+		r := <-p.ch
+		return r.payload, r.err
 	}
+}
+
+// Wait collects the response of a pipelined request, recording per-(op,peer)
+// latency when observability is wired and on. Call exactly once.
+func (p *Pending) Wait() ([]byte, error) {
+	resp, err := p.wait()
+	if !p.started.IsZero() {
+		p.c.obs.record(p.typ, p.started, err)
+	}
+	return resp, err
+}
+
+// call issues one request and waits for its response until timeout elapses
+// (0 = wait forever), recording per-(op,peer) latency when observability is
+// wired and on.
+func (c *Client) call(typ byte, s frameSpec, timeout time.Duration) ([]byte, error) {
+	if c.obs == nil || !obs.On() {
+		return c.callRaw(typ, s, timeout)
+	}
+	start := time.Now()
+	resp, err := c.callRaw(typ, s, timeout)
+	c.obs.record(typ, start, err)
+	return resp, err
+}
+
+func (c *Client) callRaw(typ byte, s frameSpec, timeout time.Duration) ([]byte, error) {
+	p := c.start(typ, s, timeout)
+	return p.wait()
 }
 
 // Get reads length bytes at offset from the remote segment.
 func (c *Client) Get(segment uint64, offset, length int) ([]byte, error) {
-	return c.call(msgGet, encodeGet(segment, uint64(offset), uint32(length)), c.cfg.CallTimeout)
+	return c.call(msgGet, frameSpec{seg: segment, off: uint64(offset), length: uint32(length)}, c.cfg.CallTimeout)
 }
 
 // Put writes data at offset into the remote segment.
 func (c *Client) Put(segment uint64, offset int, data []byte) error {
-	_, err := c.call(msgPut, encodePut(segment, uint64(offset), data), c.cfg.CallTimeout)
+	_, err := c.call(msgPut, frameSpec{seg: segment, off: uint64(offset), data: data}, c.cfg.CallTimeout)
 	return err
 }
 
 // AM invokes the remote active-message handler and returns its reply.
 func (c *Client) AM(handler uint16, payload []byte) ([]byte, error) {
-	return c.call(msgAM, encodeAM(handler, payload), c.cfg.CallTimeout)
+	return c.call(msgAM, frameSpec{handler: handler, data: payload}, c.cfg.CallTimeout)
 }
 
 // CallAM invokes an active message with an explicit deadline, overriding the
 // configured CallTimeout (0 = wait forever — used for long-running
 // workloads that must outlive the control-plane deadline).
 func (c *Client) CallAM(handler uint16, payload []byte, timeout time.Duration) ([]byte, error) {
-	return c.call(msgAM, encodeAM(handler, payload), timeout)
+	return c.call(msgAM, frameSpec{handler: handler, data: payload}, timeout)
+}
+
+// StartGet issues a GET without waiting: bulk callers pipeline many requests
+// onto the connection (the write queue coalesces them into few syscalls) and
+// collect the responses with Wait.
+func (c *Client) StartGet(segment uint64, offset, length int) *Pending {
+	return c.start(msgGet, frameSpec{seg: segment, off: uint64(offset), length: uint32(length)}, c.cfg.CallTimeout)
+}
+
+// StartPut issues a PUT without waiting. The data is copied into the frame
+// before StartPut returns, so the caller may reuse its buffer immediately.
+func (c *Client) StartPut(segment uint64, offset int, data []byte) *Pending {
+	return c.start(msgPut, frameSpec{seg: segment, off: uint64(offset), data: data}, c.cfg.CallTimeout)
+}
+
+// StartAM issues an active message without waiting.
+func (c *Client) StartAM(handler uint16, payload []byte) *Pending {
+	return c.start(msgAM, frameSpec{handler: handler, data: payload}, c.cfg.CallTimeout)
 }

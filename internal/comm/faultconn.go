@@ -81,3 +81,44 @@ func (f *faultConn) Write(p []byte) (int, error) {
 	}
 	return f.Conn.Write(p)
 }
+
+// writeBatch applies one fault decision per flushed batch — the batched
+// analogue of Write. A reset drops the whole batch, a partial write delivers
+// roughly half the batch's bytes (severing mid-frame, which poisons the
+// stream framing exactly like a real truncated writev), and a stall delays
+// the entire flush. One decision per flush keeps the schedule a pure
+// function of (seed, key, flush index) regardless of how many frames
+// coalesced into the batch.
+func (f *faultConn) writeBatch(bufs net.Buffers) (int64, error) {
+	if f.part.Severed() {
+		f.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	switch f.inj.ConnFault(f.key) {
+	case FaultReset:
+		f.Conn.Close()
+		return 0, &netError{msg: "comm: injected connection reset", wrapped: os.ErrClosed}
+	case FaultPartial:
+		total := 0
+		for _, b := range bufs {
+			total += len(b)
+		}
+		n := total / 2
+		for _, b := range bufs {
+			if n <= 0 {
+				break
+			}
+			if len(b) > n {
+				f.Conn.Write(b[:n])
+				break
+			}
+			f.Conn.Write(b)
+			n -= len(b)
+		}
+		f.Conn.Close()
+		return 0, &netError{msg: "comm: injected partial write", wrapped: os.ErrClosed}
+	case FaultStall:
+		delay(f.inj.plan.StallFor)
+	}
+	return writeBuffers(f.Conn, bufs)
+}

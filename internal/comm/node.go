@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -34,6 +35,10 @@ type NodeConfig struct {
 	// Obs, when set, counts inbound requests per op and fenced Put
 	// rejections into the registry.
 	Obs *obs.Registry
+	// Unbatched selects the pre-coalescing response path: one locked
+	// conn.Write per reply instead of the batched flusher, with every frame
+	// body freshly allocated. The A/B baseline for the serve benchmarks.
+	Unbatched bool
 }
 
 // defaultFrameTimeout is generous: a legitimate peer streams a frame in
@@ -198,6 +203,23 @@ func (n *Node) Segment(id uint64) ([]byte, error) {
 	return seg, nil
 }
 
+// segSlice returns a bounds-checked window into a segment's live backing
+// array (the zero-copy GET reply). The slice stays valid even if the segment
+// is freed before the reply flushes — freeing only drops the table entry, and
+// the GC keeps the array alive while the reply references it.
+func (n *Node) segSlice(id uint64, off, length int) ([]byte, error) {
+	n.segMu.RLock()
+	defer n.segMu.RUnlock()
+	seg, ok := n.segments[id]
+	if !ok {
+		return nil, fmt.Errorf("comm: read of unknown segment %d", id)
+	}
+	if off < 0 || length < 0 || off+length > len(seg) {
+		return nil, fmt.Errorf("comm: read [%d,%d) out of segment bounds %d", off, off+length, len(seg))
+	}
+	return seg[off : off+length], nil
+}
+
 // LocalWrite copies into a segment without going over the wire.
 func (n *Node) LocalWrite(id uint64, off int, data []byte) error {
 	n.segMu.RLock()
@@ -252,6 +274,107 @@ func (n *Node) serveConn(conn net.Conn) {
 		delete(n.conns, conn)
 		n.connMu.Unlock()
 	}()
+	if n.cfg.Unbatched {
+		n.serveConnUnbatched(conn)
+		return
+	}
+	// Responses ride a per-connection write queue mirroring the client's:
+	// replies from the inline loop and from concurrent AM goroutines coalesce
+	// into batched writev flushes. Response payloads travel as zero-copy
+	// tails — a GET reply's iovec points straight into the segment, an AM
+	// reply points at whatever the handler returned — so the only per-reply
+	// copy is the 13-byte frame header into a pooled buffer.
+	var frames, bytes *obs.Histogram
+	if n.obs != nil {
+		frames, bytes = n.obs.flushFrames, n.obs.flushBytes
+	}
+	wq := newWriteQueue(conn, frames, bytes)
+	makeEntry := func(seq uint64, resp []byte, herr error, release func()) wqEntry {
+		var typ byte
+		if herr != nil {
+			typ, resp = msgError, []byte(herr.Error())
+		} else {
+			typ = msgOK
+			n.served.Add(1)
+		}
+		buf := getBuf()
+		*buf = frameHeader((*buf)[:0], typ, seq, len(resp))
+		var tail []byte
+		if len(resp) > 0 {
+			tail = resp
+		}
+		return wqEntry{buf: buf, tail: tail, release: release}
+	}
+	// answer sends a reply from an AM goroutine. enqueue guarantees the entry
+	// is released exactly once even when the queue is already severed, so
+	// `release` (the AM request-body recycle) never leaks.
+	answer := func(seq uint64, resp []byte, herr error, release func()) {
+		_ = wq.enqueue(makeEntry(seq, resp, herr, release))
+	}
+	// Active messages each run in their own goroutine so that long-running
+	// or blocking handlers (remote lock acquisition, workload execution)
+	// neither stall pipelined requests on this connection nor deadlock
+	// against each other. Data-plane frames (GET/PUT) are instead handled
+	// inline, in wire order: they are short and never block on other
+	// requests, and in-order application is what keeps a stalled-then-
+	// abandoned Put from clobbering a later acknowledged write issued on the
+	// same connection.
+	//
+	// Request bodies are pooled. Inline frames (hello/GET/PUT) are done with
+	// the body the moment the handler returns — GET replies alias the
+	// *segment*, not the request — so it recycles immediately. An AM reply
+	// may alias its request payload (echo-style handlers), so its body
+	// recycles only after the reply is flushed, via the entry's release hook.
+	// Requests arrive through a buffered reader, so a burst of pipelined
+	// frames costs one read syscall, and inline replies are corked
+	// (enqueueDeferred) while more complete input is already sitting in the
+	// buffer: a window of N GETs turns into one writev of N replies instead
+	// of N single-frame flushes. The cork is safe because the loop always
+	// kicks the queue before blocking on the socket again — including on
+	// exit, so deferred replies and their pooled buffers never leak.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	defer wq.kick()
+	var ident, gen uint64 // write-fencing identity, set by the hello frame
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
+	for {
+		typ, seq, payload, body, err := n.readFrameDeadlinePooled(conn, br)
+		if err != nil {
+			return // peer hung up, stalled past a deadline, or broke protocol
+		}
+		n.obs.noteReq(typ)
+		switch typ {
+		case msgHello:
+			i, g, herr := n.registerHello(payload)
+			if herr == nil {
+				ident, gen = i, g
+			}
+			putBuf(body)
+			_ = wq.enqueueDeferred(makeEntry(seq, nil, herr, nil))
+		case msgGet, msgPut:
+			resp, herr := n.dispatchData(typ, payload, ident, gen, true)
+			putBuf(body)
+			_ = wq.enqueueDeferred(makeEntry(seq, resp, herr, nil))
+		default:
+			reqs.Add(1)
+			go func(typ byte, seq uint64, payload []byte, body *[]byte) {
+				defer reqs.Done()
+				resp, herr := n.dispatch(typ, payload)
+				answer(seq, resp, herr, func() { putBuf(body) })
+			}(typ, seq, payload, body)
+		}
+		if br.Buffered() < 4 {
+			// Nothing more is ready in memory (4 bytes is the length prefix —
+			// less than that cannot be a frame): flush the corked replies
+			// before the next read blocks.
+			wq.kick()
+		}
+	}
+}
+
+// serveConnUnbatched is the pre-coalescing serve loop (NodeConfig.Unbatched):
+// one locked conn.Write per reply, fresh allocation per frame body.
+func (n *Node) serveConnUnbatched(conn net.Conn) {
 	var sendMu sync.Mutex
 	var buf []byte
 	reply := func(typ byte, seq uint64, payload []byte) error {
@@ -269,14 +392,6 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.served.Add(1)
 		_ = reply(msgOK, seq, resp)
 	}
-	// Active messages each run in their own goroutine so that long-running
-	// or blocking handlers (remote lock acquisition, workload execution)
-	// neither stall pipelined requests on this connection nor deadlock
-	// against each other. Data-plane frames (GET/PUT) are instead handled
-	// inline, in wire order: they are short and never block on other
-	// requests, and in-order application is what keeps a stalled-then-
-	// abandoned Put from clobbering a later acknowledged write issued on the
-	// same connection. Replies are serialized by sendMu.
 	var ident, gen uint64 // write-fencing identity, set by the hello frame
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
@@ -294,7 +409,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			answer(seq, nil, herr)
 		case msgGet, msgPut:
-			resp, herr := n.dispatchData(typ, payload, ident, gen)
+			resp, herr := n.dispatchData(typ, payload, ident, gen, false)
 			answer(seq, resp, herr)
 		default:
 			reqs.Add(1)
@@ -335,11 +450,20 @@ func (n *Node) registerHello(payload []byte) (ident, gen uint64, err error) {
 // and the write happen under one lock so a Put can never land after a write
 // acknowledged on the successor connection. Gets are idempotent and are not
 // fenced: a stale read returns to a caller that already gave up on it.
-func (n *Node) dispatchData(typ byte, payload []byte, ident, gen uint64) ([]byte, error) {
+//
+// With zeroCopy set (the batched path), a GET's reply slice references the
+// segment directly — no intermediate copy — and is sent as its own iovec in
+// the flushed batch. Bytes written concurrently may tear within the reply,
+// exactly as they already could between LocalWrite and LocalRead, both of
+// which hold only the segment-table read lock.
+func (n *Node) dispatchData(typ byte, payload []byte, ident, gen uint64, zeroCopy bool) ([]byte, error) {
 	if typ == msgGet {
 		seg, off, length, err := decodeGet(payload)
 		if err != nil {
 			return nil, err
+		}
+		if zeroCopy {
+			return n.segSlice(seg, int(off), int(length))
 		}
 		return n.LocalRead(seg, int(off), int(length))
 	}
@@ -366,20 +490,79 @@ func (n *Node) dispatchData(typ byte, payload []byte, ident, gen uint64) ([]byte
 // arrives the remainder must land within FrameTimeout. A half-open peer that
 // sends a partial frame and goes silent is therefore reaped instead of
 // pinning this goroutine until process exit.
+// A failed deadline arm severs the connection (by returning the error to
+// serveConn): silently disarming the timeout would leave this goroutine
+// exposed to exactly the unbounded stall the deadline exists to prevent.
 func (n *Node) readFrameDeadline(conn net.Conn) (typ byte, seq uint64, payload []byte, err error) {
-	if n.cfg.IdleTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
-	} else {
-		conn.SetReadDeadline(time.Time{})
-	}
 	var lenBuf [4]byte
-	if _, err = io.ReadFull(conn, lenBuf[:]); err != nil {
+	if lenBuf, err = n.readFramePrefix(conn, conn); err != nil {
 		return 0, 0, nil, err
 	}
-	if ft := n.cfg.frameTimeout(); ft > 0 {
-		conn.SetReadDeadline(time.Now().Add(ft))
-	}
 	return readFrameBody(conn, lenBuf)
+}
+
+// readFrameDeadlinePooled is readFrameDeadline for the batched path: frames
+// arrive through a buffered reader — one read syscall can deliver many
+// pipelined frames — while the deadlines are still armed on the underlying
+// conn, and the body lands in a pooled buffer (see readFrameBodyPooled for
+// the recycle contract).
+//
+// A deadline exists to interrupt a stalled *socket* read; bytes already in
+// the buffer cannot stall. So each arm is skipped when the buffer alone will
+// satisfy the read — under pipelining that elides two timer updates per
+// frame. Whenever a read may touch the socket, the deadline is (re)armed
+// first, so a stale deadline from an earlier frame can never fire into a
+// later one's read.
+func (n *Node) readFrameDeadlinePooled(conn net.Conn, br *bufio.Reader) (typ byte, seq uint64, payload []byte, body *[]byte, err error) {
+	var lenBuf [4]byte
+	if br.Buffered() < 4 {
+		// The prefix read may block on the socket: bound the wait for the
+		// next frame only by IdleTimeout, like readFramePrefix.
+		if n.cfg.IdleTimeout > 0 {
+			err = conn.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
+		} else {
+			err = conn.SetReadDeadline(time.Time{})
+		}
+		if err != nil {
+			return 0, 0, nil, nil, fmt.Errorf("comm: arm read deadline: %w", err)
+		}
+	}
+	if _, err = io.ReadFull(br, lenBuf[:]); err != nil {
+		return 0, 0, nil, nil, err
+	}
+	if total := binary.BigEndian.Uint32(lenBuf[:]); br.Buffered() < int(total) {
+		if ft := n.cfg.frameTimeout(); ft > 0 {
+			if err = conn.SetReadDeadline(time.Now().Add(ft)); err != nil {
+				return 0, 0, nil, nil, fmt.Errorf("comm: arm read deadline: %w", err)
+			}
+		}
+	}
+	return readFrameBodyPooled(br, lenBuf)
+}
+
+// readFramePrefix waits for a frame's 4-byte length prefix under the idle
+// deadline, then arms the frame deadline for the body. Deadlines go to conn,
+// bytes come from r (the same conn on the unbatched path, a buffered reader
+// over it on the batched one — a deadline interrupts the buffered reader's
+// underlying read exactly the same way).
+func (n *Node) readFramePrefix(conn net.Conn, r io.Reader) (lenBuf [4]byte, err error) {
+	if n.cfg.IdleTimeout > 0 {
+		err = conn.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
+	} else {
+		err = conn.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		return lenBuf, fmt.Errorf("comm: arm read deadline: %w", err)
+	}
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return lenBuf, err
+	}
+	if ft := n.cfg.frameTimeout(); ft > 0 {
+		if err = conn.SetReadDeadline(time.Now().Add(ft)); err != nil {
+			return lenBuf, fmt.Errorf("comm: arm read deadline: %w", err)
+		}
+	}
+	return lenBuf, nil
 }
 
 // dispatch serves the message types that run concurrently (active messages);

@@ -36,12 +36,19 @@ type clientObs struct {
 	lat      [256]*obs.Histogram // indexed by request message type
 	timeouts *obs.Counter
 	errors   *obs.Counter
+	// Coalescing views: how many frames and bytes each flush of the write
+	// queue put on the wire. frames P50 ≈ 1 means callers are not actually
+	// concurrent; rising P99 shows the combining flusher absorbing bursts.
+	flushFrames *obs.Histogram
+	flushBytes  *obs.Histogram
 }
 
 func newClientObs(r *obs.Registry, peer string) *clientObs {
 	co := &clientObs{
-		timeouts: r.Counter(fmt.Sprintf("comm_rpc_timeouts_total{peer=%q}", peer)),
-		errors:   r.Counter(fmt.Sprintf("comm_rpc_errors_total{peer=%q}", peer)),
+		timeouts:    r.Counter(fmt.Sprintf("comm_rpc_timeouts_total{peer=%q}", peer)),
+		errors:      r.Counter(fmt.Sprintf("comm_rpc_errors_total{peer=%q}", peer)),
+		flushFrames: r.Histogram(fmt.Sprintf("comm_flush_frames{side=%q,peer=%q}", "client", peer)),
+		flushBytes:  r.Histogram(fmt.Sprintf("comm_flush_bytes{side=%q,peer=%q}", "client", peer)),
 	}
 	for _, typ := range reqTypes {
 		co.lat[typ] = r.Histogram(fmt.Sprintf("comm_rpc_ns{op=%q,peer=%q}", opName(typ), peer))
@@ -67,10 +74,17 @@ func (co *clientObs) record(typ byte, start time.Time, err error) {
 type nodeObs struct {
 	reqs   [256]*obs.Counter // indexed by request message type
 	fenced *obs.Counter
+	// Response-side coalescing views, shared across this node's connections.
+	flushFrames *obs.Histogram
+	flushBytes  *obs.Histogram
 }
 
 func newNodeObs(r *obs.Registry) *nodeObs {
-	no := &nodeObs{fenced: r.Counter("comm_fenced_puts_total")}
+	no := &nodeObs{
+		fenced:      r.Counter("comm_fenced_puts_total"),
+		flushFrames: r.Histogram(fmt.Sprintf("comm_flush_frames{side=%q}", "node")),
+		flushBytes:  r.Histogram(fmt.Sprintf("comm_flush_bytes{side=%q}", "node")),
+	}
 	for _, typ := range reqTypes {
 		no.reqs[typ] = r.Counter(fmt.Sprintf("comm_served_total{op=%q}", opName(typ)))
 	}

@@ -39,6 +39,54 @@ func frame(buf []byte, typ byte, seq uint64, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
+// frameHeader appends just the length prefix and header for a frame whose
+// payload will be written separately (the zero-copy response path: the
+// payload rides as its own iovec in the batched writev, never copied into
+// the frame buffer).
+func frameHeader(buf []byte, typ byte, seq uint64, payloadLen int) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, uint32(headerLen+payloadLen))
+	buf = append(buf, typ)
+	return binary.BigEndian.AppendUint64(buf, seq)
+}
+
+// frameSpec carries the fields of one request frame so the encoders can
+// build the wire bytes in a single pass straight into a pooled buffer — no
+// intermediate payload allocation, no second copy. Which fields are live
+// depends on the message type: GET uses seg/off/length, PUT seg/off/data,
+// AM handler/data, and anything else (hello, tests) sends data verbatim.
+type frameSpec struct {
+	seg, off uint64
+	length   uint32
+	handler  uint16
+	data     []byte
+}
+
+// appendRequestFrame encodes a complete request frame (prefix, header,
+// payload) into buf. The wire bytes are identical to
+// frame(typ, seq, encodeXxx(...)).
+func appendRequestFrame(buf []byte, typ byte, seq uint64, s frameSpec) []byte {
+	switch typ {
+	case msgGet:
+		buf = frameHeader(buf, typ, seq, 20)
+		buf = binary.BigEndian.AppendUint64(buf, s.seg)
+		buf = binary.BigEndian.AppendUint64(buf, s.off)
+		return binary.BigEndian.AppendUint32(buf, s.length)
+	case msgPut:
+		buf = frameHeader(buf, typ, seq, 16+len(s.data))
+		buf = binary.BigEndian.AppendUint64(buf, s.seg)
+		buf = binary.BigEndian.AppendUint64(buf, s.off)
+		return append(buf, s.data...)
+	case msgAM:
+		buf = frameHeader(buf, typ, seq, 2+len(s.data))
+		buf = binary.BigEndian.AppendUint16(buf, s.handler)
+		return append(buf, s.data...)
+	default:
+		buf = frameHeader(buf, typ, seq, len(s.data))
+		return append(buf, s.data...)
+	}
+}
+
 // readFrame reads one frame, returning its type, sequence, and payload.
 func readFrame(r io.Reader) (typ byte, seq uint64, payload []byte, err error) {
 	var lenBuf [4]byte
@@ -61,6 +109,27 @@ func readFrameBody(r io.Reader, lenBuf [4]byte) (typ byte, seq uint64, payload [
 		return 0, 0, nil, fmt.Errorf("comm: short frame: %w", err)
 	}
 	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+}
+
+// readFrameBodyPooled is readFrameBody into a pooled buffer: the returned
+// payload aliases *body, and the caller must putBuf(body) once the payload
+// is no longer referenced — after the handler has copied out and the
+// response (which may alias the payload) is on the wire.
+func readFrameBodyPooled(r io.Reader, lenBuf [4]byte) (typ byte, seq uint64, payload []byte, body *[]byte, err error) {
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < headerLen || total > maxFrame {
+		return 0, 0, nil, nil, fmt.Errorf("comm: invalid frame length %d", total)
+	}
+	body = getBuf()
+	if cap(*body) < int(total) {
+		*body = make([]byte, total)
+	}
+	b := (*body)[:total]
+	if _, err = io.ReadFull(r, b); err != nil {
+		putBuf(body)
+		return 0, 0, nil, nil, fmt.Errorf("comm: short frame: %w", err)
+	}
+	return b[0], binary.BigEndian.Uint64(b[1:9]), b[9:], body, nil
 }
 
 // encodeGet builds a GET request payload.

@@ -1,0 +1,7 @@
+//go:build !race
+
+package comm
+
+// raceEnabled is false in normal builds: batches go out via writev. See
+// race_on.go for why -race builds must avoid it.
+const raceEnabled = false

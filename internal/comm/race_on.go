@@ -1,0 +1,13 @@
+//go:build race
+
+package comm
+
+// raceEnabled gates the writev fast path: internal/poll's Writev (the
+// net.Buffers.WriteTo syscall path) carries no race-detector ioSync
+// annotation, unlike syscall.Write/Read, so bytes sent with writev establish
+// no happens-before edge to the peer's read under -race. Code that orders
+// cross-process state through an RPC reply — which is the entire point of a
+// reply — would be falsely flagged. Under -race the flusher therefore falls
+// back to one annotated Write per buffer; the batching structure and fault
+// semantics are identical, only the syscall coalescing is lost.
+const raceEnabled = true

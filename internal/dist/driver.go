@@ -49,6 +49,10 @@ type Options struct {
 	// Both nil outside chaos runs.
 	Faults *comm.Injector
 	Part   *comm.Partition
+	// UnbatchedComm selects the pre-coalescing comm path on every driver
+	// connection — one write syscall per call instead of the batched
+	// flusher. The A/B baseline arm of the serve benchmarks (false).
+	UnbatchedComm bool
 	// Obs, when set, receives the driver's retry/redial/transient-error
 	// counters, per-(op,peer) RPC latency histograms for its node
 	// connections, resize-phase histograms and trace spans, and — with
@@ -187,6 +191,7 @@ func (d *Driver) clientConfig(node int) comm.ClientConfig {
 		Part:        d.opts.Part,
 		Identity:    d.connIdent[node],
 		Generation:  d.connGen[node],
+		Unbatched:   d.opts.UnbatchedComm,
 		Obs:         d.opts.Obs,
 		Peer:        fmt.Sprintf("n%d", node),
 	}
@@ -420,25 +425,63 @@ func (d *Driver) Grow(additional int) error {
 	}
 
 	gs.beginAlloc()
+	// Allocations are independent (each is idempotent under its own request
+	// id), so they pipeline: up to growAllocFanout in flight at once, all
+	// riding the per-connection write queues, results committed to the table
+	// in index order so the block layout is identical to the serial protocol.
+	type allocResult struct {
+		err error
+		ref BlockRef
+	}
+	results := make([]allocResult, nBlocks)
+	sem := make(chan struct{}, growAllocFanout)
+	var aw sync.WaitGroup
 	for i := 0; i < nBlocks; i++ {
-		owner := cursor % len(d.addrs)
+		owner := (cursor + i) % len(d.addrs)
 		// The request id is unique per (lease token, block): a retry of
 		// this RPC reuses it, so the node cannot leak a second segment. The
 		// token rides along so the node can fence straggler allocs and
 		// prune its dedup ledger once this resize commits or aborts.
 		reqID := token<<20 | uint64(i)
-		reply, err := d.am(owner, amAllocBlock, encodeU64Pair(reqID, token))
-		if err != nil {
-			return fail(fmt.Sprintf("allocating block on node %d", owner), err)
-		}
-		if len(reply) != 8 {
-			return fail("allocation", fmt.Errorf("malformed alloc reply (%d bytes)", len(reply)))
-		}
-		ref := BlockRef{Node: uint32(owner), Seg: binary.BigEndian.Uint64(reply)}
-		allocs = append(allocs, allocated{owner: owner, reqID: reqID, ref: ref})
-		table = append(table, ref)
-		cursor++
+		aw.Add(1)
+		sem <- struct{}{}
+		go func(i, owner int, reqID uint64) {
+			defer aw.Done()
+			defer func() { <-sem }()
+			reply, err := d.am(owner, amAllocBlock, encodeU64Pair(reqID, token))
+			switch {
+			case err != nil:
+				results[i].err = fmt.Errorf("allocating block on node %d: %w", owner, err)
+			case len(reply) != 8:
+				results[i].err = fmt.Errorf("malformed alloc reply (%d bytes)", len(reply))
+			default:
+				results[i].ref = BlockRef{Node: uint32(owner), Seg: binary.BigEndian.Uint64(reply)}
+			}
+		}(i, owner, reqID)
 	}
+	aw.Wait()
+	var allocErr error
+	for i := 0; i < nBlocks; i++ {
+		// Every successful allocation is recorded even past the first
+		// failure, so the abort path frees all of them; the failed request's
+		// own segment (if the reply was merely lost) is fenced and reclaimed
+		// by the node via the lease token.
+		if results[i].err != nil {
+			if allocErr == nil {
+				allocErr = results[i].err
+			}
+			continue
+		}
+		owner := (cursor + i) % len(d.addrs)
+		allocs = append(allocs, allocated{owner: owner, reqID: token<<20 | uint64(i), ref: results[i].ref})
+		if allocErr == nil {
+			table = append(table, results[i].ref)
+		}
+	}
+	if allocErr != nil {
+		return fail("allocation", allocErr)
+	}
+	cursor += nBlocks
 	gs.endAlloc()
 
 	gs.beginInstall()
