@@ -43,6 +43,16 @@
 #                                unbatched baseline at 8 callers, if the
 #                                open-loop read p99 exceeds 20ms, or if
 #                                achieved QPS falls below 90% of target
+#   ./ci.sh recover    durability tier: rcutorture -chaos forced to the
+#                                recover scenario (snapshot, kill a node
+#                                mid-resize, restart it from disk, audit
+#                                every acked write with no unreachability
+#                                exemption) over the fixed seed list, the
+#                                durability/replay/torn-file test suite
+#                                under -race, then the rcubench recover
+#                                experiment, emitting BENCH_PR8.json; fails
+#                                if taking snapshots at a 100ms cadence dips
+#                                writer throughput more than 10%
 #   ./ci.sh full       tier-1 + tier-1.5 + chaos
 set -eu
 
@@ -194,6 +204,35 @@ chaos() {
 	go test -run Chaos -race -short ./...
 }
 
+recover() {
+	versions recover
+	# Same fixed seed list as the chaos tier, but every round is forced to
+	# the recover scenario so each seed exercises a full snapshot ->
+	# kill-mid-resize -> restart-from-disk -> rejoin-and-audit cycle.
+	# Reproduce any failure with
+	#   go run ./cmd/rcutorture -chaos -chaos-scenario recover -seed N
+	RECOVER_SEEDS="1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24"
+	echo "--- recover: rcutorture -chaos -chaos-scenario recover, seeds: $RECOVER_SEEDS"
+	go build -o /tmp/rcutorture.ci ./cmd/rcutorture
+	for s in $RECOVER_SEEDS; do
+		echo "--- recover: seed $s"
+		/tmp/rcutorture.ci -chaos -chaos-scenario recover -seed "$s" -chaos-rounds 3
+	done
+	echo '--- recover: go test -race durability/replay/torn-file suite'
+	go test -race -run 'Durable|ReplayState|Snapshot|WAL|Torn' ./internal/dist/ ./internal/durable/
+	echo '--- recover: rcubench snapshot-under-load + restart timing -> BENCH_PR8.json'
+	# The bench paces full-cluster snapshot sweeps at a fixed 100ms cadence
+	# rather than back-to-back: on this shared 1-CPU host a zero-pause
+	# snapshot loop only measures how the core and the disk queue divide
+	# between a 100%-duty fsync loop and the writers (pure resource
+	# sharing), not whether Snapshot's cut stalls writers, which is what
+	# the gate is after.
+	go run ./cmd/rcubench -experiment recover \
+		-recover-nodes 3 -recover-blocks 12 -recover-writers 4 \
+		-recover-ops 25000 -reps 3 -recover-max-dip 10 \
+		-out BENCH_PR8.json
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) tier15 ;;
@@ -203,13 +242,14 @@ obs) obs ;;
 install) install ;;
 serve) serve ;;
 chaos) chaos ;;
+recover) recover ;;
 full)
 	tier1
 	tier15
 	chaos
 	;;
 *)
-	echo "usage: $0 [tier1|race|lint|bench|obs|install|serve|chaos|full]" >&2
+	echo "usage: $0 [tier1|race|lint|bench|obs|install|serve|chaos|recover|full]" >&2
 	exit 2
 	;;
 esac

@@ -33,23 +33,23 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|install|serve|all")
-		localesArg = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
-		tasks      = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
-		ops        = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
-		smallOps   = flag.Int("small-ops", 1024, "ops per task for fig2a/fig2b (paper: 1024)")
-		resizes    = flag.Int("resizes", 128, "number of resizes for fig3 (paper: 1024)")
-		increment  = flag.Int("increment", 1024, "elements per resize for fig3 (paper: 1024)")
-		blockSize  = flag.Int("block", 1024, "RCUArray block size in elements")
-		capacity   = flag.Int("capacity", 1<<16, "array capacity for indexing runs")
-		latency    = flag.Duration("latency", 500*time.Nanosecond, "one-way remote op latency")
-		seed       = flag.Uint64("seed", 0xC0DE, "workload seed")
-		reps       = flag.Int("reps", 3, "repetitions per point (best kept)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
-		readTasks  = flag.String("read-tasks", "1,2,4,8", "comma-separated tasks-per-locale sweep for readscale")
-		pinBudget  = flag.Int("pin-budget", 0, "pinned-session op budget for readscale (0 = default)")
-		out        = flag.String("out", "", "write readscale/obs results as JSON to this file (in addition to the table)")
-		maxOverhead = flag.Float64("max-overhead", 0, "obs: exit nonzero if enabled overhead exceeds this percentage (0 = no gate)")
+		experiment      = flag.String("experiment", "all", "fig2a|fig2b|fig2c|fig2d|fig3|fig4|rw|zipf|latency|readscale|obs|install|serve|recover|all")
+		localesArg      = flag.String("locales", "1,2,4,8", "comma-separated locale counts to sweep")
+		tasks           = flag.Int("tasks", 4, "tasks per locale (paper: 44)")
+		ops             = flag.Int("ops", 1<<15, "ops per task for the large runs (paper: 1M)")
+		smallOps        = flag.Int("small-ops", 1024, "ops per task for fig2a/fig2b (paper: 1024)")
+		resizes         = flag.Int("resizes", 128, "number of resizes for fig3 (paper: 1024)")
+		increment       = flag.Int("increment", 1024, "elements per resize for fig3 (paper: 1024)")
+		blockSize       = flag.Int("block", 1024, "RCUArray block size in elements")
+		capacity        = flag.Int("capacity", 1<<16, "array capacity for indexing runs")
+		latency         = flag.Duration("latency", 500*time.Nanosecond, "one-way remote op latency")
+		seed            = flag.Uint64("seed", 0xC0DE, "workload seed")
+		reps            = flag.Int("reps", 3, "repetitions per point (best kept)")
+		csv             = flag.Bool("csv", false, "emit CSV instead of tables")
+		readTasks       = flag.String("read-tasks", "1,2,4,8", "comma-separated tasks-per-locale sweep for readscale")
+		pinBudget       = flag.Int("pin-budget", 0, "pinned-session op budget for readscale (0 = default)")
+		out             = flag.String("out", "", "write readscale/obs results as JSON to this file (in addition to the table)")
+		maxOverhead     = flag.Float64("max-overhead", 0, "obs: exit nonzero if enabled overhead exceeds this percentage (0 = no gate)")
 		installP99Max   = flag.Uint64("install-p99-max", 0, "install: exit nonzero if install p99 exceeds this many ns, and gate tree-vs-flat sync scaling (0 = no gate)")
 		installBaseline = flag.Uint64("install-baseline", 0, "install: prior monolithic-install p99 in ns, embedded in the artifact for comparison")
 		serveNodes      = flag.Int("serve-nodes", 3, "serve: dist cluster size")
@@ -62,6 +62,12 @@ func main() {
 		serveReps       = flag.Int("serve-reps", 0, "serve: open-loop rep count, best read-tail rep kept (0 = same as -reps)")
 		serveMinSpeedup = flag.Float64("serve-min-speedup", 0, "serve: exit nonzero if the batched path's GET or PUT speedup over unbatched is below this (0 = no gate)")
 		serveP99Max     = flag.Duration("serve-p99-max", 0, "serve: exit nonzero if open-loop read p99 exceeds this, or achieved QPS falls below 90% of target (0 = no gate)")
+		recoverNodes    = flag.Int("recover-nodes", 3, "recover: dist cluster size")
+		recoverBlocks   = flag.Int("recover-blocks", 12, "recover: array size in blocks")
+		recoverWriters  = flag.Int("recover-writers", 4, "recover: concurrent driver-side writers")
+		recoverOps      = flag.Int("recover-ops", 25000, "recover: acked writes per writer per rep")
+		recoverPause    = flag.Duration("recover-snap-pause", 100*time.Millisecond, "recover: idle time between full snapshot sweeps")
+		recoverMaxDip   = flag.Float64("recover-max-dip", 0, "recover: exit nonzero if snapshotting dips writer throughput by more than this percentage (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -296,15 +302,15 @@ func main() {
 	// open-loop serving harness with its achieved-QPS and read-p99 gates.
 	runServe := func() {
 		res, err := harness.RunServeBench(harness.ServeBenchConfig{
-			Callers:   *serveCallers,
-			Nodes:     *serveNodes,
-			Keys:      *serveKeys,
-			BlockSize: *blockSize,
-			TargetQPS: *serveQPS,
-			Duration:  *serveDuration,
-			ReadPct:   *serveReadPct,
-			Workers:   *serveWorkers,
-			Seed:      *seed,
+			Callers:     *serveCallers,
+			Nodes:       *serveNodes,
+			Keys:        *serveKeys,
+			BlockSize:   *blockSize,
+			TargetQPS:   *serveQPS,
+			Duration:    *serveDuration,
+			ReadPct:     *serveReadPct,
+			Workers:     *serveWorkers,
+			Seed:        *seed,
 			Repetitions: *reps,
 			ServeReps:   *serveReps,
 		})
@@ -362,6 +368,50 @@ func main() {
 		}
 	}
 
+	// The recover experiment is the PR 8 acceptance run: the snapshot-under-
+	// load A/B (writer throughput with every node continuously snapshotting
+	// vs. without, gated on the dip) plus one timed kill-restart-rejoin.
+	runRecover := func() {
+		res, err := harness.RunRecoverBench(harness.RecoverBenchConfig{
+			Nodes:         *recoverNodes,
+			BlockSize:     *blockSize,
+			Blocks:        *recoverBlocks,
+			Writers:       *recoverWriters,
+			OpsPerWriter:  *recoverOps,
+			SnapshotPause: *recoverPause,
+			Seed:          *seed,
+			Repetitions:   *reps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcubench:", err)
+			os.Exit(1)
+		}
+		res.MaxDipPct = *recoverMaxDip
+		if res.MaxDipPct > 0 && res.DipPct > res.MaxDipPct {
+			res.Pass = false
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := res.EncodeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcubench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if !res.Pass {
+			fmt.Fprintf(os.Stderr, "rcubench: snapshot-under-load dip %.2f%% exceeds gate %.1f%%\n",
+				res.DipPct, res.MaxDipPct)
+			os.Exit(1)
+		}
+	}
+
 	order := []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "rw", "zipf"}
 	var toRun []string
 	switch {
@@ -382,9 +432,12 @@ func main() {
 	case *experiment == "serve":
 		runServe()
 		return
+	case *experiment == "recover":
+		runRecover()
+		return
 	default:
 		if _, ok := experiments[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, install, serve, all)\n",
+			fmt.Fprintf(os.Stderr, "rcubench: unknown experiment %q (want one of %s, latency, readscale, obs, install, serve, recover, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}

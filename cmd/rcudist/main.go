@@ -11,6 +11,11 @@
 // Example:
 //
 //	rcudist -spawn 3 -block 1024 -grow 65536 -tasks 4 -ops 20000 -resizes 8
+//
+// SIGINT/SIGTERM drains rather than kills: the driver closes (releasing any
+// held write lock and stopping the redialer), spawned loopback nodes shut
+// down, a requested -trace-out is still written, and the process exits 130.
+// A second signal forces immediate exit.
 package main
 
 import (
@@ -18,7 +23,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"net"
@@ -69,6 +78,62 @@ func main() {
 		}()
 	}
 
+	// Teardown runs exactly once whether main falls off the end or a signal
+	// arrives mid-workload: registered steps run in reverse order (driver
+	// before spawned nodes), then the trace — if requested — is flushed, so
+	// an interrupted run still leaves its Perfetto file behind.
+	var (
+		cleanupMu sync.Mutex
+		cleanups  []func()
+	)
+	onExit := func(f func()) {
+		cleanupMu.Lock()
+		cleanups = append(cleanups, f)
+		cleanupMu.Unlock()
+	}
+	var drainOnce sync.Once
+	drain := func() {
+		drainOnce.Do(func() {
+			cleanupMu.Lock()
+			steps := cleanups
+			cleanups = nil
+			cleanupMu.Unlock()
+			for i := len(steps) - 1; i >= 0; i-- {
+				steps[i]()
+			}
+			if *traceOut != "" {
+				writeTrace(reg, *traceOut)
+			}
+		})
+	}
+	defer drain()
+
+	// Draining closes the driver under the workload's feet, so its RPCs die
+	// with connection errors that are symptoms, not failures: fatalf parks
+	// instead of exiting when a drain owns the process's exit status.
+	var draining atomic.Bool
+	fatalf := func(format string, args ...any) {
+		if draining.Load() {
+			select {}
+		}
+		log.Fatalf(format, args...)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rcudist: %v: draining (again to force exit)\n", s)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "rcudist: %v during drain: forcing exit\n", s)
+			os.Exit(1)
+		}()
+		draining.Store(true)
+		drain()
+		os.Exit(130)
+	}()
+
 	pat, ok := map[string]workload.Pattern{
 		"random": workload.Random, "sequential": workload.Sequential, "zipfian": workload.Zipfian,
 	}[*pattern]
@@ -87,7 +152,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rcudist: spawn: %v", err)
 		}
-		defer stop()
+		onExit(stop)
 		fmt.Printf("spawned %d loopback nodes\n", *spawn)
 	}
 
@@ -101,12 +166,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("rcudist: %v", err)
 	}
-	defer d.Close()
+	onExit(func() { d.Close() })
 	fmt.Printf("cluster: %d nodes, block size %d\n", d.Nodes(), d.BlockSize())
 
 	start := time.Now()
 	if err := d.Grow(*grow); err != nil {
-		log.Fatalf("rcudist: grow: %v", err)
+		fatalf("rcudist: grow: %v", err)
 	}
 	fmt.Printf("grew to %d elements in %v\n\n", d.Len(), time.Since(start).Round(time.Microsecond))
 
@@ -137,7 +202,7 @@ func main() {
 			Seed:       *seed,
 		})
 		if err != nil {
-			log.Fatalf("rcudist: %s workload: %v", label, err)
+			fatalf("rcudist: %s workload: %v", label, err)
 		}
 		fmt.Printf("%s workload (%s, %d tasks x %d ops per node):\n", label, pat, *tasks, *ops)
 		var totalOps, totalRemote uint64
@@ -157,12 +222,12 @@ func main() {
 	}
 
 	if err := <-growErr; err != nil {
-		log.Fatalf("rcudist: concurrent grow: %v", err)
+		fatalf("rcudist: concurrent grow: %v", err)
 	}
 
 	stats, err := d.Stats()
 	if err != nil {
-		log.Fatalf("rcudist: stats: %v", err)
+		fatalf("rcudist: stats: %v", err)
 	}
 	fmt.Println("node counters:")
 	for i, s := range stats {
@@ -170,18 +235,20 @@ func main() {
 			i, s.LocalBlocks, s.Installs, s.Synchronize, s.Retries)
 	}
 	fmt.Printf("final capacity: %d elements\n", d.Len())
+}
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatalf("rcudist: trace out: %v", err)
-		}
-		if err := reg.Tracer().WriteTrace(f); err != nil {
-			log.Fatalf("rcudist: writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("rcudist: closing trace: %v", err)
-		}
-		fmt.Printf("wrote %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+func writeTrace(reg *obs.Registry, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("rcudist: trace out: %v", err)
+		return
 	}
+	if err := reg.Tracer().WriteTrace(f); err != nil {
+		log.Printf("rcudist: writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("rcudist: closing trace: %v", err)
+		return
+	}
+	fmt.Printf("wrote %s (load in Perfetto / chrome://tracing)\n", path)
 }

@@ -2,14 +2,25 @@
 //
 // Start one per machine (or per shard), then point cmd/rcudist at the set:
 //
-//	host-a$ rcunode -listen 0.0.0.0:7001
-//	host-b$ rcunode -listen 0.0.0.0:7001
+//	host-a$ rcunode -listen 0.0.0.0:7001 -data-dir /var/lib/rcu/a
+//	host-b$ rcunode -listen 0.0.0.0:7001 -data-dir /var/lib/rcu/b
 //	host-c$ rcudist -nodes host-a:7001,host-b:7001 -grow 1048576 -bench
 //
 // The node is passive until a driver configures it: it then owns a shard of
 // blocks, serves GET/PUT from peers, applies snapshot installs with its
 // local TLS-free EBR domain (waiting out its own readers before reclaiming),
 // and executes read/update workloads on request.
+//
+// With -data-dir the node is durable: resize milestones hit a fsynced WAL
+// before they are acknowledged, -snap-interval streams periodic consistent
+// snapshots to disk, and restarting the process against the same directory
+// recovers the previous incarnation's state and rejoins the cluster (see
+// DESIGN.md "Durability & recovery").
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// the periodic snapshotter is joined, the WAL is synced and closed after
+// in-flight installs finish, and the process exits 0. A second signal
+// forces immediate exit.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
@@ -31,17 +43,30 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	frameTO := flag.Duration("frame-timeout", 0, "max time a started frame may take to arrive (0 = 30s default, negative = disabled)")
 	idleTO := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = never)")
+	dataDir := flag.String("data-dir", "", "directory for the node's WAL, snapshots and config; enables durability and crash recovery (empty = in-memory only)")
+	snapEvery := flag.Duration("snap-interval", 0, "take a consistent on-disk snapshot at this interval once configured (0 = only on driver request; requires -data-dir)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/trace on this address (enables observability)")
 	flag.Parse()
 
-	node, err := dist.NewArrayNodeConfig(*listen, comm.NodeConfig{
-		FrameTimeout: *frameTO,
-		IdleTimeout:  *idleTO,
+	if *snapEvery > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "rcunode: -snap-interval requires -data-dir")
+		os.Exit(2)
+	}
+
+	node, err := dist.NewArrayNodeOpts(*listen, dist.NodeOptions{
+		Comm: comm.NodeConfig{
+			FrameTimeout: *frameTO,
+			IdleTimeout:  *idleTO,
+		},
+		DataDir: *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("rcunode: %v", err)
 	}
 	fmt.Printf("rcunode listening on %s\n", node.Addr())
+	if *dataDir != "" {
+		fmt.Printf("rcunode durable in %s\n", *dataDir)
+	}
 
 	if *metricsAddr != "" {
 		obs.SetEnabled(true)
@@ -57,11 +82,58 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
+	// Periodic snapshotter: skip quietly until a driver configures the node
+	// (Snapshot refuses on an unconfigured node), log anything else — a
+	// failed snapshot leaves the previous one in place, so it is worth a
+	// line but not an exit.
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		if *snapEvery <= 0 {
+			return
+		}
+		t := time.NewTicker(*snapEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-snapStop:
+				return
+			case <-t.C:
+				info, err := node.Snapshot()
+				if err != nil {
+					if err.Error() != "dist: node not configured" {
+						log.Printf("rcunode: snapshot: %v", err)
+					}
+					continue
+				}
+				fmt.Printf("rcunode snapshot: fence %d epoch %d, %d blocks, %d bytes\n",
+					info.Fence, info.Epoch, info.Blocks, info.Bytes)
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("rcunode: shutting down")
+	s := <-sig
+	fmt.Printf("rcunode: %v: draining (again to force exit)\n", s)
+
+	// Second signal aborts the drain: a wedged in-flight install must not
+	// make the process unkillable with anything short of SIGKILL.
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rcunode: %v during drain: forcing exit\n", s)
+		os.Exit(1)
+	}()
+
+	// Drain order: stop taking new snapshots first so Close's WAL sync is
+	// the last writer to the data dir, then Close — which stops accepting,
+	// joins in-flight handlers, and closes the WAL last. Close is
+	// idempotent, so a supervisor racing a second shutdown path is safe.
+	close(snapStop)
+	<-snapDone
 	if err := node.Close(); err != nil {
 		log.Fatalf("rcunode: close: %v", err)
 	}
+	fmt.Println("rcunode: drained")
 }

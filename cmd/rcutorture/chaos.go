@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -42,18 +43,36 @@ const (
 	chaosPartition
 	chaosStaleLease
 	chaosRegionKill
+	chaosRecover
 	numChaosScenarios
 )
 
 func (s chaosScenario) String() string {
-	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease", "region-kill"}[s]
+	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease", "region-kill", "recover"}[s]
 }
 
-func chaosTorture(seed uint64, rounds int, obsDump bool) bool {
+// parseChaosScenario maps a -chaos-scenario flag value to its enum, or -1 for
+// the empty string (rotate by seed).
+func parseChaosScenario(name string) (chaosScenario, error) {
+	if name == "" {
+		return -1, nil
+	}
+	for s := chaosScenario(0); s < numChaosScenarios; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return -1, fmt.Errorf("unknown chaos scenario %q", name)
+}
+
+func chaosTorture(seed uint64, rounds int, obsDump bool, forced chaosScenario) bool {
 	ok := true
 	for round := 0; round < rounds; round++ {
 		rseed := taskSeed(seed, roleChaos, uint64(round))
 		scenario := chaosScenario(rseed % uint64(numChaosScenarios))
+		if forced >= 0 {
+			scenario = forced
+		}
 		fmt.Printf("=== chaos round %d/%d: scenario %s (round seed %d) ===\n",
 			round+1, rounds, scenario, rseed)
 		// Each round gets a fresh driver-side registry so a dump shows only
@@ -101,11 +120,40 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		// Fine-grained incremental installs: a multi-block grow publishes
 		// several region flips per node, opening real between-flip windows.
 		opts.RegionBlocks = 2
+	case chaosRecover:
+		opts.RegionBlocks = 2
 	}
 
-	nodes, stop, err := dist.SpawnLocalNodes(3, comm.NodeConfig{FrameTimeout: 2 * time.Second})
-	if err != nil {
-		return fmt.Errorf("spawn: %w", err)
+	// The recover scenario gives every node a data dir so resize milestones
+	// are WAL'd and the victim can snapshot, crash, and rejoin.
+	var nodes []*dist.ArrayNode
+	var stop func()
+	var dirs []string
+	if scenario == chaosRecover {
+		base, err := os.MkdirTemp("", "rcutorture-recover-")
+		if err != nil {
+			return fmt.Errorf("mkdir temp: %w", err)
+		}
+		defer os.RemoveAll(base)
+		dirs = make([]string, 3)
+		for i := range dirs {
+			dirs[i] = filepath.Join(base, fmt.Sprintf("n%d", i))
+		}
+		nodes, stop, err = dist.SpawnLocalNodesOpts(3, func(i int) dist.NodeOptions {
+			return dist.NodeOptions{
+				Comm:    comm.NodeConfig{FrameTimeout: 2 * time.Second},
+				DataDir: dirs[i],
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("spawn: %w", err)
+		}
+	} else {
+		var err error
+		nodes, stop, err = dist.SpawnLocalNodes(3, comm.NodeConfig{FrameTimeout: 2 * time.Second})
+		if err != nil {
+			return fmt.Errorf("spawn: %w", err)
+		}
 	}
 	defer stop()
 	if reg != nil {
@@ -286,10 +334,104 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 				}
 			}
 		}
+	case chaosRecover:
+		// Kill-restart-rejoin: snapshot every node (the durability line for
+		// element data), kill a block owner between the region flips of a
+		// grow, abort on the survivors, then bring the victim back on its old
+		// address with its old data dir. After rejoin NO write may be lost and
+		// no aborted table may resurrect — the audit below runs with dead=-1,
+		// so reads of the victim's blocks get no unreachability exemption.
+		for i := 0; i < d.Nodes(); i++ {
+			if _, err := d.SnapshotNode(i); err != nil {
+				return fmt.Errorf("snapshot node %d: %w", i, err)
+			}
+		}
+		dead = 1 + int(taskSeed(seed, 4)%2)
+		oldLen := d.Len()
+		oldTable, err := d.NodeTable(0)
+		if err != nil {
+			return fmt.Errorf("pre-kill table audit: %w", err)
+		}
+		deadAddr := nodes[dead].Addr()
+		var once sync.Once
+		nodes[dead].SetInstallHook(func(k, total int) {
+			if k != 0 {
+				return
+			}
+			once.Do(func() {
+				go nodes[dead].Close()
+				for i := 0; i < 1000; i++ {
+					c, err := net.Dial("tcp", deadAddr)
+					if err != nil {
+						break
+					}
+					c.Close()
+					time.Sleep(2 * time.Millisecond)
+				}
+				time.Sleep(10 * time.Millisecond)
+			})
+		})
+		if err := d.Grow(chaosBlock * 8); err == nil {
+			return fmt.Errorf("multi-region grow succeeded with node %d dying between flips", dead)
+		}
+		if d.Len() != oldLen {
+			return fmt.Errorf("aborted region grow changed Len: %d -> %d", oldLen, d.Len())
+		}
+		revived, err := restartChaosNode(deadAddr, dirs[dead])
+		if err != nil {
+			return fmt.Errorf("restarting node %d: %w", dead, err)
+		}
+		defer revived.Close()
+		// The rejoined node adopted the survivors' rollback, not its own
+		// replayed partial install.
+		gotTable, err := d.NodeTable(dead)
+		if err != nil {
+			return fmt.Errorf("NodeTable(%d) after rejoin: %w", dead, err)
+		}
+		if len(gotTable) != len(oldTable) {
+			return fmt.Errorf("rejoined node %d resurrected aborted table: %d blocks, want %d", dead, len(gotTable), len(oldTable))
+		}
+		for i := range gotTable {
+			if gotTable[i] != oldTable[i] {
+				return fmt.Errorf("rejoined node %d table block %d is %v, want %v", dead, i, gotTable[i], oldTable[i])
+			}
+		}
+		stats, err := d.Stats()
+		if err != nil {
+			return fmt.Errorf("stats after rejoin: %w", err)
+		}
+		if stats[dead].Recoveries == 0 {
+			return fmt.Errorf("rejoined node %d reports no recovery", dead)
+		}
+		fmt.Printf("  node %d rejoined: %d WAL records replayed\n", dead, stats[dead].WALReplayed)
+		dead = -1 // fully healed: the audit gets no unreachability exemption
+		// The healed cluster keeps serving and resizing.
+		if err := mixedOps(40); err != nil {
+			return fmt.Errorf("after rejoin: %w", err)
+		}
 	}
 
 	// Phase 3: invariant audit.
 	return chaosAudit(d, dead, acked)
+}
+
+// restartChaosNode brings a killed node back on its old address with its old
+// data dir, retrying while the kernel releases the port.
+func restartChaosNode(addr, dir string) (*dist.ArrayNode, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, err := dist.NewArrayNodeOpts(addr, dist.NodeOptions{
+			Comm:    comm.NodeConfig{FrameTimeout: 2 * time.Second},
+			DataDir: dir,
+		})
+		if err == nil {
+			return n, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // chaosAudit checks the cross-node invariants on whatever cluster state the

@@ -48,6 +48,7 @@ func main() {
 		lincheck   = flag.Bool("lincheck", false, "run deterministic linearizability windows instead of the wall-clock storm")
 		chaos      = flag.Bool("chaos", false, "run seeded fault-injection rounds against a distributed cluster")
 		chaosRnds  = flag.Int("chaos-rounds", 4, "fault scenarios per chaos run")
+		chaosScen  = flag.String("chaos-scenario", "", "force every chaos round to one scenario (fault-storm|node-kill|partition|stale-lease|region-kill|recover); empty = rotate by seed")
 		obsDump    = flag.Bool("obs-dump", false, "record metrics and trace rings; on an invariant failure, dump them alongside the failing seed")
 		obsEvery   = flag.Duration("obs-interval", 0, "also dump non-zero metrics to stderr at this interval during the array storm (0 = off; implies recording)")
 	)
@@ -85,7 +86,12 @@ func main() {
 
 	failed := false
 	if *chaos {
-		if !chaosTorture(effSeed, *chaosRnds, *obsDump) {
+		forced, err := parseChaosScenario(*chaosScen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcutorture: %v\n", err)
+			os.Exit(2)
+		}
+		if !chaosTorture(effSeed, *chaosRnds, *obsDump, forced) {
 			failed = true
 		}
 	} else if *lincheck {

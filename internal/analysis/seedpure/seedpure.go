@@ -19,9 +19,11 @@
 //     seeded generators owned by the domain are allowed);
 //   - calling time.Now, time.Since, or time.Until (wall-clock values must
 //     not feed decisions; time.Sleep merely yields and is allowed);
-//   - importing a wall-clock carve-out package (internal/obs): the
-//     observability layer reads clocks by design, so pulling it into a
-//     domain file would smuggle timestamps into seed-replayable logic;
+//   - importing a wall-clock carve-out package (internal/obs,
+//     internal/durable): the observability layer reads clocks by design and
+//     the durability layer stamps file headers with them (and fsyncs), so
+//     pulling either into a domain file would smuggle timestamps — or real
+//     disks — into seed-replayable logic;
 //   - ranging over a map, whose iteration order is randomized per run —
 //     unless the loop is the benign collect-keys idiom (a body consisting
 //     solely of `s = append(s, k)`) or ignores the iteration variables
@@ -85,12 +87,25 @@ func DeterministicFile(pkgPath, filename string) bool {
 
 // WallClockCarveOuts lists the package short names that are explicitly
 // licensed to read wall clocks: they sit outside every deterministic domain
-// and must stay there. Domain files may not import them (metrics handles and
-// trace timestamps must not feed seed-replayable decisions); instead, a
-// non-domain sibling file registers GaugeFunc views over the domain's
-// counters (see comm's obsfab.go/obsnet.go). Exported so the drift test can
-// assert carve-outs and domains never intersect.
-var WallClockCarveOuts = []string{"obs"}
+// and must stay there. Domain files may not import them; instead, a
+// non-domain sibling file bridges (see comm's obsfab.go/obsnet.go, which
+// register GaugeFunc views over domain counters, and dist's durability.go,
+// which owns all persistence). Exported so the drift test can assert
+// carve-outs and domains never intersect.
+var WallClockCarveOuts = []string{"obs", "durable"}
+
+// carveOutReasons explains, per carve-out, why a domain import would break
+// the -seed replay contract; the text lands verbatim in the diagnostic.
+var carveOutReasons = map[string]string{
+	"obs":     "metrics and trace timestamps must not feed seed-replayable decisions; fold counters in from a non-domain file instead",
+	"durable": "durable file headers carry wall-clock timestamps and appends fsync real disks; keep persistence in a non-domain file (see dist's durability.go)",
+}
+
+// CarveOutReason returns the diagnostic rationale for a carve-out package
+// name. Exported so the drift test can assert every listed carve-out has
+// one — an entry added to WallClockCarveOuts without a reason would report
+// an empty explanation.
+func CarveOutReason(name string) string { return carveOutReasons[name] }
 
 // carveOutImport reports whether path names a wall-clock carve-out package.
 func carveOutImport(path string) (string, bool) {
@@ -124,7 +139,7 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(imp.Pos(), "import of %s in deterministic domain: %s", path, reason)
 			}
 			if name, bad := carveOutImport(path); bad {
-				pass.Reportf(imp.Pos(), "import of observability package %s in deterministic domain: metrics and trace timestamps must not feed seed-replayable decisions; fold counters in from a non-domain file instead", name)
+				pass.Reportf(imp.Pos(), "import of wall-clock carve-out package %s in deterministic domain: %s", name, CarveOutReason(name))
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

@@ -42,6 +42,9 @@ func TestDeterministicDomainDrift(t *testing.T) {
 		if seedpure.DeterministicFile(pkgPath, filepath.Join(dir, "any.go")) {
 			t.Errorf("carve-out package %s is also a deterministic domain: the sets must be disjoint", pkgPath)
 		}
+		if seedpure.CarveOutReason(name) == "" {
+			t.Errorf("carve-out package %s has no diagnostic rationale: add it to seedpure's carveOutReasons", name)
+		}
 	}
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {

@@ -1,0 +1,14 @@
+package check
+
+// The durability layer is the second wall-clock carve-out: its file headers
+// are stamped with wall-clock times and Append fsyncs a real disk, so a
+// deterministic-domain file that persisted anything could neither replay
+// byte-for-byte nor stay schedule-independent.
+
+import "durable" // want "import of wall-clock carve-out package durable in deterministic domain"
+
+// Persisted is the tempting-but-forbidden shape: logging a replayable
+// decision straight from domain code.
+func Persisted(w *durable.Writer, decision []byte) error {
+	return w.Append(decision)
+}

@@ -4,7 +4,7 @@ package check
 // deterministic-domain file would smuggle timestamps and enable-state into
 // seed-replayable decisions.
 
-import "obs" // want "import of observability package obs in deterministic domain"
+import "obs" // want "import of wall-clock carve-out package obs in deterministic domain"
 
 // Gated is the tempting-but-forbidden shape: branching replayable logic on
 // the global observability switch.

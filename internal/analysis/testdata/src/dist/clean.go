@@ -62,6 +62,24 @@ func (n *node) rollbackRegionPartial() {
 	}
 }
 
+// logWALOrdered is the sanctioned WAL-append shape: the milestone only
+// advances past records already durable, so a duplicate append of an older
+// fence is skipped rather than rewinding the replay high-water mark.
+func (n *node) logWALOrdered(fence uint64) {
+	if fence <= n.walMilestone {
+		return
+	}
+	n.walMilestone = fence
+}
+
+// replayWAL applies records in sequence with the self-referential max shape —
+// replay converges on the newest milestone no matter the scan order.
+func (n *node) replayWAL(fences []uint64) {
+	for _, f := range fences {
+		n.walMilestone = max(n.walMilestone, f)
+	}
+}
+
 // replay is idempotent replay: equality on the applied marker is identity,
 // not ordering, and the real reject below it is ordered.
 func (n *node) replay(fence uint64) error {

@@ -14,6 +14,7 @@ type node struct {
 	lockExpiry      uint64
 	appliedFence    uint64
 	regionMilestone uint64
+	walMilestone    uint64
 }
 
 // validate rejects by inequality: any stale token that merely differs from
@@ -60,6 +61,19 @@ func (n *node) publishRegion(step uint64) {
 // without the partial-install check that licenses it.
 func (n *node) resetRegion() {
 	n.regionMilestone-- // want "monotonic field regionMilestone decremented"
+}
+
+// logWAL records a WAL append's milestone unguarded: a retried or reordered
+// append for an older fence would move the durable high-water mark backwards,
+// and replay after a crash would stop early.
+func (n *node) logWAL(fence uint64) {
+	n.walMilestone = fence // want "write to monotonic field walMilestone without an ordering check"
+}
+
+// truncateWAL rewinds the durable milestone explicitly — recovery must only
+// ever move it forward past replayed records.
+func (n *node) truncateWAL() {
+	n.walMilestone-- // want "monotonic field walMilestone decremented"
 }
 
 // evict writes leased state with no lease check in sight.

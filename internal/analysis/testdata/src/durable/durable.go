@@ -1,0 +1,10 @@
+// Package durable stubs the repo's persistence core for analyzer fixtures:
+// seedpure must flag any import of it from a deterministic-domain file —
+// its file headers carry wall-clock timestamps and its appends fsync.
+package durable
+
+// Writer is a stub append-only record writer.
+type Writer struct{}
+
+// Append is a stub; the real one fsyncs before returning.
+func (w *Writer) Append(payload []byte) error { return nil }

@@ -39,6 +39,11 @@ type NodeConfig struct {
 	// conn.Write per reply instead of the batched flusher, with every frame
 	// body freshly allocated. The A/B baseline for the serve benchmarks.
 	Unbatched bool
+	// DeferServe binds the listener but does not accept connections until
+	// Serve is called. Crash recovery uses this window to restore segments
+	// and replay the WAL before any request can observe partial state, while
+	// still claiming the node's address up front.
+	DeferServe bool
 }
 
 // defaultFrameTimeout is generous: a legitimate peer streams a frame in
@@ -85,8 +90,11 @@ type Node struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	wg        sync.WaitGroup
+	serving   atomic.Bool
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 
 	// Served counts successfully handled requests, for tests.
 	served atomic.Uint64
@@ -117,9 +125,21 @@ func NewNodeConfig(addr string, cfg NodeConfig) (*Node, error) {
 	if cfg.Obs != nil {
 		n.obs = newNodeObs(cfg.Obs)
 	}
+	if !cfg.DeferServe {
+		n.Serve()
+	}
+	return n, nil
+}
+
+// Serve starts accepting connections. Without NodeConfig.DeferServe it has
+// already been called by the constructor; extra calls are no-ops, as is a
+// call after Close.
+func (n *Node) Serve() {
+	if n.closed.Load() || !n.serving.CompareAndSwap(false, true) {
+		return
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
-	return n, nil
 }
 
 // Addr returns the node's listen address.
@@ -137,17 +157,21 @@ func (n *Node) OpenConns() int {
 }
 
 // Close stops the listener, severs every open connection, and waits for
-// connection goroutines to drain.
+// connection goroutines to drain. It is idempotent: concurrent and repeated
+// calls all observe the first call's result, so signal handlers and deferred
+// cleanups can both close a node without tripping over each other.
 func (n *Node) Close() error {
-	n.closed.Store(true)
-	err := n.ln.Close()
-	n.connMu.Lock()
-	for conn := range n.conns {
-		conn.Close()
-	}
-	n.connMu.Unlock()
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		n.closeErr = n.ln.Close()
+		n.connMu.Lock()
+		for conn := range n.conns {
+			conn.Close()
+		}
+		n.connMu.Unlock()
+	})
 	n.wg.Wait()
-	return err
+	return n.closeErr
 }
 
 // AllocSegment creates a memory segment of size bytes and returns its id.
@@ -157,6 +181,39 @@ func (n *Node) AllocSegment(size int) uint64 {
 	n.segments[id] = make([]byte, size)
 	n.segMu.Unlock()
 	return id
+}
+
+// RestoreSegment installs data as the segment with the given id, taking
+// ownership of the slice. Crash recovery uses it to rebuild the segment table
+// from a snapshot at the ids the region tables already reference; the
+// allocation cursor advances past every restored id so post-recovery
+// AllocSegment calls can never recycle one.
+func (n *Node) RestoreSegment(id uint64, data []byte) {
+	n.segMu.Lock()
+	n.segments[id] = data
+	n.segMu.Unlock()
+	for {
+		cur := n.nextSeg.Load()
+		if cur >= id || n.nextSeg.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// SnapshotSegment copies a segment's contents under the exclusive segment
+// lock. Remote Puts apply under the shared lock, so the copy is serialized
+// against them: a snapshot observes each acknowledged write entirely or not
+// at all, without stalling writers for longer than one segment's memcpy.
+func (n *Node) SnapshotSegment(id uint64) ([]byte, error) {
+	n.segMu.Lock()
+	defer n.segMu.Unlock()
+	seg, ok := n.segments[id]
+	if !ok {
+		return nil, fmt.Errorf("comm: snapshot of unknown segment %d", id)
+	}
+	out := make([]byte, len(seg))
+	copy(out, seg)
+	return out, nil
 }
 
 // FreeSegment releases a segment. Subsequent remote access fails, which is

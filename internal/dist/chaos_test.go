@@ -639,10 +639,10 @@ func TestChaosMalformedFramesOverSocket(t *testing.T) {
 	}
 
 	truncated := [][2]interface{}{
-		{amInstall, []byte{0x00, 0x01}},              // fence cut short
-		{amConfigure, []byte{0x00, 0x00, 0x00}},      // node id cut short
-		{amAllocBlock, []byte{0x01}},                 // request id cut short
-		{amLockAcquire, []byte{}},                    // missing ttl
+		{amInstall, []byte{0x00, 0x01}},               // fence cut short
+		{amConfigure, []byte{0x00, 0x00, 0x00}},       // node id cut short
+		{amAllocBlock, []byte{0x01}},                  // request id cut short
+		{amLockAcquire, []byte{}},                     // missing ttl
 		{amFreeBlock, []byte{1, 2, 3, 4, 5, 6, 7, 8}}, // second u64 missing
 	}
 	for _, tc := range truncated {

@@ -118,6 +118,7 @@ type Driver struct {
 	connGen   []uint64 // per-slot connection generation, bumped on redial
 
 	closeOnce sync.Once
+	closed    atomic.Bool // set before clients are torn down; redial refuses past it
 
 	mu    sync.Mutex // guards table/epoch against concurrent local mutation
 	table []BlockRef
@@ -229,6 +230,12 @@ func (d *Driver) dialNode(node int) (*comm.Client, error) {
 // idempotent and tolerates partially-completed dials.
 func (d *Driver) Close() {
 	d.closeOnce.Do(func() {
+		// The closed flag goes up before the client table is torn down:
+		// redial observes it both before dialing and before publishing a
+		// fresh connection, so a retry loop racing Close — or a node that
+		// restarts just as the driver shuts down — cannot leave a freshly
+		// dialed connection behind for nobody.
+		d.closed.Store(true)
 		d.connMu.Lock()
 		clients := d.clients
 		d.clients = nil
@@ -253,11 +260,14 @@ func (d *Driver) client(node int) *comm.Client {
 
 // redial replaces a broken connection. Concurrent redials of the same node
 // coalesce: whoever holds the lock first dials, later callers see the fresh
-// client.
+// client. The closed flag is checked before dialing — a Close racing a
+// coalesced redial (or a node restarting right after logical shutdown) must
+// not trigger a dial to a driver-less cluster — and again before publishing,
+// covering a Close that began while the dial was in flight.
 func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
 	d.connMu.Lock()
 	defer d.connMu.Unlock()
-	if d.clients == nil {
+	if d.closed.Load() || d.clients == nil {
 		return nil, fmt.Errorf("dist: driver closed")
 	}
 	if cur := d.clients[node]; cur != broken && cur != nil && !cur.Broken() {
@@ -277,6 +287,10 @@ func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
 			d.o.noteTransient()
 		}
 		return nil, err
+	}
+	if d.closed.Load() || d.clients == nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: driver closed")
 	}
 	if old := d.clients[node]; old != nil {
 		old.Close()

@@ -3,11 +3,13 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rcuarray/internal/comm"
+	"rcuarray/internal/durable"
 	"rcuarray/internal/ebr"
 	"rcuarray/internal/memory"
 	"rcuarray/internal/obs"
@@ -81,6 +83,23 @@ type ArrayNode struct {
 	abortedFence uint64
 	abortedEpoch uint64
 
+	// Durability state (see durability.go). dataDir is fixed at
+	// construction; identity and restartGen are persisted in node.conf so a
+	// restart rejoins with the same identity under a bumped connection
+	// generation. The WAL writer, its sequence number, and the snapshot
+	// sequence are guarded by mu; snapMu serializes whole Snapshot calls so
+	// two concurrent cuts cannot interleave their WAL rotations.
+	dataDir    string
+	identity   uint64
+	restartGen uint64
+	wal        *durable.Writer
+	walSeq     uint64
+	snapSeq    uint64
+	snapMu     sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+
 	// allocs maps alloc request ids to segments so a retried AllocBlock
 	// returns the original segment instead of leaking a new one. Each entry
 	// remembers the fencing token of the resize that allocated it; entries
@@ -97,6 +116,13 @@ type ArrayNode struct {
 	fenced        *obs.Counter
 	leaseExpiries *obs.Counter
 	regionFlips   *obs.Counter
+	snapshots     *obs.Counter
+	snapBytes     *obs.Counter
+	walRecords    *obs.Counter
+	walReplayed   *obs.Counter
+	recoveries    *obs.Counter
+	snapNs        *obs.Histogram
+	recoverNs     *obs.Histogram
 	localBlocks   *obs.Gauge
 	trace         nodeTrace
 }
@@ -111,17 +137,31 @@ func NewArrayNode(addr string) (*ArrayNode, error) {
 // cfg.Obs is nil the node creates its own registry; either way the
 // transport's request counters land beside the protocol counters.
 func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
+	return NewArrayNodeOpts(addr, NodeOptions{Comm: cfg})
+}
+
+// NewArrayNodeOpts starts an array node with full options. With a DataDir,
+// the node binds its address first, then — before accepting a single
+// connection — recovers any previous incarnation's state from disk: newest
+// valid snapshot, WAL replay, peer re-dial under a bumped generation, and
+// the catch-up poll (see recoverFromDisk). A recovery failure fails
+// construction: serving half-recovered state would silently violate the
+// durability contract.
+func NewArrayNodeOpts(addr string, opts NodeOptions) (*ArrayNode, error) {
+	cfg := opts.Comm
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
 		cfg.Obs = reg
 	}
+	cfg.DeferServe = true
 	srv, err := comm.NewNodeConfig(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
 	n := &ArrayNode{
 		srv:           srv,
+		dataDir:       opts.DataDir,
 		allocs:        make(map[uint64]allocEntry),
 		reg:           reg,
 		installs:      reg.Counter("dist_installs_total"),
@@ -129,12 +169,30 @@ func NewArrayNodeConfig(addr string, cfg comm.NodeConfig) (*ArrayNode, error) {
 		fenced:        reg.Counter("dist_fenced_total"),
 		leaseExpiries: reg.Counter("dist_lease_expiries_total"),
 		regionFlips:   reg.Counter("dist_region_flips_total"),
+		snapshots:     reg.Counter("dist_snapshots_total"),
+		snapBytes:     reg.Counter("dist_snapshot_bytes_total"),
+		walRecords:    reg.Counter("dist_wal_records_total"),
+		walReplayed:   reg.Counter("dist_wal_replayed_total"),
+		recoveries:    reg.Counter("dist_recoveries_total"),
+		snapNs:        reg.Histogram("dist_snapshot_ns"),
+		recoverNs:     reg.Histogram("dist_recover_ns"),
 		localBlocks:   reg.Gauge("dist_local_blocks"),
 	}
 	n.dom.Observe(reg)
 	n.trace.init(reg.Tracer())
 	n.snap.Store(&tableSnapshot{})
+	if n.dataDir != "" {
+		if err := os.MkdirAll(n.dataDir, 0o755); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := n.recoverFromDisk(); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("dist: recovering %s: %w", n.dataDir, err)
+		}
+	}
 	n.registerHandlers()
+	srv.Serve()
 	return n, nil
 }
 
@@ -146,18 +204,34 @@ func (n *ArrayNode) Obs() *obs.Registry { return n.reg }
 // Addr returns the node's listen address.
 func (n *ArrayNode) Addr() string { return n.srv.Addr() }
 
-// Close shuts the node down; in-flight requests fail at their callers.
+// Close shuts the node down; in-flight requests fail at their callers. It is
+// idempotent — a signal handler's drain and a deferred cleanup can both call
+// it — and it closes the WAL last, after the listener has stopped accepting
+// and every in-flight install has drained, so no acknowledged milestone can
+// race the final sync.
 func (n *ArrayNode) Close() error {
-	n.mu.Lock()
-	peers := n.peers
-	n.peers = nil
-	n.mu.Unlock()
-	for _, p := range peers {
-		if p != nil {
-			p.Close()
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		peers := n.peers
+		n.peers = nil
+		n.mu.Unlock()
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
 		}
-	}
-	return n.srv.Close()
+		n.closeErr = n.srv.Close()
+		n.mu.Lock()
+		wal := n.wal
+		n.wal = nil
+		n.mu.Unlock()
+		if wal != nil {
+			if err := wal.Close(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
+	})
+	return n.closeErr
 }
 
 func (n *ArrayNode) registerHandlers() {
@@ -172,6 +246,8 @@ func (n *ArrayNode) registerHandlers() {
 	n.srv.Handle(amAbort, n.handleAbort)
 	n.srv.Handle(amFreeBlock, n.handleFreeBlock)
 	n.srv.Handle(amReadTable, n.handleReadTable)
+	n.srv.Handle(amRecoverState, n.handleRecoverState)
+	n.srv.Handle(amSnapshot, n.handleSnapshot)
 }
 
 // SetInstallHook registers a callback run after every region publication of
@@ -197,12 +273,22 @@ func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
 	if n.configured.Load() {
 		return nil, fmt.Errorf("dist: node already configured")
 	}
+	// Peer connections carry a per-edge write-fencing identity so that,
+	// after a crash-restart, the rejoining node's bumped generation fences
+	// any Put its previous incarnation left in flight toward this peer.
+	identity := newIdentity()
+	const restartGen = 1
 	peers := make([]*comm.Client, len(cfg.Addrs))
 	for i, a := range cfg.Addrs {
 		if uint32(i) == cfg.NodeID {
 			continue
 		}
-		c, err := comm.Dial(a)
+		c, err := comm.DialConfig(a, comm.ClientConfig{
+			Identity:   peerIdentity(identity, i),
+			Generation: restartGen,
+			Peer:       fmt.Sprintf("n%d", i),
+			Obs:        n.reg,
+		})
 		if err != nil {
 			for _, p := range peers {
 				if p != nil {
@@ -213,8 +299,33 @@ func (n *ArrayNode) handleConfigure(payload []byte) ([]byte, error) {
 		}
 		peers[i] = c
 	}
+	if n.dataDir != "" {
+		conf := nodeConf{
+			NodeID:     cfg.NodeID,
+			BlockSize:  cfg.BlockSize,
+			Identity:   identity,
+			RestartGen: restartGen,
+			Addrs:      cfg.Addrs,
+		}
+		w, err := durable.Create(walPath(n.dataDir, 1))
+		if err == nil {
+			err = persistConf(n.dataDir, conf)
+		}
+		if err != nil {
+			for _, p := range peers {
+				if p != nil {
+					p.Close()
+				}
+			}
+			return nil, fmt.Errorf("dist: persisting node config: %w", err)
+		}
+		n.wal = w
+		n.walSeq = 1
+	}
 	n.id = cfg.NodeID
 	n.blockSize = int(cfg.BlockSize)
+	n.identity = identity
+	n.restartGen = restartGen
 	n.peers = peers
 	n.trace.ring = n.trace.tr.Ring(int(cfg.NodeID), 0)
 	n.trace.lockRing = n.trace.tr.Ring(int(cfg.NodeID), 1)
@@ -367,6 +478,7 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 	n.mu.Lock()
 	hook := n.installHook
 	n.mu.Unlock()
+	digest := tableDigest(q.Table)
 	for k, rg := range steps {
 		n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
 		if q.Fence < n.maxFence {
@@ -404,6 +516,17 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 		if n.regionMilestone >= uint64(k+1) {
 			n.mu.Unlock() // retried install resuming: this step is already published
 			continue
+		}
+		// Write-ahead: the milestone is on disk before the flip is published
+		// (and so before it can be acknowledged). A WAL failure rejects the
+		// install with the table untouched.
+		if err := n.walAppendLocked(walRecord{
+			Kind: recWALInstall, Fence: q.Fence, Epoch: q.Epoch,
+			Step: uint32(k), Total: uint32(len(steps)), Digest: digest,
+			Table: q.Table[:rg.Hi],
+		}); err != nil {
+			n.mu.Unlock()
+			return nil, err
 		}
 		n.trace.ring.Begin(n.trace.nInstall)
 		n.replaceTableLocked(q.Table[:rg.Hi])
@@ -447,6 +570,12 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 		n.fenced.Inc()
 		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
 		return nil, nil
+	}
+	// Write-ahead, before any state (tombstone included) changes: a crash
+	// after the ack replays this record and reconstructs both the tombstone
+	// and the rollback.
+	if err := n.walAppendLocked(walRecord{Kind: recWALAbort, Fence: q.Fence, Epoch: q.Epoch, Table: q.Table}); err != nil {
+		return nil, err
 	}
 	n.maxFence = q.Fence
 	// Tombstone the aborted pair — even when the install never landed here —
@@ -572,6 +701,10 @@ func (n *ArrayNode) handleStats(payload []byte) ([]byte, error) {
 		Aborts:      n.aborts.Load(),
 		Fenced:      n.fenced.Load(),
 		RegionFlips: n.regionFlips.Load(),
+		Snapshots:   n.snapshots.Load(),
+		WALRecords:  n.walRecords.Load(),
+		WALReplayed: n.walReplayed.Load(),
+		Recoveries:  n.recoveries.Load(),
 	}
 	return s.encode(), nil
 }

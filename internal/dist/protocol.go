@@ -7,17 +7,19 @@ import (
 
 // Active-message handler ids served by every array node.
 const (
-	amConfigure   uint16 = 10 // node id, block size, peer addresses
-	amAllocBlock  uint16 = 11 // (request id, fence token) -> segment id (idempotent, fenced)
-	amInstall     uint16 = 12 // fencing token, epoch, new block table (RCU_Write on the node)
-	amLen         uint16 = 13 // -> local view: #blocks
-	amLockAcquire uint16 = 14 // cluster WriteLock lease (node 0 only): ttl -> granted(token) | held
-	amLockRelease uint16 = 15 // token
-	amRunWorkload uint16 = 16 // execute reads/updates locally
-	amStats       uint16 = 17 // -> node counters
-	amAbort       uint16 = 18 // fencing token, epoch, rollback table (resize abort)
-	amFreeBlock   uint16 = 19 // request id, segment id (idempotent free)
-	amReadTable   uint16 = 20 // -> the node's current block table (convergence audits)
+	amConfigure    uint16 = 10 // node id, block size, peer addresses
+	amAllocBlock   uint16 = 11 // (request id, fence token) -> segment id (idempotent, fenced)
+	amInstall      uint16 = 12 // fencing token, epoch, new block table (RCU_Write on the node)
+	amLen          uint16 = 13 // -> local view: #blocks
+	amLockAcquire  uint16 = 14 // cluster WriteLock lease (node 0 only): ttl -> granted(token) | held
+	amLockRelease  uint16 = 15 // token
+	amRunWorkload  uint16 = 16 // execute reads/updates locally
+	amStats        uint16 = 17 // -> node counters
+	amAbort        uint16 = 18 // fencing token, epoch, rollback table (resize abort)
+	amFreeBlock    uint16 = 19 // request id, segment id (idempotent free)
+	amReadTable    uint16 = 20 // -> the node's current block table (convergence audits)
+	amRecoverState uint16 = 21 // -> fencing milestones + table (restart catch-up)
+	amSnapshot     uint16 = 22 // stream a durable snapshot to disk -> stats
 )
 
 // Lock lease acquire statuses.
@@ -278,6 +280,73 @@ func decodeLockReply(p []byte) (status uint8, v uint64, err error) {
 	return status, v, r.err
 }
 
+// recoverState is a node's answer to the restart catch-up RPC: the fencing
+// milestones that order its table against a rejoining peer's replayed state,
+// plus the table itself. A restarted node asks every reachable peer and
+// adopts the newest answer (see adoptRecoverStateLocked), which is what stops
+// an aborted table from resurrecting out of a crashed node's WAL: the peers'
+// tombstones travel with their tables.
+type recoverState struct {
+	MaxFence     uint64
+	AppliedFence uint64
+	AppliedEpoch uint64
+	AbortedFence uint64
+	AbortedEpoch uint64
+	Table        []BlockRef
+}
+
+func (s recoverState) encode() []byte {
+	var w wbuf
+	w.u64(s.MaxFence)
+	w.u64(s.AppliedFence)
+	w.u64(s.AppliedEpoch)
+	w.u64(s.AbortedFence)
+	w.u64(s.AbortedEpoch)
+	w.b = append(w.b, encodeTable(s.Table)...)
+	return w.b
+}
+
+func decodeRecoverState(p []byte) (recoverState, error) {
+	r := rbuf{b: p}
+	s := recoverState{
+		MaxFence:     r.u64(),
+		AppliedFence: r.u64(),
+		AppliedEpoch: r.u64(),
+		AbortedFence: r.u64(),
+		AbortedEpoch: r.u64(),
+	}
+	table, err := readTable(&r)
+	if err != nil {
+		return s, err
+	}
+	s.Table = table
+	return s, r.err
+}
+
+// SnapshotInfo reports one durable snapshot: the fencing milestone it was cut
+// at and what it wrote.
+type SnapshotInfo struct {
+	Fence  uint64 // maxFence at the cut
+	Epoch  uint64 // appliedEpoch at the cut
+	Blocks uint32 // local blocks streamed
+	Bytes  uint64 // file size on disk
+}
+
+func (s SnapshotInfo) encode() []byte {
+	var w wbuf
+	w.u64(s.Fence)
+	w.u64(s.Epoch)
+	w.u32(s.Blocks)
+	w.u64(s.Bytes)
+	return w.b
+}
+
+func decodeSnapshotInfo(p []byte) (SnapshotInfo, error) {
+	r := rbuf{b: p}
+	s := SnapshotInfo{Fence: r.u64(), Epoch: r.u64(), Blocks: r.u32(), Bytes: r.u64()}
+	return s, r.err
+}
+
 // WorkloadReq asks a node to run a read or update workload locally.
 //
 // Elements are plain memory (the paper's semantics), so two modes exist:
@@ -362,6 +431,10 @@ type NodeStats struct {
 	Aborts      uint64 // resize rollbacks applied
 	Fenced      uint64 // installs/aborts rejected for a stale fencing token
 	RegionFlips uint64 // per-region table publications applied
+	Snapshots   uint64 // durable snapshots written
+	WALRecords  uint64 // resize milestones appended to the WAL
+	WALReplayed uint64 // WAL milestones replayed at restart
+	Recoveries  uint64 // restarts recovered from disk
 }
 
 func (s NodeStats) encode() []byte {
@@ -373,12 +446,17 @@ func (s NodeStats) encode() []byte {
 	w.u64(s.Aborts)
 	w.u64(s.Fenced)
 	w.u64(s.RegionFlips)
+	w.u64(s.Snapshots)
+	w.u64(s.WALRecords)
+	w.u64(s.WALReplayed)
+	w.u64(s.Recoveries)
 	return w.b
 }
 
 func decodeStats(b []byte) (NodeStats, error) {
 	r := rbuf{b: b}
 	s := NodeStats{Installs: r.u64(), Synchronize: r.u64(), Retries: r.u64(), LocalBlocks: r.u32(),
-		Aborts: r.u64(), Fenced: r.u64(), RegionFlips: r.u64()}
+		Aborts: r.u64(), Fenced: r.u64(), RegionFlips: r.u64(),
+		Snapshots: r.u64(), WALRecords: r.u64(), WALReplayed: r.u64(), Recoveries: r.u64()}
 	return s, r.err
 }

@@ -23,13 +23,20 @@ func SpawnLocal(n int) (addrs []string, stop func(), err error) {
 // and the chaos harness can kill individual nodes mid-protocol. stop is
 // idempotent and tolerates nodes already closed by the caller.
 func SpawnLocalNodes(n int, cfg comm.NodeConfig) (nodes []*ArrayNode, stop func(), err error) {
+	return SpawnLocalNodesOpts(n, func(int) NodeOptions { return NodeOptions{Comm: cfg} })
+}
+
+// SpawnLocalNodesOpts starts n array nodes with per-node options — the
+// durability tests hand each node its own data dir. stop is idempotent and
+// tolerates nodes already closed (or killed and restarted) by the caller.
+func SpawnLocalNodesOpts(n int, optsFor func(i int) NodeOptions) (nodes []*ArrayNode, stop func(), err error) {
 	stop = func() {
 		for _, node := range nodes {
 			node.Close()
 		}
 	}
 	for i := 0; i < n; i++ {
-		node, err := NewArrayNodeConfig("127.0.0.1:0", cfg)
+		node, err := NewArrayNodeOpts("127.0.0.1:0", optsFor(i))
 		if err != nil {
 			stop()
 			return nil, nil, err

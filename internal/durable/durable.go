@@ -1,0 +1,257 @@
+// Package durable implements the on-disk record framing shared by the
+// distributed layer's snapshot and write-ahead-log files.
+//
+// A durable file is an 8-byte magic (which folds in the format version)
+// followed by a sequence of self-checking records:
+//
+//	[len u32 LE] [payload len bytes] [crc32(payload) u32 LE]
+//
+// The framing is deliberately payload-agnostic: the dist layer owns the
+// payload schemas (snapshot headers, segment images, WAL milestones) and this
+// package owns only the torn-write discipline. Readers never trust a length
+// or a checksum: a file truncated or corrupted at any byte decodes to the
+// longest valid record prefix plus a torn flag, so crash recovery is always
+// "replay to the last valid record" and never a panic or silent partial
+// state.
+//
+// Appends fsync before returning — a record that Append accepted survives a
+// crash — and whole-file writes go through a temp file + rename so a snapshot
+// is either entirely present or entirely absent. File headers carry
+// wall-clock timestamps, which is why this package is a seedpure carve-out:
+// deterministic domains must not import it.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// fileMagic identifies a durable file and its format version. Bump the
+// trailing digit on incompatible changes; readers reject unknown magics.
+var fileMagic = []byte("RCUDUR1\n")
+
+// MagicLen is the length of the file header preceding the first record.
+const MagicLen = 8
+
+// MaxRecord bounds a single record's payload so a corrupted length field
+// cannot drive an absurd allocation before the checksum gets a chance to
+// reject it.
+const MaxRecord = 64 << 20
+
+// frameOverhead is the per-record framing cost: length prefix + checksum.
+const frameOverhead = 8
+
+var (
+	// ErrBadMagic marks a file that is not a durable file (or a future
+	// incompatible version).
+	ErrBadMagic = errors.New("durable: bad file magic")
+)
+
+// AppendRecord appends one framed record for payload to dst and returns the
+// extended slice. It is the encoding primitive shared by Writer and
+// EncodeFile.
+func AppendRecord(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// DecodeRecords splits data (a whole durable file, magic included) into its
+// valid record payloads. torn reports whether trailing bytes were discarded:
+// a truncated length, a short payload, or a checksum mismatch ends the scan
+// at the last record that checked out. A missing or foreign magic yields
+// ErrBadMagic; torn tails are not errors, because they are exactly the state
+// a crash mid-append leaves behind.
+//
+// The returned payloads alias data; callers that outlive data must copy.
+func DecodeRecords(data []byte) (payloads [][]byte, torn bool, err error) {
+	if len(data) < MagicLen || string(data[:MagicLen]) != string(fileMagic) {
+		return nil, false, ErrBadMagic
+	}
+	rest := data[MagicLen:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return payloads, true, nil
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if n > MaxRecord || len(rest) < 4+int(n)+4 {
+			return payloads, true, nil
+		}
+		body := rest[4 : 4+n]
+		sum := binary.LittleEndian.Uint32(rest[4+n:])
+		if crc32.ChecksumIEEE(body) != sum {
+			return payloads, true, nil
+		}
+		payloads = append(payloads, body)
+		rest = rest[4+n+4:]
+	}
+	return payloads, false, nil
+}
+
+// ReadFile reads path and decodes its records. Missing files surface the
+// os.ErrNotExist from os.ReadFile unchanged so callers can distinguish
+// "never written" from "corrupt".
+func ReadFile(path string) (payloads [][]byte, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return DecodeRecords(data)
+}
+
+// EncodeFile assembles a whole durable file image in memory.
+func EncodeFile(payloads [][]byte) []byte {
+	n := MagicLen
+	for _, p := range payloads {
+		n += frameOverhead + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, fileMagic...)
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	return buf
+}
+
+// WriteFileAtomic writes payloads as a durable file at path via a temp file
+// in the same directory, fsync, and rename, then fsyncs the directory so the
+// rename itself is durable. The file is either entirely present with its
+// final contents or absent; readers never observe a half-written snapshot.
+// It returns the number of bytes written.
+func WriteFileAtomic(path string, payloads [][]byte) (int64, error) {
+	buf := EncodeFile(payloads)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	syncDir(dir)
+	return int64(len(buf)), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash. Errors
+// are ignored: some filesystems reject directory fsync, and the rename is
+// already atomic with respect to readers.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// A Writer appends records to a durable file. Append fsyncs before
+// returning, so an Append that returned nil is crash-durable — the property
+// the resize WAL needs before acknowledging a region flip. A Writer is not
+// safe for concurrent use; the dist layer serializes appends under its node
+// mutex.
+type Writer struct {
+	f       *os.File
+	path    string
+	scratch []byte
+	closed  bool
+}
+
+// Create truncates (or creates) a durable file at path and writes the magic.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(fileMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// OpenAppend opens an existing durable file for appending, verifying its
+// magic and seeking past the last valid record so a torn tail from a prior
+// crash is overwritten rather than extended (a record appended after a torn
+// tail would otherwise be unreachable to DecodeRecords forever).
+func OpenAppend(path string) (*Writer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payloads, _, err := DecodeRecords(data)
+	if err != nil {
+		return nil, err
+	}
+	valid := int64(MagicLen)
+	for _, p := range payloads {
+		valid += frameOverhead + int64(len(p))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Path returns the file path the Writer appends to.
+func (w *Writer) Path() string { return w.path }
+
+// Append frames payload, writes it, and fsyncs. On return with a nil error
+// the record is durable.
+func (w *Writer) Append(payload []byte) error {
+	if w.closed {
+		return fmt.Errorf("durable: append to closed writer %s", w.path)
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("durable: record of %d bytes exceeds max %d", len(payload), MaxRecord)
+	}
+	w.scratch = AppendRecord(w.scratch[:0], payload)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the file. It is idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

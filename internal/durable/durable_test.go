@@ -1,0 +1,236 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma gamma"), {0, 1, 2, 255}}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := w.Append([]byte("late")); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	got, torn, err := ReadFile(path)
+	if err != nil || torn {
+		t.Fatalf("read: torn=%v err=%v", torn, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpenAppendResumesPastTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Simulate a crash mid-append: a dangling half record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 'x', 'y'}); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+	if _, torn, err := ReadFile(path); err != nil || !torn {
+		t.Fatalf("pre-append read: torn=%v err=%v, want torn", torn, err)
+	}
+	w, err = OpenAppend(path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	if err := w.Append([]byte("second")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, torn, err := ReadFile(path)
+	if err != nil || torn {
+		t.Fatalf("read: torn=%v err=%v", torn, err)
+	}
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("records = %q", got)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	n, err := WriteFileAtomic(path, [][]byte{[]byte("hdr"), []byte("body")})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() != n {
+		t.Fatalf("stat: size=%v n=%d err=%v", info, n, err)
+	}
+	got, torn, err := ReadFile(path)
+	if err != nil || torn || len(got) != 2 {
+		t.Fatalf("read: %d records torn=%v err=%v", len(got), torn, err)
+	}
+	// Overwrite in place; no temp files left behind.
+	if _, err := WriteFileAtomic(path, [][]byte{[]byte("v2")}); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap" {
+		t.Fatalf("leftover files: %v", entries)
+	}
+	got, _, _ = ReadFile(path)
+	if len(got) != 1 || string(got[0]) != "v2" {
+		t.Fatalf("rewrite records = %q", got)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("short"), []byte("WRONGMG\n"), bytes.Repeat([]byte{0}, 64)} {
+		if _, _, err := DecodeRecords(data); err != ErrBadMagic {
+			t.Fatalf("data %q: err = %v, want ErrBadMagic", data, err)
+		}
+	}
+}
+
+func TestDecodeRejectsAbsurdLength(t *testing.T) {
+	data := append([]byte{}, fileMagic...)
+	data = append(data, 0xFF, 0xFF, 0xFF, 0xFF) // 4 GiB record claim
+	payloads, torn, err := DecodeRecords(data)
+	if err != nil || !torn || len(payloads) != 0 {
+		t.Fatalf("payloads=%d torn=%v err=%v", len(payloads), torn, err)
+	}
+}
+
+// TestTornAtEveryByte is the deterministic core of FuzzWALTornRecord: any
+// truncation of a valid file decodes to a prefix of the original records
+// with the torn flag set iff bytes were dropped mid-record.
+func TestTornAtEveryByte(t *testing.T) {
+	records := [][]byte{[]byte("one"), []byte("two two"), {}, []byte("four")}
+	full := EncodeFile(records)
+	for cut := MagicLen; cut <= len(full); cut++ {
+		payloads, torn, err := DecodeRecords(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for i, p := range payloads {
+			if !bytes.Equal(p, records[i]) {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, p, records[i])
+			}
+		}
+		if cut == len(full) {
+			if torn || len(payloads) != len(records) {
+				t.Fatalf("full decode: %d records torn=%v", len(payloads), torn)
+			}
+		} else if !torn && len(payloads) == len(records) {
+			t.Fatalf("cut %d: truncated file decoded as whole", cut)
+		}
+	}
+}
+
+// TestCorruptAtEveryByte flips one byte at each offset; decode must never
+// panic, and a flip inside a record's frame must drop that record and its
+// successors (checksums catch payload and length damage alike).
+func TestCorruptAtEveryByte(t *testing.T) {
+	records := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	full := EncodeFile(records)
+	for off := MagicLen; off < len(full); off++ {
+		mut := append([]byte{}, full...)
+		mut[off] ^= 0x40
+		payloads, _, err := DecodeRecords(mut)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		// Whatever survived must be a clean prefix or a corrupted record's
+		// coincidental revalidation is impossible with CRC32 over these
+		// sizes; assert prefix-ness structurally.
+		for i, p := range payloads {
+			if i < len(records) && bytes.Equal(p, records[i]) {
+				continue
+			}
+			// A flipped length byte can resync the stream only if the CRC
+			// still matches, which cannot happen for a single bit flip.
+			t.Fatalf("offset %d: record %d = %q not a clean prefix", off, i, p)
+		}
+	}
+}
+
+// FuzzWALTornRecord mirrors FuzzPipelinedTornStream for durable files: feed
+// arbitrary bytes (seeded with valid files and their truncations) through
+// DecodeRecords and re-encode the surviving records; decoding the re-encode
+// must be clean and identical. Never panics, never fabricates records.
+func FuzzWALTornRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(append([]byte{}, fileMagic...))
+	valid := EncodeFile([][]byte{[]byte("fence"), []byte("epoch"), {1, 2, 3}})
+	f.Add(valid)
+	for _, cut := range []int{3, MagicLen, MagicLen + 1, MagicLen + 5, len(valid) - 3, len(valid) - 1} {
+		if cut >= 0 && cut <= len(valid) {
+			f.Add(append([]byte{}, valid[:cut]...))
+		}
+	}
+	mut := append([]byte{}, valid...)
+	mut[MagicLen+6] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, torn, err := DecodeRecords(data)
+		if err != nil {
+			if err != ErrBadMagic {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		if !torn {
+			// A clean decode must account for every byte.
+			n := MagicLen
+			for _, p := range payloads {
+				n += frameOverhead + len(p)
+			}
+			if n != len(data) {
+				t.Fatalf("clean decode consumed %d of %d bytes", n, len(data))
+			}
+		}
+		reenc := EncodeFile(payloads)
+		got, torn2, err2 := DecodeRecords(reenc)
+		if err2 != nil || torn2 || len(got) != len(payloads) {
+			t.Fatalf("re-encode decode: %d/%d records torn=%v err=%v", len(got), len(payloads), torn2, err2)
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("record %d mutated in round trip", i)
+			}
+		}
+	})
+}

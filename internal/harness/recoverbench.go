@@ -1,0 +1,353 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rcuarray/internal/comm"
+	"rcuarray/internal/dist"
+)
+
+// RecoverBenchConfig parameterizes the PR 8 durability experiment. It answers
+// the acceptance question: does snapshotting stall writers? The paper's RCU
+// reading discipline says it must not — a snapshot cut is an RCU read of the
+// published table plus per-segment copies, so a driver writing at full tilt
+// while every node streams snapshots should lose almost no throughput. The
+// A/B is interleaved (baseline rep, snapshot rep, repeat) and keeps the best
+// rep per arm, the harness convention for shared-hardware noise.
+//
+// A second measurement times one full kill-restart-rejoin of a block owner:
+// newest snapshot load, WAL replay, peer catch-up, back to serving.
+type RecoverBenchConfig struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// BlockSize is elements per block; Blocks the array size in blocks.
+	BlockSize int
+	Blocks    int
+	// Writers is the concurrent driver-side writer count; OpsPerWriter the
+	// acknowledged writes each issues per rep.
+	Writers      int
+	OpsPerWriter int
+	// SnapshotPause is the idle time between full snapshot sweeps in the
+	// snapshot arm (default 100ms — ten full-cluster snapshots per second).
+	SnapshotPause time.Duration
+	// Seed feeds the driver's retry jitter.
+	Seed uint64
+	// Repetitions is the interleaved A/B rep count.
+	Repetitions int
+}
+
+func (c RecoverBenchConfig) withDefaults() RecoverBenchConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 256
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 12
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 25000
+	}
+	if c.SnapshotPause <= 0 {
+		// Snapshotting every node 10x a second is already far past any
+		// operational cadence. A zero pause would instead measure how the
+		// host's cores and disk queue divide between a 100%-duty fsync loop
+		// and the writers — pure resource sharing, linear in duty cycle and
+		// operator-controlled, not the serialization the gate is after.
+		c.SnapshotPause = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xD15C
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// RecoverBenchResult is the experiment's JSON artifact (BENCH_PR8.json).
+type RecoverBenchResult struct {
+	Title        string `json:"title"`
+	Nodes        int    `json:"nodes"`
+	BlockSize    int    `json:"block_size"`
+	Blocks       int    `json:"blocks"`
+	Writers      int    `json:"writers"`
+	OpsPerWriter int    `json:"ops_per_writer"`
+
+	// Writer throughput with no snapshots vs. with every node continuously
+	// snapshotting, best rep each; DipPct is the relative loss (>= 0).
+	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
+	SnapshotOpsPerSec float64 `json:"snapshot_ops_per_sec"`
+	DipPct            float64 `json:"dip_pct"`
+	// Snapshots and SnapshotBytes are the snapshot arm's best-rep totals.
+	Snapshots     uint64 `json:"snapshots"`
+	SnapshotBytes uint64 `json:"snapshot_bytes"`
+
+	// RestartNanos is the wall-clock cost of one kill-restart-rejoin of a
+	// block owner (process construction through serving, catch-up included).
+	RestartNanos uint64 `json:"restart_ns"`
+	// RestartWALReplayed is how many WAL milestones that restart replayed.
+	RestartWALReplayed uint64 `json:"restart_wal_replayed"`
+
+	// MaxDipPct is the gate the caller applied (0 = ungated); Pass its result.
+	MaxDipPct float64 `json:"max_dip_pct,omitempty"`
+	Pass      bool    `json:"pass"`
+}
+
+// recoverCluster spins up a durable cluster and a connected driver, growing
+// the array to the configured size. The caller must invoke cleanup.
+func recoverCluster(cfg RecoverBenchConfig) (d *dist.Driver, nodes []*dist.ArrayNode, dirs []string, cleanup func(), err error) {
+	base, err := os.MkdirTemp("", "rcubench-recover-")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	dirs = make([]string, cfg.Nodes)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("n%d", i))
+	}
+	nodes, stop, err := dist.SpawnLocalNodesOpts(cfg.Nodes, func(i int) dist.NodeOptions {
+		return dist.NodeOptions{
+			Comm:    comm.NodeConfig{FrameTimeout: 5 * time.Second},
+			DataDir: dirs[i],
+		}
+	})
+	if err != nil {
+		os.RemoveAll(base)
+		return nil, nil, nil, nil, err
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+	d, err = dist.ConnectOpts(addrs, cfg.BlockSize, dist.Options{
+		CallTimeout:    2 * time.Second,
+		Retries:        4,
+		LockTTL:        10 * time.Second,
+		AcquireTimeout: 30 * time.Second,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		stop()
+		os.RemoveAll(base)
+		return nil, nil, nil, nil, err
+	}
+	cleanup = func() {
+		d.Close()
+		stop()
+		os.RemoveAll(base)
+	}
+	if err := d.Grow(cfg.Blocks * cfg.BlockSize); err != nil {
+		cleanup()
+		return nil, nil, nil, nil, err
+	}
+	return d, nodes, dirs, cleanup, nil
+}
+
+// runRecoverArm measures one rep of one arm: Writers goroutines each issue
+// OpsPerWriter acknowledged writes; the snapshot arm additionally runs a
+// continuous snapshot sweep over every node until the writers finish.
+func runRecoverArm(cfg RecoverBenchConfig, snapshot bool) (opsPerSec float64, snaps, snapBytes uint64, err error) {
+	d, _, _, cleanup, err := recoverCluster(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cleanup()
+	length := cfg.Blocks * cfg.BlockSize
+
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	var snapErr error
+	if snapshot {
+		go func() {
+			defer close(snapDone)
+			for {
+				select {
+				case <-stopSnap:
+					return
+				default:
+				}
+				for i := 0; i < cfg.Nodes; i++ {
+					info, err := d.SnapshotNode(i)
+					if err != nil {
+						snapErr = err
+						return
+					}
+					snaps++
+					snapBytes += info.Bytes
+				}
+				if cfg.SnapshotPause > 0 {
+					time.Sleep(cfg.SnapshotPause)
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Writers)
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerWriter; i++ {
+				idx := (w*cfg.OpsPerWriter + i*7) % length
+				if err := d.Write(idx, int64(w)<<32|int64(i)); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopSnap)
+	<-snapDone
+	select {
+	case err := <-errs:
+		return 0, 0, 0, err
+	default:
+	}
+	if snapErr != nil {
+		return 0, 0, 0, fmt.Errorf("snapshot sweep: %w", snapErr)
+	}
+	total := float64(cfg.Writers * cfg.OpsPerWriter)
+	return total / elapsed.Seconds(), snaps, snapBytes, nil
+}
+
+// runRecoverRestart times one kill-restart-rejoin: populate, snapshot
+// everything, resize a few more times (so the restart replays WAL on top of
+// the snapshot), kill a block owner, bring it back on its old address.
+func runRecoverRestart(cfg RecoverBenchConfig) (restartNs, walReplayed uint64, err error) {
+	d, nodes, dirs, cleanup, err := recoverCluster(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	length := cfg.Blocks * cfg.BlockSize
+	for i := 0; i < length; i += 17 {
+		if err := d.Write(i, int64(i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := d.SnapshotNode(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.Grow(cfg.BlockSize); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	victim := cfg.Nodes - 1
+	addr := nodes[victim].Addr()
+	nodes[victim].Close()
+	start := time.Now()
+	var revived *dist.ArrayNode
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		revived, err = dist.NewArrayNodeOpts(addr, dist.NodeOptions{
+			Comm:    comm.NodeConfig{FrameTimeout: 5 * time.Second},
+			DataDir: dirs[victim],
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("restart: %w", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	restartNs = uint64(time.Since(start).Nanoseconds())
+	defer revived.Close()
+
+	stats, err := d.Stats()
+	if err != nil {
+		return 0, 0, err
+	}
+	if stats[victim].Recoveries == 0 {
+		return 0, 0, fmt.Errorf("restarted node reports no recovery")
+	}
+	return restartNs, stats[victim].WALReplayed, nil
+}
+
+// RunRecoverBench runs the snapshot-under-load A/B and the restart timing.
+func RunRecoverBench(cfg RecoverBenchConfig) (RecoverBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := RecoverBenchResult{
+		Title:        "PR 8: snapshot-under-load writer throughput + kill-restart-rejoin cost",
+		Nodes:        cfg.Nodes,
+		BlockSize:    cfg.BlockSize,
+		Blocks:       cfg.Blocks,
+		Writers:      cfg.Writers,
+		OpsPerWriter: cfg.OpsPerWriter,
+	}
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		base, _, _, err := runRecoverArm(cfg, false)
+		if err != nil {
+			return res, fmt.Errorf("baseline rep %d: %w", rep, err)
+		}
+		snap, snaps, snapBytes, err := runRecoverArm(cfg, true)
+		if err != nil {
+			return res, fmt.Errorf("snapshot rep %d: %w", rep, err)
+		}
+		if base > res.BaselineOpsPerSec {
+			res.BaselineOpsPerSec = base
+		}
+		if snap > res.SnapshotOpsPerSec {
+			res.SnapshotOpsPerSec = snap
+			res.Snapshots = snaps
+			res.SnapshotBytes = snapBytes
+		}
+	}
+	if res.BaselineOpsPerSec > 0 && res.SnapshotOpsPerSec < res.BaselineOpsPerSec {
+		res.DipPct = (1 - res.SnapshotOpsPerSec/res.BaselineOpsPerSec) * 100
+	}
+	restartNs, walReplayed, err := runRecoverRestart(cfg)
+	if err != nil {
+		return res, fmt.Errorf("restart timing: %w", err)
+	}
+	res.RestartNanos = restartNs
+	res.RestartWALReplayed = walReplayed
+	res.Pass = true
+	return res, nil
+}
+
+// EncodeJSON writes the result as indented JSON (the BENCH_PR8.json shape).
+func (r RecoverBenchResult) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders a human-readable summary.
+func (r RecoverBenchResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "nodes=%d block=%d x %d blocks, %d writers x %d acked writes\n",
+		r.Nodes, r.BlockSize, r.Blocks, r.Writers, r.OpsPerWriter)
+	fmt.Fprintf(w, "  writer throughput: baseline %.0f ops/s, under snapshots %.0f ops/s (dip %.2f%%)\n",
+		r.BaselineOpsPerSec, r.SnapshotOpsPerSec, r.DipPct)
+	fmt.Fprintf(w, "  snapshots in best rep: %d (%d bytes streamed)\n", r.Snapshots, r.SnapshotBytes)
+	fmt.Fprintf(w, "  kill-restart-rejoin: %s, %d WAL milestones replayed\n",
+		time.Duration(r.RestartNanos), r.RestartWALReplayed)
+	if r.MaxDipPct > 0 {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  gate: dip <= %.1f%% -> %s\n", r.MaxDipPct, verdict)
+	}
+}
