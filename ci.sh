@@ -4,7 +4,9 @@
 #   ./ci.sh            tier-1   (build + vet + rcuvet + full test suite, no
 #                                race detector; rcuvet is the in-repo static
 #                                analysis suite — see DESIGN.md "Static
-#                                analysis")
+#                                analysis". rcuvet runs with -time so the
+#                                per-analyzer wall cost stays visible, and a
+#                                failure names the offending analyzer(s))
 #   ./ci.sh race       tier-1.5 (adds go test -race over the -short subset:
 #                                every package's tests with the long stress
 #                                loops trimmed, including the lincheck
@@ -12,7 +14,9 @@
 #   ./ci.sh lint       lint tier: staticcheck + govulncheck at pinned
 #                                versions, installed once into .cache/toolbin
 #                                (requires network on first run; fails fast
-#                                with instructions when offline)
+#                                with instructions when offline), then
+#                                rcuvet -json archived as RCUVET.json next
+#                                to the BENCH_*.json artifacts
 #   ./ci.sh bench      perf tier: the rcubench read-scaling sweep at short
 #                                settings, emitting BENCH_PR2.json (the
 #                                amortized-EBR-read-path A/B trajectory
@@ -72,13 +76,21 @@ tier1() {
 	go build ./...
 	echo '--- tier-1: go vet ./...'
 	go vet ./...
-	echo '--- tier-1: rcuvet ./... (RCU/EBR invariant analyzers)'
+	echo '--- tier-1: rcuvet -time ./... (RCU/EBR invariant + dataflow-protocol analyzers)'
 	if ! go build -o /tmp/rcuvet.ci ./cmd/rcuvet; then
 		echo 'ci: cmd/rcuvet failed to build; the static-analysis gate cannot run.' >&2
 		echo 'ci: fix the build (go build ./cmd/rcuvet) before merging.' >&2
 		exit 1
 	fi
-	/tmp/rcuvet.ci ./...
+	# No pipefail under `set -eu`, so capture to a file instead of piping:
+	# a pipe into tee would mask rcuvet's exit status.
+	if ! /tmp/rcuvet.ci -time ./... >/tmp/rcuvet.ci.out; then
+		cat /tmp/rcuvet.ci.out
+		offenders=$(sed -n 's/.*\[\([a-z]*\)\].*/\1/p' /tmp/rcuvet.ci.out | sort -u | tr '\n' ' ')
+		echo "ci: rcuvet failed — offending analyzer(s): ${offenders:-unknown}" >&2
+		echo 'ci: reproduce one in isolation with: go run ./cmd/rcuvet -only <name> ./...' >&2
+		exit 1
+	fi
 	echo '--- tier-1: go test ./...'
 	go test ./...
 }
@@ -109,6 +121,16 @@ lint() {
 	"$TOOLBIN/staticcheck" ./...
 	echo "--- lint: govulncheck ./... ($("$TOOLBIN/govulncheck" -version | head -n 2 | tail -n 1))"
 	"$TOOLBIN/govulncheck" ./...
+	echo '--- lint: rcuvet -json -> RCUVET.json (archived next to the BENCH_*.json artifacts)'
+	go build -o /tmp/rcuvet.ci ./cmd/rcuvet
+	# Archive the machine-readable findings even when rcuvet fails: the
+	# artifact is the point, the exit status still gates the tier.
+	if /tmp/rcuvet.ci -json ./... >RCUVET.json; then
+		echo 'lint: rcuvet clean (RCUVET.json holds an empty findings array)'
+	else
+		echo 'ci: rcuvet failed; findings archived in RCUVET.json' >&2
+		exit 1
+	fi
 }
 
 bench() {

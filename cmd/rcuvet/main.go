@@ -1,26 +1,35 @@
 // Command rcuvet machine-checks this repository's RCU/EBR concurrency
 // invariants: guard pairing, atomic-access uniformity, seed-purity of the
-// deterministic test fabrics, non-copyable type discipline, and
-// fencing-token monotonicity. See DESIGN.md's "Static analysis" section for
-// the invariants each analyzer encodes.
+// deterministic test fabrics, non-copyable type discipline, fencing-token
+// monotonicity, and — via the CFG/dataflow passes — grace-period ordering
+// before reclamation, WAL-append-before-ack durability, pooled-buffer
+// ownership, and obs gate domination. See DESIGN.md's "Static analysis"
+// section for the invariants each analyzer encodes.
 //
 // Usage:
 //
 //	go run ./cmd/rcuvet ./...          # whole module (what ci.sh tier-1 runs)
 //	go run ./cmd/rcuvet ./internal/dist
+//	go run ./cmd/rcuvet -only gracesafe ./...
 //	go run ./cmd/rcuvet -list          # describe the analyzers
+//	go run ./cmd/rcuvet -json ./...    # machine-readable findings
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
 // Findings are suppressed per line with `//rcuvet:ignore <reason>`; the
 // reason is mandatory (enforced by the ignorecheck analyzer) and the
-// directive also covers the line directly below it.
+// directive also covers the line directly below it. The protocol-safety
+// passes (gracesafe, ackorder, poolsafe, obsgate) ignore the directive
+// entirely: their findings are memory- or durability-safety bugs, not
+// style calls.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"rcuarray/internal/analysis"
@@ -28,11 +37,22 @@ import (
 	"rcuarray/internal/analysis/suite"
 )
 
+// finding is the -json output shape, one object per diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	times := flag.Bool("time", false, "print per-analyzer wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rcuvet [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: rcuvet [-list] [-only a,b] [-json] [-time] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,8 +103,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rcuvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", mod.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	if *times {
+		names := make([]string, 0, len(runner.Times))
+		for name := range runner.Times {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "rcuvet: %-12s %8.1fms\n", name, float64(runner.Times[name].Microseconds())/1000)
+		}
+	}
+	if *asJSON {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := mod.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "rcuvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", mod.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "rcuvet: %d finding(s)\n", len(diags))

@@ -1,0 +1,320 @@
+// Package ackorder enforces the PR 8 write-ahead discipline in the
+// distributed durability handlers: a fenced table publish — the commit
+// point after which the handler acks the coordinator — must be dominated
+// by a successfully error-checked WAL append (durable.Writer.Append
+// fsyncs before returning). A milestone that is acked but not durable
+// silently rolls back on crash-restart, which is exactly the fencing
+// violation the recovery tests exist to catch.
+//
+// Within any function that performs a WAL append (Append on a
+// durable.Writer, or a call whose name matches walAppend*), the analysis
+// tracks the append's error result through the CFG:
+//
+//   - `if err := walAppendLocked(rec); err != nil { return ... }` puts the
+//     APPENDED fact on the err == nil continuation;
+//   - a publish (replaceTable*/publishTable* call, or a Store on an
+//     atomic cell) at a point not dominated by APPENDED is reported —
+//     this includes publishes on the append-failure branch and publishes
+//     in loops whose append ran only on a previous iteration's path;
+//   - an append whose error is discarded (bare call, or assigned to _) is
+//     reported outright.
+//
+// Functions with no WAL append (pure reads, recovery replay — which
+// deliberately does not re-log) are out of scope. Separately, the
+// analyzer flags raw os.WriteFile/os.Create anywhere in the durable
+// layer: one-shot durable files must go through durable.WriteFileAtomic /
+// durable.Create, which fsync file and directory.
+package ackorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/cfg"
+)
+
+// Analyzer is the ackorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ackorder",
+	Doc:      "in dist durability handlers the fsynced WAL append must dominate every table publish (the ack's commit point)",
+	NoIgnore: true,
+	Run:      run,
+}
+
+var (
+	appendRE  = regexp.MustCompile(`(?i)^walappend`)
+	publishRE = regexp.MustCompile(`(?i)^(replacetable|publishtable)`)
+)
+
+func inScope(path string) bool {
+	return analysis.PathIs(path, "dist") || strings.HasPrefix(path, "ackorder_")
+}
+
+const appended = "appended"
+
+func run(p *analysis.Pass) error {
+	if !inScope(p.Pkg.Path) {
+		return nil
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Files() {
+		// Rule 2: raw one-shot file writes in the durable layer.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := osWriteCall(info, call); name != "" {
+				p.Reportf(call.Pos(), "raw os.%s in the durable layer: use durable.WriteFileAtomic/durable.Create (fsyncs file and directory)", name)
+			}
+			return true
+		})
+		analysis.FuncScopes(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkScope(p, body)
+		})
+	}
+	return nil
+}
+
+// fact: the Set holds "appended" once a checked append dominates, plus
+// "err:<key>" markers for variables currently holding an unchecked append
+// error.
+func checkScope(p *analysis.Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	if !hasAppend(info, body) {
+		return
+	}
+	g := cfg.New(body)
+	a := &cfg.Analysis[cfg.Set]{
+		Entry: func() cfg.Set { return cfg.Set{} },
+		Node:  func(n ast.Node, f cfg.Set) cfg.Set { return transfer(info, n, f, nil) },
+		Edge: func(e cfg.Edge, f cfg.Set) cfg.Set {
+			c, ok := e.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return f
+			}
+			x, neq := nilCompare(c)
+			if x == nil {
+				return f
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return f
+			}
+			k := "err:" + varKey(info, id)
+			if !f.Has(k) {
+				return f
+			}
+			// err != nil False edge (or err == nil True edge) is the
+			// append-success continuation.
+			if (e.Kind == cfg.False) == neq {
+				delete(f, k)
+				f[appended] = true
+			}
+			return f
+		},
+		Join:  cfg.Intersect,
+		Clone: cfg.Set.Clone,
+		Equal: cfg.EqualSets,
+	}
+	in := a.Forward(g)
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		f = f.Clone()
+		for _, n := range b.Nodes {
+			f = transfer(info, n, f, p)
+		}
+	}
+}
+
+// transfer applies one node; when p is non-nil it also reports (the
+// report pass replays the fixpoint facts).
+func transfer(info *types.Info, n ast.Node, f cfg.Set, p *analysis.Pass) cfg.Set {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 {
+			if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAppendCall(info, call) {
+				if len(n.Lhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						// Drop any stale marker for this variable, then
+						// bind the fresh append error to it.
+						delete(f, "err:"+varKey(info, id))
+						f["err:"+varKey(info, id)] = true
+						return f
+					}
+				}
+				if p != nil {
+					p.Reportf(call.Pos(), "WAL append error discarded: the milestone may be acked without being durable")
+				}
+				return f
+			}
+		}
+		// Any other assignment to a tracked error var invalidates it.
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				delete(f, "err:"+varKey(info, id))
+			}
+		}
+		checkCalls(info, n, f, p)
+		return f
+
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok && isAppendCall(info, call) {
+			if p != nil {
+				p.Reportf(call.Pos(), "WAL append error discarded: the milestone may be acked without being durable")
+			}
+			return f
+		}
+		checkCalls(info, n, f, p)
+		return f
+
+	default:
+		checkCalls(info, n, f, p)
+		return f
+	}
+}
+
+// checkCalls reports publishes not dominated by a checked append.
+func checkCalls(info *types.Info, n ast.Node, f cfg.Set, p *analysis.Pass) {
+	if p == nil {
+		return
+	}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPublish(info, call) {
+			return true
+		}
+		if !f.Has(appended) {
+			p.Reportf(call.Pos(), "table publish not dominated by a checked WAL append: a crash after the ack would roll the milestone back")
+		}
+		return true
+	})
+}
+
+// isAppendCall matches durable.Writer.Append and walAppend* helpers.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if appendRE.MatchString(name) {
+		return true
+	}
+	return name == "Append" && analysis.IsMethodCall(info, call, "durable", "Writer", "Append")
+}
+
+// isPublish matches the commit-point shapes: replaceTable*/publishTable*
+// helpers and Store on an atomic cell.
+func isPublish(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if publishRE.MatchString(name) {
+		return true
+	}
+	if name != "Store" || len(call.Args) != 1 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isCellRecv(info, sel.X)
+}
+
+func isCellRecv(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	mset := types.NewMethodSet(t)
+	has := func(name string) bool {
+		for i := 0; i < mset.Len(); i++ {
+			if mset.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	return has("Load") && has("Store")
+}
+
+// hasAppend reports whether the scope performs any WAL append.
+func hasAppend(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isAppendCall(info, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// osWriteCall matches os.WriteFile / os.Create.
+func osWriteCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "WriteFile" && name != "Create" {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	return name
+}
+
+func nilCompare(c *ast.BinaryExpr) (ast.Expr, bool) {
+	if c.Op != token.EQL && c.Op != token.NEQ {
+		return nil, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	x := c.X
+	if isNil(x) {
+		x = c.Y
+	} else if !isNil(c.Y) {
+		return nil, false
+	}
+	return x, c.Op == token.NEQ
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func varKey(info *types.Info, id *ast.Ident) string {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	return obj.Name() + "@" + obj.Id()
+}

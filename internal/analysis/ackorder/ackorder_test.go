@@ -1,0 +1,13 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/ackorder"
+	"rcuarray/internal/analysis/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ackorder.Analyzer,
+		"ackorder_flag", "ackorder_clean", "ackorder_multi", "ackorder_noignore")
+}

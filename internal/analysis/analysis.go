@@ -26,6 +26,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding.
@@ -85,6 +86,12 @@ type Analyzer struct {
 	// skip them: the misuse-driven test suites (double-Exit tests, chaos
 	// timing asserts) violate the invariants on purpose.
 	IncludeTests bool
+	// NoIgnore exempts the analyzer from //rcuvet:ignore suppression. The
+	// protocol-safety passes (gracesafe, ackorder, poolsafe, obsgate) set
+	// it: a use-after-free or an ack-before-fsync is never a style call,
+	// so the escape hatch must not reach them — fix the code or change
+	// the analyzer.
+	NoIgnore bool
 	// Run analyzes one target package. It may stash cross-package state
 	// in pass.Shared(), which is scoped to (analyzer, Runner.Run call).
 	Run func(pass *Pass) error
@@ -150,6 +157,11 @@ func (f *Finish) Reportf(pos token.Pos, format string, args ...any) {
 type Runner struct {
 	Module    *Module
 	Analyzers []*Analyzer
+
+	// Times, after Run, holds each analyzer's wall time (Run over every
+	// target package plus Finish), keyed by analyzer name. ci.sh prints it
+	// so a pass that regresses the lint tier's latency is visible.
+	Times map[string]time.Duration
 }
 
 // Run executes every analyzer over every target package, applies the
@@ -158,7 +170,9 @@ type Runner struct {
 func (r *Runner) Run() ([]Diagnostic, error) {
 	var diags []Diagnostic
 	sink := func(d Diagnostic) { diags = append(diags, d) }
+	r.Times = make(map[string]time.Duration, len(r.Analyzers))
 	for _, a := range r.Analyzers {
+		began := time.Now()
 		shared := make(map[any]any)
 		for _, pkg := range r.Module.Packages {
 			if !pkg.Target {
@@ -175,8 +189,9 @@ func (r *Runner) Run() ([]Diagnostic, error) {
 				return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
 			}
 		}
+		r.Times[a.Name] = time.Since(began)
 	}
-	diags = filterIgnored(r.Module, diags)
+	diags = filterIgnored(r.Module, r.Analyzers, diags)
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := r.Module.Fset.Position(diags[i].Pos), r.Module.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {

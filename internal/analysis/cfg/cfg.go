@@ -1,0 +1,513 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast and
+// runs forward dataflow analyses on them. It is the stdlib-only stand-in
+// for x/tools' ctrlflow + SSA passes (the build container has no module
+// proxy), sized to what the rcuvet protocol analyzers need:
+//
+//   - basic blocks of simple statements, with compound statements
+//     (if/for/range/switch/select) decomposed into blocks and edges;
+//   - short-circuit && and || decomposed so every conditional edge carries
+//     a single leaf condition (negations are folded by swapping the
+//     true/false targets, so a leaf is never !x);
+//   - deferred calls replayed in reverse registration order in a dedicated
+//     block before Exit, which every return and explicit panic routes
+//     through;
+//   - a generic worklist fixpoint (dataflow.go) parameterized by per-node
+//     transfer, per-edge refinement, join, and equality.
+//
+// The model is deliberately approximate where precision is not needed:
+// implicit panics (nil derefs, bounds) are not edges, all registered defers
+// replay on every exit path even when registration was conditional, and a
+// select without a default still gets a fall-through edge only via its
+// cases. The golden tests in cfg_test.go pin these choices.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// BranchKind classifies an edge.
+type BranchKind uint8
+
+const (
+	// Always is an unconditional edge.
+	Always BranchKind = iota
+	// True is taken when the edge's leaf condition evaluated true.
+	True
+	// False is taken when the edge's leaf condition evaluated false.
+	False
+)
+
+// Edge is one directed control-flow edge.
+type Edge struct {
+	To   *Block
+	Kind BranchKind
+	// Cond is the leaf condition governing a True/False edge: never a
+	// parenthesized, negated, or short-circuit expression (those are
+	// decomposed during construction). Nil for Always edges and for the
+	// True/False pair out of a range header.
+	Cond ast.Expr
+}
+
+// Block is one basic block. Nodes holds, in evaluation order, the simple
+// statements and leaf condition expressions of the block, plus the wrapper
+// node types below for constructs that must not be re-walked whole.
+type Block struct {
+	Index int
+	Label string
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// DeferredCall marks the replay of one deferred call in the exit block.
+// Transfer functions see it where the call runs (function exit), while the
+// registering *ast.DeferStmt stays in its original block.
+type DeferredCall struct {
+	Call *ast.CallExpr
+	Stmt *ast.DeferStmt
+}
+
+func (d *DeferredCall) Pos() token.Pos { return d.Call.Pos() }
+func (d *DeferredCall) End() token.Pos { return d.Call.End() }
+
+// RangeHeader is the per-iteration header of a range loop: Key, Value and X
+// without the body (which has its own blocks).
+type RangeHeader struct {
+	Range *ast.RangeStmt
+}
+
+func (r *RangeHeader) Pos() token.Pos { return r.Range.Pos() }
+func (r *RangeHeader) End() token.Pos { return r.Range.X.End() }
+
+// Graph is one function body's CFG.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists the defer statements in registration (source) order;
+	// their calls replay in reverse order in the block preceding Exit.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*gotoTarget)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	// All returns and panics route through exitGate; after the walk the
+	// gate receives the deferred-call replays and an edge to Exit.
+	b.exitGate = b.newBlock("exit.defers")
+	b.cur = g.Entry
+	b.stmt(body)
+	b.jump(b.exitGate)
+	for i := len(g.Defers) - 1; i >= 0; i-- {
+		d := g.Defers[i]
+		b.exitGate.Nodes = append(b.exitGate.Nodes, &DeferredCall{Call: d.Call, Stmt: d})
+	}
+	b.cur = b.exitGate
+	b.jump(g.Exit)
+	b.resolveGotos()
+	return g
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select (not continuable)
+}
+
+type gotoTarget struct {
+	block   *Block
+	pending []*Block // blocks ending in a goto seen before the label
+}
+
+type builder struct {
+	g        *Graph
+	cur      *Block // nil when the current position is unreachable
+	exitGate *Block
+	loops    []loopCtx
+	labels   map[string]*gotoTarget
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so break/continue with that label resolve correctly.
+	pendingLabel string
+	// fallTarget is the next case block during switch body construction.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock(label string) *Block {
+	bb := &Block{Index: len(b.g.Blocks), Label: label}
+	b.g.Blocks = append(b.g.Blocks, bb)
+	return bb
+}
+
+// add appends a node to the current block, reviving an unreachable position
+// into a fresh predecessor-less block (dead code after return/panic).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) edge(to *Block, kind BranchKind, cond ast.Expr) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Kind: kind, Cond: cond})
+	to.Preds = append(to.Preds, b.cur)
+}
+
+// jump terminates the current block with an unconditional edge.
+func (b *builder) jump(to *Block) {
+	b.edge(to, Always, nil)
+	b.cur = nil
+}
+
+func (b *builder) startBlock(bb *Block) {
+	b.cur = bb
+}
+
+// cond wires e's evaluation so control reaches t when e is true and f when
+// it is false, decomposing short-circuit operators and folding negation.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(e.X, mid, f)
+			b.startBlock(mid)
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(e.X, t, mid)
+			b.startBlock(mid)
+			b.cond(e.Y, t, f)
+			return
+		}
+	}
+	b.add(e)
+	b.edge(t, True, e)
+	b.edge(f, False, e)
+	b.cur = nil
+}
+
+func (b *builder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: breakTo, continueTo: continueTo})
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.startBlock(then)
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.startBlock(done)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.jump(body)
+		}
+		b.pushLoop(label, done, post)
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(post)
+		b.popLoop()
+		if s.Post != nil {
+			b.startBlock(post)
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.startBlock(done)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jump(head)
+		b.startBlock(head)
+		b.add(&RangeHeader{Range: s})
+		b.edge(body, True, nil)
+		b.edge(done, False, nil)
+		b.cur = nil
+		b.pushLoop(label, done, head)
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(head)
+		b.popLoop()
+		b.startBlock(done)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		done := b.newBlock("select.done")
+		header := b.cur
+		if header == nil {
+			header = b.newBlock("unreachable")
+			b.cur = header
+		}
+		b.pushLoop(label, done, nil)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			cb := b.newBlock("select.case")
+			b.cur = header
+			b.edge(cb, Always, nil)
+			b.startBlock(cb)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, t := range cc.Body {
+				b.stmt(t)
+			}
+			b.jump(done)
+		}
+		b.popLoop()
+		// An empty select blocks forever: done is unreachable but still
+		// emitted so following statements have a home.
+		b.startBlock(done)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exitGate)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if to := b.loopTarget(s.Label, true); to != nil {
+				b.add(s)
+				b.jump(to)
+			}
+		case token.CONTINUE:
+			if to := b.loopTarget(s.Label, false); to != nil {
+				b.add(s)
+				b.jump(to)
+			}
+		case token.FALLTHROUGH:
+			b.add(s)
+			if b.fallTarget != nil {
+				b.jump(b.fallTarget)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.add(s)
+			name := s.Label.Name
+			tgt := b.labels[name]
+			if tgt == nil {
+				tgt = &gotoTarget{}
+				b.labels[name] = tgt
+			}
+			if tgt.block != nil {
+				b.jump(tgt.block)
+			} else {
+				tgt.pending = append(tgt.pending, b.cur)
+				b.cur = nil
+			}
+		}
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		nb := b.newBlock("label." + name)
+		b.jump(nb)
+		b.startBlock(nb)
+		tgt := b.labels[name]
+		if tgt == nil {
+			tgt = &gotoTarget{}
+			b.labels[name] = tgt
+		}
+		tgt.block = nb
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.exitGate)
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the header fans
+// out to each case block, fallthrough chains to the next case, and a
+// missing default adds a header→done edge.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, open func(*ast.CaseClause) ([]ast.Stmt, bool)) {
+	done := b.newBlock("switch.done")
+	savedFall := b.fallTarget
+	header := b.cur
+	if header == nil {
+		header = b.newBlock("unreachable")
+		b.cur = header
+	}
+	hasDefault := false
+	var caseBlocks []*Block
+	var caseBodies [][]ast.Stmt
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock("case")
+		b.cur = header
+		stmts, isDefault := open(cc)
+		b.edge(cb, Always, nil)
+		if isDefault {
+			hasDefault = true
+		}
+		caseBlocks = append(caseBlocks, cb)
+		caseBodies = append(caseBodies, stmts)
+	}
+	b.cur = header
+	if !hasDefault {
+		b.edge(done, Always, nil)
+	}
+	b.pushLoop(label, done, nil)
+	for i, cb := range caseBlocks {
+		if i+1 < len(caseBlocks) {
+			b.fallTarget = caseBlocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.startBlock(cb)
+		for _, t := range caseBodies[i] {
+			b.stmt(t)
+		}
+		b.jump(done)
+	}
+	b.fallTarget = savedFall
+	b.popLoop()
+	b.startBlock(done)
+}
+
+// loopTarget resolves a break/continue to its destination block.
+func (b *builder) loopTarget(label *ast.Ident, isBreak bool) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := b.loops[i]
+		if label != nil && lc.label != label.Name {
+			continue
+		}
+		if isBreak {
+			return lc.breakTo
+		}
+		if lc.continueTo != nil {
+			return lc.continueTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, tgt := range b.labels {
+		if tgt.block == nil {
+			continue
+		}
+		for _, from := range tgt.pending {
+			if from == nil {
+				continue
+			}
+			from.Succs = append(from.Succs, Edge{To: tgt.block, Kind: Always})
+			tgt.block.Preds = append(tgt.block.Preds, from)
+		}
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,354 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of func f in a synthetic package and
+// returns its CFG.
+func parseBody(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// callName returns the called identifier of a call-shaped node, or "".
+func callName(n ast.Node) string {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		c, ok := n.X.(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		call = c
+	case *DeferredCall:
+		call = n.Call
+	case *ast.CallExpr:
+		call = n
+	default:
+		return ""
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// events is the test analysis: the set of function names that have
+// definitely (must) been called on every path reaching a block, with True
+// edges of call-shaped leaf conditions contributing "name=T" facts.
+func events() *Analysis[Set] {
+	return &Analysis[Set]{
+		Entry: func() Set { return Set{} },
+		Node: func(n ast.Node, f Set) Set {
+			if name := callName(n); name != "" && name != "panic" {
+				f[name] = true
+			}
+			return f
+		},
+		Edge: func(e Edge, f Set) Set {
+			if e.Cond == nil {
+				return f
+			}
+			if call, ok := e.Cond.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if e.Kind == True {
+						f[id.Name+"=T"] = true
+					} else {
+						f[id.Name+"=F"] = true
+					}
+				}
+			}
+			return f
+		},
+		Join:  Intersect,
+		Clone: Set.Clone,
+		Equal: EqualSets,
+	}
+}
+
+func runEvents(t *testing.T, src string) (*Graph, string) {
+	t.Helper()
+	g := parseBody(t, src)
+	in := events().Forward(g)
+	return g, DumpFacts(g, in, func(s Set) string { return s.String() })
+}
+
+func diffDump(t *testing.T, what, got, want string) {
+	t.Helper()
+	got = strings.TrimSpace(got)
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", what, got, want)
+	}
+}
+
+func TestBranchJoin(t *testing.T) {
+	// A() reaches everything; B()/C() are branch-local and do not survive
+	// the join; the gate() condition is a fact only inside the branches.
+	g, facts := runEvents(t, `
+A()
+if gate() {
+	B()
+} else {
+	C()
+}
+D()
+`)
+	diffDump(t, "graph", DumpGraph(g), `
+b0 entry [2] T:b3 F:b5
+b1 exit [0]
+b2 exit.defers [0] ->b1
+b3 if.then [1] ->b4
+b4 if.done [1] ->b2
+b5 if.else [1] ->b4
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {A D gate}
+b2 exit.defers: {A D gate}
+b3 if.then: {A gate gate=T}
+b4 if.done: {A gate}
+b5 if.else: {A gate gate=F}
+`)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// gate() && ok(): ok is only evaluated when gate was true, so the
+	// then-branch must-knows both; the done block knows only that gate ran.
+	_, facts := runEvents(t, `
+if gate() && ok() {
+	B()
+}
+D()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {D gate}
+b2 exit.defers: {D gate}
+b3 if.then: {gate gate=T ok ok=T}
+b4 if.done: {gate}
+b5 cond.and: {gate gate=T}
+`)
+}
+
+func TestShortCircuitOr(t *testing.T) {
+	// !gate() || bad(): negation swaps the edge senses, so the
+	// early-return then-branch sees gate=F and the continuation — which
+	// needed both operands false — must-knows gate=T and bad=F.
+	_, facts := runEvents(t, `
+if !gate() || bad() {
+	return
+}
+D()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {gate}
+b2 exit.defers: {gate}
+b3 if.then: {gate}
+b4 if.done: {bad bad=F gate gate=T}
+b5 cond.or: {gate gate=T}
+`)
+}
+
+func TestLoopMustFacts(t *testing.T) {
+	// A fact set inside a loop body does not survive into the next
+	// iteration's entry (the back edge joins with the entry path), so the
+	// body re-proves B each trip; after the loop only A is guaranteed.
+	_, facts := runEvents(t, `
+A()
+for cond() {
+	B()
+}
+D()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {A D cond cond=F}
+b2 exit.defers: {A D cond cond=F}
+b3 for.head: {A}
+b4 for.body: {A cond cond=T}
+b5 for.done: {A cond cond=F}
+`)
+}
+
+func TestLoopBreakContinue(t *testing.T) {
+	_, facts := runEvents(t, `
+for cond() {
+	if skip() {
+		continue
+	}
+	if stop() {
+		break
+	}
+	B()
+}
+D()
+`)
+	// for.done joins the normal exit (cond=F) with the break path, which
+	// had cond=T: only cond itself survives. The skip=F/stop=F facts hold
+	// exactly where short-circuiting placed them.
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {D cond}
+b2 exit.defers: {D cond}
+b3 for.head: {}
+b4 for.body: {cond cond=T}
+b5 for.done: {cond}
+b6 if.then: {cond cond=T skip skip=T}
+b7 if.done: {cond cond=T skip skip=F}
+b8 if.then: {cond cond=T skip skip=F stop stop=T}
+b9 if.done: {cond cond=T skip skip=F stop stop=F}
+`)
+}
+
+func TestDeferOrdering(t *testing.T) {
+	// Deferred calls replay in reverse registration order in the
+	// exit.defers block, after the body's own nodes, and the panic path
+	// routes through them too.
+	g, facts := runEvents(t, `
+defer last()
+defer first()
+A()
+`)
+	var names []string
+	for _, n := range g.Blocks[2].Nodes {
+		names = append(names, callName(n))
+	}
+	if got := strings.Join(names, ","); got != "first,last" {
+		t.Errorf("defer replay order = %s, want first,last", got)
+	}
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {A first last}
+b2 exit.defers: {A}
+`)
+}
+
+func TestPanicEdge(t *testing.T) {
+	// panic() terminates its path through the defer chain: code after it
+	// is unreachable (absent from the dump), and the exit join still
+	// requires only what every live path proved.
+	_, facts := runEvents(t, `
+defer cleanup()
+if bad() {
+	panic("x")
+}
+A()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {bad cleanup}
+b2 exit.defers: {bad}
+b3 if.then: {bad bad=T}
+b4 if.done: {bad bad=F}
+`)
+}
+
+func TestSwitchAndFallthrough(t *testing.T) {
+	// Every case must-knows tag; fallthrough chains case 1 into case 2,
+	// so case 2's in-fact is the join of the direct dispatch and the
+	// fallthrough path (which also ran B).
+	_, facts := runEvents(t, `
+switch tag() {
+case 1:
+	B()
+	fallthrough
+case 2:
+	C()
+default:
+	E()
+}
+D()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {D tag}
+b2 exit.defers: {D tag}
+b3 switch.done: {tag}
+b4 case: {tag}
+b5 case: {tag}
+b6 case: {tag}
+`)
+}
+
+func TestRangeLoop(t *testing.T) {
+	_, facts := runEvents(t, `
+A()
+for range items() {
+	B()
+}
+D()
+`)
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {A D}
+b2 exit.defers: {A D}
+b3 range.head: {A}
+b4 range.body: {A}
+b5 range.done: {A}
+`)
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	// Dead code after return lands in a pred-less block that the engine
+	// never reaches; it must be absent from the facts map, not reported
+	// from bottom state.
+	g, facts := runEvents(t, `
+A()
+return
+B()
+`)
+	for _, b := range g.Blocks {
+		if b.Label == "unreachable" && strings.Contains(facts, "unreachable") {
+			t.Errorf("unreachable block has facts:\n%s", facts)
+		}
+	}
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {A}
+b2 exit.defers: {A}
+`)
+}
+
+func TestMayAnalysis(t *testing.T) {
+	// The same graph under a union join: a call on either branch may have
+	// happened afterwards.
+	g := parseBody(t, `
+if gate() {
+	B()
+} else {
+	C()
+}
+D()
+`)
+	a := events()
+	a.Join = Union
+	in := a.Forward(g)
+	facts := DumpFacts(g, in, func(s Set) string { return s.String() })
+	diffDump(t, "facts", facts, `
+b0 entry: {}
+b1 exit: {B C D gate gate=F gate=T}
+b2 exit.defers: {B C D gate gate=F gate=T}
+b3 if.then: {gate gate=T}
+b4 if.done: {B C gate gate=F gate=T}
+b5 if.else: {gate gate=F}
+`)
+}

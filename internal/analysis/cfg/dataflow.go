@@ -1,0 +1,195 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Analysis is a forward dataflow problem over a Graph. F is the per-point
+// fact. Node and Edge may mutate the fact they receive and return it: the
+// engine clones at block boundaries, so a transfer never aliases another
+// block's state.
+type Analysis[F any] struct {
+	// Entry produces the fact at function entry.
+	Entry func() F
+	// Node is the per-node transfer function, applied to a block's Nodes
+	// in order.
+	Node func(n ast.Node, f F) F
+	// Edge, when non-nil, refines the fact along a conditional edge (the
+	// place branch conditions like `obs.On()` or `err != nil` become
+	// facts).
+	Edge func(e Edge, f F) F
+	// Join folds src into dst and returns dst (union for may-analyses,
+	// intersection for must-analyses).
+	Join func(dst, src F) F
+	// Clone deep-copies a fact.
+	Clone func(F) F
+	// Equal reports fact equality; the fixpoint stops when every block's
+	// in-fact is stable.
+	Equal func(a, b F) bool
+}
+
+// Block applies the node transfers of b to a clone of in.
+func (a *Analysis[F]) Block(b *Block, in F) F {
+	f := a.Clone(in)
+	for _, n := range b.Nodes {
+		f = a.Node(n, f)
+	}
+	return f
+}
+
+// Forward iterates to fixpoint and returns each reachable block's in-fact.
+// Unreachable blocks (dead code after return/panic) are absent from the
+// map; analyzers must skip them rather than report from bottom state.
+func (a *Analysis[F]) Forward(g *Graph) map[*Block]F {
+	order := postorder(g)
+	// Reverse postorder: forward analyses converge in few sweeps.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	in := make(map[*Block]F, len(order))
+	in[g.Entry] = a.Entry()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			bin, ok := in[b]
+			if !ok {
+				continue // not reached yet (or ever)
+			}
+			out := a.Block(b, bin)
+			for _, e := range b.Succs {
+				f := a.Clone(out)
+				if a.Edge != nil {
+					f = a.Edge(e, f)
+				}
+				cur, ok := in[e.To]
+				if !ok {
+					in[e.To] = f
+					changed = true
+					continue
+				}
+				joined := a.Join(a.Clone(cur), f)
+				if !a.Equal(joined, cur) {
+					in[e.To] = joined
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func postorder(g *Graph) []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var out []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			visit(e.To)
+		}
+		out = append(out, b)
+	}
+	visit(g.Entry)
+	return out
+}
+
+// Set is a string-keyed fact set with the clone/join/equal plumbing the
+// analyzers share. The zero value is usable.
+type Set map[string]bool
+
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s Set) Has(k string) bool { return s[k] }
+
+// Union folds src into dst (may-join) and returns dst.
+func Union(dst, src Set) Set {
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+// Intersect keeps only keys present in both (must-join) and returns dst.
+func Intersect(dst, src Set) Set {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+	return dst
+}
+
+// EqualSets reports set equality.
+func EqualSets(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns the sorted members, for golden dumps.
+func (s Set) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s Set) String() string {
+	return "{" + strings.Join(s.Keys(), " ") + "}"
+}
+
+// DumpFacts renders each reachable block and its in-fact, in block index
+// order, for golden comparisons. render formats one block's fact.
+func DumpFacts[F any](g *Graph, in map[*Block]F, render func(F) string) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "b%d %s: %s\n", b.Index, b.Label, render(f))
+	}
+	return sb.String()
+}
+
+// DumpGraph renders the block structure (labels, node counts, edges) for
+// golden CFG-shape tests.
+func DumpGraph(g *Graph) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s [%d]", b.Index, b.Label, len(b.Nodes))
+		for _, e := range b.Succs {
+			switch e.Kind {
+			case True:
+				fmt.Fprintf(&sb, " T:b%d", e.To.Index)
+			case False:
+				fmt.Fprintf(&sb, " F:b%d", e.To.Index)
+			default:
+				fmt.Fprintf(&sb, " ->b%d", e.To.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

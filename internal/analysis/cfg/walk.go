@@ -1,0 +1,47 @@
+package cfg
+
+import "go/ast"
+
+// Inspect walks one block node the way scope-local transfer functions need:
+//
+//   - *RangeHeader exposes only Key, Value and X (the body has its own
+//     blocks);
+//   - *DeferredCall is opaque (its call already ran the walk at the
+//     registering *ast.DeferStmt; analyzers that care about execution-time
+//     effects type-switch on it before calling Inspect);
+//   - *ast.DeferStmt exposes its call at the registration point;
+//   - nested *ast.FuncLit nodes are visited but not descended into — a
+//     literal is its own scope with its own CFG.
+//
+// visit returning false prunes the subtree, as in ast.Inspect.
+func Inspect(n ast.Node, visit func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *RangeHeader:
+		if !visit(n) {
+			return
+		}
+		for _, e := range []ast.Expr{n.Range.Key, n.Range.Value, n.Range.X} {
+			if e != nil {
+				Inspect(e, visit)
+			}
+		}
+		return
+	case *DeferredCall:
+		visit(n)
+		return
+	case nil:
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if !visit(m) {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,397 @@
+// Package gracesafe enforces the RCU reclamation discipline (the
+// Kuru-Gordon deferred-reclamation rule specialized to this repo's
+// ebr/qsbr/core/dist protocols): a value that was unpublished from an
+// RCU-visible cell must not reach a free/retire/recycle sink on any path
+// that lacks an intervening grace period.
+//
+// Concretely, within one function scope:
+//
+//  1. `old := cell.Load()` binds old to the cell (a cell is any receiver
+//     whose method set has both Load and Store — atomic.Pointer and the
+//     repo's typed wrappers);
+//  2. `cell.Store(new)` unpublishes every value previously loaded from
+//     that cell: readers admitted before the store may still hold it, so
+//     the binding becomes PENDING;
+//  3. a grace call — any Synchronize method, or a call whose name matches
+//     publishAll/replaceTable* (both run a grace fold internally before
+//     returning) — moves PENDING bindings to GRACED;
+//  4. a sink — a call whose name contains free/retire/recycle/reclaim/
+//     release, or a direct Defer of the value — taking a PENDING value
+//     (as receiver, argument, or a derived alias) is reported.
+//
+// The flow analysis is a forward may-analysis (PENDING dominates a join):
+// the invariant is "no path reaches the sink without a grace", exactly the
+// failure mode of freeing a table readers still traverse. Deferring a
+// *closure* through qsbr's Defer is the safe idiom and is never flagged:
+// closure bodies are separate scopes, and QSBR runs them only after
+// quiescence. Values that escape into returned closures (core's
+// publishAll retire protocol) are likewise out of scope by construction —
+// the grace there is the callee's obligation, checked at its own site.
+package gracesafe
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/cfg"
+)
+
+// Analyzer is the gracesafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "gracesafe",
+	Doc:      "a value unpublished from an RCU-visible cell must not reach a free/retire sink without a dominating grace period",
+	NoIgnore: true,
+	Run:      run,
+}
+
+var (
+	graceRE = regexp.MustCompile(`(?i)^(synchronize|publishall|replacetable.*)$`)
+	sinkRE  = regexp.MustCompile(`(?i)(free|retire|recycle|reclaim|release)`)
+)
+
+func inScope(path string) bool {
+	return analysis.PathIs(path, "core") || analysis.PathIs(path, "dist") ||
+		strings.HasPrefix(path, "gracesafe_")
+}
+
+// state of one tracked binding.
+const (
+	stateLive    uint8 = iota // loaded, still published
+	stateGraced               // unpublished, but a grace has passed
+	statePending              // unpublished with no grace yet: must not be freed
+)
+
+// track is one binding's fact.
+type track struct {
+	cell  string
+	state uint8
+}
+
+// fact maps a variable key to its binding.
+type fact map[string]track
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// join is the may-join: PENDING on any path dominates.
+func join(dst, src fact) fact {
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok || sv.state > dv.state {
+			dst[k] = sv
+		}
+	}
+	return dst
+}
+
+func equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func run(p *analysis.Pass) error {
+	if !inScope(p.Pkg.Path) {
+		return nil
+	}
+	for _, f := range p.Files() {
+		analysis.FuncScopes(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkScope(p, body)
+		})
+	}
+	return nil
+}
+
+func checkScope(p *analysis.Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	g := cfg.New(body)
+	a := &cfg.Analysis[fact]{
+		Entry: func() fact { return fact{} },
+		Node:  func(n ast.Node, f fact) fact { return transfer(info, n, f, nil) },
+		Join:  join,
+		Clone: fact.clone,
+		Equal: equal,
+	}
+	in := a.Forward(g)
+	reported := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		f = f.clone()
+		for _, n := range b.Nodes {
+			// Check sinks against the state before the node, then apply
+			// its effects.
+			f = transfer(info, n, f, func(call *ast.CallExpr, name, varName string, tr track) {
+				if reported[call] {
+					return
+				}
+				reported[call] = true
+				p.Reportf(call.Pos(), "%s was unpublished from %s and may reach %s without a grace period (no dominating Synchronize on this path)", varName, tr.cell, name)
+			})
+		}
+	}
+}
+
+// transfer applies one node's effects to f. When sink is non-nil, calls
+// consuming a PENDING value are reported through it first.
+func transfer(info *types.Info, n ast.Node, f fact, sink func(call *ast.CallExpr, name, varName string, tr track)) fact {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// Execution-time effects are modeled by the DeferredCall replay at
+		// exit; registration only evaluates the call's operands.
+		return f
+
+	case *cfg.DeferredCall:
+		visitCall(info, n.Call, f, sink)
+		applyCall(info, n.Call, f)
+		return f
+
+	case *ast.AssignStmt:
+		// Calls on the RHS run before the binding updates.
+		for _, rhs := range n.Rhs {
+			visitCalls(info, rhs, f, sink)
+			applyCalls(info, rhs, f)
+		}
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				k := varKey(info, id)
+				if k == "" {
+					return f
+				}
+				if cell, ok := cellLoad(info, n.Rhs[0]); ok {
+					f[k] = track{cell: cell, state: stateLive}
+					return f
+				}
+				if base := baseIdent(n.Rhs[0]); base != nil {
+					if tr, ok := f[varKey(info, base)]; ok {
+						f[k] = tr
+						return f
+					}
+				}
+				delete(f, k)
+			}
+			return f
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				delete(f, varKey(info, id))
+			}
+		}
+		return f
+
+	case *cfg.RangeHeader:
+		var baseTr track
+		found := false
+		if base := baseIdent(n.Range.X); base != nil {
+			baseTr, found = f[varKey(info, base)]
+		}
+		for _, e := range []ast.Expr{n.Range.Key, n.Range.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			k := varKey(info, id)
+			if found {
+				f[k] = baseTr
+			} else {
+				delete(f, k)
+			}
+		}
+		return f
+
+	default:
+		visitCalls(info, n, f, sink)
+		applyCalls(info, n, f)
+		return f
+	}
+}
+
+// visitCalls runs the sink check over every call in the node.
+func visitCalls(info *types.Info, n ast.Node, f fact, sink func(*ast.CallExpr, string, string, track)) {
+	if sink == nil {
+		return
+	}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			visitCall(info, call, f, sink)
+		}
+		return true
+	})
+}
+
+// visitCall reports PENDING values consumed by a sink call.
+func visitCall(info *types.Info, call *ast.CallExpr, f fact, sink func(*ast.CallExpr, string, string, track)) {
+	if sink == nil {
+		return
+	}
+	name := calleeName(call)
+	isSink := sinkRE.MatchString(name)
+	isDefer := name == "Defer"
+	if !isSink && !isDefer {
+		return
+	}
+	check := func(e ast.Expr) {
+		if _, isLit := e.(*ast.FuncLit); isLit {
+			return // deferring a closure is the QSBR-safe idiom
+		}
+		base := baseIdent(e)
+		if base == nil {
+			return
+		}
+		if tr, ok := f[varKey(info, base)]; ok && tr.state == statePending {
+			sink(call, name, base.Name, tr)
+		}
+	}
+	for _, arg := range call.Args {
+		check(arg)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isSink {
+		check(sel.X)
+	}
+}
+
+// applyCalls applies cell stores and grace calls found in the node.
+func applyCalls(info *types.Info, n ast.Node, f fact) {
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			applyCall(info, call, f)
+		}
+		return true
+	})
+}
+
+func applyCall(info *types.Info, call *ast.CallExpr, f fact) {
+	name := calleeName(call)
+	if graceRE.MatchString(name) {
+		for k, tr := range f {
+			tr.state = stateGraced
+			f[k] = tr
+		}
+		return
+	}
+	if cell, ok := cellStore(info, call); ok {
+		for k, tr := range f {
+			if tr.cell == cell {
+				tr.state = statePending
+				f[k] = tr
+			}
+		}
+	}
+}
+
+// cellLoad matches `cell.Load()` and returns the cell key.
+func cellLoad(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return "", false
+	}
+	if !isCellRecv(info, sel.X) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// cellStore matches `cell.Store(v)` and returns the cell key.
+func cellStore(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" || len(call.Args) != 1 {
+		return "", false
+	}
+	if !isCellRecv(info, sel.X) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// isCellRecv reports whether e's type has both Load and Store in its
+// method set (atomic.Pointer and friends).
+func isCellRecv(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	mset := types.NewMethodSet(t)
+	return msetHas(mset, "Load") && msetHas(mset, "Store")
+}
+
+func msetHas(mset *types.MethodSet, name string) bool {
+	for i := 0; i < mset.Len(); i++ {
+		if mset.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// baseIdent strips selectors, indexes, stars, slices and parens down to
+// the root identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// varKey identifies a local uniquely within its scope.
+func varKey(info *types.Info, id *ast.Ident) string {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	return obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+}

@@ -1,0 +1,13 @@
+package gracesafe_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/gracesafe"
+)
+
+func TestGracesafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), gracesafe.Analyzer,
+		"gracesafe_flag", "gracesafe_clean", "gracesafe_multi", "gracesafe_noignore")
+}

@@ -1,0 +1,387 @@
+// Package obsgate enforces the PR 5 read-path cost rule: wall-clock
+// observation (time.Now/time.Since flowing into an obs.Histogram) and
+// trace-ring writes (obs.Ring Begin/End/Instant) must be dominated by an
+// observability gate on every path, so a run with observability disabled
+// pays one branch, not a timestamp syscall or a ring-write call. Counters
+// deliberately stay unconditional — NodeStats and the chaos cross-checks
+// read them as protocol state — so the analyzer never requires (or
+// forbids) a gate on Counter/Gauge traffic.
+//
+// A gate is, on the appropriate edge of a branch:
+//
+//   - a call to obs.On() (including as a && / || operand — the CFG layer
+//     decomposes short-circuit conditions);
+//   - a bool named "on" (the resizeSpans/growSpans convention: the field
+//     is assigned only under obs.On());
+//   - a bool local assigned from obs.On();
+//   - a nil check of a *obs.Ring handle (a nil ring is documented to
+//     no-op, so `if r != nil { r.End(..) }` is the localeSpan pattern);
+//   - a nil check of a pointer local every one of whose assignments is
+//     itself gated (the ebr.Synchronize pattern: `if obs.On() { o = ... }
+//     ... if o != nil { o.grace.Observe(..) }`).
+//
+// The analysis is a forward must-analysis: the "gated" fact survives a
+// join only if every incoming path established it.
+package obsgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/cfg"
+)
+
+// Analyzer is the obsgate pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "obsgate",
+	Doc:      "timestamp and trace-ring operations must be dominated by an obs.On() gate; counters stay unconditional",
+	NoIgnore: true,
+	Run:      run,
+}
+
+// scopePkgs are the instrumented layers the rule applies to. The obs
+// package itself implements the gate and is exempt.
+var scopePkgs = []string{"ebr", "qsbr", "core", "dist", "comm", "locale"}
+
+func inScope(path string) bool {
+	for _, n := range scopePkgs {
+		if analysis.PathIs(path, n) {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "obsgate_")
+}
+
+const gated = "gated"
+
+func run(p *analysis.Pass) error {
+	if !inScope(p.Pkg.Path) {
+		return nil
+	}
+	for _, f := range p.Files() {
+		analysis.FuncScopes(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkScope(p, body)
+		})
+	}
+	return nil
+}
+
+func checkScope(p *analysis.Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	g := cfg.New(body)
+	gateVars := collectGateVars(info, body)
+	tainted := collectTainted(info, body)
+
+	// Pass 1: gatedness from direct gates only.
+	first := gateAnalysis(info, gateVars, nil)
+	in1 := first.Forward(g)
+
+	// Between passes: pointer locals whose every (non-nil) assignment sits
+	// in a gated block are "obs-conditioned"; nil-checking one is a gate.
+	conditioned := conditionedVars(info, g, in1, first)
+
+	// Pass 2: gatedness with conditioned-var nil checks admitted.
+	second := gateAnalysis(info, gateVars, conditioned)
+	in2 := second.Forward(g)
+
+	for _, b := range g.Blocks {
+		f, ok := in2[b]
+		if !ok {
+			continue
+		}
+		isGated := f.Has(gated)
+		for _, n := range b.Nodes {
+			if isGated {
+				continue
+			}
+			reportUngated(p, info, n, tainted)
+		}
+	}
+}
+
+// gateAnalysis builds the must-analysis whose single fact is "gated".
+func gateAnalysis(info *types.Info, gateVars map[types.Object]bool, conditioned map[types.Object]bool) *cfg.Analysis[cfg.Set] {
+	return &cfg.Analysis[cfg.Set]{
+		Entry: func() cfg.Set { return cfg.Set{} },
+		Node:  func(_ ast.Node, f cfg.Set) cfg.Set { return f },
+		Edge: func(e cfg.Edge, f cfg.Set) cfg.Set {
+			if e.Cond == nil {
+				return f
+			}
+			if gateEdge(info, gateVars, conditioned, e) {
+				f[gated] = true
+			}
+			return f
+		},
+		Join:  cfg.Intersect,
+		Clone: cfg.Set.Clone,
+		Equal: cfg.EqualSets,
+	}
+}
+
+// gateEdge reports whether edge e establishes the gate.
+func gateEdge(info *types.Info, gateVars, conditioned map[types.Object]bool, e cfg.Edge) bool {
+	switch c := e.Cond.(type) {
+	case *ast.CallExpr:
+		return e.Kind == cfg.True && isObsOn(info, c)
+	case *ast.Ident:
+		if e.Kind != cfg.True {
+			return false
+		}
+		if gateVars[info.Uses[c]] {
+			return true
+		}
+		return c.Name == "on" && isBool(info, c)
+	case *ast.SelectorExpr:
+		return e.Kind == cfg.True && c.Sel.Name == "on" && isBool(info, c)
+	case *ast.BinaryExpr:
+		x, neq := nilCompare(c)
+		if x == nil {
+			return false
+		}
+		// x != nil gates its True edge; x == nil gates its False edge.
+		if (e.Kind == cfg.True) != neq {
+			return false
+		}
+		if analysis.NamedType(typeOf(info, x), "obs", "Ring") {
+			return true
+		}
+		if id, ok := x.(*ast.Ident); ok && conditioned[info.Uses[id]] {
+			return true
+		}
+	}
+	return false
+}
+
+// nilCompare matches `x != nil` / `nil != x` (neq=true) and `x == nil`
+// (neq=false), returning the non-nil operand.
+func nilCompare(c *ast.BinaryExpr) (ast.Expr, bool) {
+	if c.Op != token.EQL && c.Op != token.NEQ {
+		return nil, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	x := c.X
+	if isNil(x) {
+		x = c.Y
+	} else if !isNil(c.Y) {
+		return nil, false
+	}
+	return x, c.Op == token.NEQ
+}
+
+// conditionedVars finds pointer locals every one of whose value-bearing
+// assignments happens at a pass-1 gated point.
+func conditionedVars(info *types.Info, g *cfg.Graph, in map[*cfg.Block]cfg.Set, a *cfg.Analysis[cfg.Set]) map[types.Object]bool {
+	assigned := make(map[types.Object]bool) // has >=1 tracked assignment
+	ungated := make(map[types.Object]bool)  // >=1 assignment outside a gate
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		isGated := f.Has(gated)
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+					continue
+				}
+				assigned[obj] = true
+				if !isGated {
+					ungated[obj] = true
+				}
+			}
+		}
+	}
+	out := make(map[types.Object]bool)
+	for obj := range assigned {
+		if !ungated[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// collectGateVars finds bool locals assigned from obs.On().
+func collectGateVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isObsOn(info, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectTainted finds locals whose value derives from time.Now/time.Since
+// (transitively, via up to a few assignment hops).
+func collectTainted(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		analysis.ScopeInspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || out[obj] {
+					continue
+				}
+				if taintedExpr(info, as.Rhs[i], out) {
+					out[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// taintedExpr reports whether e contains a wall-clock call or a tainted
+// identifier.
+func taintedExpr(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isTimeCall(info, n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if tainted[info.Uses[n]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// reportUngated flags ring writes and tainted histogram observations in an
+// ungated node.
+func reportUngated(p *analysis.Pass, info *types.Info, n ast.Node, tainted map[types.Object]bool) {
+	if _, ok := n.(*cfg.DeferredCall); ok {
+		return // checked at the registering defer statement
+	}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := analysis.ReceiverOf(info, call)
+		if recv == nil {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Begin", "End", "Instant":
+			if analysis.NamedType(recv, "obs", "Ring") {
+				p.Reportf(call.Pos(), "trace-ring %s not dominated by an obs.On() gate (a disabled run must pay one branch, not a ring write)", sel.Sel.Name)
+			}
+		case "Observe":
+			if !analysis.NamedType(recv, "obs", "Histogram") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if taintedExpr(info, arg, tainted) {
+					p.Reportf(call.Pos(), "wall-clock observation not dominated by an obs.On() gate (time.Now/Since must not run with observability off)")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isObsOn(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "On" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return analysis.PkgIs(obj.Pkg(), "obs")
+}
+
+func isTimeCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func isBool(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package obsgate_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/obsgate"
+)
+
+func TestObsgate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obsgate.Analyzer,
+		"obsgate_flag", "obsgate_clean", "obsgate_multi", "obsgate_noignore")
+}

@@ -1,0 +1,461 @@
+// Package poolsafe enforces the comm buffer-pool ownership discipline
+// introduced with the batched write queue: a pooled frame body (*[]byte
+// from getBuf) or a writeq entry is owned by exactly one party at a time,
+// and once it is released — or once its ownership has been handed to a
+// release hook — the releasing scope must not touch it again.
+//
+// Tracked events, per function scope and per expression key (the printed
+// form of the identifier or selector chain — indexed expressions like
+// batch[i] are deliberately out of scope):
+//
+//   - a release call (putBuf, releaseEntry) marks the key RELEASED, along
+//     with any slice locals that alias it (the `payload, body :=
+//     readFrame...` tuple idiom: payload aliases *body);
+//   - `defer putBuf(x)`, a `func() { putBuf(x) }` literal handed to
+//     another call (the node's answer/release-hook idiom), or placing the
+//     key in a composite literal's *[]byte field (building a wqEntry)
+//     marks the key TRANSFERRED: a hook now owns the release;
+//   - releasing a RELEASED key is a double release; releasing a
+//     TRANSFERRED key races the hook's release;
+//   - reading a RELEASED key (or a field of one) is a use-after-release:
+//     the pool may already have handed the buffer to another goroutine.
+//
+// The analysis is a forward may-analysis (RELEASED dominates joins): the
+// bug is "some path frees first", so any releasing path poisons the
+// join. The deferred release itself replays at scope exit and is exempt
+// from the transfer check — it is the hook being redeemed, not a second
+// release.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/cfg"
+)
+
+// Analyzer is the poolsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolsafe",
+	Doc:      "pooled frame bodies and writeq entries must not be used, re-released, or released-after-handoff once ownership moves",
+	NoIgnore: true,
+	Run:      run,
+}
+
+func inScope(path string) bool {
+	return analysis.PathIs(path, "comm") || strings.HasPrefix(path, "poolsafe_")
+}
+
+var releaseFns = map[string]bool{"putBuf": true, "releaseEntry": true}
+
+// ownership states; join takes the max, so released poisons a join.
+const (
+	stateOwned       uint8 = iota // not tracked / freshly (re)assigned
+	stateTransferred              // a defer or release hook owns the release
+	stateReleased                 // returned to the pool on some path
+)
+
+type fact map[string]uint8
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func join(dst, src fact) fact {
+	for k, sv := range src {
+		if sv > dst[k] {
+			dst[k] = sv
+		}
+	}
+	return dst
+}
+
+func equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func run(p *analysis.Pass) error {
+	if !inScope(p.Pkg.Path) {
+		return nil
+	}
+	for _, f := range p.Files() {
+		analysis.FuncScopes(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkScope(p, body)
+		})
+	}
+	return nil
+}
+
+func checkScope(p *analysis.Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	g := cfg.New(body)
+	aliases := collectAliases(info, body)
+	a := &cfg.Analysis[fact]{
+		Entry: func() fact { return fact{} },
+		Node:  func(n ast.Node, f fact) fact { return transfer(info, aliases, n, f, nil) },
+		Join:  join,
+		Clone: fact.clone,
+		Equal: equal,
+	}
+	in := a.Forward(g)
+	reported := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		f = f.clone()
+		for _, n := range b.Nodes {
+			f = transfer(info, aliases, n, f, func(at ast.Node, format string, args ...any) {
+				if reported[at] {
+					return
+				}
+				reported[at] = true
+				p.Reportf(at.Pos(), format, args...)
+			})
+		}
+	}
+}
+
+type reporter func(at ast.Node, format string, args ...any)
+
+// transfer applies one node's effects; report (when non-nil) receives
+// violations against the pre-state.
+func transfer(info *types.Info, aliases map[string][]string, n ast.Node, f fact, report reporter) fact {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// Registration hands ownership to the runtime: the key becomes
+		// TRANSFERRED now; the replayed DeferredCall redeems it at exit.
+		if key, ok := releaseArgKey(n.Call); ok {
+			checkRelease(n.Call, key, f, report)
+			markTransferred(aliases, f, key)
+			return f
+		}
+		checkUses(n.Call, f, report, nil)
+		return f
+
+	case *cfg.DeferredCall:
+		if key, ok := releaseArgKey(n.Call); ok {
+			// The redeemed hook: only an already-RELEASED key is a bug.
+			if f[key] == stateReleased && report != nil {
+				report(n, "%s released twice (deferred release replays after an explicit one): the pool may hand the buffer to two owners", key)
+			}
+			markReleased(aliases, f, key)
+		}
+		return f
+
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			f = applyExpr(info, aliases, rhs, f, report)
+		}
+		// A write to a key re-establishes ownership: clear it and its
+		// fields.
+		for _, lhs := range n.Lhs {
+			if key, ok := chainKey(lhs); ok {
+				clearKey(f, key)
+			}
+		}
+		return f
+
+	case *cfg.RangeHeader:
+		for _, e := range []ast.Expr{n.Range.Key, n.Range.Value} {
+			if e == nil {
+				continue
+			}
+			if key, ok := chainKey(e); ok {
+				clearKey(f, key)
+			}
+		}
+		if key, ok := chainKey(n.Range.X); ok && f[key] == stateReleased && report != nil {
+			report(n, "%s is ranged over after being released to the pool", key)
+		}
+		return f
+
+	default:
+		return applyExpr(info, aliases, n, f, report)
+	}
+}
+
+// applyExpr walks one expression tree: release calls apply their effect,
+// transfers are recorded, and remaining reads are checked against
+// RELEASED keys.
+func applyExpr(info *types.Info, aliases map[string][]string, n ast.Node, f fact, report reporter) fact {
+	// Collect the release calls and handoffs first so their operands are
+	// not double-counted as plain reads.
+	skip := make(map[ast.Node]bool)
+	var releases []string
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if key, ok := releaseArgKey(m); ok {
+				checkRelease(m, key, f, report)
+				releases = append(releases, key)
+				skip[m] = true
+				return false
+			}
+			// A func literal argument that releases a captured key is a
+			// handoff of that key.
+			for _, arg := range m.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					for _, key := range literalReleases(lit) {
+						if f[key] == stateReleased && report != nil {
+							report(lit, "%s is captured by a release hook after already being released to the pool", key)
+						}
+						markTransferred(aliases, f, key)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Building a wqEntry-style value: a pooled pointer stored in a
+			// field is handed to whoever releases the entry.
+			for _, el := range m.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if !isPooledPtr(info, kv.Value) {
+					continue
+				}
+				if key, ok := chainKey(kv.Value); ok {
+					if f[key] == stateReleased && report != nil {
+						report(kv.Value, "%s is stored in an entry after being released to the pool", key)
+					}
+					markTransferred(aliases, f, key)
+					skip[kv.Value] = true
+				}
+			}
+		}
+		return true
+	})
+	checkUses(n, f, report, skip)
+	for _, key := range releases {
+		markReleased(aliases, f, key)
+	}
+	return f
+}
+
+// checkRelease reports releasing a key that is no longer owned.
+func checkRelease(at ast.Node, key string, f fact, report reporter) {
+	if report == nil {
+		return
+	}
+	switch f[key] {
+	case stateReleased:
+		report(at, "%s released twice: the pool may hand the buffer to two owners at once", key)
+	case stateTransferred:
+		report(at, "%s was handed off to a release hook and is released again here (the hook will release it too)", key)
+	}
+}
+
+// checkUses reports reads of RELEASED keys (or their fields) in n,
+// skipping subtrees already consumed as releases/handoffs.
+func checkUses(n ast.Node, f fact, report reporter, skip map[ast.Node]bool) {
+	if report == nil {
+		return
+	}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if skip[m] {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // its body is a separate scope
+		}
+		key, ok := chainKey(m)
+		if !ok {
+			return true
+		}
+		if r, hit := releasedPrefix(f, key); hit {
+			report(m, "%s is used after %s was released to the pool: the buffer may already belong to another goroutine", key, r)
+			return false
+		}
+		// Descend anyway: a.b may be clean while a.b.c matches nothing.
+		return true
+	})
+}
+
+// releasedPrefix reports whether key, or a selector prefix of it, is
+// RELEASED.
+func releasedPrefix(f fact, key string) (string, bool) {
+	for k, st := range f {
+		if st != stateReleased {
+			continue
+		}
+		if key == k || strings.HasPrefix(key, k+".") {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func markReleased(aliases map[string][]string, f fact, key string) {
+	f[key] = stateReleased
+	for _, a := range aliases[key] {
+		f[a] = stateReleased
+	}
+}
+
+func markTransferred(aliases map[string][]string, f fact, key string) {
+	if f[key] == stateReleased {
+		return // keep the stronger fact
+	}
+	f[key] = stateTransferred
+}
+
+// clearKey drops key and any selector children after a reassignment.
+func clearKey(f fact, key string) {
+	delete(f, key)
+	for k := range f {
+		if strings.HasPrefix(k, key+".") {
+			delete(f, k)
+		}
+	}
+}
+
+// releaseArgKey matches putBuf(x)/releaseEntry(x) and returns x's key.
+func releaseArgKey(call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !releaseFns[id.Name] || len(call.Args) != 1 {
+		return "", false
+	}
+	return chainKey(call.Args[0])
+}
+
+// literalReleases returns the keys a func literal's body releases — the
+// release-hook handoff shape.
+func literalReleases(lit *ast.FuncLit) []string {
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, ok := releaseArgKey(call); ok {
+				out = append(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chainKey prints a pure ident/selector chain ("e", "e.buf"), unwrapping
+// &x and *x. Anything else — indexed, sliced, call-derived — is not
+// trackable and returns false.
+func chainKey(n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.Ident:
+		if n.Name == "_" || n.Name == "nil" {
+			return "", false
+		}
+		return n.Name, true
+	case *ast.SelectorExpr:
+		base, ok := chainKey(n.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + n.Sel.Name, true
+	case *ast.UnaryExpr:
+		return chainKey(n.X)
+	case *ast.StarExpr:
+		return chainKey(n.X)
+	case *ast.ParenExpr:
+		return chainKey(n.X)
+	}
+	return "", false
+}
+
+// isPooledPtr reports whether e's type is *[]byte (the pooled body shape).
+func isPooledPtr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return isPooledPtrType(tv.Type)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if t := identType(info, id); t != nil {
+			return isPooledPtrType(t)
+		}
+	}
+	return false
+}
+
+// identType resolves an identifier's type through Defs/Uses (LHS idents
+// of := have no Types entry).
+func identType(info *types.Info, id *ast.Ident) types.Type {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+func isPooledPtrType(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isByteSliceType(ptr.Elem())
+}
+
+func isByteSliceType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// collectAliases records slice locals bound in the same tuple assignment
+// as a *[]byte local: the slice views the pooled backing array, so the
+// pointer's release invalidates them too (`payload` aliases `*body` in
+// the frame-read idiom).
+func collectAliases(info *types.Info, body *ast.BlockStmt) map[string][]string {
+	out := make(map[string][]string)
+	analysis.ScopeInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+			return true
+		}
+		var ptrKey string
+		var sliceKeys []string
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			t := identType(info, id)
+			if t == nil {
+				continue
+			}
+			if isPooledPtrType(t) {
+				if ptrKey != "" {
+					return true // two pooled pointers: ambiguous, skip
+				}
+				ptrKey = id.Name
+			} else if isByteSliceType(t) {
+				sliceKeys = append(sliceKeys, id.Name)
+			}
+		}
+		if ptrKey != "" && len(sliceKeys) > 0 {
+			out[ptrKey] = append(out[ptrKey], sliceKeys...)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,13 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"rcuarray/internal/analysis/analysistest"
+	"rcuarray/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolsafe.Analyzer,
+		"poolsafe_flag", "poolsafe_clean", "poolsafe_multi", "poolsafe_noignore")
+}

@@ -5,15 +5,21 @@ package suite
 
 import (
 	"rcuarray/internal/analysis"
+	"rcuarray/internal/analysis/ackorder"
 	"rcuarray/internal/analysis/atomicmix"
 	"rcuarray/internal/analysis/fencemono"
+	"rcuarray/internal/analysis/gracesafe"
 	"rcuarray/internal/analysis/guardpair"
 	"rcuarray/internal/analysis/ignorecheck"
 	"rcuarray/internal/analysis/nocopy"
+	"rcuarray/internal/analysis/obsgate"
+	"rcuarray/internal/analysis/poolsafe"
 	"rcuarray/internal/analysis/seedpure"
 )
 
-// All returns the rcuvet analyzers in their canonical order.
+// All returns the rcuvet analyzers in their canonical order: the PR 4
+// syntactic passes first, then the dataflow (CFG-based) protocol passes
+// added with the grace-period, durability, pooling, and obs disciplines.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		guardpair.Analyzer,
@@ -22,5 +28,9 @@ func All() []*analysis.Analyzer {
 		nocopy.Analyzer,
 		fencemono.Analyzer,
 		ignorecheck.Analyzer,
+		gracesafe.Analyzer,
+		ackorder.Analyzer,
+		poolsafe.Analyzer,
+		obsgate.Analyzer,
 	}
 }

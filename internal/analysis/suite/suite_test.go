@@ -1,6 +1,11 @@
 package suite_test
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
 	"testing"
 
 	"rcuarray/internal/analysis/suite"
@@ -20,5 +25,120 @@ func TestAllWellFormed(t *testing.T) {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+	}
+}
+
+// TestSuiteDrift pins the three places an analyzer is named — the suite
+// registry, the golden-fixture tree, and DESIGN.md's analyzer bullets — to
+// one another, so adding (or renaming) a pass in one place without the
+// others fails tier-1 instead of silently shipping an undocumented or
+// untested analyzer.
+func TestSuiteDrift(t *testing.T) {
+	root := moduleRoot(t)
+	names := make(map[string]bool)
+	noIgnore := make(map[string]bool)
+	for _, a := range suite.All() {
+		names[a.Name] = true
+		if a.NoIgnore {
+			noIgnore[a.Name] = true
+		}
+	}
+
+	// Every registered analyzer has at least one <name>_* fixture package,
+	// and every <name>_* fixture package belongs to a registered analyzer
+	// (dirs without an underscore are shared stubs: obs, qsbr, durable, ...).
+	fixtures := make(map[string][]string)
+	src := filepath.Join(root, "internal", "analysis", "testdata", "src")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		prefix, _, found := strings.Cut(e.Name(), "_")
+		if !found {
+			continue
+		}
+		fixtures[prefix] = append(fixtures[prefix], e.Name())
+	}
+	for name := range names {
+		if len(fixtures[name]) == 0 {
+			t.Errorf("analyzer %q registered in suite.All() but has no testdata/src/%s_* fixture package", name, name)
+		}
+	}
+	for prefix, dirs := range fixtures {
+		if !names[prefix] {
+			t.Errorf("fixture package(s) %v have analyzer prefix %q, which suite.All() does not register", dirs, prefix)
+		}
+	}
+
+	// Every NoIgnore (dataflow-protocol) pass pins its exemption from the
+	// //rcuvet:ignore escape hatch with a <name>_noignore fixture, and
+	// every *_noignore fixture belongs to a NoIgnore pass — without the
+	// fixture, dropping the flag would go unnoticed.
+	for name := range noIgnore {
+		want := name + "_noignore"
+		if _, err := os.Stat(filepath.Join(src, want)); err != nil {
+			t.Errorf("analyzer %q sets NoIgnore but has no testdata/src/%s fixture pinning that exemption", name, want)
+		}
+	}
+	for prefix, dirs := range fixtures {
+		for _, dir := range dirs {
+			if strings.HasSuffix(dir, "_noignore") && !noIgnore[prefix] {
+				t.Errorf("fixture %q exists but analyzer %q does not set NoIgnore", dir, prefix)
+			}
+		}
+	}
+
+	// DESIGN.md's "Static analysis" section documents exactly the
+	// registered set, one `- **name** ...` bullet each.
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulletRE := regexp.MustCompile(`(?m)^- \*\*([a-z]+)\*\*`)
+	documented := make(map[string]bool)
+	for _, m := range bulletRE.FindAllStringSubmatch(string(design), -1) {
+		documented[m[1]] = true
+	}
+	for name := range names {
+		if !documented[name] {
+			t.Errorf("analyzer %q registered in suite.All() but has no `- **%s**` bullet in DESIGN.md's Static analysis section", name, name)
+		}
+	}
+	for name := range documented {
+		if !names[name] {
+			t.Errorf("DESIGN.md documents analyzer %q, which suite.All() does not register", name)
+		}
+	}
+
+	if t.Failed() {
+		var registered []string
+		for name := range names {
+			registered = append(registered, name)
+		}
+		sort.Strings(registered)
+		t.Logf("registered analyzers: %s", strings.Join(registered, ", "))
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
 	}
 }

@@ -1,0 +1,75 @@
+// Package ackorder_clean holds the sanctioned durability shapes: the WAL
+// append is checked before every publish, one-shot files go through the
+// fsyncing helpers, and append-free functions (recovery replay) publish
+// freely.
+package ackorder_clean
+
+import "durable"
+
+type table struct{ gen uint64 }
+
+type tcell struct{ v *table }
+
+func (c *tcell) Load() *table   { return c.v }
+func (c *tcell) Store(t *table) { c.v = t }
+
+func replaceTableLocked() {}
+func publishTable()       {}
+
+func walAppendLocked(rec []byte) error { return nil }
+
+// appendThenPublish is the canonical handler: log, fsync, check, commit.
+func appendThenPublish(w *durable.Writer, rec []byte) error {
+	if err := w.Append(rec); err != nil {
+		return err
+	}
+	replaceTableLocked()
+	return nil
+}
+
+// positiveCheck spells the guard with == nil.
+func positiveCheck(w *durable.Writer, rec []byte, c *tcell, t *table) {
+	err := w.Append(rec)
+	if err == nil {
+		c.Store(t)
+	}
+}
+
+// helperAppend goes through the locked wrapper name.
+func helperAppend(rec []byte) error {
+	if err := walAppendLocked(rec); err != nil {
+		return err
+	}
+	publishTable()
+	return nil
+}
+
+// loopAppend re-logs every iteration before its publish; the append
+// inside the loop dominates the publish inside the loop.
+func loopAppend(w *durable.Writer, recs [][]byte) error {
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			return err
+		}
+		publishTable()
+	}
+	return nil
+}
+
+// recoveryReplay has no append in scope: replay deliberately re-installs
+// tables from records already on disk without re-logging them.
+func recoveryReplay(c *tcell, tabs []*table) {
+	for _, t := range tabs {
+		c.Store(t)
+	}
+	replaceTableLocked()
+}
+
+// atomicHelpers is the sanctioned one-shot path.
+func atomicHelpers(path string, data []byte) error {
+	if err := durable.WriteFileAtomic(path, data); err != nil {
+		return err
+	}
+	_, err := durable.Create(path)
+	return err
+}

@@ -1,0 +1,96 @@
+// Package ackorder_flag holds the positive cases for the ackorder
+// analyzer: table publishes (the durability handlers' commit points) that
+// are not dominated by a successfully checked WAL append, plus raw
+// one-shot file writes that bypass the fsyncing helpers.
+package ackorder_flag
+
+import (
+	"os"
+
+	"durable"
+)
+
+type table struct{ gen uint64 }
+
+// tcell is the Load/Store publish slot.
+type tcell struct{ v *table }
+
+func (c *tcell) Load() *table   { return c.v }
+func (c *tcell) Store(t *table) { c.v = t }
+
+func replaceTableLocked() {}
+func publishTable()       {}
+
+// publishBeforeAppend acks the milestone into the table before the WAL
+// record exists: a crash here replays nothing.
+func publishBeforeAppend(w *durable.Writer, rec []byte) {
+	replaceTableLocked() // want "table publish not dominated by a checked WAL append"
+	if err := w.Append(rec); err != nil {
+		return
+	}
+}
+
+// failurePathPublish publishes on the branch where the append failed.
+func failurePathPublish(w *durable.Writer, rec []byte) {
+	err := w.Append(rec)
+	if err != nil {
+		replaceTableLocked() // want "table publish not dominated by a checked WAL append"
+		return
+	}
+	replaceTableLocked()
+}
+
+// discarded never looks at the append error: the fsync may have failed.
+func discarded(w *durable.Writer, rec []byte) {
+	w.Append(rec)        // want "WAL append error discarded"
+	replaceTableLocked() // want "table publish not dominated by a checked WAL append"
+}
+
+// blankAssign is the same discard spelled with an underscore.
+func blankAssign(w *durable.Writer, rec []byte) {
+	_ = w.Append(rec) // want "WAL append error discarded"
+}
+
+// reassigned overwrites the append error before checking it; the check
+// proves nothing about the append.
+func reassigned(w *durable.Writer, rec []byte, other func() error) {
+	err := w.Append(rec)
+	err = other()
+	if err == nil {
+		publishTable() // want "table publish not dominated by a checked WAL append"
+	}
+}
+
+// storePublish publishes through a cell Store on the failure branch.
+func storePublish(w *durable.Writer, rec []byte, c *tcell, t *table) {
+	if err := w.Append(rec); err != nil {
+		c.Store(t) // want "table publish not dominated by a checked WAL append"
+		return
+	}
+	c.Store(t)
+}
+
+// helperAppend uses the wrapper-name shape and still publishes first.
+func helperAppend(rec []byte) {
+	publishTable() // want "table publish not dominated by a checked WAL append"
+	if err := walAppendLocked(rec); err != nil {
+		return
+	}
+}
+
+func walAppendLocked(rec []byte) error { return nil }
+
+// rawWrite bypasses the atomic helper for a one-shot durable file.
+func rawWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "raw os.WriteFile in the durable layer"
+}
+
+// rawCreate builds a durable file on a handle that never fsyncs its
+// directory entry.
+func rawCreate(path string) error {
+	f, err := os.Create(path) // want "raw os.Create in the durable layer"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

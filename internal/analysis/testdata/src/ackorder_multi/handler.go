@@ -1,0 +1,18 @@
+package ackorder_multi
+
+// installBad publishes before the cross-file append wrapper has proven
+// the record durable.
+func installBad(l *wal, rec []byte) {
+	replaceTableLocked() // want "table publish not dominated by a checked WAL append"
+	if err := l.walAppendRecord(rec); err != nil {
+		return
+	}
+}
+
+// installGood checks the wrapper's error first.
+func installGood(l *wal, rec []byte) {
+	if err := l.walAppendRecord(rec); err != nil {
+		return
+	}
+	replaceTableLocked()
+}

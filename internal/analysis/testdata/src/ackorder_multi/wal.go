@@ -1,0 +1,16 @@
+// Package ackorder_multi splits the WAL wrapper and the handlers across
+// files: append matching must come from names and types, not one file's
+// syntax.
+package ackorder_multi
+
+import "durable"
+
+// wal owns the durable writer.
+type wal struct{ w *durable.Writer }
+
+// walAppendRecord is the cross-file append wrapper.
+func (l *wal) walAppendRecord(rec []byte) error {
+	return l.w.Append(rec)
+}
+
+func replaceTableLocked() {}

@@ -1,0 +1,16 @@
+// Package ackorder_noignore asserts //rcuvet:ignore cannot silence the
+// durability-order pass: an acked-but-not-durable milestone is never a
+// style call.
+package ackorder_noignore
+
+import "durable"
+
+func replaceTableLocked() {}
+
+func ackFirst(w *durable.Writer, rec []byte) {
+	//rcuvet:ignore reviewed by hand, the coordinator tolerates rollback
+	replaceTableLocked() // want "table publish not dominated by a checked WAL append"
+	if err := w.Append(rec); err != nil {
+		return
+	}
+}

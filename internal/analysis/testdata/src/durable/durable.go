@@ -8,3 +8,10 @@ type Writer struct{}
 
 // Append is a stub; the real one fsyncs before returning.
 func (w *Writer) Append(payload []byte) error { return nil }
+
+// WriteFileAtomic is a stub; the real one writes tmp+rename and fsyncs
+// both the file and its directory.
+func WriteFileAtomic(path string, data []byte) error { return nil }
+
+// Create is a stub durable-file constructor.
+func Create(path string) (*Writer, error) { return &Writer{}, nil }

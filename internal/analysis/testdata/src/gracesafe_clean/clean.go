@@ -1,0 +1,78 @@
+// Package gracesafe_clean holds the sanctioned reclamation idioms: a
+// grace period (or a grace-folding publish helper) dominates every sink,
+// or the free is deferred through a QSBR closure that runs only after
+// quiescence.
+package gracesafe_clean
+
+import "qsbr"
+
+// Table is a reader-visible structure.
+type Table struct{ data []int }
+
+// cell is the Load/Store slot shape.
+type cell struct{ v *Table }
+
+func (c *cell) Load() *Table   { return c.v }
+func (c *cell) Store(t *Table) { c.v = t }
+
+// dom stands in for a grace-period domain.
+type dom struct{}
+
+func (d *dom) Synchronize() {}
+
+func freeTable(t *Table)  { _ = t }
+func retireSlots(s []int) { _ = s }
+
+// replaceTableLocked mimics the dist helper: it runs a grace fold
+// internally before returning, so it counts as a grace call.
+func replaceTableLocked(c *cell, n *Table) { c.v = n }
+
+// publishAll mimics core's grace-folding publisher.
+func publishAll(c *cell) {}
+
+// graceThenFree is the textbook sequence: unpublish, wait, free.
+func graceThenFree(c *cell, d *dom, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	d.Synchronize()
+	freeTable(old)
+}
+
+// publishHelper relies on the helper's internal grace fold.
+func publishHelper(c *cell, n *Table) {
+	old := c.Load()
+	replaceTableLocked(c, n)
+	freeTable(old)
+}
+
+// publishAllHelper frees after core's publishAll, which folds a grace.
+func publishAllHelper(c *cell, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	publishAll(c)
+	retireSlots(old.data)
+}
+
+// qsbrDefer hands the free to a QSBR closure: the domain runs it only
+// after every participant passes a quiescent point, so the closure body —
+// a separate scope — needs no grace of its own.
+func qsbrDefer(c *cell, d *qsbr.Domain, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	d.Defer(func() { freeTable(old) })
+}
+
+// reassigned frees a value that was re-bound after the store: the new
+// binding was never unpublished.
+func reassigned(c *cell, n, fresh *Table) {
+	old := c.Load()
+	c.Store(n)
+	old = fresh
+	freeTable(old)
+}
+
+// stillPublished frees nothing that was unpublished: no store intervened.
+func stillPublished(c *cell, scratch *Table) {
+	_ = c.Load()
+	freeTable(scratch)
+}

@@ -1,0 +1,78 @@
+// Package gracesafe_flag holds the positive cases for the gracesafe
+// analyzer: every pattern here frees a value some RCU reader may still
+// hold, because no grace period dominates the sink.
+package gracesafe_flag
+
+// Table is a reader-visible structure.
+type Table struct{ data []int }
+
+// recycle is a sink by name.
+func (t *Table) recycle() {}
+
+// cell is the repo's typed RCU slot shape: a Load/Store method pair.
+type cell struct{ v *Table }
+
+func (c *cell) Load() *Table   { return c.v }
+func (c *cell) Store(t *Table) { c.v = t }
+
+// dom stands in for a grace-period domain.
+type dom struct{}
+
+func (d *dom) Synchronize() {}
+
+func freeTable(t *Table)   { _ = t }
+func retireSlots(s []int)  { _ = s }
+func reclaimInto(s []int)  { _ = s }
+func publishAll(c *cell)   {}
+
+// swapAndFree is the canonical bug: unpublish, then free with no grace.
+func swapAndFree(c *cell, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	freeTable(old) // want "old was unpublished from c and may reach freeTable without a grace period"
+}
+
+// branchGrace synchronizes on only one path; the fast path frees a table
+// readers may still traverse, and the may-join keeps that path alive.
+func branchGrace(c *cell, d *dom, n *Table, fast bool) {
+	old := c.Load()
+	c.Store(n)
+	if !fast {
+		d.Synchronize()
+	}
+	freeTable(old) // want "old was unpublished from c and may reach freeTable"
+}
+
+// aliasFree frees through a derived alias: t copies old's binding, and
+// t.data is rooted at t.
+func aliasFree(c *cell, n *Table) {
+	old := c.Load()
+	t := old
+	c.Store(n)
+	retireSlots(t.data) // want "t was unpublished from c and may reach retireSlots"
+}
+
+// deferFree registers the free before the store; the deferred call still
+// executes after it, when old is pending.
+func deferFree(c *cell, n *Table) {
+	old := c.Load()
+	defer freeTable(old) // want "old was unpublished from c and may reach freeTable"
+	c.Store(n)
+}
+
+// loopFree re-loads and re-stores per iteration; every trip frees the
+// just-unpublished table with no grace.
+func loopFree(c *cell, tables []*Table) {
+	for _, n := range tables {
+		old := c.Load()
+		c.Store(n)
+		reclaimInto(old.data) // want "old was unpublished from c and may reach reclaimInto"
+	}
+}
+
+// methodSink reaches the sink as a receiver, not an argument.
+func methodSink(c *cell, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	old.recycle() // want "old was unpublished from c and may reach recycle"
+}

@@ -1,0 +1,22 @@
+// Package gracesafe_multi splits the cell type and its users across
+// files: the method-set matching must work from type information, not
+// from syntactic co-location.
+package gracesafe_multi
+
+// Seg is a reader-visible segment table.
+type Seg struct{ ptrs []*int }
+
+// slot is the Load/Store pair, defined away from its use sites.
+type slot struct{ v *Seg }
+
+func (s *slot) Load() *Seg   { return s.v }
+func (s *slot) Store(g *Seg) { s.v = g }
+
+// world owns the slot plus a grace domain.
+type world struct {
+	tab slot
+}
+
+func (w *world) Synchronize() {}
+
+func freeSeg(g *Seg) { _ = g }

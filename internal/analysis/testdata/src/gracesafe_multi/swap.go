@@ -1,0 +1,27 @@
+package gracesafe_multi
+
+// swapBad unpublishes through a field-chain cell and frees with no grace;
+// the cell key is the printed selector chain.
+func swapBad(w *world, n *Seg) {
+	old := w.tab.Load()
+	w.tab.Store(n)
+	freeSeg(old) // want "old was unpublished from w.tab and may reach freeSeg"
+}
+
+// swapGood runs the domain's grace between unpublish and free.
+func swapGood(w *world, n *Seg) {
+	old := w.tab.Load()
+	w.tab.Store(n)
+	w.Synchronize()
+	freeSeg(old)
+}
+
+// distinctCells stores to a different slot than the one old came from:
+// gracesafe tracks per-cell, so the store does not unpublish old and the
+// unrelated free stays clean.
+func distinctCells(w, other *world, n *Seg, scratch *Seg) {
+	old := w.tab.Load()
+	other.tab.Store(n)
+	_ = old
+	freeSeg(scratch)
+}

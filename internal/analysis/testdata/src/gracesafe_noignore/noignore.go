@@ -1,0 +1,20 @@
+// Package gracesafe_noignore asserts the escape hatch does not reach the
+// protocol-safety passes: a well-formed //rcuvet:ignore sits on the
+// violation, and the diagnostic must survive anyway.
+package gracesafe_noignore
+
+type Table struct{ data []int }
+
+type cell struct{ v *Table }
+
+func (c *cell) Load() *Table   { return c.v }
+func (c *cell) Store(t *Table) { c.v = t }
+
+func freeTable(t *Table) { _ = t }
+
+func swapAndFree(c *cell, n *Table) {
+	old := c.Load()
+	c.Store(n)
+	//rcuvet:ignore reviewed by hand, readers cannot hold this table
+	freeTable(old) // want "old was unpublished from c and may reach freeTable"
+}

@@ -10,3 +10,42 @@ type Counter struct{}
 
 // Inc is a stub.
 func (c *Counter) Inc() {}
+
+// Add is a stub.
+func (c *Counter) Add(n int64) {}
+
+// Gauge is a stub point-in-time metric.
+type Gauge struct{}
+
+// Set is a stub.
+func (g *Gauge) Set(v int64) {}
+
+// Histogram is a stub latency histogram.
+type Histogram struct{}
+
+// Observe is a stub; the real one records a sample.
+func (h *Histogram) Observe(v int64) {}
+
+// NameID is a stub interned span name.
+type NameID uint32
+
+// Name interns a stub span name.
+func Name(s string) NameID { return 0 }
+
+// Ring is a stub per-goroutine trace ring; a nil Ring no-ops.
+type Ring struct{}
+
+// Begin is a stub span start.
+func (r *Ring) Begin(n NameID) {}
+
+// End is a stub span end.
+func (r *Ring) End(n NameID) {}
+
+// Instant is a stub point event.
+func (r *Ring) Instant(n NameID, arg int64) {}
+
+// Tracer hands out stub rings.
+type Tracer struct{}
+
+// Ring returns a stub ring.
+func (t *Tracer) Ring(sub int) *Ring { return nil }

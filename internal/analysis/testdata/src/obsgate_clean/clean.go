@@ -1,0 +1,112 @@
+// Package obsgate_clean holds the sanctioned gating idioms: direct
+// obs.On() branches, short-circuit operands, the .on field convention,
+// nil-ring checks, obs-conditioned pointer locals — and counters, which
+// deliberately stay unconditional.
+package obsgate_clean
+
+import (
+	"time"
+
+	"obs"
+)
+
+// direct is the plain gate.
+func direct(r *obs.Ring, n obs.NameID) {
+	if obs.On() {
+		r.Begin(n)
+		r.End(n)
+	}
+}
+
+// earlyReturn gates the remainder of the function.
+func earlyReturn(r *obs.Ring, n obs.NameID, work func()) {
+	if !obs.On() {
+		return
+	}
+	r.Begin(n)
+	work()
+	r.End(n)
+}
+
+// shortCircuit gates through a && operand.
+func shortCircuit(r *obs.Ring, n obs.NameID) {
+	if r != nil && obs.On() {
+		r.Instant(n, 0)
+	}
+}
+
+// spans is the resizeSpans/growSpans convention: on is assigned only
+// under obs.On(), and every method consults it.
+type spans struct {
+	on   bool
+	ring *obs.Ring
+	t0   time.Time
+}
+
+func (s *spans) start(t *obs.Tracer) {
+	if !obs.On() {
+		return
+	}
+	s.on = true
+	s.ring = t.Ring(0)
+	s.t0 = time.Now()
+}
+
+func (s *spans) begin(n obs.NameID) {
+	if !s.on {
+		return
+	}
+	s.ring.Begin(n)
+}
+
+func (s *spans) finish(n obs.NameID, h *obs.Histogram) {
+	if s.on {
+		s.ring.End(n)
+		h.Observe(time.Since(s.t0).Nanoseconds())
+	}
+}
+
+// nilRing relies on the documented nil-ring no-op contract: the nil
+// check is the gate (localeSpan hands out nil rings when off).
+func nilRing(r *obs.Ring, n obs.NameID) {
+	if r != nil {
+		r.End(n)
+	}
+}
+
+// gateVar carries the gate through a bool local.
+func gateVar(r *obs.Ring, n obs.NameID, work func()) {
+	enabled := obs.On()
+	work()
+	if enabled {
+		r.Instant(n, 0)
+	}
+}
+
+// spanCtx is the lazy-observation shape.
+type spanCtx struct {
+	h  *obs.Histogram
+	t0 time.Time
+}
+
+// conditioned nil-checks a pointer whose every assignment is gated: the
+// ebr.Synchronize pattern.
+func conditioned(h *obs.Histogram, work func()) {
+	var g *spanCtx
+	if obs.On() {
+		g = &spanCtx{h: h, t0: time.Now()}
+	}
+	work()
+	if g != nil {
+		g.h.Observe(time.Since(g.t0).Nanoseconds())
+	}
+}
+
+// counters stay unconditional by design: NodeStats and the chaos
+// cross-checks read them as protocol state.
+func counters(c *obs.Counter, g *obs.Gauge, h *obs.Histogram, nitems int) {
+	c.Inc()
+	c.Add(2)
+	g.Set(int64(nitems))
+	h.Observe(int64(nitems)) // a count, not a wall-clock sample
+}

@@ -1,0 +1,69 @@
+// Package obsgate_flag holds the positive cases for the obsgate
+// analyzer: trace-ring writes and wall-clock observations that run even
+// when observability is off.
+package obsgate_flag
+
+import (
+	"time"
+
+	"obs"
+)
+
+// ringUngated writes the ring on every call: a disabled run pays the
+// ring write instead of one branch.
+func ringUngated(r *obs.Ring, n obs.NameID) {
+	r.Instant(n, 0) // want "trace-ring Instant not dominated by an obs.On"
+}
+
+// timeUngated takes a timestamp pair unconditionally and feeds it into a
+// histogram.
+func timeUngated(h *obs.Histogram, work func()) {
+	start := time.Now()
+	work()
+	h.Observe(time.Since(start).Nanoseconds()) // want "wall-clock observation not dominated by an obs.On"
+}
+
+// partialGate gates only the Begin; the matching End runs ungated.
+func partialGate(r *obs.Ring, n obs.NameID) {
+	if obs.On() {
+		r.Begin(n)
+	}
+	r.End(n) // want "trace-ring End not dominated by an obs.On"
+}
+
+// joinLoss gates one branch only: the must-join drops the gate.
+func joinLoss(r *obs.Ring, n obs.NameID, fast bool) {
+	if fast {
+		if !obs.On() {
+			return
+		}
+	}
+	r.Instant(n, 0) // want "trace-ring Instant not dominated by an obs.On"
+}
+
+// gateVarMiss consults the gate variable for Begin but not for End.
+func gateVarMiss(r *obs.Ring, n obs.NameID) {
+	enabled := obs.On()
+	if enabled {
+		r.Begin(n)
+	}
+	r.End(n) // want "trace-ring End not dominated by an obs.On"
+}
+
+// spanCtx is the lazy-observation shape, but assigned on an ungated path.
+type spanCtx struct {
+	h  *obs.Histogram
+	t0 time.Time
+}
+
+// notConditioned nil-checks a pointer that was assigned outside any gate,
+// so the nil check proves nothing about observability.
+func notConditioned(h *obs.Histogram, deep bool) {
+	var g *spanCtx
+	if deep {
+		g = &spanCtx{h: h, t0: time.Now()}
+	}
+	if g != nil {
+		g.h.Observe(time.Since(g.t0).Nanoseconds()) // want "wall-clock observation not dominated by an obs.On"
+	}
+}

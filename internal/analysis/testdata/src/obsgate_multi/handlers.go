@@ -1,0 +1,23 @@
+package obsgate_multi
+
+import "obs"
+
+// handleBad writes the cross-file ring with no gate.
+func handleBad(nt *nodeTrace) {
+	nt.ring.Instant(nt.nOp, 0) // want "trace-ring Instant not dominated by an obs.On"
+}
+
+// handleGood gates the same write.
+func handleGood(nt *nodeTrace) {
+	if obs.On() {
+		nt.ring.Instant(nt.nOp, 0)
+	}
+}
+
+// handleNil uses the nil-ring contract on the struct field.
+func handleNil(nt *nodeTrace) {
+	if nt.ring != nil {
+		nt.ring.Begin(nt.nOp)
+		nt.ring.End(nt.nOp)
+	}
+}

@@ -1,0 +1,18 @@
+// Package obsgate_multi splits the span type and its users across files:
+// the .on convention and ring typing must come from type info.
+package obsgate_multi
+
+import (
+	"time"
+
+	"obs"
+)
+
+// nodeTrace mirrors the dist handler-tracing bundle.
+type nodeTrace struct {
+	ring *obs.Ring
+	nOp  obs.NameID
+	t0   time.Time
+}
+
+func sink(v int64) { _ = v }

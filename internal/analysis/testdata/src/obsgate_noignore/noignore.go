@@ -1,0 +1,10 @@
+// Package obsgate_noignore asserts //rcuvet:ignore cannot silence the
+// read-path cost pass: an ungated ring write taxes every disabled run.
+package obsgate_noignore
+
+import "obs"
+
+func handler(r *obs.Ring, n obs.NameID) {
+	//rcuvet:ignore reviewed by hand, this handler is cold
+	r.Instant(n, 0) // want "trace-ring Instant not dominated by an obs.On"
+}

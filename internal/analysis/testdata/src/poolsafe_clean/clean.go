@@ -1,0 +1,80 @@
+// Package poolsafe_clean holds the sanctioned pooling idioms: release on
+// the abandoned path only, deferred release with uses before it, indexed
+// batch drains (out of the analyzer's key language by design), and
+// reacquisition after release.
+package poolsafe_clean
+
+func getBuf() *[]byte { b := make([]byte, 0, 512); return &b }
+func putBuf(b *[]byte) {}
+
+type wqEntry struct {
+	buf     *[]byte
+	release func()
+}
+
+func releaseEntry(e *wqEntry) {}
+
+type queue struct {
+	err  error
+	pend []wqEntry
+}
+
+// useThenRelease is the normal lifetime: encode, flush, recycle.
+func useThenRelease(flush func([]byte)) {
+	b := getBuf()
+	flush(*b)
+	putBuf(b)
+}
+
+// deferRelease reads the buffer freely before the deferred release runs
+// at exit.
+func deferRelease() []byte {
+	b := getBuf()
+	defer putBuf(b)
+	return append([]byte(nil), *b...)
+}
+
+// severedPath releases only on the early-return path; the live path keeps
+// ownership and hands the entry to the queue.
+func severedPath(q *queue, e wqEntry) error {
+	if q.err != nil {
+		releaseEntry(&e)
+		return q.err
+	}
+	q.pend = append(q.pend, e)
+	return nil
+}
+
+// drainBatch releases indexed entries: element keys are deliberately out
+// of the analyzer's scope, and nothing reads them afterwards anyway.
+func drainBatch(batch []wqEntry) {
+	for i := range batch {
+		releaseEntry(&batch[i])
+	}
+}
+
+// reacquire reuses the variable after a fresh getBuf: the reassignment
+// re-establishes ownership.
+func reacquire() int {
+	b := getBuf()
+	putBuf(b)
+	b = getBuf()
+	return len(*b)
+}
+
+// handoff builds an entry and stops touching the buffer: the entry's
+// releaser owns it from here.
+func handoff(q func(wqEntry)) {
+	b := getBuf()
+	q(wqEntry{buf: b, release: nil})
+}
+
+// aliasBeforeRelease uses the tuple-bound view first and releases last.
+func aliasBeforeRelease(read func() ([]byte, *[]byte, error), sink func(byte)) {
+	payload, body, err := read()
+	if err != nil {
+		return
+	}
+	sink(payload[0])
+	putBuf(body)
+}

@@ -1,0 +1,81 @@
+// Package poolsafe_flag holds the positive cases for the poolsafe
+// analyzer: pooled buffers used after release, released twice, or
+// released again after their ownership moved to a release hook.
+package poolsafe_flag
+
+// The pool shapes mirror internal/comm: *[]byte bodies and entries with
+// a pooled buf plus a release hook.
+
+func getBuf() *[]byte { b := make([]byte, 0, 512); return &b }
+func putBuf(b *[]byte) {}
+
+type wqEntry struct {
+	buf     *[]byte
+	release func()
+}
+
+func releaseEntry(e *wqEntry) {}
+
+// doubleRelease returns the same buffer twice: two future getBuf callers
+// receive the same backing array.
+func doubleRelease() {
+	b := getBuf()
+	putBuf(b)
+	putBuf(b) // want "b released twice"
+}
+
+// useAfterRelease reads a buffer the pool may already have handed out.
+func useAfterRelease() int {
+	b := getBuf()
+	putBuf(b)
+	return len(*b) // want "b is used after b was released to the pool"
+}
+
+// branchRelease frees on one path only; the may-join poisons the use.
+func branchRelease(ok bool) int {
+	b := getBuf()
+	if ok {
+		putBuf(b)
+	}
+	return len(*b) // want "b is used after b was released to the pool"
+}
+
+// fieldUseAfter reads through a released entry: releaseEntry recycled
+// e.buf and zeroed the entry.
+func fieldUseAfter(e *wqEntry) []byte {
+	releaseEntry(e)
+	return *e.buf // want "e.buf is used after e was released to the pool"
+}
+
+// hookThenRelease hands the release to a hook and then also releases
+// directly: whichever runs second frees a buffer someone else owns.
+func hookThenRelease(send func(func())) {
+	b := getBuf()
+	send(func() { putBuf(b) })
+	putBuf(b) // want "b was handed off to a release hook"
+}
+
+// entryThenRelease stores the pooled pointer into an entry — the entry's
+// releaser owns it now — and releases it anyway.
+func entryThenRelease(q func(wqEntry)) {
+	b := getBuf()
+	q(wqEntry{buf: b})
+	putBuf(b) // want "b was handed off to a release hook"
+}
+
+// deferThenExplicit registers a deferred release and then releases
+// directly: the defer replays on top of the explicit release.
+func deferThenExplicit() {
+	b := getBuf()
+	defer putBuf(b) // want "b released twice .deferred release replays after an explicit one."
+	putBuf(b)       // want "b was handed off to a release hook"
+}
+
+// aliasUse releases the pooled pointer while a tuple-bound slice still
+// views its backing array.
+func aliasUse(read func() ([]byte, *[]byte, error)) byte {
+	payload, body, err := read()
+	_ = err
+	putBuf(body)
+	return payload[0] // want "payload is used after payload was released to the pool"
+}

@@ -1,0 +1,13 @@
+// Package poolsafe_multi splits the pool helpers and their misuse across
+// files: release-site matching is by name and type, not file locality.
+package poolsafe_multi
+
+func getBuf() *[]byte { b := make([]byte, 0, 512); return &b }
+func putBuf(b *[]byte) {}
+
+type wqEntry struct {
+	buf  *[]byte
+	tail []byte
+}
+
+func releaseEntry(e *wqEntry) {}

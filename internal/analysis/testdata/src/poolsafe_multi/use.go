@@ -1,0 +1,16 @@
+package poolsafe_multi
+
+// frameBad encodes into a recycled buffer.
+func frameBad(encode func([]byte) []byte) []byte {
+	b := getBuf()
+	putBuf(b)
+	return encode(*b) // want "b is used after b was released to the pool"
+}
+
+// frameGood recycles after the last read.
+func frameGood(encode func([]byte) []byte) []byte {
+	b := getBuf()
+	out := encode(*b)
+	putBuf(b)
+	return out
+}

@@ -1,0 +1,13 @@
+// Package poolsafe_noignore asserts //rcuvet:ignore cannot silence the
+// pool-ownership pass: a double release corrupts the pool for everyone.
+package poolsafe_noignore
+
+func getBuf() *[]byte { b := make([]byte, 0, 512); return &b }
+func putBuf(b *[]byte) {}
+
+func doubleRelease() {
+	b := getBuf()
+	putBuf(b)
+	//rcuvet:ignore reviewed by hand, the second put is unreachable in practice
+	putBuf(b) // want "b released twice"
+}

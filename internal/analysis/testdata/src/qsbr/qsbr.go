@@ -19,3 +19,10 @@ func (d *Domain) Unregister(p *Participant) {}
 
 // Checkpoint announces stub quiescence.
 func (p *Participant) Checkpoint() int { return 0 }
+
+// Defer runs fn after every registered participant has passed a stub
+// quiescent point.
+func (d *Domain) Defer(fn func()) {}
+
+// Synchronize blocks until a stub grace period elapses.
+func (d *Domain) Synchronize() {}

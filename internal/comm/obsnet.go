@@ -57,9 +57,13 @@ func newClientObs(r *obs.Registry, peer string) *clientObs {
 }
 
 // record feeds one completed call into the per-(op,peer) histogram and the
-// timeout/error counters. Called only when observability is on.
+// timeout/error counters. The latency sample re-checks the global switch —
+// callers only time calls while observability is on, but the switch may
+// have flipped mid-call, and the outcome counters must count either way.
 func (co *clientObs) record(typ byte, start time.Time, err error) {
-	co.lat[typ].Observe(time.Since(start).Nanoseconds())
+	if obs.On() {
+		co.lat[typ].Observe(time.Since(start).Nanoseconds())
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrTimeout):

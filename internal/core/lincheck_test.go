@@ -48,12 +48,12 @@ type arrayTarget struct {
 	t *locale.Task
 }
 
-func (x arrayTarget) Load(idx int) int64      { return x.a.Load(x.t, idx) }
-func (x arrayTarget) Store(idx int, v int64)  { x.a.Store(x.t, idx, v) }
-func (x arrayTarget) GrowBlocks(n int)        { x.a.Grow(x.t, n*x.a.BlockSize()) }
-func (x arrayTarget) ShrinkBlocks(n int)      { x.a.Shrink(x.t, n*x.a.BlockSize()) }
-func (x arrayTarget) Len() int                { return x.a.Len(x.t) }
-func (x arrayTarget) Checkpoint()             { x.t.Checkpoint() }
+func (x arrayTarget) Load(idx int) int64     { return x.a.Load(x.t, idx) }
+func (x arrayTarget) Store(idx int, v int64) { x.a.Store(x.t, idx, v) }
+func (x arrayTarget) GrowBlocks(n int)       { x.a.Grow(x.t, n*x.a.BlockSize()) }
+func (x arrayTarget) ShrinkBlocks(n int)     { x.a.Shrink(x.t, n*x.a.BlockSize()) }
+func (x arrayTarget) Len() int               { return x.a.Len(x.t) }
+func (x arrayTarget) Checkpoint()            { x.t.Checkpoint() }
 
 func clusterLiveBlocks(c *locale.Cluster) int64 {
 	var live int64

@@ -180,7 +180,9 @@ func (a *Array[T]) Grow(t *locale.Task, additional int) {
 		inst.nextLocaleID = locID
 		flipped := oldBoundary // nil when step 3 did not run
 		here := sub.Here().ID()
-		ls.End(a.o.nInstall)
+		if ls != nil {
+			ls.End(a.o.nInstall)
+		}
 		return func() {
 			inst.retireSnapshot(old)
 			if flipped != nil {
@@ -270,7 +272,9 @@ func (a *Array[T]) Shrink(t *locale.Task, removed int) {
 		}
 		inst.snapStats.NoteAlloc(false)
 		inst.snap.Store(nd)
-		ls.End(a.o.nInstall)
+		if ls != nil {
+			ls.End(a.o.nInstall)
+		}
 		return func() { // batched: one grace period retires everything
 			inst.retireSnapshot(old)
 			for _, rt := range retired {

@@ -12,6 +12,7 @@ import (
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/durable"
+	"rcuarray/internal/obs"
 )
 
 // Durability for an array node: a resize write-ahead log, fence-stamped
@@ -454,7 +455,11 @@ func (n *ArrayNode) Snapshot() (SnapshotInfo, error) {
 	}
 	n.snapMu.Lock()
 	defer n.snapMu.Unlock()
-	start := time.Now()
+	timed := obs.On()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 
 	// The cut: pin an epoch (EBR read section), read the published table,
 	// capture milestones, rotate the WAL so every milestone acknowledged
@@ -529,7 +534,9 @@ func (n *ArrayNode) Snapshot() (SnapshotInfo, error) {
 	n.pruneDurable(snapSeq, newSeq)
 	n.snapshots.Inc()
 	n.snapBytes.Add(uint64(bytes))
-	n.snapNs.Observe(time.Since(start).Nanoseconds())
+	if timed {
+		n.snapNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return SnapshotInfo{
 		Fence:  cutState.maxFence,
 		Epoch:  cutState.appliedEpoch,
@@ -638,7 +645,11 @@ func (n *ArrayNode) recoverFromDisk() error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	timed := obs.On()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 
 	// Bump and re-persist the generation before dialing anyone: once any
 	// peer sees the new hello, the crashed incarnation's in-flight Puts are
@@ -825,7 +836,9 @@ func (n *ArrayNode) recoverFromDisk() error {
 
 	n.walReplayed.Add(uint64(replayed))
 	n.recoveries.Inc()
-	n.recoverNs.Observe(time.Since(start).Nanoseconds())
+	if timed {
+		n.recoverNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return nil
 }
 

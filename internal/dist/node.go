@@ -359,7 +359,7 @@ func (n *ArrayNode) handleAllocBlock(payload []byte) ([]byte, error) {
 	defer n.mu.Unlock()
 	if fence <= n.maxFence {
 		n.fenced.Inc()
-		n.trace.ring.Instant(n.trace.nFenced, int64(fence))
+		n.trace.instant(n.trace.nFenced, int64(fence))
 		return nil, fmt.Errorf("dist: alloc fenced: token %d at or below milestone %d", fence, n.maxFence)
 	}
 	e, ok := n.allocs[reqID]
@@ -483,7 +483,7 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 		n.mu.Lock() // serializes installs on this node (WriteLock also does, belt and braces)
 		if q.Fence < n.maxFence {
 			n.fenced.Inc()
-			n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
+			n.trace.instant(n.trace.nFenced, int64(q.Fence))
 			n.mu.Unlock()
 			return nil, fmt.Errorf("dist: install fenced: token %d superseded by %d", q.Fence, n.maxFence)
 		}
@@ -496,7 +496,7 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 			// abort rolled the table back between our flips, and continuing
 			// would re-publish blocks it already freed.
 			n.fenced.Inc()
-			n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
+			n.trace.instant(n.trace.nFenced, int64(q.Fence))
 			n.mu.Unlock()
 			return nil, fmt.Errorf("dist: install of aborted resize (token %d, epoch %d)", q.Fence, q.Epoch)
 		}
@@ -528,12 +528,12 @@ func (n *ArrayNode) handleInstall(payload []byte) ([]byte, error) {
 			n.mu.Unlock()
 			return nil, err
 		}
-		n.trace.ring.Begin(n.trace.nInstall)
+		n.trace.begin(n.trace.nInstall)
 		n.replaceTableLocked(q.Table[:rg.Hi])
-		n.trace.ring.End(n.trace.nInstall)
+		n.trace.end(n.trace.nInstall)
 		n.regionMilestone = uint64(k + 1)
 		n.regionFlips.Inc()
-		n.trace.ring.Instant(n.trace.nRegion, int64(k))
+		n.trace.instant(n.trace.nRegion, int64(k))
 		if k == len(steps)-1 {
 			// Commit in the same critical section as the last flip: the mutex
 			// drops before the hook below, and a successor landing in that
@@ -568,7 +568,7 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 	defer n.mu.Unlock()
 	if q.Fence < n.maxFence {
 		n.fenced.Inc()
-		n.trace.ring.Instant(n.trace.nFenced, int64(q.Fence))
+		n.trace.instant(n.trace.nFenced, int64(q.Fence))
 		return nil, nil
 	}
 	// Write-ahead, before any state (tombstone included) changes: a crash
@@ -591,7 +591,7 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 		return nil, nil // the aborted install never landed here
 	}
 	abortedTable := n.snap.Load().table
-	n.trace.ring.Begin(n.trace.nAbort)
+	n.trace.begin(n.trace.nAbort)
 	n.replaceTableLocked(q.Table)
 	if partial {
 		// The aborted install published some region steps; the rollback just
@@ -623,7 +623,7 @@ func (n *ArrayNode) handleAbort(payload []byte) ([]byte, error) {
 		}
 	}
 	n.pruneAllocsLocked(q.Fence, q.Table)
-	n.trace.ring.End(n.trace.nAbort)
+	n.trace.end(n.trace.nAbort)
 	n.aborts.Inc()
 	return nil, nil
 }
@@ -670,7 +670,7 @@ func (n *ArrayNode) handleLockAcquire(payload []byte) ([]byte, error) {
 	// only grow.
 	if n.lockHolder != 0 {
 		n.leaseExpiries.Inc()
-		n.trace.lockRing.Instant(n.trace.nLease, int64(n.lockHolder))
+		n.trace.lockInstant(n.trace.nLease, int64(n.lockHolder))
 	}
 	n.lockFence++
 	n.lockHolder = n.lockFence

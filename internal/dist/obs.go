@@ -18,8 +18,9 @@ import (
 
 // nodeTrace carries an ArrayNode's interned trace names and its ring. The
 // ring is created at configure time (the node id, which keys the track, is
-// unknown before that); a nil ring no-ops, so handlers write unconditionally
-// and the On() gate inside Ring.write decides.
+// unknown before that). Handlers write through the gated helpers below: a
+// disabled run pays one obs.On() branch per event instead of a ring-write
+// call whose no-op check lives on the far side of a method dispatch.
 type nodeTrace struct {
 	tr       *obs.Tracer
 	ring     *obs.Ring // install/abort track, serialized by ArrayNode.mu
@@ -29,6 +30,36 @@ type nodeTrace struct {
 	nFenced  obs.NameID
 	nLease   obs.NameID
 	nRegion  obs.NameID
+}
+
+// instant writes one point event on the install/abort track when
+// observability is on.
+func (nt *nodeTrace) instant(n obs.NameID, arg int64) {
+	if obs.On() {
+		nt.ring.Instant(n, arg)
+	}
+}
+
+// begin opens a span on the install/abort track when observability is on.
+func (nt *nodeTrace) begin(n obs.NameID) {
+	if obs.On() {
+		nt.ring.Begin(n)
+	}
+}
+
+// end closes a span on the install/abort track when observability is on.
+func (nt *nodeTrace) end(n obs.NameID) {
+	if obs.On() {
+		nt.ring.End(n)
+	}
+}
+
+// lockInstant writes one point event on the lease track when
+// observability is on.
+func (nt *nodeTrace) lockInstant(n obs.NameID, arg int64) {
+	if obs.On() {
+		nt.lockRing.Instant(n, arg)
+	}
 }
 
 func (nt *nodeTrace) init(tr *obs.Tracer) {
