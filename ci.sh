@@ -27,10 +27,17 @@
 #                                kills mid-resize, partitions, stale lease
 #                                holders) plus go test -run Chaos -race
 #   ./ci.sh obs        observability tier: the rcubench enabled-vs-disabled
-#                                read-path A/B, emitting BENCH_PR5.json with
-#                                the full metrics snapshot embedded; fails if
-#                                enabling observability costs the read path
-#                                more than 10%
+#                                read-path A/B (now including the watchdog's
+#                                reader annotations), emitting BENCH_PR10.json;
+#                                fails if enabling observability costs the
+#                                read path more than 10%. Then a 3-node traced
+#                                workload writes CLUSTER_TRACE_PR10.json and
+#                                gates on >= 1 cross-node flow arrow and 0
+#                                orphan spans; the chaos seed list runs with
+#                                stall watchdogs armed gating false positives
+#                                at 0; and the induced stalled-reader round
+#                                must fire exactly one correctly-attributed
+#                                warning
 #   ./ci.sh install    resize tier: the rcubench incremental-install
 #                                experiment, emitting BENCH_PR6.json; fails
 #                                if the install-phase p99 exceeds 1/5 of the
@@ -45,8 +52,10 @@
 #                                experiment, emitting BENCH_PR7.json; fails if
 #                                the batched comm path is under 2x the
 #                                unbatched baseline at 8 callers, if the
-#                                open-loop read p99 exceeds 20ms, or if
-#                                achieved QPS falls below 90% of target
+#                                open-loop read p99 exceeds 20ms, if
+#                                achieved QPS falls below 90% of target, or
+#                                if the rolling-window read SLO burn rate
+#                                exceeds 1.0 (serve_read_burn_ppm on /metrics)
 #   ./ci.sh recover    durability tier: rcutorture -chaos forced to the
 #                                recover scenario (snapshot, kill a node
 #                                mid-resize, restart it from disk, audit
@@ -144,11 +153,59 @@ bench() {
 
 obs() {
 	versions obs
-	echo '--- obs: rcubench observability overhead A/B -> BENCH_PR5.json'
+	# Read-path overhead A/B re-run at the PR 5 gate: obs.On() now also pays
+	# the EBR reader (slot, site) annotation the stall watchdog attributes
+	# culprits with, so the same -max-overhead budget gates the PR 10 read
+	# path. The artifact moves to BENCH_PR10.json; BENCH_PR5.json stays the
+	# pre-annotation baseline.
+	echo '--- obs: rcubench observability overhead A/B (reader annotations on) -> BENCH_PR10.json'
 	go run ./cmd/rcubench -experiment obs \
 		-locales 2 -tasks 4 -ops 131072 -reps 3 \
 		-capacity 65536 -block 1024 \
-		-out BENCH_PR5.json -max-overhead 10
+		-out BENCH_PR10.json -max-overhead 10
+	echo '--- obs: 3-node traced workload -> CLUSTER_TRACE_PR10.json (flow-arrow / orphan-span gate)'
+	go build -o /tmp/rcudist.ci ./cmd/rcudist
+	/tmp/rcudist.ci -spawn 3 -grow 16384 -ops 2000 -resizes 4 \
+		-trace-out CLUSTER_TRACE_PR10.json | tee /tmp/rcu_trace_run.txt
+	awk '/^wrote .*flow_arrows=/ {
+		seen = 1
+		for (i = 1; i <= NF; i++) {
+			if ($i ~ /^flow_arrows=/)  { sub(/flow_arrows=/, "", $i);  flows = $i + 0 }
+			if ($i ~ /^orphan_spans=/) { sub(/orphan_spans=/, "", $i); orphans = $i + 0 }
+		}
+	}
+	END {
+		if (!seen)      { print "ci: rcudist never reported trace stats" > "/dev/stderr"; exit 1 }
+		if (flows < 1)  { printf "ci: merged trace has %d flow arrows, want >= 1\n", flows > "/dev/stderr"; exit 1 }
+		if (orphans)    { printf "ci: merged trace has %d orphan spans, want 0\n", orphans > "/dev/stderr"; exit 1 }
+		printf "obs: trace gate ok (%d flow arrows, 0 orphan spans)\n", flows
+	}' /tmp/rcu_trace_run.txt
+	# Watchdog false-positive gate: the chaos seed list with every node's
+	# grace-period stall watchdog armed (-obs-dump arms it at 250ms). The
+	# seed-rotated scenarios never hold a reader past the threshold, so any
+	# warning is a false positive. Reproduce one seed with
+	#   go run ./cmd/rcutorture -chaos -obs-dump -seed N
+	OBS_SEEDS="1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24"
+	echo "--- obs: watchdog false-positive gate over chaos seeds: $OBS_SEEDS"
+	go build -o /tmp/rcutorture.ci ./cmd/rcutorture
+	for s in $OBS_SEEDS; do
+		/tmp/rcutorture.ci -chaos -obs-dump -seed "$s" -chaos-rounds 2 >/tmp/rcu_chaos_obs.txt 2>/dev/null || {
+			cat /tmp/rcu_chaos_obs.txt
+			echo "ci: chaos seed $s failed under armed watchdogs" >&2
+			exit 1
+		}
+		warnings=$(sed -n 's/^chaos stall warnings: //p' /tmp/rcu_chaos_obs.txt)
+		if [ "${warnings:-missing}" != 0 ]; then
+			cat /tmp/rcu_chaos_obs.txt
+			echo "ci: seed $s: watchdog fired $warnings false positive(s), want 0" >&2
+			exit 1
+		fi
+	done
+	echo 'obs: watchdog false-positive gate ok (0 warnings across all seeds)'
+	# The induced stalled-reader round is the true-positive check: exactly one
+	# warning naming the pinned (slot, site), plus a flight-recorder dump.
+	echo '--- obs: induced stalled-reader round (true-positive check)'
+	/tmp/rcutorture.ci -chaos -chaos-scenario stalled-reader -chaos-rounds 1 -seed 7 2>/dev/null
 }
 
 install() {
@@ -207,7 +264,7 @@ serve() {
 	go run ./cmd/rcubench -experiment serve \
 		-serve-nodes 3 -serve-keys 65536 -serve-qps 20000 -serve-duration 3s \
 		-serve-callers 8 -ops 4096 -reps 5 -serve-reps 3 \
-		-serve-min-speedup 2 -serve-p99-max 20ms \
+		-serve-min-speedup 2 -serve-p99-max 20ms -serve-max-burn 1 \
 		-out BENCH_PR7.json
 }
 

@@ -62,6 +62,7 @@ func main() {
 		serveReps       = flag.Int("serve-reps", 0, "serve: open-loop rep count, best read-tail rep kept (0 = same as -reps)")
 		serveMinSpeedup = flag.Float64("serve-min-speedup", 0, "serve: exit nonzero if the batched path's GET or PUT speedup over unbatched is below this (0 = no gate)")
 		serveP99Max     = flag.Duration("serve-p99-max", 0, "serve: exit nonzero if open-loop read p99 exceeds this, or achieved QPS falls below 90% of target (0 = no gate)")
+		serveMaxBurn    = flag.Float64("serve-max-burn", 0, "serve: exit nonzero if the rolling-window read SLO burn rate (threshold -serve-p99-max, 1% budget) exceeds this (0 = no gate)")
 		recoverNodes    = flag.Int("recover-nodes", 3, "recover: dist cluster size")
 		recoverBlocks   = flag.Int("recover-blocks", 12, "recover: array size in blocks")
 		recoverWriters  = flag.Int("recover-writers", 4, "recover: concurrent driver-side writers")
@@ -313,6 +314,7 @@ func main() {
 			Seed:        *seed,
 			Repetitions: *reps,
 			ServeReps:   *serveReps,
+			SLONanos:    serveP99Max.Nanoseconds(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rcubench:", err)
@@ -350,6 +352,11 @@ func main() {
 					res.PutSpeedup, *serveMinSpeedup)
 				failed = true
 			}
+		}
+		if *serveMaxBurn > 0 && res.ReadBurnRate > *serveMaxBurn {
+			fmt.Fprintf(os.Stderr, "rcubench: read SLO burn rate %.3f exceeds gate %.3f (SLO %s, budget %.1f%%)\n",
+				res.ReadBurnRate, *serveMaxBurn, time.Duration(res.BurnSLONanos), res.BurnBudget*100)
+			failed = true
 		}
 		if *serveP99Max > 0 {
 			if res.ReadP99Nanos > uint64(serveP99Max.Nanoseconds()) {

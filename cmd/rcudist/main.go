@@ -34,6 +34,7 @@ import (
 	"net/http"
 
 	"rcuarray/internal/dist"
+	"rcuarray/internal/ebr"
 	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
@@ -54,7 +55,8 @@ func main() {
 		lockTTL  = flag.Duration("lock-ttl", 0, "write-lock lease duration (0 = 10s default)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the driver's /metrics, /debug/vars and /debug/trace on this address")
-		traceOut    = flag.String("trace-out", "", "write the driver's Chrome trace-event JSON here on exit (open in Perfetto)")
+		traceOut    = flag.String("trace-out", "", "write the merged cluster Chrome trace-event JSON here on exit (open in Perfetto)")
+		stallTO     = flag.Duration("stall-threshold", 0, "arm an RCU grace-period stall watchdog on spawned nodes (0 = off)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,7 @@ func main() {
 	var (
 		cleanupMu sync.Mutex
 		cleanups  []func()
+		dumps     []obs.NodeDump // node trace dumps, collected during drain
 	)
 	onExit := func(f func()) {
 		cleanupMu.Lock()
@@ -102,7 +105,7 @@ func main() {
 				steps[i]()
 			}
 			if *traceOut != "" {
-				writeTrace(reg, *traceOut)
+				writeTrace(reg, *traceOut, dumps)
 			}
 		})
 	}
@@ -146,11 +149,25 @@ func main() {
 	if *nodesArg != "" {
 		addrs = strings.Split(*nodesArg, ",")
 	} else {
-		var stop func()
-		var err error
-		addrs, stop, err = dist.SpawnLocal(*spawn)
+		// Each spawned node builds its own registry (NewArrayNodeOpts does
+		// that when Comm.Obs is nil), so node-side handler spans and metrics
+		// exist to collect over the AM plane even in -spawn mode.
+		nodes, stop, err := dist.SpawnLocalNodesOpts(*spawn, func(i int) dist.NodeOptions {
+			return dist.NodeOptions{
+				StallThreshold: *stallTO,
+				OnStall: func(rep ebr.StallReport) {
+					fmt.Fprintf(os.Stderr,
+						"rcudist: RCU STALL on node %d: grace period %v old (parity %d, stripe %d, %d readers, slot %d via %s, pinned >= %v)\n",
+						i, time.Duration(rep.GraceAgeNanos), rep.Parity, rep.Stripe,
+						rep.Readers, rep.Slot, rep.Site, time.Duration(rep.PinAgeNanos))
+				},
+			}
+		})
 		if err != nil {
 			log.Fatalf("rcudist: spawn: %v", err)
+		}
+		for _, node := range nodes {
+			addrs = append(addrs, node.Addr())
 		}
 		onExit(stop)
 		fmt.Printf("spawned %d loopback nodes\n", *spawn)
@@ -167,6 +184,18 @@ func main() {
 		log.Fatalf("rcudist: %v", err)
 	}
 	onExit(func() { d.Close() })
+	// Cluster trace collection must beat the driver teardown: this step is
+	// registered after d.Close's, so the reverse-order drain runs it first,
+	// while the connections are still up. Collection RPCs are untraced, so
+	// the dump does not pollute the rings being dumped.
+	if *traceOut != "" {
+		onExit(func() {
+			var err error
+			if dumps, err = d.CollectTrace(0); err != nil {
+				log.Printf("rcudist: collecting node traces: %v (writing driver-local trace only)", err)
+			}
+		})
+	}
 	fmt.Printf("cluster: %d nodes, block size %d\n", d.Nodes(), d.BlockSize())
 
 	start := time.Now()
@@ -237,18 +266,24 @@ func main() {
 	fmt.Printf("final capacity: %d elements\n", d.Len())
 }
 
-func writeTrace(reg *obs.Registry, path string) {
+// writeTrace writes the merged cluster timeline: the driver's rings plus
+// every collected node dump, flow arrows linking each driver RPC span to its
+// node-side handler span. The stats line is machine-parsed by ci.sh's obs
+// tier (flow_arrows >= 1, orphan_spans == 0).
+func writeTrace(reg *obs.Registry, path string, dumps []obs.NodeDump) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Printf("rcudist: trace out: %v", err)
 		return
 	}
-	if err := reg.Tracer().WriteTrace(f); err != nil {
+	stats, err := obs.WriteClusterTrace(f, reg.Tracer().Events(), "driver", dumps)
+	if err != nil {
 		log.Printf("rcudist: writing trace: %v", err)
 	}
 	if err := f.Close(); err != nil {
 		log.Printf("rcudist: closing trace: %v", err)
 		return
 	}
-	fmt.Printf("wrote %s (load in Perfetto / chrome://tracing)\n", path)
+	fmt.Printf("wrote %s: events=%d flow_arrows=%d orphan_spans=%d (load in Perfetto)\n",
+		path, stats.Events, stats.FlowArrows, stats.OrphanSpans)
 }

@@ -36,6 +36,7 @@ import (
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
+	"rcuarray/internal/ebr"
 	"rcuarray/internal/obs"
 )
 
@@ -46,6 +47,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the node's WAL, snapshots and config; enables durability and crash recovery (empty = in-memory only)")
 	snapEvery := flag.Duration("snap-interval", 0, "take a consistent on-disk snapshot at this interval once configured (0 = only on driver request; requires -data-dir)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/trace on this address (enables observability)")
+	stallTO := flag.Duration("stall-threshold", 0, "arm an RCU grace-period stall watchdog at this threshold (0 = off; enables observability)")
 	flag.Parse()
 
 	if *snapEvery > 0 && *dataDir == "" {
@@ -53,15 +55,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The watchdog samples grace-period state the EBR domain only publishes
+	// under obs.On(), so arming it flips the global enable before the node
+	// (and its domain) is built.
+	if *metricsAddr != "" || *stallTO > 0 {
+		obs.SetEnabled(true)
+	}
+
+	var node *dist.ArrayNode
 	node, err := dist.NewArrayNodeOpts(*listen, dist.NodeOptions{
 		Comm: comm.NodeConfig{
 			FrameTimeout: *frameTO,
 			IdleTimeout:  *idleTO,
 		},
-		DataDir: *dataDir,
+		DataDir:        *dataDir,
+		StallThreshold: *stallTO,
+		OnStall: func(rep ebr.StallReport) {
+			// Flight-recorder dump: the warning line names the culprit, the
+			// JSON snapshot freezes every counter/gauge/histogram for the
+			// postmortem.
+			fmt.Fprintf(os.Stderr,
+				"rcunode: RCU STALL: grace period %v old (parity %d, stripe %d, %d readers, slot %d via %s, pinned >= %v)\n",
+				time.Duration(rep.GraceAgeNanos), rep.Parity, rep.Stripe,
+				rep.Readers, rep.Slot, rep.Site, time.Duration(rep.PinAgeNanos))
+			fmt.Fprintln(os.Stderr, "rcunode: flight recorder dump:")
+			if err := node.Obs().WriteJSON(os.Stderr); err != nil {
+				log.Printf("rcunode: stall dump: %v", err)
+			}
+			fmt.Fprintln(os.Stderr)
+		},
 	})
 	if err != nil {
 		log.Fatalf("rcunode: %v", err)
+	}
+	if *stallTO > 0 {
+		fmt.Printf("rcunode stall watchdog armed at %v\n", *stallTO)
 	}
 	fmt.Printf("rcunode listening on %s\n", node.Addr())
 	if *dataDir != "" {

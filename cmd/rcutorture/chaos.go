@@ -25,10 +25,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/dist"
+	"rcuarray/internal/ebr"
 	"rcuarray/internal/obs"
 	"rcuarray/internal/workload"
 )
@@ -45,10 +47,15 @@ const (
 	chaosRegionKill
 	chaosRecover
 	numChaosScenarios
+	// chaosStall sits past numChaosScenarios: it is forced-only (via
+	// -chaos-scenario stalled-reader), never drawn by seed rotation, because
+	// it *induces* a stall — the rotation rounds are the watchdog's
+	// false-positive gate and must stay stall-free.
+	chaosStall
 )
 
 func (s chaosScenario) String() string {
-	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease", "region-kill", "recover"}[s]
+	return [...]string{"fault-storm", "node-kill", "partition", "stale-lease", "region-kill", "recover", "", "stalled-reader"}[s]
 }
 
 // parseChaosScenario maps a -chaos-scenario flag value to its enum, or -1 for
@@ -57,8 +64,8 @@ func parseChaosScenario(name string) (chaosScenario, error) {
 	if name == "" {
 		return -1, nil
 	}
-	for s := chaosScenario(0); s < numChaosScenarios; s++ {
-		if s.String() == name {
+	for s := chaosScenario(0); s <= chaosStall; s++ {
+		if s != numChaosScenarios && s.String() == name {
 			return s, nil
 		}
 	}
@@ -67,6 +74,7 @@ func parseChaosScenario(name string) (chaosScenario, error) {
 
 func chaosTorture(seed uint64, rounds int, obsDump bool, forced chaosScenario) bool {
 	ok := true
+	var stallWarnings atomic.Uint64
 	for round := 0; round < rounds; round++ {
 		rseed := taskSeed(seed, roleChaos, uint64(round))
 		scenario := chaosScenario(rseed % uint64(numChaosScenarios))
@@ -81,15 +89,31 @@ func chaosTorture(seed uint64, rounds int, obsDump bool, forced chaosScenario) b
 		if obsDump {
 			reg = obs.NewRegistry()
 		}
-		if err := chaosRound(scenario, rseed, reg); err != nil {
+		if err := chaosRound(scenario, rseed, reg, &stallWarnings); err != nil {
 			fmt.Printf("  FAIL: %v\n", err)
 			ok = false
 		}
 	}
+	if obsDump || forced == chaosStall {
+		// Machine-parsed by ci.sh's obs tier: over seed-rotated rounds every
+		// warning is a watchdog false positive, so the gate wants 0 here.
+		fmt.Printf("chaos stall warnings: %d\n", stallWarnings.Load())
+	}
 	return ok
 }
 
-func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr error) {
+// stallRecord captures one watchdog warning with the node it fired on.
+type stallRecord struct {
+	node int
+	rep  ebr.StallReport
+}
+
+func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry, stallTotal *atomic.Uint64) (retErr error) {
+	if scenario == chaosStall {
+		// The watchdog samples grace-period state the domain only publishes
+		// under obs.On().
+		obs.SetEnabled(true)
+	}
 	opts := dist.Options{
 		CallTimeout:    300 * time.Millisecond,
 		Retries:        4,
@@ -122,8 +146,23 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		opts.RegionBlocks = 2
 	case chaosRecover:
 		opts.RegionBlocks = 2
+	case chaosStall:
+		// The pinned reader blocks the install's Synchronize for ~600ms; the
+		// RPC must wait that out rather than time out and abort.
+		opts.CallTimeout = 3 * time.Second
 	}
 
+	// Every round arms each node's grace-period stall watchdog when
+	// observability is recording: over seed-rotated scenarios any warning is a
+	// false positive (nothing holds a reader past the threshold), so the
+	// recorded warnings feed ci.sh's false-positive gate. The stalled-reader
+	// scenario is the one place a warning is *demanded*.
+	stallTO := time.Duration(0)
+	if reg != nil || scenario == chaosStall {
+		stallTO = 250 * time.Millisecond
+	}
+	var stallMu sync.Mutex
+	var stalls []stallRecord
 	// The recover scenario gives every node a data dir so resize milestones
 	// are WAL'd and the victim can snapshot, crash, and rejoin.
 	var nodes []*dist.ArrayNode
@@ -139,18 +178,27 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		for i := range dirs {
 			dirs[i] = filepath.Join(base, fmt.Sprintf("n%d", i))
 		}
-		nodes, stop, err = dist.SpawnLocalNodesOpts(3, func(i int) dist.NodeOptions {
-			return dist.NodeOptions{
-				Comm:    comm.NodeConfig{FrameTimeout: 2 * time.Second},
-				DataDir: dirs[i],
-			}
-		})
-		if err != nil {
-			return fmt.Errorf("spawn: %w", err)
-		}
-	} else {
+	}
+	{
 		var err error
-		nodes, stop, err = dist.SpawnLocalNodes(3, comm.NodeConfig{FrameTimeout: 2 * time.Second})
+		nodes, stop, err = dist.SpawnLocalNodesOpts(3, func(i int) dist.NodeOptions {
+			o := dist.NodeOptions{
+				Comm:           comm.NodeConfig{FrameTimeout: 2 * time.Second},
+				StallThreshold: stallTO,
+			}
+			if dirs != nil {
+				o.DataDir = dirs[i]
+			}
+			if stallTO > 0 {
+				o.OnStall = func(rep ebr.StallReport) {
+					stallTotal.Add(1)
+					stallMu.Lock()
+					stalls = append(stalls, stallRecord{node: i, rep: rep})
+					stallMu.Unlock()
+				}
+			}
+			return o
+		})
 		if err != nil {
 			return fmt.Errorf("spawn: %w", err)
 		}
@@ -408,6 +456,43 @@ func chaosRound(scenario chaosScenario, seed uint64, reg *obs.Registry) (retErr 
 		// The healed cluster keeps serving and resizing.
 		if err := mixedOps(40); err != nil {
 			return fmt.Errorf("after rejoin: %w", err)
+		}
+	case chaosStall:
+		// Induced stalled reader: pin a reader inside a block owner's EBR
+		// domain, then grow. The install's Synchronize on the victim cannot
+		// finish until the release, so the armed watchdog must fire exactly
+		// once, naming the victim's (slot, entry site), and the grow must
+		// complete normally once the reader lets go.
+		const stallSlot = 3
+		victim := 1 + int(taskSeed(seed, 5)%2)
+		release := nodes[victim].HoldReader(stallSlot)
+		relTimer := time.AfterFunc(600*time.Millisecond, release)
+		if err := d.Grow(chaosBlock); err != nil {
+			relTimer.Stop()
+			release()
+			return fmt.Errorf("grow under stalled reader: %w", err)
+		}
+		stallMu.Lock()
+		got := append([]stallRecord(nil), stalls...)
+		stallMu.Unlock()
+		if len(got) != 1 {
+			return fmt.Errorf("stalled reader drew %d warnings, want exactly 1 (%+v)", len(got), got)
+		}
+		r := got[0]
+		if r.node != victim {
+			return fmt.Errorf("stall warning blamed node %d, want %d", r.node, victim)
+		}
+		if r.rep.Slot != stallSlot || r.rep.Site != "enter" {
+			return fmt.Errorf("stall warning named slot %d via %s, want slot %d via enter", r.rep.Slot, r.rep.Site, stallSlot)
+		}
+		fmt.Printf("  stall warning named node %d slot %d via %s after %v (pinned >= %v)\n",
+			r.node, r.rep.Slot, r.rep.Site,
+			time.Duration(r.rep.GraceAgeNanos), time.Duration(r.rep.PinAgeNanos))
+		// The flight recorder: freeze the blamed node's registry — its grace
+		// histogram, install spans, and the rcu.stall trace instant.
+		dumpRegistry(os.Stderr, fmt.Sprintf("node %d flight recorder (stalled reader)", victim), nodes[victim].Obs())
+		if err := mixedOps(40); err != nil {
+			return fmt.Errorf("after stall release: %w", err)
 		}
 	}
 

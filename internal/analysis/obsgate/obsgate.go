@@ -1,6 +1,7 @@
 // Package obsgate enforces the PR 5 read-path cost rule: wall-clock
 // observation (time.Now/time.Since flowing into an obs.Histogram) and
-// trace-ring writes (obs.Ring Begin/End/Instant) must be dominated by an
+// trace-ring writes (obs.Ring Begin/End/Instant/Complete) must be dominated
+// by an
 // observability gate on every path, so a run with observability disabled
 // pays one branch, not a timestamp syscall or a ring-write call. Counters
 // deliberately stay unconditional — NodeStats and the chaos cross-checks
@@ -330,7 +331,7 @@ func reportUngated(p *analysis.Pass, info *types.Info, n ast.Node, tainted map[t
 			return true
 		}
 		switch sel.Sel.Name {
-		case "Begin", "End", "Instant":
+		case "Begin", "End", "Instant", "Complete":
 			if analysis.NamedType(recv, "obs", "Ring") {
 				p.Reportf(call.Pos(), "trace-ring %s not dominated by an obs.On() gate (a disabled run must pay one branch, not a ring write)", sel.Sel.Name)
 			}

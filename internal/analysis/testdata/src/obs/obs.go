@@ -49,3 +49,9 @@ type Tracer struct{}
 
 // Ring returns a stub ring.
 func (t *Tracer) Ring(sub int) *Ring { return nil }
+
+// Complete is a stub X-phase duration event carrying an explicit span id.
+func (r *Ring) Complete(n NameID, start, dur int64, id uint64) {}
+
+// Now is a stub monotonic trace-clock read.
+func (t *Tracer) Now() int64 { return 0 }

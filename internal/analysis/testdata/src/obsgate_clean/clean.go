@@ -110,3 +110,29 @@ func counters(c *obs.Counter, g *obs.Gauge, h *obs.Histogram, nitems int) {
 	g.Set(int64(nitems))
 	h.Observe(int64(nitems)) // a count, not a wall-clock sample
 }
+
+// completeGated is the client-side rpc-span shape: one obs.On() branch
+// guards the clock reads and the Complete write.
+func completeGated(r *obs.Ring, t *obs.Tracer, n obs.NameID, spanID uint64) {
+	if obs.On() {
+		t0 := t.Now()
+		r.Complete(n, t0, t.Now()-t0, spanID)
+	}
+}
+
+// completeNilRing is the node dataSpan shape: the nil-ring check is the
+// gate (a nil ring is only handed out when observability is off).
+func completeNilRing(r *obs.Ring, t *obs.Tracer, n obs.NameID, spanID uint64) {
+	if r != nil {
+		r.Complete(n, 0, t.Now(), spanID)
+	}
+}
+
+// completeShortCircuit is the AM-dispatch shape: obs.On() as a &&
+// operand gates the traced-handler arm.
+func completeShortCircuit(r *obs.Ring, t *obs.Tracer, n obs.NameID, spanID uint64) {
+	if spanID != 0 && obs.On() {
+		t0 := t.Now()
+		r.Complete(n, t0, t.Now()-t0, spanID)
+	}
+}

@@ -67,3 +67,18 @@ func notConditioned(h *obs.Histogram, deep bool) {
 		g.h.Observe(time.Since(g.t0).Nanoseconds()) // want "wall-clock observation not dominated by an obs.On"
 	}
 }
+
+// completeUngated records an RPC span on every call: with tracing off the
+// run pays the ring write and two clock reads instead of one branch.
+func completeUngated(r *obs.Ring, t *obs.Tracer, n obs.NameID, spanID uint64) {
+	t0 := t.Now()
+	r.Complete(n, t0, t.Now()-t0, spanID) // want "trace-ring Complete not dominated by an obs.On"
+}
+
+// completeHalfGate gates the traced-frame check but not observability: the
+// span id alone is not a gate.
+func completeHalfGate(r *obs.Ring, t *obs.Tracer, n obs.NameID, spanID uint64) {
+	if spanID != 0 {
+		r.Complete(n, t.Now(), 0, spanID) // want "trace-ring Complete not dominated by an obs.On"
+	}
+}

@@ -46,6 +46,10 @@ type ClientConfig struct {
 	// pay one branch when observability is globally off.
 	Obs  *obs.Registry
 	Peer string
+	// TraceTrack is the tid of this client's RPC-span ring (pid
+	// ClientTracePid) when Obs is set; the dist driver uses the node index
+	// so each peer gets its own track in the merged cluster trace.
+	TraceTrack int
 }
 
 // Client is one endpoint's view of a remote Node. Requests may be issued
@@ -130,7 +134,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		readerDone: make(chan struct{}),
 	}
 	if cfg.Obs != nil {
-		c.obs = newClientObs(cfg.Obs, cfg.Peer)
+		c.obs = newClientObs(cfg.Obs, cfg.Peer, cfg.TraceTrack)
 	}
 	if !cfg.Unbatched {
 		var frames, bytes *obs.Histogram
@@ -242,6 +246,7 @@ type Pending struct {
 	deadline time.Time // zero = wait forever
 	typ      byte
 	started  time.Time // zero when the call is unobserved
+	spanID   uint64    // trace span carried by the request (0 = untraced)
 }
 
 // start registers a request, encodes its frame, and hands it to the send
@@ -251,7 +256,7 @@ type Pending struct {
 func (c *Client) start(typ byte, s frameSpec, timeout time.Duration) *Pending {
 	seq := c.nextSeq.Add(1)
 	ch := make(chan result, 1)
-	p := &Pending{c: c, seq: seq, ch: ch, typ: typ}
+	p := &Pending{c: c, seq: seq, ch: ch, typ: typ, spanID: s.tc.SpanID}
 	if timeout > 0 {
 		p.deadline = time.Now().Add(timeout)
 	}
@@ -345,7 +350,7 @@ func (p *Pending) wait() ([]byte, error) {
 func (p *Pending) Wait() ([]byte, error) {
 	resp, err := p.wait()
 	if !p.started.IsZero() {
-		p.c.obs.record(p.typ, p.started, err)
+		p.c.obs.record(p.typ, p.started, err, p.spanID)
 	}
 	return resp, err
 }
@@ -359,7 +364,7 @@ func (c *Client) call(typ byte, s frameSpec, timeout time.Duration) ([]byte, err
 	}
 	start := time.Now()
 	resp, err := c.callRaw(typ, s, timeout)
-	c.obs.record(typ, start, err)
+	c.obs.record(typ, start, err, s.tc.SpanID)
 	return resp, err
 }
 
@@ -407,4 +412,42 @@ func (c *Client) StartPut(segment uint64, offset int, data []byte) *Pending {
 // StartAM issues an active message without waiting.
 func (c *Client) StartAM(handler uint16, payload []byte) *Pending {
 	return c.start(msgAM, frameSpec{handler: handler, data: payload}, c.cfg.CallTimeout)
+}
+
+// Ctx variants carry a trace context on the wire (an extra 16-byte header
+// when tc is nonzero; byte-identical frames when it is zero, so callers can
+// pass a zero context unconditionally). The span id names the CLIENT side
+// of the RPC: the client records an 'X' span under it at completion, the
+// node records its handler span under the same id, and the merged cluster
+// trace links the two with a flow arrow.
+
+// GetCtx is Get carrying a trace context.
+func (c *Client) GetCtx(segment uint64, offset, length int, tc TraceCtx) ([]byte, error) {
+	return c.call(msgGet, frameSpec{seg: segment, off: uint64(offset), length: uint32(length), tc: tc}, c.cfg.CallTimeout)
+}
+
+// PutCtx is Put carrying a trace context.
+func (c *Client) PutCtx(segment uint64, offset int, data []byte, tc TraceCtx) error {
+	_, err := c.call(msgPut, frameSpec{seg: segment, off: uint64(offset), data: data, tc: tc}, c.cfg.CallTimeout)
+	return err
+}
+
+// CallAMCtx is CallAM carrying a trace context.
+func (c *Client) CallAMCtx(handler uint16, payload []byte, timeout time.Duration, tc TraceCtx) ([]byte, error) {
+	return c.call(msgAM, frameSpec{handler: handler, data: payload, tc: tc}, timeout)
+}
+
+// StartGetCtx is StartGet carrying a trace context.
+func (c *Client) StartGetCtx(segment uint64, offset, length int, tc TraceCtx) *Pending {
+	return c.start(msgGet, frameSpec{seg: segment, off: uint64(offset), length: uint32(length), tc: tc}, c.cfg.CallTimeout)
+}
+
+// StartPutCtx is StartPut carrying a trace context.
+func (c *Client) StartPutCtx(segment uint64, offset int, data []byte, tc TraceCtx) *Pending {
+	return c.start(msgPut, frameSpec{seg: segment, off: uint64(offset), data: data, tc: tc}, c.cfg.CallTimeout)
+}
+
+// StartAMCtx is StartAM carrying a trace context.
+func (c *Client) StartAMCtx(handler uint16, payload []byte, tc TraceCtx) *Pending {
+	return c.start(msgAM, frameSpec{handler: handler, data: payload, tc: tc}, c.cfg.CallTimeout)
 }

@@ -19,6 +19,18 @@ import (
 // which is delivered to the caller as an error frame).
 type AMHandler func(payload []byte) ([]byte, error)
 
+// AMHandlerCtx is an AMHandler that also receives the request's trace
+// context (zero for untraced peers), so node-side work can join the
+// caller's trace.
+type AMHandlerCtx func(payload []byte, tc TraceCtx) ([]byte, error)
+
+// amEntry is one registered handler plus its span name (interned when the
+// node has a registry; unused otherwise).
+type amEntry struct {
+	fn   AMHandlerCtx
+	name obs.NameID
+}
+
 // NodeConfig tunes a node's connection handling.
 type NodeConfig struct {
 	// FrameTimeout bounds how long a started frame may take to finish
@@ -73,7 +85,11 @@ type Node struct {
 	nextSeg  atomic.Uint64
 
 	handlerMu sync.RWMutex
-	handlers  map[uint16]AMHandler
+	handlers  map[uint16]amEntry
+
+	// connSeq numbers served connections; each gets its own data-plane
+	// span ring (tid) so the serve loop stays the single writer.
+	connSeq atomic.Uint64
 
 	// Write fencing: gens maps a client identity (from its hello frame) to
 	// the highest connection generation seen. Puts from a lower generation —
@@ -118,7 +134,7 @@ func NewNodeConfig(addr string, cfg NodeConfig) (*Node, error) {
 		ln:       ln,
 		cfg:      cfg,
 		segments: make(map[uint64][]byte),
-		handlers: make(map[uint16]AMHandler),
+		handlers: make(map[uint16]amEntry),
 		gens:     make(map[uint64]uint64),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -294,8 +310,21 @@ func (n *Node) LocalWrite(id uint64, off int, data []byte) error {
 
 // Handle registers fn for active messages with the given handler id.
 func (n *Node) Handle(id uint16, fn AMHandler) {
+	n.HandleCtx(id, fmt.Sprintf("handle.am_%d", id),
+		func(payload []byte, _ TraceCtx) ([]byte, error) { return fn(payload) })
+}
+
+// HandleCtx registers a trace-aware handler under a human-readable span
+// name: when a traced request invokes it, the node records a handler span
+// named name carrying the request's span id, which the merged cluster trace
+// links back to the client's RPC span.
+func (n *Node) HandleCtx(id uint16, name string, fn AMHandlerCtx) {
+	e := amEntry{fn: fn}
+	if n.cfg.Obs != nil {
+		e.name = n.cfg.Obs.Tracer().Name(name)
+	}
 	n.handlerMu.Lock()
-	n.handlers[id] = fn
+	n.handlers[id] = e
 	n.handlerMu.Unlock()
 }
 
@@ -391,13 +420,19 @@ func (n *Node) serveConn(conn net.Conn) {
 	// exit, so deferred replies and their pooled buffers never leak.
 	br := bufio.NewReaderSize(conn, 64<<10)
 	defer wq.kick()
-	var ident, gen uint64 // write-fencing identity, set by the hello frame
+	var ring *obs.Ring // data-plane span ring, created only if ever traced
+	var ident, gen uint64
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 	for {
 		typ, seq, payload, body, err := n.readFrameDeadlinePooled(conn, br)
 		if err != nil {
 			return // peer hung up, stalled past a deadline, or broke protocol
+		}
+		var tc TraceCtx
+		if typ, tc, payload, err = splitTrace(typ, payload); err != nil {
+			putBuf(body)
+			return // truncated trace header: broken protocol
 		}
 		n.obs.noteReq(typ)
 		switch typ {
@@ -409,16 +444,27 @@ func (n *Node) serveConn(conn net.Conn) {
 			putBuf(body)
 			_ = wq.enqueueDeferred(makeEntry(seq, nil, herr, nil))
 		case msgGet, msgPut:
+			var t0 int64
+			traced := tc.SpanID != 0 && n.obs != nil && obs.On()
+			if traced {
+				if ring == nil {
+					ring = n.obs.connRing(int(n.connSeq.Add(1)))
+				}
+				t0 = n.obs.tr.Now()
+			}
 			resp, herr := n.dispatchData(typ, payload, ident, gen, true)
+			if traced {
+				n.obs.dataSpan(ring, typ, t0, tc.SpanID)
+			}
 			putBuf(body)
 			_ = wq.enqueueDeferred(makeEntry(seq, resp, herr, nil))
 		default:
 			reqs.Add(1)
-			go func(typ byte, seq uint64, payload []byte, body *[]byte) {
+			go func(typ byte, seq uint64, payload []byte, body *[]byte, tc TraceCtx) {
 				defer reqs.Done()
-				resp, herr := n.dispatch(typ, payload)
+				resp, herr := n.dispatch(typ, payload, tc)
 				answer(seq, resp, herr, func() { putBuf(body) })
-			}(typ, seq, payload, body)
+			}(typ, seq, payload, body, tc)
 		}
 		if br.Buffered() < 4 {
 			// Nothing more is ready in memory (4 bytes is the length prefix —
@@ -449,13 +495,18 @@ func (n *Node) serveConnUnbatched(conn net.Conn) {
 		n.served.Add(1)
 		_ = reply(msgOK, seq, resp)
 	}
-	var ident, gen uint64 // write-fencing identity, set by the hello frame
+	var ring *obs.Ring // data-plane span ring, created only if ever traced
+	var ident, gen uint64
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 	for {
 		typ, seq, payload, err := n.readFrameDeadline(conn)
 		if err != nil {
 			return // peer hung up, stalled past a deadline, or broke protocol
+		}
+		var tc TraceCtx
+		if typ, tc, payload, err = splitTrace(typ, payload); err != nil {
+			return // truncated trace header: broken protocol
 		}
 		n.obs.noteReq(typ)
 		switch typ {
@@ -466,15 +517,26 @@ func (n *Node) serveConnUnbatched(conn net.Conn) {
 			}
 			answer(seq, nil, herr)
 		case msgGet, msgPut:
+			var t0 int64
+			traced := tc.SpanID != 0 && n.obs != nil && obs.On()
+			if traced {
+				if ring == nil {
+					ring = n.obs.connRing(int(n.connSeq.Add(1)))
+				}
+				t0 = n.obs.tr.Now()
+			}
 			resp, herr := n.dispatchData(typ, payload, ident, gen, false)
+			if traced {
+				n.obs.dataSpan(ring, typ, t0, tc.SpanID)
+			}
 			answer(seq, resp, herr)
 		default:
 			reqs.Add(1)
-			go func(typ byte, seq uint64, payload []byte) {
+			go func(typ byte, seq uint64, payload []byte, tc TraceCtx) {
 				defer reqs.Done()
-				resp, herr := n.dispatch(typ, payload)
+				resp, herr := n.dispatch(typ, payload, tc)
 				answer(seq, resp, herr)
-			}(typ, seq, payload)
+			}(typ, seq, payload, tc)
 		}
 	}
 }
@@ -623,8 +685,12 @@ func (n *Node) readFramePrefix(conn net.Conn, r io.Reader) (lenBuf [4]byte, err 
 }
 
 // dispatch serves the message types that run concurrently (active messages);
-// GET/PUT/hello are handled inline by serveConn.
-func (n *Node) dispatch(typ byte, payload []byte) ([]byte, error) {
+// GET/PUT/hello are handled inline by serveConn. A traced AM records a
+// handler span on the node's shared AM ring (concurrent handler goroutines
+// write Complete events, which the ring tolerates), so every traced driver
+// RPC gets a node-side counterpart regardless of how its handler was
+// registered.
+func (n *Node) dispatch(typ byte, payload []byte, tc TraceCtx) ([]byte, error) {
 	switch typ {
 	case msgAM:
 		handler, data, err := decodeAM(payload)
@@ -632,12 +698,18 @@ func (n *Node) dispatch(typ byte, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		n.handlerMu.RLock()
-		fn, ok := n.handlers[handler]
+		e, ok := n.handlers[handler]
 		n.handlerMu.RUnlock()
 		if !ok {
 			return nil, fmt.Errorf("comm: no handler %d", handler)
 		}
-		return fn(data)
+		if tc.SpanID != 0 && n.obs != nil && obs.On() {
+			t0 := n.obs.tr.Now()
+			resp, err := e.fn(data, tc)
+			n.obs.amRing.Complete(e.name, t0, n.obs.tr.Now()-t0, tc.SpanID)
+			return resp, err
+		}
+		return e.fn(data, tc)
 	default:
 		return nil, errors.New("comm: unknown message type")
 	}

@@ -30,6 +30,15 @@ func opName(typ byte) string {
 
 var reqTypes = []byte{msgGet, msgPut, msgAM, msgHello}
 
+// Trace track namespaces for the comm layer. Client RPC spans ride one ring
+// per client, keyed by ClientConfig.TraceTrack; node-side data-plane handler
+// spans ride one ring per served connection. Both sit far above locale/node
+// pids, and cluster merging re-homes every pid anyway (obs.WriteClusterTrace).
+const (
+	ClientTracePid = 1<<15 + 0 // tid = ClientConfig.TraceTrack
+	NodeTracePid   = 1<<15 + 1 // tid 0 = AM handlers, tid >= 1 = per-conn data plane
+)
+
 // clientObs carries a client's pre-resolved per-(op,peer) handles. Built at
 // dial time; nil when the client was dialed without a registry.
 type clientObs struct {
@@ -41,28 +50,44 @@ type clientObs struct {
 	// concurrent; rising P99 shows the combining flusher absorbing bursts.
 	flushFrames *obs.Histogram
 	flushBytes  *obs.Histogram
+	// RPC spans: traced calls record one complete ('X') event carrying
+	// their span id, which the merged cluster trace links to the node-side
+	// handler span. Complete events tolerate the concurrent writers that
+	// pipelined Wait callers are.
+	tr       *obs.Tracer
+	ring     *obs.Ring
+	rpcNames [256]obs.NameID
 }
 
-func newClientObs(r *obs.Registry, peer string) *clientObs {
+func newClientObs(r *obs.Registry, peer string, track int) *clientObs {
+	tr := r.Tracer()
 	co := &clientObs{
 		timeouts:    r.Counter(fmt.Sprintf("comm_rpc_timeouts_total{peer=%q}", peer)),
 		errors:      r.Counter(fmt.Sprintf("comm_rpc_errors_total{peer=%q}", peer)),
 		flushFrames: r.Histogram(fmt.Sprintf("comm_flush_frames{side=%q,peer=%q}", "client", peer)),
 		flushBytes:  r.Histogram(fmt.Sprintf("comm_flush_bytes{side=%q,peer=%q}", "client", peer)),
+		tr:          tr,
+		ring:        tr.Ring(ClientTracePid, track),
 	}
 	for _, typ := range reqTypes {
 		co.lat[typ] = r.Histogram(fmt.Sprintf("comm_rpc_ns{op=%q,peer=%q}", opName(typ), peer))
+		co.rpcNames[typ] = tr.Name("rpc." + opName(typ))
 	}
 	return co
 }
 
 // record feeds one completed call into the per-(op,peer) histogram and the
-// timeout/error counters. The latency sample re-checks the global switch —
+// timeout/error counters, and — for a traced call — its RPC span into the
+// client's trace ring. The latency sample re-checks the global switch —
 // callers only time calls while observability is on, but the switch may
 // have flipped mid-call, and the outcome counters must count either way.
-func (co *clientObs) record(typ byte, start time.Time, err error) {
+func (co *clientObs) record(typ byte, start time.Time, err error, spanID uint64) {
 	if obs.On() {
-		co.lat[typ].Observe(time.Since(start).Nanoseconds())
+		dur := time.Since(start).Nanoseconds()
+		co.lat[typ].Observe(dur)
+		if spanID != 0 {
+			co.ring.Complete(co.rpcNames[typ], co.tr.Now()-dur, dur, spanID)
+		}
 	}
 	switch {
 	case err == nil:
@@ -81,18 +106,46 @@ type nodeObs struct {
 	// Response-side coalescing views, shared across this node's connections.
 	flushFrames *obs.Histogram
 	flushBytes  *obs.Histogram
+	// Handler spans for traced requests: data-plane (GET/PUT) spans go to a
+	// per-connection ring (single writer: the serve loop), AM spans to a
+	// shared ring written by concurrent handler goroutines (Complete events
+	// only, which the ring tolerates).
+	tr          *obs.Tracer
+	amRing      *obs.Ring
+	handleNames [256]obs.NameID
 }
 
 func newNodeObs(r *obs.Registry) *nodeObs {
+	tr := r.Tracer()
 	no := &nodeObs{
 		fenced:      r.Counter("comm_fenced_puts_total"),
 		flushFrames: r.Histogram(fmt.Sprintf("comm_flush_frames{side=%q}", "node")),
 		flushBytes:  r.Histogram(fmt.Sprintf("comm_flush_bytes{side=%q}", "node")),
+		tr:          tr,
+		amRing:      tr.Ring(NodeTracePid, 0),
 	}
 	for _, typ := range reqTypes {
 		no.reqs[typ] = r.Counter(fmt.Sprintf("comm_served_total{op=%q}", opName(typ)))
+		no.handleNames[typ] = tr.Name("handle." + opName(typ))
 	}
 	return no
+}
+
+// connRing returns the data-plane span ring for one served connection.
+func (no *nodeObs) connRing(connID int) *obs.Ring {
+	if no == nil {
+		return nil
+	}
+	return no.tr.Ring(NodeTracePid, connID)
+}
+
+// dataSpan records one traced GET/PUT handler span. t0 is the handler start
+// on the node's trace clock; call sites capture it only for traced frames
+// while observability is on, so untraced traffic never takes a timestamp.
+func (no *nodeObs) dataSpan(ring *obs.Ring, typ byte, t0 int64, spanID uint64) {
+	if ring != nil {
+		ring.Complete(no.handleNames[typ], t0, no.tr.Now()-t0, spanID)
+	}
 }
 
 // noteReq counts one inbound request frame. Unknown types fall through to a

@@ -23,6 +23,31 @@ const (
 	msgError byte = 0x81 // payload: UTF-8 error text
 )
 
+// traceFlag marks a request frame that carries a trace context: when set on
+// the type byte, a [8B traceID][8B parentSpanID] pair follows the sequence
+// number, before the normal payload. The flag is optional end to end —
+// untraced frames are byte-identical to the pre-tracing wire format, an old
+// node reading a traced frame fails only that frame's decode (the length
+// prefix still frames it correctly), and responses never carry the flag
+// (they are matched to their request by sequence number). Response types
+// (0x80+) keep the high bit, so the flag bit can never collide with them.
+const traceFlag byte = 0x40
+
+// traceHdrLen is the size of the optional trace context on the wire.
+const traceHdrLen = 16
+
+// TraceCtx is the causal context a traced request carries: the trace it
+// belongs to and the client-side span that issued it. The zero value means
+// untraced. IDs come from obs.SpanSource (seeded, never wall clock), so a
+// replayed run produces an identical trace topology.
+type TraceCtx struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Traced reports whether the context should ride the wire.
+func (tc TraceCtx) Traced() bool { return tc.TraceID != 0 || tc.SpanID != 0 }
+
 // maxFrame bounds a frame so a corrupt or malicious peer cannot trigger an
 // unbounded allocation.
 const maxFrame = 16 << 20
@@ -60,29 +85,65 @@ type frameSpec struct {
 	length   uint32
 	handler  uint16
 	data     []byte
+	tc       TraceCtx // zero = untraced (wire bytes unchanged)
+}
+
+// requestHeader is frameHeader plus the optional trace context: a traced
+// request sets the flag bit and carries (traceID, parentSpanID) between the
+// sequence number and the payload. Untraced requests produce bytes
+// identical to frameHeader's, keeping the wire format backward compatible.
+func requestHeader(buf []byte, typ byte, seq uint64, payloadLen int, tc TraceCtx) []byte {
+	if !tc.Traced() {
+		return frameHeader(buf, typ, seq, payloadLen)
+	}
+	buf = append(buf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, uint32(headerLen+traceHdrLen+payloadLen))
+	buf = append(buf, typ|traceFlag)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint64(buf, tc.TraceID)
+	return binary.BigEndian.AppendUint64(buf, tc.SpanID)
+}
+
+// splitTrace strips the optional trace context off a just-read request:
+// given the raw type byte and the bytes after the sequence number, it
+// returns the bare type, the context (zero for untraced peers), and the
+// true payload. The node applies it to every inbound frame, so traced and
+// untraced clients interoperate on one connection.
+func splitTrace(typ byte, payload []byte) (byte, TraceCtx, []byte, error) {
+	if typ&traceFlag == 0 || typ&0x80 != 0 {
+		return typ, TraceCtx{}, payload, nil
+	}
+	if len(payload) < traceHdrLen {
+		return 0, TraceCtx{}, nil, fmt.Errorf("comm: traced frame with %d payload bytes, want >= %d", len(payload), traceHdrLen)
+	}
+	tc := TraceCtx{
+		TraceID: binary.BigEndian.Uint64(payload),
+		SpanID:  binary.BigEndian.Uint64(payload[8:]),
+	}
+	return typ &^ traceFlag, tc, payload[traceHdrLen:], nil
 }
 
 // appendRequestFrame encodes a complete request frame (prefix, header,
-// payload) into buf. The wire bytes are identical to
-// frame(typ, seq, encodeXxx(...)).
+// optional trace context, payload) into buf. For an untraced spec the wire
+// bytes are identical to frame(typ, seq, encodeXxx(...)).
 func appendRequestFrame(buf []byte, typ byte, seq uint64, s frameSpec) []byte {
 	switch typ {
 	case msgGet:
-		buf = frameHeader(buf, typ, seq, 20)
+		buf = requestHeader(buf, typ, seq, 20, s.tc)
 		buf = binary.BigEndian.AppendUint64(buf, s.seg)
 		buf = binary.BigEndian.AppendUint64(buf, s.off)
 		return binary.BigEndian.AppendUint32(buf, s.length)
 	case msgPut:
-		buf = frameHeader(buf, typ, seq, 16+len(s.data))
+		buf = requestHeader(buf, typ, seq, 16+len(s.data), s.tc)
 		buf = binary.BigEndian.AppendUint64(buf, s.seg)
 		buf = binary.BigEndian.AppendUint64(buf, s.off)
 		return append(buf, s.data...)
 	case msgAM:
-		buf = frameHeader(buf, typ, seq, 2+len(s.data))
+		buf = requestHeader(buf, typ, seq, 2+len(s.data), s.tc)
 		buf = binary.BigEndian.AppendUint16(buf, s.handler)
 		return append(buf, s.data...)
 	default:
-		buf = frameHeader(buf, typ, seq, len(s.data))
+		buf = requestHeader(buf, typ, seq, len(s.data), s.tc)
 		return append(buf, s.data...)
 	}
 }

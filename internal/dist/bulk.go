@@ -55,8 +55,12 @@ func (d *Driver) ReadMany(idxs []int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One root context per batch; each element op gets a child span keyed by
+	// its position in the caller's slice, so concurrent per-node groups mint
+	// replay-stable ids without coordinating.
+	tc := d.newTraceCtx()
 	if err := d.eachGroup(groups, func(node int, ts []bulkTarget) error {
-		return d.readBatch(node, ts, out)
+		return d.readBatch(node, ts, out, tc)
 	}); err != nil {
 		return nil, err
 	}
@@ -73,8 +77,9 @@ func (d *Driver) WriteMany(idxs []int, vals []int64) error {
 	if err != nil {
 		return err
 	}
+	tc := d.newTraceCtx()
 	return d.eachGroup(groups, func(node int, ts []bulkTarget) error {
-		return d.writeBatch(node, ts, vals)
+		return d.writeBatch(node, ts, vals, tc)
 	})
 }
 
@@ -122,11 +127,11 @@ func (d *Driver) batchClient(node int) *comm.Client {
 	return c
 }
 
-func (d *Driver) readBatch(node int, ts []bulkTarget, out []int64) error {
+func (d *Driver) readBatch(node int, ts []bulkTarget, out []int64, tc comm.TraceCtx) error {
 	pend := make([]*comm.Pending, len(ts))
 	if c := d.batchClient(node); c != nil {
 		for i, t := range ts {
-			pend[i] = c.StartGet(t.ref.Seg, t.off, elemBytes)
+			pend[i] = c.StartGetCtx(t.ref.Seg, t.off, elemBytes, childCtx(tc, t.pos))
 		}
 	}
 	for i, t := range ts {
@@ -140,7 +145,7 @@ func (d *Driver) readBatch(node int, ts []bulkTarget, out []int64) error {
 				return err
 			}
 			d.o.noteTransient()
-			if b, err = d.retryGet(node, t); err != nil {
+			if b, err = d.retryGet(node, t, childCtx(tc, t.pos)); err != nil {
 				return err
 			}
 		}
@@ -152,7 +157,7 @@ func (d *Driver) readBatch(node int, ts []bulkTarget, out []int64) error {
 	return nil
 }
 
-func (d *Driver) writeBatch(node int, ts []bulkTarget, vals []int64) error {
+func (d *Driver) writeBatch(node int, ts []bulkTarget, vals []int64, tc comm.TraceCtx) error {
 	var scratch [elemBytes]byte
 	pend := make([]*comm.Pending, len(ts))
 	if c := d.batchClient(node); c != nil {
@@ -160,7 +165,7 @@ func (d *Driver) writeBatch(node int, ts []bulkTarget, vals []int64) error {
 			// StartPut copies the payload into the frame before returning,
 			// so one scratch buffer serves the whole batch.
 			binary.BigEndian.PutUint64(scratch[:], uint64(vals[t.pos]))
-			pend[i] = c.StartPut(t.ref.Seg, t.off, scratch[:])
+			pend[i] = c.StartPutCtx(t.ref.Seg, t.off, scratch[:], childCtx(tc, t.pos))
 		}
 	}
 	for i, t := range ts {
@@ -173,7 +178,7 @@ func (d *Driver) writeBatch(node int, ts []bulkTarget, vals []int64) error {
 				return err
 			}
 			d.o.noteTransient()
-			if err = d.retryPut(node, t, vals[t.pos]); err != nil {
+			if err = d.retryPut(node, t, vals[t.pos], childCtx(tc, t.pos)); err != nil {
 				return err
 			}
 		}
@@ -182,10 +187,11 @@ func (d *Driver) writeBatch(node int, ts []bulkTarget, vals []int64) error {
 }
 
 // retryGet re-runs one batched GET under the single-op envelope after a
-// transient failure.
-func (d *Driver) retryGet(node int, t bulkTarget) (b []byte, err error) {
+// transient failure, reusing the batched attempt's span id so the retry and
+// the original render as one logical op in the trace.
+func (d *Driver) retryGet(node int, t bulkTarget, tc comm.TraceCtx) (b []byte, err error) {
 	err = d.elemOp(node, func(c *comm.Client) error {
-		b, err = c.Get(t.ref.Seg, t.off, elemBytes)
+		b, err = c.GetCtx(t.ref.Seg, t.off, elemBytes, tc)
 		return err
 	})
 	return b, err
@@ -194,10 +200,10 @@ func (d *Driver) retryGet(node int, t bulkTarget) (b []byte, err error) {
 // retryPut re-runs one batched PUT under the single-op envelope. Safe for the
 // same reason single-op Write retries are: the rewrite carries the same
 // value, and cross-connection ordering is fenced by generation.
-func (d *Driver) retryPut(node int, t bulkTarget, v int64) error {
+func (d *Driver) retryPut(node int, t bulkTarget, v int64, tc comm.TraceCtx) error {
 	var buf [elemBytes]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
 	return d.elemOp(node, func(c *comm.Client) error {
-		return c.Put(t.ref.Seg, t.off, buf[:])
+		return c.PutCtx(t.ref.Seg, t.off, buf[:], tc)
 	})
 }

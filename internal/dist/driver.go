@@ -152,7 +152,7 @@ func ConnectOpts(addrs []string, blockSize int, opts Options) (*Driver, error) {
 	}
 	d := &Driver{addrs: addrs, blockSize: blockSize, opts: opts.withDefaults()}
 	if d.opts.Obs != nil {
-		d.o = newDriverObs(d.opts.Obs)
+		d.o = newDriverObs(d.opts.Obs, d.opts.Seed)
 		if d.opts.Faults != nil {
 			d.opts.Faults.Observe(d.opts.Obs)
 		}
@@ -195,8 +195,44 @@ func (d *Driver) clientConfig(node int) comm.ClientConfig {
 		Unbatched:   d.opts.UnbatchedComm,
 		Obs:         d.opts.Obs,
 		Peer:        fmt.Sprintf("n%d", node),
+		TraceTrack:  node,
 	}
 }
+
+// newTraceCtx mints the root trace context for one logical driver operation
+// (a Grow, a Read, a bulk batch). Zero — untraced, wire bytes unchanged —
+// without a registry or with observability off; otherwise the root span id
+// doubles as the trace id. Minting draws from the seeded SpanSource, so runs
+// that issue operations in the same order get identical ids.
+func (d *Driver) newTraceCtx() comm.TraceCtx {
+	if d.o == nil || !obs.On() {
+		return comm.TraceCtx{}
+	}
+	id := d.o.spans.Next()
+	return comm.TraceCtx{TraceID: id, SpanID: id}
+}
+
+// childCtx derives the k-th child span of tc — a pure function, so concurrent
+// fan-out goroutines can each compute their own id without coordination.
+// Untraced in, untraced out.
+func childCtx(tc comm.TraceCtx, k int) comm.TraceCtx {
+	if !tc.Traced() {
+		return tc
+	}
+	return comm.TraceCtx{TraceID: tc.TraceID, SpanID: obs.DeriveSpan(tc.SpanID, k)}
+}
+
+// Child-span slots of a Grow's root context. Alloc and free fan-outs add the
+// block index to their base, so every RPC of one resize has a distinct,
+// replay-stable span id.
+const (
+	growSpanLock    = 1
+	growSpanRelease = 2
+	growSpanInstall = 1 << 20 // +node
+	growSpanAbort   = 2 << 20 // +node
+	growSpanAlloc   = 4 << 20 // +block index (bounded by the 1<<20 resize limit)
+	growSpanFree    = 5 << 20 // +block index
+)
 
 // dialNode performs the initial dial of one node with the same bounded-retry
 // envelope as an RPC: the dial's hello exchange crosses the faulted
@@ -306,6 +342,14 @@ func (d *Driver) redial(node int, broken *comm.Client) (*comm.Client, error) {
 // by construction (request ids, fencing epochs), so "response lost after the
 // node acted" cannot double-apply.
 func (d *Driver) am(node int, handler uint16, payload []byte) ([]byte, error) {
+	return d.amCtx(node, handler, payload, comm.TraceCtx{})
+}
+
+// amCtx is am carrying a causal trace context. Every attempt of one logical
+// RPC shares the span id, so a retried call renders as one client span per
+// attempt linked to whichever handler spans the node recorded — the merged
+// trace shows the retry storm instead of hiding it.
+func (d *Driver) amCtx(node int, handler uint16, payload []byte, tc comm.TraceCtx) ([]byte, error) {
 	backoff := xsync.Expo{
 		Base: d.opts.RetryBase,
 		Max:  d.opts.RetryMax,
@@ -327,7 +371,7 @@ func (d *Driver) am(node int, handler uint16, payload []byte) ([]byte, error) {
 			}
 		}
 		var reply []byte
-		reply, err = c.CallAM(handler, payload, d.opts.CallTimeout)
+		reply, err = c.CallAMCtx(handler, payload, d.opts.CallTimeout, tc)
 		if err == nil || !comm.IsTransient(err) {
 			return reply, err
 		}
@@ -354,10 +398,14 @@ func (d *Driver) Len() int {
 // fencing token. It retries while the lock is held, up to the configured
 // AcquireTimeout; a holder whose lease lapsed is superseded transparently.
 func (d *Driver) AcquireLock() (uint64, error) {
+	return d.acquireLock(comm.TraceCtx{})
+}
+
+func (d *Driver) acquireLock(tc comm.TraceCtx) (uint64, error) {
 	deadline := time.Now().Add(d.opts.AcquireTimeout)
 	backoff := xsync.Expo{Base: d.opts.RetryBase, Max: d.opts.RetryMax, Seed: d.opts.Seed ^ 0x10cc}
 	for {
-		reply, err := d.am(0, amLockAcquire, encodeU64(uint64(d.opts.LockTTL)))
+		reply, err := d.amCtx(0, amLockAcquire, encodeU64(uint64(d.opts.LockTTL)), tc)
 		if err != nil {
 			return 0, fmt.Errorf("dist: acquiring WriteLock: %w", err)
 		}
@@ -379,7 +427,11 @@ func (d *Driver) AcquireLock() (uint64, error) {
 // ReleaseLock releases the lease identified by token. Releasing a lapsed or
 // superseded token fails (the lock is no longer ours to release).
 func (d *Driver) ReleaseLock(token uint64) error {
-	_, err := d.am(0, amLockRelease, encodeU64(token))
+	return d.releaseLock(token, comm.TraceCtx{})
+}
+
+func (d *Driver) releaseLock(token uint64, tc comm.TraceCtx) error {
+	_, err := d.amCtx(0, amLockRelease, encodeU64(token), tc)
 	return err
 }
 
@@ -411,10 +463,15 @@ func (d *Driver) Grow(additional int) error {
 	}
 
 	// Resize instrumentation: the lock-wait is a histogram only; ring spans
-	// start after the lease is won (growSpans documents why).
+	// start after the lease is won (growSpans documents why). The trace
+	// context minted here is the resize's root: every RPC the resize issues —
+	// lease, alloc fan-out, install, abort, free — carries a child span
+	// derived from it, so the merged cluster trace hangs the whole protocol
+	// off one trace id.
 	var gs growSpans
 	gs.start(d.o)
-	token, err := d.AcquireLock()
+	tc := d.newTraceCtx()
+	token, err := d.acquireLock(childCtx(tc, growSpanLock))
 	if err != nil {
 		return err
 	}
@@ -430,8 +487,8 @@ func (d *Driver) Grow(additional int) error {
 	var allocs []allocated
 	fail := func(stage string, cause error) error {
 		gs.abort(d.o)
-		d.abortResize(token, epoch, oldTable, allocs)
-		if rerr := d.ReleaseLock(token); rerr != nil {
+		d.abortResize(token, epoch, oldTable, allocs, tc)
+		if rerr := d.releaseLock(token, childCtx(tc, growSpanRelease)); rerr != nil {
 			// Best effort: a lapsed lease has already released itself.
 			_ = rerr
 		}
@@ -462,7 +519,7 @@ func (d *Driver) Grow(additional int) error {
 		go func(i, owner int, reqID uint64) {
 			defer aw.Done()
 			defer func() { <-sem }()
-			reply, err := d.am(owner, amAllocBlock, encodeU64Pair(reqID, token))
+			reply, err := d.amCtx(owner, amAllocBlock, encodeU64Pair(reqID, token), childCtx(tc, growSpanAlloc+i))
 			switch {
 			case err != nil:
 				results[i].err = fmt.Errorf("allocating block on node %d: %w", owner, err)
@@ -500,7 +557,7 @@ func (d *Driver) Grow(additional int) error {
 
 	gs.beginInstall()
 	regions := d.regionPlan(len(oldTable), len(table))
-	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table, Regions: regions}); err != nil {
+	if err := d.installAll(installReq{Fence: token, Epoch: epoch, Table: table, Regions: regions}, tc); err != nil {
 		return fail("install", err)
 	}
 	gs.endInstall()
@@ -511,7 +568,7 @@ func (d *Driver) Grow(additional int) error {
 	d.epoch = epoch
 	d.mu.Unlock()
 	gs.commit()
-	if err := d.ReleaseLock(token); err != nil {
+	if err := d.releaseLock(token, childCtx(tc, growSpanRelease)); err != nil {
 		// The resize committed; a failed release only means the lease
 		// must lapse before the next resize. Surface nothing.
 		_ = err
@@ -548,13 +605,13 @@ func (d *Driver) regionPlan(oldLen, newLen int) []RegionRange {
 
 // installAll replicates the fenced table to every node in parallel — the
 // coforall of Algorithm 3 over TCP, with per-node retries.
-func (d *Driver) installAll(q installReq) error {
+func (d *Driver) installAll(q installReq, tc comm.TraceCtx) error {
 	payload := q.encode()
 	errs := make(chan error, len(d.addrs))
 	for i := range d.addrs {
 		i := i
 		go func() {
-			_, err := d.am(i, amInstall, payload)
+			_, err := d.amCtx(i, amInstall, payload, childCtx(tc, growSpanInstall+i))
 			if err != nil {
 				err = fmt.Errorf("installing snapshot on node %d: %w", i, err)
 			}
@@ -576,19 +633,19 @@ func (d *Driver) installAll(q installReq) error {
 // idempotent on the node side, so this is safe to run against nodes in any
 // state; nodes that are unreachable stay on whatever snapshot they hold and
 // cannot diverge the survivors.
-func (d *Driver) abortResize(token, epoch uint64, oldTable []BlockRef, allocs []allocated) {
+func (d *Driver) abortResize(token, epoch uint64, oldTable []BlockRef, allocs []allocated, tc comm.TraceCtx) {
 	payload := installReq{Fence: token, Epoch: epoch, Table: oldTable}.encode()
 	var wg sync.WaitGroup
 	for i := range d.addrs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			d.am(i, amAbort, payload)
+			d.amCtx(i, amAbort, payload, childCtx(tc, growSpanAbort+i))
 		}(i)
 	}
 	wg.Wait()
-	for _, a := range allocs {
-		d.am(a.owner, amFreeBlock, encodeU64Pair(a.reqID, a.ref.Seg))
+	for j, a := range allocs {
+		d.amCtx(a.owner, amFreeBlock, encodeU64Pair(a.reqID, a.ref.Seg), childCtx(tc, growSpanFree+j))
 	}
 }
 
@@ -640,9 +697,10 @@ func (d *Driver) Read(idx int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	tc := d.newTraceCtx()
 	var v int64
 	err = d.elemOp(int(ref.Node), func(c *comm.Client) error {
-		b, err := c.Get(ref.Seg, off, elemBytes)
+		b, err := c.GetCtx(ref.Seg, off, elemBytes, tc)
 		if err == nil {
 			v = int64(binary.BigEndian.Uint64(b))
 		}
@@ -658,10 +716,11 @@ func (d *Driver) Write(idx int, v int64) error {
 	if err != nil {
 		return err
 	}
+	tc := d.newTraceCtx()
 	var buf [elemBytes]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
 	return d.elemOp(int(ref.Node), func(c *comm.Client) error {
-		return c.Put(ref.Seg, off, buf[:])
+		return c.PutCtx(ref.Seg, off, buf[:], tc)
 	})
 }
 
@@ -696,6 +755,7 @@ func (d *Driver) NodeTable(node int) ([]BlockRef, error) {
 // not idempotent) and run under WorkloadTimeout, not CallTimeout.
 func (d *Driver) RunWorkload(q WorkloadReq) ([]WorkloadResp, error) {
 	payload := q.encode()
+	tc := d.newTraceCtx()
 	out := make([]WorkloadResp, len(d.addrs))
 	errs := make(chan error, len(d.addrs))
 	for i := range d.addrs {
@@ -713,7 +773,7 @@ func (d *Driver) RunWorkload(q WorkloadReq) ([]WorkloadResp, error) {
 					return
 				}
 			}
-			reply, err := c.CallAM(amRunWorkload, payload, d.opts.WorkloadTimeout)
+			reply, err := c.CallAMCtx(amRunWorkload, payload, d.opts.WorkloadTimeout, childCtx(tc, i))
 			if err == nil {
 				out[i], err = decodeWorkloadResp(reply)
 			}

@@ -12,6 +12,7 @@ import (
 
 	"rcuarray/internal/comm"
 	"rcuarray/internal/durable"
+	"rcuarray/internal/ebr"
 	"rcuarray/internal/obs"
 )
 
@@ -44,6 +45,14 @@ type NodeOptions struct {
 	// holds a previous incarnation's state — recovers from it before
 	// accepting connections. Empty keeps the node fully in-memory.
 	DataDir string
+	// StallThreshold, when positive, arms a grace-period stall watchdog on
+	// the node's EBR domain: a Synchronize waiting longer than this fires
+	// one rcu_stall_warnings_total increment, a rcu.stall trace instant, and
+	// OnStall. Zero leaves the node unwatched.
+	StallThreshold time.Duration
+	// OnStall runs on the watchdog goroutine for each stall warning — the
+	// flight-recorder hook (rcunode dumps its registry here).
+	OnStall func(ebr.StallReport)
 }
 
 // File layout inside DataDir. Sequence numbers only grow; recovery loads the

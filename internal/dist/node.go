@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -97,6 +98,10 @@ type ArrayNode struct {
 	snapSeq    uint64
 	snapMu     sync.Mutex
 
+	// watchdog, when NodeOptions.StallThreshold armed one, samples the
+	// node's EBR domain for stalled grace periods; stopped in Close.
+	watchdog *ebr.Watchdog
+
 	closeOnce sync.Once
 	closeErr  error
 
@@ -191,9 +196,37 @@ func NewArrayNodeOpts(addr string, opts NodeOptions) (*ArrayNode, error) {
 			return nil, fmt.Errorf("dist: recovering %s: %w", n.dataDir, err)
 		}
 	}
+	if opts.StallThreshold > 0 {
+		n.watchdog = n.dom.StartWatchdog(ebr.WatchdogConfig{
+			Name:      "dist-node",
+			Threshold: opts.StallThreshold,
+			Obs:       reg,
+			OnStall:   opts.OnStall,
+		})
+	}
 	n.registerHandlers()
 	srv.Serve()
 	return n, nil
+}
+
+// HoldReader enters the node's EBR domain on the given reader slot and
+// returns the release. It is the chaos harness's stalled-reader fault: while
+// held, any install's Synchronize on this node cannot complete, so an armed
+// watchdog must fire — exactly once — naming this slot.
+func (n *ArrayNode) HoldReader(slot int) func() {
+	//rcuvet:ignore fault-injection hook: the leak is the fault; the caller releases via the returned closure
+	g := n.dom.EnterSlot(slot)
+	return g.Exit
+}
+
+// StallWarnings returns how many grace-period stall warnings the node's
+// watchdog has fired (zero without one) — the chaos harness's false-positive
+// gate.
+func (n *ArrayNode) StallWarnings() uint64 {
+	if n.watchdog == nil {
+		return 0
+	}
+	return n.watchdog.Warnings()
 }
 
 // Obs returns the node's observability registry: protocol counters, EBR
@@ -211,6 +244,9 @@ func (n *ArrayNode) Addr() string { return n.srv.Addr() }
 // race the final sync.
 func (n *ArrayNode) Close() error {
 	n.closeOnce.Do(func() {
+		if n.watchdog != nil {
+			n.watchdog.Stop()
+		}
 		n.mu.Lock()
 		peers := n.peers
 		n.peers = nil
@@ -235,19 +271,67 @@ func (n *ArrayNode) Close() error {
 }
 
 func (n *ArrayNode) registerHandlers() {
-	n.srv.Handle(amConfigure, n.handleConfigure)
-	n.srv.Handle(amAllocBlock, n.handleAllocBlock)
-	n.srv.Handle(amInstall, n.handleInstall)
-	n.srv.Handle(amLen, n.handleLen)
-	n.srv.Handle(amLockAcquire, n.handleLockAcquire)
-	n.srv.Handle(amLockRelease, n.handleLockRelease)
-	n.srv.Handle(amRunWorkload, n.handleRunWorkload)
-	n.srv.Handle(amStats, n.handleStats)
-	n.srv.Handle(amAbort, n.handleAbort)
-	n.srv.Handle(amFreeBlock, n.handleFreeBlock)
-	n.srv.Handle(amReadTable, n.handleReadTable)
-	n.srv.Handle(amRecoverState, n.handleRecoverState)
-	n.srv.Handle(amSnapshot, n.handleSnapshot)
+	// Every handler registers through HandleCtx with a protocol-level span
+	// name: a traced request then records a node-side handler span under
+	// that name, which the merged cluster trace links back to the driver's
+	// client span by id. The dist handlers themselves stay context-free —
+	// causality is the transport's job.
+	h := func(id uint16, name string, fn func([]byte) ([]byte, error)) {
+		n.srv.HandleCtx(id, name, func(p []byte, _ comm.TraceCtx) ([]byte, error) {
+			return fn(p)
+		})
+	}
+	h(amConfigure, "node.configure", n.handleConfigure)
+	h(amAllocBlock, "node.alloc_block", n.handleAllocBlock)
+	h(amInstall, "node.install_table", n.handleInstall)
+	h(amLen, "node.len", n.handleLen)
+	h(amLockAcquire, "node.lock_acquire", n.handleLockAcquire)
+	h(amLockRelease, "node.lock_release", n.handleLockRelease)
+	h(amRunWorkload, "node.run_workload", n.handleRunWorkload)
+	h(amStats, "node.stats", n.handleStats)
+	h(amAbort, "node.abort_resize", n.handleAbort)
+	h(amFreeBlock, "node.free_block", n.handleFreeBlock)
+	h(amReadTable, "node.read_table", n.handleReadTable)
+	h(amRecoverState, "node.recover_state", n.handleRecoverState)
+	h(amSnapshot, "node.snapshot", n.handleSnapshot)
+	// Observability collectors. The driver always sends these untraced so a
+	// trace dump does not pollute the rings it is dumping.
+	h(amObsSnapshot, "node.obs_snapshot", n.handleObsSnapshot)
+	h(amTraceDump, "node.trace_dump", n.handleTraceDump)
+	h(amClockProbe, "node.clock_probe", n.handleClockProbe)
+}
+
+// handleClockProbe returns the node's trace-clock reading; the driver brackets
+// it with its own clock to estimate this node's offset (RTT-midpoint model).
+func (n *ArrayNode) handleClockProbe(payload []byte) ([]byte, error) {
+	var w wbuf
+	w.u64(uint64(n.trace.tr.Now()))
+	return w.b, nil
+}
+
+// handleTraceDump returns the node's stable trace-ring events as JSON, stamped
+// with the trace-clock reading the dump was cut at.
+func (n *ArrayNode) handleTraceDump(payload []byte) ([]byte, error) {
+	events := n.trace.tr.Events()
+	body, err := json.Marshal(events)
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.u64(uint64(n.trace.tr.Now()))
+	return append(w.b, body...), nil
+}
+
+// handleObsSnapshot returns the node's full metrics snapshot as JSON — the
+// remote scrape backing cluster-wide gates (watchdog warnings, SLO burn).
+func (n *ArrayNode) handleObsSnapshot(payload []byte) ([]byte, error) {
+	body, err := json.Marshal(n.reg.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.u64(uint64(n.trace.tr.Now()))
+	return append(w.b, body...), nil
 }
 
 // SetInstallHook registers a callback run after every region publication of

@@ -99,12 +99,20 @@ type driverObs struct {
 	nAlloc obs.NameID
 	nInst  obs.NameID
 	nAbort obs.NameID
+
+	// spans mints root trace/span ids for driver operations. Seeded from
+	// Options.Seed, so a replayed run (same seed, same operation order)
+	// produces the same trace topology; child spans of one operation are
+	// derived from its root id (obs.DeriveSpan), so fan-out goroutine
+	// interleaving cannot perturb them.
+	spans *obs.SpanSource
 }
 
-func newDriverObs(r *obs.Registry) *driverObs {
+func newDriverObs(r *obs.Registry, seed uint64) *driverObs {
 	tr := r.Tracer()
 	return &driverObs{
 		reg:        r,
+		spans:      obs.NewSpanSource(seed),
 		retries:    r.Counter("dist_rpc_retries_total"),
 		transients: r.Counter("dist_transient_errors_total"),
 		redials:    r.Counter("dist_redials_total"),

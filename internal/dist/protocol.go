@@ -20,7 +20,19 @@ const (
 	amReadTable    uint16 = 20 // -> the node's current block table (convergence audits)
 	amRecoverState uint16 = 21 // -> fencing milestones + table (restart catch-up)
 	amSnapshot     uint16 = 22 // stream a durable snapshot to disk -> stats
+	amObsSnapshot  uint16 = 23 // -> [8B trace-clock now][JSON obs.Snapshot] (remote metrics scrape)
+	amTraceDump    uint16 = 24 // -> [8B trace-clock now][JSON []obs.TraceEvent] (cluster trace collection)
+	amClockProbe   uint16 = 25 // -> [8B trace-clock now] (clock-offset estimation)
 )
+
+// decodeClockReply splits an amObsSnapshot/amTraceDump/amClockProbe reply into
+// the node's trace-clock reading and the JSON body (empty for a probe).
+func decodeClockReply(p []byte, what string) (nowNanos int64, body []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("dist: malformed %s reply (%d bytes)", what, len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), p[8:], nil
+}
 
 // Lock lease acquire statuses.
 const (

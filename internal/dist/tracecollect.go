@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rcuarray/internal/obs"
+)
+
+// Cluster trace collection: the driver pulls every node's trace ring and
+// metrics snapshot over the ordinary AM plane, estimates each node's trace-
+// clock offset from RPC round trips, and hands the dumps to
+// obs.WriteClusterTrace for the single merged Perfetto timeline. Collector
+// RPCs are always sent untraced (zero TraceCtx), so cutting a dump never
+// writes new spans into the rings being dumped.
+
+// defaultClockProbes is how many round trips TraceProbe takes when the caller
+// passes 0. More probes tighten the estimate (the minimum-RTT sample wins);
+// eight is enough to dodge scheduler noise on a LAN.
+const defaultClockProbes = 8
+
+// TraceProbe estimates one node's trace-clock offset relative to the
+// driver's: the driver's clock reading for the node's "now". It brackets an
+// amClockProbe RPC with local clock reads and, for the probe with the
+// smallest round trip, models the node's reading as taken at the midpoint:
+//
+//	offset = (t0+t1)/2 − nodeNow
+//
+// Adding the offset to a node timestamp places it on the driver's timeline,
+// accurate to within half the minimum observed RTT (the error is bounded by
+// how asymmetric that round trip was).
+func (d *Driver) TraceProbe(node, probes int) (int64, error) {
+	if d.opts.Obs == nil {
+		return 0, fmt.Errorf("dist: trace probe without Options.Obs")
+	}
+	if probes <= 0 {
+		probes = defaultClockProbes
+	}
+	tr := d.opts.Obs.Tracer()
+	var offset, bestRTT int64
+	bestRTT = -1
+	for k := 0; k < probes; k++ {
+		t0 := tr.Now()
+		reply, err := d.am(node, amClockProbe, nil)
+		t1 := tr.Now()
+		if err != nil {
+			return 0, fmt.Errorf("dist: clock probe of node %d: %w", node, err)
+		}
+		nodeNow, _, err := decodeClockReply(reply, "clock probe")
+		if err != nil {
+			return 0, err
+		}
+		if rtt := t1 - t0; bestRTT < 0 || rtt < bestRTT {
+			bestRTT = rtt
+			offset = (t0+t1)/2 - nodeNow
+		}
+	}
+	return offset, nil
+}
+
+// NodeTraceDump pulls one node's stable trace events plus its estimated clock
+// offset, packaged for obs.WriteClusterTrace.
+func (d *Driver) NodeTraceDump(node, probes int) (obs.NodeDump, error) {
+	offset, err := d.TraceProbe(node, probes)
+	if err != nil {
+		return obs.NodeDump{}, err
+	}
+	reply, err := d.am(node, amTraceDump, nil)
+	if err != nil {
+		return obs.NodeDump{}, fmt.Errorf("dist: trace dump of node %d: %w", node, err)
+	}
+	_, body, err := decodeClockReply(reply, "trace dump")
+	if err != nil {
+		return obs.NodeDump{}, err
+	}
+	var events []obs.TraceEvent
+	if err := json.Unmarshal(body, &events); err != nil {
+		return obs.NodeDump{}, fmt.Errorf("dist: decoding node %d trace dump: %w", node, err)
+	}
+	return obs.NodeDump{
+		Label:       fmt.Sprintf("node%d", node),
+		OffsetNanos: offset,
+		Events:      events,
+	}, nil
+}
+
+// CollectTrace gathers every node's trace dump in node order. A node that
+// cannot be probed or dumped fails the whole collection: a merged timeline
+// silently missing a process is worse than no timeline.
+func (d *Driver) CollectTrace(probes int) ([]obs.NodeDump, error) {
+	dumps := make([]obs.NodeDump, len(d.addrs))
+	for i := range d.addrs {
+		dump, err := d.NodeTraceDump(i, probes)
+		if err != nil {
+			return nil, err
+		}
+		dumps[i] = dump
+	}
+	return dumps, nil
+}
+
+// NodeObsSnapshot pulls one node's full metrics snapshot — counters, gauges,
+// histogram quantiles — over the AM plane, so gates can assert on node-side
+// metrics (watchdog warnings, protocol counters) without an HTTP scrape.
+func (d *Driver) NodeObsSnapshot(node int) (obs.Snapshot, error) {
+	reply, err := d.am(node, amObsSnapshot, nil)
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("dist: obs snapshot of node %d: %w", node, err)
+	}
+	_, body, err := decodeClockReply(reply, "obs snapshot")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("dist: decoding node %d obs snapshot: %w", node, err)
+	}
+	return snap, nil
+}

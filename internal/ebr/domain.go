@@ -67,6 +67,48 @@ type Domain struct {
 	// construction; nil — including in the zero value — keeps the paper's
 	// flat rendezvous as the baseline.
 	tree *tree
+
+	// Watchdog state (watchdog.go), written only while observability is on.
+	// syncStart is the wall-clock nanosecond at which an in-flight
+	// Synchronize advanced the epoch (0 = none in flight); syncParity is the
+	// parity it is waiting out. lastEntry[parity][stripe] is the most recent
+	// reader annotation on that cell — packed (slot, site) — stored with one
+	// plain atomic write at Enter so the watchdog can name the culprit of a
+	// stalled grace period without the read path ever taking a timestamp.
+	// Tree leaves beyond MaxStripes fold onto the annotation array modulo
+	// MaxStripes: the annotation is diagnostic, not part of the protocol.
+	syncStart  atomic.Int64
+	syncParity atomic.Uint64
+	lastEntry  [2][MaxStripes]atomic.Uint64
+}
+
+// Reader entry sites, packed into the watchdog annotation so a stall report
+// can say how the culprit entered its critical section.
+const (
+	siteEnter = 1 // Enter / EnterSlot / Read
+	sitePin   = 2 // Pinned session Pin
+	siteRepin = 3 // Pinned session budget repin
+)
+
+// siteName renders an entry site for stall reports.
+func siteName(site uint64) string {
+	switch site {
+	case siteEnter:
+		return "enter"
+	case sitePin:
+		return "pin"
+	case siteRepin:
+		return "repin"
+	default:
+		return "unknown"
+	}
+}
+
+// annotate records (slot, site) on a parity/stripe cell: bit 0 marks the
+// annotation valid, bits 1–2 the site, the rest the slot. One plain atomic
+// store, no timestamp — cheap enough to run on every traced Enter.
+func (d *Domain) annotate(idx, stripe uint64, slot int, site uint64) {
+	d.lastEntry[idx][stripe&(MaxStripes-1)].Store(uint64(slot)<<3 | site<<1 | 1)
 }
 
 // New returns a domain with DefaultStripes reader stripes and the epoch
@@ -130,7 +172,11 @@ func (d *Domain) Enter() Guard { return d.EnterSlot(0) }
 // guard's epoch — or any newer snapshot — may be accessed safely until Exit.
 func (d *Domain) EnterSlot(slot int) Guard {
 	if t := d.tree; t != nil {
-		return d.enterTree(t, slot)
+		g := d.enterTree(t, slot)
+		if obs.On() {
+			d.annotate(g.idx, g.stripe, slot, siteEnter)
+		}
+		return g
 	}
 	stripe := uint64(slot) & d.stripeMask
 	for {
@@ -141,6 +187,9 @@ func (d *Domain) EnterSlot(slot int) Guard {
 		if d.globalEpoch.Load() == epoch {
 			// Linearized: any writer advancing the epoch from this
 			// point on sums our stripe before reclaiming.
+			if obs.On() {
+				d.annotate(idx, stripe, slot, siteEnter)
+			}
 			return Guard{d: d, cell: cell, epoch: epoch, idx: idx, stripe: stripe}
 		}
 		// A writer moved the epoch between our load and increment; a
@@ -229,6 +278,13 @@ func (d *Domain) Synchronize() {
 	// may still be using the snapshot being retired.
 	prev := d.globalEpoch.Add(1) - 1
 	idx := prev & 1
+	if o != nil {
+		// Publish the in-flight grace period for the stall watchdog: parity
+		// first, so a sampler that sees syncStart non-zero reads the parity
+		// this Synchronize is actually waiting on.
+		d.syncParity.Store(idx)
+		d.syncStart.Store(t0.UnixNano())
+	}
 	var stalls uint64
 	if t := d.tree; t != nil {
 		// Hierarchical rendezvous: fold the combining tree (tree.go)
@@ -242,6 +298,7 @@ func (d *Domain) Synchronize() {
 		}
 	}
 	if o != nil {
+		d.syncStart.Store(0)
 		o.grace.Observe(time.Since(t0).Nanoseconds())
 		o.stalls.Add(stalls)
 	}

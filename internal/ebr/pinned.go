@@ -38,7 +38,13 @@ func (d *Domain) Pin(slot, budget int) Pinned {
 	if budget <= 0 {
 		budget = DefaultPinBudget
 	}
-	return Pinned{d: d, g: d.EnterSlot(slot), slot: slot, budget: budget}
+	p := Pinned{d: d, g: d.EnterSlot(slot), slot: slot, budget: budget}
+	if obs.On() {
+		// Re-annotate over EnterSlot's mark: a stall report should say the
+		// culprit is a pinned session, not a plain reader.
+		d.annotate(p.g.idx, p.g.stripe, slot, sitePin)
+	}
+	return p
 }
 
 // Epoch returns the epoch of the current pin window.
@@ -64,6 +70,9 @@ func (p *Pinned) Tick() bool {
 func (p *Pinned) Repin() {
 	p.g.Exit()
 	p.g = p.d.EnterSlot(p.slot)
+	if obs.On() {
+		p.d.annotate(p.g.idx, p.g.stripe, p.slot, siteRepin)
+	}
 	p.ops = 0
 	p.repins++
 }

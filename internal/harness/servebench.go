@@ -65,6 +65,14 @@ type ServeBenchConfig struct {
 	// stack, not the noisiest coincidence — same policy as the interleaved
 	// best-of-N A/Bs elsewhere in this harness.
 	ServeReps int
+
+	// SLONanos is the read-latency SLO threshold the rolling burn-rate
+	// window tracks (default 20ms). Resolution follows the histogram's log2
+	// buckets.
+	SLONanos int64
+	// BurnBudget is the allowed over-SLO fraction, e.g. 0.01 for a 99%
+	// objective (the default).
+	BurnBudget float64
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -107,6 +115,12 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	if c.ServeReps <= 0 {
 		c.ServeReps = c.Repetitions
 	}
+	if c.SLONanos <= 0 {
+		c.SLONanos = (20 * time.Millisecond).Nanoseconds()
+	}
+	if c.BurnBudget <= 0 {
+		c.BurnBudget = 0.01
+	}
 	return c
 }
 
@@ -147,6 +161,14 @@ type ServeBenchResult struct {
 	// Coalescing observed during the open-loop run (client side).
 	FlushFramesP50 uint64 `json:"flush_frames_p50"`
 	FlushFramesP99 uint64 `json:"flush_frames_p99"`
+
+	// Rolling-window SLO burn for the read path: the last window's fraction
+	// of reads over BurnSLONanos divided by BurnBudget (1.0 = spending the
+	// error budget exactly as fast as it accrues). Exported live during the
+	// run as the serve_read_burn_ppm gauge.
+	ReadBurnRate float64 `json:"read_burn_rate"`
+	BurnSLONanos int64   `json:"burn_slo_ns"`
+	BurnBudget   float64 `json:"burn_budget"`
 
 	// Snapshot is the open-loop run's full registry snapshot, including the
 	// comm_flush_frames/comm_flush_bytes views on both sides.
@@ -350,6 +372,28 @@ func runServeLoop(cfg ServeBenchConfig, res *ServeBenchResult) error {
 	readLat := reg.Histogram("serve_read_ns")
 	writeLat := reg.Histogram("serve_write_ns")
 
+	// Rolling SLO burn window over the read histogram, exported on /metrics
+	// as serve_read_burn_ppm while the run is live: 8 slots at a 250ms tick
+	// cover the last ~2s, so an early outlier ages out instead of tripping
+	// the gate for the whole run.
+	burn := obs.NewWindow(readLat, cfg.SLONanos, cfg.BurnBudget, 8)
+	burn.Register(reg, "serve_read_burn")
+	burnStop := make(chan struct{})
+	burnDone := make(chan struct{})
+	go func() {
+		defer close(burnDone)
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-burnStop:
+				return
+			case <-t.C:
+				burn.Tick()
+			}
+		}
+	}()
+
 	totalOps := int(float64(cfg.TargetQPS) * cfg.Duration.Seconds())
 	interval := time.Duration(int64(time.Second) / int64(cfg.TargetQPS))
 	var next atomic.Int64
@@ -394,6 +438,12 @@ func runServeLoop(cfg ServeBenchConfig, res *ServeBenchResult) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(burnStop)
+	<-burnDone
+	burn.Tick() // close the final window over the run's tail
+	res.ReadBurnRate = burn.BurnRate()
+	res.BurnSLONanos = cfg.SLONanos
+	res.BurnBudget = cfg.BurnBudget
 
 	res.Ops = uint64(totalOps)
 	res.OpErrors = opErrors.Load()
@@ -445,4 +495,6 @@ func (r ServeBenchResult) Format(w io.Writer) {
 		time.Duration(r.WriteP50Nanos), time.Duration(r.WriteP99Nanos))
 	fmt.Fprintf(w, "  client coalescing: frames/flush p50=%d p99=%d; errors=%d mismatches=%d\n",
 		r.FlushFramesP50, r.FlushFramesP99, r.OpErrors, r.ValueMismatches)
+	fmt.Fprintf(w, "  read SLO burn: %.3f of budget/s-equivalent (SLO %s, budget %.1f%%, rolling window)\n",
+		r.ReadBurnRate, time.Duration(r.BurnSLONanos), r.BurnBudget*100)
 }

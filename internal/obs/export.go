@@ -11,10 +11,14 @@ import (
 type chromeEvent struct {
 	Name  string         `json:"name"`
 	Phase string         `json:"ph"`
+	Cat   string         `json:"cat,omitempty"`
 	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Bp    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -59,7 +63,7 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 			keep[st[matched]] = true
 			keep[i] = true
 			stacks[k] = st[:matched]
-		case PhaseInstant:
+		case PhaseInstant, PhaseComplete:
 			keep[i] = true
 		}
 	}
@@ -69,21 +73,34 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		if !keep[i] {
 			continue
 		}
-		ce := chromeEvent{
-			Name:  e.Name,
-			Phase: string(rune(e.Phase)),
-			Ts:    float64(e.TsNanos) / 1e3,
-			Pid:   e.Pid,
-			Tid:   e.Tid,
-		}
-		if e.Phase == PhaseInstant {
-			ce.Scope = "t"
-			if e.Arg != 0 {
-				ce.Args = map[string]any{"v": e.Arg}
-			}
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, toChrome(e))
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// toChrome converts one stable ring event to its Chrome trace-event form.
+// 'X' events carry their duration (Arg, nanoseconds) in dur and their span
+// id in args, so a single-process dump still shows which RPC a slice was.
+func toChrome(e TraceEvent) chromeEvent {
+	ce := chromeEvent{
+		Name:  e.Name,
+		Phase: string(rune(e.Phase)),
+		Ts:    float64(e.TsNanos) / 1e3,
+		Pid:   e.Pid,
+		Tid:   e.Tid,
+	}
+	switch e.Phase {
+	case PhaseInstant:
+		ce.Scope = "t"
+		if e.Arg != 0 {
+			ce.Args = map[string]any{"v": e.Arg}
+		}
+	case PhaseComplete:
+		ce.Dur = float64(e.Arg) / 1e3
+		if e.ID != 0 {
+			ce.Args = map[string]any{"span": spanIDString(e.ID)}
+		}
+	}
+	return ce
 }

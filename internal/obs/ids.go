@@ -1,0 +1,75 @@
+package obs
+
+import "sync/atomic"
+
+// Span and trace identifiers. IDs come from a seeded SplitMix64 stream, not
+// from the wall clock or math/rand, so two runs of a seeded workload assign
+// the same ids to the same logical operations and a chaos replay reproduces
+// the trace topology byte for byte. This file is pure function-of-seed and
+// contains no timestamps; it is safe for deterministic-domain callers.
+
+// splitmix64 is the same generator the comm fault streams use: one round of
+// the SplitMix64 output function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanSource generates non-zero span/trace ids from a seed. Next draws from
+// a shared atomic counter — deterministic while callers are sequential (the
+// driver's lease serializes resizes, so Grow ids replay exactly); concurrent
+// callers should derive a per-operation sub-stream with DeriveSpan instead.
+type SpanSource struct {
+	seed uint64
+	n    atomic.Uint64
+}
+
+// NewSpanSource returns a source whose id sequence is a pure function of
+// seed.
+func NewSpanSource(seed uint64) *SpanSource {
+	return &SpanSource{seed: seed}
+}
+
+// Next returns the next id in the stream. Ids are never zero (zero means
+// "untraced" on the wire).
+func (s *SpanSource) Next() uint64 {
+	for {
+		if id := splitmix64(s.seed + s.n.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// DeriveSpan returns the k-th child id of a parent id: a pure function of
+// (parent, k), so spans fanned out concurrently (Grow's block allocations,
+// a bulk batch's per-node groups) get replay-stable ids no matter how the
+// goroutines interleave.
+func DeriveSpan(parent uint64, k int) uint64 {
+	id := splitmix64(parent ^ splitmix64(uint64(k)+1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// spanIDString formats a span id the way the Chrome trace format's id field
+// expects (a short hex string).
+func spanIDString(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [18]byte
+	b[0], b[1] = '0', 'x'
+	n := 2
+	started := false
+	for i := 15; i >= 0; i-- {
+		d := (id >> (4 * i)) & 0xf
+		if !started && d == 0 && i > 0 {
+			continue
+		}
+		started = true
+		b[n] = hexdigits[d]
+		n++
+	}
+	return string(b[:n])
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cluster trace merging: fold the driver's rings and every node's dumped
+// rings into ONE Perfetto-loadable timeline.
+//
+// Two problems make naive concatenation wrong, and both bit the original
+// `rcudist -trace-out` (which only wrote driver-local rings anyway):
+//
+//   - Names: rings intern span names per tracer, so NameID 3 is
+//     "node.install" on one node and "handle.GET" on another. Dumps
+//     therefore carry resolved name strings (TraceEvent.Name), never ids,
+//     and merging keys nothing on interned ids.
+//   - Tracks: every tracer numbers its pids from its own conventions (node
+//     ids, comm track constants), so two nodes' tracks collide. The merge
+//     re-homes each dump's tracks into a fresh pid block and emits
+//     process_name metadata, so Perfetto shows one process group per node.
+//
+// Timestamps are per-tracer clocks; the collector estimates each node's
+// offset from RPC round-trip midpoints (see dist.Driver.TraceProbe) and the
+// merge applies it, which orders cross-node events to within RTT/2.
+//
+// Causality is drawn with Chrome flow events: a client RPC span ('X', span
+// id set) and its node-side handler span share the id, so the merge emits a
+// flow step 's' at the client span and a binding 'f' (bp:"e") at the
+// handler span. A span id seen on only one side is an orphan — the other
+// ring wrapped past it, or a peer ran without a registry — and is counted,
+// not silently dropped: the CI gate asserts zero.
+
+// NodeDump is one remote tracer's stable events, shifted onto the
+// collector's clock by OffsetNanos (node clock + offset = local clock).
+type NodeDump struct {
+	Label       string // process label in the merged file, e.g. "node1"
+	OffsetNanos int64
+	Events      []TraceEvent
+}
+
+// MergeStats summarizes a merged cluster trace for gating.
+type MergeStats struct {
+	Events      int // events written (metadata excluded)
+	FlowArrows  int // client→handler links drawn
+	OrphanSpans int // id'd spans whose counterpart is missing
+}
+
+// mergedPidStride separates each dump's pid namespace in the merged file.
+const mergedPidStride = 1 << 20
+
+// WriteClusterTrace merges the local tracer's events with the collected
+// node dumps and writes one Chrome trace-event JSON file. The local dump is
+// process 0; node i is process i+1. Flow arrows link equal span ids across
+// dumps, earliest span first.
+func WriteClusterTrace(w io.Writer, local []TraceEvent, localLabel string, nodes []NodeDump) (MergeStats, error) {
+	dumps := make([]NodeDump, 0, len(nodes)+1)
+	dumps = append(dumps, NodeDump{Label: localLabel, Events: local})
+	dumps = append(dumps, nodes...)
+
+	var stats MergeStats
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	// One merged event list, pids re-homed per dump, offsets applied.
+	type spanRef struct {
+		ev    chromeEvent
+		local bool // from the local (driver) dump
+	}
+	spans := make(map[uint64][]spanRef) // span id -> X events carrying it
+	for di, d := range dumps {
+		base := di * mergedPidStride
+		pidsSeen := map[int]bool{}
+		// Balance B/E pairs per dump exactly like the single-tracer export,
+		// so a wrapped ring cannot swallow a track in the merged view.
+		for _, e := range balance(d.Events) {
+			ce := toChrome(e)
+			ce.Pid = base + e.Pid
+			ce.Ts += float64(d.OffsetNanos) / 1e3
+			pidsSeen[ce.Pid] = true
+			out.TraceEvents = append(out.TraceEvents, ce)
+			stats.Events++
+			if e.Phase == PhaseComplete && e.ID != 0 {
+				spans[e.ID] = append(spans[e.ID], spanRef{ev: ce, local: di == 0})
+			}
+		}
+		pids := make([]int, 0, len(pidsSeen))
+		for p := range pidsSeen {
+			pids = append(pids, p)
+		}
+		sort.Ints(pids)
+		for _, p := range pids {
+			name := d.Label
+			if orig := p - base; orig != 0 {
+				name = fmt.Sprintf("%s/track%d", d.Label, orig)
+			}
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "process_name", Phase: "M", Pid: p,
+					Args: map[string]any{"name": name}},
+				chromeEvent{Name: "process_sort_index", Phase: "M", Pid: p,
+					Args: map[string]any{"sort_index": di}})
+		}
+	}
+
+	// Flow arrows: within one id group, the earliest span (client side,
+	// since a request is sent before it is handled and offsets are good to
+	// RTT/2) is the source; every other span binds to it.
+	ids := make([]uint64, 0, len(spans))
+	for id := range spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		group := spans[id]
+		if len(group) < 2 {
+			stats.OrphanSpans++
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].ev.Ts < group[j].ev.Ts })
+		src := group[0].ev
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: src.Name, Phase: "s", Cat: "rpc", ID: spanIDString(id),
+			Ts: src.Ts, Pid: src.Pid, Tid: src.Tid,
+		})
+		for _, dst := range group[1:] {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: src.Name, Phase: "f", Cat: "rpc", Bp: "e", ID: spanIDString(id),
+				Ts: dst.ev.Ts, Pid: dst.ev.Pid, Tid: dst.ev.Tid,
+			})
+			stats.FlowArrows++
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return stats, enc.Encode(out)
+}
+
+// balance drops unmatched B/E events per track (ring wrap debris), keeping
+// instants and complete events — the same discipline as Tracer.WriteTrace,
+// applied to an already-snapshotted dump.
+func balance(events []TraceEvent) []TraceEvent {
+	keep := make([]bool, len(events))
+	stacks := make(map[[2]int][]int)
+	for i, e := range events {
+		k := [2]int{e.Pid, e.Tid}
+		switch e.Phase {
+		case PhaseBegin:
+			stacks[k] = append(stacks[k], i)
+		case PhaseEnd:
+			st := stacks[k]
+			matched := -1
+			for j := len(st) - 1; j >= 0; j-- {
+				if events[st[j]].Name == e.Name {
+					matched = j
+					break
+				}
+			}
+			if matched < 0 {
+				continue
+			}
+			keep[st[matched]] = true
+			keep[i] = true
+			stacks[k] = st[:matched]
+		default:
+			keep[i] = true
+		}
+	}
+	out := make([]TraceEvent, 0, len(events))
+	for i, e := range events {
+		if keep[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func decodeChrome(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	return out.TraceEvents
+}
+
+// TestClusterMergeOffsetsRecoverOrdering merges a client span with its node
+// handler span under a synthetic clock skew: the node's raw clock reads
+// *earlier* than the client's, but the probe-estimated offset must put the
+// handler after the request on the merged timeline, and the pair must link
+// with one flow arrow and no orphans.
+func TestClusterMergeOffsetsRecoverOrdering(t *testing.T) {
+	const spanID = 0xABCD
+	local := []TraceEvent{
+		{Pid: 0, Tid: 0, TsNanos: 1_000_000, Name: "rpc.AM", Phase: PhaseComplete, Arg: 500_000, ID: spanID},
+	}
+	// Node clock started 5ms after the client's: its raw timestamp (100µs) is
+	// far earlier than the client span's; OffsetNanos repairs it.
+	node := NodeDump{
+		Label:       "node0",
+		OffsetNanos: 5_000_000,
+		Events: []TraceEvent{
+			{Pid: 3, Tid: 0, TsNanos: 100_000, Name: "handle.AM", Phase: PhaseComplete, Arg: 200_000, ID: spanID},
+		},
+	}
+
+	var buf bytes.Buffer
+	stats, err := WriteClusterTrace(&buf, local, "driver", []NodeDump{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 2 || stats.FlowArrows != 1 || stats.OrphanSpans != 0 {
+		t.Fatalf("stats = %+v, want 2 events, 1 flow arrow, 0 orphans", stats)
+	}
+
+	var reqTs, handleTs float64
+	var sawS, sawF bool
+	for _, e := range decodeChrome(t, buf.Bytes()) {
+		switch e["ph"] {
+		case "X":
+			if e["name"] == "rpc.AM" {
+				reqTs = e["ts"].(float64)
+			}
+			if e["name"] == "handle.AM" {
+				handleTs = e["ts"].(float64)
+			}
+		case "s":
+			sawS = true
+			if pid := int(e["pid"].(float64)); pid != 0 {
+				t.Errorf("flow source on pid %d, want the client span's pid 0", pid)
+			}
+		case "f":
+			sawF = true
+			if pid := int(e["pid"].(float64)); pid != mergedPidStride+3 {
+				t.Errorf("flow binding on pid %d, want re-homed node pid %d", pid, mergedPidStride+3)
+			}
+		}
+	}
+	if !sawS || !sawF {
+		t.Fatalf("flow pair missing: s=%v f=%v", sawS, sawF)
+	}
+	if handleTs <= reqTs {
+		t.Fatalf("offset did not recover ordering: handler at %.1fµs <= request at %.1fµs", handleTs, reqTs)
+	}
+	if want := (100_000 + 5_000_000) / 1e3; handleTs != want {
+		t.Fatalf("handler ts %.3fµs, want offset-shifted %.3fµs", handleTs, want)
+	}
+}
+
+// TestClusterMergeOrphanCounted: a span id seen on only one side is counted,
+// not linked.
+func TestClusterMergeOrphanCounted(t *testing.T) {
+	local := []TraceEvent{
+		{Pid: 0, Tid: 0, TsNanos: 10, Name: "rpc.GET", Phase: PhaseComplete, Arg: 5, ID: 7},
+	}
+	var buf bytes.Buffer
+	stats, err := WriteClusterTrace(&buf, local, "driver", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FlowArrows != 0 || stats.OrphanSpans != 1 {
+		t.Fatalf("stats = %+v, want 0 arrows, 1 orphan", stats)
+	}
+}
+
+// TestClusterMergeNameAndPidIsolation pins the two merge hazards: every dump
+// carries resolved name strings (no cross-tracer NameID bleed), and dumps
+// whose tracks use the same pid land in disjoint merged pid blocks with their
+// own process_name metadata.
+func TestClusterMergeNameAndPidIsolation(t *testing.T) {
+	// Both dumps use pid 0, and on each tracer "its" NameID 0 resolved to a
+	// different string — exactly the collision interning would cause.
+	a := NodeDump{Label: "node0", Events: []TraceEvent{
+		{Pid: 0, Tid: 0, TsNanos: 1, Name: "node.install", Phase: PhaseInstant},
+	}}
+	b := NodeDump{Label: "node1", Events: []TraceEvent{
+		{Pid: 0, Tid: 0, TsNanos: 2, Name: "handle.GET", Phase: PhaseInstant},
+	}}
+	var buf bytes.Buffer
+	if _, err := WriteClusterTrace(&buf, nil, "driver", []NodeDump{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	procNames := map[int]string{}
+	eventPids := map[string]int{}
+	for _, e := range decodeChrome(t, buf.Bytes()) {
+		pid := int(e["pid"].(float64))
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			procNames[pid] = e["args"].(map[string]any)["name"].(string)
+			continue
+		}
+		if e["ph"] == "i" {
+			eventPids[e["name"].(string)] = pid
+		}
+	}
+	if eventPids["node.install"] != 1*mergedPidStride || eventPids["handle.GET"] != 2*mergedPidStride {
+		t.Fatalf("pids not re-homed per dump: %v", eventPids)
+	}
+	if procNames[1*mergedPidStride] != "node0" || procNames[2*mergedPidStride] != "node1" {
+		t.Fatalf("process names wrong: %v", procNames)
+	}
+}
+
+// TestClusterMergeDeterministic: same input, same bytes — the replay gate
+// depends on stable iteration order in the exporter.
+func TestClusterMergeDeterministic(t *testing.T) {
+	mk := func() ([]TraceEvent, []NodeDump) {
+		local := []TraceEvent{
+			{Pid: 0, Tid: 1, TsNanos: 5, Name: "rpc.AM", Phase: PhaseComplete, Arg: 2, ID: 3},
+			{Pid: 0, Tid: 1, TsNanos: 9, Name: "rpc.GET", Phase: PhaseComplete, Arg: 2, ID: 4},
+		}
+		nodes := []NodeDump{{Label: "node0", Events: []TraceEvent{
+			{Pid: 1, Tid: 0, TsNanos: 6, Name: "handle.AM", Phase: PhaseComplete, Arg: 1, ID: 3},
+			{Pid: 1, Tid: 0, TsNanos: 10, Name: "handle.GET", Phase: PhaseComplete, Arg: 1, ID: 4},
+		}}}
+		return local, nodes
+	}
+	var b1, b2 bytes.Buffer
+	l1, n1 := mk()
+	if _, err := WriteClusterTrace(&b1, l1, "driver", n1); err != nil {
+		t.Fatal(err)
+	}
+	l2, n2 := mk()
+	if _, err := WriteClusterTrace(&b2, l2, "driver", n2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical inputs produced different merged traces")
+	}
+}
+
+func TestSpanSourceDeterminism(t *testing.T) {
+	a, b := NewSpanSource(99), NewSpanSource(99)
+	for i := 0; i < 100; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("draw %d: %x != %x", i, ia, ib)
+		}
+		if ia == 0 {
+			t.Fatal("SpanSource produced id 0")
+		}
+	}
+	if NewSpanSource(100).Next() == NewSpanSource(99).Next() {
+		t.Fatal("different seeds produced the same first id")
+	}
+}
+
+func TestDeriveSpanPure(t *testing.T) {
+	seen := map[uint64]bool{}
+	for k := 0; k < 64; k++ {
+		id := DeriveSpan(0xFEED, k)
+		if id == 0 {
+			t.Fatalf("child %d is zero", k)
+		}
+		if seen[id] {
+			t.Fatalf("child %d collides", k)
+		}
+		seen[id] = true
+		if id != DeriveSpan(0xFEED, k) {
+			t.Fatalf("DeriveSpan not pure at k=%d", k)
+		}
+	}
+}

@@ -16,9 +16,10 @@ const ringMask = RingSize - 1
 
 // Event phases, matching the Chrome trace-event format "ph" field.
 const (
-	PhaseBegin   = 'B' // duration-slice begin
-	PhaseEnd     = 'E' // duration-slice end
-	PhaseInstant = 'i' // instant event
+	PhaseBegin    = 'B' // duration-slice begin
+	PhaseEnd      = 'E' // duration-slice end
+	PhaseInstant  = 'i' // instant event
+	PhaseComplete = 'X' // self-contained slice: ts = start, Arg = duration ns
 )
 
 // slot is one ring entry. Every word is atomic so snapshotting under the
@@ -31,15 +32,24 @@ type slot struct {
 	seq  atomic.Uint64
 	ts   atomic.Int64  // ns since tracer start
 	name atomic.Uint32 // interned name id
-	ph   atomic.Uint32 // PhaseBegin/PhaseEnd/PhaseInstant
-	arg  atomic.Int64  // optional numeric payload (shown as args.v)
+	ph   atomic.Uint32 // PhaseBegin/PhaseEnd/PhaseInstant/PhaseComplete
+	arg  atomic.Int64  // optional numeric payload (duration ns for 'X')
+	id   atomic.Uint64 // span/flow id (0 = none); links RPC spans cross-node
 }
 
-// Ring is a single-writer, many-reader ring of trace events for one
+// Ring is a mostly-single-writer, many-reader ring of trace events for one
 // (pid, tid) track — by convention pid is the locale and tid the task slot.
 // The owning task calls Begin/End/Instant; any goroutine may snapshot
 // concurrently via the tracer. A nil *Ring is a no-op, so callers can hold
 // an unconditional handle and let the On() gate decide at runtime.
+//
+// Nested Begin/End pairs still require a single writer (nesting is
+// reconstructed from write order). Self-contained events — Instant and
+// Complete — tolerate concurrent writers: each write claims a distinct slot
+// via the atomic head, so two producers only collide when one laps the
+// other by a full RingSize, and the collision garbles one slot (bounded by
+// the seqlock), never the ring. The comm layer exploits this to record RPC
+// spans from concurrent completion goroutines on one ring per peer.
 type Ring struct {
 	pid, tid int
 	tr       *Tracer
@@ -47,19 +57,25 @@ type Ring struct {
 	slots    [RingSize]slot
 }
 
-// write appends one event. Single writer per ring: the owning task.
+// write appends one event stamped with the current trace clock.
 func (r *Ring) write(ph uint32, name uint32, arg int64) {
 	if r == nil || !enabled.Load() {
 		return
 	}
+	r.writeAt(ph, name, arg, int64(time.Since(r.tr.start)), 0)
+}
+
+// writeAt appends one event with an explicit timestamp and span id.
+func (r *Ring) writeAt(ph uint32, name uint32, arg, ts int64, id uint64) {
 	i := r.head.Add(1) - 1
 	s := &r.slots[i&ringMask]
 	wrap := i / RingSize
 	s.seq.Store(2*wrap + 1)
-	s.ts.Store(int64(time.Since(r.tr.start)))
+	s.ts.Store(ts)
 	s.name.Store(name)
 	s.ph.Store(ph)
 	s.arg.Store(arg)
+	s.id.Store(id)
 	s.seq.Store(2*wrap + 2)
 }
 
@@ -72,14 +88,28 @@ func (r *Ring) End(name NameID) { r.write(PhaseEnd, uint32(name), 0) }
 // Instant records a point event with a numeric payload.
 func (r *Ring) Instant(name NameID, arg int64) { r.write(PhaseInstant, uint32(name), arg) }
 
-// TraceEvent is one stable event recovered from a ring snapshot.
+// Complete records a self-contained slice ('X'): start is nanoseconds on the
+// tracer clock (from Tracer.Now), dur its length, id an optional span id
+// that cross-node merging uses to draw flow arrows. Unlike Begin/End pairs,
+// Complete events are safe to write from concurrent goroutines on one ring.
+func (r *Ring) Complete(name NameID, start, dur int64, id uint64) {
+	if r == nil || !enabled.Load() {
+		return
+	}
+	r.writeAt(PhaseComplete, uint32(name), dur, start, id)
+}
+
+// TraceEvent is one stable event recovered from a ring snapshot. The JSON
+// form is the wire format of the amTraceDump RPC, so the fields are tagged.
 type TraceEvent struct {
-	Pid, Tid int
-	TsNanos  int64
-	Name     string
-	Phase    byte
-	Arg      int64
-	index    uint64 // logical write index, for stable sorting
+	Pid     int    `json:"pid"`
+	Tid     int    `json:"tid"`
+	TsNanos int64  `json:"ts"`
+	Name    string `json:"name"`
+	Phase   byte   `json:"ph"`
+	Arg     int64  `json:"arg,omitempty"`
+	ID      uint64 `json:"id,omitempty"` // span/flow id (0 = none)
+	index   uint64 // logical write index, for stable sorting
 }
 
 // snapshot collects the stable events currently in the ring. Torn or
@@ -96,6 +126,7 @@ func (r *Ring) snapshot(names []string, out []TraceEvent) []TraceEvent {
 		name := s.name.Load()
 		ph := s.ph.Load()
 		arg := s.arg.Load()
+		id := s.id.Load()
 		if s.seq.Load() != seq1 {
 			continue // torn: writer lapped us
 		}
@@ -106,7 +137,7 @@ func (r *Ring) snapshot(names []string, out []TraceEvent) []TraceEvent {
 		wrap := seq1/2 - 1
 		out = append(out, TraceEvent{
 			Pid: r.pid, Tid: r.tid, TsNanos: ts,
-			Name: n, Phase: byte(ph), Arg: arg,
+			Name: n, Phase: byte(ph), Arg: arg, ID: id,
 			index: wrap*RingSize + uint64(i),
 		})
 	}
@@ -136,6 +167,11 @@ func newTracer() *Tracer {
 		rings: make(map[[2]int]*Ring),
 	}
 }
+
+// Now returns nanoseconds since the tracer's epoch — the trace clock every
+// ring timestamp is relative to. Cluster merging exchanges Now() values over
+// RPC to estimate per-node clock offsets.
+func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
 
 // Name interns s and returns its id. Call at construction time, not on the
 // hot path.

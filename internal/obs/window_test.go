@@ -1,0 +1,79 @@
+package obs
+
+import "testing"
+
+// windowHist builds a histogram and a window over it with a 1024ns SLO
+// (a power of two, so CountOver resolves it exactly) and a 1% budget.
+func windowHist(slots int) (*Histogram, *Window) {
+	h := NewRegistry().Histogram("w_test")
+	return h, NewWindow(h, 1024, 0.01, slots)
+}
+
+func TestWindowBurnRate(t *testing.T) {
+	h, w := windowHist(4)
+	// 99 fast + 1 slow = exactly the 1% budget: burn rate 1.0.
+	for i := 0; i < 99; i++ {
+		h.Observe(10)
+	}
+	h.Observe(5000)
+	w.Tick()
+	if got := w.BurnRate(); got != 1.0 {
+		t.Fatalf("burn at exactly budget = %v, want 1.0", got)
+	}
+	// 10 more slow observations: 11/110 over, 10x the budget.
+	for i := 0; i < 10; i++ {
+		h.Observe(5000)
+	}
+	w.Tick()
+	if got := w.BurnRate(); got != 10.0 {
+		t.Fatalf("burn at 10%% over = %v, want 10.0", got)
+	}
+}
+
+func TestWindowForgetsOldOutlier(t *testing.T) {
+	h, w := windowHist(3)
+	h.Observe(5000) // one early outlier, nothing else
+	w.Tick()
+	if got := w.BurnRate(); got != 100.0 {
+		t.Fatalf("all-over window burns %v, want 100.0 (1/0.01)", got)
+	}
+	// Three quiet ticks of fast traffic roll the outlier out of the window.
+	for tick := 0; tick < 3; tick++ {
+		for i := 0; i < 50; i++ {
+			h.Observe(10)
+		}
+		w.Tick()
+	}
+	if got := w.BurnRate(); got != 0 {
+		t.Fatalf("outlier aged out but burn = %v, want 0", got)
+	}
+}
+
+func TestWindowEmptyBurnsNothing(t *testing.T) {
+	_, w := windowHist(4)
+	w.Tick()
+	w.Tick()
+	if got := w.BurnRate(); got != 0 {
+		t.Fatalf("empty window burns %v, want 0", got)
+	}
+}
+
+func TestWindowRegisterExportsPPM(t *testing.T) {
+	h := NewRegistry().Histogram("w_reg")
+	w := NewWindow(h, 1024, 0.01, 4)
+	reg := NewRegistry()
+	w.Register(reg, "serve_read_burn")
+	for i := 0; i < 99; i++ {
+		h.Observe(10)
+	}
+	h.Observe(5000)
+	w.Tick()
+	snap := reg.Snapshot()
+	v, ok := snap.Gauges["serve_read_burn_ppm"]
+	if !ok {
+		t.Fatal("serve_read_burn_ppm not exported")
+	}
+	if v != 1_000_000 {
+		t.Fatalf("serve_read_burn_ppm = %d, want 1000000 for burn 1.0", v)
+	}
+}

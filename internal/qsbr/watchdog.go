@@ -1,0 +1,191 @@
+package qsbr
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rcuarray/internal/obs"
+)
+
+// Reclamation stall watchdog for QSBR. The failure mode differs from EBR's:
+// nothing blocks, the defer backlog just grows, because some active
+// participant stopped announcing quiescence while holding an old observed
+// epoch. The watchdog samples the minimum observed epoch over active
+// participants; when a nonzero backlog sits behind a minimum that has not
+// moved for a whole threshold, it names the laggard.
+//
+// False-positive discipline. Parked participants are skipped — a parked
+// thread is quiescent by definition and cannot hold reclamation back, so a
+// parked reader never draws a warning (the min-epoch scan already excludes
+// it). A participant that checkpoints, however slowly the rest of the system
+// moves, advances its observed epoch and resets the stagnation clock. An
+// idle-but-drained domain (backlog zero) never warns. Each stagnant minimum
+// warns once; the episode re-arms when the minimum moves.
+
+// StallReport names one reclamation stall.
+type StallReport struct {
+	Domain        string // WatchdogConfig.Name
+	Participant   int    // index in the registry snapshot, -1 if resolved
+	ObservedEpoch uint64 // the laggard's stuck epoch
+	StateEpoch    uint64 // global epoch at sampling time
+	Backlog       int64  // deferrals waiting behind the laggard
+	StagnantNanos int64  // how long the minimum has not moved
+}
+
+// WatchdogConfig tunes a QSBR watchdog. Zero values select the defaults in
+// parentheses.
+type WatchdogConfig struct {
+	// Name labels this domain in reports and trace events ("qsbr").
+	Name string
+	// Threshold is how long the minimum observed epoch may stagnate behind a
+	// nonzero backlog before it counts as a stall (1s).
+	Threshold time.Duration
+	// Interval is the sampling period (Threshold/8, floor 10ms).
+	Interval time.Duration
+	// Obs receives rcu_stall_warnings_total and the rcu.stall trace
+	// instants (obs.Default).
+	Obs *obs.Registry
+	// OnStall, when set, runs on the watchdog goroutine per warning.
+	OnStall func(StallReport)
+}
+
+// watchdogTracePid mirrors the EBR watchdog's track namespace.
+const watchdogTracePid = 1 << 17
+
+// Watchdog samples one domain. Stop it before discarding the domain.
+type Watchdog struct {
+	d        *Domain
+	cfg      WatchdogConfig
+	warnings *obs.Counter
+	ring     *obs.Ring
+	nStall   obs.NameID
+	count    atomic.Uint64
+
+	// Sampler-goroutine state: the last stagnant minimum, when it was first
+	// seen, and whether it already warned.
+	lastMin   uint64
+	stagnant  int64 // UnixNano the minimum was first seen at; 0 = not tracking
+	firedMin  uint64
+	hasEpisod bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartWatchdog arms a reclamation stall watchdog on the domain. Sampling is
+// gated on obs.On().
+func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Name == "" {
+		cfg.Name = "qsbr"
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.Threshold / 8
+		if cfg.Interval < 10*time.Millisecond {
+			cfg.Interval = 10 * time.Millisecond
+		}
+	}
+	r := cfg.Obs
+	if r == nil {
+		r = obs.Default
+	}
+	tr := r.Tracer()
+	w := &Watchdog{
+		d:        d,
+		cfg:      cfg,
+		warnings: r.Counter("rcu_stall_warnings_total"),
+		ring:     tr.Ring(watchdogTracePid, 1),
+		nStall:   tr.Name("rcu.stall"),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// Stop halts the sampler and waits for it to exit.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+// Warnings returns how many stall warnings this watchdog has fired.
+func (w *Watchdog) Warnings() uint64 { return w.count.Load() }
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.sample()
+		}
+	}
+}
+
+func (w *Watchdog) sample() {
+	if !obs.On() {
+		return
+	}
+	backlog := int64(w.d.Defers()) - int64(w.d.Reclaimed())
+	state := w.d.StateEpoch()
+	min := w.d.minObserved()
+	if backlog <= 0 || min >= state {
+		// Nothing pending, or nobody is behind (the backlog drains at the
+		// next checkpoint — an idle or all-parked domain is not a stall).
+		w.stagnant = 0
+		return
+	}
+	now := time.Now().UnixNano()
+	if w.stagnant == 0 || min != w.lastMin {
+		// New minimum (or first sight of this one): start its clock.
+		w.lastMin = min
+		w.stagnant = now
+		return
+	}
+	age := now - w.stagnant
+	if age < w.cfg.Threshold.Nanoseconds() {
+		return
+	}
+	if w.hasEpisod && w.firedMin == min {
+		return // this stagnant minimum already warned
+	}
+	w.firedMin = min
+	w.hasEpisod = true
+	w.fire(min, state, backlog, age)
+}
+
+// fire attributes one stall to the first active participant still observing
+// the stagnant minimum.
+func (w *Watchdog) fire(min, state uint64, backlog, age int64) {
+	rep := StallReport{
+		Domain:        w.cfg.Name,
+		Participant:   -1,
+		ObservedEpoch: min,
+		StateEpoch:    state,
+		Backlog:       backlog,
+		StagnantNanos: age,
+	}
+	for i, p := range *w.d.participants.Load() {
+		if p.parked.Load() {
+			continue
+		}
+		if p.observed.Load() == min {
+			rep.Participant = i
+			break
+		}
+	}
+	w.warnings.Inc()
+	w.count.Add(1)
+	if obs.On() {
+		w.ring.Instant(w.nStall, age)
+	}
+	if w.cfg.OnStall != nil {
+		w.cfg.OnStall(rep)
+	}
+}

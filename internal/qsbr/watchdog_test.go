@@ -1,0 +1,131 @@
+package qsbr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rcuarray/internal/obs"
+)
+
+func withObs(t *testing.T) {
+	t.Helper()
+	was := obs.On()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(was) })
+}
+
+// TestQSBRWatchdogTrueStall: an active participant that stops checkpointing
+// while deferrals pile up behind its stale epoch draws exactly one warning
+// naming it; once it checkpoints, the backlog drains and the watchdog stays
+// quiet.
+func TestQSBRWatchdogTrueStall(t *testing.T) {
+	withObs(t)
+	d := New()
+	laggard := d.Register() // index 0 in the snapshot
+	worker := d.Register()
+	defer d.Unregister(worker)
+
+	var mu sync.Mutex
+	var reports []StallReport
+	w := d.StartWatchdog(WatchdogConfig{
+		Threshold: 50 * time.Millisecond,
+		Interval:  5 * time.Millisecond,
+		Obs:       obs.NewRegistry(),
+		OnStall: func(r StallReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+	})
+	defer w.Stop()
+
+	// The worker defers and keeps checkpointing; the laggard never announces
+	// quiescence, so its observed epoch pins the minimum below the state.
+	worker.Defer(func() {})
+	deadline := time.After(2 * time.Second)
+	for w.Warnings() == 0 {
+		worker.Checkpoint()
+		select {
+		case <-deadline:
+			t.Fatal("no stall warning within 2s of a stagnant participant")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if n := w.Warnings(); n != 1 {
+		t.Fatalf("one stagnant epoch drew %d warnings, want exactly 1", n)
+	}
+	mu.Lock()
+	rep := reports[0]
+	mu.Unlock()
+	if rep.Participant != 0 {
+		t.Fatalf("warning named participant %d, want the laggard at 0", rep.Participant)
+	}
+	if rep.Backlog <= 0 {
+		t.Fatalf("warning reports backlog %d, want > 0", rep.Backlog)
+	}
+	if rep.ObservedEpoch >= rep.StateEpoch {
+		t.Fatalf("warning reports observed %d >= state %d", rep.ObservedEpoch, rep.StateEpoch)
+	}
+
+	// The laggard checkpoints: reclamation proceeds, and no further warnings.
+	laggard.Checkpoint()
+	worker.Checkpoint()
+	time.Sleep(100 * time.Millisecond)
+	if n := w.Warnings(); n != 1 {
+		t.Fatalf("recovered domain drew more warnings (total %d)", n)
+	}
+	d.Unregister(laggard)
+}
+
+// TestQSBRWatchdogParkedReaderNoFalsePositive: a parked participant is
+// quiescent by definition — deferrals behind it must reclaim at the next
+// checkpoint and the watchdog must never warn, no matter how long it stays
+// parked.
+func TestQSBRWatchdogParkedReaderNoFalsePositive(t *testing.T) {
+	withObs(t)
+	d := New()
+	parked := d.Register()
+	worker := d.Register()
+	defer d.Unregister(worker)
+
+	w := d.StartWatchdog(WatchdogConfig{
+		Threshold: 50 * time.Millisecond,
+		Interval:  5 * time.Millisecond,
+		Obs:       obs.NewRegistry(),
+	})
+	defer w.Stop()
+
+	parked.Park()
+	worker.Defer(func() {})
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		worker.Checkpoint()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := w.Warnings(); n != 0 {
+		t.Fatalf("parked participant drew %d false-positive warnings", n)
+	}
+	parked.Unpark()
+	d.Unregister(parked)
+}
+
+// TestQSBRWatchdogIdleDomainQuiet: no backlog, no warnings — an idle domain
+// is not a stall however stale its participants' epochs look.
+func TestQSBRWatchdogIdleDomainQuiet(t *testing.T) {
+	withObs(t)
+	d := New()
+	p := d.Register()
+	defer d.Unregister(p)
+	w := d.StartWatchdog(WatchdogConfig{
+		Threshold: 30 * time.Millisecond,
+		Interval:  5 * time.Millisecond,
+		Obs:       obs.NewRegistry(),
+	})
+	defer w.Stop()
+	time.Sleep(150 * time.Millisecond)
+	if n := w.Warnings(); n != 0 {
+		t.Fatalf("idle domain drew %d warnings", n)
+	}
+}
